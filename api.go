@@ -1,0 +1,253 @@
+package freephish
+
+// The public API façade. Downstream users import "freephish" and get the
+// paper's three capabilities without reaching into internal packages:
+//
+//   - Detector: classify a (URL, HTML) page as FWB phishing.
+//   - Study: run the six-month measurement study and read its results.
+//   - Blocker: the web-extension-equivalent URL checker for proxies.
+//
+// Everything here is a thin, stable wrapper over the internal
+// implementation; see README.md for the architecture.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"freephish/internal/analysis"
+	"freephish/internal/baselines"
+	"freephish/internal/core"
+	"freephish/internal/features"
+	"freephish/internal/fwb"
+	"freephish/internal/proxy"
+	"freephish/internal/urlx"
+	"freephish/internal/webgen"
+)
+
+// Page is one captured website: its URL and HTML source.
+type Page struct {
+	URL  string
+	HTML string
+}
+
+// Label marks a training page as phishing or benign.
+type Label int
+
+// Training labels.
+const (
+	Benign   Label = 0
+	Phishing Label = 1
+)
+
+// Sample is one labeled training page.
+type Sample struct {
+	Page  Page
+	Label Label
+}
+
+// Detector classifies FWB-hosted pages with the paper's augmented
+// two-layer stacking model (Section 4.2). Construct with NewDetector,
+// train with Train or TrainSynthetic, then call Score or Classify.
+type Detector struct {
+	model *baselines.StackDetector
+	seed  int64
+}
+
+// NewDetector returns an untrained detector.
+func NewDetector(seed int64) *Detector {
+	return &Detector{model: baselines.NewFreePhishModel(seed), seed: seed}
+}
+
+// Train fits the detector on labeled pages.
+func (d *Detector) Train(samples []Sample) error {
+	conv := make([]baselines.LabeledPage, len(samples))
+	for i, s := range samples {
+		conv[i] = baselines.LabeledPage{
+			Page:  features.Page{URL: s.Page.URL, HTML: s.Page.HTML},
+			Label: int(s.Label),
+		}
+	}
+	return d.model.Train(conv)
+}
+
+// TrainSynthetic fits the detector on a generated ground-truth corpus of
+// pairsPerClass phishing and benign FWB sites — the turnkey path when no
+// labeled corpus is available.
+func (d *Detector) TrainSynthetic(pairsPerClass int) error {
+	if pairsPerClass < 20 {
+		pairsPerClass = 20
+	}
+	g := webgen.NewGenerator(d.seed, nil, nil)
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	var samples []Sample
+	for i := 0; i < pairsPerClass; i++ {
+		p := g.PhishingFWBSite(g.PickService(), epoch)
+		samples = append(samples, Sample{Page: Page{URL: p.URL, HTML: p.HTML}, Label: Phishing})
+		b := g.BenignFWBSite(g.PickServiceUniform(), epoch)
+		samples = append(samples, Sample{Page: Page{URL: b.URL, HTML: b.HTML}, Label: Benign})
+	}
+	return d.Train(samples)
+}
+
+// Score returns P(phishing) for the page.
+func (d *Detector) Score(p Page) (float64, error) {
+	return d.model.Score(features.Page{URL: p.URL, HTML: p.HTML})
+}
+
+// Classify thresholds Score at 0.5.
+func (d *Detector) Classify(p Page) (bool, error) {
+	s, err := d.Score(p)
+	return s >= 0.5, err
+}
+
+// IsFWBHosted reports whether the URL is hosted on one of the 17 free
+// website building services the paper studies, and which one.
+func IsFWBHosted(rawURL string) (service string, ok bool) {
+	u, err := urlx.Parse(rawURL)
+	if err != nil {
+		return "", false
+	}
+	if svc := fwb.Identify(u.Host, u.Path); svc != nil {
+		return svc.Name, true
+	}
+	return "", false
+}
+
+// FWBServices returns the display names of the 17 studied services.
+func FWBServices() []string {
+	all := fwb.All()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// StudyConfig parameterizes a measurement study run.
+type StudyConfig struct {
+	// Seed makes the whole study reproducible. Default 1.
+	Seed int64
+	// Scale in (0, 1] shrinks the paper's 62,810-URL populations. Default
+	// 0.02 (≈1,250 URLs, seconds of wall-clock).
+	Scale float64
+	// TrainPerClass is the classifier's ground-truth size. Default scaled
+	// from the paper's 4,656.
+	TrainPerClass int
+}
+
+// StudyResult exposes the measurement study's headline artifacts plus the
+// renderers for every table and figure.
+type StudyResult struct {
+	study *analysis.Study
+	fp    *core.FreePhish
+}
+
+// RunStudy executes the six-month measurement study (Sections 5.1–5.5).
+func RunStudy(cfg StudyConfig) (*StudyResult, error) {
+	c := core.DefaultConfig()
+	if cfg.Seed != 0 {
+		c.Seed = cfg.Seed
+	}
+	c.Scale = 0.02
+	if cfg.Scale > 0 {
+		c.Scale = cfg.Scale
+	}
+	if cfg.TrainPerClass > 0 {
+		c.TrainPerClass = cfg.TrainPerClass
+	}
+	fp := core.New(c)
+	study, err := fp.Run()
+	if err != nil {
+		return nil, fmt.Errorf("freephish: study failed: %w", err)
+	}
+	return &StudyResult{study: study, fp: fp}, nil
+}
+
+// URLCount reports how many URLs came under longitudinal observation.
+func (r *StudyResult) URLCount() int { return len(r.study.Records) }
+
+// CoverageRow is one entity's coverage and response-time summary.
+type CoverageRow struct {
+	Entity   string
+	Cohort   string // "fwb" or "self-hosted"
+	Coverage float64
+	Median   time.Duration
+}
+
+// Coverage returns Table 3: every entity × cohort at the one-week horizon.
+func (r *StudyResult) Coverage() []CoverageRow {
+	var out []CoverageRow
+	week := 7 * 24 * time.Hour
+	for _, e := range []string{"PhishTank", "OpenPhish", "GSB", "eCrimeX", "platform", "host"} {
+		fr := r.study.Coverage(e, analysis.FWBCohort, week)
+		sr := r.study.Coverage(e, analysis.SelfHostedCohort, week)
+		out = append(out,
+			CoverageRow{Entity: e, Cohort: "fwb", Coverage: fr.Coverage, Median: fr.Median},
+			CoverageRow{Entity: e, Cohort: "self-hosted", Coverage: sr.Coverage, Median: sr.Median})
+	}
+	return out
+}
+
+// RenderAll returns the full evaluation (every table and figure) as text.
+func (r *StudyResult) RenderAll() string {
+	return core.RenderStats(r.fp.Stats) + "\n" +
+		core.RenderSection3(r.study) + "\n" +
+		core.RenderTable3(r.study) + "\n" +
+		core.RenderFigure6(r.study) + "\n" +
+		core.RenderFigure7(r.study) + "\n" +
+		core.RenderFigure8(r.study) + "\n" +
+		core.RenderTable4(r.study) + "\n" +
+		core.RenderFigure9(r.study) + "\n" +
+		core.RenderFigure5(r.study, 15) + "\n" +
+		core.RenderSection55(r.study)
+}
+
+// Blocker is the user-protection checker behind the freephish-proxy binary
+// (the paper's web extension). It combines a static blocklist with an
+// optional live detector.
+type Blocker struct {
+	list *proxy.ListChecker
+	live *proxy.LiveChecker
+}
+
+// NewBlocker returns a Blocker with an empty blocklist. Pass a trained
+// detector and a fetch function to enable live classification of unknown
+// FWB URLs; both may be nil for blocklist-only operation.
+func NewBlocker(d *Detector, fetch func(url string) (Page, int, error)) *Blocker {
+	b := &Blocker{list: &proxy.ListChecker{}}
+	if d != nil && fetch != nil {
+		b.live = proxy.NewLiveChecker(d.model, func(url string) (features.Page, int, error) {
+			p, status, err := fetch(url)
+			return features.Page{URL: p.URL, HTML: p.HTML}, status, err
+		})
+	}
+	return b
+}
+
+// Block adds a URL to the static blocklist.
+func (b *Blocker) Block(url string) { b.list.Add(url) }
+
+// Check reports whether navigation to the URL should be blocked.
+func (b *Blocker) Check(url string) (block bool, reason string) {
+	if block, reason = b.list.Check(url); block {
+		return block, reason
+	}
+	if b.live != nil {
+		return b.live.Check(url)
+	}
+	return false, ""
+}
+
+// Save writes the trained detector to w as JSON, so the expensive stacking
+// fit happens once and the model ships to consumers (e.g. the proxy).
+func (d *Detector) Save(w io.Writer) error { return d.model.Save(w) }
+
+// LoadDetector restores a detector previously written with Save.
+func LoadDetector(r io.Reader) (*Detector, error) {
+	m, err := baselines.LoadStackDetector(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{model: m}, nil
+}

@@ -1,0 +1,172 @@
+package freephish_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	freephish "freephish"
+	"freephish/internal/fwb"
+	"freephish/internal/webgen"
+)
+
+func TestDetectorLifecycle(t *testing.T) {
+	d := freephish.NewDetector(7)
+	if err := d.TrainSynthetic(150); err != nil {
+		t.Fatal(err)
+	}
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	g := webgen.NewGenerator(99, nil, nil)
+	svc, _ := fwb.ByKey("weebly")
+
+	phish := g.PhishingFWBSiteOf(svc, fwb.KindPhishing, epoch)
+	isPhish, err := d.Classify(freephish.Page{URL: phish.URL, HTML: phish.HTML})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isPhish {
+		t.Error("phishing page classified benign")
+	}
+
+	benign := g.BenignFWBSite(svc, epoch)
+	isPhish, err = d.Classify(freephish.Page{URL: benign.URL, HTML: benign.HTML})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isPhish {
+		t.Error("benign page classified phishing")
+	}
+
+	score, err := d.Score(freephish.Page{URL: phish.URL, HTML: phish.HTML})
+	if err != nil || score < 0 || score > 1 {
+		t.Fatalf("score = %v, err = %v", score, err)
+	}
+}
+
+func TestDetectorTrainExplicitSamples(t *testing.T) {
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	g := webgen.NewGenerator(5, nil, nil)
+	var samples []freephish.Sample
+	for i := 0; i < 120; i++ {
+		p := g.PhishingFWBSite(g.PickService(), epoch)
+		samples = append(samples, freephish.Sample{
+			Page: freephish.Page{URL: p.URL, HTML: p.HTML}, Label: freephish.Phishing,
+		})
+		b := g.BenignFWBSite(g.PickServiceUniform(), epoch)
+		samples = append(samples, freephish.Sample{
+			Page: freephish.Page{URL: b.URL, HTML: b.HTML}, Label: freephish.Benign,
+		})
+	}
+	d := freephish.NewDetector(5)
+	if err := d.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsFWBHosted(t *testing.T) {
+	if svc, ok := freephish.IsFWBHosted("https://free-gift.weebly.com/login"); !ok || svc != "Weebly" {
+		t.Fatalf("IsFWBHosted = %q, %v", svc, ok)
+	}
+	if svc, ok := freephish.IsFWBHosted("https://sites.google.com/view/abc"); !ok || svc != "Google Sites" {
+		t.Fatalf("path-based IsFWBHosted = %q, %v", svc, ok)
+	}
+	if _, ok := freephish.IsFWBHosted("https://example.com/x"); ok {
+		t.Fatal("non-FWB URL identified as FWB")
+	}
+	if _, ok := freephish.IsFWBHosted("http://bad url"); ok {
+		t.Fatal("unparseable URL identified as FWB")
+	}
+}
+
+func TestFWBServicesList(t *testing.T) {
+	svcs := freephish.FWBServices()
+	if len(svcs) != 17 {
+		t.Fatalf("services = %d, want 17", len(svcs))
+	}
+}
+
+func TestRunStudyAPI(t *testing.T) {
+	res, err := freephish.RunStudy(freephish.StudyConfig{Seed: 11, Scale: 0.005, TrainPerClass: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.URLCount() < 100 {
+		t.Fatalf("URLCount = %d", res.URLCount())
+	}
+	rows := res.Coverage()
+	if len(rows) != 12 {
+		t.Fatalf("coverage rows = %d, want 12 (6 entities x 2 cohorts)", len(rows))
+	}
+	byKey := map[string]freephish.CoverageRow{}
+	for _, r := range rows {
+		byKey[r.Entity+"/"+r.Cohort] = r
+	}
+	if byKey["GSB/fwb"].Coverage >= byKey["GSB/self-hosted"].Coverage {
+		t.Error("API coverage rows lost the FWB gap")
+	}
+	out := res.RenderAll()
+	for _, want := range []string{"Table 3", "Figure 7", "Section 5.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderAll missing %q", want)
+		}
+	}
+}
+
+func TestBlockerAPI(t *testing.T) {
+	b := freephish.NewBlocker(nil, nil)
+	b.Block("https://evil.weebly.com/")
+	if block, _ := b.Check("https://evil.weebly.com/"); !block {
+		t.Fatal("blocklisted URL not blocked")
+	}
+	if block, _ := b.Check("https://fine.weebly.com/"); block {
+		t.Fatal("clean URL blocked without a live detector")
+	}
+}
+
+func TestBlockerWithLiveDetector(t *testing.T) {
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	g := webgen.NewGenerator(13, nil, nil)
+	svc, _ := fwb.ByKey("weebly")
+	phish := g.PhishingFWBSiteOf(svc, fwb.KindPhishing, epoch)
+
+	d := freephish.NewDetector(13)
+	if err := d.TrainSynthetic(120); err != nil {
+		t.Fatal(err)
+	}
+	fetch := func(url string) (freephish.Page, int, error) {
+		if url == phish.URL {
+			return freephish.Page{URL: url, HTML: phish.HTML}, 200, nil
+		}
+		return freephish.Page{}, 404, nil
+	}
+	b := freephish.NewBlocker(d, fetch)
+	if block, reason := b.Check(phish.URL); !block {
+		t.Fatalf("live detector did not block phishing page (%s)", reason)
+	}
+}
+
+func TestDetectorSaveLoadAPI(t *testing.T) {
+	d := freephish.NewDetector(21)
+	if err := d.TrainSynthetic(80); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := freephish.LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	g := webgen.NewGenerator(22, nil, nil)
+	svc, _ := fwb.ByKey("weebly")
+	site := g.PhishingFWBSiteOf(svc, fwb.KindPhishing, epoch)
+	page := freephish.Page{URL: site.URL, HTML: site.HTML}
+	a, err1 := d.Score(page)
+	b, err2 := restored.Score(page)
+	if err1 != nil || err2 != nil || a != b {
+		t.Fatalf("API round trip diverged: %v/%v", a, b)
+	}
+}

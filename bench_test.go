@@ -1,0 +1,342 @@
+package freephish_test
+
+// The benchmark harness: one benchmark per table and figure in the paper's
+// evaluation. Each benchmark regenerates its artifact from a shared
+// small-scale measurement study (the expensive end-to-end run happens once)
+// and reports the regeneration cost; BenchmarkEndToEndStudy measures the
+// full pipeline itself. Run everything with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"freephish/internal/ablation"
+	"freephish/internal/analysis"
+	"freephish/internal/baselines"
+	"freephish/internal/core"
+	"freephish/internal/features"
+	"freephish/internal/fwb"
+	"freephish/internal/simclock"
+	"freephish/internal/threat"
+	"freephish/internal/vtsim"
+	"freephish/internal/webgen"
+	"freephish/internal/whois"
+
+	"freephish/internal/blocklist"
+	"freephish/internal/ctlog"
+)
+
+var (
+	studyOnce sync.Once
+	studyVal  *analysis.Study
+	studyFP   *core.FreePhish
+	studyErr  error
+)
+
+// sharedStudy runs one small end-to-end study for the aggregation benches.
+func sharedStudy(b *testing.B) (*core.FreePhish, *analysis.Study) {
+	b.Helper()
+	studyOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.Seed = 3
+		cfg.Scale = 0.02
+		cfg.TrainPerClass = 300
+		fp := core.New(cfg)
+		studyVal, studyErr = fp.Run()
+		studyFP = fp
+	})
+	if studyErr != nil {
+		b.Fatal(studyErr)
+	}
+	return studyFP, studyVal
+}
+
+func requireOutput(b *testing.B, out string) {
+	b.Helper()
+	if len(out) < 60 || !strings.Contains(out, "\n") {
+		b.Fatalf("artifact output suspiciously small:\n%s", out)
+	}
+}
+
+// BenchmarkFigure1HistoricalTrend regenerates the 2020–2022 quarterly FWB
+// phishing series with its 80%-mass service sets (Figure 1).
+func BenchmarkFigure1HistoricalTrend(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := core.RenderFigure1(core.HistoricalStudy(3))
+		requireOutput(b, out)
+	}
+}
+
+// BenchmarkTable1CodeSimilarity regenerates the per-FWB phishing↔benign
+// code-similarity medians via the Appendix A algorithm (Table 1).
+func BenchmarkTable1CodeSimilarity(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := core.RenderTable1(3, 4)
+		requireOutput(b, out)
+	}
+}
+
+// BenchmarkTable2ModelComparison trains and evaluates all five detection
+// models on a fresh ground-truth corpus (Table 2).
+func BenchmarkTable2ModelComparison(b *testing.B) {
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < b.N; i++ {
+		g := webgen.NewGenerator(3, nil, nil)
+		var all []baselines.LabeledPage
+		for j := 0; j < 120; j++ {
+			p := g.PhishingFWBSite(g.PickService(), epoch)
+			all = append(all, baselines.LabeledPage{Page: features.Page{URL: p.URL, HTML: p.HTML}, Label: 1})
+			bn := g.BenignFWBSite(g.PickServiceUniform(), epoch)
+			all = append(all, baselines.LabeledPage{Page: features.Page{URL: bn.URL, HTML: bn.HTML}})
+		}
+		rng := simclock.NewRNG(3, "bench.split")
+		rng.Shuffle(len(all), func(x, y int) { all[x], all[y] = all[y], all[x] })
+		cut := int(float64(len(all)) * 0.7)
+		var results []baselines.Result
+		for _, d := range []baselines.Detector{
+			baselines.NewVisualPhishNet(),
+			baselines.NewPhishIntention(3),
+			baselines.NewURLNet(3),
+			baselines.NewBaseStackModel(3),
+			baselines.NewFreePhishModel(3),
+		} {
+			if err := d.Train(all[:cut]); err != nil {
+				b.Fatal(err)
+			}
+			r, err := baselines.Evaluate(d, all[cut:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			results = append(results, r)
+		}
+		requireOutput(b, core.RenderTable2(results))
+	}
+}
+
+// BenchmarkTable3BlocklistPerformance regenerates the blocklist/platform/
+// host coverage and response-time table over both cohorts (Table 3).
+func BenchmarkTable3BlocklistPerformance(b *testing.B) {
+	_, study := sharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireOutput(b, core.RenderTable3(study))
+	}
+}
+
+// BenchmarkTable4PerFWBCountermeasures regenerates the per-FWB
+// countermeasure table (Table 4).
+func BenchmarkTable4PerFWBCountermeasures(b *testing.B) {
+	_, study := sharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireOutput(b, core.RenderTable4(study))
+	}
+}
+
+// BenchmarkFigure5TargetedBrands regenerates the targeted-organization
+// histogram (Figure 5).
+func BenchmarkFigure5TargetedBrands(b *testing.B) {
+	_, study := sharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireOutput(b, core.RenderFigure5(study, 15))
+	}
+}
+
+// BenchmarkFigure6CoverageOverTime regenerates the blocklist
+// coverage-over-time curves (Figure 6).
+func BenchmarkFigure6CoverageOverTime(b *testing.B) {
+	_, study := sharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireOutput(b, core.RenderFigure6(study))
+	}
+}
+
+// BenchmarkFigure7DetectionCDF regenerates the engine-detection CDF after
+// one week for the four cohorts (Figure 7).
+func BenchmarkFigure7DetectionCDF(b *testing.B) {
+	_, study := sharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireOutput(b, core.RenderFigure7(study))
+	}
+}
+
+// BenchmarkFigure8DetectionsOverDays regenerates the per-day detection
+// accumulation series (Figure 8).
+func BenchmarkFigure8DetectionsOverDays(b *testing.B) {
+	_, study := sharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireOutput(b, core.RenderFigure8(study))
+	}
+}
+
+// BenchmarkFigure9PlatformCoverage regenerates the platform removal curves
+// (Figure 9).
+func BenchmarkFigure9PlatformCoverage(b *testing.B) {
+	_, study := sharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireOutput(b, core.RenderFigure9(study))
+	}
+}
+
+// BenchmarkSection3Characterization regenerates the §3 characterization
+// statistics (domain ages, .com share, noindex, CT invisibility).
+func BenchmarkSection3Characterization(b *testing.B) {
+	_, study := sharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireOutput(b, core.RenderSection3(study))
+	}
+}
+
+// BenchmarkSection55EvasiveAttacks regenerates the §5.5 evasive-attack
+// census.
+func BenchmarkSection55EvasiveAttacks(b *testing.B) {
+	_, study := sharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requireOutput(b, core.RenderSection55(study))
+	}
+}
+
+// BenchmarkEndToEndStudy measures a complete (tiny) six-month study:
+// streaming, snapshotting, classification, reporting, and assessment.
+func BenchmarkEndToEndStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(100 + i)
+		cfg.Scale = 0.005
+		cfg.TrainPerClass = 120
+		fp := core.New(cfg)
+		if _, err := fp.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlocklistAssess measures one blocklist assessment of one target.
+func BenchmarkBlocklistAssess(b *testing.B) {
+	var db whois.DB
+	var ct ctlog.Log
+	g := webgen.NewGenerator(3, &db, &ct)
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	g.RegisterInfrastructure(epoch)
+	rng := simclock.NewRNG(3, "bench.assess")
+	site := g.PhishingFWBSite(g.PickService(), epoch)
+	tg := threat.Derive(site, epoch, threat.Twitter, "p", &db, &ct, rng)
+	gsb := blocklist.Standard()[2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gsb.Assess(tg, rng)
+	}
+}
+
+// BenchmarkVTScan measures a 76-engine scan of one target.
+func BenchmarkVTScan(b *testing.B) {
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	svc, _ := fwb.ByKey("weebly")
+	tg := &threat.Target{SharedAt: epoch, Service: svc, HasCredentialFields: true}
+	s := vtsim.NewScanner()
+	rng := simclock.NewRNG(3, "bench.vt")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Assess(tg, rng)
+	}
+}
+
+// Ablation benchmarks: each quantifies one design choice or evasion
+// mechanism the paper argues for (see internal/ablation).
+
+// BenchmarkAblationFeatureSet re-runs the §4.2 feature-set ablation.
+func BenchmarkAblationFeatureSet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ablation.FeatureAblation(3, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationStacking compares the two-layer stack to its base
+// learners.
+func BenchmarkAblationStacking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ablation.StackingAblation(3, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCTInvisibility measures the §3 CT-invisibility
+// counterfactual (FWB sites with their own logged certificates).
+func BenchmarkAblationCTInvisibility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := ablation.CTCounterfactual(3, 600)
+		if r.Counterfactual <= r.BaselineCov {
+			b.Fatal("counterfactual did not raise coverage")
+		}
+	}
+}
+
+// BenchmarkAblationNoindex measures the noindex/search-invisibility
+// counterfactual.
+func BenchmarkAblationNoindex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := ablation.NoindexCounterfactual(3, 600)
+		if r.Counterfactual < r.BaselineCov {
+			b.Fatal("counterfactual reduced coverage")
+		}
+	}
+}
+
+// BenchmarkAblationResponsiveness measures the §5.3 all-responsive-FWB
+// takedown counterfactual.
+func BenchmarkAblationResponsiveness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := ablation.ResponsivenessCounterfactual(3, 600)
+		if r.AllResponsiveRemoval <= r.BaselineRemoval {
+			b.Fatal("counterfactual did not raise removal")
+		}
+	}
+}
+
+// BenchmarkSection2D1Pipeline re-runs the D1 construction (VirusTotal
+// labeling + Dynamic-DNS exclusion).
+func BenchmarkSection2D1Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := core.BuildD1(3, 0.01)
+		if s.FWBPhishing == 0 {
+			b.Fatal("empty D1")
+		}
+	}
+}
+
+// BenchmarkSection3CoderStudy re-runs the two-coder qualitative protocol.
+func BenchmarkSection3CoderStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := core.RunCoderStudy(3, 2000)
+		if s.Kappa <= 0 {
+			b.Fatal("degenerate kappa")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command freephish-proxy runs the FreePhish protective proxy — the Go
+// counterpart of the paper's Chromium web extension (Figure 13):
+//
+//	freephish-proxy [-addr 127.0.0.1:8899] [-train 400] [-seed 1] [-upstream URL]
+//
+// The proxy trains the FreePhish classifier on a generated ground-truth
+// corpus at startup and then blocks navigation to FWB pages it classifies
+// as phishing. Point a browser (or curl -x) at it, with -upstream set to a
+// running fwbhost instance so the simulated domains resolve:
+//
+//	fwbhost -addr 127.0.0.1:8800 &
+//	freephish-proxy -addr 127.0.0.1:8899 -upstream http://127.0.0.1:8800
+//	curl -x http://127.0.0.1:8899 'http://paypal-login-3.weebly.com/'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"freephish/internal/baselines"
+	"freephish/internal/crawler"
+	"freephish/internal/features"
+	"freephish/internal/fwb"
+	"freephish/internal/proxy"
+	"freephish/internal/webgen"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8899", "proxy listen address")
+		trainN    = flag.Int("train", 400, "ground-truth pairs to train the classifier on")
+		seed      = flag.Int64("seed", 1, "seed")
+		upstream  = flag.String("upstream", "", "base URL all fetches are routed to (an fwbhost instance); empty = the real network")
+		modelPath = flag.String("model", "", "load a trained model instead of training (see -save-model)")
+		savePath  = flag.String("save-model", "", "after training, write the model here for future -model runs")
+	)
+	flag.Parse()
+
+	var model *baselines.StackDetector
+	if *modelPath != "" {
+		fh, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err = baselines.LoadStackDetector(fh)
+		fh.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded trained model from %s", *modelPath)
+	} else {
+		log.Printf("training the FreePhish classifier on %d pairs...", *trainN)
+		g := webgen.NewGenerator(*seed, nil, nil)
+		epoch := time.Now()
+		var train []baselines.LabeledPage
+		for i := 0; i < *trainN; i++ {
+			p := g.PhishingFWBSite(g.PickService(), epoch)
+			train = append(train, baselines.LabeledPage{Page: features.Page{URL: p.URL, HTML: p.HTML}, Label: 1})
+			b := g.BenignFWBSite(g.PickServiceUniform(), epoch)
+			train = append(train, baselines.LabeledPage{Page: features.Page{URL: b.URL, HTML: b.HTML}})
+		}
+		model = baselines.NewFreePhishModel(*seed)
+		if err := model.Train(train); err != nil {
+			log.Fatal(err)
+		}
+		if *savePath != "" {
+			fh, err := os.Create(*savePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := model.Save(fh); err != nil {
+				log.Fatal(err)
+			}
+			if err := fh.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("saved trained model to %s", *savePath)
+		}
+	}
+
+	fetcher := crawler.NewFetcher(*upstream)
+	checker := proxy.NewLiveChecker(model, fetcher.Snapshot)
+	var transport http.RoundTripper
+	if *upstream != "" {
+		transport = rewriteTransport{base: *upstream}
+	}
+	px := proxy.New(checker, transport)
+
+	// /proxy.pac routes only the 17 FWB hosting domains through the proxy;
+	// all other traffic stays direct.
+	var fwbDomains []string
+	for _, svc := range fwb.All() {
+		fwbDomains = append(fwbDomains, svc.Domain)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/proxy.pac", func(w http.ResponseWriter, r *http.Request) {
+		proxy.ServePAC(w, *addr, fwbDomains)
+	})
+	handler := http.Handler(px)
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/proxy.pac" && !r.URL.IsAbs() {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		handler.ServeHTTP(w, r)
+	})
+
+	fmt.Printf("freephish-proxy listening on %s (upstream=%s, PAC at /proxy.pac)\n", *addr, orDirect(*upstream))
+	srv := &http.Server{Addr: *addr, Handler: wrapped, ReadHeaderTimeout: 5 * time.Second}
+	log.Fatal(srv.ListenAndServe())
+}
+
+func orDirect(s string) string {
+	if s == "" {
+		return "direct"
+	}
+	return s
+}
+
+// rewriteTransport routes passed-through requests to the upstream fwbhost
+// while preserving the virtual Host header.
+type rewriteTransport struct{ base string }
+
+func (t rewriteTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	f := crawler.NewFetcher(t.base)
+	page, status, err := f.Snapshot(r.URL.String())
+	if err != nil {
+		return nil, err
+	}
+	rec := newBodyResponse(status, page.HTML, r)
+	return rec, nil
+}

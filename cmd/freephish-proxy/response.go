@@ -1,0 +1,22 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+)
+
+// newBodyResponse builds a minimal *http.Response around a string body.
+func newBodyResponse(status int, body string, req *http.Request) *http.Response {
+	return &http.Response{
+		StatusCode:    status,
+		Status:        http.StatusText(status),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/html; charset=utf-8"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

@@ -1,0 +1,49 @@
+// Command freephish-report loads a persisted study (the JSONL written by
+// `freephish -out study.jsonl`) and re-renders the evaluation tables and
+// figures from it — the offline-analysis path for a shared dataset (§8:
+// "our initial dataset will be available upon request").
+//
+//	freephish -scale 0.05 -out study.jsonl
+//	freephish-report study.jsonl
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"freephish/internal/analysis"
+	"freephish/internal/core"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: freephish-report <study.jsonl>")
+		os.Exit(2)
+	}
+	fh, err := os.Open(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fh.Close()
+	study, err := analysis.ReadJSONL(fh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d records (%d FWB, %d self-hosted)\n\n",
+		len(study.Records),
+		len(study.Select(analysis.FWBCohort)),
+		len(study.Select(analysis.SelfHostedCohort)))
+
+	fmt.Println(core.RenderSection3(study))
+	fmt.Println(core.RenderTable3(study))
+	fmt.Println(core.RenderFigure6(study))
+	fmt.Println(core.RenderFigure7(study))
+	fmt.Println(core.RenderFigure8(study))
+	fmt.Println(core.RenderTable4(study))
+	fmt.Println(core.RenderFigure9(study))
+	fmt.Println(core.RenderFigure5(study, 15))
+	fmt.Println(core.RenderSection55(study))
+	fmt.Println(core.RenderUptime(study))
+	fmt.Println(core.RenderKitFamilies(study))
+}

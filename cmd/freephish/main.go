@@ -1,0 +1,158 @@
+// Command freephish runs the full FreePhish reproduction study and prints
+// every table and figure from the paper's evaluation:
+//
+//	freephish [-scale 0.05] [-seed 1] [-table2 600] [-skip-table2]
+//
+// At -scale 1.0 it streams the paper's full populations (31,405 FWB +
+// 31,405 self-hosted URLs over six virtual months); the default scale keeps
+// a laptop run under a minute while preserving every distributional shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"freephish/internal/baselines"
+	"freephish/internal/core"
+	"freephish/internal/features"
+	"freephish/internal/simclock"
+	"freephish/internal/webgen"
+)
+
+func main() {
+	var (
+		scale      = flag.Float64("scale", 0.05, "population scale in (0,1]; 1.0 = the paper's 62,810 URLs")
+		seed       = flag.Int64("seed", 1, "run seed (all results are reproducible per seed)")
+		table2N    = flag.Int("table2", 800, "ground-truth pairs for the Table 2 model bake-off")
+		skipTable2 = flag.Bool("skip-table2", false, "skip the Table 2 model comparison (the slowest step)")
+		table1N    = flag.Int("table1", 15, "site pairs per FWB for Table 1")
+		outPath    = flag.String("out", "", "write the study's records as JSONL to this file")
+	)
+	flag.Parse()
+
+	fmt.Println("FreePhish reproduction study")
+	fmt.Printf("seed=%d scale=%.3f\n\n", *seed, *scale)
+
+	// Section 2 / Figure 1: the 2020-2022 historical pervasiveness study.
+	fmt.Println(core.RenderFigure1(core.HistoricalStudy(*seed)))
+
+	// Section 2: the D1 construction pipeline (VirusTotal labeling).
+	fmt.Println(core.RenderD1(core.BuildD1(*seed, *scale)))
+
+	// Section 3: the two-coder qualitative evaluation.
+	fmt.Println(core.RenderCoderStudy(core.RunCoderStudy(*seed, 5000)))
+
+	// Section 3 / Table 1: code similarity.
+	start := time.Now()
+	fmt.Println(core.RenderTable1(*seed, *table1N))
+	fmt.Printf("(table 1 computed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+
+	// Section 4.2 / Table 2: model comparison.
+	if !*skipTable2 {
+		fmt.Println(renderTable2(*seed, *table2N))
+	}
+
+	// Sections 5.1-5.5: the six-month measurement study.
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	fp := core.New(cfg)
+	fmt.Println("training classifiers on the ground-truth corpus...")
+	if err := fp.Train(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("running the six-month measurement study...")
+	start = time.Now()
+	study, err := fp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("study complete in %v: %d URLs under observation\n\n",
+		time.Since(start).Round(time.Millisecond), len(study.Records))
+	if err := fp.Verify(); err != nil {
+		log.Fatalf("study failed verification: %v", err)
+	}
+
+	if *outPath != "" {
+		fh, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := study.WriteJSONL(fh); err != nil {
+			log.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d records to %s\n\n", len(study.Records), *outPath)
+	}
+
+	fmt.Println("classifier feature importance (top 8):")
+	for i, rf := range fp.Model.Importance() {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-22s %.3f\n", rf.Name, rf.Importance)
+	}
+	fmt.Println()
+
+	fmt.Println(core.RenderStats(fp.Stats))
+	fmt.Println(core.RenderSummary(study))
+	fmt.Println(core.RenderTimeline(study))
+	fmt.Println(core.RenderSection3(study))
+	fmt.Println(core.RenderTable3(study))
+	fmt.Println(core.RenderTable3CI(study, *seed))
+	fmt.Println(core.RenderFigure6(study))
+	fmt.Println(core.RenderFigure7(study))
+	fmt.Println(core.RenderFigure8(study))
+	fmt.Println(core.RenderTable4(study))
+	fmt.Println(core.RenderFigure9(study))
+	fmt.Println(core.RenderFigure5(study, 15))
+	fmt.Println(core.RenderCategories(study))
+	fmt.Println(core.RenderSection55(study))
+	fmt.Println(core.RenderUptime(study))
+	fmt.Println(core.RenderExposure(study, *seed))
+	fmt.Println(core.RenderKitFamilies(study))
+}
+
+// renderTable2 runs the five-model bake-off on a fresh ground-truth corpus.
+func renderTable2(seed int64, n int) string {
+	g := webgen.NewGenerator(seed, nil, nil)
+	at := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	var all []baselines.LabeledPage
+	for i := 0; i < n/2; i++ {
+		p := g.PhishingFWBSite(g.PickService(), at)
+		all = append(all, baselines.LabeledPage{Page: features.Page{URL: p.URL, HTML: p.HTML}, Label: 1})
+		b := g.BenignFWBSite(g.PickServiceUniform(), at)
+		all = append(all, baselines.LabeledPage{Page: features.Page{URL: b.URL, HTML: b.HTML}})
+	}
+	rng := simclock.NewRNG(seed, "cmd.table2")
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	cut := int(float64(len(all)) * 0.7)
+	train, test := all[:cut], all[cut:]
+
+	detectors := []baselines.Detector{
+		baselines.NewVisualPhishNet(),
+		baselines.NewPhishIntention(seed),
+		baselines.NewURLNet(seed),
+		baselines.NewBaseStackModel(seed),
+		baselines.NewFreePhishModel(seed),
+	}
+	var results []baselines.Result
+	for _, d := range detectors {
+		if err := d.Train(train); err != nil {
+			fmt.Fprintf(os.Stderr, "table2: train %s: %v\n", d.Name(), err)
+			continue
+		}
+		r, err := baselines.Evaluate(d, test)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table2: eval %s: %v\n", d.Name(), err)
+			continue
+		}
+		results = append(results, r)
+	}
+	return core.RenderTable2(results)
+}

@@ -1,0 +1,95 @@
+// Command fwbhost serves a simulated FWB ecosystem over HTTP for
+// inspection and for driving the freephish-proxy demo:
+//
+//	fwbhost [-addr 127.0.0.1:8800] [-sites 40] [-phish 0.4] [-seed 1]
+//
+// Every simulated domain (shop.weebly.com, sites.google.com/view/..., and
+// so on) is served from the one listener; request them with a Host header
+// or through a proxy, e.g.:
+//
+//	curl -H 'Host: shop-1.weebly.com' http://127.0.0.1:8800/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"freephish/internal/fwb"
+	socialpkg "freephish/internal/social"
+	"freephish/internal/threat"
+	"freephish/internal/urlx"
+	"freephish/internal/webgen"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8800", "listen address")
+		sites    = flag.Int("sites", 40, "number of sites to generate")
+		phishFrc = flag.Float64("phish", 0.4, "fraction of sites that are phishing attacks")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		social   = flag.Bool("social", false, "also publish every site in a post and serve the platform APIs under /twitter and /facebook")
+	)
+	flag.Parse()
+
+	now := time.Now
+	host := fwb.NewHost(now)
+	g := webgen.NewGenerator(*seed, nil, nil)
+	epoch := time.Now()
+
+	nPhish := int(float64(*sites) * *phishFrc)
+	fmt.Printf("simulated FWB web on http://%s (%d sites, %d phishing)\n\n", *addr, *sites, nPhish)
+	for i := 0; i < *sites; i++ {
+		var site *fwb.Site
+		if i < nPhish {
+			site = g.PhishingFWBSite(g.PickService(), epoch)
+		} else {
+			site = g.BenignFWBSite(g.PickServiceUniform(), epoch)
+		}
+		if err := host.Publish(site); err != nil {
+			continue
+		}
+		p, err := urlx.Parse(site.URL)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  [%-12s] %-10s curl -H 'Host: %s' 'http://%s%s'\n",
+			site.Kind, site.Service.Key, p.Host, *addr, pathOrRoot(p.Path))
+	}
+	handler := http.Handler(host)
+	if *social {
+		tw := socialpkg.NewNetwork(threat.Twitter, time.Now)
+		fb := socialpkg.NewNetwork(threat.Facebook, time.Now)
+		i := 0
+		for _, site := range host.Sites() {
+			nw := tw
+			if i%3 == 0 {
+				nw = fb
+			}
+			if site.Kind.IsMalicious() {
+				nw.Publish(g.LureText(site.URL), epoch)
+			} else {
+				nw.Publish(g.BenignPostText(site.URL), epoch)
+			}
+			i++
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/twitter/", http.StripPrefix("/twitter", tw))
+		mux.Handle("/facebook/", http.StripPrefix("/facebook", fb))
+		mux.Handle("/", host)
+		handler = mux
+		fmt.Printf("\nplatform APIs: http://%s/twitter/posts and http://%s/facebook/posts\n", *addr, *addr)
+	}
+	fmt.Println("\nserving... (ctrl-c to stop)")
+	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	log.Fatal(srv.ListenAndServe())
+}
+
+func pathOrRoot(p string) string {
+	if p == "" {
+		return "/"
+	}
+	return p
+}

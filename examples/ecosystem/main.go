@@ -1,0 +1,137 @@
+// Ecosystem: the anti-phishing plumbing working together over live HTTP —
+// a blocklist feed (the GSB-style lookup API), the platform link shim with
+// Twitter's Figure 10 warning page, and the FreePhish protective proxy,
+// all fronting one simulated FWB web.
+//
+//	go run ./examples/ecosystem
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"freephish/internal/blocklist"
+	"freephish/internal/fwb"
+	"freephish/internal/proxy"
+	"freephish/internal/social"
+	"freephish/internal/webgen"
+)
+
+func main() {
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	now := epoch
+
+	// 1. A simulated web: one phishing and one benign site on Weebly.
+	host := fwb.NewHost(func() time.Time { return now })
+	gen := webgen.NewGenerator(7, nil, nil)
+	weebly, _ := fwb.ByKey("weebly")
+	phish := gen.PhishingFWBSiteOf(weebly, fwb.KindPhishing, epoch)
+	benign := gen.BenignFWBSite(weebly, epoch)
+	must(host.Publish(phish))
+	must(host.Publish(benign))
+	web := httptest.NewServer(host)
+	defer web.Close()
+	fmt.Printf("simulated web:      %s\n", web.URL)
+	fmt.Printf("  phishing site:    %s\n", phish.URL)
+	fmt.Printf("  benign site:      %s\n\n", benign.URL)
+
+	// 2. A blocklist feed: GSB lists the phishing URL an hour in.
+	feed := blocklist.NewFeed("GSB", func() time.Time { return now })
+	feed.List(phish.URL, epoch.Add(time.Hour))
+	feedSrv := httptest.NewServer(feed)
+	defer feedSrv.Close()
+	feedClient := blocklist.NewClient(feedSrv.URL)
+	fmt.Printf("GSB feed API:       %s\n", feedSrv.URL)
+
+	// Before the listing time the lookup misses; after, it hits.
+	listed, _ := feedClient.IsListed(phish.URL)
+	fmt.Printf("  t=+0h  listed=%v\n", listed)
+	now = epoch.Add(2 * time.Hour)
+	listed, _ = feedClient.IsListed(phish.URL)
+	fmt.Printf("  t=+2h  listed=%v\n\n", listed)
+
+	// 3. The platform link shim: clicks on the phishing link now hit the
+	// Figure 10 warning page.
+	shim := social.NewLinkShim("Twitter", func(url string) bool {
+		hit, err := feedClient.IsListed(url)
+		return err == nil && hit
+	})
+	phishPath := shim.Wrap(phish.URL)
+	benignPath := shim.Wrap(benign.URL)
+	shimSrv := httptest.NewServer(shim)
+	defer shimSrv.Close()
+	fmt.Printf("Twitter link shim:  %s\n", shimSrv.URL)
+	fmt.Printf("  click %-6s → %s\n", phishPath, describe(get(shimSrv.URL+phishPath)))
+	fmt.Printf("  click %-6s → %s\n\n", benignPath, describe(get(shimSrv.URL+benignPath)))
+
+	// 4. The FreePhish proxy: blocklist-backed blocking at the browser.
+	var list proxy.ListChecker
+	list.Add(phish.URL)
+	px := proxy.New(&list, nil)
+	pxSrv := httptest.NewServer(px)
+	defer pxSrv.Close()
+	fmt.Printf("FreePhish proxy:    %s\n", pxSrv.URL)
+	fmt.Printf("  GET phishing URL  → %s\n", describe(proxyGet(pxSrv.URL, phish.URL)))
+	blocked, passed := px.Counts()
+	fmt.Printf("  proxy counters: blocked=%d passed=%d\n", blocked, passed)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func get(url string) (*http.Response, string) {
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func proxyGet(proxyURL, target string) (*http.Response, string) {
+	req, err := http.NewRequest(http.MethodGet, target, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Issue an absolute-form request through the proxy by dialing it
+	// directly and rewriting the request URI.
+	req.URL.Scheme = "http"
+	pr, err := http.NewRequest(http.MethodGet, proxyURL, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr.URL.Path = ""
+	pr.URL.Opaque = target // absolute-form
+	resp, err := http.DefaultTransport.RoundTrip(pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func describe(resp *http.Response, body string) string {
+	switch {
+	case resp.StatusCode == http.StatusFound:
+		return fmt.Sprintf("302 redirect to %s", resp.Header.Get("Location"))
+	case strings.Contains(body, "potentially spammy or unsafe"):
+		return "200 warning interstitial (Figure 10)"
+	case strings.Contains(body, "FreePhish blocked this page"):
+		return "403 FreePhish warning page (Figure 13)"
+	default:
+		return fmt.Sprintf("%d (%d bytes)", resp.StatusCode, len(body))
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: classify FWB URLs end to end with the public FreePhish
+// pipeline — generate a small world, train the augmented stacking model,
+// and score a phishing page and a benign page.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"freephish/internal/baselines"
+	"freephish/internal/features"
+	"freephish/internal/fwb"
+	"freephish/internal/webgen"
+)
+
+func main() {
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	gen := webgen.NewGenerator(42, nil, nil)
+
+	// 1. Build a ground-truth corpus: phishing and benign sites across the
+	//    17 FWB services, with the paper's evasion mix.
+	fmt.Println("building ground truth...")
+	var corpus []baselines.LabeledPage
+	for i := 0; i < 300; i++ {
+		p := gen.PhishingFWBSite(gen.PickService(), epoch)
+		corpus = append(corpus, baselines.LabeledPage{
+			Page: features.Page{URL: p.URL, HTML: p.HTML}, Label: 1,
+		})
+		b := gen.BenignFWBSite(gen.PickServiceUniform(), epoch)
+		corpus = append(corpus, baselines.LabeledPage{
+			Page: features.Page{URL: b.URL, HTML: b.HTML},
+		})
+	}
+
+	// 2. Train the augmented FreePhish model (StackModel + FWB features).
+	fmt.Println("training the FreePhish classifier...")
+	model := baselines.NewFreePhishModel(42)
+	if err := model.Train(corpus); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Classify fresh zero-day pages.
+	weebly, _ := fwb.ByKey("weebly")
+	phish := gen.PhishingFWBSiteOf(weebly, fwb.KindPhishing, epoch)
+	benign := gen.BenignFWBSite(weebly, epoch)
+
+	for _, site := range []*fwb.Site{phish, benign} {
+		score, err := model.Score(features.Page{URL: site.URL, HTML: site.HTML})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "BENIGN"
+		if score >= 0.5 {
+			verdict = "PHISHING"
+		}
+		fmt.Printf("\n%s\n  truth=%s  score=%.3f  verdict=%s\n", site.URL, site.Kind, score, verdict)
+
+		// Show the FWB-specific features the paper added (Section 4.2).
+		m, err := features.Extract(features.Page{URL: site.URL, HTML: site.HTML})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  obfuscated_banner=%.0f noindex=%.0f has_login_form=%.0f brand_in_url=%.0f\n",
+			m[features.FObfuscatedBanner], m[features.FNoindex],
+			m[features.FHasLoginForm], m[features.FBrandInURL])
+	}
+}

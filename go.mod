@@ -1,0 +1,3 @@
+module freephish
+
+go 1.22

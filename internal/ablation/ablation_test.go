@@ -1,0 +1,111 @@
+package ablation
+
+import (
+	"testing"
+)
+
+func TestFeatureAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stacking ablation is slow")
+	}
+	vs, err := FeatureAblation(3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 {
+		t.Fatalf("variants = %d", len(vs))
+	}
+	for _, v := range vs {
+		t.Logf("%-26s %s", v.Name, v.Metrics)
+		if v.Metrics.Accuracy < 0.8 {
+			t.Errorf("%s accuracy = %.3f — every variant should still learn", v.Name, v.Metrics.Accuracy)
+		}
+	}
+	// The full feature set must not be materially worse than either
+	// reduced view (it strictly adds information).
+	full, reduced := vs[0].Metrics, vs[1].Metrics
+	if full.F1+0.03 < reduced.F1 {
+		t.Errorf("full set F1 %.3f materially below reduced %.3f", full.F1, reduced.F1)
+	}
+}
+
+func TestStackingAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stacking ablation is slow")
+	}
+	vs, err := StackingAblation(5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 5 {
+		t.Fatalf("variants = %d", len(vs))
+	}
+	var stack, worst float64 = 0, 1
+	for _, v := range vs {
+		t.Logf("%-16s %s", v.Name, v.Metrics)
+		if v.Name == "2-layer stack" {
+			stack = v.Metrics.F1
+		}
+		if v.Metrics.F1 < worst {
+			worst = v.Metrics.F1
+		}
+	}
+	if stack+0.05 < worst {
+		t.Errorf("stack F1 %.3f far below the weakest base model %.3f", stack, worst)
+	}
+}
+
+func TestCTCounterfactual(t *testing.T) {
+	r := CTCounterfactual(7, 2000)
+	t.Logf("CT: baseline=%.3f counterfactual=%.3f", r.BaselineCov, r.Counterfactual)
+	// Making FWB sites CT-visible must raise GSB coverage substantially —
+	// quantifying the §3 invisibility mechanism.
+	if r.Counterfactual <= r.BaselineCov+0.1 {
+		t.Fatalf("CT visibility adds only %.3f coverage — mechanism not load-bearing",
+			r.Counterfactual-r.BaselineCov)
+	}
+	if r.BaselineCov < 0.10 || r.BaselineCov > 0.30 {
+		t.Errorf("baseline GSB FWB coverage = %.3f, want ≈0.18", r.BaselineCov)
+	}
+}
+
+func TestNoindexCounterfactual(t *testing.T) {
+	r := NoindexCounterfactual(9, 2000)
+	t.Logf("noindex: baseline=%.3f counterfactual=%.3f", r.BaselineCov, r.Counterfactual)
+	if r.Counterfactual <= r.BaselineCov {
+		t.Fatal("indexing FWB pages must not reduce coverage")
+	}
+}
+
+func TestResponsivenessCounterfactual(t *testing.T) {
+	r := ResponsivenessCounterfactual(11, 2000)
+	t.Logf("responsiveness: removal %.3f -> %.3f, median %v -> %v",
+		r.BaselineRemoval, r.AllResponsiveRemoval, r.BaselineMedian, r.AllResponsiveMedian)
+	// §5.3: if every FWB behaved like Weebly, removal would jump to ≈59%.
+	if r.AllResponsiveRemoval < r.BaselineRemoval+0.15 {
+		t.Fatalf("all-responsive removal %.3f not materially above baseline %.3f",
+			r.AllResponsiveRemoval, r.BaselineRemoval)
+	}
+	if r.AllResponsiveRemoval < 0.5 || r.AllResponsiveRemoval > 0.68 {
+		t.Errorf("all-responsive removal = %.3f, want ≈0.59 (Weebly's rate)", r.AllResponsiveRemoval)
+	}
+}
+
+func TestFamiliaritySweepMonotoneButSaturating(t *testing.T) {
+	factors := []float64{0.25, 0.5, 1, 2, 4, 100}
+	cov := FamiliaritySweep(13, 1500, factors)
+	t.Logf("familiarity sweep: %v -> %v", factors, cov)
+	for i := 1; i < len(cov); i++ {
+		if cov[i]+0.02 < cov[i-1] {
+			t.Fatalf("coverage not monotone: %v", cov)
+		}
+	}
+	// Even unbounded triage attention cannot reach self-hosted levels
+	// (≈0.72): the CT/search channels stay structurally closed.
+	if last := cov[len(cov)-1]; last > 0.60 {
+		t.Fatalf("saturated coverage = %.3f — invisibility mechanisms leaked", last)
+	}
+	if cov[len(cov)-1] <= cov[0] {
+		t.Fatal("attention had no effect at all")
+	}
+}

@@ -1,0 +1,494 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"freephish/internal/blocklist"
+	"freephish/internal/fwb"
+	"freephish/internal/simclock"
+	"freephish/internal/threat"
+)
+
+var epoch = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func rec(isFWB bool, platform threat.Platform, brand string) *Record {
+	tg := &threat.Target{SharedAt: epoch, Platform: platform, Brand: brand}
+	if isFWB {
+		svc, _ := fwb.ByKey("weebly")
+		tg.Service = svc
+	}
+	return &Record{Target: tg, Blocklist: map[string]blocklist.Verdict{}}
+}
+
+func TestCoverageRow(t *testing.T) {
+	s := &Study{}
+	for i := 0; i < 10; i++ {
+		r := rec(true, threat.Twitter, "paypal")
+		if i < 4 {
+			r.Blocklist["GSB"] = blocklist.Verdict{Detected: true, At: epoch.Add(time.Duration(i+1) * time.Hour)}
+		}
+		if i == 5 {
+			// Detected but outside the horizon: must not count.
+			r.Blocklist["GSB"] = blocklist.Verdict{Detected: true, At: epoch.Add(10 * 24 * time.Hour)}
+		}
+		s.Add(r)
+	}
+	row := s.Coverage("GSB", FWBCohort, 7*24*time.Hour)
+	if row.Total != 10 || row.Covered != 4 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.Coverage != 0.4 {
+		t.Fatalf("coverage = %v", row.Coverage)
+	}
+	if row.Min != time.Hour || row.Max != 4*time.Hour {
+		t.Fatalf("min/max = %v/%v", row.Min, row.Max)
+	}
+	if row.Median != 3*time.Hour {
+		t.Fatalf("median = %v", row.Median)
+	}
+}
+
+func TestCoverageHostAndPlatformEntities(t *testing.T) {
+	s := &Study{}
+	r := rec(true, threat.Twitter, "")
+	r.HostRemoved = true
+	r.HostRemovedAt = epoch.Add(2 * time.Hour)
+	r.PlatformRemoved = true
+	r.PlatformRemovedAt = epoch.Add(5 * time.Hour)
+	s.Add(r)
+	if row := s.Coverage("host", FWBCohort, time.Hour*24); row.Covered != 1 || row.Median != 2*time.Hour {
+		t.Fatalf("host row = %+v", row)
+	}
+	if row := s.Coverage("platform", FWBCohort, time.Hour*24); row.Covered != 1 || row.Median != 5*time.Hour {
+		t.Fatalf("platform row = %+v", row)
+	}
+}
+
+func TestCoverageCurveMonotone(t *testing.T) {
+	s := &Study{}
+	for i := 0; i < 20; i++ {
+		r := rec(false, threat.Facebook, "")
+		r.Blocklist["GSB"] = blocklist.Verdict{Detected: true, At: epoch.Add(time.Duration(i) * 6 * time.Hour)}
+		s.Add(r)
+	}
+	marks := []time.Duration{3 * time.Hour, 24 * time.Hour, 72 * time.Hour, 168 * time.Hour}
+	curve := s.CoverageCurve("GSB", SelfHostedCohort, marks)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("curve not monotone: %v", curve)
+		}
+	}
+	if curve[len(curve)-1] != 1.0 {
+		t.Fatalf("final coverage = %v, want 1.0", curve[len(curve)-1])
+	}
+}
+
+func TestDetectionCountsAndCDF(t *testing.T) {
+	s := &Study{}
+	r := rec(true, threat.Twitter, "")
+	r.VTDetections = []time.Time{epoch.Add(time.Hour), epoch.Add(30 * time.Hour), epoch.Add(100 * time.Hour)}
+	s.Add(r)
+	day1 := s.DetectionCounts(FWBCohort, 24*time.Hour)
+	if len(day1) != 1 || day1[0] != 1 {
+		t.Fatalf("day1 counts = %v", day1)
+	}
+	week := s.DetectionCounts(FWBCohort, 168*time.Hour)
+	if week[0] != 3 {
+		t.Fatalf("week counts = %v", week)
+	}
+	cdf := CDF([]int{1, 2, 2, 4, 9}, []int{0, 2, 4, 10})
+	want := []float64{0, 0.6, 0.8, 1.0}
+	for i := range want {
+		if cdf[i] != want[i] {
+			t.Fatalf("cdf = %v, want %v", cdf, want)
+		}
+	}
+	if got := CDF(nil, []int{1}); got[0] != 0 {
+		t.Fatal("empty CDF should be zero")
+	}
+}
+
+func TestMedianInt(t *testing.T) {
+	if MedianInt(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if MedianInt([]int{3, 1, 9}) != 3 {
+		t.Fatal("odd median")
+	}
+}
+
+func TestBrandHistogramAndTop(t *testing.T) {
+	s := &Study{}
+	for i := 0; i < 5; i++ {
+		s.Add(rec(true, threat.Twitter, "facebook"))
+	}
+	for i := 0; i < 3; i++ {
+		s.Add(rec(true, threat.Twitter, "netflix"))
+	}
+	s.Add(rec(true, threat.Twitter, ""))
+	h := s.BrandHistogram(FWBCohort)
+	if h["facebook"] != 5 || h["netflix"] != 3 || len(h) != 2 {
+		t.Fatalf("histogram = %v", h)
+	}
+	top := s.TopBrands(FWBCohort, 1)
+	if len(top) != 1 || top[0] != "facebook" {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestCohortSelectors(t *testing.T) {
+	s := &Study{}
+	s.Add(rec(true, threat.Twitter, ""))
+	s.Add(rec(false, threat.Facebook, ""))
+	if len(s.Select(FWBCohort)) != 1 || len(s.Select(SelfHostedCohort)) != 1 {
+		t.Fatal("cohort selection broken")
+	}
+	if len(s.Select(OnPlatform(FWBCohort, threat.Facebook))) != 0 {
+		t.Fatal("platform restriction broken")
+	}
+	if len(s.Select(OnService("weebly"))) != 1 {
+		t.Fatal("service restriction broken")
+	}
+}
+
+func TestEvasiveByService(t *testing.T) {
+	s := &Study{}
+	r := rec(true, threat.Twitter, "paypal")
+	r.Target.TwoStepLink = true
+	s.Add(r)
+	r2 := rec(true, threat.Twitter, "paypal")
+	r2.Target.HasCredentialFields = true
+	s.Add(r2)
+	census := s.EvasiveByService()
+	c := census["weebly"]
+	if c == nil || c.Total != 2 || c.TwoStep != 1 || c.NoFields != 1 {
+		t.Fatalf("census = %+v", c)
+	}
+}
+
+func TestMedianDomainAgeAndFraction(t *testing.T) {
+	s := &Study{}
+	for i, age := range []time.Duration{24 * time.Hour, 100 * 24 * time.Hour, 13 * 365 * 24 * time.Hour} {
+		r := rec(true, threat.Twitter, "")
+		r.Target.DomainAge = age
+		if i == 0 {
+			r.Target.Noindex = true
+		}
+		s.Add(r)
+	}
+	if got := s.MedianDomainAge(FWBCohort); got != 100*24*time.Hour {
+		t.Fatalf("median age = %v", got)
+	}
+	f := s.Fraction(FWBCohort, func(r *Record) bool { return r.Target.Noindex })
+	if f < 0.32 || f > 0.34 {
+		t.Fatalf("fraction = %v", f)
+	}
+	if s.MedianDomainAge(SelfHostedCohort) != 0 {
+		t.Fatal("empty cohort median should be 0")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := &Study{}
+	r1 := rec(true, threat.Twitter, "paypal")
+	r1.Target.Noindex = true
+	r1.Target.DomainAge = 13 * 365 * 24 * time.Hour
+	r1.ClassifierScore = 0.93
+	r1.Blocklist["GSB"] = blocklist.Verdict{Detected: true, At: epoch.Add(3 * time.Hour)}
+	r1.VTDetections = []time.Time{epoch.Add(time.Hour), epoch.Add(5 * time.Hour)}
+	r1.PlatformRemoved = true
+	r1.PlatformRemovedAt = epoch.Add(9 * time.Hour)
+	s.Add(r1)
+	r2 := rec(false, threat.Facebook, "netflix")
+	r2.HostRemoved = true
+	r2.HostRemovedAt = epoch.Add(2 * time.Hour)
+	s.Add(r2)
+
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", lines)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("records = %d", len(got.Records))
+	}
+	g1 := got.Records[0]
+	if g1.Target.URL != r1.Target.URL || !g1.Target.Noindex || g1.Target.Service.Key != "weebly" {
+		t.Fatalf("record 0 = %+v", g1.Target)
+	}
+	if v := g1.Blocklist["GSB"]; !v.Detected || !v.At.Equal(epoch.Add(3*time.Hour)) {
+		t.Fatalf("blocklist verdict lost: %+v", v)
+	}
+	if len(g1.VTDetections) != 2 || !g1.PlatformRemoved {
+		t.Fatalf("detections/removal lost: %+v", g1)
+	}
+	// Aggregations work identically on the reloaded study.
+	week := 7 * 24 * time.Hour
+	if a, b := s.Coverage("GSB", FWBCohort, week), got.Coverage("GSB", FWBCohort, week); a != b {
+		t.Fatalf("coverage differs after round trip: %+v vs %+v", a, b)
+	}
+	g2 := got.Records[1]
+	if g2.Target.IsFWB() || !g2.HostRemoved {
+		t.Fatalf("record 1 = %+v", g2)
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSONL accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"url":"x","service":"not-a-service"}` + "\n")); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+	s, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(s.Records) != 0 {
+		t.Fatalf("empty stream: %v %v", s, err)
+	}
+}
+
+func TestUptimeStats(t *testing.T) {
+	s := &Study{}
+	horizon := 14 * 24 * time.Hour
+	// Three removed at 2h, 10h, 20h; two never removed.
+	for _, d := range []time.Duration{2 * time.Hour, 10 * time.Hour, 20 * time.Hour} {
+		r := rec(true, threat.Twitter, "")
+		r.HostRemoved = true
+		r.HostRemovedAt = epoch.Add(d)
+		s.Add(r)
+	}
+	s.Add(rec(true, threat.Twitter, ""))
+	s.Add(rec(true, threat.Twitter, ""))
+
+	u := s.Uptime(FWBCohort, horizon)
+	if u.Total != 5 || u.Removed != 3 || u.Censored != 2 {
+		t.Fatalf("uptime = %+v", u)
+	}
+	if u.Median != 20*time.Hour {
+		t.Fatalf("median lifetime = %v, want 20h (censored counted at horizon)", u.Median)
+	}
+	if u.SurvivalFraction() != 0.4 {
+		t.Fatalf("survival = %v", u.SurvivalFraction())
+	}
+	curve := s.SurvivalCurve(FWBCohort, []time.Duration{time.Hour, 12 * time.Hour, 48 * time.Hour})
+	want := []float64{1.0, 0.6, 0.4}
+	for i := range want {
+		if curve[i] != want[i] {
+			t.Fatalf("survival curve = %v, want %v", curve, want)
+		}
+	}
+}
+
+func TestUptimeEmptyCohort(t *testing.T) {
+	s := &Study{}
+	u := s.Uptime(FWBCohort, time.Hour)
+	if u.Total != 0 || u.Median != 0 || u.SurvivalFraction() != 0 {
+		t.Fatalf("empty uptime = %+v", u)
+	}
+	if c := s.SurvivalCurve(FWBCohort, []time.Duration{time.Hour}); c[0] != 0 {
+		t.Fatalf("empty survival curve = %v", c)
+	}
+}
+
+func TestExposureCutOffByRemoval(t *testing.T) {
+	horizon := 7 * 24 * time.Hour
+	// Removed after one decay constant: 1-1/e ≈ 63% of potential lands.
+	r := rec(true, threat.Twitter, "")
+	r.PlatformRemoved = true
+	r.PlatformRemovedAt = epoch.Add(12 * time.Hour)
+	e := exposureOf(r, 100, horizon)
+	if e.Clicks < 60 || e.Clicks > 66 {
+		t.Fatalf("clicks = %.1f, want ≈63", e.Clicks)
+	}
+	if e.Prevented < 30 || e.Prevented > 40 {
+		t.Fatalf("prevented = %.1f, want ≈37", e.Prevented)
+	}
+	// Never removed: everything lands, nothing prevented.
+	r2 := rec(true, threat.Twitter, "")
+	e2 := exposureOf(r2, 100, horizon)
+	if e2.Prevented > 0.01 || e2.Clicks < 99 {
+		t.Fatalf("unremoved exposure = %+v", e2)
+	}
+	// Earliest removal wins: host at 1h beats platform at 24h.
+	r3 := rec(true, threat.Twitter, "")
+	r3.PlatformRemoved, r3.PlatformRemovedAt = true, epoch.Add(24*time.Hour)
+	r3.HostRemoved, r3.HostRemovedAt = true, epoch.Add(time.Hour)
+	e3 := exposureOf(r3, 100, horizon)
+	if e3.Clicks > 10 {
+		t.Fatalf("early host takedown should cap clicks: %+v", e3)
+	}
+}
+
+func TestExposureStatsCohorts(t *testing.T) {
+	s := &Study{}
+	// FWB cohort: never removed. Self-hosted: removed fast.
+	for i := 0; i < 50; i++ {
+		s.Add(rec(true, threat.Twitter, ""))
+		r := rec(false, threat.Twitter, "")
+		r.HostRemoved = true
+		r.HostRemovedAt = epoch.Add(2 * time.Hour)
+		s.Add(r)
+	}
+	rng := simclock.NewRNG(3, "exposure")
+	horizon := 7 * 24 * time.Hour
+	fwbSum := s.ExposureStats(FWBCohort, horizon, rng)
+	selfSum := s.ExposureStats(SelfHostedCohort, horizon, rng)
+	if fwbSum.MeanClicksPerURL <= selfSum.MeanClicksPerURL {
+		t.Fatalf("FWB mean clicks %.1f <= self %.1f", fwbSum.MeanClicksPerURL, selfSum.MeanClicksPerURL)
+	}
+	if fwbSum.PreventedFraction >= selfSum.PreventedFraction {
+		t.Fatalf("FWB prevented %.2f >= self %.2f", fwbSum.PreventedFraction, selfSum.PreventedFraction)
+	}
+	if fwbSum.URLs != 50 || selfSum.URLs != 50 {
+		t.Fatalf("cohort sizes %d/%d", fwbSum.URLs, selfSum.URLs)
+	}
+}
+
+func TestTimelineBuckets(t *testing.T) {
+	s := &Study{}
+	for i := 0; i < 6; i++ {
+		r := rec(i%2 == 0, threat.Twitter, "")
+		r.Target.SharedAt = epoch.Add(time.Duration(i) * 10 * 24 * time.Hour)
+		if i == 0 {
+			r.Blocklist["GSB"] = blocklist.Verdict{Detected: true, At: r.Target.SharedAt.Add(time.Hour)}
+		}
+		s.Add(r)
+	}
+	points := s.Timeline(14 * 24 * time.Hour)
+	if len(points) < 3 {
+		t.Fatalf("timeline = %d points", len(points))
+	}
+	var fwb, self, detected int
+	for _, p := range points {
+		fwb += p.FWB
+		self += p.Self
+		detected += p.Detected
+	}
+	if fwb != 3 || self != 3 || detected != 1 {
+		t.Fatalf("timeline totals fwb=%d self=%d det=%d", fwb, self, detected)
+	}
+	if got := s.Timeline(0); got != nil {
+		t.Fatal("zero bucket should return nil")
+	}
+	empty := &Study{}
+	if got := empty.Timeline(time.Hour); got != nil {
+		t.Fatal("empty study timeline should be nil")
+	}
+}
+
+func TestCoverageCI(t *testing.T) {
+	s := &Study{}
+	for i := 0; i < 200; i++ {
+		r := rec(true, threat.Twitter, "")
+		if i < 60 { // true coverage 0.30
+			r.Blocklist["GSB"] = blocklist.Verdict{Detected: true, At: epoch.Add(time.Hour)}
+		}
+		s.Add(r)
+	}
+	rng := simclock.NewRNG(3, "ci")
+	ci := s.CoverageCI("GSB", FWBCohort, 7*24*time.Hour, 0.95, 500, rng)
+	if ci.Point != 0.30 {
+		t.Fatalf("point = %v", ci.Point)
+	}
+	if ci.Low >= ci.Point || ci.High <= ci.Point {
+		t.Fatalf("interval %v does not bracket the point", ci)
+	}
+	// For n=200, p=0.3 the 95% CI is roughly ±0.06.
+	if ci.Width() < 0.05 || ci.Width() > 0.2 {
+		t.Fatalf("CI width = %v, implausible", ci.Width())
+	}
+	// More data narrows the interval.
+	big := &Study{}
+	for i := 0; i < 2000; i++ {
+		r := rec(true, threat.Twitter, "")
+		if i < 600 {
+			r.Blocklist["GSB"] = blocklist.Verdict{Detected: true, At: epoch.Add(time.Hour)}
+		}
+		big.Add(r)
+	}
+	bigCI := big.CoverageCI("GSB", FWBCohort, 7*24*time.Hour, 0.95, 500, rng)
+	if bigCI.Width() >= ci.Width() {
+		t.Fatalf("10x data did not narrow CI: %v vs %v", bigCI.Width(), ci.Width())
+	}
+	// Degenerate cohort.
+	empty := &Study{}
+	if got := empty.CoverageCI("GSB", FWBCohort, time.Hour, 0.95, 100, rng); got.Point != 0 || got.Low != 0 {
+		t.Fatalf("empty CI = %+v", got)
+	}
+}
+
+func TestUptimeMeanNoOverflowOnLargeCohorts(t *testing.T) {
+	// Regression: 30k+ two-week lifetimes overflow int64 nanoseconds if
+	// summed as time.Duration (found by the full-scale run).
+	s := &Study{}
+	for i := 0; i < 35000; i++ {
+		s.Add(rec(true, threat.Twitter, ""))
+	}
+	horizon := 14 * 24 * time.Hour
+	u := s.Uptime(FWBCohort, horizon)
+	if u.Mean != horizon {
+		t.Fatalf("mean = %v, want exactly the horizon for an all-censored cohort", u.Mean)
+	}
+	if u.Mean < 0 {
+		t.Fatal("mean overflowed")
+	}
+}
+
+func TestTimeToCoverage(t *testing.T) {
+	s := &Study{}
+	for i := 0; i < 10; i++ {
+		r := rec(false, threat.Twitter, "")
+		if i < 6 {
+			r.Blocklist["GSB"] = blocklist.Verdict{Detected: true, At: epoch.Add(time.Duration(i+1) * time.Hour)}
+		}
+		s.Add(r)
+	}
+	horizon := 7 * 24 * time.Hour
+	// 50% of 10 = 5th detection at +5h.
+	d, ok := s.TimeToCoverage("GSB", SelfHostedCohort, 0.5, horizon)
+	if !ok || d != 5*time.Hour {
+		t.Fatalf("TimeToCoverage(0.5) = %v, %v", d, ok)
+	}
+	// 60% reached exactly at the 6th detection.
+	d, ok = s.TimeToCoverage("GSB", SelfHostedCohort, 0.6, horizon)
+	if !ok || d != 6*time.Hour {
+		t.Fatalf("TimeToCoverage(0.6) = %v, %v", d, ok)
+	}
+	// 70% never reached.
+	if _, ok := s.TimeToCoverage("GSB", SelfHostedCohort, 0.7, horizon); ok {
+		t.Fatal("unreachable coverage reported reached")
+	}
+	if _, ok := (&Study{}).TimeToCoverage("GSB", SelfHostedCohort, 0.5, horizon); ok {
+		t.Fatal("empty study reported coverage")
+	}
+}
+
+func TestSpearmanRho(t *testing.T) {
+	// Perfect monotone relation.
+	if rho := SpearmanRho([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); rho < 0.999 {
+		t.Fatalf("monotone rho = %v", rho)
+	}
+	// Perfect inverse.
+	if rho := SpearmanRho([]float64{1, 2, 3, 4}, []float64{4, 3, 2, 1}); rho > -0.999 {
+		t.Fatalf("inverse rho = %v", rho)
+	}
+	// Monotone but nonlinear: rank correlation stays 1.
+	if rho := SpearmanRho([]float64{1, 2, 3, 4}, []float64{1, 8, 27, 300}); rho < 0.999 {
+		t.Fatalf("nonlinear monotone rho = %v", rho)
+	}
+	// Degenerate.
+	if rho := SpearmanRho([]float64{1}, []float64{2}); rho != 0 {
+		t.Fatalf("degenerate rho = %v", rho)
+	}
+	if rho := SpearmanRho([]float64{1, 1, 1}, []float64{1, 2, 3}); rho != 0 {
+		t.Fatalf("constant-x rho = %v", rho)
+	}
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"freephish/internal/simclock"
+)
+
+// Bootstrap confidence intervals: measurement papers report point
+// estimates; a reproduction should know how wide they are. CoverageCI
+// resamples the cohort with replacement and returns the percentile
+// interval for the coverage fraction — cheap, distribution-free, and
+// honest about small per-FWB cell sizes in Table 4.
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point float64
+	Low   float64
+	High  float64
+}
+
+// Width returns High - Low.
+func (c CI) Width() float64 { return c.High - c.Low }
+
+// CoverageCI bootstraps the entity's coverage over the cohort. level is
+// the confidence level (e.g. 0.95); nBoot the number of resamples.
+func (s *Study) CoverageCI(entity string, c Cohort, horizon time.Duration, level float64, nBoot int, rng *simclock.RNG) CI {
+	recs := s.Select(c)
+	n := len(recs)
+	point := s.Coverage(entity, c, horizon).Coverage
+	if n == 0 || nBoot <= 0 {
+		return CI{Point: point}
+	}
+	// Precompute per-record hit indicators once.
+	hits := make([]bool, n)
+	for i, r := range recs {
+		if at, ok := eventTime(r, entity); ok {
+			if d := r.Delay(at); d >= 0 && d <= horizon {
+				hits[i] = true
+			}
+		}
+	}
+	samples := make([]float64, nBoot)
+	for b := 0; b < nBoot; b++ {
+		hit := 0
+		for i := 0; i < n; i++ {
+			if hits[rng.Intn(n)] {
+				hit++
+			}
+		}
+		samples[b] = float64(hit) / float64(n)
+	}
+	sort.Float64s(samples)
+	alpha := (1 - level) / 2
+	lo := int(alpha * float64(nBoot))
+	hi := int((1 - alpha) * float64(nBoot))
+	if hi >= nBoot {
+		hi = nBoot - 1
+	}
+	return CI{Point: point, Low: samples[lo], High: samples[hi]}
+}

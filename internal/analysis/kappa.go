@@ -1,0 +1,33 @@
+package analysis
+
+// CohenKappa computes Cohen's kappa inter-rater agreement between two
+// binary label vectors — the statistic the paper reports (0.78) for its
+// two qualitative coders (Section 3). Inputs must be equal-length vectors
+// of 0/1 labels. Returns 1 for perfect agreement when expected agreement
+// is also perfect (degenerate single-class case).
+func CohenKappa(a, b []int) float64 {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return 0
+	}
+	var agree int
+	var aPos, bPos int
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			agree++
+		}
+		aPos += a[i]
+		bPos += b[i]
+	}
+	po := float64(agree) / float64(n)
+	pa := float64(aPos) / float64(n)
+	pb := float64(bPos) / float64(n)
+	pe := pa*pb + (1-pa)*(1-pb)
+	if pe >= 1 {
+		if po >= 1 {
+			return 1
+		}
+		return 0
+	}
+	return (po - pe) / (1 - pe)
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCohenKappaPerfectAgreement(t *testing.T) {
+	a := []int{1, 0, 1, 1, 0}
+	if k := CohenKappa(a, a); k != 1 {
+		t.Fatalf("kappa of identical raters = %v, want 1", k)
+	}
+}
+
+func TestCohenKappaChanceAgreement(t *testing.T) {
+	// Independent raters with 50/50 marginals: kappa ≈ 0.
+	a := []int{1, 1, 0, 0}
+	b := []int{1, 0, 1, 0}
+	if k := CohenKappa(a, b); math.Abs(k) > 1e-9 {
+		t.Fatalf("kappa at chance = %v, want 0", k)
+	}
+}
+
+func TestCohenKappaKnownValue(t *testing.T) {
+	// 2x2 table: both-pos 20, both-neg 15, a-only 5, b-only 10 (n=50).
+	var a, b []int
+	push := func(n, la, lb int) {
+		for i := 0; i < n; i++ {
+			a = append(a, la)
+			b = append(b, lb)
+		}
+	}
+	push(20, 1, 1)
+	push(15, 0, 0)
+	push(5, 1, 0)
+	push(10, 0, 1)
+	// po = 35/50 = 0.7; pa = 0.5, pb = 0.6; pe = 0.3+0.2 = 0.5; k = 0.4.
+	if k := CohenKappa(a, b); math.Abs(k-0.4) > 1e-9 {
+		t.Fatalf("kappa = %v, want 0.4", k)
+	}
+}
+
+func TestCohenKappaDegenerate(t *testing.T) {
+	if k := CohenKappa(nil, nil); k != 0 {
+		t.Fatalf("empty kappa = %v", k)
+	}
+	if k := CohenKappa([]int{1}, []int{1, 0}); k != 0 {
+		t.Fatalf("length-mismatch kappa = %v", k)
+	}
+	// Single-class, full agreement.
+	a := []int{1, 1, 1}
+	if k := CohenKappa(a, a); k != 1 {
+		t.Fatalf("single-class identical kappa = %v, want 1", k)
+	}
+	// Single-class marginals but disagreement.
+	if k := CohenKappa([]int{1, 1}, []int{1, 0}); k > 0.01 {
+		t.Fatalf("disagreeing kappa = %v, want <= 0", k)
+	}
+}
+
+// Property: kappa is symmetric and bounded above by 1.
+func TestPropertyKappaSymmetricBounded(t *testing.T) {
+	f := func(bits []bool) bool {
+		if len(bits) < 4 {
+			return true
+		}
+		n := len(bits) / 2
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := 0; i < n; i++ {
+			if bits[i] {
+				a[i] = 1
+			}
+			if bits[n+i] {
+				b[i] = 1
+			}
+		}
+		k1, k2 := CohenKappa(a, b), CohenKappa(b, a)
+		return math.Abs(k1-k2) < 1e-12 && k1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"freephish/internal/webgen"
+)
+
+func TestPageSignatureExtractsClassesAndResources(t *testing.T) {
+	html := `<html><head><link rel="stylesheet" href="assets/xb-style.css"></head>
+<body><div class="xb-wrapper main" data-kid="r4nd0m"><p class="xb-text">x</p></div>
+<script src="assets/xb-anti.js"></script></body></html>`
+	sig := PageSignature(html)
+	for _, want := range []string{"c:xb-wrapper", "c:main", "c:xb-text", "r:assets/xb-style.css", "r:assets/xb-anti.js"} {
+		if !sig[want] {
+			t.Errorf("signature missing %q: %v", want, sig)
+		}
+	}
+	if sig["c:r4nd0m"] {
+		t.Error("random data attribute leaked into signature")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := map[string]bool{"x": true, "y": true}
+	b := map[string]bool{"y": true, "z": true}
+	if got := Jaccard(a, b); got != 1.0/3.0 {
+		t.Fatalf("jaccard = %v", got)
+	}
+	if Jaccard(a, a) != 1 {
+		t.Fatal("self-jaccard != 1")
+	}
+	if Jaccard(nil, nil) != 1 {
+		t.Fatal("empty-empty != 1")
+	}
+	if Jaccard(a, nil) != 0 {
+		t.Fatal("a vs empty != 0")
+	}
+}
+
+func TestClusterSignaturesGreedy(t *testing.T) {
+	sigs := []map[string]bool{
+		{"a": true, "b": true},
+		{"a": true, "b": true, "c": true}, // joins cluster 0 (jaccard 2/3)
+		{"x": true, "y": true},            // new cluster
+		{"a": true, "b": true},            // joins cluster 0
+	}
+	clusters := ClusterSignatures(sigs, 0.5)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	if len(clusters[0]) != 3 || len(clusters[1]) != 1 {
+		t.Fatalf("cluster sizes = %v", clusters)
+	}
+}
+
+func TestKitFamiliesRecoveredFromGeneratedPages(t *testing.T) {
+	// Generate a mixed self-hosted corpus: kit-built pages plus hand-rolled
+	// ones, then recover the kit families from markup signatures alone.
+	g := webgen.NewGenerator(17, nil, nil)
+	at := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	var sigs []map[string]bool
+	var labels []string
+	for i := 0; i < 80; i++ {
+		site, kitName := g.SelfHostedKitPhishing(at)
+		sigs = append(sigs, PageSignature(site.HTML))
+		labels = append(labels, kitName)
+	}
+	for i := 0; i < 20; i++ {
+		site := g.SelfHostedPhishing(at)
+		sigs = append(sigs, PageSignature(site.HTML))
+		labels = append(labels, "hand-rolled")
+	}
+	clusters := ClusterSignatures(sigs, 0.5)
+	purity := ClusterPurity(clusters, labels)
+	t.Logf("clusters=%d purity=%.3f (kit market: %v)", len(clusters), purity, webgen.KitNames())
+	if purity < 0.95 {
+		t.Fatalf("kit-family purity = %.3f, want >= 0.95", purity)
+	}
+	// The kit families should dominate: the largest clusters must be
+	// multi-page kit families, not singletons.
+	if len(clusters[0]) < 15 {
+		t.Fatalf("largest family has %d pages, want a dominant kit", len(clusters[0]))
+	}
+	// Hand-rolled pages (fully random classes) must not glue together.
+	for _, c := range clusters {
+		if labels[c[0]] == "hand-rolled" && len(c) > 3 {
+			t.Fatalf("hand-rolled pages formed a %d-page cluster", len(c))
+		}
+	}
+}
+
+func TestClusterPurityDegenerate(t *testing.T) {
+	if ClusterPurity(nil, nil) != 0 {
+		t.Fatal("empty purity should be 0")
+	}
+	if p := ClusterPurity([][]int{{0, 1}}, []string{"a", "b"}); p != 0.5 {
+		t.Fatalf("purity = %v, want 0.5", p)
+	}
+}

@@ -1,0 +1,83 @@
+// Package baselines implements the five phishing-detection models the
+// paper compares in Table 2: URLNet (URL-string only), VisualPhishNet
+// (visual similarity), PhishIntention (visual + dynamic analysis), the base
+// StackModel of Li et al., and the augmented FreePhish model. The paper's
+// originals are deep networks running on GPUs; these reimplementations
+// preserve each model's information diet (what it is allowed to look at)
+// and its relative cost profile, which is what Table 2's
+// accuracy/recall/runtime comparison exercises.
+package baselines
+
+import (
+	"sort"
+	"time"
+
+	"freephish/internal/features"
+	"freephish/internal/ml"
+)
+
+// LabeledPage is one ground-truth sample.
+type LabeledPage struct {
+	Page  features.Page
+	Label int // 1 = phishing
+}
+
+// Detector is a trainable phishing detector.
+type Detector interface {
+	// Name is the Table 2 row label.
+	Name() string
+	// Train fits the detector on labeled pages.
+	Train(samples []LabeledPage) error
+	// Score returns P(phishing) for a page.
+	Score(p features.Page) (float64, error)
+}
+
+// Result is one Table 2 row: quality metrics plus runtime profile.
+type Result struct {
+	Model       string
+	Metrics     ml.Metrics
+	AUC         float64
+	TotalTime   time.Duration
+	MedianTime  time.Duration
+	SampleCount int
+}
+
+// Evaluate scores a trained detector over a test set, timing every sample
+// the way the paper times per-URL classification. Besides the threshold
+// metrics it reports AUC, which separates models the 0.5 threshold ties.
+func Evaluate(d Detector, test []LabeledPage) (Result, error) {
+	var conf ml.Confusion
+	times := make([]time.Duration, 0, len(test))
+	scores := make([]float64, 0, len(test))
+	labels := make([]int, 0, len(test))
+	start := time.Now()
+	for _, s := range test {
+		t0 := time.Now()
+		score, err := d.Score(s.Page)
+		if err != nil {
+			return Result{}, err
+		}
+		times = append(times, time.Since(t0))
+		scores = append(scores, score)
+		labels = append(labels, s.Label)
+		pred := 0
+		if score >= 0.5 {
+			pred = 1
+		}
+		conf.Add(pred, s.Label)
+	}
+	total := time.Since(start)
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	var median time.Duration
+	if len(times) > 0 {
+		median = times[len(times)/2]
+	}
+	return Result{
+		Model:       d.Name(),
+		Metrics:     conf.Metrics(),
+		AUC:         ml.AUC(scores, labels),
+		TotalTime:   total,
+		MedianTime:  median,
+		SampleCount: len(test),
+	}, nil
+}

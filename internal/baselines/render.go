@@ -1,0 +1,142 @@
+package baselines
+
+import (
+	"math"
+
+	"freephish/internal/htmlx"
+)
+
+// Layout rendering: the visual models cannot run a real browser, so they
+// rasterize the DOM into a coarse layout grid — a box-model pass that
+// assigns each visible element a vertical extent and a channel by element
+// category. The result plays the role of the screenshot embedding in
+// VisualPhishNet/PhishIntention: pages with the same visual structure
+// (logo, heading, credential form, button) produce nearby embeddings
+// regardless of their text.
+
+// Render channels.
+const (
+	chText = iota
+	chImage
+	chForm
+	chButton
+	chFrame
+	numChannels
+)
+
+// gridRows is the vertical resolution of the layout raster.
+const gridRows = 16
+
+// embedding is a flattened numChannels×gridRows layout raster, L2-normalized.
+type embedding []float64
+
+// renderLayout rasterizes the document at the given scale (rows). Larger
+// scales cost proportionally more work — PhishIntention renders at three
+// scales, which is (part of) why it is the slowest model in Table 2.
+func renderLayout(doc *htmlx.Node, rows int) embedding {
+	emb := make(embedding, numChannels*rows)
+	// First pass: estimate total document height in abstract units.
+	total := 0
+	doc.Walk(func(n *htmlx.Node) bool {
+		total += elementHeight(n)
+		return !isHidden(n)
+	})
+	if total == 0 {
+		return emb
+	}
+	// Second pass: accumulate channel mass per grid row.
+	y := 0
+	doc.Walk(func(n *htmlx.Node) bool {
+		h := elementHeight(n)
+		if h > 0 {
+			ch := elementChannel(n)
+			if ch >= 0 {
+				for dy := 0; dy < h; dy++ {
+					row := (y + dy) * rows / total
+					if row >= rows {
+						row = rows - 1
+					}
+					emb[ch*rows+row]++
+				}
+			}
+			y += h
+		}
+		return !isHidden(n)
+	})
+	// L2 normalize.
+	var norm float64
+	for _, v := range emb {
+		norm += v * v
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range emb {
+			emb[i] /= norm
+		}
+	}
+	return emb
+}
+
+func isHidden(n *htmlx.Node) bool {
+	return n.Type == htmlx.ElementNode && n.HasHiddenStyle()
+}
+
+// elementHeight assigns abstract vertical extent by tag.
+func elementHeight(n *htmlx.Node) int {
+	if n.Type == htmlx.TextNode {
+		return (len(n.Text) + 79) / 80 // one row per 80 chars
+	}
+	if n.Type != htmlx.ElementNode {
+		return 0
+	}
+	switch n.Tag {
+	case "img":
+		return 4
+	case "iframe":
+		return 8
+	case "input", "button", "select":
+		return 1
+	case "h1", "h2":
+		return 2
+	case "hr", "br":
+		return 1
+	default:
+		return 0 // containers contribute via children
+	}
+}
+
+// elementChannel maps a node to its raster channel, or -1 for none.
+func elementChannel(n *htmlx.Node) int {
+	if n.Type == htmlx.TextNode {
+		return chText
+	}
+	if n.Type != htmlx.ElementNode {
+		return -1
+	}
+	switch n.Tag {
+	case "img":
+		return chImage
+	case "input", "select", "form":
+		return chForm
+	case "button":
+		return chButton
+	case "iframe":
+		return chFrame
+	case "h1", "h2", "hr", "br":
+		return chText
+	}
+	return -1
+}
+
+// cosine returns the cosine similarity of two L2-normalized embeddings.
+func cosine(a, b embedding) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+package baselines
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"freephish/internal/features"
+	"freephish/internal/ml"
+)
+
+// StackDetector wraps the Li et al. two-layer stacking model behind the
+// Detector interface, parameterized by which feature view it sees:
+//
+//   - NewBaseStackModel uses the original 20-feature StackModel set
+//     (including has_https and multiple_tlds) — the "Base StackModel" row
+//     of Table 2 and the model FreePhish uses to find the self-hosted
+//     comparison cohort (Section 5).
+//   - NewFreePhishModel uses the augmented 22-feature set with the two
+//     FWB-specific features — the "Our Model" row.
+type StackDetector struct {
+	label string
+	names []string
+	model *ml.StackModel
+}
+
+// NewBaseStackModel returns the original StackModel baseline.
+func NewBaseStackModel(seed int64) *StackDetector {
+	return &StackDetector{label: "Base StackModel", names: features.BaseStackNames, model: ml.NewStackModel(seed)}
+}
+
+// NewFreePhishModel returns the augmented FreePhish classifier.
+func NewFreePhishModel(seed int64) *StackDetector {
+	return &StackDetector{label: "FreePhish (augmented StackModel)", names: features.FreePhishNames, model: ml.NewStackModel(seed)}
+}
+
+// Name implements Detector.
+func (s *StackDetector) Name() string { return s.label }
+
+// FeatureNames reports which feature view the detector consumes.
+func (s *StackDetector) FeatureNames() []string { return s.names }
+
+// Train implements Detector.
+func (s *StackDetector) Train(samples []LabeledPage) error {
+	d := &ml.Dataset{Names: s.names}
+	for _, sm := range samples {
+		m, err := features.Extract(sm.Page)
+		if err != nil {
+			return err
+		}
+		d.X = append(d.X, features.Vector(s.names, m))
+		d.Y = append(d.Y, sm.Label)
+	}
+	return s.model.Fit(d)
+}
+
+// Score implements Detector.
+func (s *StackDetector) Score(p features.Page) (float64, error) {
+	m, err := features.Extract(p)
+	if err != nil {
+		return 0, err
+	}
+	return s.model.PredictProba(features.Vector(s.names, m)), nil
+}
+
+// Importance returns the trained stack's feature importances, ranked
+// descending — which features the §4.2 model actually consults.
+func (s *StackDetector) Importance() []ml.RankedFeature {
+	return ml.RankFeatures(s.names, s.model.FeatureImportance())
+}
+
+// Save writes the trained detector (feature view + stacked model) to w.
+func (s *StackDetector) Save(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := s.model.Save(&buf); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(stackDetectorDTO{
+		Label: s.label, Names: s.names, Model: json.RawMessage(buf.Bytes()),
+	})
+}
+
+// LoadStackDetector restores a trained detector from r.
+func LoadStackDetector(r io.Reader) (*StackDetector, error) {
+	var dto stackDetectorDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("baselines: decode detector: %w", err)
+	}
+	model, err := ml.LoadStackModel(bytes.NewReader(dto.Model))
+	if err != nil {
+		return nil, err
+	}
+	if len(dto.Names) == 0 {
+		return nil, fmt.Errorf("baselines: detector payload missing feature names")
+	}
+	return &StackDetector{label: dto.Label, names: dto.Names, model: model}, nil
+}
+
+type stackDetectorDTO struct {
+	Label string          `json:"label"`
+	Names []string        `json:"features"`
+	Model json.RawMessage `json:"model"`
+}

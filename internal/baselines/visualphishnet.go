@@ -1,0 +1,72 @@
+package baselines
+
+import (
+	"freephish/internal/features"
+	"freephish/internal/htmlx"
+)
+
+// VisualPhishNet reimplements the information diet of Abdelnabi et al.'s
+// VisualPhishNet: a purely visual model that compares a page's rendered
+// appearance against a library of known phishing appearances (the original
+// learns a triplet-loss embedding over screenshots). Here the screenshot is
+// the layout raster from render.go and the library is a set of phishing and
+// benign prototype embeddings; the score contrasts the best phishing match
+// against the best benign match. Like the original it ignores the URL and
+// the HTML text entirely, which caps its accuracy (Table 2: 0.76) — FWB
+// phishing reuses legitimate-looking templates, so appearance alone
+// confuses it.
+type VisualPhishNet struct {
+	// MaxPrototypes caps the library per class to keep scoring at the
+	// original's "compare against the library" cost.
+	MaxPrototypes int
+
+	phish  []embedding
+	benign []embedding
+}
+
+// NewVisualPhishNet returns a VisualPhishNet with Table 2 defaults.
+func NewVisualPhishNet() *VisualPhishNet {
+	return &VisualPhishNet{MaxPrototypes: 300}
+}
+
+// Name implements Detector.
+func (v *VisualPhishNet) Name() string { return "VisualPhishNet" }
+
+// Train implements Detector: it memorizes prototype embeddings per class.
+func (v *VisualPhishNet) Train(samples []LabeledPage) error {
+	v.phish = v.phish[:0]
+	v.benign = v.benign[:0]
+	for _, s := range samples {
+		emb := renderLayout(htmlx.Parse(s.Page.HTML), gridRows)
+		if s.Label == 1 {
+			if len(v.phish) < v.MaxPrototypes {
+				v.phish = append(v.phish, emb)
+			}
+		} else {
+			if len(v.benign) < v.MaxPrototypes {
+				v.benign = append(v.benign, emb)
+			}
+		}
+	}
+	return nil
+}
+
+// Score implements Detector: render, then contrast best-match similarities.
+func (v *VisualPhishNet) Score(p features.Page) (float64, error) {
+	emb := renderLayout(htmlx.Parse(p.HTML), gridRows)
+	bestP := bestMatch(emb, v.phish)
+	bestB := bestMatch(emb, v.benign)
+	// Map the similarity margin into (0,1): margin 0 → 0.5.
+	margin := bestP - bestB
+	return 0.5 + margin/2, nil
+}
+
+func bestMatch(e embedding, lib []embedding) float64 {
+	best := 0.0
+	for _, p := range lib {
+		if s := cosine(e, p); s > best {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,232 @@
+package blocklist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The lookup API: the paper's analysis module checks each URL against the
+// blocklists "using their respective APIs, at regular intervals of 10
+// minutes". Feed exposes a listed-URL store over a GSB-style
+// threatMatches endpoint, and Client is the corresponding poller. The
+// freephish-proxy can also consume a Feed as its blocklist source, the way
+// Chromium consumes Safe Browsing.
+
+// Listing is one blocklisted URL.
+type Listing struct {
+	URL      string    `json:"url"`
+	Entity   string    `json:"entity"`
+	ListedAt time.Time `json:"listed_at"`
+}
+
+// Feed is a blocklist's queryable state. The zero value is not usable;
+// construct with NewFeed. Feed is safe for concurrent use.
+type Feed struct {
+	entity string
+	now    func() time.Time
+
+	mu    sync.RWMutex
+	byURL map[string]Listing
+}
+
+// NewFeed returns an empty feed for the named entity; now supplies the
+// clock used to hide future-dated listings (a listing scheduled by the
+// simulation must not be visible before its time).
+func NewFeed(entity string, now func() time.Time) *Feed {
+	return &Feed{entity: entity, now: now, byURL: make(map[string]Listing)}
+}
+
+// Entity reports which blocklist this feed serves.
+func (f *Feed) Entity() string { return f.entity }
+
+func feedKey(raw string) string {
+	raw = strings.TrimSuffix(strings.ToLower(raw), "/")
+	if i := strings.Index(raw, "://"); i >= 0 {
+		raw = raw[i+3:]
+	}
+	return raw
+}
+
+// List records a URL as blocklisted at t.
+func (f *Feed) List(url string, t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := feedKey(url)
+	if existing, ok := f.byURL[key]; ok && existing.ListedAt.Before(t) {
+		return // first listing wins
+	}
+	f.byURL[key] = Listing{URL: url, Entity: f.entity, ListedAt: t}
+}
+
+// Lookup reports whether the URL is currently listed (listings dated in
+// the future are invisible, matching the simulation's virtual clock).
+func (f *Feed) Lookup(url string) (Listing, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	l, ok := f.byURL[feedKey(url)]
+	if !ok || f.now().Before(l.ListedAt) {
+		return Listing{}, false
+	}
+	return l, true
+}
+
+// Len reports the number of listings, including future-dated ones.
+func (f *Feed) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.byURL)
+}
+
+// lookupRequest/lookupResponse mirror the Safe Browsing v4 threatMatches
+// shape, reduced to URLs.
+type lookupRequest struct {
+	URLs []string `json:"urls"`
+}
+
+type lookupResponse struct {
+	Matches []Listing `json:"matches"`
+}
+
+// Updates returns listings visible now whose ListedAt is at or after
+// since — the incremental sync a local blocklist mirror (e.g. the proxy)
+// pulls on a schedule, like Safe Browsing's partial updates.
+func (f *Feed) Updates(since time.Time) []Listing {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	now := f.now()
+	var out []Listing
+	for _, l := range f.byURL {
+		if l.ListedAt.Before(since) || now.Before(l.ListedAt) {
+			continue
+		}
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].ListedAt.Equal(out[j].ListedAt) {
+			return out[i].ListedAt.Before(out[j].ListedAt)
+		}
+		return out[i].URL < out[j].URL
+	})
+	return out
+}
+
+// ServeHTTP exposes the feed:
+//
+//	POST /v1/lookup {"urls": [...]}  → {"matches": [...]}
+//	GET  /v1/updates?since=RFC3339   → JSON array of listings (mirror sync)
+//	GET  /v1/status                  → {"entity": ..., "listings": n}
+func (f *Feed) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/v1/updates":
+		since := time.Time{}
+		if q := r.URL.Query().Get("since"); q != "" {
+			t, err := time.Parse(time.RFC3339, q)
+			if err != nil {
+				http.Error(w, "bad since parameter", http.StatusBadRequest)
+				return
+			}
+			since = t
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(f.Updates(since)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/lookup":
+		var req lookupRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body", http.StatusBadRequest)
+			return
+		}
+		if len(req.URLs) > 500 {
+			http.Error(w, "too many URLs per request (max 500)", http.StatusBadRequest)
+			return
+		}
+		var resp lookupResponse
+		for _, u := range req.URLs {
+			if l, ok := f.Lookup(u); ok {
+				resp.Matches = append(resp.Matches, l)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case r.Method == http.MethodGet && r.URL.Path == "/v1/status":
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"entity":%q,"listings":%d}`, f.entity, f.Len())
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// Client queries a Feed's HTTP API — the analysis module's 10-minute
+// checker.
+type Client struct {
+	Base   string
+	Client *http.Client
+}
+
+// NewClient returns a Client for the feed at base.
+func NewClient(base string) *Client {
+	return &Client{Base: base, Client: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// Lookup checks a batch of URLs, returning the listed subset.
+func (c *Client) Lookup(urls []string) ([]Listing, error) {
+	body, err := json.Marshal(lookupRequest{URLs: urls})
+	if err != nil {
+		return nil, err
+	}
+	httpClient := c.Client
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	resp, err := httpClient.Post(c.Base+"/v1/lookup", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, fmt.Errorf("blocklist: lookup: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("blocklist: lookup status %d", resp.StatusCode)
+	}
+	var lr lookupResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		return nil, err
+	}
+	return lr.Matches, nil
+}
+
+// IsListed checks one URL.
+func (c *Client) IsListed(url string) (bool, error) {
+	matches, err := c.Lookup([]string{url})
+	if err != nil {
+		return false, err
+	}
+	return len(matches) > 0, nil
+}
+
+// Updates pulls the incremental listing feed since the given time.
+func (c *Client) Updates(since time.Time) ([]Listing, error) {
+	httpClient := c.Client
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	resp, err := httpClient.Get(c.Base + "/v1/updates?since=" + since.Format(time.RFC3339))
+	if err != nil {
+		return nil, fmt.Errorf("blocklist: updates: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("blocklist: updates status %d", resp.StatusCode)
+	}
+	var out []Listing
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

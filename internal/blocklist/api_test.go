@@ -1,0 +1,174 @@
+package blocklist
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFeedListAndLookup(t *testing.T) {
+	now := epoch
+	f := NewFeed("GSB", func() time.Time { return now })
+	f.List("https://evil.weebly.com/login/", epoch.Add(time.Hour))
+
+	// Before the listing time it must be invisible.
+	if _, ok := f.Lookup("https://evil.weebly.com/login"); ok {
+		t.Fatal("future-dated listing visible")
+	}
+	now = epoch.Add(2 * time.Hour)
+	l, ok := f.Lookup("HTTPS://EVIL.WEEBLY.COM/login")
+	if !ok || l.Entity != "GSB" {
+		t.Fatalf("listing not found after its time: %+v %v", l, ok)
+	}
+	if _, ok := f.Lookup("https://clean.weebly.com/"); ok {
+		t.Fatal("unlisted URL matched")
+	}
+}
+
+func TestFeedFirstListingWins(t *testing.T) {
+	f := NewFeed("GSB", func() time.Time { return epoch.Add(100 * time.Hour) })
+	f.List("https://x.weebly.com/", epoch.Add(2*time.Hour))
+	f.List("https://x.weebly.com/", epoch.Add(50*time.Hour))
+	l, _ := f.Lookup("https://x.weebly.com/")
+	if !l.ListedAt.Equal(epoch.Add(2 * time.Hour)) {
+		t.Fatalf("listing time = %v, want the earlier one", l.ListedAt)
+	}
+	// An earlier re-listing does replace.
+	f.List("https://x.weebly.com/", epoch.Add(time.Hour))
+	l, _ = f.Lookup("https://x.weebly.com/")
+	if !l.ListedAt.Equal(epoch.Add(time.Hour)) {
+		t.Fatalf("earlier listing ignored: %v", l.ListedAt)
+	}
+}
+
+func TestFeedHTTPAPIAndClient(t *testing.T) {
+	now := epoch.Add(24 * time.Hour)
+	f := NewFeed("PhishTank", func() time.Time { return now })
+	f.List("https://evil.wixsite.com/a", epoch)
+	f.List("https://evil2.weebly.com/b", epoch)
+	srv := httptest.NewServer(f)
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	matches, err := c.Lookup([]string{
+		"https://evil.wixsite.com/a",
+		"https://clean.weebly.com/",
+		"https://evil2.weebly.com/b",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %+v", matches)
+	}
+	listed, err := c.IsListed("https://evil.wixsite.com/a")
+	if err != nil || !listed {
+		t.Fatalf("IsListed = %v, %v", listed, err)
+	}
+	listed, err = c.IsListed("https://clean.weebly.com/")
+	if err != nil || listed {
+		t.Fatalf("clean IsListed = %v, %v", listed, err)
+	}
+}
+
+func TestFeedHTTPValidation(t *testing.T) {
+	f := NewFeed("GSB", func() time.Time { return epoch })
+	srv := httptest.NewServer(f)
+	defer srv.Close()
+
+	// Malformed body.
+	resp, err := http.Post(srv.URL+"/v1/lookup", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d", resp.StatusCode)
+	}
+	// Oversized batch.
+	urls := make([]string, 501)
+	for i := range urls {
+		urls[i] = "https://x.example/a"
+	}
+	c := NewClient(srv.URL)
+	if _, err := c.Lookup(urls); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	// Status endpoint.
+	resp, err = http.Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// Unknown route.
+	resp2, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown route = %d", resp2.StatusCode)
+	}
+}
+
+func TestClientUnreachable(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1")
+	if _, err := c.Lookup([]string{"https://x.example/"}); err == nil {
+		t.Fatal("unreachable feed must error")
+	}
+}
+
+func TestFeedUpdatesIncrementalSync(t *testing.T) {
+	now := epoch.Add(10 * time.Hour)
+	f := NewFeed("GSB", func() time.Time { return now })
+	f.List("https://a.weebly.com/", epoch.Add(1*time.Hour))
+	f.List("https://b.weebly.com/", epoch.Add(5*time.Hour))
+	f.List("https://future.weebly.com/", epoch.Add(20*time.Hour)) // not yet visible
+	srv := httptest.NewServer(f)
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	all, err := c.Updates(time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("full sync = %d listings, want 2 (future one hidden)", len(all))
+	}
+	if !all[0].ListedAt.Before(all[1].ListedAt) {
+		t.Fatal("updates not time-ordered")
+	}
+	// Incremental: only the second listing is newer than +2h.
+	inc, err := c.Updates(epoch.Add(2 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc) != 1 || inc[0].URL != "https://b.weebly.com/" {
+		t.Fatalf("incremental sync = %+v", inc)
+	}
+	// A mirror built from updates answers lookups like the origin.
+	var mirror ListCheckerMirror
+	for _, l := range all {
+		mirror.urls = append(mirror.urls, l.URL)
+	}
+	if len(mirror.urls) != 2 {
+		t.Fatal("mirror incomplete")
+	}
+	// Bad since parameter.
+	resp, err := http.Get(srv.URL + "/v1/updates?since=garbage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since = %d", resp.StatusCode)
+	}
+}
+
+// ListCheckerMirror is a trivial local mirror for the sync test.
+type ListCheckerMirror struct{ urls []string }

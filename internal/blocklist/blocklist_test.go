@@ -1,0 +1,186 @@
+package blocklist
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"freephish/internal/ctlog"
+	"freephish/internal/simclock"
+	"freephish/internal/threat"
+	"freephish/internal/webgen"
+	"freephish/internal/whois"
+)
+
+var epoch = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+// makeTargets builds n FWB targets (Table 4 service mix) and n self-hosted
+// targets through the full generation pipeline.
+func makeTargets(n int, seed int64) (fwbT, selfT []*threat.Target) {
+	var db whois.DB
+	var ct ctlog.Log
+	g := webgen.NewGenerator(seed, &db, &ct)
+	g.RegisterInfrastructure(epoch)
+	rng := simclock.NewRNG(seed, "blocklist.test")
+	for i := 0; i < n; i++ {
+		at := epoch.Add(time.Duration(i) * time.Minute)
+		plat := threat.Twitter
+		if rng.Bool(0.37) {
+			plat = threat.Facebook
+		}
+		fs := g.PhishingFWBSite(g.PickService(), at)
+		fwbT = append(fwbT, threat.Derive(fs, at, plat, fmt.Sprintf("p%d", i), &db, &ct, rng))
+		ss := g.SelfHostedPhishing(at)
+		selfT = append(selfT, threat.Derive(ss, at, plat, fmt.Sprintf("q%d", i), &db, &ct, rng))
+	}
+	return fwbT, selfT
+}
+
+// stats computes 7-day coverage and the median detection delay.
+func stats(e *Entity, targets []*threat.Target, rng *simclock.RNG) (coverage float64, median time.Duration) {
+	var delays []time.Duration
+	horizon := 7 * 24 * time.Hour
+	for _, t := range targets {
+		v := e.Assess(t, rng)
+		if v.Detected && v.At.Sub(t.SharedAt) <= horizon {
+			delays = append(delays, v.At.Sub(t.SharedAt))
+		}
+	}
+	coverage = float64(len(delays)) / float64(len(targets))
+	if len(delays) > 0 {
+		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+		median = delays[len(delays)/2]
+	}
+	return coverage, median
+}
+
+// table3 holds the paper's Table 3 targets for the four blocklists.
+var table3 = map[string]struct {
+	fwbCov, selfCov float64
+	fwbMed, selfMed time.Duration
+}{
+	"PhishTank": {0.0408, 0.174, 7*time.Hour + 11*time.Minute, 2*time.Hour + 30*time.Minute},
+	"OpenPhish": {0.117, 0.305, 13*time.Hour + 20*time.Minute, 2*time.Hour + 21*time.Minute},
+	"GSB":       {0.1844, 0.742, 6*time.Hour + 1*time.Minute, 51 * time.Minute},
+	"eCrimeX":   {0.329, 0.479, 8*time.Hour + 54*time.Minute, 4*time.Hour + 26*time.Minute},
+}
+
+func TestTable3CoverageCalibration(t *testing.T) {
+	fwbT, selfT := makeTargets(1500, 11)
+	rng := simclock.NewRNG(11, "assess")
+	for _, e := range Standard() {
+		want := table3[e.Name]
+		fc, fm := stats(e, fwbT, rng)
+		sc, sm := stats(e, selfT, rng)
+		t.Logf("%-10s FWB cov=%.3f (want %.3f) med=%v (want %v) | self cov=%.3f (want %.3f) med=%v (want %v)",
+			e.Name, fc, want.fwbCov, fm.Round(time.Minute), want.fwbMed, sc, want.selfCov, sm.Round(time.Minute), want.selfMed)
+		if fc >= sc {
+			t.Errorf("%s: FWB coverage %.3f >= self-hosted %.3f — core paper finding violated", e.Name, fc, sc)
+		}
+		if diff := fc - want.fwbCov; diff < -0.06 || diff > 0.06 {
+			t.Errorf("%s: FWB coverage %.3f, want %.3f ± 0.06", e.Name, fc, want.fwbCov)
+		}
+		if diff := sc - want.selfCov; diff < -0.08 || diff > 0.08 {
+			t.Errorf("%s: self coverage %.3f, want %.3f ± 0.08", e.Name, sc, want.selfCov)
+		}
+		if fm < want.fwbMed/2 || fm > want.fwbMed*2 {
+			t.Errorf("%s: FWB median %v, want %v within 2x", e.Name, fm, want.fwbMed)
+		}
+		if sm < want.selfMed/2 || sm > want.selfMed*2 {
+			t.Errorf("%s: self median %v, want %v within 2x", e.Name, sm, want.selfMed)
+		}
+		if fm <= sm {
+			t.Errorf("%s: FWB median %v <= self median %v — response-time gap missing", e.Name, fm, sm)
+		}
+	}
+}
+
+func TestPerServiceCoverageOrdering(t *testing.T) {
+	// Table 4 discussion: heavily-abused Weebly/000webhost/Wix get higher
+	// blocklist coverage than Google Sites/Sharepoint/Google Forms.
+	fwbT, _ := makeTargets(4000, 13)
+	rng := simclock.NewRNG(13, "persvc")
+	gsb := Standard()[2]
+	cov := map[string]*[2]int{} // detected, total
+	for _, tg := range fwbT {
+		c, ok := cov[tg.Service.Key]
+		if !ok {
+			c = &[2]int{}
+			cov[tg.Service.Key] = c
+		}
+		c[1]++
+		v := gsb.Assess(tg, rng)
+		if v.Detected && v.At.Sub(tg.SharedAt) <= 7*24*time.Hour {
+			c[0]++
+		}
+	}
+	rate := func(k string) float64 {
+		c := cov[k]
+		if c == nil || c[1] == 0 {
+			return 0
+		}
+		return float64(c[0]) / float64(c[1])
+	}
+	if rate("weebly") <= rate("googlesites") {
+		t.Errorf("GSB coverage weebly %.3f <= googlesites %.3f", rate("weebly"), rate("googlesites"))
+	}
+	if rate("000webhost") <= rate("sharepoint") {
+		t.Errorf("GSB coverage 000webhost %.3f <= sharepoint %.3f", rate("000webhost"), rate("sharepoint"))
+	}
+}
+
+func TestEvasiveVariantsCoveredWorse(t *testing.T) {
+	fwbT, _ := makeTargets(3000, 17)
+	rng := simclock.NewRNG(17, "evasive")
+	e := Standard()[3] // eCrimeX: highest FWB coverage, most samples to compare
+	var evDet, evTot, regDet, regTot int
+	for _, tg := range fwbT {
+		v := e.Assess(tg, rng)
+		hit := v.Detected && v.At.Sub(tg.SharedAt) <= 7*24*time.Hour
+		if tg.Evasive() {
+			evTot++
+			if hit {
+				evDet++
+			}
+		} else {
+			regTot++
+			if hit {
+				regDet++
+			}
+		}
+	}
+	if evTot == 0 || regTot == 0 {
+		t.Fatal("cohort construction failed")
+	}
+	evRate := float64(evDet) / float64(evTot)
+	regRate := float64(regDet) / float64(regTot)
+	if evRate >= regRate {
+		t.Fatalf("evasive coverage %.3f >= regular %.3f (§5.5 gap missing)", evRate, regRate)
+	}
+}
+
+func TestAssessDeterministicPerStream(t *testing.T) {
+	fwbT, _ := makeTargets(10, 19)
+	e := Standard()[0]
+	a := simclock.NewRNG(7, "s")
+	b := simclock.NewRNG(7, "s")
+	for _, tg := range fwbT {
+		va, vb := e.Assess(tg, a), e.Assess(tg, b)
+		if va != vb {
+			t.Fatal("same-stream assessments diverge")
+		}
+	}
+}
+
+func TestDetectionNeverBeforeShare(t *testing.T) {
+	fwbT, selfT := makeTargets(300, 23)
+	rng := simclock.NewRNG(23, "order")
+	for _, e := range Standard() {
+		for _, tg := range append(fwbT, selfT...) {
+			if v := e.Assess(tg, rng); v.Detected && v.At.Before(tg.SharedAt) {
+				t.Fatalf("%s detected %q before it was shared", e.Name, tg.URL)
+			}
+		}
+	}
+}

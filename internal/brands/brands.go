@@ -1,0 +1,222 @@
+// Package brands holds the brand database FreePhish uses in two roles:
+// (1) the detection side — the coders and the URL features check whether a
+// site spoofs one of the brands reported by OpenPhish's monthly brand list
+// (409 brands in August 2022), and (2) the generation side — the website
+// generators produce spoof pages whose brand mix matches Figure 5 (109
+// unique organizations, heavily skewed toward a handful of leaders).
+package brands
+
+import (
+	"sort"
+	"strings"
+)
+
+// Category groups brands by sector; the attack mix differs per sector
+// (banks get credential pages, couriers get payment-detail pages, etc.).
+type Category string
+
+// Brand sectors used by the generators.
+const (
+	Social    Category = "social"
+	Payment   Category = "payment"
+	Banking   Category = "banking"
+	Telecom   Category = "telecom"
+	Streaming Category = "streaming"
+	Ecommerce Category = "ecommerce"
+	Tech      Category = "tech"
+	Courier   Category = "courier"
+	Crypto    Category = "crypto"
+	Gaming    Category = "gaming"
+	Travel    Category = "travel"
+	Email     Category = "email"
+)
+
+// Brand is one impersonation target.
+type Brand struct {
+	Name     string // display name, e.g. "PayPal"
+	Key      string // lower-case token that appears in URLs, e.g. "paypal"
+	Domain   string // legitimate domain, e.g. paypal.com
+	Category Category
+	// Weight is the relative targeting frequency. Figure 5's histogram is
+	// heavily skewed: the generators draw brands proportionally to Weight.
+	Weight float64
+	// LoginVocab are phrases spoof pages for this brand use.
+	LoginVocab []string
+}
+
+// db is the embedded brand list. Weights approximate the Figure 5 skew: the
+// top brands (Facebook, Microsoft, AT&T, Netflix, PayPal, WhatsApp …)
+// absorb most attacks, with a long tail of ~100 organizations.
+var db = []Brand{
+	{"Facebook", "facebook", "facebook.com", Social, 130, []string{"Log in to Facebook", "Connect with friends"}},
+	{"Microsoft", "microsoft", "microsoft.com", Tech, 110, []string{"Sign in to your Microsoft account", "One account for all things Microsoft"}},
+	{"AT&T", "att", "att.com", Telecom, 95, []string{"myAT&T Sign in", "Manage your AT&T account"}},
+	{"Netflix", "netflix", "netflix.com", Streaming, 85, []string{"Sign In", "Update your payment information"}},
+	{"PayPal", "paypal", "paypal.com", Payment, 78, []string{"Log in to your PayPal account", "Confirm your identity"}},
+	{"WhatsApp", "whatsapp", "whatsapp.com", Social, 66, []string{"Verify your number", "WhatsApp Web"}},
+	{"Instagram", "instagram", "instagram.com", Social, 60, []string{"Log in to Instagram", "Get the full experience"}},
+	{"Office 365", "office365", "office.com", Tech, 56, []string{"Sign in to Office 365", "Work account sign in"}},
+	{"OneDrive", "onedrive", "onedrive.com", Tech, 50, []string{"A document has been shared with you", "Sign in to view document"}},
+	{"Amazon", "amazon", "amazon.com", Ecommerce, 46, []string{"Sign-In", "There is a problem with your order"}},
+	{"Apple", "apple", "apple.com", Tech, 42, []string{"Sign in with your Apple ID", "Your Apple ID has been locked"}},
+	{"Google", "google", "google.com", Tech, 40, []string{"Sign in with Google", "Verify it's you"}},
+	{"Chase", "chase", "chase.com", Banking, 34, []string{"Chase Online Sign in", "Unusual activity detected"}},
+	{"Wells Fargo", "wellsfargo", "wellsfargo.com", Banking, 30, []string{"Sign on to Wells Fargo Online", "Account verification required"}},
+	{"DHL", "dhl", "dhl.com", Courier, 28, []string{"Track your shipment", "Pay customs fee to release parcel"}},
+	{"USPS", "usps", "usps.com", Courier, 26, []string{"Your package could not be delivered", "Schedule redelivery"}},
+	{"Coinbase", "coinbase", "coinbase.com", Crypto, 24, []string{"Sign in to Coinbase", "Unusual sign-in attempt"}},
+	{"LinkedIn", "linkedin", "linkedin.com", Social, 22, []string{"Sign in to LinkedIn", "You appeared in searches"}},
+	{"Adobe", "adobe", "adobe.com", Tech, 20, []string{"A PDF file has been shared", "Sign in to view"}},
+	{"Twitter", "twitter", "twitter.com", Social, 19, []string{"Log in to Twitter", "Your account has been limited"}},
+	{"Spotify", "spotify", "spotify.com", Streaming, 18, []string{"Log in to Spotify", "Your premium payment failed"}},
+	{"Bank of America", "bankofamerica", "bankofamerica.com", Banking, 17, []string{"Online Banking Sign In", "Verify your information"}},
+	{"Steam", "steam", "steampowered.com", Gaming, 16, []string{"Sign in to Steam", "Claim your free skin"}},
+	{"Credit Agricole", "credit-agricole", "credit-agricole.fr", Banking, 15, []string{"Accéder à mes comptes"}},
+	{"Banco do Brasil", "bancodobrasil", "bb.com.br", Banking, 14, []string{"Acesse sua conta"}},
+	{"Yahoo", "yahoo", "yahoo.com", Email, 13, []string{"Sign in to Yahoo Mail", "Mailbox storage full"}},
+	{"Binance", "binance", "binance.com", Crypto, 13, []string{"Log In to Binance", "Withdrawal confirmation"}},
+	{"Verizon", "verizon", "verizon.com", Telecom, 12, []string{"Sign in to My Verizon", "Bill payment issue"}},
+	{"T-Mobile", "tmobile", "t-mobile.com", Telecom, 12, []string{"T-Mobile ID Login"}},
+	{"eBay", "ebay", "ebay.com", Ecommerce, 11, []string{"Sign in to eBay", "Action required on your listing"}},
+	{"Dropbox", "dropbox", "dropbox.com", Tech, 11, []string{"A file has been shared with you", "Sign in to Dropbox"}},
+	{"DocuSign", "docusign", "docusign.com", Tech, 10, []string{"Review and sign document", "Completed: signature requested"}},
+	{"FedEx", "fedex", "fedex.com", Courier, 10, []string{"Delivery exception", "Confirm delivery address"}},
+	{"HSBC", "hsbc", "hsbc.com", Banking, 9, []string{"Log on to online banking"}},
+	{"Citibank", "citibank", "citi.com", Banking, 9, []string{"Sign On", "Your card has been suspended"}},
+	{"Santander", "santander", "santander.com", Banking, 9, []string{"Acceso clientes"}},
+	{"Capital One", "capitalone", "capitalone.com", Banking, 8, []string{"Sign In to Capital One"}},
+	{"Walmart", "walmart", "walmart.com", Ecommerce, 8, []string{"Sign in to your Walmart account"}},
+	{"Costco", "costco", "costco.com", Ecommerce, 8, []string{"Member sign in", "You have a reward waiting"}},
+	{"MetaMask", "metamask", "metamask.io", Crypto, 8, []string{"Restore your wallet", "Enter your secret recovery phrase"}},
+	{"Trust Wallet", "trustwallet", "trustwallet.com", Crypto, 7, []string{"Verify your wallet"}},
+	{"Outlook", "outlook", "outlook.com", Email, 7, []string{"Sign in to Outlook", "Your mailbox is almost full"}},
+	{"Comcast Xfinity", "xfinity", "xfinity.com", Telecom, 7, []string{"Sign in to Xfinity"}},
+	{"Orange", "orange", "orange.fr", Telecom, 7, []string{"Identifiez-vous"}},
+	{"Vodafone", "vodafone", "vodafone.com", Telecom, 6, []string{"Log in to My Vodafone"}},
+	{"Disney+", "disneyplus", "disneyplus.com", Streaming, 6, []string{"Log in to Disney+", "Update payment details"}},
+	{"Hulu", "hulu", "hulu.com", Streaming, 6, []string{"Log in to Hulu"}},
+	{"Roblox", "roblox", "roblox.com", Gaming, 6, []string{"Get free Robux", "Login to claim"}},
+	{"Fortnite", "fortnite", "epicgames.com", Gaming, 6, []string{"Free V-Bucks", "Epic Games login"}},
+	{"Airbnb", "airbnb", "airbnb.com", Travel, 5, []string{"Log in to Airbnb", "Confirm your booking"}},
+	{"Booking.com", "booking", "booking.com", Travel, 5, []string{"Sign in to manage reservation"}},
+	{"American Express", "americanexpress", "americanexpress.com", Banking, 5, []string{"Log In to Amex", "Card verification needed"}},
+	{"Discover", "discover", "discover.com", Banking, 5, []string{"Log In to Discover"}},
+	{"PNC Bank", "pnc", "pnc.com", Banking, 5, []string{"PNC Online Banking"}},
+	{"US Bank", "usbank", "usbank.com", Banking, 5, []string{"Log in to usbank.com"}},
+	{"TD Bank", "tdbank", "td.com", Banking, 4, []string{"EasyWeb Login"}},
+	{"Barclays", "barclays", "barclays.co.uk", Banking, 4, []string{"Log in to Online Banking"}},
+	{"Lloyds", "lloyds", "lloydsbank.com", Banking, 4, []string{"Internet Banking log on"}},
+	{"NatWest", "natwest", "natwest.com", Banking, 4, []string{"Log in to Online Banking"}},
+	{"ING", "ing", "ing.com", Banking, 4, []string{"Inloggen Mijn ING"}},
+	{"BBVA", "bbva", "bbva.com", Banking, 4, []string{"Acceso a banca online"}},
+	{"Itau", "itau", "itau.com.br", Banking, 4, []string{"Acesse sua conta Itaú"}},
+	{"Bradesco", "bradesco", "bradesco.com.br", Banking, 4, []string{"Acesso à conta"}},
+	{"Caixa", "caixa", "caixa.gov.br", Banking, 4, []string{"Internet Banking Caixa"}},
+	{"Zelle", "zelle", "zellepay.com", Payment, 4, []string{"Payment pending confirmation"}},
+	{"Venmo", "venmo", "venmo.com", Payment, 4, []string{"Sign in to Venmo"}},
+	{"Cash App", "cashapp", "cash.app", Payment, 4, []string{"Verify your Cash App account"}},
+	{"Western Union", "westernunion", "westernunion.com", Payment, 3, []string{"Track your transfer"}},
+	{"MoneyGram", "moneygram", "moneygram.com", Payment, 3, []string{"Receive your funds"}},
+	{"Stripe", "stripe", "stripe.com", Payment, 3, []string{"Sign in to Stripe dashboard"}},
+	{"Skrill", "skrill", "skrill.com", Payment, 3, []string{"Log in to your wallet"}},
+	{"Mercado Libre", "mercadolibre", "mercadolibre.com", Ecommerce, 3, []string{"Ingresa tu contraseña"}},
+	{"Shopee", "shopee", "shopee.com", Ecommerce, 3, []string{"Log in to Shopee"}},
+	{"AliExpress", "aliexpress", "aliexpress.com", Ecommerce, 3, []string{"Sign in with your account"}},
+	{"Rakuten", "rakuten", "rakuten.co.jp", Ecommerce, 3, []string{"ログイン"}},
+	{"Etsy", "etsy", "etsy.com", Ecommerce, 3, []string{"Sign in to Etsy"}},
+	{"Target", "target", "target.com", Ecommerce, 3, []string{"Sign into your Target account"}},
+	{"Home Depot", "homedepot", "homedepot.com", Ecommerce, 3, []string{"Sign In", "You've earned a reward"}},
+	{"UPS", "ups", "ups.com", Courier, 3, []string{"Delivery attempt failed", "Pay outstanding fee"}},
+	{"Royal Mail", "royalmail", "royalmail.com", Courier, 3, []string{"Your parcel is waiting", "Pay the shipping fee"}},
+	{"Canada Post", "canadapost", "canadapost.ca", Courier, 3, []string{"Delivery notice"}},
+	{"La Poste", "laposte", "laposte.fr", Courier, 3, []string{"Suivre mon colis"}},
+	{"Correos", "correos", "correos.es", Courier, 3, []string{"Su paquete está en camino"}},
+	{"Hermes", "hermes", "myhermes.co.uk", Courier, 2, []string{"Reschedule your delivery"}},
+	{"Kraken", "kraken", "kraken.com", Crypto, 2, []string{"Sign in to Kraken"}},
+	{"Crypto.com", "cryptocom", "crypto.com", Crypto, 2, []string{"Verify your account"}},
+	{"Blockchain.com", "blockchain", "blockchain.com", Crypto, 2, []string{"Log in to your wallet"}},
+	{"OpenSea", "opensea", "opensea.io", Crypto, 2, []string{"Claim your NFT drop"}},
+	{"Uniswap", "uniswap", "uniswap.org", Crypto, 2, []string{"Connect wallet"}},
+	{"Gmail", "gmail", "gmail.com", Email, 2, []string{"Sign in to Gmail", "Storage quota exceeded"}},
+	{"AOL", "aol", "aol.com", Email, 2, []string{"Login - AOL Mail"}},
+	{"Zoho", "zoho", "zoho.com", Email, 2, []string{"Sign in to Zoho Mail"}},
+	{"ProtonMail", "protonmail", "proton.me", Email, 2, []string{"Sign in to Proton"}},
+	{"GoDaddy", "godaddy", "godaddy.com", Tech, 2, []string{"Sign in to GoDaddy", "Your domain is expiring"}},
+	{"Namecheap", "namecheap", "namecheap.com", Tech, 2, []string{"Renew your domain now"}},
+	{"cPanel", "cpanel", "cpanel.net", Tech, 2, []string{"cPanel Login", "Webmail access"}},
+	{"Zoom", "zoom", "zoom.us", Tech, 2, []string{"Sign in to Zoom", "You missed a meeting"}},
+	{"Slack", "slack", "slack.com", Tech, 2, []string{"Sign in to your workspace"}},
+	{"GitHub", "github", "github.com", Tech, 2, []string{"Sign in to GitHub", "Security alert on your repository"}},
+	{"Telegram", "telegram", "telegram.org", Social, 2, []string{"Log in to Telegram", "Premium gift waiting"}},
+	{"Snapchat", "snapchat", "snapchat.com", Social, 2, []string{"Log in to Snapchat"}},
+	{"TikTok", "tiktok", "tiktok.com", Social, 2, []string{"Log in to TikTok", "Creator fund payment"}},
+	{"Pinterest", "pinterest", "pinterest.com", Social, 2, []string{"Log in to Pinterest"}},
+	{"Reddit", "reddit", "reddit.com", Social, 2, []string{"Log in to Reddit"}},
+	{"Discord", "discord", "discord.com", Social, 2, []string{"Claim free Nitro", "Login to Discord"}},
+	{"IRS", "irs", "irs.gov", Banking, 2, []string{"Your tax refund is ready", "Verify your identity"}},
+	{"HMRC", "hmrc", "gov.uk", Banking, 2, []string{"You have a tax rebate pending"}},
+	{"SSA", "ssa", "ssa.gov", Banking, 1, []string{"Your benefits require verification"}},
+	{"Delta", "delta", "delta.com", Travel, 1, []string{"Claim your free flight voucher"}},
+	{"Emirates", "emirates", "emirates.com", Travel, 1, []string{"Your booking needs attention"}},
+	{"Marriott", "marriott", "marriott.com", Travel, 1, []string{"Bonvoy points expiring"}},
+	{"PlayStation", "playstation", "playstation.com", Gaming, 1, []string{"Sign in to PSN", "Free PSN card"}},
+	{"Xbox", "xbox", "xbox.com", Gaming, 1, []string{"Xbox Live Gold giveaway"}},
+	{"Nintendo", "nintendo", "nintendo.com", Gaming, 1, []string{"Sign in to your Nintendo Account"}},
+	{"Twitch", "twitch", "twitch.tv", Gaming, 1, []string{"Log in to Twitch", "Your channel was selected"}},
+	{"Uber", "uber", "uber.com", Travel, 1, []string{"Your account needs verification"}},
+	{"Lyft", "lyft", "lyft.com", Travel, 1, []string{"Sign in to Lyft"}},
+	{"Shopify", "shopify", "shopify.com", Ecommerce, 1, []string{"Log in to your store"}},
+	{"Intuit", "intuit", "intuit.com", Tech, 1, []string{"Sign in to QuickBooks", "Your invoice is ready"}},
+	{"ADP", "adp", "adp.com", Tech, 1, []string{"Payroll notification: sign in"}},
+}
+
+// All returns every brand, ordered by descending weight then name. The
+// returned slice is shared; callers must not modify it.
+func All() []Brand { return sortedDB }
+
+// Keys returns the lower-case brand keys, in the same order as All. The
+// returned slice is shared; callers must not modify it.
+func Keys() []string { return sortedKeys }
+
+// Weights returns the targeting weights aligned with All. The returned
+// slice is shared; callers must not modify it.
+func Weights() []float64 { return sortedWeights }
+
+// ByKey looks a brand up by its lower-case key.
+func ByKey(key string) (Brand, bool) {
+	b, ok := byKey[strings.ToLower(key)]
+	return b, ok
+}
+
+// Count reports the number of brands in the database.
+func Count() int { return len(db) }
+
+var (
+	sortedDB      []Brand
+	sortedKeys    []string
+	sortedWeights []float64
+	byKey         map[string]Brand
+)
+
+func init() { rebuild() }
+
+// rebuild regenerates the sorted views and index after db mutations (the
+// extended brand file appends in its own init).
+func rebuild() {
+	sortedKeys = nil
+	sortedWeights = nil
+	sortedDB = make([]Brand, len(db))
+	copy(sortedDB, db)
+	sort.SliceStable(sortedDB, func(i, j int) bool {
+		if sortedDB[i].Weight != sortedDB[j].Weight {
+			return sortedDB[i].Weight > sortedDB[j].Weight
+		}
+		return sortedDB[i].Name < sortedDB[j].Name
+	})
+	byKey = make(map[string]Brand, len(sortedDB))
+	for _, b := range sortedDB {
+		sortedKeys = append(sortedKeys, b.Key)
+		sortedWeights = append(sortedWeights, b.Weight)
+		byKey[b.Key] = b
+	}
+}

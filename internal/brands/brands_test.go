@@ -1,0 +1,91 @@
+package brands
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllOrderedByWeight(t *testing.T) {
+	all := All()
+	if len(all) < 200 {
+		t.Fatalf("brand DB has %d entries, want >= 200 (OpenPhish list: 409; observed: 109)", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Weight > all[i-1].Weight {
+			t.Fatalf("weights not descending at %d: %v after %v", i, all[i], all[i-1])
+		}
+	}
+	if all[0].Name != "Facebook" {
+		t.Errorf("top brand = %q, want Facebook (Figure 5)", all[0].Name)
+	}
+}
+
+func TestKeysAreLowerAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Keys() {
+		if k != strings.ToLower(k) {
+			t.Errorf("key %q not lower-case", k)
+		}
+		if seen[k] {
+			t.Errorf("duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestByKey(t *testing.T) {
+	b, ok := ByKey("paypal")
+	if !ok || b.Name != "PayPal" || b.Category != Payment {
+		t.Fatalf("ByKey(paypal) = %+v, %v", b, ok)
+	}
+	b, ok = ByKey("PAYPAL")
+	if !ok {
+		t.Fatal("ByKey should be case-insensitive")
+	}
+	if _, ok := ByKey("nonexistent-brand"); ok {
+		t.Fatal("ByKey returned a hit for an unknown key")
+	}
+}
+
+func TestEveryBrandComplete(t *testing.T) {
+	for _, b := range All() {
+		if b.Name == "" || b.Key == "" || b.Domain == "" || b.Category == "" {
+			t.Errorf("incomplete brand: %+v", b)
+		}
+		if b.Weight <= 0 {
+			t.Errorf("brand %q has non-positive weight", b.Name)
+		}
+		if len(b.LoginVocab) == 0 {
+			t.Errorf("brand %q has no login vocabulary", b.Name)
+		}
+	}
+}
+
+func TestWeightsAlignWithAll(t *testing.T) {
+	all, w := All(), Weights()
+	if len(all) != len(w) {
+		t.Fatalf("len mismatch: %d vs %d", len(all), len(w))
+	}
+	for i := range all {
+		if all[i].Weight != w[i] {
+			t.Fatalf("weight %d misaligned", i)
+		}
+	}
+}
+
+func TestSkewCoversFigure5(t *testing.T) {
+	// Figure 5's histogram: the top handful of brands dominate. With the
+	// full 200+ brand detection list carrying a long tail of unit weights,
+	// the top 10 still hold ~45% of generation mass.
+	w := Weights()
+	var top, total float64
+	for i, x := range w {
+		total += x
+		if i < 10 {
+			top += x
+		}
+	}
+	if top/total < 0.44 {
+		t.Fatalf("top-10 mass = %.2f of total, want > 0.44", top/total)
+	}
+}

@@ -1,0 +1,456 @@
+// Package core wires the FreePhish framework together (Figure 4): the
+// streaming module polls the simulated Twitter/Facebook APIs every 10
+// minutes, the pre-processing module snapshots each shared website over
+// HTTP and extracts its features, the classification module runs the
+// augmented stacking model, the reporting module discloses confirmed
+// attacks to the hosting FWB, and the analysis module longitudinally
+// records how every anti-phishing entity responds. It also contains the
+// six-month measurement-study driver behind Tables 3–4 and Figures 5–9 and
+// the 2020–2022 historical study behind Figure 1.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"freephish/internal/analysis"
+	"freephish/internal/baselines"
+	"freephish/internal/blocklist"
+	"freephish/internal/crawler"
+	"freephish/internal/ctlog"
+	"freephish/internal/features"
+	"freephish/internal/fwb"
+	"freephish/internal/report"
+	"freephish/internal/simclock"
+	"freephish/internal/social"
+	"freephish/internal/threat"
+	"freephish/internal/vtsim"
+	"freephish/internal/webgen"
+	"freephish/internal/whois"
+)
+
+// Config parameterizes a measurement study. The defaults reproduce the
+// paper's six-month run; Scale shrinks every population proportionally for
+// fast experimentation.
+type Config struct {
+	Seed  int64
+	Epoch time.Time
+	// Duration of the measurement window (paper: six months).
+	Duration time.Duration
+	// Population sizes at Scale 1.0 (paper: 19,724 + 11,681 FWB URLs and a
+	// matched self-hosted sample with the same platform split).
+	FWBTwitter   int
+	FWBFacebook  int
+	SelfTwitter  int
+	SelfFacebook int
+	// BenignPerPhish is the ratio of benign FWB posts mixed into the
+	// stream — the noise the classifier must reject in the wild.
+	BenignPerPhish float64
+	// Scale in (0, 1] multiplies every population.
+	Scale float64
+	// PollInterval is the streaming module's cadence (paper: 10 minutes).
+	PollInterval time.Duration
+	// TrainPerClass is the ground-truth corpus size per class (paper:
+	// 4,656 manually verified per class).
+	TrainPerClass int
+	// GrowthExponent >1 makes the posting rate rise over the window,
+	// matching the upward trend of Figure 1.
+	GrowthExponent float64
+	// MonitorInterval, when non-zero, enables the §4.4 active monitor:
+	// every flagged URL is re-probed over HTTP and checked against the
+	// blocklist lookup APIs at this cadence for a week. The paper uses 10
+	// minutes; 6h keeps full-scale runs tractable.
+	MonitorInterval time.Duration
+	// ReshareRate is the expected number of additional posts re-sharing
+	// each phishing URL (retweets/cross-posts). The analysis keys on a
+	// URL's FIRST appearance, so reshares exercise the dedup path without
+	// inflating the record set.
+	ReshareRate float64
+}
+
+// DefaultConfig returns the paper-faithful configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		Epoch:          time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC),
+		Duration:       182 * 24 * time.Hour,
+		FWBTwitter:     19724,
+		FWBFacebook:    11681,
+		SelfTwitter:    19724,
+		SelfFacebook:   11681,
+		BenignPerPhish: 0.5,
+		Scale:          1.0,
+		PollInterval:   10 * time.Minute,
+		TrainPerClass:  4656,
+		GrowthExponent: 1.6,
+		ReshareRate:    0.4,
+	}
+}
+
+// scaled applies Scale to a population.
+func (c Config) scaled(n int) int {
+	v := int(float64(n) * c.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Stats are the framework's operational counters.
+type Stats struct {
+	Polls          int
+	PostsSeen      int
+	URLsScanned    int
+	FlaggedFWB     int
+	FlaggedSelf    int
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	ReportsSent    int
+}
+
+// FreePhish is the assembled framework plus its simulated world.
+type FreePhish struct {
+	Config Config
+	Clock  *simclock.Clock
+	Whois  *whois.DB
+	CT     *ctlog.Log
+	Host   *fwb.Host
+	Gen    *webgen.Generator
+
+	Networks   map[threat.Platform]*social.Network
+	Model      *baselines.StackDetector // augmented FreePhish classifier
+	BaseModel  *baselines.StackDetector // base StackModel (self-hosted cohort)
+	Entities   []*blocklist.Entity
+	Scanner    *vtsim.Scanner
+	Moderation map[threat.Platform]*social.Moderation
+	Reporter   *report.Reporter
+	Study      *analysis.Study
+	Stats      Stats
+	// Feeds are the blocklists' queryable lookup APIs, populated as
+	// entities detect URLs during the run.
+	Feeds map[string]*blocklist.Feed
+	// Observations holds the active monitor's per-URL findings, keyed by
+	// URL (populated only when Config.MonitorInterval > 0).
+	Observations map[string]*Observation
+	// seenURLs dedups the stream: a URL enters the study at its first
+	// appearance only, no matter how many posts re-share it.
+	seenURLs map[string]bool
+
+	fetcher     *crawler.Fetcher
+	poller      *crawler.Poller
+	servers     []*webServer
+	feedClients map[string]*blocklist.Client
+
+	assessRNG *simclock.RNG
+	worldRNG  *simclock.RNG
+}
+
+// New assembles the framework and its world. Call Train before Run, or let
+// Run train lazily.
+func New(cfg Config) *FreePhish {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 10 * time.Minute
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.GrowthExponent <= 0 {
+		cfg.GrowthExponent = 1.6
+	}
+	clock := simclock.New(cfg.Epoch)
+	f := &FreePhish{
+		Config:     cfg,
+		Clock:      clock,
+		Whois:      &whois.DB{},
+		CT:         &ctlog.Log{},
+		Study:      &analysis.Study{},
+		Entities:   blocklist.Standard(),
+		Scanner:    vtsim.NewScanner(),
+		Moderation: social.StandardModeration(),
+		Reporter:   report.NewReporter(cfg.Seed),
+		assessRNG:  simclock.NewRNG(cfg.Seed, "core.assess"),
+		worldRNG:   simclock.NewRNG(cfg.Seed, "core.world"),
+	}
+	f.Observations = make(map[string]*Observation)
+	f.seenURLs = make(map[string]bool)
+	f.Feeds = make(map[string]*blocklist.Feed, len(f.Entities))
+	for _, e := range f.Entities {
+		f.Feeds[e.Name] = blocklist.NewFeed(e.Name, clock.Now)
+	}
+	f.Host = fwb.NewHost(clock.Now)
+	f.Gen = webgen.NewGenerator(cfg.Seed, f.Whois, f.CT)
+	f.Gen.RegisterInfrastructure(cfg.Epoch)
+	// Host the second-stage pages behind two-step/iframe attacks so the
+	// full Figure 11 chain is crawlable (name collisions are impossible —
+	// slugs carry a generation sequence number).
+	f.Gen.OnSecondary = func(site *fwb.Site) { _ = f.Host.Publish(site) }
+	f.Networks = map[threat.Platform]*social.Network{
+		threat.Twitter:  social.NewNetwork(threat.Twitter, clock.Now),
+		threat.Facebook: social.NewNetwork(threat.Facebook, clock.Now),
+	}
+	return f
+}
+
+// Train builds the ground-truth corpus (§4.2) and fits both the augmented
+// FreePhish model and the base StackModel used to select the self-hosted
+// comparison cohort.
+func (f *FreePhish) Train() error {
+	n := f.Config.scaled(f.Config.TrainPerClass)
+	if n < 40 {
+		n = 40
+	}
+	var fwbSamples, selfSamples []baselines.LabeledPage
+	for i := 0; i < n; i++ {
+		p := f.Gen.PhishingFWBSite(f.Gen.PickService(), f.Config.Epoch)
+		fwbSamples = append(fwbSamples, baselines.LabeledPage{
+			Page: features.Page{URL: p.URL, HTML: p.HTML}, Label: 1,
+		})
+		b := f.Gen.BenignFWBSite(f.Gen.PickServiceUniform(), f.Config.Epoch)
+		benign := baselines.LabeledPage{Page: features.Page{URL: b.URL, HTML: b.HTML}}
+		fwbSamples = append(fwbSamples, benign)
+
+		s, _ := f.Gen.SelfHostedAttack(f.Config.Epoch)
+		selfSamples = append(selfSamples, baselines.LabeledPage{
+			Page: features.Page{URL: s.URL, HTML: s.HTML}, Label: 1,
+		}, benign)
+		// Every other benign self-hosted sample keeps the base model from
+		// equating own-domain hosting with phishing.
+		if i%2 == 0 {
+			bs := f.Gen.BenignSelfHosted(f.Config.Epoch)
+			selfSamples = append(selfSamples, baselines.LabeledPage{
+				Page: features.Page{URL: bs.URL, HTML: bs.HTML},
+			})
+		}
+	}
+	f.Model = baselines.NewFreePhishModel(f.Config.Seed)
+	if err := f.Model.Train(fwbSamples); err != nil {
+		return fmt.Errorf("core: train FreePhish model: %w", err)
+	}
+	f.BaseModel = baselines.NewBaseStackModel(f.Config.Seed)
+	if err := f.BaseModel.Train(selfSamples); err != nil {
+		return fmt.Errorf("core: train base model: %w", err)
+	}
+	return nil
+}
+
+// Run executes the measurement study and returns the analysis record set.
+func (f *FreePhish) Run() (*analysis.Study, error) {
+	if f.Model == nil || f.BaseModel == nil {
+		if err := f.Train(); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.startServers(); err != nil {
+		return nil, err
+	}
+	defer f.stopServers()
+
+	f.schedulePosts()
+	var pollErr error
+	stop := f.Clock.Every(f.Config.PollInterval, f.Config.Epoch.Add(f.Config.Duration), "freephish.poll", func(now time.Time) {
+		if pollErr != nil {
+			return
+		}
+		if err := f.pollOnce(now); err != nil {
+			pollErr = err
+		}
+	})
+	defer stop()
+
+	// Run the window plus one week of trailing observation.
+	f.Clock.RunUntil(f.Config.Epoch.Add(f.Config.Duration + 7*24*time.Hour))
+	if pollErr != nil {
+		return nil, pollErr
+	}
+	return f.Study, nil
+}
+
+// schedulePosts lays out every attacker and benign posting event across the
+// window, with the posting rate rising as t^GrowthExponent.
+func (f *FreePhish) schedulePosts() {
+	type spec struct {
+		platform threat.Platform
+		kind     string // "fwb", "self", "benign"
+		count    int
+	}
+	specs := []spec{
+		{threat.Twitter, "fwb", f.Config.scaled(f.Config.FWBTwitter)},
+		{threat.Facebook, "fwb", f.Config.scaled(f.Config.FWBFacebook)},
+		{threat.Twitter, "self", f.Config.scaled(f.Config.SelfTwitter)},
+		{threat.Facebook, "self", f.Config.scaled(f.Config.SelfFacebook)},
+		{threat.Twitter, "benign", f.Config.scaled(int(float64(f.Config.FWBTwitter) * f.Config.BenignPerPhish))},
+		{threat.Facebook, "benign", f.Config.scaled(int(float64(f.Config.FWBFacebook) * f.Config.BenignPerPhish))},
+	}
+	for _, sp := range specs {
+		sp := sp
+		for i := 0; i < sp.count; i++ {
+			// Inverse-CDF of a rising rate: density ∝ t^(g-1).
+			u := (float64(i) + f.worldRNG.Float64()) / float64(sp.count)
+			frac := math.Pow(u, 1/f.Config.GrowthExponent)
+			at := f.Config.Epoch.Add(time.Duration(frac * float64(f.Config.Duration)))
+			f.Clock.Schedule(at, "post."+sp.kind, func(now time.Time) {
+				f.createAndPost(sp.platform, sp.kind, now)
+			})
+		}
+	}
+}
+
+// createAndPost generates a site, publishes it, and shares it.
+func (f *FreePhish) createAndPost(platform threat.Platform, kind string, now time.Time) {
+	var site *fwb.Site
+	var text string
+	switch kind {
+	case "fwb":
+		site = f.Gen.PhishingFWBSite(f.Gen.PickService(), now)
+		text = f.Gen.LureText(site.URL)
+	case "self":
+		site, _ = f.Gen.SelfHostedAttack(now)
+		text = f.Gen.LureText(site.URL)
+	default:
+		// Benign background noise: mostly FWB sites, with a slice of
+		// ordinary self-hosted small-business sites so "own domain" is not
+		// a phishing oracle for the base model.
+		if f.worldRNG.Bool(0.3) {
+			site = f.Gen.BenignSelfHosted(now)
+		} else {
+			site = f.Gen.BenignFWBSite(f.Gen.PickServiceUniform(), now)
+		}
+		text = f.Gen.BenignPostText(site.URL)
+	}
+	if err := f.Host.Publish(site); err != nil {
+		// Name collision: drop the event (vanishingly rare).
+		return
+	}
+	f.Networks[platform].Publish(text, now)
+	// Reshares: additional posts spread the same URL over the following
+	// hours. Only malicious URLs get amplified (lure campaigns repost).
+	if kind != "benign" && f.Config.ReshareRate > 0 {
+		n := f.worldRNG.Poisson(f.Config.ReshareRate)
+		for i := 0; i < n; i++ {
+			delay := time.Duration(f.worldRNG.ExpFloat64() * float64(6*time.Hour))
+			f.Clock.Schedule(now.Add(delay), "post.reshare", func(at time.Time) {
+				f.Networks[platform].Publish(f.Gen.LureText(site.URL), at)
+			})
+		}
+	}
+}
+
+// pollOnce is one streaming-module cycle: poll both platforms, snapshot and
+// classify every new URL, and register flagged URLs for longitudinal
+// observation.
+func (f *FreePhish) pollOnce(now time.Time) error {
+	f.Stats.Polls++
+	urls, err := f.poller.Poll(now)
+	if err != nil {
+		return err
+	}
+	for _, su := range urls {
+		f.Stats.PostsSeen++
+		if err := f.processURL(su, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *FreePhish) processURL(su crawler.StreamedURL, now time.Time) error {
+	// First appearance wins: reshared URLs are already in the study (or
+	// already rejected) and are not re-fetched.
+	if f.seenURLs[su.URL] {
+		return nil
+	}
+	f.seenURLs[su.URL] = true
+	page, status, err := f.fetcher.Snapshot(su.URL)
+	if err != nil {
+		return fmt.Errorf("core: snapshot %q: %w", su.URL, err)
+	}
+	if status != 200 {
+		return nil // already gone by the time we crawled it
+	}
+	f.Stats.URLsScanned++
+
+	site := f.Host.Lookup(su.URL)
+	if site == nil {
+		return nil
+	}
+	isFWB := site.Service != nil
+
+	var score float64
+	if isFWB {
+		score, err = f.Model.Score(page)
+	} else {
+		score, err = f.BaseModel.Score(page)
+	}
+	if err != nil {
+		return err
+	}
+	flagged := score >= 0.5
+	truth := site.Kind.IsMalicious()
+	switch {
+	case flagged && truth:
+		f.Stats.TruePositives++
+	case flagged && !truth:
+		f.Stats.FalsePositives++
+	case !flagged && truth:
+		f.Stats.FalseNegatives++
+	}
+	// Free the page body: nothing re-fetches a processed site, and the
+	// full-scale study would otherwise hold ~100k page bodies in memory.
+	site.HTML = ""
+	if !flagged {
+		return nil
+	}
+	if isFWB {
+		f.Stats.FlaggedFWB++
+	} else {
+		f.Stats.FlaggedSelf++
+	}
+
+	target := threat.DeriveFromPage(site, page.HTML, su.At, su.Platform, su.PostID, f.Whois, f.CT, f.assessRNG)
+	rec := &analysis.Record{
+		Target:          target,
+		ClassifierScore: score,
+		Classified:      true,
+		ClassifiedAt:    now,
+		Blocklist:       make(map[string]blocklist.Verdict, len(f.Entities)),
+		Signature:       analysis.PageSignature(page.HTML),
+	}
+	for _, e := range f.Entities {
+		v := e.Assess(target, f.assessRNG)
+		rec.Blocklist[e.Name] = v
+		if v.Detected {
+			f.Feeds[e.Name].List(target.URL, v.At)
+		}
+	}
+	rec.VTDetections = f.Scanner.Assess(target, f.assessRNG)
+	if removed, at := f.Moderation[su.Platform].Assess(target, f.assessRNG); removed {
+		rec.PlatformRemoved = true
+		rec.PlatformRemovedAt = at
+		if post := f.Networks[su.Platform].Lookup(su.PostID); post != nil {
+			post.Remove(at)
+		}
+	}
+	// Reporting module (§4.3): disclose FWB attacks to the service; the
+	// hosting provider handles self-hosted ones. Blocklists are never
+	// reported to — that would contaminate the measurement.
+	var outcome report.Outcome
+	if isFWB {
+		outcome = f.Reporter.ReportToFWB(target, now)
+		f.Stats.ReportsSent++
+	} else {
+		outcome = f.Reporter.SelfHostedTakedown(target)
+	}
+	rec.Report = outcome
+	if outcome.Removed {
+		rec.HostRemoved = true
+		rec.HostRemovedAt = outcome.RemovedAt
+		site.TakeDown(outcome.RemovedAt, "host")
+	}
+	f.Study.Add(rec)
+	if f.Config.MonitorInterval > 0 {
+		f.scheduleMonitor(rec)
+	}
+	return nil
+}

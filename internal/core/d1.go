@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"freephish/internal/fwb"
+	"freephish/internal/simclock"
+	"freephish/internal/threat"
+	"freephish/internal/vtsim"
+	"freephish/internal/webgen"
+)
+
+// The Section 2 D1 pipeline: the paper compiled 4.5M URLs with distinct
+// second-level domains shared over 2020–2022, scanned them with
+// VirusTotal, labeled URLs with ≥2 detections as phishing (34.7K), and
+// kept the 25.2K hosted on the 17 FWB services — excluding Dynamic-DNS
+// URLs (DuckDNS, Netlify, …), which are outside the study's scope.
+
+// VTLabelThreshold is the ≥2-detections rule from prior literature the
+// paper adopts for URL labeling.
+const VTLabelThreshold = 2
+
+// dynDNSProviders are the subdomain providers Section 2 explicitly
+// excludes from D1.
+var dynDNSProviders = []string{
+	"duckdns.org", "netlify.app", "ngrok.io", "no-ip.org", "dynv6.net",
+	"hopto.org", "ddns.net", "repl.co",
+}
+
+// D1Stats summarizes a D1 construction run.
+type D1Stats struct {
+	CandidateURLs   int            // URLs with second-level domains scanned
+	LabeledPhishing int            // ≥2 VT detections
+	FWBPhishing     int            // the D1 dataset
+	DynDNSExcluded  int            // labeled phishing on Dynamic-DNS providers
+	BenignOrBelow   int            // below the detection threshold
+	PerService      map[string]int // D1 composition by FWB service
+	TwitterShare    float64        // platform mix of D1
+}
+
+// BuildD1 runs the Section 2 pipeline at the given scale (1.0 ≈ 34.7K
+// labeled URLs; the candidate stream is sampled, not the paper's full
+// 4.5M, since sub-threshold URLs carry no further information). The
+// candidate mix is FWB phishing, Dynamic-DNS phishing, and benign FWB
+// sites; each is scanned by the 76-engine fleet as of its collection age
+// and labeled by the ≥2-detections rule.
+func BuildD1(seed int64, scale float64) D1Stats {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := simclock.NewRNG(seed, "core.d1")
+	g := webgen.NewGenerator(seed, nil, nil)
+	scanner := vtsim.NewScanner()
+	epoch := time.Date(2022, 8, 31, 0, 0, 0, 0, time.UTC) // collection end
+
+	stats := D1Stats{PerService: map[string]int{}}
+	nFWB := int(25200 * scale)
+	nDyn := int(9500 * scale)
+	nBenign := int(30000 * scale)
+
+	// FWB phishing candidates: generated with the Table 4 service mix and
+	// platform split, created up to two years before collection end so
+	// engines have had time to accumulate verdicts.
+	for i := 0; i < nFWB; i++ {
+		created := epoch.AddDate(0, 0, -rng.Intn(720)-7)
+		site := g.PhishingFWBSite(g.PickService(), created)
+		tgt := threat.Derive(site, created, platformDraw(rng), fmt.Sprintf("d1-%d", i), nil, nil, rng)
+		stats.CandidateURLs++
+		if detectionsAt(scanner, tgt, epoch, rng) >= VTLabelThreshold {
+			stats.LabeledPhishing++
+			stats.FWBPhishing++
+			stats.PerService[site.Service.Key]++
+			if tgt.Platform == threat.Twitter {
+				stats.TwitterShare++
+			}
+		} else {
+			stats.BenignOrBelow++
+		}
+	}
+	// Dynamic-DNS phishing: same attack content, hosted under an excluded
+	// provider. They label as phishing but are filtered out of D1.
+	for i := 0; i < nDyn; i++ {
+		created := epoch.AddDate(0, 0, -rng.Intn(720)-7)
+		site := g.SelfHostedPhishing(created)
+		provider := dynDNSProviders[rng.Intn(len(dynDNSProviders))]
+		site.URL = "https://" + randLabel(rng) + "." + provider + "/login"
+		tgt := threat.Derive(site, created, platformDraw(rng), fmt.Sprintf("dyn-%d", i), nil, nil, rng)
+		stats.CandidateURLs++
+		if detectionsAt(scanner, tgt, epoch, rng) >= VTLabelThreshold {
+			stats.LabeledPhishing++
+			stats.DynDNSExcluded++
+		} else {
+			stats.BenignOrBelow++
+		}
+	}
+	// Benign FWB candidates: legitimate sites shared on social media; a
+	// small false-positive tail crosses the threshold, as with any
+	// detection aggregate.
+	for i := 0; i < nBenign; i++ {
+		created := epoch.AddDate(0, 0, -rng.Intn(720)-7)
+		site := g.BenignFWBSite(g.PickServiceUniform(), created)
+		stats.CandidateURLs++
+		// Benign pages draw engine false positives at a per-engine rate of
+		// ~0.1%; two independent hits are rare.
+		fp := 0
+		for e := 0; e < scanner.NumEngines(); e++ {
+			if rng.Bool(0.001) {
+				fp++
+			}
+		}
+		if fp >= VTLabelThreshold {
+			stats.LabeledPhishing++
+			u := site.URL
+			if svc := identifyFromURL(u); svc != nil {
+				stats.FWBPhishing++
+				stats.PerService[svc.Key]++
+			}
+		} else {
+			stats.BenignOrBelow++
+		}
+	}
+	if stats.FWBPhishing > 0 {
+		stats.TwitterShare /= float64(stats.FWBPhishing)
+	}
+	return stats
+}
+
+// detectionsAt counts engine verdicts accumulated by the collection date.
+func detectionsAt(s *vtsim.Scanner, t *threat.Target, asOf time.Time, rng *simclock.RNG) int {
+	return vtsim.CountBy(s.Assess(t, rng), asOf)
+}
+
+func platformDraw(rng *simclock.RNG) threat.Platform {
+	// Section 2: 3.1M Twitter vs 1.4M Facebook candidates; D1 split 16.3K
+	// vs 8.9K ≈ 65/35.
+	if rng.Bool(0.647) {
+		return threat.Twitter
+	}
+	return threat.Facebook
+}
+
+func randLabel(rng *simclock.RNG) string {
+	const alnum = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, 8)
+	for i := range b {
+		b[i] = alnum[rng.Intn(len(alnum))]
+	}
+	return string(b)
+}
+
+func identifyFromURL(raw string) *fwb.Service {
+	rest, ok := strings.CutPrefix(raw, "https://")
+	if !ok {
+		rest, _ = strings.CutPrefix(raw, "http://")
+	}
+	host, path, found := strings.Cut(rest, "/")
+	if !found {
+		path = "/"
+	} else {
+		path = "/" + path
+	}
+	return fwb.Identify(host, path)
+}
+
+// RenderD1 renders the Section 2 pipeline summary.
+func RenderD1(s D1Stats) string {
+	var b strings.Builder
+	b.WriteString("Section 2: D1 construction (VirusTotal >=2-detections labeling)\n")
+	fmt.Fprintf(&b, "  candidates scanned:        %d\n", s.CandidateURLs)
+	fmt.Fprintf(&b, "  labeled phishing:          %d\n", s.LabeledPhishing)
+	fmt.Fprintf(&b, "  on FWB services (D1):      %d (paper 25.2K)\n", s.FWBPhishing)
+	fmt.Fprintf(&b, "  Dynamic-DNS excluded:      %d (outside study scope)\n", s.DynDNSExcluded)
+	fmt.Fprintf(&b, "  D1 Twitter share:          %.1f%% (paper ~65%%)\n", 100*s.TwitterShare)
+	return b.String()
+}

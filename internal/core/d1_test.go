@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildD1Composition(t *testing.T) {
+	s := BuildD1(3, 0.05)
+	t.Logf("D1: %+v", s)
+	if s.CandidateURLs < 3000 {
+		t.Fatalf("candidates = %d", s.CandidateURLs)
+	}
+	// D1 keeps FWB phishing and excludes Dynamic-DNS phishing.
+	if s.FWBPhishing == 0 || s.DynDNSExcluded == 0 {
+		t.Fatalf("pipeline degenerate: %+v", s)
+	}
+	// The ≥2-detections rule labels most (old) phishing URLs but only a
+	// tiny fraction of benign ones. The benign pool is 30K×scale; FWB
+	// phishing found must not be inflated by benign FPs by more than ~2%.
+	maxFWBFromBenign := int(0.02 * 30000 * 0.05)
+	if s.FWBPhishing > int(25200*0.05)+maxFWBFromBenign {
+		t.Fatalf("benign false positives inflate D1: %d", s.FWBPhishing)
+	}
+	// Most FWB phishing candidates should cross the threshold (they are
+	// months old — engines have had time).
+	if frac := float64(s.FWBPhishing) / (25200 * 0.05); frac < 0.75 {
+		t.Errorf("only %.2f of FWB phishing crossed the VT threshold", frac)
+	}
+	// Platform mix ≈ 65/35.
+	if s.TwitterShare < 0.55 || s.TwitterShare > 0.75 {
+		t.Errorf("twitter share = %.2f, want ≈0.65", s.TwitterShare)
+	}
+	// Per-service mix follows Table 4: Weebly leads.
+	if s.PerService["weebly"] <= s.PerService["hpage"] {
+		t.Errorf("service mix wrong: %v", s.PerService)
+	}
+	out := RenderD1(s)
+	if !strings.Contains(out, "Dynamic-DNS excluded") {
+		t.Fatalf("render output missing exclusion row:\n%s", out)
+	}
+}
+
+func TestBuildD1Deterministic(t *testing.T) {
+	a := BuildD1(9, 0.02)
+	b := BuildD1(9, 0.02)
+	if a.FWBPhishing != b.FWBPhishing || a.LabeledPhishing != b.LabeledPhishing {
+		t.Fatal("D1 pipeline not deterministic")
+	}
+}
+
+func TestCoderStudyMatchesPaperProtocol(t *testing.T) {
+	s := RunCoderStudy(7, 5000)
+	t.Logf("coders: kappa=%.3f confirmed=%d causes=%v", s.Kappa, s.Confirmed, s.DisagreementCause)
+	if s.Kappa < 0.70 || s.Kappa > 0.88 {
+		t.Errorf("kappa = %.3f, want ≈0.78", s.Kappa)
+	}
+	frac := float64(s.Confirmed) / float64(s.SampleSize)
+	if frac < 0.90 || frac > 0.96 {
+		t.Errorf("confirmed fraction = %.3f, want ≈0.931 (4,656/5,000)", frac)
+	}
+	// All four documented disagreement causes must occur.
+	for _, cause := range []string{causeBrand, causeEvasive, causeTextFields, causeLanguage} {
+		if s.DisagreementCause[cause] == 0 {
+			t.Errorf("cause %q never occurred", cause)
+		}
+	}
+	if s.InitialAgreement >= s.SampleSize {
+		t.Error("coders agreed on everything — no disagreement to resolve")
+	}
+	out := RenderCoderStudy(s)
+	if !strings.Contains(out, "kappa") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+func TestCoderStudySmallSample(t *testing.T) {
+	s := RunCoderStudy(3, 50)
+	if s.SampleSize != 50 || s.Confirmed > 50 {
+		t.Fatalf("study = %+v", s)
+	}
+}

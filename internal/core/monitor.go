@@ -1,0 +1,84 @@
+package core
+
+import (
+	"net/http"
+	"time"
+
+	"freephish/internal/analysis"
+	"freephish/internal/blocklist"
+)
+
+// The active monitor reproduces §4.4's measurement mechanics: each flagged
+// URL is re-checked at a fixed interval — a live HTTP probe of the site
+// (404/410 ⇒ taken down) and lookups against every blocklist's HTTP API —
+// until the one-week observation horizon. The paper polls every 10
+// minutes; the monitor interval is configurable because a full-scale run
+// at 10 minutes means ~63M probes. Observed transition times land within
+// one interval of the scheduled event times, which the end-to-end tests
+// assert — closing the loop between the closed-form assessments and what
+// an external measurement would actually see.
+
+// MonitorHorizon is how long each URL stays under observation.
+const MonitorHorizon = 7 * 24 * time.Hour
+
+// Observation is what the active monitor saw for one URL.
+type Observation struct {
+	// HostDownAt is when a probe first returned a non-200 status.
+	HostDownAt time.Time
+	// Listings maps entity name to when a feed lookup first matched.
+	Listings map[string]time.Time
+	// Probes counts monitor cycles executed.
+	Probes int
+}
+
+// scheduleMonitor registers rec for periodic re-checking. Feed clients
+// must be initialized (startServers with monitoring enabled).
+func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
+	obs := &Observation{Listings: make(map[string]time.Time)}
+	f.Observations[rec.Target.URL] = obs
+
+	until := rec.Target.SharedAt.Add(MonitorHorizon)
+	var stop func()
+	stop = f.Clock.Every(f.Config.MonitorInterval, until, "freephish.monitor", func(now time.Time) {
+		obs.Probes++
+		done := true
+		// Probe the site over HTTP.
+		if obs.HostDownAt.IsZero() {
+			_, status, err := f.fetcher.Snapshot(rec.Target.URL)
+			if err == nil && status != http.StatusOK {
+				obs.HostDownAt = now
+			} else {
+				done = false
+			}
+		}
+		// Query each blocklist feed's lookup API.
+		for name, client := range f.feedClients {
+			if _, seen := obs.Listings[name]; seen {
+				continue
+			}
+			listed, err := client.IsListed(rec.Target.URL)
+			if err == nil && listed {
+				obs.Listings[name] = now
+			} else {
+				done = false
+			}
+		}
+		if done && stop != nil {
+			stop() // everything observed: no further probes needed
+		}
+	})
+}
+
+// feedClients is populated by startServers when monitoring is enabled.
+func (f *FreePhish) startFeedServers() error {
+	f.feedClients = make(map[string]*blocklist.Client, len(f.Feeds))
+	for name, feed := range f.Feeds {
+		srv, err := startServer("feed."+name, feed)
+		if err != nil {
+			return err
+		}
+		f.servers = append(f.servers, srv)
+		f.feedClients[name] = blocklist.NewClient(srv.base)
+	}
+	return nil
+}

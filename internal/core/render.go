@@ -1,0 +1,545 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"freephish/internal/analysis"
+	"freephish/internal/baselines"
+	"freephish/internal/brands"
+	"freephish/internal/fwb"
+	"freephish/internal/htmlx"
+	"freephish/internal/simclock"
+	"freephish/internal/textsim"
+	"freephish/internal/threat"
+	"freephish/internal/webgen"
+)
+
+// Renderers turn study results into the paper's tables and figures as
+// aligned text. Figures are rendered as labeled series with ASCII bars so
+// a terminal run of cmd/freephish reproduces the whole evaluation section.
+
+func hhmm(d time.Duration) string {
+	if d <= 0 {
+		return "N/A"
+	}
+	m := int(d.Round(time.Minute) / time.Minute)
+	return fmt.Sprintf("%d:%02d", m/60, m%60)
+}
+
+func bar(frac float64, width int) string {
+	n := int(frac * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// RenderTable1 regenerates Table 1: per-FWB median code similarity between
+// phishing and benign sites, using the Appendix A algorithm over freshly
+// generated site pairs.
+func RenderTable1(seed int64, pairs int) string {
+	g := webgen.NewGenerator(seed, nil, nil)
+	at := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	var b strings.Builder
+	b.WriteString("Table 1: Website code similarity between FWB phishing and benign websites\n")
+	fmt.Fprintf(&b, "%-14s %-18s %-18s\n", "FWB", "Median similarity", "(paper)")
+	paper := map[string]string{
+		"weebly": "79.4%", "000webhost": "68.1%", "blogspot": "63.8%",
+		"googlesites": "72.4%", "wix": "63.7%", "github": "37.4%",
+	}
+	for _, key := range []string{"weebly", "000webhost", "blogspot", "googlesites", "wix", "github"} {
+		svc, _ := fwb.ByKey(key)
+		var sims []float64
+		for i := 0; i < pairs; i++ {
+			benign := g.BenignFWBSite(svc, at)
+			phish := g.PhishingFWBSiteOf(svc, fwb.KindPhishing, at)
+			sims = append(sims, textsim.SiteSimilarity(
+				htmlx.Parse(benign.HTML).TagStrings(),
+				htmlx.Parse(phish.HTML).TagStrings()))
+		}
+		fmt.Fprintf(&b, "%-14s %-18s %-18s\n", svc.Name,
+			fmt.Sprintf("%.1f%%", 100*textsim.Median(sims)), paper[key])
+	}
+	return b.String()
+}
+
+// RenderTable2 renders the model comparison rows.
+func RenderTable2(results []baselines.Result) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Comparison of phishing detection models\n")
+	fmt.Fprintf(&b, "%-34s %-9s %-10s %-8s %-9s %-6s %-12s %-14s\n",
+		"Model", "Accuracy", "Precision", "Recall", "F1-score", "AUC", "Total Time", "Median Runtime")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-34s %-9.2f %-10.2f %-8.2f %-9.2f %-6.3f %-12s %-14s\n",
+			r.Model, r.Metrics.Accuracy, r.Metrics.Precision, r.Metrics.Recall, r.Metrics.F1,
+			r.AUC, r.TotalTime.Round(time.Millisecond), r.MedianTime.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// table3Entities are the Table 3 rows, in paper order.
+var table3Entities = []struct{ key, label string }{
+	{"PhishTank", "PhishTank"},
+	{"OpenPhish", "OpenPhish"},
+	{"GSB", "GSB"},
+	{"eCrimeX", "eCrimeX"},
+	{"platform", "Social media Platform"},
+	{"host", "Hosting domain"},
+}
+
+// RenderTable3 renders blocklist/platform/host coverage for both cohorts
+// at the one-week horizon.
+func RenderTable3(s *analysis.Study) string {
+	week := 7 * 24 * time.Hour
+	var b strings.Builder
+	b.WriteString("Table 3: Blocklisting performance and response time against FWB vs self-hosted phishing\n")
+	fmt.Fprintf(&b, "%-22s | %-8s %-12s %-8s | %-8s %-12s %-8s\n",
+		"Method", "FWB cov", "min/max", "median", "self cov", "min/max", "median")
+	for _, ent := range table3Entities {
+		fr := s.Coverage(ent.key, analysis.FWBCohort, week)
+		sr := s.Coverage(ent.key, analysis.SelfHostedCohort, week)
+		fmt.Fprintf(&b, "%-22s | %-8s %-12s %-8s | %-8s %-12s %-8s\n",
+			ent.label,
+			fmt.Sprintf("%.2f%%", 100*fr.Coverage),
+			hhmm(fr.Min)+"/"+hhmm(fr.Max), hhmm(fr.Median),
+			fmt.Sprintf("%.2f%%", 100*sr.Coverage),
+			hhmm(sr.Min)+"/"+hhmm(sr.Max), hhmm(sr.Median))
+	}
+	return b.String()
+}
+
+// RenderTable4 renders per-FWB countermeasure coverage at the two-week
+// horizon (§5.3 measures FWB takedown over two weeks).
+func RenderTable4(s *analysis.Study) string {
+	horizon := 14 * 24 * time.Hour
+	var b strings.Builder
+	b.WriteString("Table 4: Coverage and response times of countermeasures per FWB (two-week horizon)\n")
+	fmt.Fprintf(&b, "%-14s %6s | %-15s | %-15s | %-15s | %-15s | %-15s | %-15s\n",
+		"Domain", "URLs", "Host rm/med", "Platform rm/med", "PhishTank", "OpenPhish", "GSB", "eCrimeX")
+	for _, svc := range fwb.All() {
+		cohort := analysis.OnService(svc.Key)
+		total := len(s.Select(cohort))
+		if total == 0 {
+			continue
+		}
+		cell := func(entity string) string {
+			r := s.Coverage(entity, cohort, horizon)
+			return fmt.Sprintf("%5.2f%% %7s", 100*r.Coverage, hhmm(r.Median))
+		}
+		fmt.Fprintf(&b, "%-14s %6d | %-15s | %-15s | %-15s | %-15s | %-15s | %-15s\n",
+			svc.Name, total, cell("host"), cell("platform"),
+			cell("PhishTank"), cell("OpenPhish"), cell("GSB"), cell("eCrimeX"))
+	}
+	return b.String()
+}
+
+// figureMarks are the elapsed-time grid for Figures 6 and 9.
+var figureMarks = []time.Duration{
+	3 * time.Hour, 8 * time.Hour, 16 * time.Hour, 24 * time.Hour,
+	48 * time.Hour, 96 * time.Hour, 168 * time.Hour,
+}
+
+// RenderFigure1 renders the historical quarterly series.
+func RenderFigure1(points []HistoricalPoint) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: FWB phishing shared on Twitter and Facebook, Jan 2020 - Aug 2022\n")
+	maxTotal := 1
+	for _, p := range points {
+		if p.Total() > maxTotal {
+			maxTotal = p.Total()
+		}
+	}
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8s tw=%-5d fb=%-5d %s  top80: %s\n",
+			p.Quarter, p.Twitter, p.Facebook,
+			bar(float64(p.Total())/float64(maxTotal), 30),
+			strings.Join(p.Top80, ","))
+	}
+	return b.String()
+}
+
+// RenderFigure5 renders the targeted-organization histogram.
+func RenderFigure5(s *analysis.Study, topN int) string {
+	var b strings.Builder
+	h := s.BrandHistogram(analysis.FWBCohort)
+	top := s.TopBrands(analysis.FWBCohort, topN)
+	fmt.Fprintf(&b, "Figure 5: Targeted organizations (%d unique brands)\n", len(h))
+	maxC := 1
+	if len(top) > 0 {
+		maxC = h[top[0]]
+	}
+	for _, k := range top {
+		name := k
+		if br, ok := brands.ByKey(k); ok {
+			name = br.Name
+		}
+		fmt.Fprintf(&b, "%-18s %6d %s\n", name, h[k], bar(float64(h[k])/float64(maxC), 30))
+	}
+	return b.String()
+}
+
+// RenderFigure6 renders blocklist coverage-over-time curves per cohort.
+func RenderFigure6(s *analysis.Study) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: Blocklist coverage over time (fraction of URLs listed by elapsed hours)\n")
+	fmt.Fprintf(&b, "%-10s %-12s", "Blocklist", "Cohort")
+	for _, m := range figureMarks {
+		fmt.Fprintf(&b, " %5.0fh", m.Hours())
+	}
+	b.WriteString("\n")
+	for _, name := range []string{"PhishTank", "OpenPhish", "GSB", "eCrimeX"} {
+		for _, c := range []struct {
+			label  string
+			cohort analysis.Cohort
+		}{{"FWB", analysis.FWBCohort}, {"self-hosted", analysis.SelfHostedCohort}} {
+			curve := s.CoverageCurve(name, c.cohort, figureMarks)
+			fmt.Fprintf(&b, "%-10s %-12s", name, c.label)
+			for _, v := range curve {
+				fmt.Fprintf(&b, " %5.1f%%", 100*v)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// RenderFigure7 renders the detection-count CDF after one week for the
+// four cohorts (FWB/self-hosted × Twitter/Facebook).
+func RenderFigure7(s *analysis.Study) string {
+	week := 7 * 24 * time.Hour
+	xs := []int{0, 1, 2, 4, 6, 9, 12, 16, 20, 30}
+	var b strings.Builder
+	b.WriteString("Figure 7: CDF of anti-phishing engine detections one week after appearance\n")
+	fmt.Fprintf(&b, "%-24s %-7s", "Cohort", "median")
+	for _, x := range xs {
+		fmt.Fprintf(&b, " <=%-3d", x)
+	}
+	b.WriteString("\n")
+	for _, c := range fourCohorts() {
+		counts := s.DetectionCounts(c.cohort, week)
+		cdf := analysis.CDF(counts, xs)
+		fmt.Fprintf(&b, "%-24s %-7d", c.label, analysis.MedianInt(counts))
+		for _, v := range cdf {
+			fmt.Fprintf(&b, " %4.0f%%", 100*v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure8 renders the share of URLs with at most 4 detections for
+// each day of the first week per cohort — the headline statistic of
+// Figure 8 (FWB URLs accrue detections far slower).
+func RenderFigure8(s *analysis.Study) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: Fraction of URLs with <=2 and <=4 engine detections per day\n")
+	fmt.Fprintf(&b, "%-24s %-6s", "Cohort", "bound")
+	for d := 1; d <= 7; d++ {
+		fmt.Fprintf(&b, "  day%d", d)
+	}
+	b.WriteString("\n")
+	for _, c := range fourCohorts() {
+		for _, bound := range []int{2, 4} {
+			fmt.Fprintf(&b, "%-24s <=%-4d", c.label, bound)
+			for d := 1; d <= 7; d++ {
+				counts := s.DetectionCounts(c.cohort, time.Duration(d)*24*time.Hour)
+				cdf := analysis.CDF(counts, []int{bound})
+				fmt.Fprintf(&b, " %4.0f%%", 100*cdf[0])
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// RenderFigure9 renders platform removal curves per cohort.
+func RenderFigure9(s *analysis.Study) string {
+	var b strings.Builder
+	b.WriteString("Figure 9: Platform post-removal over time\n")
+	fmt.Fprintf(&b, "%-10s %-12s", "Platform", "Cohort")
+	for _, m := range figureMarks {
+		fmt.Fprintf(&b, " %5.0fh", m.Hours())
+	}
+	b.WriteString("\n")
+	for _, plat := range []threat.Platform{threat.Twitter, threat.Facebook} {
+		for _, c := range []struct {
+			label  string
+			cohort analysis.Cohort
+		}{
+			{"FWB", analysis.OnPlatform(analysis.FWBCohort, plat)},
+			{"self-hosted", analysis.OnPlatform(analysis.SelfHostedCohort, plat)},
+		} {
+			curve := s.CoverageCurve("platform", c.cohort, figureMarks)
+			fmt.Fprintf(&b, "%-10s %-12s", plat, c.label)
+			for _, v := range curve {
+				fmt.Fprintf(&b, " %5.1f%%", 100*v)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// RenderSection3 renders the §3 characterization statistics.
+func RenderSection3(s *analysis.Study) string {
+	var b strings.Builder
+	b.WriteString("Section 3: FWB attack characterization\n")
+	fwbAge := s.MedianDomainAge(analysis.FWBCohort)
+	selfAge := s.MedianDomainAge(analysis.SelfHostedCohort)
+	fmt.Fprintf(&b, "  median domain age: FWB %.1f years (paper 13.7y) | self-hosted %.0f days (paper 71d)\n",
+		fwbAge.Hours()/24/365.25, selfAge.Hours()/24)
+	comShare := s.Fraction(analysis.FWBCohort, func(r *analysis.Record) bool {
+		return r.Target.Service != nil && r.Target.Service.ComTLD
+	})
+	fmt.Fprintf(&b, "  FWB URLs on .com-granting services: %.1f%% (paper ~89%%)\n", 100*comShare)
+	noindex := s.Fraction(analysis.FWBCohort, func(r *analysis.Record) bool { return r.Target.Noindex })
+	fmt.Fprintf(&b, "  FWB URLs with noindex meta tag: %.1f%% (paper 44.7%%)\n", 100*noindex)
+	indexed := s.Fraction(analysis.FWBCohort, func(r *analysis.Record) bool { return r.Target.SearchIndexed })
+	fmt.Fprintf(&b, "  FWB URLs indexed by search: %.1f%% (paper 4.1%%)\n", 100*indexed)
+	ct := s.Fraction(analysis.FWBCohort, func(r *analysis.Record) bool { return r.Target.InCTLog })
+	fmt.Fprintf(&b, "  FWB URLs visible in CT logs: %.1f%% (paper: none)\n", 100*ct)
+	return b.String()
+}
+
+// RenderSection55 renders the evasive-attack census.
+func RenderSection55(s *analysis.Study) string {
+	var b strings.Builder
+	b.WriteString("Section 5.5: Evasive attack census per FWB\n")
+	fmt.Fprintf(&b, "%-14s %6s %9s %8s %9s %10s\n", "FWB", "URLs", "two-step", "iframe", "drive-by", "no-fields")
+	census := s.EvasiveByService()
+	keys := make([]string, 0, len(census))
+	for k := range census {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return census[keys[i]].Total > census[keys[j]].Total })
+	totalNoFields, total := 0, 0
+	for _, k := range keys {
+		c := census[k]
+		fmt.Fprintf(&b, "%-14s %6d %9d %8d %9d %10d\n", c.Service, c.Total, c.TwoStep, c.IFrame, c.DriveBy, c.NoFields)
+		totalNoFields += c.NoFields
+		total += c.Total
+	}
+	if total > 0 {
+		fmt.Fprintf(&b, "  URLs without credential fields: %.1f%% (paper 14.2%%)\n", 100*float64(totalNoFields)/float64(total))
+	}
+	return b.String()
+}
+
+// RenderStats renders the framework's operational counters.
+func RenderStats(st Stats) string {
+	var b strings.Builder
+	b.WriteString("FreePhish framework counters\n")
+	fmt.Fprintf(&b, "  polls=%d posts=%d scanned=%d flaggedFWB=%d flaggedSelf=%d reports=%d\n",
+		st.Polls, st.PostsSeen, st.URLsScanned, st.FlaggedFWB, st.FlaggedSelf, st.ReportsSent)
+	tp, fp, fn := st.TruePositives, st.FalsePositives, st.FalseNegatives
+	if tp+fp > 0 && tp+fn > 0 {
+		prec := float64(tp) / float64(tp+fp)
+		rec := float64(tp) / float64(tp+fn)
+		fmt.Fprintf(&b, "  zero-day precision=%.3f recall=%.3f\n", prec, rec)
+	}
+	return b.String()
+}
+
+func fourCohorts() []struct {
+	label  string
+	cohort analysis.Cohort
+} {
+	return []struct {
+		label  string
+		cohort analysis.Cohort
+	}{
+		{"FWB / Twitter", analysis.OnPlatform(analysis.FWBCohort, threat.Twitter)},
+		{"FWB / Facebook", analysis.OnPlatform(analysis.FWBCohort, threat.Facebook)},
+		{"self-hosted / Twitter", analysis.OnPlatform(analysis.SelfHostedCohort, threat.Twitter)},
+		{"self-hosted / Facebook", analysis.OnPlatform(analysis.SelfHostedCohort, threat.Facebook)},
+	}
+}
+
+// RenderKitFamilies renders the kit-market view of the self-hosted cohort:
+// markup families recovered by signature clustering (§6's kit economy).
+func RenderKitFamilies(s *analysis.Study) string {
+	var b strings.Builder
+	b.WriteString("Self-hosted kit families (markup-signature clustering, Jaccard >= 0.5)\n")
+	families := s.KitFamilies(0.5, 4)
+	if len(families) == 0 {
+		b.WriteString("  no multi-page families found\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-6s %-28s %s\n", "pages", "top spoofed brands", "example URL")
+	for _, fam := range families {
+		fmt.Fprintf(&b, "%-6d %-28s %s\n", fam.Size, strings.Join(fam.TopBrands, ","), fam.Example)
+	}
+	return b.String()
+}
+
+// RenderUptime renders the attack-lifecycle comparison: how long sites of
+// each cohort stay reachable before hosting takedown (censored at two
+// weeks) — the quantitative form of the paper's "FWB attacks resist
+// takedowns for extended periods".
+func RenderUptime(s *analysis.Study) string {
+	horizon := 14 * 24 * time.Hour
+	marks := []time.Duration{3 * time.Hour, 12 * time.Hour, 24 * time.Hour, 72 * time.Hour, 168 * time.Hour, horizon}
+	var b strings.Builder
+	b.WriteString("Attack lifecycle: site survival against hosting takedown (two-week horizon)\n")
+	fmt.Fprintf(&b, "%-12s %-8s %-9s %-9s %-10s |", "Cohort", "removed", "survive", "median", "mean")
+	for _, m := range marks {
+		fmt.Fprintf(&b, " %5.0fh", m.Hours())
+	}
+	b.WriteString("\n")
+	for _, c := range []struct {
+		label  string
+		cohort analysis.Cohort
+	}{{"FWB", analysis.FWBCohort}, {"self-hosted", analysis.SelfHostedCohort}} {
+		u := s.Uptime(c.cohort, horizon)
+		curve := s.SurvivalCurve(c.cohort, marks)
+		fmt.Fprintf(&b, "%-12s %-8s %-9s %-9s %-10s |", c.label,
+			fmt.Sprintf("%.1f%%", 100*float64(u.Removed)/float64(max(u.Total, 1))),
+			fmt.Sprintf("%.1f%%", 100*u.SurvivalFraction()),
+			hhmm(u.Median), hhmm(u.Mean))
+		for _, v := range curve {
+			fmt.Fprintf(&b, " %5.1f%%", 100*v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderExposure renders the victim-exposure comparison: clicks that
+// landed before defenses acted, and the engagement removal prevented.
+func RenderExposure(s *analysis.Study, seed int64) string {
+	horizon := 7 * 24 * time.Hour
+	rng := simclock.NewRNG(seed, "render.exposure")
+	var b strings.Builder
+	b.WriteString("Victim exposure: clicks before removal (one-week horizon)\n")
+	fmt.Fprintf(&b, "%-12s %8s %14s %16s %12s\n", "Cohort", "URLs", "clicks/URL", "total clicks", "prevented")
+	for _, c := range []struct {
+		label  string
+		cohort analysis.Cohort
+	}{{"FWB", analysis.FWBCohort}, {"self-hosted", analysis.SelfHostedCohort}} {
+		sum := s.ExposureStats(c.cohort, horizon, rng)
+		fmt.Fprintf(&b, "%-12s %8d %14.1f %16.0f %11.1f%%\n",
+			c.label, sum.URLs, sum.MeanClicksPerURL, sum.TotalClicks, 100*sum.PreventedFraction)
+	}
+	return b.String()
+}
+
+// RenderTimeline renders the measurement window's weekly stream volume —
+// the zero-day companion to Figure 1.
+func RenderTimeline(s *analysis.Study) string {
+	points := s.Timeline(14 * 24 * time.Hour)
+	var b strings.Builder
+	b.WriteString("Measurement-window stream (two-week buckets)\n")
+	maxTotal := 1
+	for _, p := range points {
+		if t := p.FWB + p.Self; t > maxTotal {
+			maxTotal = t
+		}
+	}
+	for _, p := range points {
+		total := p.FWB + p.Self
+		fmt.Fprintf(&b, "%s  fwb=%-5d self=%-5d %s\n",
+			p.Start.Format("2006-01-02"), p.FWB, p.Self,
+			bar(float64(total)/float64(maxTotal), 30))
+	}
+	return b.String()
+}
+
+// RenderCategories renders the targeted-sector breakdown of Figure 5.
+func RenderCategories(s *analysis.Study) string {
+	h := s.CategoryHistogram(analysis.FWBCohort, func(key string) string {
+		if br, ok := brands.ByKey(key); ok {
+			return string(br.Category)
+		}
+		return ""
+	})
+	type kv struct {
+		k string
+		v int
+	}
+	var rows []kv
+	total := 0
+	for k, v := range h {
+		rows = append(rows, kv{k, v})
+		total += v
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].k < rows[j].k
+	})
+	var b strings.Builder
+	b.WriteString("Targeted sectors (Figure 5 companion)\n")
+	for _, r := range rows {
+		frac := float64(r.v) / float64(max(total, 1))
+		fmt.Fprintf(&b, "%-12s %6d %5.1f%% %s\n", r.k, r.v, 100*frac, bar(frac, 30))
+	}
+	return b.String()
+}
+
+// RenderTable3CI is Table 3 with bootstrap 95% confidence intervals on the
+// coverage cells — the statistical-rigor companion for small-scale runs,
+// where per-cohort counts are low enough that interval width matters.
+func RenderTable3CI(s *analysis.Study, seed int64) string {
+	week := 7 * 24 * time.Hour
+	rng := simclock.NewRNG(seed, "render.ci")
+	var b strings.Builder
+	b.WriteString("Table 3 with bootstrap 95% CIs (coverage, one-week horizon)\n")
+	fmt.Fprintf(&b, "%-22s | %-26s | %-26s\n", "Method", "FWB coverage [95% CI]", "self-hosted coverage [95% CI]")
+	for _, ent := range table3Entities {
+		f := s.CoverageCI(ent.key, analysis.FWBCohort, week, 0.95, 400, rng)
+		sh := s.CoverageCI(ent.key, analysis.SelfHostedCohort, week, 0.95, 400, rng)
+		fmt.Fprintf(&b, "%-22s | %6.2f%% [%5.2f%%, %5.2f%%]  | %6.2f%% [%5.2f%%, %5.2f%%]\n",
+			ent.label,
+			100*f.Point, 100*f.Low, 100*f.High,
+			100*sh.Point, 100*sh.Low, 100*sh.High)
+	}
+	return b.String()
+}
+
+// RenderSummary condenses the study into the paper's headline claims with
+// this run's numbers — the abstract, regenerated.
+func RenderSummary(s *analysis.Study) string {
+	week := 7 * 24 * time.Hour
+	var b strings.Builder
+	b.WriteString("Headline findings (this run)\n")
+	nF := len(s.Select(analysis.FWBCohort))
+	nS := len(s.Select(analysis.SelfHostedCohort))
+	fmt.Fprintf(&b, "  %d FWB and %d self-hosted phishing URLs observed for one week each.\n", nF, nS)
+
+	g := s.Coverage("GSB", analysis.FWBCohort, week)
+	gs := s.Coverage("GSB", analysis.SelfHostedCohort, week)
+	fmt.Fprintf(&b, "  GSB covered %.1f%% of FWB attacks (median %s) vs %.1f%% of self-hosted (median %s).\n",
+		100*g.Coverage, hhmm(g.Median), 100*gs.Coverage, hhmm(gs.Median))
+	if d, ok := s.TimeToCoverage("GSB", analysis.SelfHostedCohort, 0.5, week); ok {
+		fmt.Fprintf(&b, "  GSB reached half of all self-hosted URLs within %s", hhmm(d))
+		if _, ever := s.TimeToCoverage("GSB", analysis.FWBCohort, 0.5, week); !ever {
+			b.WriteString("; it never reached half of the FWB cohort.\n")
+		} else {
+			b.WriteString(".\n")
+		}
+	}
+	h := s.Coverage("host", analysis.FWBCohort, 2*week)
+	hs := s.Coverage("host", analysis.SelfHostedCohort, 2*week)
+	fmt.Fprintf(&b, "  Hosting providers removed %.1f%% of FWB attacks within two weeks vs %.1f%% of self-hosted.\n",
+		100*h.Coverage, 100*hs.Coverage)
+	fMed := analysis.MedianInt(s.DetectionCounts(analysis.FWBCohort, week))
+	sMed := analysis.MedianInt(s.DetectionCounts(analysis.SelfHostedCohort, week))
+	fmt.Fprintf(&b, "  Median browser-protection detections after a week: %d (FWB) vs %d (self-hosted).\n", fMed, sMed)
+	fmt.Fprintf(&b, "  Evasive (credential-less) share of FWB attacks: %.1f%%.\n",
+		100*s.Fraction(analysis.FWBCohort, func(r *analysis.Record) bool { return !r.Target.HasCredentialFields }))
+	return b.String()
+}

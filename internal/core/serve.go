@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"freephish/internal/crawler"
+	"freephish/internal/threat"
+)
+
+// webServer is one loopback HTTP server fronting a simulated service.
+type webServer struct {
+	name string
+	base string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// startServer binds a loopback listener and serves handler on it.
+func startServer(name string, handler http.Handler) (*webServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: listen for %s: %w", name, err)
+	}
+	ws := &webServer{
+		name: name,
+		base: "http://" + ln.Addr().String(),
+		srv:  &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go func() {
+		// ErrServerClosed is the normal shutdown path.
+		_ = ws.srv.Serve(ln)
+	}()
+	return ws, nil
+}
+
+func (ws *webServer) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = ws.srv.Shutdown(ctx)
+}
+
+// startServers brings up the simulated web (every FWB and self-hosted
+// domain behind one virtual-host server) and the two platform APIs, then
+// points the crawler at them.
+func (f *FreePhish) startServers() error {
+	hostSrv, err := startServer("web", f.Host)
+	if err != nil {
+		return err
+	}
+	f.servers = append(f.servers, hostSrv)
+	endpoints := make(map[threat.Platform]string, len(f.Networks))
+	for plat, nw := range f.Networks {
+		s, err := startServer(string(plat), nw)
+		if err != nil {
+			f.stopServers()
+			return err
+		}
+		f.servers = append(f.servers, s)
+		endpoints[plat] = s.base
+	}
+	f.fetcher = crawler.NewFetcher(hostSrv.base)
+	f.poller = crawler.NewPoller(endpoints, http.DefaultClient, f.Config.Epoch)
+	if f.Config.MonitorInterval > 0 {
+		if err := f.startFeedServers(); err != nil {
+			f.stopServers()
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *FreePhish) stopServers() {
+	for _, s := range f.servers {
+		s.stop()
+	}
+	f.servers = nil
+}

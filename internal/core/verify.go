@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"freephish/internal/analysis"
+)
+
+// Verify runs internal-consistency checks over a completed study — the
+// invariants every valid run must satisfy regardless of seed or scale. The
+// end-to-end tests call it, and cmd/freephish can surface violations
+// instead of silently printing corrupt tables.
+func (f *FreePhish) Verify() error {
+	seen := map[string]bool{}
+	horizonEnd := f.Config.Epoch.Add(f.Config.Duration + 7*24*time.Hour)
+	for i, r := range f.Study.Records {
+		t := r.Target
+		if t == nil {
+			return fmt.Errorf("record %d: nil target", i)
+		}
+		if seen[t.URL] {
+			return fmt.Errorf("record %d: duplicate URL %q", i, t.URL)
+		}
+		seen[t.URL] = true
+		if t.SharedAt.Before(f.Config.Epoch) || t.SharedAt.After(horizonEnd) {
+			return fmt.Errorf("record %d: share time %v outside the window", i, t.SharedAt)
+		}
+		// Every record must reference a live post and a hosted site.
+		nw, ok := f.Networks[t.Platform]
+		if !ok {
+			return fmt.Errorf("record %d: unknown platform %q", i, t.Platform)
+		}
+		post := nw.Lookup(t.PostID)
+		if post == nil {
+			return fmt.Errorf("record %d: post %q not on %s", i, t.PostID, t.Platform)
+		}
+		if f.Host.Lookup(t.URL) == nil {
+			return fmt.Errorf("record %d: site %q not hosted", i, t.URL)
+		}
+		// Event ordering: nothing happens before the share.
+		for name, v := range r.Blocklist {
+			if v.Detected && v.At.Before(t.SharedAt) {
+				return fmt.Errorf("record %d: %s listed before share", i, name)
+			}
+		}
+		for j, d := range r.VTDetections {
+			if d.Before(t.SharedAt) {
+				return fmt.Errorf("record %d: VT detection before share", i)
+			}
+			if j > 0 && d.Before(r.VTDetections[j-1]) {
+				return fmt.Errorf("record %d: VT detections unsorted", i)
+			}
+		}
+		if r.PlatformRemoved {
+			if r.PlatformRemovedAt.Before(t.SharedAt) {
+				return fmt.Errorf("record %d: platform removal before share", i)
+			}
+			if rm, at := post.Removed(); !rm || !at.Equal(r.PlatformRemovedAt) {
+				return fmt.Errorf("record %d: platform removal not reflected on the post", i)
+			}
+		}
+		if r.HostRemoved && r.HostRemovedAt.Before(t.SharedAt) {
+			return fmt.Errorf("record %d: host removal before share", i)
+		}
+		// FWB/self-hosted exclusivity of certificates (§3).
+		if t.IsFWB() && t.InCTLog {
+			return fmt.Errorf("record %d: FWB site visible in CT log", i)
+		}
+		// §3: noindex pages cannot be search-indexed.
+		if t.Noindex && t.SearchIndexed {
+			return fmt.Errorf("record %d: noindex page marked indexed", i)
+		}
+	}
+	// Cohort sanity: both cohorts must exist for the comparisons to mean
+	// anything.
+	if len(f.Study.Select(analysis.FWBCohort)) == 0 || len(f.Study.Select(analysis.SelfHostedCohort)) == 0 {
+		return fmt.Errorf("study missing a cohort: %d records", len(f.Study.Records))
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+// Package crawler implements the FreePhish streaming and pre-processing
+// modules (§4.1): polling the Twitter/CrowdTangle-style APIs every 10
+// minutes for new posts, extracting URLs with the streaming regex, and
+// capturing full website snapshots over HTTP for feature extraction.
+//
+// All network access is real net/http. Because the simulated web serves
+// every domain from one listener, the Fetcher rewrites the dial target to
+// the simulation endpoint while preserving the original URL in the Host
+// header — the same pattern used to point a crawler at a staging mirror.
+package crawler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+
+	"freephish/internal/features"
+	"freephish/internal/threat"
+	"freephish/internal/urlx"
+)
+
+// StreamedURL is one URL extracted from a social post.
+type StreamedURL struct {
+	URL      string
+	Platform threat.Platform
+	PostID   string
+	Text     string
+	At       time.Time
+}
+
+// Poller streams posts from the platform APIs.
+type Poller struct {
+	// Endpoints maps each platform to the base URL of its posts API.
+	Endpoints map[threat.Platform]string
+	Client    *http.Client
+	// Limiter, when set, gates API requests (platform quota regimes). A
+	// denied platform is skipped for the cycle; its cursor does not
+	// advance, so the next permitted poll catches up with no data loss.
+	Limiter *RateLimiter
+	// cursor tracks the last poll time per platform.
+	cursor map[threat.Platform]time.Time
+	seen   map[string]bool
+	// Skipped counts rate-limited platform polls.
+	Skipped int
+}
+
+// NewPoller returns a Poller starting its cursors at start.
+func NewPoller(endpoints map[threat.Platform]string, client *http.Client, start time.Time) *Poller {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	cur := make(map[threat.Platform]time.Time, len(endpoints))
+	for p := range endpoints {
+		cur[p] = start
+	}
+	return &Poller{Endpoints: endpoints, Client: client, cursor: cur, seen: make(map[string]bool)}
+}
+
+// apiPost mirrors the social API's JSON shape.
+type apiPost struct {
+	ID       string          `json:"id"`
+	Platform threat.Platform `json:"platform"`
+	Text     string          `json:"text"`
+	At       time.Time       `json:"created_at"`
+}
+
+// Poll fetches posts newer than each platform cursor, extracts their URLs,
+// deduplicates across polls, and advances the cursors to now. Platforms are
+// polled in name order so downstream randomness stays reproducible.
+func (p *Poller) Poll(now time.Time) ([]StreamedURL, error) {
+	plats := make([]threat.Platform, 0, len(p.Endpoints))
+	for plat := range p.Endpoints {
+		plats = append(plats, plat)
+	}
+	sort.Slice(plats, func(i, j int) bool { return plats[i] < plats[j] })
+	var out []StreamedURL
+	for _, plat := range plats {
+		base := p.Endpoints[plat]
+		if p.Limiter != nil && !p.Limiter.Allow() {
+			p.Skipped++
+			continue // cursor untouched: the next allowed poll catches up
+		}
+		// Page through the window: the platform API caps one response, so a
+		// burst of posts spans multiple requests.
+		for offset := 0; ; {
+			u := fmt.Sprintf("%s/posts?since=%s&offset=%d", base,
+				url.QueryEscape(p.cursor[plat].Format(time.RFC3339)), offset)
+			resp, err := p.Client.Get(u)
+			if err != nil {
+				return nil, fmt.Errorf("crawler: poll %s: %w", plat, err)
+			}
+			var posts []apiPost
+			err = json.NewDecoder(resp.Body).Decode(&posts)
+			more := resp.Header.Get("X-More") == "1"
+			resp.Body.Close()
+			if err != nil {
+				return nil, fmt.Errorf("crawler: decode %s feed: %w", plat, err)
+			}
+			for _, post := range posts {
+				if p.seen[post.ID] {
+					continue
+				}
+				p.seen[post.ID] = true
+				for _, raw := range urlx.ExtractURLs(post.Text) {
+					out = append(out, StreamedURL{
+						URL: raw, Platform: plat, PostID: post.ID, Text: post.Text, At: post.At,
+					})
+				}
+			}
+			if !more {
+				break
+			}
+			offset += len(posts)
+		}
+		p.cursor[plat] = now
+	}
+	return out, nil
+}
+
+// ChromiumUA is the User-Agent the snapshotter presents. The paper's
+// pre-processing module drives a real Chromium via Selenium, which is what
+// lets it see through the server-side UA cloaking some phishing sites use
+// against crawlers (§6); a bot-like UA would be served a decoy page.
+const ChromiumUA = "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/107.0.0.0 Safari/537.36"
+
+// Fetcher captures website snapshots. Base, when set, redirects all dials
+// to the simulation endpoint while keeping the target URL's host in the
+// Host header.
+type Fetcher struct {
+	Base   string // e.g. the httptest server URL fronting the simulated web
+	Client *http.Client
+	// Retries is the number of extra attempts on transport errors, with
+	// linear backoff (real crawls see transient resets constantly).
+	Retries int
+	// Backoff between attempts; the default is 250ms.
+	Backoff time.Duration
+	// UserAgent presented to the site; defaults to ChromiumUA.
+	UserAgent string
+}
+
+// NewFetcher returns a Fetcher pointed at the simulation endpoint.
+func NewFetcher(base string) *Fetcher {
+	return &Fetcher{
+		Base:    base,
+		Client:  &http.Client{Timeout: 10 * time.Second},
+		Retries: 2,
+		Backoff: 250 * time.Millisecond,
+	}
+}
+
+// Snapshot fetches the page at rawURL and returns it with the HTTP status.
+// A non-200 status is not an error: the analysis module uses 404/410 as the
+// "site taken down" signal.
+func (f *Fetcher) Snapshot(rawURL string) (features.Page, int, error) {
+	target, err := url.Parse(rawURL)
+	if err != nil {
+		return features.Page{}, 0, fmt.Errorf("crawler: bad URL %q: %w", rawURL, err)
+	}
+	reqURL := rawURL
+	if f.Base != "" {
+		base, err := url.Parse(f.Base)
+		if err != nil {
+			return features.Page{}, 0, fmt.Errorf("crawler: bad base %q: %w", f.Base, err)
+		}
+		rewritten := *target
+		rewritten.Scheme = base.Scheme
+		rewritten.Host = base.Host
+		reqURL = rewritten.String()
+	}
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	ua := f.UserAgent
+	if ua == "" {
+		ua = ChromiumUA
+	}
+	backoff := f.Backoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= f.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff * time.Duration(attempt))
+		}
+		req, err := http.NewRequest(http.MethodGet, reqURL, nil)
+		if err != nil {
+			return features.Page{}, 0, err
+		}
+		req.Host = target.Host // original virtual host
+		req.Header.Set("User-Agent", ua)
+		resp, err := client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue // transient transport error: retry
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return features.Page{URL: rawURL, HTML: string(body)}, resp.StatusCode, nil
+	}
+	return features.Page{}, 0, fmt.Errorf("crawler: fetch %q failed after %d attempts: %w", rawURL, f.Retries+1, lastErr)
+}

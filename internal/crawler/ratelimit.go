@@ -1,0 +1,90 @@
+package crawler
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter is a token-bucket limiter for the platform APIs. The paper's
+// streaming module lives under real quota regimes (the Twitter Academic
+// API caps requests per window); the limiter makes the poller a good
+// citizen and testable without wall-clock sleeps, since it consults an
+// injectable clock.
+type RateLimiter struct {
+	capacity float64
+	refill   float64 // tokens per second
+	now      func() time.Time
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter returns a limiter holding at most capacity tokens,
+// refilled at ratePerSec. The bucket starts full. now defaults to
+// time.Now when nil.
+func NewRateLimiter(capacity int, ratePerSec float64, now func() time.Time) *RateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	return &RateLimiter{
+		capacity: float64(capacity),
+		refill:   ratePerSec,
+		now:      now,
+		tokens:   float64(capacity),
+		last:     now(),
+	}
+}
+
+// Allow consumes one token if available, reporting whether the caller may
+// proceed.
+func (r *RateLimiter) Allow() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advance()
+	if r.tokens < 1 {
+		return false
+	}
+	r.tokens--
+	return true
+}
+
+// Wait reports how long the caller must wait until a token will be
+// available (0 when Allow would succeed now). It does not consume a token.
+func (r *RateLimiter) Wait() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advance()
+	if r.tokens >= 1 {
+		return 0
+	}
+	if r.refill <= 0 {
+		return time.Duration(1<<62 - 1) // never
+	}
+	deficit := 1 - r.tokens
+	return time.Duration(deficit / r.refill * float64(time.Second))
+}
+
+// advance refills the bucket for the time elapsed since the last update.
+// Callers must hold mu.
+func (r *RateLimiter) advance() {
+	now := r.now()
+	elapsed := now.Sub(r.last).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	r.last = now
+	r.tokens += elapsed * r.refill
+	if r.tokens > r.capacity {
+		r.tokens = r.capacity
+	}
+}
+
+// Tokens reports the current token count (after refill), for tests and
+// metrics.
+func (r *RateLimiter) Tokens() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advance()
+	return r.tokens
+}

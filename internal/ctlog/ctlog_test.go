@@ -1,0 +1,100 @@
+package ctlog
+
+import (
+	"testing"
+	"time"
+)
+
+var now = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func TestCertificateFingerprintDeterministic(t *testing.T) {
+	a := NewCertificate("*.weebly.com", "Weebly Inc", OV, now, 365*24*time.Hour)
+	b := NewCertificate("*.weebly.com", "Weebly Inc", OV, now, 365*24*time.Hour)
+	if a.Fingerprint != b.Fingerprint || a.Fingerprint == "" {
+		t.Fatalf("fingerprints differ or empty: %q vs %q", a.Fingerprint, b.Fingerprint)
+	}
+	c := NewCertificate("*.wix.com", "Wix", OV, now, 365*24*time.Hour)
+	if c.Fingerprint == a.Fingerprint {
+		t.Fatal("distinct certs share a fingerprint")
+	}
+}
+
+func TestCoversWildcard(t *testing.T) {
+	cert := NewCertificate("*.weebly.com", "Weebly", OV, now, time.Hour)
+	cases := []struct {
+		host string
+		want bool
+	}{
+		{"shop.weebly.com", true},
+		{"SHOP.weebly.com", true},
+		{"weebly.com", false},         // wildcard does not cover the apex
+		{"a.b.weebly.com", false},     // single level only
+		{"shop.wix.com", false},       // different domain
+		{"evilweebly.com", false},     // suffix trick
+		{"shop.notweebly.com", false}, // suffix trick with subdomain
+	}
+	for _, c := range cases {
+		if got := cert.Covers(c.host); got != c.want {
+			t.Errorf("Covers(%q) = %v, want %v", c.host, got, c.want)
+		}
+	}
+}
+
+func TestCoversExact(t *testing.T) {
+	cert := NewCertificate("login.example.com", "Ex", DV, now, time.Hour)
+	if !cert.Covers("login.example.com") {
+		t.Fatal("exact host not covered")
+	}
+	if cert.Covers("other.example.com") {
+		t.Fatal("non-matching host covered")
+	}
+}
+
+func TestSharedFWBCertMatchesPaperExample(t *testing.T) {
+	// Figure 3: a phishing site on Google Sites shares its certificate with
+	// YouTube — one Google cert covering many properties. Model: one cert,
+	// identical fingerprint for both hosts.
+	cert := NewCertificate("*.google.com", "Google LLC", OV, now, 365*24*time.Hour)
+	if !cert.Covers("sites.google.com") {
+		t.Fatal("cert should cover sites.google.com")
+	}
+	// Same certificate object ⇒ same fingerprint, issue and expiry dates,
+	// the exact invariant the paper screenshots.
+}
+
+func TestLogAppendAndSince(t *testing.T) {
+	var l Log
+	for i := 0; i < 5; i++ {
+		cert := NewCertificate("phish"+string(rune('a'+i))+".xyz", "", DV, now, time.Hour)
+		e := l.Append(cert, now.Add(time.Duration(i)*time.Minute))
+		if e.Index != i {
+			t.Fatalf("entry index = %d, want %d", e.Index, i)
+		}
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	tail := l.Since(3)
+	if len(tail) != 2 || tail[0].Index != 3 {
+		t.Fatalf("Since(3) = %+v", tail)
+	}
+	if got := l.Since(99); got != nil {
+		t.Fatalf("Since beyond end = %v, want nil", got)
+	}
+	if got := l.Since(-4); len(got) != 5 {
+		t.Fatalf("Since(-4) = %d entries, want all 5", len(got))
+	}
+}
+
+func TestContainsHost(t *testing.T) {
+	var l Log
+	l.Append(NewCertificate("evil-login.xyz", "", DV, now, time.Hour), now)
+	if !l.ContainsHost("evil-login.xyz") {
+		t.Fatal("logged host not found")
+	}
+	// The FWB evasion property: a site on weebly.com was never individually
+	// logged, so a CT-watching hunter cannot discover it.
+	if l.ContainsHost("phish.weebly.com") {
+		t.Fatal("unlogged FWB site should be invisible")
+	}
+}

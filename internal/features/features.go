@@ -1,0 +1,260 @@
+// Package features implements the FreePhish pre-processing module's
+// feature extraction (Section 4.2). The feature set builds on the Li et
+// al. StackModel: 8 URL-based and 12 HTML-based features. Two StackModel
+// features — "uses https" and "multiple TLDs in host" — do not discriminate
+// on FWB sites (all FWB sites are https with a single TLD), so the
+// augmented FreePhish set drops them and adds two FWB-specific features:
+// an obfuscated service banner and a noindex meta tag.
+package features
+
+import (
+	"strings"
+
+	"freephish/internal/brands"
+	"freephish/internal/htmlx"
+	"freephish/internal/urlx"
+)
+
+// Page is the crawler snapshot a feature vector is extracted from.
+type Page struct {
+	URL  string
+	HTML string
+}
+
+// Feature names, in canonical vector order.
+const (
+	// URL-based (StackModel).
+	FURLLength         = "url_length"
+	FSuspiciousSymbols = "suspicious_symbols"
+	FSensitiveWords    = "sensitive_words"
+	FBrandInURL        = "brand_in_url"
+	FNumDots           = "num_dots"
+	FNumDigits         = "num_digits"
+	FIPHost            = "ip_host"
+	FCheapTLD          = "cheap_tld"
+	// URL-based (StackModel only; inapplicable to FWB sites).
+	FHasHTTPS     = "has_https"
+	FMultipleTLDs = "multiple_tlds"
+	// HTML-based (StackModel).
+	FInternalLinks  = "internal_links"
+	FExternalLinks  = "external_links"
+	FEmptyLinks     = "empty_links"
+	FHasLoginForm   = "has_login_form"
+	FPasswordFields = "password_fields"
+	FHTMLLength     = "html_length"
+	FNumIFrames     = "num_iframes"
+	FHiddenElements = "hidden_elements"
+	FNumScripts     = "num_scripts"
+	FNumImages      = "num_images"
+	FExternalAction = "external_form_action"
+	FTitleBrand     = "title_brand_match"
+	// FWB-specific (FreePhish additions, Section 4.2).
+	FObfuscatedBanner = "obfuscated_banner"
+	FNoindex          = "noindex"
+	// URL-obfuscation extensions (beyond the paper's set): scanner-evasion
+	// tricks — percent-encoded letters, punycode hosts, and unicode
+	// homoglyphs — are phishing signals in their own right.
+	FPercentEncoded = "percent_encoded_letters"
+	FPunycodeHost   = "punycode_host"
+	FHomoglyphs     = "homoglyph_chars"
+)
+
+// BaseStackNames is the 20-feature set of the original StackModel
+// (8 URL + 12 HTML).
+var BaseStackNames = []string{
+	FURLLength, FSuspiciousSymbols, FSensitiveWords, FBrandInURL,
+	FNumDots, FNumDigits, FHasHTTPS, FMultipleTLDs,
+	FInternalLinks, FExternalLinks, FEmptyLinks, FHasLoginForm,
+	FPasswordFields, FHTMLLength, FNumIFrames, FHiddenElements,
+	FNumScripts, FNumImages, FExternalAction, FTitleBrand,
+}
+
+// FreePhishNames is the augmented 22-feature set: the StackModel set with
+// has_https and multiple_tlds removed and ip_host, cheap_tld,
+// obfuscated_banner, and noindex present.
+var FreePhishNames = []string{
+	FURLLength, FSuspiciousSymbols, FSensitiveWords, FBrandInURL,
+	FNumDots, FNumDigits, FIPHost, FCheapTLD,
+	FInternalLinks, FExternalLinks, FEmptyLinks, FHasLoginForm,
+	FPasswordFields, FHTMLLength, FNumIFrames, FHiddenElements,
+	FNumScripts, FNumImages, FExternalAction, FTitleBrand,
+	FObfuscatedBanner, FNoindex,
+}
+
+// ExtendedNames adds the three URL-obfuscation features to the FreePhish
+// set — the repository's extension beyond the paper's model.
+var ExtendedNames = append(append([]string(nil), FreePhishNames...),
+	FPercentEncoded, FPunycodeHost, FHomoglyphs)
+
+// Extract computes every feature for the page, returning a name→value map.
+// Vector selections (BaseStackNames / FreePhishNames) project it into model
+// input order.
+func Extract(p Page) (map[string]float64, error) {
+	out := make(map[string]float64, 24)
+	u, err := urlx.Parse(p.URL)
+	if err != nil {
+		return nil, err
+	}
+	keys := brands.Keys()
+
+	// URL features.
+	out[FURLLength] = float64(len(p.URL))
+	out[FSuspiciousSymbols] = float64(urlx.CountSuspiciousSymbols(p.URL))
+	// Vocabulary and brand scans run over the normalized URL (percent-
+	// decoded, homoglyphs folded) so obfuscation does not hide keywords.
+	normalized := urlx.NormalizeForMatching(p.URL)
+	out[FSensitiveWords] = float64(urlx.CountSensitiveWords(normalized))
+	brand := u.BrandInHost(keys)
+	if brand == "" {
+		brand = u.BrandInPath(keys)
+	}
+	if brand == "" && normalized != strings.ToLower(p.URL) {
+		if nu, err := urlx.Parse(normalized); err == nil {
+			if brand = nu.BrandInHost(keys); brand == "" {
+				brand = nu.BrandInPath(keys)
+			}
+		}
+	}
+	out[FBrandInURL] = b2f(brand != "")
+	out[FPercentEncoded] = b2f(urlx.HasPercentEncodedLetters(p.URL))
+	out[FPunycodeHost] = b2f(u.IsPunycodeHost())
+	out[FHomoglyphs] = b2f(urlx.HasHomoglyphs(p.URL))
+	out[FNumDots] = float64(u.CountDots())
+	out[FNumDigits] = float64(urlx.CountDigits(p.URL))
+	out[FIPHost] = b2f(u.LooksLikeIPHost())
+	out[FCheapTLD] = b2f(u.IsCheapTLD())
+	out[FHasHTTPS] = b2f(u.Scheme == "https")
+	out[FMultipleTLDs] = b2f(multipleTLDs(u))
+
+	// HTML features.
+	doc := htmlx.Parse(p.HTML)
+	var internal, external, empty int
+	for _, a := range doc.FindAll("a") {
+		href := a.AttrOr("href", "")
+		switch {
+		case href == "" || href == "#" || strings.HasPrefix(href, "javascript:"):
+			empty++
+		case strings.HasPrefix(href, "http://") || strings.HasPrefix(href, "https://"):
+			if hp, err := urlx.Parse(href); err == nil && hp.Host == u.Host {
+				internal++
+			} else {
+				external++
+			}
+		default:
+			internal++
+		}
+	}
+	out[FInternalLinks] = float64(internal)
+	out[FExternalLinks] = float64(external)
+	out[FEmptyLinks] = float64(empty)
+
+	var pwFields, emailFields int
+	for _, in := range doc.FindAll("input") {
+		switch in.AttrOr("type", "text") {
+		case "password":
+			pwFields++
+		case "email":
+			emailFields++
+		}
+	}
+	out[FPasswordFields] = float64(pwFields)
+	hasLogin := pwFields > 0 || (emailFields > 0 && len(doc.FindAll("form")) > 0)
+	out[FHasLoginForm] = b2f(hasLogin)
+
+	out[FHTMLLength] = float64(len(p.HTML))
+	out[FNumIFrames] = float64(len(doc.FindAll("iframe")))
+	hidden := doc.FindAllFunc(func(n *htmlx.Node) bool { return n.HasHiddenStyle() })
+	out[FHiddenElements] = float64(len(hidden))
+	out[FNumScripts] = float64(len(doc.FindAll("script")))
+	out[FNumImages] = float64(len(doc.FindAll("img")))
+
+	extAction := false
+	for _, f := range doc.FindAll("form") {
+		action := f.AttrOr("action", "")
+		if strings.HasPrefix(action, "http://") || strings.HasPrefix(action, "https://") {
+			if ap, err := urlx.Parse(action); err == nil && ap.Host != u.Host {
+				extAction = true
+			}
+		}
+	}
+	out[FExternalAction] = b2f(extAction)
+
+	title := ""
+	if t := doc.Find("title"); t != nil {
+		title = strings.ToLower(t.InnerText())
+	}
+	titleBrand := false
+	for _, k := range keys {
+		if strings.Contains(title, k) {
+			titleBrand = true
+			break
+		}
+	}
+	out[FTitleBrand] = b2f(titleBrand)
+
+	// FWB-specific features.
+	out[FObfuscatedBanner] = b2f(hasObfuscatedBanner(hidden))
+	out[FNoindex] = b2f(hasNoindex(doc))
+	return out, nil
+}
+
+// Vector projects the feature map into the named order.
+func Vector(names []string, m map[string]float64) []float64 {
+	out := make([]float64, len(names))
+	for i, n := range names {
+		out[i] = m[n]
+	}
+	return out
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// multipleTLDs reports whether TLD-looking tokens appear in non-final host
+// labels (the paypal.com.evil.xyz trick).
+func multipleTLDs(u urlx.Parts) bool {
+	tldish := map[string]bool{"com": true, "net": true, "org": true, "edu": true, "gov": true}
+	for _, l := range u.Labels[:max(0, len(u.Labels)-1)] {
+		if tldish[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// hasObfuscatedBanner reports whether any hidden element looks like a
+// service banner: its id or class mentions "banner", "footer", "badge",
+// "branding", or "attribution" — the §4.2 obfuscated-footer feature.
+func hasObfuscatedBanner(hidden []*htmlx.Node) bool {
+	for _, n := range hidden {
+		idc := strings.ToLower(n.AttrOr("id", "") + " " + n.AttrOr("class", ""))
+		for _, marker := range []string{"banner", "footer", "badge", "branding", "attribution"} {
+			if strings.Contains(idc, marker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasNoindex reports whether a robots meta tag requests no indexing.
+func hasNoindex(doc *htmlx.Node) bool {
+	for _, m := range doc.FindAll("meta") {
+		if strings.EqualFold(m.AttrOr("name", ""), "robots") &&
+			strings.Contains(strings.ToLower(m.AttrOr("content", "")), "noindex") {
+			return true
+		}
+	}
+	return false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,341 @@
+package fwb
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"freephish/internal/ctlog"
+	"freephish/internal/urlx"
+)
+
+var now = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRegistryHasSeventeenServices(t *testing.T) {
+	if got := len(All()); got != 17 {
+		t.Fatalf("registry has %d services, want 17 (paper)", got)
+	}
+}
+
+func TestFourteenServicesOfferComTLD(t *testing.T) {
+	n := 0
+	for _, s := range All() {
+		if s.ComTLD {
+			n++
+		}
+	}
+	if n != 14 {
+		t.Fatalf("%d services offer .com, want 14 (Section 3)", n)
+	}
+}
+
+func TestEveryServiceComplete(t *testing.T) {
+	for _, s := range All() {
+		if s.Name == "" || s.Key == "" || s.Domain == "" {
+			t.Errorf("incomplete service: %+v", s)
+		}
+		if s.DomainAgeYears <= 0 {
+			t.Errorf("%s: non-positive domain age", s.Name)
+		}
+		if s.CertType != ctlog.OV && s.CertType != ctlog.EV {
+			t.Errorf("%s: cert type %q, want EV or OV (never DV, §3)", s.Name, s.CertType)
+		}
+		if !strings.Contains(s.BannerHTML, "<div") {
+			t.Errorf("%s: banner is not a div", s.Name)
+		}
+		if s.TemplateRichness <= 0 || s.TemplateRichness >= 1 {
+			t.Errorf("%s: richness %v out of (0,1)", s.Name, s.TemplateRichness)
+		}
+		if s.AbuseWeight <= 0 || s.RemovalRate < 0 || s.RemovalRate > 1 {
+			t.Errorf("%s: bad calibration %v / %v", s.Name, s.AbuseWeight, s.RemovalRate)
+		}
+		if s.MedianResponse <= 0 {
+			t.Errorf("%s: non-positive median response", s.Name)
+		}
+		switch s.ResponseClass {
+		case Responsive, TicketOnly, Unresponsive:
+		default:
+			t.Errorf("%s: unknown response class %q", s.Name, s.ResponseClass)
+		}
+	}
+}
+
+func TestByKey(t *testing.T) {
+	s, ok := ByKey("weebly")
+	if !ok || s.Name != "Weebly" {
+		t.Fatalf("ByKey(weebly) = %+v, %v", s, ok)
+	}
+	if _, ok := ByKey("myspace"); ok {
+		t.Fatal("unknown key resolved")
+	}
+}
+
+func TestIdentifySubdomainStyle(t *testing.T) {
+	s := Identify("free-gift.weebly.com", "/")
+	if s == nil || s.Key != "weebly" {
+		t.Fatalf("Identify = %+v", s)
+	}
+	if Identify("weebly.com", "/") != nil {
+		t.Fatal("apex domain is the service itself, not a hosted site")
+	}
+	if Identify("notweebly.com", "/x") != nil {
+		t.Fatal("suffix trick identified as FWB")
+	}
+}
+
+func TestIdentifyPathStyle(t *testing.T) {
+	s := Identify("sites.google.com", "/view/oofifhdfhehdy")
+	if s == nil || s.Key != "googlesites" {
+		t.Fatalf("Identify google sites = %+v", s)
+	}
+	if Identify("sites.google.com", "/") != nil {
+		t.Fatal("domain root of path-based FWB is not a site")
+	}
+	s = Identify("docs.google.com", "/forms/d/e/abc/viewform")
+	if s == nil || s.Key != "googleforms" {
+		t.Fatalf("Identify google forms = %+v", s)
+	}
+}
+
+func TestSiteURLRoundTripsThroughIdentify(t *testing.T) {
+	for _, s := range All() {
+		u := s.SiteURL("test-site-1")
+		p, err := urlx.Parse(u)
+		if err != nil {
+			t.Fatalf("%s: SiteURL %q does not parse: %v", s.Name, u, err)
+		}
+		got := Identify(p.Host, p.Path)
+		if got != s {
+			t.Errorf("%s: Identify(%q, %q) = %v", s.Name, p.Host, p.Path, got)
+		}
+	}
+}
+
+func TestSharedCertificateCoversHostedSites(t *testing.T) {
+	weebly, _ := ByKey("weebly")
+	cert := weebly.SharedCertificate(now)
+	if !cert.Covers("anything.weebly.com") {
+		t.Fatal("shared cert must cover subdomain sites")
+	}
+	if cert.Type == ctlog.DV {
+		t.Fatal("FWB certs are never DV")
+	}
+	// Path-based service: cert covers the service host itself (Figure 3:
+	// sites.google.com shares Google's cert).
+	gs, _ := ByKey("googlesites")
+	gcert := gs.SharedCertificate(now)
+	if !gcert.Covers("sites.google.com") {
+		t.Fatalf("google cert %q must cover sites.google.com", gcert.CommonName)
+	}
+}
+
+func TestBannerSubstitution(t *testing.T) {
+	s := &Service{BannerHTML: `<div>site %SITE% built free</div>`}
+	if got := s.Banner("shop"); got != `<div>site shop built free</div>` {
+		t.Fatalf("Banner = %q", got)
+	}
+}
+
+func TestAbuseWeightDistributionMatchesTable4(t *testing.T) {
+	// Weebly, 000webhost, and Wix collectively contributed >48% of all URLs
+	// (Section 5.1)... actually Weebly+000webhost+Wix ≈ 48%.
+	var trio, total float64
+	for _, s := range All() {
+		total += s.AbuseWeight
+		switch s.Key {
+		case "weebly", "000webhost", "wix":
+			trio += s.AbuseWeight
+		}
+	}
+	if frac := trio / total; frac < 0.44 || frac > 0.55 {
+		t.Fatalf("top-3 share = %.2f, want ≈0.48", frac)
+	}
+}
+
+func TestSiteTakedownLifecycle(t *testing.T) {
+	s := &Site{URL: "https://x.weebly.com/", Created: now}
+	if !s.Active(now.Add(time.Hour)) {
+		t.Fatal("fresh site must be active")
+	}
+	s.TakeDown(now.Add(2*time.Hour), "weebly")
+	if s.Active(now.Add(3 * time.Hour)) {
+		t.Fatal("site active after takedown")
+	}
+	if !s.Active(now.Add(time.Hour)) {
+		t.Fatal("site inactive before its takedown time")
+	}
+	// Second takedown must not overwrite the first.
+	s.TakeDown(now.Add(10*time.Hour), "gsb")
+	_, at, by := s.TakenDown()
+	if !at.Equal(now.Add(2*time.Hour)) || by != "weebly" {
+		t.Fatalf("takedown overwritten: %v by %q", at, by)
+	}
+}
+
+func TestHostPublishAndLookup(t *testing.T) {
+	h := NewHost(func() time.Time { return now })
+	site := &Site{URL: "https://shop.weebly.com/", HTML: "<html>hi</html>", Kind: KindBenign}
+	if err := h.Publish(site); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Publish(site); err == nil {
+		t.Fatal("duplicate publish should fail")
+	}
+	if got := h.Lookup("https://shop.weebly.com"); got != site {
+		t.Fatal("Lookup with/without trailing slash must agree")
+	}
+	if got := h.Lookup("https://other.weebly.com/"); got != nil {
+		t.Fatal("unknown site resolved")
+	}
+}
+
+func TestHostServesOverHTTP(t *testing.T) {
+	virtualNow := now
+	h := NewHost(func() time.Time { return virtualNow })
+	site := &Site{URL: "https://shop.weebly.com/", HTML: "<html><body>Fresh bread daily</body></html>", Kind: KindBenign, Created: now}
+	if err := h.Publish(site); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(host, path string) (int, string) {
+		req, _ := http.NewRequest("GET", srv.URL+path, nil)
+		req.Host = host
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("shop.weebly.com", "/")
+	if code != 200 || !strings.Contains(body, "Fresh bread") {
+		t.Fatalf("GET = %d %q", code, body)
+	}
+	code, _ = get("missing.weebly.com", "/")
+	if code != 404 {
+		t.Fatalf("missing site = %d, want 404", code)
+	}
+	site.TakeDown(now.Add(time.Hour), "weebly")
+	virtualNow = now.Add(2 * time.Hour)
+	code, body = get("shop.weebly.com", "/")
+	if code != http.StatusGone || !strings.Contains(body, "removed") {
+		t.Fatalf("taken-down site = %d %q, want 410", code, body)
+	}
+}
+
+func TestHostServesPathBasedSites(t *testing.T) {
+	h := NewHost(func() time.Time { return now })
+	gs, _ := ByKey("googlesites")
+	site := &Site{URL: gs.SiteURL("my-attack"), HTML: "<html>page</html>", Kind: KindPhishing, Created: now}
+	if err := h.Publish(site); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	req, _ := http.NewRequest("GET", srv.URL+"/view/my-attack", nil)
+	req.Host = "sites.google.com"
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestSiteKindIsMalicious(t *testing.T) {
+	if KindBenign.IsMalicious() {
+		t.Fatal("benign is malicious")
+	}
+	for _, k := range []SiteKind{KindPhishing, KindTwoStep, KindIFrameEmbed, KindDriveByDL, KindSelfHostPhish} {
+		if !k.IsMalicious() {
+			t.Fatalf("%s not malicious", k)
+		}
+	}
+}
+
+func TestHostSitesAndLen(t *testing.T) {
+	h := NewHost(func() time.Time { return now })
+	if h.Len() != 0 || len(h.Sites()) != 0 {
+		t.Fatal("fresh host not empty")
+	}
+	for i := 0; i < 3; i++ {
+		s := &Site{URL: fmt.Sprintf("https://s%d.weebly.com/", i)}
+		if err := h.Publish(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 3 || len(h.Sites()) != 3 {
+		t.Fatalf("Len=%d Sites=%d", h.Len(), len(h.Sites()))
+	}
+}
+
+func TestHostPublishBadURL(t *testing.T) {
+	h := NewHost(func() time.Time { return now })
+	if err := h.Publish(&Site{URL: "http://bad url"}); err == nil {
+		t.Fatal("bad URL accepted")
+	}
+}
+
+func TestTotalAbuseWeight(t *testing.T) {
+	total := TotalAbuseWeight()
+	// Sum of Table 4 URL counts = 31,405 minus rounding in our table.
+	if total < 29000 || total > 33000 {
+		t.Fatalf("total abuse weight = %v, want ≈31,405", total)
+	}
+}
+
+func TestSharedCertificateSingleLabelDomain(t *testing.T) {
+	s := &Service{Domain: "weebly.com", CertOrg: "x", CertType: ctlog.OV}
+	c := s.SharedCertificate(now)
+	if c.CommonName != "*.weebly.com" {
+		t.Fatalf("CN = %q", c.CommonName)
+	}
+	s2 := &Service{Domain: "localhost", PathBased: true, CertOrg: "x", CertType: ctlog.OV}
+	if c2 := s2.SharedCertificate(now); c2.CommonName != "*.localhost" {
+		t.Fatalf("single-label CN = %q", c2.CommonName)
+	}
+}
+
+func TestBotLikeUA(t *testing.T) {
+	for _, ua := range []string{"", "curl/8.0", "python-requests/2.28", "Googlebot/2.1", "Go-http-client/1.1", "Scrapy/2.6"} {
+		if !BotLikeUA(ua) {
+			t.Errorf("%q not detected as bot", ua)
+		}
+	}
+	if BotLikeUA("Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 Chrome/107.0.0.0") {
+		t.Error("browser UA detected as bot")
+	}
+}
+
+func TestCloakingOnlyAffectsCloakedSites(t *testing.T) {
+	virtualNow := now
+	h := NewHost(func() time.Time { return virtualNow })
+	plain := &Site{URL: "https://plain.weebly.com/", HTML: "<html>real</html>", Created: now}
+	if err := h.Publish(plain); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	req, _ := http.NewRequest("GET", srv.URL+"/", nil)
+	req.Host = "plain.weebly.com"
+	req.Header.Set("User-Agent", "curl/8.0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "real") {
+		t.Fatalf("non-cloaked site served decoy to bot UA: %q", body)
+	}
+}

@@ -1,0 +1,327 @@
+// Package fwb models the 17 Free Website Building services the paper
+// studies: their hosting domains, templates and banners, shared SSL
+// certificates, abuse volumes, takedown behaviour, and the properties that
+// make them attractive to phishers (Section 3). It also provides the HTTP
+// hosting substrate that serves created sites to the FreePhish crawler.
+package fwb
+
+import (
+	"strings"
+	"time"
+
+	"freephish/internal/ctlog"
+)
+
+// ResponseClass captures how a service reacts to abuse reports (§5.3).
+type ResponseClass string
+
+// Report-handling classes observed in the paper.
+const (
+	// Responsive services acknowledge reports, follow up, and remove both
+	// the site and the attacker account (Weebly, Wix, 000webhost, Zoho).
+	Responsive ResponseClass = "responsive"
+	// TicketOnly services open a support ticket but rarely resolve it
+	// (Squareup, Github.io, Google Sites, Blogspot).
+	TicketOnly ResponseClass = "ticket-only"
+	// Unresponsive services never answered any report (WordPress,
+	// GoDaddySites, Firebase, Sharepoint, Yolasite).
+	Unresponsive ResponseClass = "unresponsive"
+)
+
+// EvasionProfile gives the per-service rates of the three evasive attack
+// variants from Section 5.5, as fractions of that service's phishing URLs.
+type EvasionProfile struct {
+	TwoStep float64 // landing page linking to an external phishing page
+	IFrame  float64 // hidden iframe embedding an external attack
+	DriveBy float64 // malicious drive-by download
+}
+
+// Service describes one FWB service. All calibrated fields cite the paper
+// table they reproduce.
+type Service struct {
+	Name   string // display name as used in Table 4
+	Key    string // stable lower-case identifier
+	Domain string // hosting domain for created sites, e.g. weebly.com
+	// PathBased services host sites under a path (sites.google.com/view/x)
+	// instead of a subdomain (x.weebly.com).
+	PathBased bool
+	// PathPrefix is the path template for path-based services,
+	// e.g. "/view/" for Google Sites or "/forms/d/e/" for Google Forms.
+	PathPrefix string
+	// ComTLD reports whether free sites get a .com URL (14 of 17 do, §3).
+	ComTLD bool
+	// DomainAgeYears is the hosting domain's age at the study epoch; FWB
+	// sites inherit it (§3, median 13.7y in D1).
+	DomainAgeYears float64
+	// CertType is the shared certificate class (§3: EV or OV, never DV).
+	CertType ctlog.ValidationType
+	CertOrg  string
+	// BannerHTML is the service banner injected into every free site; the
+	// %SITE% placeholder is replaced with the site name. Attackers obfuscate
+	// this div (§4.2, "Obfuscating FWB Footer").
+	BannerHTML string
+	// TemplateClass is the CSS class prefix the service's builder emits;
+	// it drives the high phishing↔benign code similarity of Table 1.
+	TemplateClass string
+	// TemplateRichness in [0,1] controls how much of a generated page is
+	// service boilerplate vs author content; calibrated so Table 1 medians
+	// are reproduced (Weebly 0.794 … Github.io 0.374).
+	TemplateRichness float64
+	// AbuseWeight is proportional to the service's share of phishing URLs
+	// (Table 4 URL counts).
+	AbuseWeight float64
+	// RemovalRate is the fraction of reported phishing sites the service
+	// removes within two weeks (Table 4, "Domain / Removal Rate").
+	RemovalRate float64
+	// MedianResponse is the median report→takedown latency (Table 4).
+	MedianResponse time.Duration
+	// ResponseClass is the §5.3 report-handling behaviour.
+	ResponseClass ResponseClass
+	// BlocklistFamiliarity in [0,1] scales blocklist per-scan detection for
+	// sites on this service; heavily-abused FWBs (Weebly, 000webhost, Wix)
+	// receive more scrutiny (Table 4 discussion).
+	BlocklistFamiliarity float64
+	// Evasion is the §5.5 evasive-variant mix.
+	Evasion EvasionProfile
+}
+
+func hm(h, m int) time.Duration {
+	return time.Duration(h)*time.Hour + time.Duration(m)*time.Minute
+}
+
+// registry holds the 17 services. AbuseWeight = Table 4 URL counts;
+// RemovalRate/MedianResponse = Table 4 "Domain" columns; ResponseClass =
+// §5.3; Evasion = §5.5; TemplateRichness calibrated against Table 1.
+var registry = []*Service{
+	{
+		Name: "Weebly", Key: "weebly", Domain: "weebly.com", ComTLD: true,
+		DomainAgeYears: 16, CertType: ctlog.OV, CertOrg: "Weebly, Inc.",
+		BannerHTML:    `<div class="weebly-footer" id="weebly-banner">Powered by <a href="https://www.weebly.com">Weebly</a> — create your free website</div>`,
+		TemplateClass: "wsite", TemplateRichness: 0.75,
+		AbuseWeight: 7031, RemovalRate: 0.5856, MedianResponse: hm(1, 39),
+		ResponseClass: Responsive, BlocklistFamiliarity: 0.95,
+	},
+	{
+		Name: "000webhost", Key: "000webhost", Domain: "000webhostapp.com", ComTLD: true,
+		DomainAgeYears: 15, CertType: ctlog.OV, CertOrg: "Hostinger",
+		BannerHTML:    `<div class="wh-banner" id="webhost-banner">Website powered by <a href="https://www.000webhost.com">000webhost</a></div>`,
+		TemplateClass: "wh", TemplateRichness: 0.62,
+		AbuseWeight: 5934, RemovalRate: 0.5904, MedianResponse: hm(0, 45),
+		ResponseClass: Responsive, BlocklistFamiliarity: 0.93,
+	},
+	{
+		Name: "Blogspot", Key: "blogspot", Domain: "blogspot.com", ComTLD: true,
+		DomainAgeYears: 22, CertType: ctlog.OV, CertOrg: "Google LLC",
+		BannerHTML:    `<div class="blogger-attribution" id="blogspot-banner">Powered by <a href="https://www.blogger.com">Blogger</a></div>`,
+		TemplateClass: "blogger", TemplateRichness: 0.57,
+		AbuseWeight: 3156, RemovalRate: 0.0852, MedianResponse: hm(6, 51),
+		ResponseClass: TicketOnly, BlocklistFamiliarity: 0.45,
+		Evasion: EvasionProfile{TwoStep: 0.14, IFrame: 0.15, DriveBy: 0.23},
+	},
+	{
+		Name: "Wix.com", Key: "wix", Domain: "wixsite.com", ComTLD: true,
+		DomainAgeYears: 16, CertType: ctlog.OV, CertOrg: "Wix.com Ltd.",
+		BannerHTML:    `<div class="wix-banner" id="wix-banner">This site was created with <a href="https://www.wix.com">Wix</a>.com — it's easy and free</div>`,
+		TemplateClass: "wixui", TemplateRichness: 0.57,
+		AbuseWeight: 2338, RemovalRate: 0.6455, MedianResponse: hm(2, 16),
+		ResponseClass: Responsive, BlocklistFamiliarity: 0.90,
+	},
+	{
+		Name: "Google Sites", Key: "googlesites", Domain: "sites.google.com", PathBased: true, PathPrefix: "/view/", ComTLD: true,
+		DomainAgeYears: 24, CertType: ctlog.OV, CertOrg: "Google LLC",
+		BannerHTML:    `<div class="sites-banner" id="gsites-banner">Made with <a href="https://sites.google.com">Google Sites</a> — Report abuse</div>`,
+		TemplateClass: "gsite", TemplateRichness: 0.655,
+		AbuseWeight: 2247, RemovalRate: 0.0776, MedianResponse: hm(12, 22),
+		ResponseClass: TicketOnly, BlocklistFamiliarity: 0.25,
+		Evasion: EvasionProfile{TwoStep: 0.24, IFrame: 0.19, DriveBy: 0.29},
+	},
+	{
+		Name: "github.io", Key: "github", Domain: "github.io", ComTLD: false,
+		DomainAgeYears: 10, CertType: ctlog.OV, CertOrg: "GitHub, Inc.",
+		BannerHTML:    `<div class="gh-pages-footer" id="ghpages-banner">Hosted on <a href="https://pages.github.com">GitHub Pages</a></div>`,
+		TemplateClass: "gh", TemplateRichness: 0.21,
+		AbuseWeight: 942, RemovalRate: 0.0916, MedianResponse: hm(20, 34),
+		ResponseClass: TicketOnly, BlocklistFamiliarity: 0.40,
+	},
+	{
+		Name: "Firebase", Key: "firebase", Domain: "web.app", ComTLD: false,
+		DomainAgeYears: 6, CertType: ctlog.OV, CertOrg: "Google LLC",
+		BannerHTML:    `<div class="firebase-badge" id="firebase-banner">Hosted with <a href="https://firebase.google.com">Firebase Hosting</a></div>`,
+		TemplateClass: "fb", TemplateRichness: 0.44,
+		AbuseWeight: 1416, RemovalRate: 0.0722, MedianResponse: hm(14, 15),
+		ResponseClass: Unresponsive, BlocklistFamiliarity: 0.35,
+	},
+	{
+		Name: "Squareup", Key: "squareup", Domain: "squareup.com", ComTLD: true,
+		DomainAgeYears: 8, CertType: ctlog.OV, CertOrg: "Block, Inc.",
+		BannerHTML:    `<div class="sq-footer" id="square-banner">Made with <a href="https://squareup.com">Square Online</a></div>`,
+		TemplateClass: "sq", TemplateRichness: 0.52,
+		AbuseWeight: 1736, RemovalRate: 0.1875, MedianResponse: hm(10, 11),
+		ResponseClass: TicketOnly, BlocklistFamiliarity: 0.38,
+	},
+	{
+		Name: "Zoho Forms", Key: "zohoforms", Domain: "forms.zohopublic.com", PathBased: true, PathPrefix: "/form/", ComTLD: true,
+		DomainAgeYears: 12, CertType: ctlog.OV, CertOrg: "Zoho Corporation",
+		BannerHTML:    `<div class="zf-branding" id="zoho-banner">Powered by <a href="https://www.zoho.com/forms">Zoho Forms</a></div>`,
+		TemplateClass: "zf", TemplateRichness: 0.60,
+		AbuseWeight: 498, RemovalRate: 0.2457, MedianResponse: hm(7, 11),
+		ResponseClass: Responsive, BlocklistFamiliarity: 0.30,
+	},
+	{
+		Name: "Wordpress", Key: "wordpress", Domain: "wordpress.com", ComTLD: true,
+		DomainAgeYears: 22, CertType: ctlog.OV, CertOrg: "Automattic Inc.",
+		BannerHTML:    `<div class="wp-footer-credit" id="wp-banner">Blog at <a href="https://wordpress.com">WordPress.com</a>.</div>`,
+		TemplateClass: "wp", TemplateRichness: 0.56,
+		AbuseWeight: 786, RemovalRate: 0.0509, MedianResponse: hm(20, 50),
+		ResponseClass: Unresponsive, BlocklistFamiliarity: 0.42,
+	},
+	{
+		Name: "Google Forms", Key: "googleforms", Domain: "docs.google.com", PathBased: true, PathPrefix: "/forms/d/e/", ComTLD: true,
+		DomainAgeYears: 24, CertType: ctlog.OV, CertOrg: "Google LLC",
+		BannerHTML:    `<div class="gforms-banner" id="gforms-banner">This content is neither created nor endorsed by Google. <a href="https://docs.google.com/forms">Google Forms</a></div>`,
+		TemplateClass: "gform", TemplateRichness: 0.70,
+		AbuseWeight: 1397, RemovalRate: 0.1196, MedianResponse: hm(6, 17),
+		ResponseClass: TicketOnly, BlocklistFamiliarity: 0.22,
+		Evasion: EvasionProfile{TwoStep: 0.21, IFrame: 0.04, DriveBy: 0.08},
+	},
+	{
+		Name: "Sharepoint", Key: "sharepoint", Domain: "sharepoint.com", ComTLD: true,
+		DomainAgeYears: 21, CertType: ctlog.EV, CertOrg: "Microsoft Corporation",
+		BannerHTML:    `<div class="sp-banner" id="sp-banner">Shared via <a href="https://www.microsoft.com/microsoft-365/sharepoint">Microsoft SharePoint</a></div>`,
+		TemplateClass: "sp", TemplateRichness: 0.64,
+		AbuseWeight: 2181, RemovalRate: 0.0764, MedianResponse: hm(5, 7),
+		ResponseClass: Unresponsive, BlocklistFamiliarity: 0.28,
+		Evasion: EvasionProfile{TwoStep: 0.16, IFrame: 0.05, DriveBy: 0.54},
+	},
+	{
+		Name: "Yolasite", Key: "yolasite", Domain: "yolasite.com", ComTLD: true,
+		DomainAgeYears: 14, CertType: ctlog.OV, CertOrg: "Yola, Inc.",
+		BannerHTML:    `<div class="yola-banner" id="yola-banner">Make a free website with <a href="https://www.yola.com">Yola</a></div>`,
+		TemplateClass: "yola", TemplateRichness: 0.54,
+		AbuseWeight: 601, RemovalRate: 0.0752, MedianResponse: hm(7, 5),
+		ResponseClass: Unresponsive, BlocklistFamiliarity: 0.20,
+	},
+	{
+		Name: "GoDaddySites", Key: "godaddysites", Domain: "godaddysites.com", ComTLD: true,
+		DomainAgeYears: 7, CertType: ctlog.OV, CertOrg: "GoDaddy.com, LLC",
+		BannerHTML:    `<div class="gd-banner" id="gd-banner">Website built with <a href="https://www.godaddy.com">GoDaddy</a> Website Builder</div>`,
+		TemplateClass: "gd", TemplateRichness: 0.55,
+		AbuseWeight: 418, RemovalRate: 0.0584, MedianResponse: hm(4, 58),
+		ResponseClass: Unresponsive, BlocklistFamiliarity: 0.18,
+	},
+	{
+		Name: "MailChimp", Key: "mailchimp", Domain: "mailchimp-sites.com", ComTLD: true,
+		DomainAgeYears: 9, CertType: ctlog.OV, CertOrg: "Intuit Inc.",
+		BannerHTML:    `<div class="mc-banner" id="mc-banner">Built with <a href="https://mailchimp.com">Mailchimp</a> — free landing pages</div>`,
+		TemplateClass: "mc", TemplateRichness: 0.53,
+		AbuseWeight: 183, RemovalRate: 0.2367, MedianResponse: hm(18, 11),
+		ResponseClass: TicketOnly, BlocklistFamiliarity: 0.16,
+	},
+	{
+		Name: "glitch.me", Key: "glitch", Domain: "glitch.me", ComTLD: false,
+		DomainAgeYears: 6, CertType: ctlog.OV, CertOrg: "Fastly, Inc.",
+		BannerHTML:    `<div class="glitch-badge" id="glitch-banner">Remix this app on <a href="https://glitch.com">Glitch</a></div>`,
+		TemplateClass: "gl", TemplateRichness: 0.37,
+		AbuseWeight: 480, RemovalRate: 0.2131, MedianResponse: hm(34, 47),
+		ResponseClass: TicketOnly, BlocklistFamiliarity: 0.14,
+	},
+	{
+		Name: "hpage", Key: "hpage", Domain: "hpage.com", ComTLD: true,
+		DomainAgeYears: 13, CertType: ctlog.OV, CertOrg: "hPage GmbH",
+		BannerHTML:    `<div class="hpage-banner" id="hpage-banner">Free website created on <a href="https://www.hpage.com">hPage</a></div>`,
+		TemplateClass: "hp", TemplateRichness: 0.50,
+		AbuseWeight: 61, RemovalRate: 0.1960, MedianResponse: hm(11, 45),
+		ResponseClass: TicketOnly, BlocklistFamiliarity: 0.10,
+	},
+}
+
+var (
+	byKey    = map[string]*Service{}
+	byDomain = map[string]*Service{}
+)
+
+func init() {
+	for _, s := range registry {
+		byKey[s.Key] = s
+		byDomain[s.Domain] = s
+	}
+}
+
+// All returns the 17 services in registry order. Callers must not modify
+// the returned slice or the Services it points to.
+func All() []*Service { return registry }
+
+// ByKey looks a service up by its stable key.
+func ByKey(key string) (*Service, bool) {
+	s, ok := byKey[strings.ToLower(key)]
+	return s, ok
+}
+
+// Identify returns the FWB service hosting the given URL host (and path for
+// path-based services), or nil when the URL is not FWB-hosted. This is the
+// core test the streaming module applies to every collected URL.
+func Identify(host, path string) *Service {
+	host = strings.ToLower(host)
+	for _, s := range registry {
+		if s.PathBased {
+			if host == s.Domain || strings.HasSuffix(host, "."+s.Domain) {
+				// Path-based FWBs require a site path below the domain root.
+				if path != "" && path != "/" {
+					return s
+				}
+			}
+			continue
+		}
+		if strings.HasSuffix(host, "."+s.Domain) {
+			return s
+		}
+	}
+	return nil
+}
+
+// Banner returns the service banner with the site name substituted.
+func (s *Service) Banner(siteName string) string {
+	return strings.ReplaceAll(s.BannerHTML, "%SITE%", siteName)
+}
+
+// SiteURL builds the canonical URL for a site named name on this service:
+// subdomain style (https://name.weebly.com/) or path style
+// (https://sites.google.com/view/name).
+func (s *Service) SiteURL(name string) string {
+	if s.PathBased {
+		prefix := s.PathPrefix
+		if prefix == "" {
+			prefix = "/view/"
+		}
+		return "https://" + s.Domain + prefix + name
+	}
+	return "https://" + name + "." + s.Domain + "/"
+}
+
+// SharedCertificate returns the service's shared SSL certificate, issued
+// certAge before at. Every site on the service presents this certificate —
+// the Section 3 CT-invisibility mechanism.
+func (s *Service) SharedCertificate(at time.Time) ctlog.Certificate {
+	issued := at.AddDate(0, -10, 0) // re-issued within the last year
+	cn := "*." + s.Domain
+	if s.PathBased {
+		cn = "*." + parentDomain(s.Domain)
+	}
+	return ctlog.NewCertificate(cn, s.CertOrg, s.CertType, issued, 2*365*24*time.Hour)
+}
+
+func parentDomain(d string) string {
+	if i := strings.IndexByte(d, '.'); i >= 0 {
+		return d[i+1:]
+	}
+	return d
+}
+
+// TotalAbuseWeight returns the sum of all services' abuse weights.
+func TotalAbuseWeight() float64 {
+	t := 0.0
+	for _, s := range registry {
+		t += s.AbuseWeight
+	}
+	return t
+}

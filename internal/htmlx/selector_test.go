@@ -1,0 +1,90 @@
+package htmlx
+
+import "testing"
+
+const selDoc = `<html><body>
+<div id="main" class="wrapper dark">
+  <form action="/login" method="post">
+    <input type="email" name="email" class="field big">
+    <input type="password" name="pass" class="field">
+    <button type="submit" class="btn primary">Go</button>
+  </form>
+  <div class="banner" id="weebly-banner">Powered by Weebly</div>
+</div>
+<input type="text" name="outside">
+</body></html>`
+
+func TestSelectByTag(t *testing.T) {
+	doc := Parse(selDoc)
+	if got := len(doc.Select("input")); got != 3 {
+		t.Fatalf("inputs = %d, want 3", got)
+	}
+	if got := len(doc.Select("form")); got != 1 {
+		t.Fatalf("forms = %d", got)
+	}
+}
+
+func TestSelectByClassAndID(t *testing.T) {
+	doc := Parse(selDoc)
+	if got := len(doc.Select(".field")); got != 2 {
+		t.Fatalf(".field = %d, want 2", got)
+	}
+	if got := len(doc.Select(".field.big")); got != 1 {
+		t.Fatalf(".field.big = %d, want 1", got)
+	}
+	if n := doc.SelectFirst("#weebly-banner"); n == nil || n.Tag != "div" {
+		t.Fatalf("#weebly-banner = %v", n)
+	}
+	if n := doc.SelectFirst("div#main.wrapper"); n == nil {
+		t.Fatal("compound tag#id.class failed")
+	}
+	if doc.SelectFirst("div#main.missing") != nil {
+		t.Fatal("wrong class matched")
+	}
+}
+
+func TestSelectByAttribute(t *testing.T) {
+	doc := Parse(selDoc)
+	pw := doc.Select(`input[type=password]`)
+	if len(pw) != 1 || pw[0].AttrOr("name", "") != "pass" {
+		t.Fatalf("password selector = %v", pw)
+	}
+	if got := len(doc.Select(`input[type]`)); got != 3 {
+		t.Fatalf("presence selector = %d, want 3", got)
+	}
+	if got := len(doc.Select(`input[type="email"]`)); got != 1 {
+		t.Fatalf("quoted value selector = %d", got)
+	}
+	if got := len(doc.Select(`input[type=submit]`)); got != 0 {
+		t.Fatalf("non-matching value = %d", got)
+	}
+}
+
+func TestSelectDescendant(t *testing.T) {
+	doc := Parse(selDoc)
+	// Inputs inside the form only — not the stray one outside.
+	if got := len(doc.Select("form input")); got != 2 {
+		t.Fatalf("form input = %d, want 2", got)
+	}
+	if got := len(doc.Select("#main form input[type=password]")); got != 1 {
+		t.Fatalf("deep descendant = %d, want 1", got)
+	}
+	if got := len(doc.Select("form div")); got != 0 {
+		t.Fatalf("non-descendant = %d, want 0", got)
+	}
+}
+
+func TestSelectWildcardAndEdge(t *testing.T) {
+	doc := Parse(selDoc)
+	if got := len(doc.Select("*.banner")); got != 1 {
+		t.Fatalf("wildcard = %d", got)
+	}
+	if got := doc.Select(""); got != nil {
+		t.Fatalf("empty selector = %v", got)
+	}
+	if doc.SelectFirst("video") != nil {
+		t.Fatal("absent tag matched")
+	}
+	// Unterminated attribute selector degrades to no panic.
+	_ = doc.Select("input[type=password")
+}

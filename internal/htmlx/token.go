@@ -1,0 +1,318 @@
+// Package htmlx is a from-scratch HTML tokenizer and lightweight DOM used by
+// the FreePhish preprocessing module. The standard library has no HTML
+// parser, and the feature extractors (Section 4.2 of the paper) need tag
+// structure, attributes, inline styles, forms, links, iframes, and meta tags.
+//
+// The parser is deliberately forgiving, in the spirit of browsers: unknown
+// tags are kept, unclosed elements are closed at end of input, and stray
+// close tags are dropped. It is not a full WHATWG tree builder — phishing
+// pages are hostile input, so the goal is never to crash and to recover the
+// same structure a browser-derived feature pipeline would see.
+package htmlx
+
+import (
+	"strings"
+)
+
+// TokenType identifies the kind of a lexical token.
+type TokenType int
+
+// Token kinds produced by the Tokenizer.
+const (
+	TextToken TokenType = iota
+	StartTagToken
+	EndTagToken
+	SelfClosingTagToken
+	CommentToken
+	DoctypeToken
+)
+
+func (t TokenType) String() string {
+	switch t {
+	case TextToken:
+		return "Text"
+	case StartTagToken:
+		return "StartTag"
+	case EndTagToken:
+		return "EndTag"
+	case SelfClosingTagToken:
+		return "SelfClosingTag"
+	case CommentToken:
+		return "Comment"
+	case DoctypeToken:
+		return "Doctype"
+	}
+	return "Unknown"
+}
+
+// Attr is a single name="value" attribute. Names are lower-cased; values
+// keep their original text with surrounding quotes removed.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Token is one lexical unit of an HTML document.
+type Token struct {
+	Type  TokenType
+	Data  string // tag name (lower-cased) or text/comment content
+	Attrs []Attr
+	Raw   string // the exact source slice the token was read from
+}
+
+// Attr returns the value of the named attribute and whether it was present.
+func (t *Token) Attr(name string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Key == name {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// rawTextTags are elements whose content is raw text up to the matching
+// close tag (no nested markup).
+var rawTextTags = map[string]bool{
+	"script":   true,
+	"style":    true,
+	"textarea": true,
+	"title":    true,
+}
+
+// Tokenizer splits HTML source into Tokens. The zero value is not usable;
+// construct with NewTokenizer.
+type Tokenizer struct {
+	src string
+	pos int
+	// pending raw-text mode: after emitting <script> etc., the next token is
+	// everything up to the matching close tag.
+	rawTag string
+}
+
+// NewTokenizer returns a Tokenizer over src.
+func NewTokenizer(src string) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+// Next returns the next token, or ok=false at end of input.
+func (z *Tokenizer) Next() (Token, bool) {
+	if z.pos >= len(z.src) {
+		return Token{}, false
+	}
+	if z.rawTag != "" {
+		return z.readRawText(), true
+	}
+	if z.src[z.pos] == '<' {
+		if tok, ok := z.readMarkup(); ok {
+			return tok, true
+		}
+		// A lone '<' that opens nothing: treat as text.
+	}
+	return z.readText(), true
+}
+
+// readText consumes up to the next '<' (or end of input).
+func (z *Tokenizer) readText() Token {
+	start := z.pos
+	if z.src[z.pos] == '<' {
+		z.pos++ // consume the stray '<' so we make progress
+	}
+	for z.pos < len(z.src) && z.src[z.pos] != '<' {
+		z.pos++
+	}
+	raw := z.src[start:z.pos]
+	return Token{Type: TextToken, Data: raw, Raw: raw}
+}
+
+// readRawText consumes raw content for script/style/textarea/title up to the
+// matching close tag. The close tag itself is left for the next call.
+func (z *Tokenizer) readRawText() Token {
+	closing := "</" + z.rawTag
+	lower := strings.ToLower(z.src[z.pos:])
+	idx := strings.Index(lower, closing)
+	var raw string
+	if idx < 0 {
+		raw = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		raw = z.src[z.pos : z.pos+idx]
+		z.pos += idx
+	}
+	z.rawTag = ""
+	return Token{Type: TextToken, Data: raw, Raw: raw}
+}
+
+// readMarkup consumes a tag, comment, or doctype starting at '<'. It reports
+// ok=false when the '<' does not open valid markup.
+func (z *Tokenizer) readMarkup() (Token, bool) {
+	rest := z.src[z.pos:]
+	switch {
+	case strings.HasPrefix(rest, "<!--"):
+		return z.readComment(), true
+	case strings.HasPrefix(rest, "<!") || strings.HasPrefix(rest, "<?"):
+		return z.readDeclaration(), true
+	}
+	if len(rest) < 2 {
+		return Token{}, false
+	}
+	c := rest[1]
+	isEnd := c == '/'
+	nameStart := 1
+	if isEnd {
+		if len(rest) < 3 {
+			return Token{}, false
+		}
+		c = rest[2]
+		nameStart = 2
+	}
+	if !isAlpha(c) {
+		return Token{}, false
+	}
+	// Find the closing '>' while honoring quoted attribute values.
+	end := -1
+	inQuote := byte(0)
+	for i := nameStart; i < len(rest); i++ {
+		ch := rest[i]
+		if inQuote != 0 {
+			if ch == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		switch ch {
+		case '"', '\'':
+			inQuote = ch
+		case '>':
+			end = i
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		// Unterminated tag: consume the rest as text.
+		raw := rest
+		z.pos = len(z.src)
+		return Token{Type: TextToken, Data: raw, Raw: raw}, true
+	}
+	raw := rest[:end+1]
+	z.pos += end + 1
+
+	inner := rest[nameStart:end]
+	selfClose := false
+	if strings.HasSuffix(strings.TrimSpace(inner), "/") {
+		selfClose = true
+		inner = strings.TrimSpace(inner)
+		inner = inner[:len(inner)-1]
+	}
+	name, attrs := parseTagBody(inner)
+	tok := Token{Data: name, Attrs: attrs, Raw: raw}
+	switch {
+	case isEnd:
+		tok.Type = EndTagToken
+		tok.Attrs = nil
+	case selfClose:
+		tok.Type = SelfClosingTagToken
+	default:
+		tok.Type = StartTagToken
+		if rawTextTags[name] {
+			z.rawTag = name
+		}
+	}
+	return tok, true
+}
+
+func (z *Tokenizer) readComment() Token {
+	rest := z.src[z.pos:]
+	end := strings.Index(rest[4:], "-->")
+	var raw, data string
+	if end < 0 {
+		raw = rest
+		data = rest[4:]
+		z.pos = len(z.src)
+	} else {
+		raw = rest[:4+end+3]
+		data = rest[4 : 4+end]
+		z.pos += len(raw)
+	}
+	return Token{Type: CommentToken, Data: data, Raw: raw}
+}
+
+func (z *Tokenizer) readDeclaration() Token {
+	rest := z.src[z.pos:]
+	end := strings.IndexByte(rest, '>')
+	var raw string
+	if end < 0 {
+		raw = rest
+		z.pos = len(z.src)
+	} else {
+		raw = rest[:end+1]
+		z.pos += end + 1
+	}
+	return Token{Type: DoctypeToken, Data: strings.TrimSpace(raw), Raw: raw}
+}
+
+// parseTagBody splits "a href='x' id=y" into the tag name and attributes.
+func parseTagBody(s string) (string, []Attr) {
+	i := 0
+	for i < len(s) && !isSpace(s[i]) {
+		i++
+	}
+	name := strings.ToLower(s[:i])
+	var attrs []Attr
+	for i < len(s) {
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		keyStart := i
+		for i < len(s) && s[i] != '=' && !isSpace(s[i]) {
+			i++
+		}
+		key := strings.ToLower(s[keyStart:i])
+		if key == "" {
+			i++
+			continue
+		}
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		val := ""
+		if i < len(s) && s[i] == '=' {
+			i++
+			for i < len(s) && isSpace(s[i]) {
+				i++
+			}
+			if i < len(s) && (s[i] == '"' || s[i] == '\'') {
+				q := s[i]
+				i++
+				valStart := i
+				for i < len(s) && s[i] != q {
+					i++
+				}
+				val = s[valStart:i]
+				if i < len(s) {
+					i++ // closing quote
+				}
+			} else {
+				valStart := i
+				for i < len(s) && !isSpace(s[i]) {
+					i++
+				}
+				val = s[valStart:i]
+			}
+		}
+		attrs = append(attrs, Attr{Key: key, Val: val})
+	}
+	return name, attrs
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func isAlpha(c byte) bool {
+	return ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}

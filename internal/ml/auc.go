@@ -1,0 +1,57 @@
+package ml
+
+import "sort"
+
+// AUC computes the area under the ROC curve from scores and binary labels
+// via the rank statistic (probability a random positive outscores a random
+// negative, ties counted half). It returns 0.5 for degenerate single-class
+// inputs — the no-information value.
+func AUC(scores []float64, labels []int) float64 {
+	n := len(scores)
+	if n == 0 || len(labels) != n {
+		return 0.5
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Average ranks with tie handling.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	var posRankSum float64
+	var nPos, nNeg int
+	for i, y := range labels {
+		if y == 1 {
+			nPos++
+			posRankSum += ranks[i]
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	u := posRankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// EvaluateAUC scores a fitted classifier's ranking quality on a test set.
+func EvaluateAUC(c Classifier, test *Dataset) float64 {
+	scores := make([]float64, test.Len())
+	for i, x := range test.X {
+		scores[i] = c.PredictProba(x)
+	}
+	return AUC(scores, test.Y)
+}

@@ -1,0 +1,108 @@
+package ml
+
+import "sort"
+
+// Feature importance for tree ensembles, by split frequency: how often a
+// feature is chosen for an internal split, normalized over the ensemble.
+// (Gain-weighted importance needs per-node gain retention; split frequency
+// is the standard cheap proxy and is what the paper-adjacent feature
+// discussion needs: which features the model actually consults.)
+
+// FeatureImportance returns the normalized split-frequency importance per
+// feature index for a fitted booster. It returns nil before Fit.
+func (gb *GradientBooster) FeatureImportance(nFeatures int) []float64 {
+	if len(gb.trees) == 0 || nFeatures <= 0 {
+		return nil
+	}
+	counts := make([]float64, nFeatures)
+	total := 0.0
+	for _, t := range gb.trees {
+		for _, n := range t.nodes {
+			if !n.leaf && n.feature < nFeatures {
+				counts[n.feature]++
+				total++
+			}
+		}
+	}
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= total
+		}
+	}
+	return counts
+}
+
+// FeatureImportance for a random forest, by the same split-frequency
+// definition.
+func (rf *RandomForest) FeatureImportance(nFeatures int) []float64 {
+	if len(rf.trees) == 0 || nFeatures <= 0 {
+		return nil
+	}
+	counts := make([]float64, nFeatures)
+	total := 0.0
+	for _, t := range rf.trees {
+		for _, n := range t.nodes {
+			if !n.leaf && n.feature < nFeatures {
+				counts[n.feature]++
+				total++
+			}
+		}
+	}
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= total
+		}
+	}
+	return counts
+}
+
+// FeatureImportance for the stack aggregates the refit base models'
+// importances over the original feature space (the meta layer's synthetic
+// features are excluded).
+func (s *StackModel) FeatureImportance() []float64 {
+	if len(s.base) == 0 || s.nFeat == 0 {
+		return nil
+	}
+	agg := make([]float64, s.nFeat)
+	for _, gb := range s.base {
+		imp := gb.FeatureImportance(s.nFeat)
+		for i, v := range imp {
+			agg[i] += v
+		}
+	}
+	total := 0.0
+	for _, v := range agg {
+		total += v
+	}
+	if total > 0 {
+		for i := range agg {
+			agg[i] /= total
+		}
+	}
+	return agg
+}
+
+// RankedFeature pairs a feature name with its importance.
+type RankedFeature struct {
+	Name       string
+	Importance float64
+}
+
+// RankFeatures sorts (name, importance) pairs descending.
+func RankFeatures(names []string, importance []float64) []RankedFeature {
+	n := len(names)
+	if len(importance) < n {
+		n = len(importance)
+	}
+	out := make([]RankedFeature, n)
+	for i := 0; i < n; i++ {
+		out[i] = RankedFeature{Name: names[i], Importance: importance[i]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Importance != out[j].Importance {
+			return out[i].Importance > out[j].Importance
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

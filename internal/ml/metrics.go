@@ -1,0 +1,63 @@
+package ml
+
+import "fmt"
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one (prediction, truth) pair.
+func (c *Confusion) Add(pred, truth int) {
+	switch {
+	case pred == 1 && truth == 1:
+		c.TP++
+	case pred == 1 && truth == 0:
+		c.FP++
+	case pred == 0 && truth == 0:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Metrics is the evaluation quartet Table 2 reports per model.
+type Metrics struct {
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Metrics computes the quartet from the confusion matrix.
+func (c Confusion) Metrics() Metrics {
+	var m Metrics
+	total := c.TP + c.FP + c.TN + c.FN
+	if total > 0 {
+		m.Accuracy = float64(c.TP+c.TN) / float64(total)
+	}
+	if c.TP+c.FP > 0 {
+		m.Precision = float64(c.TP) / float64(c.TP+c.FP)
+	}
+	if c.TP+c.FN > 0 {
+		m.Recall = float64(c.TP) / float64(c.TP+c.FN)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// Evaluate scores a fitted classifier against a test set.
+func Evaluate(c Classifier, test *Dataset) Metrics {
+	var conf Confusion
+	for i, x := range test.X {
+		conf.Add(Predict(c, x), test.Y[i])
+	}
+	return conf.Metrics()
+}
+
+// String renders the quartet the way Table 2 prints a row.
+func (m Metrics) String() string {
+	return fmt.Sprintf("acc=%.2f prec=%.2f rec=%.2f f1=%.2f", m.Accuracy, m.Precision, m.Recall, m.F1)
+}

@@ -1,0 +1,108 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Model persistence: a trained ensemble serializes to JSON so the
+// classifier can be trained once (the expensive stacking fit) and shipped
+// to consumers like the protective proxy, exactly as the paper's extension
+// ships a trained model to end users.
+
+// treeDTO is the wire form of one regression tree.
+type treeDTO struct {
+	Nodes []nodeDTO `json:"nodes"`
+}
+
+type nodeDTO struct {
+	Feature   int     `json:"f,omitempty"`
+	Threshold float64 `json:"t,omitempty"`
+	Left      int     `json:"l,omitempty"`
+	Right     int     `json:"r,omitempty"`
+	Leaf      bool    `json:"leaf,omitempty"`
+	Value     float64 `json:"v,omitempty"`
+}
+
+// boosterDTO is the wire form of a GradientBooster.
+type boosterDTO struct {
+	Config BoostConfig `json:"config"`
+	Bias   float64     `json:"bias"`
+	Trees  []treeDTO   `json:"trees"`
+}
+
+// MarshalJSON serializes the fitted booster.
+func (gb *GradientBooster) MarshalJSON() ([]byte, error) {
+	dto := boosterDTO{Config: gb.Config, Bias: gb.bias}
+	for _, t := range gb.trees {
+		td := treeDTO{Nodes: make([]nodeDTO, len(t.nodes))}
+		for i, n := range t.nodes {
+			td.Nodes[i] = nodeDTO{
+				Feature: n.feature, Threshold: n.threshold,
+				Left: n.left, Right: n.right, Leaf: n.leaf, Value: n.value,
+			}
+		}
+		dto.Trees = append(dto.Trees, td)
+	}
+	return json.Marshal(dto)
+}
+
+// UnmarshalJSON restores a fitted booster.
+func (gb *GradientBooster) UnmarshalJSON(data []byte) error {
+	var dto boosterDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return fmt.Errorf("ml: decode booster: %w", err)
+	}
+	gb.Config = dto.Config
+	gb.bias = dto.Bias
+	gb.trees = gb.trees[:0]
+	for _, td := range dto.Trees {
+		t := &regTree{nodes: make([]regNode, len(td.Nodes))}
+		for i, n := range td.Nodes {
+			if !n.Leaf && (n.Left < 0 || n.Left >= len(td.Nodes) || n.Right < 0 || n.Right >= len(td.Nodes)) {
+				return fmt.Errorf("ml: tree node %d has out-of-range children", i)
+			}
+			t.nodes[i] = regNode{
+				feature: n.Feature, threshold: n.Threshold,
+				left: n.Left, right: n.Right, leaf: n.Leaf, value: n.Value,
+			}
+		}
+		gb.trees = append(gb.trees, t)
+	}
+	return nil
+}
+
+// stackDTO is the wire form of a StackModel.
+type stackDTO struct {
+	Folds int                `json:"folds"`
+	Seed  int64              `json:"seed"`
+	NFeat int                `json:"n_features"`
+	Base  []*GradientBooster `json:"base"`
+	Meta  *GradientBooster   `json:"meta"`
+}
+
+// Save writes the trained stack to w as JSON.
+func (s *StackModel) Save(w io.Writer) error {
+	if s.meta == nil {
+		return fmt.Errorf("ml: cannot save an unfitted stack")
+	}
+	return json.NewEncoder(w).Encode(stackDTO{
+		Folds: s.Folds, Seed: s.Seed, NFeat: s.nFeat, Base: s.base, Meta: s.meta,
+	})
+}
+
+// LoadStackModel restores a trained stack from r.
+func LoadStackModel(r io.Reader) (*StackModel, error) {
+	var dto stackDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("ml: decode stack: %w", err)
+	}
+	if dto.Meta == nil || len(dto.Base) == 0 {
+		return nil, fmt.Errorf("ml: stack payload missing layers")
+	}
+	return &StackModel{
+		Folds: dto.Folds, Seed: dto.Seed, nFeat: dto.NFeat,
+		base: dto.Base, meta: dto.Meta,
+	}, nil
+}

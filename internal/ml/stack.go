@@ -1,0 +1,122 @@
+package ml
+
+import (
+	"errors"
+
+	"freephish/internal/simclock"
+)
+
+// StackModel is the two-layer stacking architecture of Li et al. (the base
+// model the paper augments, Section 4.2):
+//
+//   - Layer 1 trains GBDT, XGBoost, and LightGBM with K-fold out-of-fold
+//     prediction so every training sample receives base-model predictions
+//     from models that never saw it, plus a majority vote over the three.
+//   - Layer 2 trains a final GBDT on [original features ‖ three base
+//     probabilities ‖ majority vote].
+//
+// The zero value is not usable; construct with NewStackModel.
+type StackModel struct {
+	Folds int
+	Seed  int64
+
+	base  []*GradientBooster // refit on the full training set for inference
+	meta  *GradientBooster
+	nFeat int
+}
+
+// NewStackModel returns a stack with the paper's base-model lineup.
+func NewStackModel(seed int64) *StackModel {
+	return &StackModel{Folds: 5, Seed: seed}
+}
+
+func newBaseModels() []*GradientBooster {
+	return []*GradientBooster{NewGBDT(), NewXGBoost(), NewLightGBM()}
+}
+
+// Fit trains the two layers.
+func (s *StackModel) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	n := d.Len()
+	if n < 2*s.Folds {
+		return errors.New("ml: dataset too small for stacking folds")
+	}
+	s.nFeat = len(d.Names)
+	rng := simclock.NewRNG(s.Seed, "ml.stack")
+	nBase := len(newBaseModels())
+
+	// Out-of-fold base predictions.
+	oof := make([][]float64, n) // [sample][base model]
+	for i := range oof {
+		oof[i] = make([]float64, nBase)
+	}
+	for _, fold := range KFold(n, s.Folds, rng) {
+		trainIdx, testIdx := fold[0], fold[1]
+		trainSet := d.Subset(trainIdx)
+		models := newBaseModels()
+		for m, gb := range models {
+			if err := gb.Fit(trainSet); err != nil {
+				return err
+			}
+			for _, i := range testIdx {
+				oof[i][m] = gb.PredictProba(d.X[i])
+			}
+		}
+	}
+
+	// Meta dataset: original features + base probabilities + majority vote.
+	meta := &Dataset{
+		X:     make([][]float64, n),
+		Y:     d.Y,
+		Names: s.metaNames(d.Names),
+	}
+	for i := 0; i < n; i++ {
+		meta.X[i] = s.metaRow(d.X[i], oof[i])
+	}
+	s.meta = NewGBDT()
+	if err := s.meta.Fit(meta); err != nil {
+		return err
+	}
+
+	// Refit base models on the full training set for inference time.
+	s.base = newBaseModels()
+	for _, gb := range s.base {
+		if err := gb.Fit(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *StackModel) metaNames(names []string) []string {
+	out := append([]string(nil), names...)
+	return append(out, "base_gbdt", "base_xgb", "base_lgbm", "base_vote")
+}
+
+func (s *StackModel) metaRow(x []float64, probs []float64) []float64 {
+	row := make([]float64, 0, len(x)+len(probs)+1)
+	row = append(row, x...)
+	votes := 0
+	for _, p := range probs {
+		row = append(row, p)
+		if p >= 0.5 {
+			votes++
+		}
+	}
+	vote := 0.0
+	if votes*2 > len(probs) {
+		vote = 1.0
+	}
+	return append(row, vote)
+}
+
+// PredictProba runs both layers.
+func (s *StackModel) PredictProba(x []float64) float64 {
+	probs := make([]float64, len(s.base))
+	for m, gb := range s.base {
+		probs[m] = gb.PredictProba(x)
+	}
+	return s.meta.PredictProba(s.metaRow(x, probs))
+}

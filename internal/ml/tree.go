@@ -1,0 +1,295 @@
+package ml
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// treeParams controls regression-tree growth for the boosting variants.
+type treeParams struct {
+	maxDepth       int
+	maxLeaves      int  // 0 = unlimited (depth-wise growth)
+	leafWise       bool // grow best-gain-first (LightGBM style)
+	minSamplesLeaf int
+	lambda         float64 // L2 regularization on leaf values (XGBoost style)
+	gamma          float64 // minimum gain to split
+	useHessian     bool    // second-order leaf values and gains
+	bins           int     // 0 = exact splits; >0 = histogram splits (LightGBM style)
+}
+
+// regNode is one node of a regression tree, stored flat.
+type regNode struct {
+	feature   int
+	threshold float64
+	left      int
+	right     int
+	leaf      bool
+	value     float64
+}
+
+// regTree predicts a real value by routing x to a leaf.
+type regTree struct {
+	nodes []regNode
+}
+
+func (t *regTree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.leaf {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// buildCtx carries the gradient statistics during growth.
+type buildCtx struct {
+	X    [][]float64
+	grad []float64
+	hess []float64
+	p    treeParams
+}
+
+func (c *buildCtx) leafValue(idx []int) float64 {
+	var g, h float64
+	for _, i := range idx {
+		g += c.grad[i]
+		h += c.hess[i]
+	}
+	if c.p.useHessian {
+		return -g / (h + c.p.lambda)
+	}
+	// Classic GBDT (Friedman): leaf = mean negative gradient.
+	if len(idx) == 0 {
+		return 0
+	}
+	return -g / float64(len(idx))
+}
+
+// score is the structure score used for gain computation: G²/(H+λ) in
+// second-order mode, G²/n otherwise.
+func (c *buildCtx) score(g, h float64, n int) float64 {
+	if c.p.useHessian {
+		return g * g / (h + c.p.lambda)
+	}
+	if n == 0 {
+		return 0
+	}
+	return g * g / float64(n)
+}
+
+// split describes the best split found for a node.
+type split struct {
+	feature   int
+	threshold float64
+	gain      float64
+	leftIdx   []int
+	rightIdx  []int
+	ok        bool
+}
+
+// findSplit searches all features for the best split over idx.
+func (c *buildCtx) findSplit(idx []int) split {
+	var totG, totH float64
+	for _, i := range idx {
+		totG += c.grad[i]
+		totH += c.hess[i]
+	}
+	base := c.score(totG, totH, len(idx))
+	best := split{gain: c.p.gamma}
+	nFeat := len(c.X[0])
+	for f := 0; f < nFeat; f++ {
+		var s split
+		if c.p.bins > 0 {
+			s = c.histSplit(idx, f, totG, totH, base)
+		} else {
+			s = c.exactSplit(idx, f, totG, totH, base)
+		}
+		if s.ok && s.gain > best.gain {
+			best = s
+			best.ok = true
+		}
+	}
+	if !best.ok {
+		return split{}
+	}
+	// Materialize partitions once for the winning split.
+	for _, i := range idx {
+		if c.X[i][best.feature] <= best.threshold {
+			best.leftIdx = append(best.leftIdx, i)
+		} else {
+			best.rightIdx = append(best.rightIdx, i)
+		}
+	}
+	if len(best.leftIdx) < c.p.minSamplesLeaf || len(best.rightIdx) < c.p.minSamplesLeaf {
+		return split{}
+	}
+	return best
+}
+
+// exactSplit sorts the feature values and scans all midpoints.
+func (c *buildCtx) exactSplit(idx []int, f int, totG, totH, base float64) split {
+	ord := make([]int, len(idx))
+	copy(ord, idx)
+	sort.Slice(ord, func(a, b int) bool { return c.X[ord[a]][f] < c.X[ord[b]][f] })
+	var lg, lh float64
+	best := split{feature: f}
+	for k := 0; k < len(ord)-1; k++ {
+		i := ord[k]
+		lg += c.grad[i]
+		lh += c.hess[i]
+		v, next := c.X[i][f], c.X[ord[k+1]][f]
+		if v == next {
+			continue
+		}
+		if k+1 < c.p.minSamplesLeaf || len(ord)-k-1 < c.p.minSamplesLeaf {
+			continue
+		}
+		gain := c.score(lg, lh, k+1) + c.score(totG-lg, totH-lh, len(ord)-k-1) - base
+		if gain > best.gain {
+			best.gain = gain
+			best.threshold = (v + next) / 2
+			best.ok = true
+		}
+	}
+	return best
+}
+
+// histSplit bins the feature into equal-width histogram buckets and scans
+// bucket boundaries — the LightGBM speed trick.
+func (c *buildCtx) histSplit(idx []int, f int, totG, totH, base float64) split {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, i := range idx {
+		v := c.X[i][f]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == hi {
+		return split{}
+	}
+	nb := c.p.bins
+	gs := make([]float64, nb)
+	hs := make([]float64, nb)
+	ns := make([]int, nb)
+	width := (hi - lo) / float64(nb)
+	for _, i := range idx {
+		b := int((c.X[i][f] - lo) / width)
+		if b >= nb {
+			b = nb - 1
+		}
+		gs[b] += c.grad[i]
+		hs[b] += c.hess[i]
+		ns[b]++
+	}
+	var lg, lh float64
+	ln := 0
+	best := split{feature: f}
+	for b := 0; b < nb-1; b++ {
+		lg += gs[b]
+		lh += hs[b]
+		ln += ns[b]
+		if ln < c.p.minSamplesLeaf || len(idx)-ln < c.p.minSamplesLeaf {
+			continue
+		}
+		gain := c.score(lg, lh, ln) + c.score(totG-lg, totH-lh, len(idx)-ln) - base
+		if gain > best.gain {
+			best.gain = gain
+			best.threshold = lo + width*float64(b+1)
+			best.ok = true
+		}
+	}
+	return best
+}
+
+// buildTree grows one regression tree over the given rows.
+func buildTree(ctx *buildCtx, idx []int) *regTree {
+	t := &regTree{}
+	if ctx.p.leafWise {
+		buildLeafWise(ctx, t, idx)
+	} else {
+		buildDepthWise(ctx, t, idx, 0)
+	}
+	return t
+}
+
+func buildDepthWise(ctx *buildCtx, t *regTree, idx []int, depth int) int {
+	node := len(t.nodes)
+	t.nodes = append(t.nodes, regNode{leaf: true, value: ctx.leafValue(idx)})
+	if depth >= ctx.p.maxDepth || len(idx) < 2*ctx.p.minSamplesLeaf {
+		return node
+	}
+	s := ctx.findSplit(idx)
+	if !s.ok {
+		return node
+	}
+	t.nodes[node].leaf = false
+	t.nodes[node].feature = s.feature
+	t.nodes[node].threshold = s.threshold
+	l := buildDepthWise(ctx, t, s.leftIdx, depth+1)
+	r := buildDepthWise(ctx, t, s.rightIdx, depth+1)
+	t.nodes[node].left = l
+	t.nodes[node].right = r
+	return node
+}
+
+// candidate is a leaf eligible for splitting, ordered by gain.
+type candidate struct {
+	node  int
+	idx   []int
+	split split
+	depth int
+}
+
+type candHeap []candidate
+
+func (h candHeap) Len() int           { return len(h) }
+func (h candHeap) Less(i, j int) bool { return h[i].split.gain > h[j].split.gain }
+func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)        { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() any          { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+
+// buildLeafWise grows best-gain-first until maxLeaves (LightGBM style).
+func buildLeafWise(ctx *buildCtx, t *regTree, idx []int) {
+	t.nodes = append(t.nodes, regNode{leaf: true, value: ctx.leafValue(idx)})
+	leaves := 1
+	maxLeaves := ctx.p.maxLeaves
+	if maxLeaves <= 1 {
+		return
+	}
+	h := &candHeap{}
+	if s := ctx.findSplit(idx); s.ok {
+		heap.Push(h, candidate{node: 0, idx: idx, split: s, depth: 0})
+	}
+	for h.Len() > 0 && leaves < maxLeaves {
+		c := heap.Pop(h).(candidate)
+		n := c.node
+		t.nodes[n].leaf = false
+		t.nodes[n].feature = c.split.feature
+		t.nodes[n].threshold = c.split.threshold
+		l := len(t.nodes)
+		t.nodes = append(t.nodes, regNode{leaf: true, value: ctx.leafValue(c.split.leftIdx)})
+		r := len(t.nodes)
+		t.nodes = append(t.nodes, regNode{leaf: true, value: ctx.leafValue(c.split.rightIdx)})
+		t.nodes[n].left = l
+		t.nodes[n].right = r
+		leaves++ // one leaf became two
+		if c.depth+1 < ctx.p.maxDepth {
+			if s := ctx.findSplit(c.split.leftIdx); s.ok {
+				heap.Push(h, candidate{node: l, idx: c.split.leftIdx, split: s, depth: c.depth + 1})
+			}
+			if s := ctx.findSplit(c.split.rightIdx); s.ok {
+				heap.Push(h, candidate{node: r, idx: c.split.rightIdx, split: s, depth: c.depth + 1})
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package proxy is the Go counterpart of the FreePhish Chromium web
+// extension (Figure 13): an HTTP forward proxy that checks every navigated
+// URL against FreePhish verdicts and blocks flagged FWB phishing pages with
+// a warning page before the browser renders them. Browsers point at it via
+// standard proxy configuration, so any client gets the protection without
+// an extension.
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"freephish/internal/features"
+	"freephish/internal/fwb"
+	"freephish/internal/urlx"
+)
+
+// Checker decides whether a URL is a phishing page.
+type Checker interface {
+	// Check returns whether the URL should be blocked and a short
+	// human-readable reason.
+	Check(url string) (block bool, reason string)
+}
+
+// ListChecker blocks URLs present in a flagged set — the extension's
+// blocklist mode, fed by the FreePhish framework's detections. The zero
+// value is ready to use. ListChecker is safe for concurrent use.
+type ListChecker struct {
+	mu   sync.RWMutex
+	urls map[string]bool
+}
+
+// Add flags a URL.
+func (l *ListChecker) Add(url string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.urls == nil {
+		l.urls = make(map[string]bool)
+	}
+	l.urls[normalize(url)] = true
+}
+
+// Len reports the number of flagged URLs.
+func (l *ListChecker) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.urls)
+}
+
+// Check implements Checker.
+func (l *ListChecker) Check(url string) (bool, string) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.urls[normalize(url)] {
+		return true, "URL is on the FreePhish blocklist"
+	}
+	return false, ""
+}
+
+func normalize(raw string) string {
+	raw = strings.TrimSuffix(raw, "/")
+	if i := strings.Index(raw, "://"); i >= 0 {
+		raw = raw[i+3:]
+	}
+	return strings.ToLower(raw)
+}
+
+// Scorer is the classifier slice the live checker needs (satisfied by
+// baselines.StackDetector).
+type Scorer interface {
+	Score(p features.Page) (float64, error)
+}
+
+// LiveChecker classifies pages on the fly: FWB-hosted URLs are fetched and
+// scored by the FreePhish model, mirroring the extension's online mode.
+// Verdicts are cached. Construct with NewLiveChecker.
+type LiveChecker struct {
+	model     Scorer
+	fetch     func(url string) (features.Page, int, error)
+	threshold float64
+
+	mu    sync.Mutex
+	cache map[string]bool
+}
+
+// NewLiveChecker returns a LiveChecker with the standard 0.5 threshold.
+func NewLiveChecker(model Scorer, fetch func(url string) (features.Page, int, error)) *LiveChecker {
+	return &LiveChecker{model: model, fetch: fetch, threshold: 0.5, cache: make(map[string]bool)}
+}
+
+// Check implements Checker. Only FWB-hosted URLs are scored — the
+// extension's scope is FWB phishing.
+func (c *LiveChecker) Check(rawURL string) (bool, string) {
+	u, err := urlx.Parse(rawURL)
+	if err != nil {
+		return false, ""
+	}
+	if fwb.Identify(u.Host, u.Path) == nil {
+		return false, ""
+	}
+	key := normalize(rawURL)
+	c.mu.Lock()
+	verdict, ok := c.cache[key]
+	c.mu.Unlock()
+	if !ok {
+		page, status, err := c.fetch(rawURL)
+		if err != nil || status != http.StatusOK {
+			return false, ""
+		}
+		score, err := c.model.Score(page)
+		if err != nil {
+			return false, ""
+		}
+		verdict = score >= c.threshold
+		c.mu.Lock()
+		c.cache[key] = verdict
+		c.mu.Unlock()
+	}
+	if verdict {
+		return true, "FreePhish classified this FWB page as phishing"
+	}
+	return false, ""
+}
+
+// Proxy is the blocking forward proxy. Construct with New.
+type Proxy struct {
+	checker   Checker
+	transport http.RoundTripper
+
+	mu      sync.Mutex
+	blocked int
+	passed  int
+}
+
+// New returns a Proxy using the given checker. transport defaults to
+// http.DefaultTransport.
+func New(checker Checker, transport http.RoundTripper) *Proxy {
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	return &Proxy{checker: checker, transport: transport}
+}
+
+// Counts reports how many requests were blocked and passed.
+func (p *Proxy) Counts() (blocked, passed int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blocked, p.passed
+}
+
+// warningPage is the Figure 13 interstitial.
+const warningPage = `<!DOCTYPE html>
+<html><head><title>Warning: suspected phishing</title></head>
+<body style="font-family:sans-serif;background:#b91c1c;color:#fff;text-align:center;padding-top:8em">
+<h1>&#9888; FreePhish blocked this page</h1>
+<p>The page at <code>%s</code> looks like a phishing attack created on a
+free website building service.</p>
+<p>%s</p>
+<p>If you believe this is a mistake, you can report a false positive to the
+FreePhish project.</p>
+</body></html>`
+
+// ServeHTTP handles standard forward-proxy requests (absolute-form URIs).
+// CONNECT tunnels are refused for flagged hosts and not intercepted
+// otherwise (an HTTPS-forwarding proxy cannot inspect the payload, matching
+// how the extension works at navigation level).
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodConnect {
+		p.handleConnect(w, r)
+		return
+	}
+	target := r.URL.String()
+	if !r.URL.IsAbs() {
+		http.Error(w, "freephish-proxy: expected absolute-form proxy request", http.StatusBadRequest)
+		return
+	}
+	if block, reason := p.checker.Check(target); block {
+		p.mu.Lock()
+		p.blocked++
+		p.mu.Unlock()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.WriteHeader(http.StatusForbidden)
+		fmt.Fprintf(w, warningPage, target, reason)
+		return
+	}
+	p.mu.Lock()
+	p.passed++
+	p.mu.Unlock()
+
+	out := r.Clone(r.Context())
+	out.RequestURI = ""
+	resp, err := p.transport.RoundTrip(out)
+	if err != nil {
+		http.Error(w, "freephish-proxy: upstream error: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleConnect refuses tunnels to flagged hosts; others are declined with
+// 501 (this reference proxy is HTTP-only; the extension handles HTTPS at
+// the browser layer).
+func (p *Proxy) handleConnect(w http.ResponseWriter, r *http.Request) {
+	host := r.Host
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	if block, _ := p.checker.Check("https://" + host + "/"); block {
+		p.mu.Lock()
+		p.blocked++
+		p.mu.Unlock()
+		http.Error(w, "freephish-proxy: destination blocked", http.StatusForbidden)
+		return
+	}
+	http.Error(w, "freephish-proxy: CONNECT tunnelling not supported", http.StatusNotImplemented)
+}
+
+// pacTemplate is the Proxy Auto-Config script browsers fetch to decide
+// which requests to route through the proxy. Only FWB-hosted destinations
+// go through FreePhish; everything else stays DIRECT, so the proxy adds no
+// latency outside its protection scope.
+const pacTemplate = `function FindProxyForURL(url, host) {
+%s  return "DIRECT";
+}
+`
+
+// ServePAC writes a Proxy Auto-Config file routing the given FWB hosting
+// domains through proxyHostPort. Mount it at /proxy.pac and point the
+// browser's auto-config URL at it.
+func ServePAC(w http.ResponseWriter, proxyHostPort string, domains []string) {
+	var rules strings.Builder
+	for _, d := range domains {
+		fmt.Fprintf(&rules, "  if (dnsDomainIs(host, %q) || shExpMatch(host, %q)) return \"PROXY %s\";\n",
+			d, "*."+d, proxyHostPort)
+	}
+	w.Header().Set("Content-Type", "application/x-ns-proxy-autoconfig")
+	fmt.Fprintf(w, pacTemplate, rules.String())
+}

@@ -1,0 +1,200 @@
+package proxy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"freephish/internal/baselines"
+	"freephish/internal/crawler"
+	"freephish/internal/features"
+	"freephish/internal/fwb"
+	"freephish/internal/webgen"
+)
+
+var at = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func TestListChecker(t *testing.T) {
+	var l ListChecker
+	l.Add("https://evil.weebly.com/login/")
+	if block, _ := l.Check("https://evil.weebly.com/login"); !block {
+		t.Fatal("trailing-slash variant not blocked")
+	}
+	if block, _ := l.Check("HTTPS://EVIL.WEEBLY.COM/login"); !block {
+		t.Fatal("case variant not blocked")
+	}
+	if block, _ := l.Check("https://fine.weebly.com/"); block {
+		t.Fatal("unflagged URL blocked")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+// proxyClient returns an http.Client routed through the proxy.
+func proxyClient(t *testing.T, p *Proxy) (*http.Client, func()) {
+	t.Helper()
+	srv := httptest.NewServer(p)
+	proxyURL, _ := url.Parse(srv.URL)
+	return &http.Client{
+		Transport: &http.Transport{Proxy: http.ProxyURL(proxyURL)},
+	}, srv.Close
+}
+
+func TestProxyBlocksFlaggedAndPassesClean(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "legit content")
+	}))
+	defer backend.Close()
+
+	var list ListChecker
+	list.Add(backend.URL + "/phish")
+	p := New(&list, nil)
+	client, closeProxy := proxyClient(t, p)
+	defer closeProxy()
+
+	resp, err := client.Get(backend.URL + "/phish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("flagged URL status = %d, want 403", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "FreePhish blocked this page") {
+		t.Fatalf("no warning page: %q", body)
+	}
+
+	resp, err = client.Get(backend.URL + "/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "legit content" {
+		t.Fatalf("clean URL = %d %q", resp.StatusCode, body)
+	}
+
+	blocked, passed := p.Counts()
+	if blocked != 1 || passed != 1 {
+		t.Fatalf("counts = %d/%d", blocked, passed)
+	}
+}
+
+func TestProxyRejectsNonProxyRequests(t *testing.T) {
+	p := New(&ListChecker{}, nil)
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	// A direct (origin-form) request is not a valid proxy request.
+	resp, err := http.Get(srv.URL + "/not-a-proxy-request")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("origin-form request = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestLiveCheckerBlocksPhishingFWB(t *testing.T) {
+	// Build a small world: one phishing and one benign site on Weebly.
+	g := webgen.NewGenerator(3, nil, nil)
+	svc, _ := fwb.ByKey("weebly")
+	host := fwb.NewHost(func() time.Time { return at })
+	phish := g.PhishingFWBSiteOf(svc, fwb.KindPhishing, at)
+	benign := g.BenignFWBSite(svc, at)
+	if err := host.Publish(phish); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Publish(benign); err != nil {
+		t.Fatal(err)
+	}
+	web := httptest.NewServer(host)
+	defer web.Close()
+	fetcher := crawler.NewFetcher(web.URL)
+
+	// Train the model on a small corpus.
+	var train []baselines.LabeledPage
+	for i := 0; i < 120; i++ {
+		p := g.PhishingFWBSite(g.PickService(), at)
+		train = append(train, baselines.LabeledPage{Page: features.Page{URL: p.URL, HTML: p.HTML}, Label: 1})
+		b := g.BenignFWBSite(g.PickServiceUniform(), at)
+		train = append(train, baselines.LabeledPage{Page: features.Page{URL: b.URL, HTML: b.HTML}})
+	}
+	model := baselines.NewFreePhishModel(3)
+	if err := model.Train(train); err != nil {
+		t.Fatal(err)
+	}
+
+	checker := NewLiveChecker(model, fetcher.Snapshot)
+	if block, reason := checker.Check(phish.URL); !block {
+		t.Fatalf("phishing FWB page not blocked (%s)", reason)
+	}
+	if block, _ := checker.Check(benign.URL); block {
+		t.Fatal("benign FWB page blocked")
+	}
+	// Non-FWB URLs are out of scope.
+	if block, _ := checker.Check("https://example.com/x"); block {
+		t.Fatal("non-FWB URL blocked")
+	}
+	// Second check hits the cache (no fetch): take the site down and
+	// verify the verdict is still served.
+	phish.TakeDown(at, "test")
+	if block, _ := checker.Check(phish.URL); !block {
+		t.Fatal("cached verdict lost")
+	}
+}
+
+func TestConnectBlockedForFlaggedHost(t *testing.T) {
+	var list ListChecker
+	list.Add("https://evil.weebly.com/")
+	p := New(&list, nil)
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+
+	// Speak the proxy protocol directly: CONNECT is addressed to the proxy
+	// itself with the destination in the request target.
+	conn, err := net.Dial("tcp", strings.TrimPrefix(srv.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "CONNECT evil.weebly.com:443 HTTP/1.1\r\nHost: evil.weebly.com:443\r\n\r\n")
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodConnect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("CONNECT to flagged host = %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestServePAC(t *testing.T) {
+	rec := httptest.NewRecorder()
+	ServePAC(rec, "127.0.0.1:8899", []string{"weebly.com", "wixsite.com"})
+	body := rec.Body.String()
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "proxy-autoconfig") {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"FindProxyForURL",
+		`dnsDomainIs(host, "weebly.com")`,
+		`shExpMatch(host, "*.wixsite.com")`,
+		`PROXY 127.0.0.1:8899`,
+		`return "DIRECT";`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("PAC missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"freephish/internal/brands"
+	"freephish/internal/threat"
+)
+
+// Report letters: the paper's reporting module submits web abuse forms
+// with evidence attached — "the full URL, a screenshot of the site, and
+// the targeted organization's name" (§4.3), since evidence-based reports
+// expedite takedown. RenderLetter produces the disclosure text the module
+// would paste into an FWB's abuse form or send to a platform.
+
+// LetterKind selects the recipient template.
+type LetterKind int
+
+// Recipient templates.
+const (
+	ToFWB LetterKind = iota
+	ToPlatform
+)
+
+// RenderLetter renders the disclosure for one target.
+func RenderLetter(kind LetterKind, t *threat.Target, at time.Time) string {
+	brandName := t.Brand
+	if br, ok := brands.ByKey(t.Brand); ok {
+		brandName = br.Name
+	}
+	var b strings.Builder
+	switch kind {
+	case ToFWB:
+		service := "your service"
+		if t.Service != nil {
+			service = t.Service.Name
+		}
+		fmt.Fprintf(&b, "Subject: Phishing website hosted on %s\n\n", service)
+		fmt.Fprintf(&b, "To the %s abuse team,\n\n", service)
+		fmt.Fprintf(&b, "We have identified a phishing website created on your platform:\n\n")
+		fmt.Fprintf(&b, "  URL:              %s\n", t.URL)
+		fmt.Fprintf(&b, "  Impersonates:     %s\n", orUnknown(brandName))
+		fmt.Fprintf(&b, "  First observed:   %s\n", at.UTC().Format(time.RFC3339))
+		fmt.Fprintf(&b, "  Attack type:      %s\n", describeAttack(t))
+		fmt.Fprintf(&b, "  Evidence:         screenshot attached (snapshots/%s.png)\n\n", t.PostID)
+		b.WriteString("The page was detected by the FreePhish framework and verified ")
+		b.WriteString("automatically. We request removal of the website and review of ")
+		b.WriteString("the account that created it.\n\nFreePhish automated disclosure\n")
+	case ToPlatform:
+		fmt.Fprintf(&b, "Subject: Post distributing a phishing link\n\n")
+		fmt.Fprintf(&b, "Post %s on %s links to an active phishing website:\n\n", t.PostID, t.Platform)
+		fmt.Fprintf(&b, "  URL:            %s\n", t.URL)
+		fmt.Fprintf(&b, "  Impersonates:   %s\n", orUnknown(brandName))
+		fmt.Fprintf(&b, "  Attack type:    %s\n", describeAttack(t))
+		fmt.Fprintf(&b, "  Evidence:       screenshot attached (snapshots/%s.png)\n\n", t.PostID)
+		b.WriteString("We request removal of the post under your malicious-links policy.\n")
+	}
+	return b.String()
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "(brand not identified)"
+	}
+	return s
+}
+
+// describeAttack summarizes the attack vector for the abuse team.
+func describeAttack(t *threat.Target) string {
+	switch {
+	case t.DriveByDownload:
+		return "malicious drive-by download lure"
+	case t.TwoStepLink:
+		return "two-step landing page linking to an external credential harvester"
+	case t.HiddenIFrame:
+		return "hidden iframe embedding an external attack"
+	case t.HasCredentialFields:
+		return "credential-harvesting login form"
+	default:
+		return "phishing content"
+	}
+}

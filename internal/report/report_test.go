@@ -1,0 +1,204 @@
+package report
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"freephish/internal/fwb"
+	"freephish/internal/threat"
+)
+
+var epoch = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func targetOn(key string) *threat.Target {
+	svc, ok := fwb.ByKey(key)
+	if !ok {
+		panic("no service " + key)
+	}
+	return &threat.Target{
+		URL: svc.SiteURL("test"), Service: svc, Brand: "paypal",
+		SharedAt: epoch, PostID: "p1",
+	}
+}
+
+func TestResponsiveServiceRemovesAtCalibratedRate(t *testing.T) {
+	r := NewReporter(3)
+	svc, _ := fwb.ByKey("weebly")
+	const n = 3000
+	removed, acked, followed := 0, 0, 0
+	var delays []time.Duration
+	for i := 0; i < n; i++ {
+		o := r.ReportToFWB(targetOn("weebly"), epoch)
+		if o.Removed {
+			removed++
+			delays = append(delays, o.RemovedAt.Sub(epoch))
+		}
+		if o.Acknowledged {
+			acked++
+			if o.AckAt.Before(epoch) {
+				t.Fatal("ack before report")
+			}
+		}
+		if o.FollowedUp {
+			followed++
+		}
+	}
+	rate := float64(removed) / n
+	if rate < svc.RemovalRate-0.04 || rate > svc.RemovalRate+0.04 {
+		t.Errorf("weebly removal rate = %.3f, want ≈%.3f", rate, svc.RemovalRate)
+	}
+	ackRate := float64(acked) / n
+	if ackRate < 0.65 || ackRate > 0.82 {
+		t.Errorf("weebly ack rate = %.3f, want ≈0.73 (§5.3)", ackRate)
+	}
+	if followed == 0 {
+		t.Error("responsive service never followed up")
+	}
+	sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+	med := delays[len(delays)/2]
+	if med < svc.MedianResponse/2 || med > svc.MedianResponse*2 {
+		t.Errorf("weebly removal median = %v, want ≈%v", med, svc.MedianResponse)
+	}
+}
+
+func TestUnresponsiveServiceNeverAcks(t *testing.T) {
+	r := NewReporter(5)
+	for i := 0; i < 500; i++ {
+		o := r.ReportToFWB(targetOn("wordpress"), epoch)
+		if o.Acknowledged || o.FollowedUp {
+			t.Fatal("unresponsive service acknowledged a report (§5.3 violation)")
+		}
+	}
+}
+
+func TestTicketOnlyAcksWithoutFollowUp(t *testing.T) {
+	r := NewReporter(7)
+	acked := 0
+	for i := 0; i < 2000; i++ {
+		o := r.ReportToFWB(targetOn("googlesites"), epoch)
+		if o.FollowedUp {
+			t.Fatal("ticket-only service followed up")
+		}
+		if o.Acknowledged {
+			acked++
+		}
+	}
+	rate := float64(acked) / 2000
+	if rate < 0.18 || rate > 0.34 {
+		t.Errorf("ticket-only ack rate = %.3f, want ≈0.26", rate)
+	}
+}
+
+func TestRemovalRateOrderingAcrossServices(t *testing.T) {
+	r := NewReporter(9)
+	count := func(key string) int {
+		n := 0
+		for i := 0; i < 1500; i++ {
+			if o := r.ReportToFWB(targetOn(key), epoch); o.Removed {
+				n++
+			}
+		}
+		return n
+	}
+	weebly, wordpress := count("weebly"), count("wordpress")
+	if weebly <= wordpress {
+		t.Fatalf("weebly removals %d <= wordpress %d (Table 4 ordering)", weebly, wordpress)
+	}
+}
+
+func TestSelfHostedTakedown(t *testing.T) {
+	r := NewReporter(11)
+	tg := &threat.Target{URL: "https://evil.xyz/login", SharedAt: epoch}
+	const n = 3000
+	removed := 0
+	var delays []time.Duration
+	for i := 0; i < n; i++ {
+		o := r.SelfHostedTakedown(tg)
+		if o.Removed {
+			removed++
+			delays = append(delays, o.RemovedAt.Sub(epoch))
+		}
+	}
+	rate := float64(removed) / n
+	if rate < 0.73 || rate > 0.82 {
+		t.Errorf("self-hosted takedown rate = %.3f, want ≈0.775 (Table 3)", rate)
+	}
+	sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+	med := delays[len(delays)/2]
+	want := 3*time.Hour + 47*time.Minute
+	if med < want/2 || med > want*2 {
+		t.Errorf("self-hosted takedown median = %v, want ≈%v", med, want)
+	}
+}
+
+func TestReportToFWBOnSelfHostedIsNoop(t *testing.T) {
+	r := NewReporter(13)
+	tg := &threat.Target{URL: "https://evil.xyz/", SharedAt: epoch}
+	if o := r.ReportToFWB(tg, epoch); o.Removed || o.Acknowledged {
+		t.Fatal("self-hosted target got an FWB response")
+	}
+	if len(r.Sent()) != 0 {
+		t.Fatal("report recorded for self-hosted target")
+	}
+}
+
+func TestSentLogIncludesEvidence(t *testing.T) {
+	r := NewReporter(15)
+	r.ReportToFWB(targetOn("wix"), epoch)
+	sent := r.Sent()
+	if len(sent) != 1 {
+		t.Fatalf("sent = %d", len(sent))
+	}
+	rep := sent[0]
+	if rep.Recipient != "Wix.com" || rep.Brand != "paypal" || rep.Screenshot == "" {
+		t.Fatalf("report missing evidence fields: %+v", rep)
+	}
+}
+
+func TestRenderLetterToFWB(t *testing.T) {
+	tg := targetOn("weebly")
+	tg.HasCredentialFields = true
+	letter := RenderLetter(ToFWB, tg, epoch)
+	for _, want := range []string{"Weebly abuse team", tg.URL, "PayPal", "credential-harvesting", "snapshots/p1.png"} {
+		if !strings.Contains(letter, want) {
+			t.Errorf("FWB letter missing %q:\n%s", want, letter)
+		}
+	}
+}
+
+func TestRenderLetterToPlatform(t *testing.T) {
+	tg := targetOn("googlesites")
+	tg.TwoStepLink = true
+	tg.Platform = threat.Twitter
+	letter := RenderLetter(ToPlatform, tg, epoch)
+	for _, want := range []string{"Post p1 on twitter", "two-step landing page", "malicious-links policy"} {
+		if !strings.Contains(letter, want) {
+			t.Errorf("platform letter missing %q:\n%s", want, letter)
+		}
+	}
+}
+
+func TestRenderLetterAttackDescriptions(t *testing.T) {
+	cases := []struct {
+		mutate func(*threat.Target)
+		want   string
+	}{
+		{func(t *threat.Target) { t.DriveByDownload = true }, "drive-by download"},
+		{func(t *threat.Target) { t.HiddenIFrame = true }, "hidden iframe"},
+		{func(t *threat.Target) {}, "phishing content"},
+	}
+	for _, c := range cases {
+		tg := targetOn("wix")
+		tg.Brand = ""
+		c.mutate(tg)
+		letter := RenderLetter(ToFWB, tg, epoch)
+		if !strings.Contains(letter, c.want) {
+			t.Errorf("letter missing %q", c.want)
+		}
+		if !strings.Contains(letter, "brand not identified") {
+			t.Errorf("unbranded letter should note missing brand")
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package simclock
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNowStartsAtEpoch(t *testing.T) {
+	c := New(epoch)
+	if !c.Now().Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), epoch)
+	}
+}
+
+func TestScheduleFiresInTimeOrder(t *testing.T) {
+	c := New(epoch)
+	var got []int
+	c.Schedule(epoch.Add(3*time.Hour), "c", func(time.Time) { got = append(got, 3) })
+	c.Schedule(epoch.Add(1*time.Hour), "a", func(time.Time) { got = append(got, 1) })
+	c.Schedule(epoch.Add(2*time.Hour), "b", func(time.Time) { got = append(got, 2) })
+	if n := c.Run(); n != 3 {
+		t.Fatalf("Run() = %d events, want 3", n)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("fire order %v, want [1 2 3]", got)
+		}
+	}
+}
+
+func TestEqualTimeEventsFireFIFO(t *testing.T) {
+	c := New(epoch)
+	at := epoch.Add(time.Hour)
+	var got []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		c.Schedule(at, name, func(time.Time) { got = append(got, name) })
+	}
+	c.Run()
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleInPastClampsToNow(t *testing.T) {
+	c := New(epoch)
+	c.RunUntil(epoch.Add(time.Hour))
+	fired := time.Time{}
+	c.Schedule(epoch, "late", func(now time.Time) { fired = now })
+	c.Run()
+	if !fired.Equal(epoch.Add(time.Hour)) {
+		t.Fatalf("past event fired at %v, want clamped to %v", fired, epoch.Add(time.Hour))
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	c := New(epoch)
+	c.Schedule(epoch.Add(42*time.Minute), "x", func(now time.Time) {
+		if !now.Equal(epoch.Add(42 * time.Minute)) {
+			t.Errorf("callback now = %v", now)
+		}
+	})
+	c.Step()
+	if got := c.Now(); !got.Equal(epoch.Add(42 * time.Minute)) {
+		t.Fatalf("Now() after Step = %v", got)
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	c := New(epoch)
+	var fired int
+	for h := 1; h <= 10; h++ {
+		c.Schedule(epoch.Add(time.Duration(h)*time.Hour), "e", func(time.Time) { fired++ })
+	}
+	n := c.RunUntil(epoch.Add(5 * time.Hour))
+	if n != 5 || fired != 5 {
+		t.Fatalf("RunUntil ran %d (fired %d), want 5", n, fired)
+	}
+	if !c.Now().Equal(epoch.Add(5 * time.Hour)) {
+		t.Fatalf("Now() = %v, want boundary", c.Now())
+	}
+	if c.Pending() != 5 {
+		t.Fatalf("Pending() = %d, want 5", c.Pending())
+	}
+}
+
+func TestRunUntilAdvancesPastEmptyQueue(t *testing.T) {
+	c := New(epoch)
+	end := epoch.Add(24 * time.Hour)
+	c.RunUntil(end)
+	if !c.Now().Equal(end) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), end)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	c := New(epoch)
+	fired := false
+	e := c.Schedule(epoch.Add(time.Hour), "x", func(time.Time) { fired = true })
+	c.Cancel(e)
+	c.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	c.Cancel(e) // double-cancel must be a no-op
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	c := New(epoch)
+	var got []int
+	events := make([]*Event, 5)
+	for i := range events {
+		i := i
+		events[i] = c.Schedule(epoch.Add(time.Duration(i+1)*time.Hour), "e", func(time.Time) { got = append(got, i) })
+	}
+	c.Cancel(events[2])
+	c.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEveryTicksAtPeriod(t *testing.T) {
+	c := New(epoch)
+	var ticks []time.Time
+	c.Every(10*time.Minute, epoch.Add(time.Hour), "tick", func(now time.Time) {
+		ticks = append(ticks, now)
+	})
+	c.RunUntil(epoch.Add(2 * time.Hour))
+	if len(ticks) != 6 {
+		t.Fatalf("got %d ticks, want 6", len(ticks))
+	}
+	for i, tk := range ticks {
+		want := epoch.Add(time.Duration(i+1) * 10 * time.Minute)
+		if !tk.Equal(want) {
+			t.Fatalf("tick %d at %v, want %v", i, tk, want)
+		}
+	}
+}
+
+func TestEveryStop(t *testing.T) {
+	c := New(epoch)
+	count := 0
+	var stop func()
+	stop = c.Every(10*time.Minute, time.Time{}, "tick", func(now time.Time) {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	c.RunUntil(epoch.Add(3 * time.Hour))
+	if count != 3 {
+		t.Fatalf("ticked %d times after stop, want 3", count)
+	}
+}
+
+func TestEveryNonPositivePeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(epoch).Every(0, time.Time{}, "bad", func(time.Time) {})
+}
+
+func TestRNGDeterministicPerName(t *testing.T) {
+	a1 := NewRNG(7, "blocklist.gsb")
+	a2 := NewRNG(7, "blocklist.gsb")
+	b := NewRNG(7, "blocklist.phishtank")
+	for i := 0; i < 100; i++ {
+		x, y := a1.Float64(), a2.Float64()
+		if x != y {
+			t.Fatalf("same-name streams diverged at draw %d: %v != %v", i, x, y)
+		}
+		if x == b.Float64() && i > 10 {
+			// a few collisions are possible but a long run of equality is not;
+			// the check below handles the real assertion.
+			continue
+		}
+	}
+	// Distinct names must produce distinct streams.
+	c1, c2 := NewRNG(7, "x"), NewRNG(7, "y")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c1.Int63() == c2.Int63() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("distinct-name streams are identical")
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	g := NewRNG(1, "bool")
+	for i := 0; i < 32; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestLogNormalMedianApprox(t *testing.T) {
+	g := NewRNG(42, "lognorm")
+	const n = 20001
+	draws := make([]float64, n)
+	for i := range draws {
+		draws[i] = g.LogNormal(6, 1.2)
+	}
+	sort.Float64s(draws)
+	med := draws[n/2]
+	if med < 5 || med > 7.2 {
+		t.Fatalf("empirical median %v, want ≈6", med)
+	}
+	for _, d := range draws {
+		if d <= 0 {
+			t.Fatal("log-normal draw not positive")
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	g := NewRNG(9, "poisson")
+	for _, lambda := range []float64{0.5, 3, 12, 80} {
+		sum := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			sum += g.Poisson(lambda)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-lambda) > 0.15*lambda+0.2 {
+			t.Fatalf("Poisson(%v) empirical mean %v", lambda, mean)
+		}
+	}
+	if g.Poisson(0) != 0 || g.Poisson(-1) != 0 {
+		t.Fatal("Poisson of non-positive lambda must be 0")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewRNG(3, "zipf")
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[g.Zipf(10, 1.2)]++
+	}
+	if counts[0] <= counts[5] || counts[1] <= counts[9] {
+		t.Fatalf("Zipf counts not skewed: %v", counts)
+	}
+}
+
+func TestWeightedIndexRespectsWeights(t *testing.T) {
+	g := NewRNG(5, "weighted")
+	counts := make([]int, 3)
+	for i := 0; i < 9000; i++ {
+		counts[g.WeightedIndex([]float64{1, 0, 8})]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index drawn %d times", counts[1])
+	}
+	if counts[2] < 6*counts[0] {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+}
+
+func TestWeightedIndexAllNonPositive(t *testing.T) {
+	g := NewRNG(5, "weighted2")
+	if got := g.WeightedIndex([]float64{0, -1, 0}); got != 0 {
+		t.Fatalf("WeightedIndex with no mass = %d, want 0", got)
+	}
+}
+
+// Property: for any batch of scheduled offsets, events fire in sorted order
+// and the clock never moves backwards.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		if len(offsets) > 200 {
+			offsets = offsets[:200]
+		}
+		c := New(epoch)
+		var fired []time.Time
+		for _, off := range offsets {
+			at := epoch.Add(time.Duration(off) * time.Second)
+			c.Schedule(at, "p", func(now time.Time) { fired = append(fired, now) })
+		}
+		c.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].Before(fired[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Zipf and WeightedIndex always return in-range indices.
+func TestPropertyDrawsInRange(t *testing.T) {
+	g := NewRNG(11, "prop")
+	f := func(n uint8, s uint8) bool {
+		size := int(n%50) + 1
+		idx := g.Zipf(size, float64(s%30)/10+0.1)
+		if idx < 0 || idx >= size {
+			return false
+		}
+		w := make([]float64, size)
+		for i := range w {
+			w[i] = g.Float64()
+		}
+		idx = g.WeightedIndex(w)
+		return idx >= 0 && idx < size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	c := New(epoch)
+	e := c.Schedule(epoch.Add(time.Hour), "my-event", func(time.Time) {})
+	if !e.At().Equal(epoch.Add(time.Hour)) || e.Name() != "my-event" {
+		t.Fatalf("accessors: %v %q", e.At(), e.Name())
+	}
+}
+
+func TestRNGIntnAndExp(t *testing.T) {
+	g := NewRNG(5, "intn")
+	for i := 0; i < 100; i++ {
+		if v := g.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := g.ExpFloat64(); v < 0 {
+			t.Fatalf("ExpFloat64 negative: %v", v)
+		}
+	}
+}
+
+func TestRNGShuffleAndPerm(t *testing.T) {
+	g := NewRNG(5, "shuffle")
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := map[int]bool{}
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatal("shuffle lost elements")
+	}
+	p := g.Perm(6)
+	if len(p) != 6 {
+		t.Fatalf("perm len = %d", len(p))
+	}
+	seenP := map[int]bool{}
+	for _, v := range p {
+		if v < 0 || v >= 6 || seenP[v] {
+			t.Fatalf("perm invalid: %v", p)
+		}
+		seenP[v] = true
+	}
+}

@@ -1,0 +1,67 @@
+// Package textsim implements the text-similarity primitives FreePhish uses
+// to characterize FWB websites: Levenshtein edit distance and the paper's
+// Appendix A tag-wise website-similarity measure (Table 1).
+package textsim
+
+// Levenshtein returns the edit distance between a and b: the minimum number
+// of single-rune insertions, deletions, and substitutions that transform a
+// into b. It runs in O(len(a)*len(b)) time and O(min) space.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	return levenshteinRunes(ra, rb)
+}
+
+func levenshteinRunes(ra, rb []rune) int {
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Keep the shorter string on the row axis for O(min(m,n)) memory.
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			ins := cur[j-1] + 1
+			del := prev[j] + 1
+			sub := prev[j-1] + cost
+			m := ins
+			if del < m {
+				m = del
+			}
+			if sub < m {
+				m = sub
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// Similarity returns a normalized similarity in [0, 1]:
+// 1 - Levenshtein(a, b) / max(len(a), len(b)). Two empty strings are
+// perfectly similar.
+func Similarity(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	maxLen := len(ra)
+	if len(rb) > maxLen {
+		maxLen = len(rb)
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	return 1 - float64(levenshteinRunes(ra, rb))/float64(maxLen)
+}

@@ -1,0 +1,101 @@
+package textsim
+
+import "sort"
+
+// SiteSimilarity implements the Appendix A algorithm for computing the code
+// similarity between two websites, given their extracted tag elements.
+//
+// For every tag T in site A, the best match in site B is the tag with the
+// lowest Levenshtein distance; that distance is normalized into a similarity
+// against T. simAtoB is the median of those per-tag best similarities, and
+// the final score is mean(simAtoB, simBtoA). The paper reports this score as
+// a percentage (Table 1); this function returns it in [0, 1].
+//
+// Both sides empty yields 1 (identical emptiness); exactly one side empty
+// yields 0.
+func SiteSimilarity(tagsA, tagsB []string) float64 {
+	switch {
+	case len(tagsA) == 0 && len(tagsB) == 0:
+		return 1
+	case len(tagsA) == 0 || len(tagsB) == 0:
+		return 0
+	}
+	ab := directionalSimilarity(tagsA, tagsB)
+	ba := directionalSimilarity(tagsB, tagsA)
+	return (ab + ba) / 2
+}
+
+// directionalSimilarity returns the median over tags t in from of the best
+// normalized similarity of t to any tag in to.
+func directionalSimilarity(from, to []string) float64 {
+	best := make([]float64, len(from))
+	toRunes := make([][]rune, len(to))
+	for i, t := range to {
+		toRunes[i] = []rune(t)
+	}
+	for i, t := range from {
+		rt := []rune(t)
+		bestSim := 0.0
+		for _, rb := range toRunes {
+			maxLen := len(rt)
+			if len(rb) > maxLen {
+				maxLen = len(rb)
+			}
+			var sim float64
+			if maxLen == 0 {
+				sim = 1
+			} else {
+				sim = 1 - float64(levenshteinRunes(rt, rb))/float64(maxLen)
+			}
+			if sim > bestSim {
+				bestSim = sim
+				if bestSim == 1 {
+					break
+				}
+			}
+		}
+		best[i] = bestSim
+	}
+	return Median(best)
+}
+
+// Median returns the median of xs, interpolating between the two middle
+// values for even lengths. It returns 0 for an empty slice and does not
+// modify its argument.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,261 @@
+package textsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"saturday", "sunday", 3},
+		{"a", "b", 1},
+		{"login", "log1n", 1},
+		{"paypal", "paypa1", 1},
+		{"héllo", "hello", 1}, // multi-byte rune counts as one edit
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSimilarityKnownValues(t *testing.T) {
+	if got := Similarity("", ""); got != 1 {
+		t.Errorf("Similarity of empties = %v, want 1", got)
+	}
+	if got := Similarity("abcd", "abcd"); got != 1 {
+		t.Errorf("identical Similarity = %v, want 1", got)
+	}
+	if got := Similarity("abcd", "wxyz"); got != 0 {
+		t.Errorf("disjoint Similarity = %v, want 0", got)
+	}
+	if got := Similarity("abcd", "abce"); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Similarity = %v, want 0.75", got)
+	}
+}
+
+func TestPropertyLevenshteinMetricAxioms(t *testing.T) {
+	trim := func(s string) string {
+		if len(s) > 40 {
+			return s[:40]
+		}
+		return s
+	}
+	symmetry := func(a, b string) bool {
+		a, b = trim(a), trim(b)
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	identity := func(a string) bool {
+		a = trim(a)
+		return Levenshtein(a, a) == 0
+	}
+	triangle := func(a, b, c string) bool {
+		a, b, c = trim(a), trim(b), trim(c)
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	bound := func(a, b string) bool {
+		a, b = trim(a), trim(b)
+		d := Levenshtein(a, b)
+		la, lb := len([]rune(a)), len([]rune(b))
+		maxLen, diff := la, la-lb
+		if lb > maxLen {
+			maxLen = lb
+		}
+		if diff < 0 {
+			diff = -diff
+		}
+		return d >= diff && d <= maxLen
+	}
+	for name, f := range map[string]any{
+		"symmetry": symmetry, "identity": identity, "triangle": triangle, "bound": bound,
+	} {
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPropertySimilarityRange(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 60 {
+			a = a[:60]
+		}
+		if len(b) > 60 {
+			b = b[:60]
+		}
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1 && Similarity(a, a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiteSimilarityIdenticalSites(t *testing.T) {
+	tags := []string{"<div class=\"hero\">", "<input type=\"password\">", "<footer>"}
+	if got := SiteSimilarity(tags, tags); got != 1 {
+		t.Fatalf("identical sites similarity = %v, want 1", got)
+	}
+}
+
+func TestSiteSimilarityEmptySides(t *testing.T) {
+	if got := SiteSimilarity(nil, nil); got != 1 {
+		t.Fatalf("both empty = %v, want 1", got)
+	}
+	if got := SiteSimilarity([]string{"<div>"}, nil); got != 0 {
+		t.Fatalf("one empty = %v, want 0", got)
+	}
+}
+
+func TestSiteSimilaritySharedTemplateScoresHigh(t *testing.T) {
+	// Two sites built on the same template differ only in content strings —
+	// the situation Table 1 measures for Weebly (79.4% median similarity).
+	siteA := []string{
+		`<div class="wsite-header">`,
+		`<div class="wsite-section-content">Welcome to my bakery</div>`,
+		`<form class="wsite-form" action="/submit">`,
+		`<input type="text" name="email">`,
+		`<div class="weebly-footer">Powered by Weebly</div>`,
+	}
+	siteB := []string{
+		`<div class="wsite-header">`,
+		`<div class="wsite-section-content">Sign in to your account</div>`,
+		`<form class="wsite-form" action="/login">`,
+		`<input type="password" name="pass">`,
+		`<div class="weebly-footer">Powered by Weebly</div>`,
+	}
+	siteC := []string{ // hand-coded site, unrelated structure
+		`<table border="1"><tr><td>`,
+		`<marquee>WELCOME</marquee>`,
+		`<font size="7">click here</font>`,
+	}
+	same := SiteSimilarity(siteA, siteB)
+	diff := SiteSimilarity(siteA, siteC)
+	if same < 0.6 {
+		t.Fatalf("shared-template similarity = %v, want > 0.6", same)
+	}
+	if diff >= same {
+		t.Fatalf("unrelated similarity %v >= template similarity %v", diff, same)
+	}
+}
+
+func TestPropertySiteSimilaritySymmetricAndBounded(t *testing.T) {
+	f := func(a, b []string) bool {
+		if len(a) > 8 {
+			a = a[:8]
+		}
+		if len(b) > 8 {
+			b = b[:8]
+		}
+		for i := range a {
+			if len(a[i]) > 30 {
+				a[i] = a[i][:30]
+			}
+		}
+		for i := range b {
+			if len(b[i]) > 30 {
+				b[i] = b[i][:30]
+			}
+		}
+		ab := SiteSimilarity(a, b)
+		ba := SiteSimilarity(b, a)
+		return math.Abs(ab-ba) < 1e-12 && ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func BenchmarkLevenshteinHTMLTags(b *testing.B) {
+	a := `<div class="wsite-section-content" style="padding:12px">Welcome to our online store front</div>`
+	c := `<div class="wsite-section-content" style="padding:16px">Sign in to continue to your account</div>`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Levenshtein(a, c)
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1 := Percentile(raw, p1)
+		v2 := Percentile(raw, p2)
+		lo := Percentile(raw, 0)
+		hi := Percentile(raw, 100)
+		return v1 <= v2+1e-9 && v1 >= lo-1e-9 && v2 <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package urlx
+
+import "testing"
+
+// Fuzz targets for the URL analyzers: streamed post text and URLs are
+// attacker-controlled.
+
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"https://a.weebly.com/x", "sites.google.com/view/y", "http://1.2.3.4/",
+		"https://xn--pypal-4ve.com/", "://", "https://[::1]:8080/p", "%%%",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		if len(raw) > 1024 {
+			raw = raw[:1024]
+		}
+		p, err := Parse(raw)
+		if err != nil {
+			return
+		}
+		// Invariants on every successful parse.
+		if p.Domain != "" && p.TLD == "" {
+			t.Fatalf("domain %q without TLD", p.Domain)
+		}
+		_ = p.IsPremiumTLD()
+		_ = p.IsCheapTLD()
+		_ = p.LooksLikeIPHost()
+		_ = p.IsPunycodeHost()
+		_ = p.CountDots()
+	})
+}
+
+func FuzzExtractURLs(f *testing.F) {
+	for _, s := range []string{
+		"check https://a.weebly.com/x now", "no urls", "https://", "a https://b.c/d. e",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 2048 {
+			text = text[:2048]
+		}
+		for _, u := range ExtractURLs(text) {
+			if _, err := Parse(u); err != nil {
+				t.Fatalf("extracted unparseable URL %q", u)
+			}
+		}
+	})
+}
+
+func FuzzNormalizeForMatching(f *testing.F) {
+	for _, s := range []string{"https://p%61ypal.com/", "pаypal", "%zz", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		if len(raw) > 1024 {
+			raw = raw[:1024]
+		}
+		out := NormalizeForMatching(raw)
+		// Normalization is idempotent on its own output for the folding
+		// step (percent-decoding may cascade by design on double-encoded
+		// input, which is fine — attackers double-encode).
+		_ = FoldHomoglyphs(out)
+	})
+}

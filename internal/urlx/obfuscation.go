@@ -1,0 +1,124 @@
+package urlx
+
+import (
+	"net/url"
+	"strings"
+)
+
+// URL obfuscation analysis: attackers hide brand tokens from keyword
+// scanners with percent-encoding (l%6Fgin), unicode homoglyphs
+// (pаypal with a Cyrillic а), and punycode hosts (xn--). These helpers
+// normalize URLs before brand/vocabulary matching and flag the obfuscation
+// itself — obfuscation is a phishing signal in its own right.
+
+// PercentDecode resolves percent-encoding in raw, returning the input
+// unchanged when decoding fails (malformed escapes are themselves a
+// signal, surfaced by HasPercentEncodedLetters).
+func PercentDecode(raw string) string {
+	d, err := url.QueryUnescape(strings.ReplaceAll(raw, "+", "%2B"))
+	if err != nil {
+		return raw
+	}
+	return d
+}
+
+// HasPercentEncodedLetters reports whether the URL percent-encodes plain
+// ASCII letters or digits — never necessary for a legitimate URL, always a
+// scanner-evasion trick.
+func HasPercentEncodedLetters(raw string) bool {
+	for i := 0; i+2 < len(raw); i++ {
+		if raw[i] != '%' {
+			continue
+		}
+		v, ok := hexByte(raw[i+1], raw[i+2])
+		if !ok {
+			continue
+		}
+		if v >= 'a' && v <= 'z' || v >= 'A' && v <= 'Z' || v >= '0' && v <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexVal(hi)
+	l, ok2 := hexVal(lo)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return h<<4 | l, true
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// IsPunycodeHost reports whether any host label is punycode-encoded
+// (xn--) — the carrier for IDN homograph attacks.
+func (p Parts) IsPunycodeHost() bool {
+	for _, l := range p.Labels {
+		if strings.HasPrefix(strings.ToLower(l), "xn--") {
+			return true
+		}
+	}
+	return false
+}
+
+// homoglyphs maps confusable non-ASCII runes to the ASCII letters they
+// imitate — the common Cyrillic/Greek lookalikes abused in brand spoofing.
+var homoglyphs = map[rune]rune{
+	'а': 'a', 'е': 'e', 'о': 'o', 'р': 'p', 'с': 'c', 'х': 'x', 'у': 'y',
+	'і': 'i', 'ѕ': 's', 'ԁ': 'd', 'ɡ': 'g', 'ℓ': 'l',
+	'α': 'a', 'ο': 'o', 'ν': 'v', 'τ': 't', 'ι': 'i', 'κ': 'k',
+	'０': '0', '１': '1', 'ɑ': 'a',
+}
+
+// FoldHomoglyphs maps confusable unicode letters to their ASCII
+// lookalikes, so brand matching catches pаypal.com (Cyrillic а).
+func FoldHomoglyphs(s string) string {
+	var changed bool
+	for _, r := range s {
+		if _, ok := homoglyphs[r]; ok {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if a, ok := homoglyphs[r]; ok {
+			b.WriteRune(a)
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// HasHomoglyphs reports whether s contains confusable lookalike runes.
+func HasHomoglyphs(s string) bool {
+	for _, r := range s {
+		if _, ok := homoglyphs[r]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// NormalizeForMatching prepares a URL for brand/vocabulary scanning:
+// lower-cased, percent-decoded, homoglyphs folded.
+func NormalizeForMatching(raw string) string {
+	return strings.ToLower(FoldHomoglyphs(PercentDecode(raw)))
+}

@@ -1,0 +1,98 @@
+package urlx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentDecode(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"https://x.com/l%6Fgin", "https://x.com/login"},
+		{"no-escapes", "no-escapes"},
+		{"%zz-malformed", "%zz-malformed"}, // unchanged on failure
+		{"a%20b", "a b"},
+	}
+	for _, c := range cases {
+		if got := PercentDecode(c.in); got != c.want {
+			t.Errorf("PercentDecode(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHasPercentEncodedLetters(t *testing.T) {
+	if !HasPercentEncodedLetters("https://x.com/p%61ypal") {
+		t.Error("encoded letter not flagged")
+	}
+	if HasPercentEncodedLetters("https://x.com/a%20b?q=1%2F2") {
+		t.Error("space/slash escapes wrongly flagged")
+	}
+	if HasPercentEncodedLetters("https://x.com/plain") {
+		t.Error("plain URL flagged")
+	}
+}
+
+func TestPunycodeHost(t *testing.T) {
+	p := mustParse(t, "https://xn--pypal-4ve.com/login")
+	if !p.IsPunycodeHost() {
+		t.Error("punycode host not detected")
+	}
+	p = mustParse(t, "https://paypal.com/")
+	if p.IsPunycodeHost() {
+		t.Error("ascii host flagged as punycode")
+	}
+}
+
+func TestFoldHomoglyphs(t *testing.T) {
+	// "pаypal" with Cyrillic а folds to ASCII "paypal".
+	in := "pаypal.com"
+	if got := FoldHomoglyphs(in); got != "paypal.com" {
+		t.Errorf("FoldHomoglyphs = %q", got)
+	}
+	if !HasHomoglyphs(in) {
+		t.Error("homoglyph not detected")
+	}
+	if HasHomoglyphs("paypal.com") {
+		t.Error("pure ASCII flagged")
+	}
+	// No-op path returns the identical string.
+	if got := FoldHomoglyphs("plain"); got != "plain" {
+		t.Errorf("no-op fold = %q", got)
+	}
+}
+
+func TestNormalizeForMatchingCatchesObfuscatedBrand(t *testing.T) {
+	obfuscated := "https://P%41YPAL-secure.example/аccount"
+	n := NormalizeForMatching(obfuscated)
+	if want := "https://paypal-secure.example/account"; n != want {
+		t.Errorf("normalized = %q, want %q", n, want)
+	}
+}
+
+// Property: folding is idempotent and never changes pure-ASCII strings.
+func TestPropertyFoldIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 100 {
+			s = s[:100]
+		}
+		once := FoldHomoglyphs(s)
+		return FoldHomoglyphs(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PercentDecode never panics and is a no-op on escape-free input.
+func TestPropertyPercentDecodeTotal(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 100 {
+			s = s[:100]
+		}
+		out := PercentDecode(s)
+		_ = out
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package urlx analyzes URL strings the way the FreePhish pre-processing
+// module does: second-level-domain extraction (the key to recognizing FWB
+// hosting), TLD classing, suspicious-symbol and sensitive-vocabulary
+// counting, and brand-impersonation hints. These power the 8 URL-based
+// features of the classifier (Section 4.2).
+package urlx
+
+import (
+	"net/url"
+	"strings"
+)
+
+// Parts is the decomposition of a URL FreePhish works with.
+type Parts struct {
+	Raw       string
+	Scheme    string
+	Host      string   // full hostname, lower-cased, no port
+	Labels    []string // host split on dots
+	TLD       string   // rightmost label
+	Domain    string   // registrable domain, e.g. weebly.com or sites.google.com
+	SLD       string   // second-level domain name, e.g. weebly
+	Subdomain string   // everything left of the registrable domain
+	Path      string
+	Query     string
+}
+
+// multiLabelSuffixes are public suffixes under which the registrable domain
+// has three labels (brand.suffix). The set covers every suffix the 17 FWBs
+// and the simulated self-hosted cohort use; a full public-suffix list is not
+// needed for the study.
+var multiLabelSuffixes = map[string]bool{
+	"com.br": true, "co.uk": true, "com.au": true, "co.in": true,
+	"web.app": true, "google.com": true, "zohopublic.com": true,
+}
+
+// Parse decomposes raw. It accepts scheme-less input ("host/path") because
+// URLs shared in social posts are frequently scheme-less.
+func Parse(raw string) (Parts, error) {
+	s := raw
+	if !strings.Contains(s, "://") {
+		s = "https://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return Parts{}, err
+	}
+	host := strings.ToLower(u.Hostname())
+	// Normalize the FQDN form: a trailing dot is valid DNS but would leave
+	// an empty TLD label (found by fuzzing).
+	host = strings.TrimRight(host, ".")
+	p := Parts{
+		Raw:    raw,
+		Scheme: u.Scheme,
+		Host:   host,
+		Path:   u.Path,
+		Query:  u.RawQuery,
+	}
+	if host == "" {
+		return p, nil
+	}
+	p.Labels = strings.Split(host, ".")
+	n := len(p.Labels)
+	p.TLD = p.Labels[n-1]
+	if n == 1 {
+		p.Domain = host
+		p.SLD = host
+		return p, nil
+	}
+	// Determine the registrable domain: brand + suffix, where the suffix may
+	// span two labels (e.g. sites.google.com → registrable google.com with
+	// special-cased FWB semantics handled by the fwb package).
+	suffixLabels := 1
+	if n >= 3 {
+		two := p.Labels[n-2] + "." + p.Labels[n-1]
+		if multiLabelSuffixes[two] {
+			suffixLabels = 2
+		}
+	}
+	domStart := n - suffixLabels - 1
+	if domStart < 0 {
+		domStart = 0
+	}
+	p.Domain = strings.Join(p.Labels[domStart:], ".")
+	p.SLD = p.Labels[domStart]
+	if domStart > 0 {
+		p.Subdomain = strings.Join(p.Labels[:domStart], ".")
+	}
+	return p, nil
+}
+
+// HasSubdomainUnder reports whether the URL is hosted as a subdomain (or
+// path-site) under the given service domain, e.g.
+// HasSubdomainUnder("myshop.weebly.com", "weebly.com") == true.
+func (p Parts) HasSubdomainUnder(service string) bool {
+	service = strings.ToLower(service)
+	return p.Host == service && p.Path != "" && p.Path != "/" ||
+		strings.HasSuffix(p.Host, "."+service)
+}
+
+// suspiciousSymbols are characters whose presence in a URL correlates with
+// phishing in the StackModel feature set: @ (userinfo tricks), - (brand
+// hyphenation), ~, _, %, and digits substituting for letters are counted
+// separately.
+const suspiciousSymbolSet = "@-_~%"
+
+// CountSuspiciousSymbols counts occurrences of the suspicious symbol set in
+// the full URL string.
+func CountSuspiciousSymbols(raw string) int {
+	n := 0
+	for _, r := range raw {
+		if strings.ContainsRune(suspiciousSymbolSet, r) {
+			n++
+		}
+	}
+	return n
+}
+
+// sensitiveWords is the credential-harvesting vocabulary the StackModel URL
+// features scan for.
+var sensitiveWords = []string{
+	"login", "log-in", "signin", "sign-in", "logon", "verify", "verification",
+	"secure", "security", "account", "update", "confirm", "password", "pwd",
+	"banking", "authenticate", "auth", "wallet", "recover", "unlock",
+	"suspend", "invoice", "billing", "support", "helpdesk", "webscr",
+}
+
+// CountSensitiveWords counts how many sensitive vocabulary terms appear in
+// the URL (case-insensitive, substring semantics as in the original
+// StackModel feature).
+func CountSensitiveWords(raw string) int {
+	lower := strings.ToLower(raw)
+	n := 0
+	for _, w := range sensitiveWords {
+		if strings.Contains(lower, w) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountDigits counts decimal digits in the URL.
+func CountDigits(raw string) int {
+	n := 0
+	for _, r := range raw {
+		if r >= '0' && r <= '9' {
+			n++
+		}
+	}
+	return n
+}
+
+// CountDots counts '.' characters in the host part.
+func (p Parts) CountDots() int {
+	return strings.Count(p.Host, ".")
+}
+
+// premiumTLDs are the TLDs users trust most (Section 3, "Premium TLDs").
+var premiumTLDs = map[string]bool{
+	"com": true, "org": true, "net": true, "edu": true, "gov": true,
+}
+
+// cheapTLDs are the low-cost TLDs attackers favor for self-hosted phishing,
+// tuned against in blocklist heuristics (Section 6, Phishing Attack Costs).
+var cheapTLDs = map[string]bool{
+	"xyz": true, "top": true, "live": true, "store": true, "icu": true,
+	"club": true, "online": true, "site": true, "buzz": true, "rest": true,
+	"cyou": true, "monster": true, "quest": true, "sbs": true, "cfd": true,
+}
+
+// IsPremiumTLD reports whether the URL's TLD is in the premium set.
+func (p Parts) IsPremiumTLD() bool { return premiumTLDs[p.TLD] }
+
+// IsCheapTLD reports whether the URL's TLD is in the abused low-cost set.
+func (p Parts) IsCheapTLD() bool { return cheapTLDs[p.TLD] }
+
+// BrandInHost reports the first brand (from brands) that appears in the
+// host outside the registrable-domain brand itself — the classic
+// paypal.evil-site.com pattern — or "" when none does. Brand names must be
+// lower-case.
+func (p Parts) BrandInHost(brands []string) string {
+	if p.Host == "" {
+		return ""
+	}
+	hostSansDomain := strings.TrimSuffix(p.Host, p.Domain)
+	for _, b := range brands {
+		if b == "" || b == p.SLD {
+			continue
+		}
+		if strings.Contains(hostSansDomain, b) {
+			return b
+		}
+	}
+	return ""
+}
+
+// BrandInPath reports the first brand appearing in the path or query, or "".
+func (p Parts) BrandInPath(brands []string) string {
+	pq := strings.ToLower(p.Path + "?" + p.Query)
+	for _, b := range brands {
+		if b == "" {
+			continue
+		}
+		if strings.Contains(pq, b) {
+			return b
+		}
+	}
+	return ""
+}
+
+// LooksLikeIPHost reports whether the host is a literal IPv4 address, a
+// strong phishing signal for self-hosted attacks.
+func (p Parts) LooksLikeIPHost() bool {
+	if len(p.Labels) != 4 {
+		return false
+	}
+	for _, l := range p.Labels {
+		if l == "" || len(l) > 3 {
+			return false
+		}
+		for _, r := range l {
+			if r < '0' || r > '9' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ExtractURLs finds URL-shaped substrings in free text the way the
+// streaming module's regular expression does (Section 4.1). It recognizes
+// http(s) URLs and bare host/path forms with a known-interesting suffix.
+func ExtractURLs(text string) []string {
+	var out []string
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return r == ' ' || r == '\n' || r == '\t' || r == '"' || r == '\'' ||
+			r == '<' || r == '>' || r == '(' || r == ')' || r == ',' || r == ';'
+	})
+	for _, f := range fields {
+		// The scheme may be glued to preceding punctuation (notably CJK
+		// colons, which are not token separators): scan into the token.
+		idx := strings.Index(f, "http://")
+		if j := strings.Index(f, "https://"); j >= 0 && (idx < 0 || j < idx) {
+			idx = j
+		}
+		if idx < 0 {
+			continue
+		}
+		f = strings.TrimRight(f[idx:], ".!?，。！？：")
+		if u, err := url.Parse(f); err == nil && u.Host != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package urlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, raw string) Parts {
+	t.Helper()
+	p, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", raw, err)
+	}
+	return p
+}
+
+func TestParseFWBSubdomain(t *testing.T) {
+	p := mustParse(t, "https://my-shop.weebly.com/login")
+	if p.Host != "my-shop.weebly.com" {
+		t.Errorf("Host = %q", p.Host)
+	}
+	if p.Domain != "weebly.com" || p.SLD != "weebly" {
+		t.Errorf("Domain = %q SLD = %q", p.Domain, p.SLD)
+	}
+	if p.Subdomain != "my-shop" {
+		t.Errorf("Subdomain = %q", p.Subdomain)
+	}
+	if p.TLD != "com" {
+		t.Errorf("TLD = %q", p.TLD)
+	}
+}
+
+func TestParseMultiLabelSuffix(t *testing.T) {
+	p := mustParse(t, "https://sites.google.com/view/oofifhdfhehdy")
+	if p.Domain != "sites.google.com" || p.SLD != "sites" {
+		t.Errorf("Domain = %q SLD = %q, want sites.google.com / sites", p.Domain, p.SLD)
+	}
+	p2 := mustParse(t, "https://myapp.web.app/")
+	if p2.Domain != "myapp.web.app" || p2.SLD != "myapp" {
+		t.Errorf("web.app: Domain = %q SLD = %q", p2.Domain, p2.SLD)
+	}
+}
+
+func TestParseSchemeless(t *testing.T) {
+	p := mustParse(t, "evil.000webhostapp.com/verify")
+	if p.Host != "evil.000webhostapp.com" {
+		t.Errorf("Host = %q", p.Host)
+	}
+	if p.Scheme != "https" {
+		t.Errorf("Scheme = %q (default)", p.Scheme)
+	}
+}
+
+func TestParseBareDomain(t *testing.T) {
+	p := mustParse(t, "https://example.com")
+	if p.Domain != "example.com" || p.Subdomain != "" {
+		t.Errorf("Domain = %q Subdomain = %q", p.Domain, p.Subdomain)
+	}
+}
+
+func TestParseSingleLabelHost(t *testing.T) {
+	p := mustParse(t, "https://localhost/x")
+	if p.Domain != "localhost" || p.SLD != "localhost" || p.TLD != "localhost" {
+		t.Errorf("parts = %+v", p)
+	}
+}
+
+func TestParsePortStripped(t *testing.T) {
+	p := mustParse(t, "http://site.weebly.com:8080/a")
+	if p.Host != "site.weebly.com" {
+		t.Errorf("Host = %q, want port stripped", p.Host)
+	}
+}
+
+func TestHasSubdomainUnder(t *testing.T) {
+	p := mustParse(t, "https://shop.weebly.com/x")
+	if !p.HasSubdomainUnder("weebly.com") {
+		t.Error("shop.weebly.com should be under weebly.com")
+	}
+	if p.HasSubdomainUnder("wix.com") {
+		t.Error("shop.weebly.com is not under wix.com")
+	}
+	// Path-based FWB (Google Sites style).
+	p2 := mustParse(t, "https://sites.google.com/view/abc")
+	if !p2.HasSubdomainUnder("sites.google.com") {
+		t.Error("path site under sites.google.com not detected")
+	}
+	// Guard against suffix-string trickery.
+	p3 := mustParse(t, "https://notweebly.com/x")
+	if p3.HasSubdomainUnder("weebly.com") {
+		t.Error("notweebly.com must not match weebly.com")
+	}
+}
+
+func TestCountSuspiciousSymbols(t *testing.T) {
+	if got := CountSuspiciousSymbols("https://a-b_c.com/~d%20e@f"); got != 5 {
+		t.Errorf("got %d, want 5", got)
+	}
+	if got := CountSuspiciousSymbols("https://clean.example.com/path"); got != 0 {
+		t.Errorf("clean URL got %d", got)
+	}
+}
+
+func TestCountSensitiveWords(t *testing.T) {
+	if got := CountSensitiveWords("https://x.com/login-verify-account"); got < 3 {
+		t.Errorf("got %d, want >= 3", got)
+	}
+	if got := CountSensitiveWords("https://x.com/recipes/pasta"); got != 0 {
+		t.Errorf("benign URL got %d", got)
+	}
+}
+
+func TestCountDigitsAndDots(t *testing.T) {
+	if got := CountDigits("https://a1b2.example.com/3"); got != 3 {
+		t.Errorf("digits = %d", got)
+	}
+	p := mustParse(t, "https://a.b.c.example.com/")
+	if got := p.CountDots(); got != 4 {
+		t.Errorf("dots = %d", got)
+	}
+}
+
+func TestTLDClassing(t *testing.T) {
+	if p := mustParse(t, "https://shop.weebly.com/"); !p.IsPremiumTLD() || p.IsCheapTLD() {
+		t.Error("com should be premium, not cheap")
+	}
+	if p := mustParse(t, "https://free-gift.xyz/"); p.IsPremiumTLD() || !p.IsCheapTLD() {
+		t.Error("xyz should be cheap, not premium")
+	}
+	if p := mustParse(t, "https://example.de/"); p.IsPremiumTLD() || p.IsCheapTLD() {
+		t.Error("de is neither premium nor cheap")
+	}
+}
+
+func TestBrandInHost(t *testing.T) {
+	brands := []string{"paypal", "netflix", "chase"}
+	p := mustParse(t, "https://paypal.secure-update.xyz/login")
+	if got := p.BrandInHost(brands); got != "paypal" {
+		t.Errorf("BrandInHost = %q", got)
+	}
+	// The brand as the registrable domain itself is NOT impersonation.
+	p2 := mustParse(t, "https://www.paypal.com/")
+	if got := p2.BrandInHost(brands); got != "" {
+		t.Errorf("legit paypal.com flagged: %q", got)
+	}
+}
+
+func TestBrandInPath(t *testing.T) {
+	brands := []string{"netflix"}
+	p := mustParse(t, "https://evil.weebly.com/netflix-billing")
+	if got := p.BrandInPath(brands); got != "netflix" {
+		t.Errorf("BrandInPath = %q", got)
+	}
+}
+
+func TestLooksLikeIPHost(t *testing.T) {
+	if p := mustParse(t, "http://192.168.10.5/login"); !p.LooksLikeIPHost() {
+		t.Error("IPv4 host not detected")
+	}
+	if p := mustParse(t, "https://a.b.c.d/"); p.LooksLikeIPHost() {
+		t.Error("letters misdetected as IP")
+	}
+	if p := mustParse(t, "https://1234.5.6.7/"); p.LooksLikeIPHost() {
+		t.Error("4-digit label misdetected as IP")
+	}
+}
+
+func TestExtractURLs(t *testing.T) {
+	text := `Check this out! https://deal.weebly.com/free-iphone and also
+see http://other.example.net/x. Not a url: weebly dot com`
+	got := ExtractURLs(text)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0] != "https://deal.weebly.com/free-iphone" {
+		t.Errorf("url 0 = %q", got[0])
+	}
+	if got[1] != "http://other.example.net/x" {
+		t.Errorf("url 1 = %q (trailing dot should be trimmed)", got[1])
+	}
+}
+
+func TestExtractURLsEmptyAndNoise(t *testing.T) {
+	if got := ExtractURLs("no links here"); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+	if got := ExtractURLs(""); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+	got := ExtractURLs(`<a href="https://x.weebly.com/a">click</a>`)
+	if len(got) != 1 || got[0] != "https://x.weebly.com/a" {
+		t.Errorf("html-wrapped url: %v", got)
+	}
+}
+
+// Property: Parse never panics, and for well-formed two-plus-label hosts the
+// domain always contains the TLD and the host ends with the domain.
+func TestPropertyParseConsistency(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		label := func(n uint8) string {
+			const alpha = "abcdefghijklmnopqrstuvwxyz0123456789"
+			s := make([]byte, n%8+1)
+			for i := range s {
+				s[i] = alpha[(int(n)+i*7)%len(alpha)]
+			}
+			return string(s)
+		}
+		host := label(a) + "." + label(b) + "." + label(c) + ".com"
+		p, err := Parse("https://" + host + "/x")
+		if err != nil {
+			return false
+		}
+		return strings.HasSuffix(p.Host, p.Domain) &&
+			strings.HasSuffix(p.Domain, p.TLD) &&
+			(p.Subdomain == "" || p.Subdomain+"."+p.Domain == p.Host)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ExtractURLs output always parses and round-trips through Parse.
+func TestPropertyExtractURLsParseable(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 200 {
+			s = s[:200]
+		}
+		for _, u := range ExtractURLs(s) {
+			if _, err := Parse(u); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTrailingDotHost(t *testing.T) {
+	// FQDN form (fuzz regression): trailing dots must not leave an empty
+	// TLD label.
+	p := mustParse(t, "https://shop.weebly.com./x")
+	if p.Host != "shop.weebly.com" || p.TLD != "com" {
+		t.Fatalf("parts = %+v", p)
+	}
+	p = mustParse(t, "https://00000./")
+	if p.TLD == "" && p.Domain != "" {
+		t.Fatalf("empty TLD with domain %q", p.Domain)
+	}
+}

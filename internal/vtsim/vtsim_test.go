@@ -1,0 +1,128 @@
+package vtsim
+
+import (
+	"testing"
+	"time"
+
+	"freephish/internal/fwb"
+	"freephish/internal/simclock"
+	"freephish/internal/threat"
+)
+
+var epoch = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func target(isFWB, evasive bool) *threat.Target {
+	tg := &threat.Target{SharedAt: epoch, HasCredentialFields: !evasive, TwoStepLink: evasive, TLS: true}
+	if isFWB {
+		svc, _ := fwb.ByKey("weebly")
+		tg.Service = svc
+	}
+	return tg
+}
+
+func TestSeventySixEngines(t *testing.T) {
+	if n := NewScanner().NumEngines(); n != 76 {
+		t.Fatalf("engines = %d, want 76 (paper)", n)
+	}
+}
+
+func medianDetections(t *testing.T, s *Scanner, tg func() *threat.Target, rng *simclock.RNG) int {
+	t.Helper()
+	week := epoch.Add(7 * 24 * time.Hour)
+	var counts []int
+	for i := 0; i < 1200; i++ {
+		counts = append(counts, CountBy(s.Assess(tg(), rng), week))
+	}
+	// median
+	sum := append([]int(nil), counts...)
+	for i := 1; i < len(sum); i++ {
+		for j := i; j > 0 && sum[j] < sum[j-1]; j-- {
+			sum[j], sum[j-1] = sum[j-1], sum[j]
+		}
+	}
+	return sum[len(sum)/2]
+}
+
+func TestFigure7MedianDetections(t *testing.T) {
+	s := NewScanner()
+	rng := simclock.NewRNG(7, "vt")
+	selfMed := medianDetections(t, s, func() *threat.Target { return target(false, false) }, rng)
+	fwbMed := medianDetections(t, s, func() *threat.Target { return target(true, false) }, rng)
+	t.Logf("median detections after 1 week: self-hosted=%d (paper 9), FWB=%d (paper 4)", selfMed, fwbMed)
+	if selfMed < 7 || selfMed > 12 {
+		t.Errorf("self-hosted median = %d, want ≈9", selfMed)
+	}
+	if fwbMed < 2 || fwbMed > 6 {
+		t.Errorf("FWB median = %d, want ≈4", fwbMed)
+	}
+	if fwbMed >= selfMed {
+		t.Errorf("FWB median %d >= self-hosted %d", fwbMed, selfMed)
+	}
+}
+
+func TestDetectionsAccrueOverTime(t *testing.T) {
+	s := NewScanner()
+	rng := simclock.NewRNG(9, "vt2")
+	var day1, day7 int
+	for i := 0; i < 500; i++ {
+		det := s.Assess(target(false, false), rng)
+		day1 += CountBy(det, epoch.Add(24*time.Hour))
+		day7 += CountBy(det, epoch.Add(7*24*time.Hour))
+	}
+	if day1 >= day7 {
+		t.Fatalf("day1 detections %d >= day7 %d", day1, day7)
+	}
+	if day1 == 0 {
+		t.Fatal("no detections on day 1 at all")
+	}
+}
+
+func TestEvasivePenalty(t *testing.T) {
+	s := NewScanner()
+	rng := simclock.NewRNG(11, "vt3")
+	week := epoch.Add(7 * 24 * time.Hour)
+	var ev, reg int
+	for i := 0; i < 800; i++ {
+		ev += CountBy(s.Assess(target(true, true), rng), week)
+		reg += CountBy(s.Assess(target(true, false), rng), week)
+	}
+	if ev >= reg {
+		t.Fatalf("evasive detections %d >= regular %d", ev, reg)
+	}
+}
+
+func TestAssessSortedAndAfterShare(t *testing.T) {
+	s := NewScanner()
+	rng := simclock.NewRNG(13, "vt4")
+	for i := 0; i < 50; i++ {
+		det := s.Assess(target(false, false), rng)
+		for j, d := range det {
+			if d.Before(epoch) {
+				t.Fatal("detection before share")
+			}
+			if j > 0 && d.Before(det[j-1]) {
+				t.Fatal("detections not sorted")
+			}
+		}
+	}
+}
+
+func TestCountBy(t *testing.T) {
+	det := []time.Time{epoch.Add(time.Hour), epoch.Add(3 * time.Hour)}
+	if got := CountBy(det, epoch); got != 0 {
+		t.Fatalf("CountBy at share = %d", got)
+	}
+	if got := CountBy(det, epoch.Add(time.Hour)); got != 1 {
+		t.Fatalf("CountBy inclusive = %d, want 1", got)
+	}
+	if got := CountBy(det, epoch.Add(24*time.Hour)); got != 2 {
+		t.Fatalf("CountBy day = %d", got)
+	}
+}
+
+func TestTierComposition(t *testing.T) {
+	tiers := NewScanner().TierCounts()
+	if tiers["aggressive"] != 8 || tiers["moderate"] != 26 || tiers["weak"] != 42 {
+		t.Fatalf("tiers = %v", tiers)
+	}
+}

@@ -1,0 +1,307 @@
+// Package webgen generates the simulated web: benign FWB websites, FWB
+// phishing attacks (with the Section 3 evasion properties), the Section 5.5
+// evasive variants, and self-hosted phishing sites. Generated pages are
+// real HTML served over HTTP to the FreePhish crawler; their feature
+// statistics are parameterized by the distributions the paper measured.
+package webgen
+
+// benignTopic is one template for an innocuous small-business/personal site.
+type benignTopic struct {
+	Title    string
+	Sections []string
+	Links    []string
+}
+
+// benignTopics is the content corpus for benign FWB sites: the small
+// businesses, portfolios, clubs, and blogs that make up legitimate free
+// websites. The variety matters — benign ground truth (4,656 URLs in the
+// paper) must not be trivially separable by content length alone.
+var benignTopics = []benignTopic{
+	{
+		Title: "Rosewood Bakery — Fresh Bread Daily",
+		Sections: []string{
+			"Welcome to Rosewood Bakery, a family-owned bakery serving the neighbourhood since 2009.",
+			"Our sourdough is fermented for 36 hours and baked fresh every morning in our stone oven.",
+			"Visit us at 12 Main Street, open Tuesday through Sunday from 7am to 3pm.",
+			"We cater weddings, birthdays and office events. Ask about our seasonal pie menu.",
+		},
+		Links: []string{"/menu", "/about", "/contact", "/catering"},
+	},
+	{
+		Title: "Sarah Chen Photography",
+		Sections: []string{
+			"Portrait and landscape photography based in the Pacific Northwest.",
+			"I shoot weddings, graduations, and corporate headshots with natural light.",
+			"Browse my latest gallery from the Olympic Peninsula coastal series.",
+			"Prints available in multiple sizes, shipped framed or unframed worldwide.",
+		},
+		Links: []string{"/gallery", "/pricing", "/book", "/blog"},
+	},
+	{
+		Title: "Maple Grove Community Garden",
+		Sections: []string{
+			"A volunteer-run community garden with 48 plots available to local residents.",
+			"Plots are assigned each spring; the waiting list opens in February.",
+			"Join our monthly work parties — tools and coffee provided.",
+			"Read our composting guide and seasonal planting calendar.",
+		},
+		Links: []string{"/plots", "/calendar", "/volunteer", "/rules"},
+	},
+	{
+		Title: "Hill Valley Chess Club",
+		Sections: []string{
+			"We meet every Thursday evening at the public library, all skill levels welcome.",
+			"Annual club championship runs October through December with rated games.",
+			"Beginner lessons start at 6pm before the main session.",
+			"Membership is free for students and seniors.",
+		},
+		Links: []string{"/schedule", "/results", "/join", "/lessons"},
+	},
+	{
+		Title: "Tidy Paws Dog Grooming",
+		Sections: []string{
+			"Professional grooming for dogs of all breeds and temperaments.",
+			"Full groom includes bath, cut, nail trim, and ear cleaning.",
+			"We use hypoallergenic shampoos and never cage-dry.",
+			"Book online or call us — weekend slots fill fast.",
+		},
+		Links: []string{"/services", "/prices", "/book", "/faq"},
+	},
+	{
+		Title: "Ramirez Home Renovations",
+		Sections: []string{
+			"Licensed and insured general contractor with 15 years of experience.",
+			"Kitchens, bathrooms, decks, and full home remodels done on time and on budget.",
+			"See before-and-after photos from our recent projects.",
+			"Free estimates within the metro area.",
+		},
+		Links: []string{"/projects", "/testimonials", "/estimate", "/contact"},
+	},
+	{
+		Title: "The Daily Crumb — A Baking Blog",
+		Sections: []string{
+			"Recipes, experiments, and occasional disasters from my home kitchen.",
+			"This week: laminated dough for beginners, with step-by-step photos.",
+			"My no-knead bread recipe has been made by over a thousand readers.",
+			"Subscribe to get one new recipe in your inbox each Sunday.",
+		},
+		Links: []string{"/recipes", "/archive", "/about", "/subscribe"},
+	},
+	{
+		Title: "Lakeside Yoga Studio",
+		Sections: []string{
+			"Vinyasa, yin, and restorative classes in a light-filled studio by the lake.",
+			"New students: your first week of unlimited classes is free.",
+			"Our teachers are certified with a minimum of 200 training hours.",
+			"Private sessions and corporate wellness packages available.",
+		},
+		Links: []string{"/classes", "/teachers", "/pricing", "/workshops"},
+	},
+	{
+		Title: "Northfield Robotics Team 4412",
+		Sections: []string{
+			"High-school robotics team competing in the regional engineering league.",
+			"Our 2022 robot features a custom swerve drive and vision-guided intake.",
+			"We mentor two middle-school teams and run summer coding camps.",
+			"Sponsor us — your logo goes on the robot and the team shirts.",
+		},
+		Links: []string{"/robot", "/sponsors", "/outreach", "/media"},
+	},
+	{
+		Title: "Casa Verde Plant Shop",
+		Sections: []string{
+			"Houseplants, pots, and soil mixes chosen for low-light apartments.",
+			"New arrivals every Friday — follow us for restock announcements.",
+			"Free repotting with any pot purchase.",
+			"Plant care workshops on the first Saturday of each month.",
+		},
+		Links: []string{"/shop", "/care-guides", "/workshops", "/visit"},
+	},
+	{
+		Title: "Overlook Trail Runners",
+		Sections: []string{
+			"A friendly trail running group covering the ridge network every weekend.",
+			"Saturday long runs range from 10 to 30 kilometres with aid stops.",
+			"We maintain a public map of trail conditions updated after storms.",
+			"Annual relay fundraiser supports the park conservation fund.",
+		},
+		Links: []string{"/routes", "/calendar", "/join", "/relay"},
+	},
+	{
+		Title: "Bluebird Music Lessons",
+		Sections: []string{
+			"Piano, guitar, and voice lessons for ages six and up.",
+			"Recitals twice a year at the community hall — families welcome.",
+			"Online lessons available with flexible scheduling.",
+			"First trial lesson is half price.",
+		},
+		Links: []string{"/instruments", "/teachers", "/schedule", "/signup"},
+	},
+	{
+		Title: "Harbor Lane Coffee Roasters",
+		Sections: []string{
+			"Small-batch coffee roasted twice weekly in our harbor-side shed.",
+			"Single-origin beans from farms we visit ourselves every other year.",
+			"Wholesale accounts welcome — ask about our café training program.",
+			"Subscriptions ship on Mondays; first bag includes a brew guide.",
+		},
+		Links: []string{"/beans", "/subscribe", "/wholesale", "/visit"},
+	},
+	{
+		Title: "Eastside Little League",
+		Sections: []string{
+			"Spring registration is open for players aged five through twelve.",
+			"All coaches are background-checked volunteers certified this winter.",
+			"Game schedules and rainout notices post here every Friday.",
+			"Sponsor a team and get your banner on the outfield fence.",
+		},
+		Links: []string{"/register", "/schedule", "/fields", "/sponsors"},
+	},
+	{
+		Title: "Miller & Sons Plumbing",
+		Sections: []string{
+			"Family plumbing business serving the county since 1987.",
+			"Emergency call-outs answered around the clock, every day.",
+			"Fixed-price water heater replacement with same-week installation.",
+			"Ask about our annual maintenance plan for older homes.",
+		},
+		Links: []string{"/services", "/emergency", "/reviews", "/quote"},
+	},
+	{
+		Title: "The Paper Crane Stationery",
+		Sections: []string{
+			"Hand-letterpressed cards and wedding invitation suites.",
+			"Custom orders open the first week of each month.",
+			"Visit our studio shop Thursday through Saturday.",
+			"Workshops on bookbinding and calligraphy most weekends.",
+		},
+		Links: []string{"/shop", "/custom", "/workshops", "/studio"},
+	},
+	{
+		Title: "Cedar Ridge Animal Rescue",
+		Sections: []string{
+			"We rehome around two hundred dogs and cats every year.",
+			"All animals are vaccinated, chipped, and health-checked.",
+			"Fosters urgently needed for large-breed dogs this season.",
+			"Every donation goes directly to veterinary care and food.",
+		},
+		Links: []string{"/adopt", "/foster", "/donate", "/events"},
+	},
+	{
+		Title: "Luna's Taquería",
+		Sections: []string{
+			"Tacos al pastor carved fresh from the trompo every evening.",
+			"Tortillas pressed to order from locally milled masa.",
+			"Catering trailer available for weddings and office parties.",
+			"Tuesday special: three tacos and an agua fresca.",
+		},
+		Links: []string{"/menu", "/catering", "/hours", "/find-us"},
+	},
+	{
+		Title: "Summit Peak Cycling Club",
+		Sections: []string{
+			"Weekly road and gravel rides for all paces, no-drop guaranteed.",
+			"Our winter maintenance clinics teach you to true your own wheels.",
+			"Club kit orders open twice a year — members only.",
+			"The annual century ride raises funds for trail maintenance.",
+		},
+		Links: []string{"/rides", "/join", "/kit", "/century"},
+	},
+	{
+		Title: "Willow Creek Pottery Studio",
+		Sections: []string{
+			"Open studio memberships with wheel and kiln access.",
+			"Eight-week beginner courses start every season.",
+			"Seconds sale each spring — imperfect pots at friendly prices.",
+			"Commissions welcome for dinnerware sets and planters.",
+		},
+		Links: []string{"/classes", "/membership", "/gallery", "/commissions"},
+	},
+	{
+		Title: "Bright Start Tutoring",
+		Sections: []string{
+			"One-on-one math and reading support for grades two through nine.",
+			"All tutors are certified teachers or graduate students.",
+			"Progress reports shared with families every four weeks.",
+			"Scholarship places funded by our community partners.",
+		},
+		Links: []string{"/subjects", "/tutors", "/pricing", "/enroll"},
+	},
+	{
+		Title: "Old Town Barbershop",
+		Sections: []string{
+			"Classic cuts, hot towel shaves, and a proper cup of coffee.",
+			"Walk-ins welcome weekdays before noon.",
+			"Loyalty card: the tenth cut is on the house.",
+			"We sponsor the neighborhood clean-up every first Sunday.",
+		},
+		Links: []string{"/services", "/book", "/team", "/shop"},
+	},
+	{
+		Title: "Fernwood Community Theater",
+		Sections: []string{
+			"Three productions a year, cast entirely from local volunteers.",
+			"Auditions for the spring musical run the last week of January.",
+			"Season tickets include priority seating and a program credit.",
+			"Our youth workshop stages its own one-act festival in June.",
+		},
+		Links: []string{"/season", "/auditions", "/tickets", "/youth"},
+	},
+	{
+		Title: "Kite & Anchor Guesthouse",
+		Sections: []string{
+			"Four quiet rooms above the bay, breakfast included.",
+			"Bicycles and sea kayaks free for guests.",
+			"Two-night minimum on summer weekends.",
+			"Check our seasonal offers before booking elsewhere.",
+		},
+		Links: []string{"/rooms", "/rates", "/things-to-do", "/book"},
+	},
+}
+
+// lureTexts are the social-media post templates that share phishing links.
+var lureTexts = []string{
+	"Your account has been limited. Verify now to avoid suspension: %URL%",
+	"FINAL NOTICE: unusual sign-in detected on your account. Secure it here %URL%",
+	"You have (1) package pending. Confirm delivery details: %URL%",
+	"Claim your reward before it expires today! %URL%",
+	"Payment declined — update your billing information at %URL%",
+	"Security alert: confirm your identity within 24 hours %URL%",
+	"Your subscription could not be renewed. Fix it now: %URL%",
+	"Congratulations! You were selected for a gift card: %URL%",
+	"Action required: your mailbox is almost full %URL%",
+	"We noticed a login from a new device. Review activity: %URL%",
+}
+
+// benignPostTexts are innocuous posts that share benign FWB links.
+var benignPostTexts = []string{
+	"Check out my new website! %URL%",
+	"Our schedule for next month is up: %URL%",
+	"Proud to launch our little shop online %URL%",
+	"New blog post is live — would love your feedback %URL%",
+	"We moved our booking page here: %URL%",
+	"Photos from the weekend are up! %URL%",
+	"Sign-ups for the spring season are open %URL%",
+	"Our menu got a refresh, have a look: %URL%",
+}
+
+// lureTextsIntl are non-English lure templates; a small share of phishing
+// posts use them (the coders' language blind spot, §3).
+var lureTextsIntl = []string{
+	"Su cuenta ha sido limitada. Verifique ahora: %URL%",     // es
+	"Confirme sus datos para evitar la suspensión: %URL%",    // es
+	"Sua conta será bloqueada. Regularize agora: %URL%",      // pt
+	"Votre compte a été suspendu. Vérifiez ici : %URL%",      // fr
+	"Ihr Konto wurde eingeschränkt. Jetzt bestätigen: %URL%", // de
+	"您的账户存在异常，请立即验证：%URL%",                                   // zh
+	"アカウントが制限されました。今すぐ確認してください：%URL%",                        // ja
+}
+
+// slugWords builds random site slugs.
+var slugWords = []string{
+	"account", "verify", "secure", "support", "service", "update", "billing",
+	"portal", "login", "auth", "center", "help", "online", "official", "app",
+	"team", "info", "alert", "notice", "confirm", "id", "access", "client",
+	"sunny", "blue", "green", "happy", "little", "grand", "fresh", "prime",
+	"shop", "studio", "garden", "bakery", "craft", "photo", "music", "trail",
+}

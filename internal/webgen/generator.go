@@ -1,0 +1,249 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"freephish/internal/brands"
+	"freephish/internal/ctlog"
+	"freephish/internal/fwb"
+	"freephish/internal/simclock"
+	"freephish/internal/whois"
+)
+
+// Rates measured by the paper that parameterize generation.
+const (
+	// NoindexRate is the fraction of FWB phishing pages carrying a noindex
+	// meta tag (Section 3: 44.7%).
+	NoindexRate = 0.447
+	// BannerObfuscationRate is the fraction of FWB phishing pages that hide
+	// the service banner (Section 4.2).
+	BannerObfuscationRate = 0.52
+	// BrandInSlugRate is the fraction of phishing slugs embedding the brand.
+	BrandInSlugRate = 0.45
+	// BenignContactFormRate is the fraction of benign sites with a simple
+	// contact form (keeps "has a form" from trivially separating classes).
+	BenignContactFormRate = 0.30
+	// TwoStepOtherFWBRate is the fraction of two-step attacks whose linked
+	// page is on another FWB (Section 5.5: 174 of 539 on Google Sites).
+	TwoStepOtherFWBRate = 0.32
+	// SelfHostedTLSRate is the fraction of self-hosted phishing sites with
+	// SSL (Section 3 cites >49% of phishing URLs having certificates).
+	SelfHostedTLSRate = 0.60
+	// SelfHostedCloakRate is the fraction of self-hosted phishing sites
+	// using server-side user-agent cloaking (CrawlPhish measured ~20-25%
+	// of phishing sites employing cloaking; §6 related work).
+	SelfHostedCloakRate = 0.25
+)
+
+// Generator produces simulated websites and the social posts that share
+// them. It optionally maintains WHOIS and CT-log side effects so detector
+// discovery channels observe the same world. Generator is not safe for
+// concurrent use; the simulation drives it from clock callbacks.
+type Generator struct {
+	rng   *simclock.RNG
+	whois *whois.DB
+	ct    *ctlog.Log
+	seq   int
+
+	// OnSecondary, when set, receives the linked second-stage sites that
+	// two-step and iframe attacks point to (Figure 11: the landing page on
+	// one domain, the credential page on another). The caller typically
+	// publishes them to the hosting substrate so crawlers can follow the
+	// chain. When nil, second-stage URLs are fabricated but not backed by
+	// a live page.
+	OnSecondary func(*fwb.Site)
+}
+
+// NewGenerator returns a Generator drawing from the run seed. whoisDB and
+// ctLog may be nil when registration side effects are not needed.
+func NewGenerator(seed int64, whoisDB *whois.DB, ctLog *ctlog.Log) *Generator {
+	return &Generator{
+		rng:   simclock.NewRNG(seed, "webgen"),
+		whois: whoisDB,
+		ct:    ctLog,
+	}
+}
+
+// RegisterInfrastructure records the 17 FWB hosting domains in WHOIS with
+// their multi-year ages and appends each service's shared certificate to
+// the CT log (the service's own cert is public; individual sites never are).
+func (g *Generator) RegisterInfrastructure(at time.Time) {
+	for _, svc := range fwb.All() {
+		if g.whois != nil {
+			reg := at.AddDate(0, 0, -int(svc.DomainAgeYears*365.25))
+			g.whois.Register(registrableOf(svc.Domain), reg, "Corporate Registrar")
+		}
+		if g.ct != nil {
+			cert := svc.SharedCertificate(at)
+			g.ct.Append(cert, cert.Issued)
+		}
+	}
+}
+
+// registrableOf maps a hosting domain to its registrable parent:
+// sites.google.com → google.com, docs.google.com → google.com.
+func registrableOf(domain string) string {
+	parts := strings.Split(domain, ".")
+	if len(parts) <= 2 {
+		return domain
+	}
+	return strings.Join(parts[len(parts)-2:], ".")
+}
+
+func (g *Generator) slug(words int) string {
+	var parts []string
+	for i := 0; i < words; i++ {
+		parts = append(parts, slugWords[g.rng.Intn(len(slugWords))])
+	}
+	g.seq++
+	return fmt.Sprintf("%s-%d", strings.Join(parts, "-"), g.seq)
+}
+
+func (g *Generator) randToken(n int) string {
+	const alnum = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alnum[g.rng.Intn(len(alnum))]
+	}
+	return string(b)
+}
+
+// vAttrs builds the attribute block for a content element. The fixed part
+// (the service's template class) is identical across all sites on the FWB;
+// the variable part is per-site random data sized so that
+// fixed/(fixed+variable) ≈ richness. Because the Appendix A similarity is a
+// median over per-tag best Levenshtein matches, this makes the measured
+// phishing↔benign similarity track TemplateRichness — the mechanism behind
+// Table 1's per-service medians. For self-hosted sites (svc == nil) both
+// class and data are random, so cross-site similarity stays low.
+func (g *Generator) vAttrs(svc *fwb.Service, role string) string {
+	if svc == nil {
+		return fmt.Sprintf(` class="x%s" data-sid="%s"`, g.randToken(7), g.randToken(28))
+	}
+	cls := svc.TemplateClass + "-" + role
+	fixed := fmt.Sprintf(` class=%q`, cls)
+	fixedLen := float64(len(fixed) + 14) // element name + data-sid scaffolding counts as fixed
+	total := fixedLen / svc.TemplateRichness
+	varLen := int(total - fixedLen)
+	if varLen < 4 {
+		varLen = 4
+	}
+	if varLen > 96 {
+		varLen = 96
+	}
+	return fmt.Sprintf(`%s data-sid="%s"`, fixed, g.randToken(varLen))
+}
+
+// tagOpen builds a start tag with richness-controlled variance.
+func (g *Generator) tagOpen(elem, class string, richness float64) string {
+	fixed := fmt.Sprintf(`<%s class=%q`, elem, class)
+	fixedLen := float64(len(fixed) + 1)
+	total := fixedLen / richness
+	varLen := int(total - fixedLen)
+	if varLen < 4 {
+		varLen = 4
+	}
+	if varLen > 96 {
+		varLen = 96
+	}
+	return fmt.Sprintf(`%s data-sid="%s">`, fixed, g.randToken(varLen))
+}
+
+// pageOpts controls page assembly.
+type pageOpts struct {
+	title       string
+	noindex     bool
+	hideBanner  bool
+	siteName    string
+	bodyHTML    string // pre-rendered content sections
+	extraHead   string
+	serviceLess bool // self-hosted: no FWB chrome or banner
+}
+
+// buildPage assembles a full HTML document in the service's template.
+func (g *Generator) buildPage(svc *fwb.Service, o pageOpts) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	b.WriteString(`<meta charset="utf-8">` + "\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", o.title)
+	if o.noindex {
+		b.WriteString(`<meta name="robots" content="noindex, nofollow">` + "\n")
+	}
+	if !o.serviceLess {
+		// Service boilerplate head: identical across all sites on the FWB.
+		fmt.Fprintf(&b, `<meta name="generator" content="%s Site Builder">`+"\n", svc.Name)
+		fmt.Fprintf(&b, `<link rel="stylesheet" href="https://cdn.%s/static/%s-theme.css">`+"\n", svc.Domain, svc.TemplateClass)
+		fmt.Fprintf(&b, `<script src="https://cdn.%s/static/%s-runtime.js"></script>`+"\n", svc.Domain, svc.TemplateClass)
+	}
+	b.WriteString(o.extraHead)
+	b.WriteString("</head>\n<body>\n")
+	if !o.serviceLess {
+		cls := svc.TemplateClass
+		b.WriteString(g.tagOpen("div", cls+"-page-wrapper", svc.TemplateRichness))
+		b.WriteString("\n")
+		b.WriteString(g.tagOpen("div", cls+"-header-nav", svc.TemplateRichness))
+		fmt.Fprintf(&b, `<span class="%s-site-title">%s</span></div>`+"\n", cls, o.title)
+	}
+	b.WriteString(o.bodyHTML)
+	if !o.serviceLess {
+		banner := svc.Banner(o.siteName)
+		if o.hideBanner {
+			// The §4.2 obfuscation trick: hide the banner div via style.
+			banner = strings.Replace(banner, "<div ", `<div style="visibility:hidden" `, 1)
+		}
+		b.WriteString(banner)
+		b.WriteString("\n</div>\n")
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// contentSection renders one text section inside service chrome.
+func (g *Generator) contentSection(svc *fwb.Service, text string) string {
+	return fmt.Sprintf("<div%s>\n<p%s>%s</p></div>\n",
+		g.vAttrs(svc, "section-content"), g.vAttrs(svc, "paragraph"), text)
+}
+
+// navLinks renders the site's internal navigation anchors plus the external
+// links the HTML features count.
+func (g *Generator) navLinks(svc *fwb.Service, base string, links []string, external []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<div%s>", g.vAttrs(svc, "nav-list"))
+	for _, l := range links {
+		fmt.Fprintf(&b, `<a%s href="%s%s">%s</a> `, g.vAttrs(svc, "nav-link"), base, l, strings.TrimPrefix(l, "/"))
+	}
+	for _, e := range external {
+		fmt.Fprintf(&b, `<a%s href="%s">%s</a> `, g.vAttrs(svc, "ext-link"), e, e)
+	}
+	b.WriteString("</div>\n")
+	return b.String()
+}
+
+// credentialForm renders a credential-harvesting form for the brand. extra
+// lists additional sensitive fields (ssn, phone, card...).
+func (g *Generator) credentialForm(svc *fwb.Service, br brands.Brand, action string, extra []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<div%s>", g.vAttrs(svc, "form-container"))
+	vocab := br.LoginVocab[g.rng.Intn(len(br.LoginVocab))]
+	fmt.Fprintf(&b, `<img%s src="https://logo-cdn.example/%s.png" alt="%s"><h2%s>%s</h2>`+"\n",
+		g.vAttrs(svc, "brand-logo"), br.Key, br.Name, g.vAttrs(svc, "form-title"), vocab)
+	fmt.Fprintf(&b, `<form%s method="post" action="%s">`+"\n", g.vAttrs(svc, "form"), action)
+	fmt.Fprintf(&b, `<input%s type="email" name="email" placeholder="Email or phone">`+"\n", g.vAttrs(svc, "field"))
+	fmt.Fprintf(&b, `<input%s type="password" name="password" placeholder="Password">`+"\n", g.vAttrs(svc, "field"))
+	for _, f := range extra {
+		fmt.Fprintf(&b, `<input%s type="text" name=%q placeholder=%q>`+"\n", g.vAttrs(svc, "field"), f, strings.ToUpper(f[:1])+f[1:])
+	}
+	fmt.Fprintf(&b, `<button%s type="submit">Sign In</button></form></div>`+"\n", g.vAttrs(svc, "submit"))
+	return b.String()
+}
+
+// contactForm renders the benign contact form some legitimate sites carry.
+func (g *Generator) contactForm(svc *fwb.Service) string {
+	return fmt.Sprintf("<div%s>", g.vAttrs(svc, "contact-form")) +
+		fmt.Sprintf(`<form%s method="post" action="/contact">`, g.vAttrs(svc, "form")) +
+		fmt.Sprintf(`<input%s type="text" name="name" placeholder="Your name">`, g.vAttrs(svc, "field")) +
+		fmt.Sprintf(`<input%s type="email" name="email" placeholder="Your email">`, g.vAttrs(svc, "field")) +
+		fmt.Sprintf(`<textarea name="message"></textarea><button%s type="submit">Send</button></form></div>`, g.vAttrs(svc, "submit")) + "\n"
+}

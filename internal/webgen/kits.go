@@ -1,0 +1,120 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"freephish/internal/brands"
+	"freephish/internal/ctlog"
+	"freephish/internal/fwb"
+)
+
+// Phishing kits (§6, "Phishing Attack Costs"): much of the self-hosted
+// phishing economy runs on off-the-shelf kits, so pages from the same kit
+// share markup fingerprints across unrelated attacker domains — the signal
+// kit-detection work (Bijmans et al., Oest et al.) clusters on. A fraction
+// of generated self-hosted attacks are built from one of these kit
+// templates; the rest stay hand-rolled.
+
+// KitRate is the fraction of self-hosted phishing built from a kit.
+const KitRate = 0.6
+
+// kit is one off-the-shelf phishing kit's markup fingerprint.
+type kit struct {
+	Name  string
+	class string   // CSS class prefix stamped on every element
+	extra []string // fixed resource includes, a strong fingerprint
+}
+
+// kits is the simulated kit market; popularity is Zipf-skewed via drawKit.
+var kits = []kit{
+	{"xbalti", "xb", []string{`<link rel="stylesheet" href="assets/xb-style.css">`, `<script src="assets/xb-anti.js"></script>`}},
+	{"16shop", "sx", []string{`<link rel="stylesheet" href="css/sx-main.css">`, `<script src="js/sx-detect.js"></script>`}},
+	{"kr3pto", "kr", []string{`<link rel="stylesheet" href="static/kr-theme.css">`}},
+	{"chalbhai", "cb", []string{`<link rel="stylesheet" href="cb/style.css">`, `<script src="cb/fingerprint.js"></script>`}},
+	{"rainbow", "rb", []string{`<link rel="stylesheet" href="inc/rb.css">`}},
+}
+
+func (g *Generator) drawKit() kit {
+	return kits[g.rng.Zipf(len(kits), 1.1)]
+}
+
+// kitAttrs is vAttrs with the kit's class prefix: same-kit pages share the
+// fixed part, so their signatures cluster.
+func (g *Generator) kitAttrs(k kit, role string) string {
+	return fmt.Sprintf(` class="%s-%s" data-kid="%s"`, k.class, role, g.randToken(10))
+}
+
+// kitPage renders a credential page from the kit template.
+func (g *Generator) kitPage(k kit, br brands.Brand) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	b.WriteString(`<meta charset="utf-8">` + "\n")
+	fmt.Fprintf(&b, "<title>%s - Account Verification</title>\n", br.Name)
+	for _, inc := range k.extra {
+		b.WriteString(inc + "\n")
+	}
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "<div%s>\n", g.kitAttrs(k, "wrapper"))
+	fmt.Fprintf(&b, `<img%s src="images/%s_logo.png" alt="%s">`+"\n", g.kitAttrs(k, "logo"), br.Key, br.Name)
+	vocab := br.LoginVocab[g.rng.Intn(len(br.LoginVocab))]
+	fmt.Fprintf(&b, "<h2%s>%s</h2>\n", g.kitAttrs(k, "title"), vocab)
+	fmt.Fprintf(&b, `<form%s method="post" action="next.php">`+"\n", g.kitAttrs(k, "form"))
+	fmt.Fprintf(&b, `<input%s type="email" name="email" placeholder="Email">`+"\n", g.kitAttrs(k, "field"))
+	fmt.Fprintf(&b, `<input%s type="password" name="password" placeholder="Password">`+"\n", g.kitAttrs(k, "field"))
+	fmt.Fprintf(&b, `<button%s type="submit">Continue</button></form>`+"\n", g.kitAttrs(k, "btn"))
+	fmt.Fprintf(&b, "<div%s><p>Protected by %s security.</p></div>\n", g.kitAttrs(k, "footer"), br.Name)
+	b.WriteString("</div>\n</body>\n</html>\n")
+	return b.String()
+}
+
+// SelfHostedKitPhishing generates a self-hosted phishing site built from a
+// named kit. It returns the site and the kit's name (the ground-truth
+// family label for clustering evaluations).
+func (g *Generator) SelfHostedKitPhishing(at time.Time) (*fwb.Site, string) {
+	k := g.drawKit()
+	br := g.pickBrand()
+	host := g.selfHostedHost(br)
+	scheme := "http"
+	hasTLS := g.rng.Bool(SelfHostedTLSRate)
+	if hasTLS {
+		scheme = "https"
+	}
+	url := fmt.Sprintf("%s://%s/%s/", scheme, host, g.selfHostedPath(br))
+	if g.whois != nil {
+		days := g.rng.ExpFloat64() * 58
+		if days > 400 {
+			days = 400
+		}
+		g.whois.Register(registrableOf(host), at.AddDate(0, 0, -int(days)-1), "NameCheap")
+	}
+	if g.ct != nil && hasTLS {
+		cert := ctlog.NewCertificate(host, "", ctlog.DV, at.Add(-2*time.Hour), 90*24*time.Hour)
+		g.ct.Append(cert, at.Add(-2*time.Hour))
+	}
+	return &fwb.Site{
+		URL: url, Name: host, HTML: g.kitPage(k, br),
+		Kind: fwb.KindSelfHostPhish, Brand: br.Key, Created: at,
+		CloakUA: g.rng.Bool(SelfHostedCloakRate),
+	}, k.Name
+}
+
+// SelfHostedAttack generates a self-hosted phishing site, drawn from the
+// kit market with probability KitRate and hand-rolled otherwise. The
+// second return value is the kit family name, or "hand-rolled".
+func (g *Generator) SelfHostedAttack(at time.Time) (*fwb.Site, string) {
+	if g.rng.Bool(KitRate) {
+		return g.SelfHostedKitPhishing(at)
+	}
+	return g.SelfHostedPhishing(at), "hand-rolled"
+}
+
+// KitNames returns the simulated kit market's family names.
+func KitNames() []string {
+	out := make([]string, len(kits))
+	for i, k := range kits {
+		out[i] = k.Name
+	}
+	return out
+}

@@ -1,0 +1,468 @@
+package webgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+	"unicode"
+
+	"freephish/internal/ctlog"
+	"freephish/internal/fwb"
+	"freephish/internal/htmlx"
+	"freephish/internal/textsim"
+	"freephish/internal/urlx"
+	"freephish/internal/whois"
+)
+
+var at = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func newGen() *Generator { return NewGenerator(42, nil, nil) }
+
+func svcByKey(t *testing.T, key string) *fwb.Service {
+	t.Helper()
+	s, ok := fwb.ByKey(key)
+	if !ok {
+		t.Fatalf("no service %q", key)
+	}
+	return s
+}
+
+func TestBenignSiteStructure(t *testing.T) {
+	g := newGen()
+	svc := svcByKey(t, "weebly")
+	site := g.BenignFWBSite(svc, at)
+	if site.Kind != fwb.KindBenign || site.Brand != "" {
+		t.Fatalf("site = %+v", site)
+	}
+	doc := htmlx.Parse(site.HTML)
+	if doc.Find("form") != nil {
+		// A benign site may have a contact form, but never a password field.
+		pw := doc.FindAllFunc(func(n *htmlx.Node) bool {
+			return n.Tag == "input" && n.AttrOr("type", "") == "password"
+		})
+		if len(pw) != 0 {
+			t.Fatal("benign site has a password field")
+		}
+	}
+	if !strings.Contains(site.HTML, "weebly-banner") {
+		t.Fatal("benign site missing service banner")
+	}
+	p, err := urlx.Parse(site.URL)
+	if err != nil || !p.HasSubdomainUnder("weebly.com") {
+		t.Fatalf("benign URL %q not under weebly.com", site.URL)
+	}
+}
+
+func TestPhishingSiteHasCredentialForm(t *testing.T) {
+	g := newGen()
+	svc := svcByKey(t, "weebly") // no evasion profile ⇒ always regular phishing
+	site := g.PhishingFWBSiteOf(svc, fwb.KindPhishing, at)
+	if site.Kind != fwb.KindPhishing || site.Brand == "" {
+		t.Fatalf("site = %+v", site)
+	}
+	doc := htmlx.Parse(site.HTML)
+	pw := doc.FindAllFunc(func(n *htmlx.Node) bool {
+		return n.Tag == "input" && n.AttrOr("type", "") == "password"
+	})
+	if len(pw) != 1 {
+		t.Fatalf("password inputs = %d, want 1", len(pw))
+	}
+}
+
+func TestPhishingRatesApproximatePaper(t *testing.T) {
+	g := newGen()
+	svc := svcByKey(t, "weebly")
+	const n = 800
+	noindex, hidden, brandSlug := 0, 0, 0
+	for i := 0; i < n; i++ {
+		site := g.PhishingFWBSiteOf(svc, fwb.KindPhishing, at)
+		if strings.Contains(site.HTML, `content="noindex`) {
+			noindex++
+		}
+		if strings.Contains(site.HTML, `style="visibility:hidden"`) {
+			hidden++
+		}
+		if strings.Contains(site.Name, site.Brand) {
+			brandSlug++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		frac := float64(got) / n
+		if frac < want-0.07 || frac > want+0.07 {
+			t.Errorf("%s rate = %.3f, want ≈%.3f", name, frac, want)
+		}
+	}
+	check("noindex", noindex, NoindexRate)
+	check("banner obfuscation", hidden, BannerObfuscationRate)
+	check("brand-in-slug", brandSlug, BrandInSlugRate)
+}
+
+func TestEvasiveVariantsLackCredentialFields(t *testing.T) {
+	g := newGen()
+	svc := svcByKey(t, "googlesites")
+	for _, kind := range []fwb.SiteKind{fwb.KindTwoStep, fwb.KindIFrameEmbed, fwb.KindDriveByDL} {
+		site := g.PhishingFWBSiteOf(svc, kind, at)
+		doc := htmlx.Parse(site.HTML)
+		pw := doc.FindAllFunc(func(n *htmlx.Node) bool {
+			return n.Tag == "input" && (n.AttrOr("type", "") == "password" || n.AttrOr("type", "") == "email")
+		})
+		if len(pw) != 0 {
+			t.Errorf("%s variant has credential fields", kind)
+		}
+	}
+}
+
+func TestTwoStepHasExternalButtonLink(t *testing.T) {
+	g := newGen()
+	site := g.PhishingFWBSiteOf(svcByKey(t, "googlesites"), fwb.KindTwoStep, at)
+	doc := htmlx.Parse(site.HTML)
+	var external bool
+	for _, a := range doc.FindAll("a") {
+		href := a.AttrOr("href", "")
+		if strings.HasPrefix(href, "https://") && !strings.Contains(href, "sites.google.com") &&
+			a.Find("button") != nil {
+			external = true
+		}
+	}
+	if !external {
+		t.Fatalf("two-step page lacks external button link:\n%s", site.HTML)
+	}
+}
+
+func TestIFrameVariantEmbedsExternalFrame(t *testing.T) {
+	g := newGen()
+	site := g.PhishingFWBSiteOf(svcByKey(t, "blogspot"), fwb.KindIFrameEmbed, at)
+	doc := htmlx.Parse(site.HTML)
+	frames := doc.FindAll("iframe")
+	if len(frames) != 1 {
+		t.Fatalf("iframes = %d, want 1", len(frames))
+	}
+	src := frames[0].AttrOr("src", "")
+	if !strings.HasPrefix(src, "https://") || strings.Contains(src, "blogspot.com") {
+		t.Fatalf("iframe src = %q, want external", src)
+	}
+}
+
+func TestDriveByHasDownloadAndAutoClick(t *testing.T) {
+	g := newGen()
+	site := g.PhishingFWBSiteOf(svcByKey(t, "sharepoint"), fwb.KindDriveByDL, at)
+	if !strings.Contains(site.HTML, "download>") || !strings.Contains(site.HTML, ".click()") {
+		t.Fatalf("drive-by page missing download/auto-click:\n%s", site.HTML)
+	}
+}
+
+func TestEvasionMixFollowsServiceProfile(t *testing.T) {
+	g := newGen()
+	svc := svcByKey(t, "googlesites") // TwoStep 0.24, IFrame 0.19, DriveBy 0.29
+	counts := map[fwb.SiteKind]int{}
+	const n = 1500
+	for i := 0; i < n; i++ {
+		counts[g.pickKind(svc)]++
+	}
+	frac := func(k fwb.SiteKind) float64 { return float64(counts[k]) / n }
+	if f := frac(fwb.KindTwoStep); f < 0.18 || f > 0.30 {
+		t.Errorf("two-step frac = %.3f, want ≈0.24", f)
+	}
+	if f := frac(fwb.KindDriveByDL); f < 0.23 || f > 0.35 {
+		t.Errorf("drive-by frac = %.3f, want ≈0.29", f)
+	}
+	// Weebly has no evasion profile: always regular phishing.
+	w := svcByKey(t, "weebly")
+	for i := 0; i < 50; i++ {
+		if g.pickKind(w) != fwb.KindPhishing {
+			t.Fatal("weebly produced an evasive variant with zero profile")
+		}
+	}
+}
+
+func TestSelfHostedPhishingRegistersWhoisAndCT(t *testing.T) {
+	var db whois.DB
+	var log ctlog.Log
+	g := NewGenerator(7, &db, &log)
+	nTLS := 0
+	const n = 120
+	for i := 0; i < n; i++ {
+		site := g.SelfHostedPhishing(at)
+		if site.Service != nil || site.Kind != fwb.KindSelfHostPhish {
+			t.Fatalf("site = %+v", site)
+		}
+		p, err := urlx.Parse(site.URL)
+		if err != nil {
+			t.Fatalf("bad URL %q: %v", site.URL, err)
+		}
+		age, err := db.AgeAt(p.Host, at)
+		if err != nil {
+			t.Fatalf("self-hosted domain not registered: %v", err)
+		}
+		if age > 500*24*time.Hour {
+			t.Fatalf("self-hosted domain too old: %v", age)
+		}
+		if strings.HasPrefix(site.URL, "https://") {
+			nTLS++
+		}
+	}
+	if f := float64(nTLS) / n; f < 0.45 || f > 0.75 {
+		t.Errorf("TLS fraction = %.2f, want ≈0.60", f)
+	}
+	if log.Len() == 0 {
+		t.Fatal("no DV certificates appended to CT log")
+	}
+	// CT entries must all be DV — the FWB EV/OV certs come from
+	// RegisterInfrastructure, not from site creation.
+	for _, e := range log.Since(0) {
+		if e.Cert.Type != ctlog.DV {
+			t.Fatalf("self-hosted cert type = %v, want DV", e.Cert.Type)
+		}
+	}
+}
+
+func TestRegisterInfrastructure(t *testing.T) {
+	var db whois.DB
+	var log ctlog.Log
+	g := NewGenerator(7, &db, &log)
+	g.RegisterInfrastructure(at)
+	if log.Len() != len(fwb.All()) {
+		t.Fatalf("CT entries = %d, want %d", log.Len(), len(fwb.All()))
+	}
+	age, err := db.AgeAt("anything.weebly.com", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age < 10*365*24*time.Hour {
+		t.Fatalf("weebly age = %v, want years", age)
+	}
+	// Path-based services register their registrable parent.
+	if _, err := db.AgeAt("sites.google.com", at); err != nil {
+		t.Fatal("google.com not registered for sites.google.com")
+	}
+}
+
+func TestCodeSimilarityOrderingMatchesTable1(t *testing.T) {
+	// Table 1: Weebly 79.4% > Google Sites 72.4% > 000webhost 68.1% >
+	// Blogspot 63.8% ≈ Wix 63.7% > Github.io 37.4%. Verify the generated
+	// sites reproduce the ordering and land within tolerance.
+	g := newGen()
+	measure := func(key string) float64 {
+		svc := svcByKey(t, key)
+		var sims []float64
+		for i := 0; i < 12; i++ {
+			benign := g.BenignFWBSite(svc, at)
+			phish := g.PhishingFWBSiteOf(svc, fwb.KindPhishing, at)
+			tb := htmlx.Parse(benign.HTML).TagStrings()
+			tp := htmlx.Parse(phish.HTML).TagStrings()
+			sims = append(sims, textsim.SiteSimilarity(tb, tp))
+		}
+		return textsim.Median(sims)
+	}
+	weebly := measure("weebly")
+	github := measure("github")
+	if weebly <= github {
+		t.Fatalf("weebly similarity %.3f <= github %.3f; Table 1 ordering violated", weebly, github)
+	}
+	if weebly < 0.60 || weebly > 0.95 {
+		t.Errorf("weebly similarity = %.3f, want ≈0.79", weebly)
+	}
+	if github > 0.60 {
+		t.Errorf("github similarity = %.3f, want ≈0.37", github)
+	}
+}
+
+func TestSelfHostedLowSimilarityToFWB(t *testing.T) {
+	g := newGen()
+	svc := svcByKey(t, "weebly")
+	fwbSite := g.PhishingFWBSiteOf(svc, fwb.KindPhishing, at)
+	self := g.SelfHostedPhishing(at)
+	sim := textsim.SiteSimilarity(
+		htmlx.Parse(fwbSite.HTML).TagStrings(),
+		htmlx.Parse(self.HTML).TagStrings(),
+	)
+	if sim > 0.7 {
+		t.Fatalf("self-hosted vs FWB similarity = %.3f, want low", sim)
+	}
+}
+
+func TestLureAndBenignTexts(t *testing.T) {
+	g := newGen()
+	u := "https://x.weebly.com/"
+	if txt := g.LureText(u); !strings.Contains(txt, u) {
+		t.Fatalf("lure text %q missing URL", txt)
+	}
+	if txt := g.BenignPostText(u); !strings.Contains(txt, u) {
+		t.Fatalf("benign text %q missing URL", txt)
+	}
+	// Extracted back by the streaming regex.
+	if got := urlx.ExtractURLs(g.LureText(u)); len(got) != 1 || got[0] != u {
+		t.Fatalf("lure URL extraction = %v", got)
+	}
+}
+
+func TestPickServiceFollowsAbuseWeights(t *testing.T) {
+	g := newGen()
+	counts := map[string]int{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		counts[g.PickService().Key]++
+	}
+	if counts["weebly"] < counts["hpage"] {
+		t.Fatal("weebly should dominate hpage by abuse weight")
+	}
+	frac := float64(counts["weebly"]) / n
+	want := 7031.0 / fwb.TotalAbuseWeight()
+	if frac < want-0.05 || frac > want+0.05 {
+		t.Fatalf("weebly frac = %.3f, want ≈%.3f", frac, want)
+	}
+}
+
+func TestUniqueURLs(t *testing.T) {
+	g := newGen()
+	seen := map[string]bool{}
+	for i := 0; i < 400; i++ {
+		s := g.PhishingFWBSite(g.PickService(), at)
+		if seen[s.URL] {
+			t.Fatalf("duplicate URL %q", s.URL)
+		}
+		seen[s.URL] = true
+	}
+}
+
+func TestGeneratedSitesParseAndIdentify(t *testing.T) {
+	g := newGen()
+	for i := 0; i < 60; i++ {
+		svc := g.PickService()
+		site := g.PhishingFWBSite(svc, at)
+		p, err := urlx.Parse(site.URL)
+		if err != nil {
+			t.Fatalf("URL %q: %v", site.URL, err)
+		}
+		if got := fwb.Identify(p.Host, p.Path); got != svc {
+			t.Fatalf("Identify(%q) = %v, want %s", site.URL, got, svc.Name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1 := NewGenerator(99, nil, nil)
+	g2 := NewGenerator(99, nil, nil)
+	svc := svcByKey(t, "wix")
+	for i := 0; i < 10; i++ {
+		a := g1.PhishingFWBSite(svc, at)
+		b := g2.PhishingFWBSite(svc, at)
+		if a.URL != b.URL || a.HTML != b.HTML || a.Brand != b.Brand {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestSecondStageSitesEmitted(t *testing.T) {
+	g := NewGenerator(21, nil, nil)
+	var secondary []*fwb.Site
+	g.OnSecondary = func(s *fwb.Site) { secondary = append(secondary, s) }
+	gs := svcByKey(t, "googlesites")
+	landing := g.PhishingFWBSiteOf(gs, fwb.KindTwoStep, at)
+	if len(secondary) != 1 {
+		t.Fatalf("secondary sites = %d, want 1", len(secondary))
+	}
+	target := secondary[0]
+	if !strings.Contains(landing.HTML, target.URL) {
+		t.Fatalf("landing page does not link the second stage:\n%s", landing.HTML)
+	}
+	// The second stage is a live credential page (Figure 11).
+	doc := htmlx.Parse(target.HTML)
+	pw := doc.FindAllFunc(func(n *htmlx.Node) bool {
+		return n.Tag == "input" && n.AttrOr("type", "") == "password"
+	})
+	if len(pw) == 0 {
+		t.Fatal("second stage has no credential form")
+	}
+	if target.Kind != fwb.KindPhishing && target.Kind != fwb.KindSelfHostPhish {
+		t.Fatalf("second stage kind = %v", target.Kind)
+	}
+}
+
+func TestSecondStageMixOtherFWBVsSelfHosted(t *testing.T) {
+	g := NewGenerator(23, nil, nil)
+	var onFWB, selfHosted int
+	g.OnSecondary = func(s *fwb.Site) {
+		if s.Service != nil {
+			onFWB++
+		} else {
+			selfHosted++
+		}
+	}
+	gs := svcByKey(t, "googlesites")
+	for i := 0; i < 400; i++ {
+		g.PhishingFWBSiteOf(gs, fwb.KindTwoStep, at)
+	}
+	frac := float64(onFWB) / float64(onFWB+selfHosted)
+	// §5.5: 174/539 ≈ 32% of two-step targets are on another FWB.
+	if frac < TwoStepOtherFWBRate-0.08 || frac > TwoStepOtherFWBRate+0.08 {
+		t.Fatalf("other-FWB second-stage fraction = %.2f, want ≈%.2f", frac, TwoStepOtherFWBRate)
+	}
+}
+
+func TestBenignSelfHostedSite(t *testing.T) {
+	var db whois.DB
+	var log ctlog.Log
+	g := NewGenerator(31, &db, &log)
+	for i := 0; i < 40; i++ {
+		site := g.BenignSelfHosted(at)
+		if site.Service != nil || site.Kind != fwb.KindBenign {
+			t.Fatalf("site = %+v", site)
+		}
+		p, err := urlx.Parse(site.URL)
+		if err != nil {
+			t.Fatalf("URL %q: %v", site.URL, err)
+		}
+		if fwb.Identify(p.Host, p.Path) != nil {
+			t.Fatal("benign self-hosted identified as FWB")
+		}
+		age, err := db.AgeAt(p.Host, at)
+		if err != nil {
+			t.Fatalf("domain unregistered: %v", err)
+		}
+		if age < 300*24*time.Hour {
+			t.Fatalf("benign domain age = %v, want years", age)
+		}
+		doc := htmlx.Parse(site.HTML)
+		pw := doc.Select(`input[type=password]`)
+		form := doc.FindAll("form")
+		if len(pw) > 0 && len(form) == 0 {
+			t.Fatal("password without form")
+		}
+	}
+	if log.Len() == 0 {
+		t.Fatal("benign certs not appended to CT log")
+	}
+}
+
+func TestMultilingualLures(t *testing.T) {
+	g := NewGenerator(37, nil, nil)
+	u := "https://x.weebly.com/"
+	intl := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		txt := g.LureText(u)
+		if !strings.Contains(txt, u) {
+			t.Fatalf("lure lost the URL: %q", txt)
+		}
+		// International templates carry non-ASCII letters; English ones may
+		// contain non-ASCII punctuation (em-dashes), which must not count.
+		foreign := false
+		for _, r := range txt {
+			if r > 127 && unicode.IsLetter(r) {
+				foreign = true
+				break
+			}
+		}
+		if foreign {
+			intl++
+		}
+		// The streaming regex must still extract the URL from any language.
+		if got := urlx.ExtractURLs(txt); len(got) != 1 || got[0] != u {
+			t.Fatalf("extraction failed on %q: %v", txt, got)
+		}
+	}
+	if f := float64(intl) / n; f < IntlLureRate-0.03 || f > IntlLureRate+0.05 {
+		t.Fatalf("international lure rate = %.3f, want ≈%.2f", f, IntlLureRate)
+	}
+}

@@ -1,0 +1,83 @@
+// Package whois simulates a registrar information database. The paper's
+// Section 3 shows that FWB phishing inherits the FWB's multi-year domain
+// age (median 13.7 years in D1), while self-hosted phishing domains are
+// days old (median 71 days on PhishTank) — which defeats the domain-age
+// heuristic used by many detectors. Detectors in this repository query this
+// package exactly as real ones query WHOIS.
+package whois
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is a WHOIS registration record for a registrable domain.
+type Record struct {
+	Domain     string
+	Registered time.Time
+	Registrar  string
+}
+
+// ErrNotFound is returned by Lookup for unregistered domains.
+var ErrNotFound = errors.New("whois: domain not found")
+
+// DB is an in-memory registrar database. The zero value is ready to use.
+// DB is safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	records map[string]Record
+}
+
+// Register inserts or replaces the record for a registrable domain.
+// Domain matching is case-insensitive.
+func (db *DB) Register(domain string, registered time.Time, registrar string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.records == nil {
+		db.records = make(map[string]Record)
+	}
+	d := strings.ToLower(domain)
+	db.records[d] = Record{Domain: d, Registered: registered, Registrar: registrar}
+}
+
+// Lookup returns the record for the registrable domain of host. Subdomains
+// resolve to their parent registration, exactly as real WHOIS does — this
+// is the mechanism that gives shop.weebly.com Weebly's domain age.
+func (db *DB) Lookup(host string) (Record, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	h := strings.ToLower(host)
+	for {
+		if r, ok := db.records[h]; ok {
+			return r, nil
+		}
+		i := strings.IndexByte(h, '.')
+		if i < 0 {
+			return Record{}, ErrNotFound
+		}
+		h = h[i+1:]
+	}
+}
+
+// AgeAt returns the domain age of host at the given instant, or an error
+// when the domain is unregistered.
+func (db *DB) AgeAt(host string, at time.Time) (time.Duration, error) {
+	r, err := db.Lookup(host)
+	if err != nil {
+		return 0, err
+	}
+	age := at.Sub(r.Registered)
+	if age < 0 {
+		age = 0
+	}
+	return age, nil
+}
+
+// Len reports the number of registered domains.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.records)
+}

@@ -1,0 +1,80 @@
+package whois
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var now = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func TestLookupSubdomainInheritsParent(t *testing.T) {
+	var db DB
+	reg := now.AddDate(-13, 0, 0)
+	db.Register("weebly.com", reg, "MarkMonitor")
+	r, err := db.Lookup("my-phish-site.weebly.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Domain != "weebly.com" {
+		t.Fatalf("resolved domain = %q", r.Domain)
+	}
+	age, err := db.AgeAt("deep.sub.weebly.com", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := age.Hours() / 24 / 365; got < 12.9 || got > 13.1 {
+		t.Fatalf("age = %.1f years, want ≈13", got)
+	}
+}
+
+func TestLookupNotFound(t *testing.T) {
+	var db DB
+	db.Register("weebly.com", now, "x")
+	if _, err := db.Lookup("unknown.example.net"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	var db DB
+	db.Register("Weebly.COM", now, "x")
+	if _, err := db.Lookup("SHOP.weebly.com"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgeAtNeverNegative(t *testing.T) {
+	var db DB
+	db.Register("new.com", now.Add(time.Hour), "x")
+	age, err := db.AgeAt("new.com", now)
+	if err != nil || age != 0 {
+		t.Fatalf("age = %v err = %v, want 0", age, err)
+	}
+}
+
+func TestFWBVsSelfHostedAgeGap(t *testing.T) {
+	// The Section 3 contrast: FWB domains are years old; fresh phishing
+	// domains are days old.
+	var db DB
+	db.Register("weebly.com", now.AddDate(-15, 0, 0), "x")
+	db.Register("secure-verify-login.xyz", now.AddDate(0, 0, -3), "x")
+	fwbAge, _ := db.AgeAt("phish.weebly.com", now)
+	selfAge, _ := db.AgeAt("secure-verify-login.xyz", now)
+	if fwbAge < 100*selfAge {
+		t.Fatalf("fwb age %v not ≫ self-hosted age %v", fwbAge, selfAge)
+	}
+}
+
+func TestLen(t *testing.T) {
+	var db DB
+	if db.Len() != 0 {
+		t.Fatal("fresh DB not empty")
+	}
+	db.Register("a.com", now, "x")
+	db.Register("b.com", now, "x")
+	db.Register("a.com", now, "y") // replace, not add
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", db.Len())
+	}
+}
