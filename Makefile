@@ -1,0 +1,42 @@
+# FreePhish build and CI entry points. Everything is pure-stdlib Go; the
+# only tool required is the go toolchain itself.
+
+GO ?= go
+
+.PHONY: all build test race vet ci bench bench-baseline fmt-check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race-enabled run exercises the observability layer's concurrency
+# contract: /metrics scrapes race against the pipeline by design.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# ci is the gate: formatting, static analysis, and the full test suite
+# under the race detector.
+ci: fmt-check vet race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# bench-baseline writes BENCH_obs.json — a machine-readable snapshot of
+# pipeline and metrics-layer cost for diffing across commits.
+bench-baseline:
+	BENCH_JSON=BENCH_obs.json $(GO) test -run TestWriteBenchBaseline -v .
+
+clean:
+	rm -f BENCH_obs.json
+	$(GO) clean ./...

@@ -13,6 +13,7 @@ package freephish
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"freephish/internal/analysis"
@@ -134,6 +135,24 @@ type StudyConfig struct {
 	// TrainPerClass is the classifier's ground-truth size. Default scaled
 	// from the paper's 4,656.
 	TrainPerClass int
+	// Progress, when set, is invoked after every streaming poll cycle —
+	// the hook by which long study runs narrate themselves.
+	Progress func(Progress)
+	// Logger, when set, receives structured "poll cycle" slog events at
+	// roughly one-simulated-day granularity.
+	Logger *slog.Logger
+}
+
+// Progress is one poll-cycle progress report from a running study.
+type Progress struct {
+	// SimTime is the virtual clock; Frac is the fraction of the
+	// measurement window elapsed, in [0, 1].
+	SimTime time.Time
+	Frac    float64
+	// Wall is real time elapsed since the run started.
+	Wall time.Duration
+	// Cumulative pipeline counters.
+	Polls, PostsSeen, URLsScanned, Flagged, Reports, Records int
 }
 
 // StudyResult exposes the measurement study's headline artifacts plus the
@@ -156,6 +175,17 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 	if cfg.TrainPerClass > 0 {
 		c.TrainPerClass = cfg.TrainPerClass
 	}
+	if cfg.Progress != nil {
+		hook := cfg.Progress
+		c.Progress = func(ev core.ProgressEvent) {
+			hook(Progress{
+				SimTime: ev.SimTime, Frac: ev.Frac, Wall: ev.Wall,
+				Polls: ev.Polls, PostsSeen: ev.PostsSeen, URLsScanned: ev.URLsScanned,
+				Flagged: ev.Flagged, Reports: ev.Reports, Records: ev.Records,
+			})
+		}
+	}
+	c.Logger = cfg.Logger
 	fp := core.New(c)
 	study, err := fp.Run()
 	if err != nil {
@@ -166,6 +196,42 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 
 // URLCount reports how many URLs came under longitudinal observation.
 func (r *StudyResult) URLCount() int { return len(r.study.Records) }
+
+// WriteMetrics writes the run's full metrics registry — poller, fetcher,
+// classifier, reporter, and monitor families — in the Prometheus text
+// exposition format.
+func (r *StudyResult) WriteMetrics(w io.Writer) error {
+	return r.fp.Metrics.Registry.WritePrometheus(w)
+}
+
+// StageTiming summarizes one pipeline stage of the completed run in both
+// time domains: wall-clock cost and placement in the simulated window.
+type StageTiming struct {
+	Stage   string
+	Count   uint64
+	Errors  uint64
+	Wall    time.Duration
+	AvgWall time.Duration
+	MaxWall time.Duration
+	// SimSpan is the virtual-time window the stage's work covered;
+	// PerSimHour is its throughput against the simulation clock.
+	SimSpan    time.Duration
+	PerSimHour float64
+}
+
+// StageTimings returns per-stage tracing aggregates, sorted by stage.
+func (r *StudyResult) StageTimings() []StageTiming {
+	stats := r.fp.Metrics.Tracer.Snapshot()
+	out := make([]StageTiming, len(stats))
+	for i, st := range stats {
+		out[i] = StageTiming{
+			Stage: st.Stage, Count: st.Count, Errors: st.Errors,
+			Wall: st.Wall, AvgWall: st.AvgWall, MaxWall: st.MaxWall,
+			SimSpan: st.SimSpan, PerSimHour: st.PerSimHour,
+		}
+	}
+	return out
+}
 
 // CoverageRow is one entity's coverage and response-time summary.
 type CoverageRow struct {
@@ -243,11 +309,13 @@ func (b *Blocker) Check(url string) (block bool, reason string) {
 // fit happens once and the model ships to consumers (e.g. the proxy).
 func (d *Detector) Save(w io.Writer) error { return d.model.Save(w) }
 
-// LoadDetector restores a detector previously written with Save.
+// LoadDetector restores a detector previously written with Save,
+// including its seed, so a restored detector's TrainSynthetic regenerates
+// the same corpus the original would have.
 func LoadDetector(r io.Reader) (*Detector, error) {
 	m, err := baselines.LoadStackDetector(r)
 	if err != nil {
 		return nil, err
 	}
-	return &Detector{model: m}, nil
+	return &Detector{model: m, seed: m.Seed()}, nil
 }

@@ -170,3 +170,87 @@ func TestDetectorSaveLoadAPI(t *testing.T) {
 		t.Fatalf("API round trip diverged: %v/%v", a, b)
 	}
 }
+
+// TestLoadDetectorRestoresSeed checks that Save/Load preserves the seed,
+// so a restored detector's TrainSynthetic rebuilds the same synthetic
+// corpus (and therefore the same model) as retraining the original.
+func TestLoadDetectorRestoresSeed(t *testing.T) {
+	d := freephish.NewDetector(37)
+	if err := d.TrainSynthetic(60); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := freephish.LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retrain both from scratch on the synthetic corpus: with the seed
+	// restored they must land on identical models.
+	if err := d.TrainSynthetic(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.TrainSynthetic(60); err != nil {
+		t.Fatal(err)
+	}
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	g := webgen.NewGenerator(38, nil, nil)
+	svc, _ := fwb.ByKey("wix")
+	site := g.PhishingFWBSiteOf(svc, fwb.KindPhishing, epoch)
+	page := freephish.Page{URL: site.URL, HTML: site.HTML}
+	a, err1 := d.Score(page)
+	b, err2 := restored.Score(page)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if a != b {
+		t.Fatalf("restored detector diverged after TrainSynthetic: %v vs %v (seed dropped)", a, b)
+	}
+}
+
+// TestStudyObservabilitySurface exercises the public Progress hook,
+// WriteMetrics, and StageTimings.
+func TestStudyObservabilitySurface(t *testing.T) {
+	var events int
+	res, err := freephish.RunStudy(freephish.StudyConfig{
+		Seed: 3, Scale: 0.003, TrainPerClass: 60,
+		Progress: func(p freephish.Progress) {
+			events++
+			if p.SimTime.IsZero() || p.Frac < 0 || p.Frac > 1 {
+				t.Errorf("bad progress event: %+v", p)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("Progress hook never fired")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE freephish_urls_streamed_total counter",
+		"freephish_reports_total{",
+		"freephish_fetch_seconds_bucket{",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteMetrics missing %q", want)
+		}
+	}
+	timings := res.StageTimings()
+	seen := map[string]bool{}
+	for _, st := range timings {
+		seen[st.Stage] = true
+	}
+	for _, want := range []string{"poll", "fetch", "classify", "report"} {
+		if !seen[want] {
+			t.Errorf("StageTimings missing stage %q (got %v)", want, seen)
+		}
+	}
+}

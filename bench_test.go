@@ -9,6 +9,8 @@ package freephish_test
 //	go test -bench=. -benchmem .
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -20,6 +22,7 @@ import (
 	"freephish/internal/core"
 	"freephish/internal/features"
 	"freephish/internal/fwb"
+	"freephish/internal/obs"
 	"freephish/internal/simclock"
 	"freephish/internal/threat"
 	"freephish/internal/vtsim"
@@ -339,4 +342,121 @@ func BenchmarkSection3CoderStudy(b *testing.B) {
 			b.Fatal("degenerate kappa")
 		}
 	}
+}
+
+// Observability-layer micro-benchmarks: the per-event cost every pipeline
+// stage pays. The instruments are lock-free, so these bound the metrics
+// overhead of the instrumented hot paths.
+
+// BenchmarkObsCounterInc measures one counter increment.
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench_events_total", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkObsCounterVecWith measures a labeled increment including the
+// series lookup — the shape the per-platform and per-recipient counters use.
+func BenchmarkObsCounterVecWith(b *testing.B) {
+	v := obs.NewRegistry().CounterVec("bench_labeled_total", "bench", "kind")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("fetch").Inc()
+	}
+}
+
+// BenchmarkObsHistogramObserve measures one latency observation.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram("bench_seconds", "bench", obs.DefBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+// BenchmarkObsTracerSpan measures a full start/end span, the unit of stage
+// tracing wrapped around every poll, fetch, classify and report.
+func BenchmarkObsTracerSpan(b *testing.B) {
+	tr := obs.NewTracer(obs.NewRegistry(), "bench", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Start("stage").End()
+	}
+}
+
+// BenchmarkObsWritePrometheus measures a full /metrics scrape of a
+// study-sized registry.
+func BenchmarkObsWritePrometheus(b *testing.B) {
+	fp, _ := sharedStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if err := fp.Metrics.Registry.WritePrometheus(&sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWriteBenchBaseline runs a representative benchmark subset
+// programmatically and writes the results as machine-readable JSON, so CI
+// can diff pipeline and metrics-layer cost across commits:
+//
+//	BENCH_JSON=BENCH_obs.json go test -run TestWriteBenchBaseline .
+func TestWriteBenchBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to write the benchmark baseline")
+	}
+	benches := []struct {
+		Name string
+		Fn   func(*testing.B)
+	}{
+		{"EndToEndStudy", BenchmarkEndToEndStudy},
+		{"Table3BlocklistPerformance", BenchmarkTable3BlocklistPerformance},
+		{"BlocklistAssess", BenchmarkBlocklistAssess},
+		{"VTScan", BenchmarkVTScan},
+		{"ObsCounterInc", BenchmarkObsCounterInc},
+		{"ObsCounterVecWith", BenchmarkObsCounterVecWith},
+		{"ObsHistogramObserve", BenchmarkObsHistogramObserve},
+		{"ObsTracerSpan", BenchmarkObsTracerSpan},
+		{"ObsWritePrometheus", BenchmarkObsWritePrometheus},
+	}
+	type row struct {
+		Name        string  `json:"name"`
+		N           int     `json:"n"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	rows := make([]row, 0, len(benches))
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.Fn)
+		if r.N == 0 {
+			t.Fatalf("benchmark %s did not run", bench.Name)
+		}
+		rows = append(rows, row{
+			Name:        bench.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		t.Logf("%-28s %12.1f ns/op %8d B/op %6d allocs/op",
+			bench.Name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d benchmark rows to %s", len(rows), path)
 }

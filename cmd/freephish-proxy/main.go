@@ -25,6 +25,7 @@ import (
 	"freephish/internal/crawler"
 	"freephish/internal/features"
 	"freephish/internal/fwb"
+	"freephish/internal/obs"
 	"freephish/internal/proxy"
 	"freephish/internal/webgen"
 )
@@ -37,6 +38,7 @@ func main() {
 		upstream  = flag.String("upstream", "", "base URL all fetches are routed to (an fwbhost instance); empty = the real network")
 		modelPath = flag.String("model", "", "load a trained model instead of training (see -save-model)")
 		savePath  = flag.String("save-model", "", "after training, write the model here for future -model runs")
+		opsAddr   = flag.String("ops", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this separate address")
 	)
 	flag.Parse()
 
@@ -89,6 +91,34 @@ func main() {
 		transport = rewriteTransport{base: *upstream}
 	}
 	px := proxy.New(checker, transport)
+
+	// Per-request decision and latency metrics; the ops listener is
+	// separate from the proxy port so scrapes never route through the
+	// proxy's own check path.
+	reg := obs.NewRegistry()
+	decisions := reg.CounterVec("freephish_proxy_requests_total",
+		"Proxied requests by decision (block or pass).", "decision")
+	checkLat := reg.Histogram("freephish_proxy_request_seconds",
+		"Wall-clock time to check and serve one proxied request.", obs.DefBuckets)
+	px.Observe = func(blocked bool, wall time.Duration) {
+		d := "pass"
+		if blocked {
+			d = "block"
+		}
+		decisions.With(d).Inc()
+		checkLat.Observe(wall.Seconds())
+	}
+	if *opsAddr != "" {
+		go func() {
+			srv := &http.Server{
+				Addr:              *opsAddr,
+				Handler:           obs.NewOpsMux(reg, nil),
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			log.Fatalf("ops listener: %v", srv.ListenAndServe())
+		}()
+		log.Printf("ops endpoints on http://%s (/metrics, /healthz, /debug/pprof)", *opsAddr)
+	}
 
 	// /proxy.pac routes only the 17 FWB hosting domains through the proxy;
 	// all other traffic stays direct.

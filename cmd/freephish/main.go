@@ -12,12 +12,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"freephish/internal/baselines"
 	"freephish/internal/core"
 	"freephish/internal/features"
+	"freephish/internal/obs"
 	"freephish/internal/simclock"
 	"freephish/internal/webgen"
 )
@@ -30,8 +33,28 @@ func main() {
 		skipTable2 = flag.Bool("skip-table2", false, "skip the Table 2 model comparison (the slowest step)")
 		table1N    = flag.Int("table1", 15, "site pairs per FWB for Table 1")
 		outPath    = flag.String("out", "", "write the study's records as JSONL to this file")
+		opsAddr    = flag.String("ops", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address while the study runs")
+		linger     = flag.Bool("linger", false, "with -ops, keep serving the ops endpoints after the study completes")
 	)
 	flag.Parse()
+
+	// The ops listener scrapes the same registry the study writes to, so
+	// `curl <ops>/metrics` mid-run shows the pipeline advancing live.
+	reg := obs.NewRegistry()
+	var studyDone atomic.Bool
+	if *opsAddr != "" {
+		mux := obs.NewOpsMux(reg, func() error {
+			if !*linger && studyDone.Load() {
+				return fmt.Errorf("study complete")
+			}
+			return nil
+		})
+		go func() {
+			srv := &http.Server{Addr: *opsAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			log.Fatalf("ops listener: %v", srv.ListenAndServe())
+		}()
+		fmt.Printf("ops endpoints on http://%s (/metrics, /healthz, /debug/vars, /debug/pprof)\n\n", *opsAddr)
+	}
 
 	fmt.Println("FreePhish reproduction study")
 	fmt.Printf("seed=%d scale=%.3f\n\n", *seed, *scale)
@@ -59,6 +82,7 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Scale = *scale
+	cfg.Registry = reg
 	fp := core.New(cfg)
 	fmt.Println("training classifiers on the ground-truth corpus...")
 	if err := fp.Train(); err != nil {
@@ -70,6 +94,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	studyDone.Store(true)
 	fmt.Printf("study complete in %v: %d URLs under observation\n\n",
 		time.Since(start).Round(time.Millisecond), len(study.Records))
 	if err := fp.Verify(); err != nil {
@@ -116,6 +141,11 @@ func main() {
 	fmt.Println(core.RenderUptime(study))
 	fmt.Println(core.RenderExposure(study, *seed))
 	fmt.Println(core.RenderKitFamilies(study))
+
+	if *opsAddr != "" && *linger {
+		fmt.Printf("-linger: ops endpoints stay up on http://%s (ctrl-c to exit)\n", *opsAddr)
+		select {}
+	}
 }
 
 // renderTable2 runs the five-model bake-off on a fresh ground-truth corpus.

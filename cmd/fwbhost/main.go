@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"time"
 
 	"freephish/internal/fwb"
+	"freephish/internal/obs"
 	socialpkg "freephish/internal/social"
 	"freephish/internal/threat"
 	"freephish/internal/urlx"
@@ -31,6 +33,7 @@ func main() {
 		phishFrc = flag.Float64("phish", 0.4, "fraction of sites that are phishing attacks")
 		seed     = flag.Int64("seed", 1, "generation seed")
 		social   = flag.Bool("social", false, "also publish every site in a post and serve the platform APIs under /twitter and /facebook")
+		ops      = flag.Bool("ops", true, "serve /metrics, /healthz and /debug/pprof on the same listener")
 	)
 	flag.Parse()
 
@@ -82,9 +85,46 @@ func main() {
 		handler = mux
 		fmt.Printf("\nplatform APIs: http://%s/twitter/posts and http://%s/facebook/posts\n", *addr, *addr)
 	}
+	if *ops {
+		reg := obs.NewRegistry()
+		reg.Gauge("fwbhost_sites", "Sites currently published on the simulated web.").
+			Set(float64(len(host.Sites())))
+		reqs := reg.CounterVec("fwbhost_requests_total",
+			"HTTP requests served, by response status code.", "code")
+		lat := reg.Histogram("fwbhost_request_seconds",
+			"Wall-clock time to serve one request.", obs.DefBuckets)
+		opsMux := obs.NewOpsMux(reg, nil)
+		app := handler
+		// Ops routes ride the application listener; requests carrying a
+		// simulated Host header never collide with them because the split
+		// is by path, before virtual-host dispatch.
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if obs.OpsPaths(r.URL.Path) {
+				opsMux.ServeHTTP(w, r)
+				return
+			}
+			start := time.Now()
+			sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+			app.ServeHTTP(sw, r)
+			reqs.With(strconv.Itoa(sw.code)).Inc()
+			lat.Observe(time.Since(start).Seconds())
+		})
+		fmt.Printf("\nops endpoints: http://%s/metrics /healthz /debug/pprof/\n", *addr)
+	}
 	fmt.Println("\nserving... (ctrl-c to stop)")
 	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	log.Fatal(srv.ListenAndServe())
+}
+
+// statusWriter records the response code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 func pathOrRoot(p string) string {

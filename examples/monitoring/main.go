@@ -1,7 +1,9 @@
-// Monitoring: the §4.4 active measurement loop in miniature. A compressed
-// study runs with the monitor enabled; every flagged URL is re-probed over
-// HTTP and checked against the blocklists' lookup APIs at a fixed cadence,
-// and the observed state transitions are compared with the scheduled ones.
+// Monitoring: the observability layer watching the §4.4 active measurement
+// loop. A compressed study runs with the monitor enabled and a Progress
+// hook attached; every poll cycle updates a live single-line ticker, and
+// when the run completes the example prints a per-stage dashboard straight
+// from the metrics registry and stage tracer — the same data the daemons
+// serve on /metrics.
 //
 //	go run ./examples/monitoring
 package main
@@ -9,6 +11,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"freephish/internal/core"
@@ -21,33 +26,85 @@ func main() {
 	cfg.TrainPerClass = 100
 	cfg.MonitorInterval = 6 * time.Hour
 
+	// Live ticker: one carriage-return line per poll cycle, throttled to
+	// simulated-daily updates so the output stays readable when piped.
+	last := -1
+	cfg.Progress = func(ev core.ProgressEvent) {
+		day := int(ev.Frac * cfg.Duration.Hours() / 24)
+		if day == last {
+			return
+		}
+		last = day
+		fmt.Printf("\r[%-30s] day %3d  polls=%-5d urls=%-4d flagged=%-4d reports=%-4d",
+			bar(ev.Frac, 30), day, ev.Polls, ev.URLsScanned, ev.Flagged, ev.Reports)
+	}
+
 	fp := core.New(cfg)
 	fmt.Println("running a monitored study (probes every 6 virtual hours)...")
 	study, err := fp.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println()
 	if err := fp.Verify(); err != nil {
 		log.Fatal(err)
 	}
 
+	// Per-stage dashboard from the tracer: wall-clock cost next to
+	// placement in the simulated six-month window.
+	fmt.Println("\npipeline stages (wall-clock vs simulated time):")
+	fmt.Printf("  %-10s %8s %6s %10s %10s %12s %12s\n",
+		"stage", "count", "errs", "wall", "avg", "sim-span", "per-sim-hour")
+	for _, st := range fp.Metrics.Tracer.Snapshot() {
+		fmt.Printf("  %-10s %8d %6d %10v %10v %12v %12.2f\n",
+			st.Stage, st.Count, st.Errors,
+			st.Wall.Round(time.Millisecond), st.AvgWall.Round(time.Microsecond),
+			st.SimSpan.Round(time.Hour), st.PerSimHour)
+	}
+
+	// Headline counters from the registry, grouped by pipeline position.
+	fmt.Println("\nmetric families (non-zero counters):")
+	samples := fp.Metrics.Registry.Snapshot()
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	for _, s := range samples {
+		if s.Buckets != nil || s.Value == 0 || !strings.HasSuffix(s.Name, "_total") {
+			continue
+		}
+		name := s.Name
+		if len(s.Labels) > 0 {
+			keys := make([]string, 0, len(s.Labels))
+			for k := range s.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = k + "=" + s.Labels[k]
+			}
+			name += "{" + strings.Join(parts, ",") + "}"
+		}
+		fmt.Printf("  %-52s %10.0f\n", name, s.Value)
+	}
+
+	// The §4.4 comparison the example always made: did the external
+	// observation agree with the scheduled events?
 	probes, observedDown, observedListings := 0, 0, 0
 	var worstLag time.Duration
 	for _, r := range study.Records {
-		obs := fp.Observations[r.Target.URL]
-		if obs == nil {
+		o := fp.Observations[r.Target.URL]
+		if o == nil {
 			continue
 		}
-		probes += obs.Probes
-		if !obs.HostDownAt.IsZero() {
+		probes += o.Probes
+		if !o.HostDownAt.IsZero() {
 			observedDown++
 			if r.HostRemoved {
-				if lag := obs.HostDownAt.Sub(r.HostRemovedAt); lag > worstLag {
+				if lag := o.HostDownAt.Sub(r.HostRemovedAt); lag > worstLag {
 					worstLag = lag
 				}
 			}
 		}
-		observedListings += len(obs.Listings)
+		observedListings += len(o.Listings)
 	}
 	fmt.Printf("\nmonitored %d URLs with %d HTTP probes\n", len(study.Records), probes)
 	fmt.Printf("observed %d site takedowns and %d blocklist listings over live HTTP\n",
@@ -55,6 +112,27 @@ func main() {
 	fmt.Printf("worst observation lag: %v (must be <= one monitor interval, %v)\n",
 		worstLag.Round(time.Minute), cfg.MonitorInterval)
 
-	fmt.Println()
-	fmt.Println(core.RenderSummary(study))
+	// Finally, the full Prometheus exposition — what /metrics would serve.
+	fmt.Println("\nfull exposition (FREEPHISH_DUMP_METRICS=1 to print):")
+	if os.Getenv("FREEPHISH_DUMP_METRICS") != "" {
+		if err := fp.Metrics.Registry.WritePrometheus(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var b strings.Builder
+		if err := fp.Metrics.Registry.WritePrometheus(&b); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d bytes, %d samples across the poller, fetcher, classifier, reporter and monitor\n",
+			b.Len(), len(samples))
+	}
+}
+
+// bar renders a width-wide progress bar for frac in [0, 1].
+func bar(frac float64, width int) string {
+	n := int(frac * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("=", n) + strings.Repeat(" ", width-n)
 }

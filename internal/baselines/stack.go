@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"freephish/internal/features"
 	"freephish/internal/ml"
@@ -22,18 +23,30 @@ import (
 type StackDetector struct {
 	label string
 	names []string
+	seed  int64
 	model *ml.StackModel
+	// observe, when set via SetObserver, receives per-stage timings from
+	// Score ("extract" and "infer").
+	observe func(stage string, d time.Duration)
 }
 
 // NewBaseStackModel returns the original StackModel baseline.
 func NewBaseStackModel(seed int64) *StackDetector {
-	return &StackDetector{label: "Base StackModel", names: features.BaseStackNames, model: ml.NewStackModel(seed)}
+	return &StackDetector{label: "Base StackModel", names: features.BaseStackNames, seed: seed, model: ml.NewStackModel(seed)}
 }
 
 // NewFreePhishModel returns the augmented FreePhish classifier.
 func NewFreePhishModel(seed int64) *StackDetector {
-	return &StackDetector{label: "FreePhish (augmented StackModel)", names: features.FreePhishNames, model: ml.NewStackModel(seed)}
+	return &StackDetector{label: "FreePhish (augmented StackModel)", names: features.FreePhishNames, seed: seed, model: ml.NewStackModel(seed)}
 }
+
+// Seed reports the seed the detector was constructed (or restored) with.
+func (s *StackDetector) Seed() int64 { return s.seed }
+
+// SetObserver installs fn to receive per-stage Score timings: stage
+// "extract" (feature extraction) and "infer" (stacked-model inference).
+// fn must be cheap and safe for the caller's concurrency; nil disables.
+func (s *StackDetector) SetObserver(fn func(stage string, d time.Duration)) { s.observe = fn }
 
 // Name implements Detector.
 func (s *StackDetector) Name() string { return s.label }
@@ -57,11 +70,23 @@ func (s *StackDetector) Train(samples []LabeledPage) error {
 
 // Score implements Detector.
 func (s *StackDetector) Score(p features.Page) (float64, error) {
+	if s.observe == nil {
+		m, err := features.Extract(p)
+		if err != nil {
+			return 0, err
+		}
+		return s.model.PredictProba(features.Vector(s.names, m)), nil
+	}
+	t0 := time.Now()
 	m, err := features.Extract(p)
+	s.observe("extract", time.Since(t0))
 	if err != nil {
 		return 0, err
 	}
-	return s.model.PredictProba(features.Vector(s.names, m)), nil
+	t1 := time.Now()
+	score := s.model.PredictProba(features.Vector(s.names, m))
+	s.observe("infer", time.Since(t1))
+	return score, nil
 }
 
 // Importance returns the trained stack's feature importances, ranked
@@ -77,7 +102,7 @@ func (s *StackDetector) Save(w io.Writer) error {
 		return err
 	}
 	return json.NewEncoder(w).Encode(stackDetectorDTO{
-		Label: s.label, Names: s.names, Model: json.RawMessage(buf.Bytes()),
+		Label: s.label, Names: s.names, Seed: s.seed, Model: json.RawMessage(buf.Bytes()),
 	})
 }
 
@@ -94,11 +119,15 @@ func LoadStackDetector(r io.Reader) (*StackDetector, error) {
 	if len(dto.Names) == 0 {
 		return nil, fmt.Errorf("baselines: detector payload missing feature names")
 	}
-	return &StackDetector{label: dto.Label, names: dto.Names, model: model}, nil
+	return &StackDetector{label: dto.Label, names: dto.Names, seed: dto.Seed, model: model}, nil
 }
 
 type stackDetectorDTO struct {
-	Label string          `json:"label"`
-	Names []string        `json:"features"`
+	Label string   `json:"label"`
+	Names []string `json:"features"`
+	// Seed is persisted so a restored detector can keep generating the
+	// same synthetic corpora the original did (payloads written before
+	// this field decode to 0).
+	Seed  int64           `json:"seed"`
 	Model json.RawMessage `json:"model"`
 }

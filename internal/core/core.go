@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"freephish/internal/ctlog"
 	"freephish/internal/features"
 	"freephish/internal/fwb"
+	"freephish/internal/obs"
 	"freephish/internal/report"
 	"freephish/internal/simclock"
 	"freephish/internal/social"
@@ -67,6 +69,23 @@ type Config struct {
 	// URL's FIRST appearance, so reshares exercise the dedup path without
 	// inflating the record set.
 	ReshareRate float64
+	// Registry receives the run's metrics. nil gives each FreePhish a
+	// private registry, so concurrent studies never collide; pass a
+	// shared registry to expose the run on a daemon's /metrics endpoint.
+	Registry *obs.Registry
+	// Progress, when set, is invoked after every poll cycle — the hook
+	// long study runs narrate themselves through.
+	Progress func(ProgressEvent)
+	// Logger, when set, receives structured "poll cycle" events every
+	// LogEvery cycles (default: one simulated day's worth of polls).
+	Logger *slog.Logger
+	// LogEvery is the poll-cycle stride between Logger events.
+	LogEvery int
+	// PollQuota, when > 0, installs an API rate limiter on the poller:
+	// a bucket of PollQuota requests refilled at PollQuotaRate per
+	// second of simulated time. Zero disables limiting (the default).
+	PollQuota     int
+	PollQuotaRate float64
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -128,6 +147,9 @@ type FreePhish struct {
 	Reporter   *report.Reporter
 	Study      *analysis.Study
 	Stats      Stats
+	// Metrics is the run's observability surface: every pipeline stage
+	// reports into its registry and tracer (see metrics.go).
+	Metrics *Metrics
 	// Feeds are the blocklists' queryable lookup APIs, populated as
 	// entities detect URLs during the run.
 	Feeds map[string]*blocklist.Feed
@@ -142,6 +164,7 @@ type FreePhish struct {
 	poller      *crawler.Poller
 	servers     []*webServer
 	feedClients map[string]*blocklist.Client
+	runStart    time.Time
 
 	assessRNG *simclock.RNG
 	worldRNG  *simclock.RNG
@@ -173,6 +196,11 @@ func New(cfg Config) *FreePhish {
 		assessRNG:  simclock.NewRNG(cfg.Seed, "core.assess"),
 		worldRNG:   simclock.NewRNG(cfg.Seed, "core.world"),
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	f.Metrics = newMetrics(reg, clock.Now, cfg.Epoch)
 	f.Observations = make(map[string]*Observation)
 	f.seenURLs = make(map[string]bool)
 	f.Feeds = make(map[string]*blocklist.Feed, len(f.Entities))
@@ -237,8 +265,12 @@ func (f *FreePhish) Train() error {
 
 // Run executes the measurement study and returns the analysis record set.
 func (f *FreePhish) Run() (*analysis.Study, error) {
+	f.runStart = time.Now()
 	if f.Model == nil || f.BaseModel == nil {
-		if err := f.Train(); err != nil {
+		sp := f.Metrics.Tracer.Start("train")
+		err := f.Train()
+		sp.EndErr(err)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -340,8 +372,16 @@ func (f *FreePhish) createAndPost(platform threat.Platform, kind string, now tim
 // pollOnce is one streaming-module cycle: poll both platforms, snapshot and
 // classify every new URL, and register flagged URLs for longitudinal
 // observation.
-func (f *FreePhish) pollOnce(now time.Time) error {
+func (f *FreePhish) pollOnce(now time.Time) (err error) {
+	sp := f.Metrics.Tracer.Start("poll")
+	defer func() {
+		sp.EndErr(err)
+		if err == nil {
+			f.observeProgress(now)
+		}
+	}()
 	f.Stats.Polls++
+	f.Metrics.Polls.Inc()
 	urls, err := f.poller.Poll(now)
 	if err != nil {
 		return err
@@ -359,10 +399,13 @@ func (f *FreePhish) processURL(su crawler.StreamedURL, now time.Time) error {
 	// First appearance wins: reshared URLs are already in the study (or
 	// already rejected) and are not re-fetched.
 	if f.seenURLs[su.URL] {
+		f.Metrics.URLsDeduped.Inc()
 		return nil
 	}
 	f.seenURLs[su.URL] = true
+	fsp := f.Metrics.Tracer.Start("fetch")
 	page, status, err := f.fetcher.Snapshot(su.URL)
+	fsp.EndErr(err)
 	if err != nil {
 		return fmt.Errorf("core: snapshot %q: %w", su.URL, err)
 	}
@@ -376,25 +419,39 @@ func (f *FreePhish) processURL(su crawler.StreamedURL, now time.Time) error {
 		return nil
 	}
 	isFWB := site.Service != nil
+	cohort := "self-hosted"
+	if isFWB {
+		cohort = "fwb"
+	}
 
+	csp := f.Metrics.Tracer.Start("classify")
+	c0 := time.Now()
 	var score float64
 	if isFWB {
 		score, err = f.Model.Score(page)
 	} else {
 		score, err = f.BaseModel.Score(page)
 	}
+	f.Metrics.ClassifySeconds.With(cohort).Observe(time.Since(c0).Seconds())
+	csp.EndErr(err)
 	if err != nil {
 		return err
 	}
+	f.Metrics.Scores.With(cohort).Observe(score)
 	flagged := score >= 0.5
 	truth := site.Kind.IsMalicious()
 	switch {
 	case flagged && truth:
 		f.Stats.TruePositives++
+		f.Metrics.Decisions.With(cohort, "tp").Inc()
 	case flagged && !truth:
 		f.Stats.FalsePositives++
+		f.Metrics.Decisions.With(cohort, "fp").Inc()
 	case !flagged && truth:
 		f.Stats.FalseNegatives++
+		f.Metrics.Decisions.With(cohort, "fn").Inc()
+	default:
+		f.Metrics.Decisions.With(cohort, "tn").Inc()
 	}
 	// Free the page body: nothing re-fetches a processed site, and the
 	// full-scale study would otherwise hold ~100k page bodies in memory.
@@ -408,6 +465,7 @@ func (f *FreePhish) processURL(su crawler.StreamedURL, now time.Time) error {
 		f.Stats.FlaggedSelf++
 	}
 
+	asp := f.Metrics.Tracer.Start("assess")
 	target := threat.DeriveFromPage(site, page.HTML, su.At, su.Platform, su.PostID, f.Whois, f.CT, f.assessRNG)
 	rec := &analysis.Record{
 		Target:          target,
@@ -428,27 +486,40 @@ func (f *FreePhish) processURL(su crawler.StreamedURL, now time.Time) error {
 	if removed, at := f.Moderation[su.Platform].Assess(target, f.assessRNG); removed {
 		rec.PlatformRemoved = true
 		rec.PlatformRemovedAt = at
+		f.Metrics.Takedowns.With("platform").Inc()
 		if post := f.Networks[su.Platform].Lookup(su.PostID); post != nil {
 			post.Remove(at)
 		}
 	}
+	asp.End()
 	// Reporting module (§4.3): disclose FWB attacks to the service; the
 	// hosting provider handles self-hosted ones. Blocklists are never
 	// reported to — that would contaminate the measurement.
+	rsp := f.Metrics.Tracer.Start("report")
 	var outcome report.Outcome
+	var recipient string
 	if isFWB {
 		outcome = f.Reporter.ReportToFWB(target, now)
 		f.Stats.ReportsSent++
+		recipient = target.Service.Name
 	} else {
 		outcome = f.Reporter.SelfHostedTakedown(target)
+		recipient = "hosting-provider"
+	}
+	rsp.End()
+	f.Metrics.Reports.With(recipient).Inc()
+	if outcome.Acknowledged {
+		f.Metrics.ReportAcks.With(recipient).Inc()
 	}
 	rec.Report = outcome
 	if outcome.Removed {
 		rec.HostRemoved = true
 		rec.HostRemovedAt = outcome.RemovedAt
 		site.TakeDown(outcome.RemovedAt, "host")
+		f.Metrics.Takedowns.With("host").Inc()
 	}
 	f.Study.Add(rec)
+	f.Metrics.Records.Inc()
 	if f.Config.MonitorInterval > 0 {
 		f.scheduleMonitor(rec)
 	}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"context"
+	"log/slog"
+	"time"
+
+	"freephish/internal/obs"
+	"freephish/internal/threat"
+)
+
+// Metrics bundles every instrument the pipeline exports, all registered
+// on one obs.Registry so a single /metrics scrape covers the whole
+// framework: poller, fetcher, classifier, reporter, and the §4.4 active
+// monitor. Families are registered up front (and therefore exported at
+// zero) so scrapers see the complete schema from the first cycle.
+type Metrics struct {
+	Registry *obs.Registry
+	// Tracer aggregates per-stage spans (poll, fetch, classify, assess,
+	// report, monitor) in wall-clock and simulation time.
+	Tracer *obs.Tracer
+
+	// Streaming module (§4.1).
+	Polls        *obs.Counter
+	PollSkipped  *obs.Counter
+	PostsSeen    *obs.CounterVec // platform
+	PostsDup     *obs.CounterVec // platform
+	URLsStreamed *obs.Counter
+	URLsDeduped  *obs.Counter
+
+	// Pre-processing module: the snapshot crawler.
+	FetchTotal   *obs.CounterVec // status
+	FetchSeconds *obs.Histogram
+	FetchErrors  *obs.Counter
+
+	// Classification module (§4.2).
+	ClassifySeconds *obs.HistogramVec // cohort
+	ExtractSeconds  *obs.Histogram
+	InferSeconds    *obs.Histogram
+	Scores          *obs.HistogramVec // cohort
+	Decisions       *obs.CounterVec   // cohort, decision
+
+	// Reporting module (§4.3).
+	Reports    *obs.CounterVec // recipient
+	ReportAcks *obs.CounterVec // recipient
+	Takedowns  *obs.CounterVec // via
+
+	// Active monitor (§4.4).
+	MonitorProbes   *obs.Counter
+	MonitorHostDown *obs.Counter
+	MonitorListings *obs.CounterVec // entity
+
+	// Study-level progress.
+	Records *obs.Counter
+}
+
+// newMetrics registers the full FreePhish metric schema on reg. simNow
+// feeds the sim-time gauges and the tracer; epoch anchors the
+// sim-progress gauge.
+func newMetrics(reg *obs.Registry, simNow func() time.Time, epoch time.Time) *Metrics {
+	m := &Metrics{
+		Registry: reg,
+		Tracer:   obs.NewTracer(reg, "freephish", simNow),
+
+		Polls: reg.Counter("freephish_polls_total",
+			"Streaming-module poll cycles executed."),
+		PollSkipped: reg.Counter("freephish_poll_skipped_total",
+			"Platform polls skipped by the API rate limiter."),
+		PostsSeen: reg.CounterVec("freephish_posts_seen_total",
+			"Social posts returned by the platform APIs.", "platform"),
+		PostsDup: reg.CounterVec("freephish_posts_dup_total",
+			"Posts already seen in an earlier poll (post-level dedup hits).", "platform"),
+		URLsStreamed: reg.Counter("freephish_urls_streamed_total",
+			"URLs extracted from streamed posts."),
+		URLsDeduped: reg.Counter("freephish_urls_dedup_total",
+			"Streamed URLs dropped as re-shares of an already-processed URL."),
+
+		FetchTotal: reg.CounterVec("freephish_fetch_total",
+			"Website snapshots by final HTTP status (0 = transport failure).", "status"),
+		FetchSeconds: reg.Histogram("freephish_fetch_seconds",
+			"Snapshot latency including retries.", nil),
+		FetchErrors: reg.Counter("freephish_fetch_errors_total",
+			"Snapshots that failed every attempt."),
+
+		ClassifySeconds: reg.HistogramVec("freephish_classify_seconds",
+			"End-to-end classification latency (feature extraction + inference).", nil, "cohort"),
+		ExtractSeconds: reg.Histogram("freephish_extract_seconds",
+			"Feature-extraction latency per classified page.", nil),
+		InferSeconds: reg.Histogram("freephish_infer_seconds",
+			"Stacked-model inference latency per classified page.", nil),
+		Scores: reg.HistogramVec("freephish_classifier_score",
+			"Classifier P(phishing) distribution.", obs.ScoreBuckets, "cohort"),
+		Decisions: reg.CounterVec("freephish_classified_total",
+			"Classification decisions against ground truth.", "cohort", "decision"),
+
+		Reports: reg.CounterVec("freephish_reports_total",
+			"Disclosure reports filed, by recipient.", "recipient"),
+		ReportAcks: reg.CounterVec("freephish_report_acks_total",
+			"Reports acknowledged by the recipient.", "recipient"),
+		Takedowns: reg.CounterVec("freephish_takedowns_total",
+			"Site removals recorded by the study, by takedown path.", "via"),
+
+		MonitorProbes: reg.Counter("freephish_monitor_probes_total",
+			"Active-monitor HTTP re-probes of flagged URLs (§4.4)."),
+		MonitorHostDown: reg.Counter("freephish_monitor_host_down_total",
+			"Monitored URLs first observed down by an HTTP probe."),
+		MonitorListings: reg.CounterVec("freephish_monitor_listings_total",
+			"Blocklist-feed listings first observed by the monitor.", "entity"),
+
+		Records: reg.Counter("freephish_study_records_total",
+			"URLs admitted to longitudinal observation."),
+	}
+	reg.GaugeFunc("freephish_sim_time_seconds",
+		"Virtual seconds elapsed since the study epoch.", func() float64 {
+			if simNow == nil {
+				return 0
+			}
+			return simNow().Sub(epoch).Seconds()
+		})
+	return m
+}
+
+// wire connects the constructed pipeline components (fetcher, poller,
+// classifier models) to the instruments. Called from startServers once
+// the components exist.
+func (f *FreePhish) wireMetrics() {
+	m := f.Metrics
+	f.fetcher.Observe = func(status, attempts int, wall time.Duration, err error) {
+		m.FetchTotal.With(statusLabel(status)).Inc()
+		m.FetchSeconds.Observe(wall.Seconds())
+		if err != nil {
+			m.FetchErrors.Inc()
+		}
+	}
+	f.poller.Observe = func(platform threat.Platform, posts, dupPosts, urls int, skipped bool) {
+		if skipped {
+			m.PollSkipped.Inc()
+			return
+		}
+		m.PostsSeen.With(string(platform)).Add(float64(posts))
+		m.PostsDup.With(string(platform)).Add(float64(dupPosts))
+		m.URLsStreamed.Add(float64(urls))
+	}
+	stageObs := func(stage string, d time.Duration) {
+		switch stage {
+		case "extract":
+			m.ExtractSeconds.Observe(d.Seconds())
+		case "infer":
+			m.InferSeconds.Observe(d.Seconds())
+		}
+	}
+	f.Model.SetObserver(stageObs)
+	f.BaseModel.SetObserver(stageObs)
+	if f.poller.Limiter != nil {
+		lim := f.poller.Limiter
+		f.Metrics.Registry.GaugeFunc("freephish_ratelimit_throttled_total",
+			"Poller API calls denied by the quota limiter.", func() float64 {
+				return float64(lim.Throttled())
+			})
+		f.Metrics.Registry.GaugeFunc("freephish_ratelimit_wait_seconds_total",
+			"Cumulative estimated wait imposed by quota denials.", func() float64 {
+				return lim.WaitTotal().Seconds()
+			})
+		f.Metrics.Registry.GaugeFunc("freephish_ratelimit_tokens",
+			"Tokens currently available in the poller's quota bucket.", func() float64 {
+				return lim.Tokens()
+			})
+	}
+}
+
+// statusLabel formats an HTTP status for the fetch counter without
+// allocating for the common codes.
+func statusLabel(status int) string {
+	switch status {
+	case 0:
+		return "0"
+	case 200:
+		return "200"
+	case 404:
+		return "404"
+	case 410:
+		return "410"
+	case 500:
+		return "500"
+	}
+	return itoa(status)
+}
+
+func itoa(v int) string {
+	if v < 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			return string(buf[i:])
+		}
+	}
+}
+
+// ProgressEvent is one poll-cycle progress report, delivered to
+// Config.Progress and (throttled) to Config.Logger.
+type ProgressEvent struct {
+	// SimTime is the virtual clock at the end of the cycle; Frac is the
+	// fraction of the measurement window elapsed, in [0, 1].
+	SimTime time.Time
+	Frac    float64
+	// Wall is real time elapsed since Run started.
+	Wall time.Duration
+	// Cumulative pipeline counters (mirrors of Stats).
+	Polls, PostsSeen, URLsScanned int
+	Flagged, Reports, Records     int
+}
+
+// observeProgress emits the per-cycle progress event and, every LogEvery
+// cycles, a structured slog record.
+func (f *FreePhish) observeProgress(now time.Time) {
+	if f.Config.Progress == nil && f.Config.Logger == nil {
+		return
+	}
+	ev := ProgressEvent{
+		SimTime:     now,
+		Wall:        time.Since(f.runStart),
+		Polls:       f.Stats.Polls,
+		PostsSeen:   f.Stats.PostsSeen,
+		URLsScanned: f.Stats.URLsScanned,
+		Flagged:     f.Stats.FlaggedFWB + f.Stats.FlaggedSelf,
+		Reports:     f.Stats.ReportsSent,
+		Records:     len(f.Study.Records),
+	}
+	if f.Config.Duration > 0 {
+		ev.Frac = float64(now.Sub(f.Config.Epoch)) / float64(f.Config.Duration)
+		if ev.Frac > 1 {
+			ev.Frac = 1
+		}
+	}
+	if f.Config.Progress != nil {
+		f.Config.Progress(ev)
+	}
+	if f.Config.Logger != nil {
+		every := f.Config.LogEvery
+		if every <= 0 {
+			// Default: one event per simulated day.
+			every = int(24 * time.Hour / f.Config.PollInterval)
+			if every < 1 {
+				every = 1
+			}
+		}
+		if f.Stats.Polls%every == 0 {
+			f.Config.Logger.LogAttrs(context.Background(), slog.LevelInfo, "poll cycle",
+				slog.Time("sim_time", now),
+				slog.Float64("frac_done", ev.Frac),
+				slog.Duration("wall", ev.Wall),
+				slog.Int("polls", ev.Polls),
+				slog.Int("posts_seen", ev.PostsSeen),
+				slog.Int("urls_scanned", ev.URLsScanned),
+				slog.Int("flagged", ev.Flagged),
+				slog.Int("reports", ev.Reports),
+				slog.Int("records", ev.Records),
+			)
+		}
+	}
+}

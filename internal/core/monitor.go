@@ -40,13 +40,16 @@ func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
 	until := rec.Target.SharedAt.Add(MonitorHorizon)
 	var stop func()
 	stop = f.Clock.Every(f.Config.MonitorInterval, until, "freephish.monitor", func(now time.Time) {
+		sp := f.Metrics.Tracer.Start("monitor")
 		obs.Probes++
+		f.Metrics.MonitorProbes.Inc()
 		done := true
 		// Probe the site over HTTP.
 		if obs.HostDownAt.IsZero() {
 			_, status, err := f.fetcher.Snapshot(rec.Target.URL)
 			if err == nil && status != http.StatusOK {
 				obs.HostDownAt = now
+				f.Metrics.MonitorHostDown.Inc()
 			} else {
 				done = false
 			}
@@ -59,10 +62,12 @@ func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
 			listed, err := client.IsListed(rec.Target.URL)
 			if err == nil && listed {
 				obs.Listings[name] = now
+				f.Metrics.MonitorListings.With(name).Inc()
 			} else {
 				done = false
 			}
 		}
+		sp.End()
 		if done && stop != nil {
 			stop() // everything observed: no further probes needed
 		}

@@ -65,6 +65,12 @@ func (f *FreePhish) startServers() error {
 	}
 	f.fetcher = crawler.NewFetcher(hostSrv.base)
 	f.poller = crawler.NewPoller(endpoints, http.DefaultClient, f.Config.Epoch)
+	if f.Config.PollQuota > 0 {
+		// Quota bucket against the simulation clock, so throttling scales
+		// with virtual (not wall) time.
+		f.poller.Limiter = crawler.NewRateLimiter(f.Config.PollQuota, f.Config.PollQuotaRate, f.Clock.Now)
+	}
+	f.wireMetrics()
 	if f.Config.MonitorInterval > 0 {
 		if err := f.startFeedServers(); err != nil {
 			f.stopServers()

@@ -46,6 +46,12 @@ type Poller struct {
 	seen   map[string]bool
 	// Skipped counts rate-limited platform polls.
 	Skipped int
+	// Observe, when set, receives one event per platform per Poll cycle:
+	// how many posts the API returned, how many were duplicates of
+	// earlier polls, how many URLs were extracted, and whether the
+	// platform was skipped by the rate limiter. Must be cheap; it runs on
+	// the polling hot path.
+	Observe func(platform threat.Platform, posts, dupPosts, urls int, skipped bool)
 }
 
 // NewPoller returns a Poller starting its cursors at start.
@@ -82,8 +88,12 @@ func (p *Poller) Poll(now time.Time) ([]StreamedURL, error) {
 		base := p.Endpoints[plat]
 		if p.Limiter != nil && !p.Limiter.Allow() {
 			p.Skipped++
+			if p.Observe != nil {
+				p.Observe(plat, 0, 0, 0, true)
+			}
 			continue // cursor untouched: the next allowed poll catches up
 		}
+		var nPosts, nDup, nURLs int
 		// Page through the window: the platform API caps one response, so a
 		// burst of posts spans multiple requests.
 		for offset := 0; ; {
@@ -101,11 +111,14 @@ func (p *Poller) Poll(now time.Time) ([]StreamedURL, error) {
 				return nil, fmt.Errorf("crawler: decode %s feed: %w", plat, err)
 			}
 			for _, post := range posts {
+				nPosts++
 				if p.seen[post.ID] {
+					nDup++
 					continue
 				}
 				p.seen[post.ID] = true
 				for _, raw := range urlx.ExtractURLs(post.Text) {
+					nURLs++
 					out = append(out, StreamedURL{
 						URL: raw, Platform: plat, PostID: post.ID, Text: post.Text, At: post.At,
 					})
@@ -117,6 +130,9 @@ func (p *Poller) Poll(now time.Time) ([]StreamedURL, error) {
 			offset += len(posts)
 		}
 		p.cursor[plat] = now
+		if p.Observe != nil {
+			p.Observe(plat, nPosts, nDup, nURLs, false)
+		}
 	}
 	return out, nil
 }
@@ -140,6 +156,11 @@ type Fetcher struct {
 	Backoff time.Duration
 	// UserAgent presented to the site; defaults to ChromiumUA.
 	UserAgent string
+	// Observe, when set, receives one event per Snapshot: the final HTTP
+	// status (0 on transport failure), how many attempts were made, the
+	// total wall-clock latency including retries, and the terminal error
+	// if every attempt failed. Must be cheap; it runs per fetched URL.
+	Observe func(status, attempts int, wall time.Duration, err error)
 }
 
 // NewFetcher returns a Fetcher pointed at the simulation endpoint.
@@ -183,6 +204,7 @@ func (f *Fetcher) Snapshot(rawURL string) (features.Page, int, error) {
 	if backoff <= 0 {
 		backoff = 250 * time.Millisecond
 	}
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt <= f.Retries; attempt++ {
 		if attempt > 0 {
@@ -205,7 +227,14 @@ func (f *Fetcher) Snapshot(rawURL string) (features.Page, int, error) {
 			lastErr = err
 			continue
 		}
+		if f.Observe != nil {
+			f.Observe(resp.StatusCode, attempt+1, time.Since(start), nil)
+		}
 		return features.Page{URL: rawURL, HTML: string(body)}, resp.StatusCode, nil
 	}
-	return features.Page{}, 0, fmt.Errorf("crawler: fetch %q failed after %d attempts: %w", rawURL, f.Retries+1, lastErr)
+	err = fmt.Errorf("crawler: fetch %q failed after %d attempts: %w", rawURL, f.Retries+1, lastErr)
+	if f.Observe != nil {
+		f.Observe(0, f.Retries+1, time.Since(start), err)
+	}
+	return features.Page{}, 0, err
 }

@@ -18,6 +18,11 @@ type RateLimiter struct {
 	mu     sync.Mutex
 	tokens float64
 	last   time.Time
+	// Quota-pressure counters, exported for the crawler metrics:
+	// throttled counts denied Allow calls; waitTotal accumulates the
+	// estimated time-to-next-token at each denial.
+	throttled uint64
+	waitTotal time.Duration
 }
 
 // NewRateLimiter returns a limiter holding at most capacity tokens,
@@ -43,6 +48,10 @@ func (r *RateLimiter) Allow() bool {
 	defer r.mu.Unlock()
 	r.advance()
 	if r.tokens < 1 {
+		r.throttled++
+		if r.refill > 0 {
+			r.waitTotal += r.waitLocked()
+		}
 		return false
 	}
 	r.tokens--
@@ -55,6 +64,12 @@ func (r *RateLimiter) Wait() time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.advance()
+	return r.waitLocked()
+}
+
+// waitLocked computes the time until the next token. Callers must hold mu
+// and have called advance.
+func (r *RateLimiter) waitLocked() time.Duration {
 	if r.tokens >= 1 {
 		return 0
 	}
@@ -87,4 +102,22 @@ func (r *RateLimiter) Tokens() float64 {
 	defer r.mu.Unlock()
 	r.advance()
 	return r.tokens
+}
+
+// Throttled reports how many Allow calls have been denied — the quota
+// pressure the crawler metrics export.
+func (r *RateLimiter) Throttled() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.throttled
+}
+
+// WaitTotal reports the cumulative estimated wait imposed by denials: the
+// sum, over every denied Allow, of the then-current time-to-next-token.
+// A bucket with no refill contributes nothing (the wait is unbounded, not
+// a backlog).
+func (r *RateLimiter) WaitTotal() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.waitTotal
 }

@@ -1,0 +1,73 @@
+package crawler
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterCountersConcurrent hammers Allow from many goroutines
+// against a frozen clock (no refill happens), so the arithmetic is exact:
+// capacity grants, everything else throttles, and the cumulative wait
+// estimate grows with the deficit. Run with -race.
+func TestRateLimiterCountersConcurrent(t *testing.T) {
+	frozen := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	rl := NewRateLimiter(100, 0.5, func() time.Time { return frozen })
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	allowed := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < perWorker; i++ {
+				if rl.Allow() {
+					n++
+				}
+			}
+			mu.Lock()
+			allowed += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	const attempts = workers * perWorker
+	if allowed != 100 {
+		t.Errorf("allowed = %d, want exactly the capacity 100", allowed)
+	}
+	if got := rl.Throttled(); got != attempts-100 {
+		t.Errorf("Throttled = %d, want %d", got, attempts-100)
+	}
+	// Each denial sees a deficit of at least one full token at 0.5/s,
+	// i.e. >= 2s of estimated wait.
+	if wt := rl.WaitTotal(); wt < time.Duration(attempts-100)*2*time.Second {
+		t.Errorf("WaitTotal = %v, implausibly small", wt)
+	}
+	if rl.Tokens() != 0 {
+		t.Errorf("Tokens = %v, want 0", rl.Tokens())
+	}
+}
+
+// TestRateLimiterNoRefillWait checks that a refill-less bucket counts
+// throttles but does not accumulate an unbounded wait backlog.
+func TestRateLimiterNoRefillWait(t *testing.T) {
+	frozen := time.Unix(0, 0)
+	rl := NewRateLimiter(1, 0, func() time.Time { return frozen })
+	if !rl.Allow() {
+		t.Fatal("first Allow should pass")
+	}
+	if rl.Allow() {
+		t.Fatal("second Allow should be throttled")
+	}
+	if rl.Throttled() != 1 {
+		t.Errorf("Throttled = %d, want 1", rl.Throttled())
+	}
+	if rl.WaitTotal() != 0 {
+		t.Errorf("WaitTotal = %v, want 0 for a refill-less bucket", rl.WaitTotal())
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewOpsMux assembles the standard operational surface every FreePhish
+// daemon exposes:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       200 "ok", or 503 with the error from healthz
+//	/debug/vars    expvar JSON (process-wide)
+//	/debug/pprof/  the net/http/pprof profile suite
+//
+// healthz may be nil (always healthy). Mount the mux on a loopback
+// listener, or merge selected routes into an existing daemon mux.
+func NewOpsMux(reg *Registry, healthz func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if healthz != nil {
+			if err := healthz(); err != nil {
+				http.Error(w, fmt.Sprintf("unhealthy: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// OpsPaths reports whether path belongs to the operational surface —
+// daemons that multiplex ops routes onto an application listener use it
+// to split traffic.
+func OpsPaths(path string) bool {
+	switch path {
+	case "/metrics", "/healthz", "/debug/vars":
+		return true
+	}
+	return len(path) >= len("/debug/pprof/") && path[:len("/debug/pprof/")] == "/debug/pprof/"
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer aggregates per-stage spans in two time domains at once: the
+// wall clock (what the hardware spent) and the simulation clock (where
+// in the 182-day virtual window the work happened). Pipeline code wraps
+// each stage in Start/End; a scrape or Snapshot then answers both "which
+// stage is slow" and "what is the per-sim-day throughput".
+//
+// Spans are cheap: two time.Now calls and one short mutex hold per span,
+// plus one histogram observation when a registry is attached.
+type Tracer struct {
+	simNow func() time.Time
+	wall   func() time.Time // injectable for tests
+
+	hist *HistogramVec // <name>_stage_seconds{stage}
+	errs *CounterVec   // <name>_stage_errors_total{stage}
+
+	mu     sync.Mutex
+	stages map[string]*stageAgg
+}
+
+type stageAgg struct {
+	count    uint64
+	errors   uint64
+	wall     time.Duration
+	maxWall  time.Duration
+	simFirst time.Time
+	simLast  time.Time
+}
+
+// NewTracer returns a tracer whose span histograms are registered on reg
+// under <name>_stage_seconds / <name>_stage_errors_total. reg may be nil
+// (aggregation only); simNow may be nil when there is no simulation
+// clock (spans then carry only wall time).
+func NewTracer(reg *Registry, name string, simNow func() time.Time) *Tracer {
+	t := &Tracer{simNow: simNow, wall: time.Now, stages: make(map[string]*stageAgg)}
+	if reg != nil {
+		t.hist = reg.HistogramVec(name+"_stage_seconds",
+			"Wall-clock time spent in each pipeline stage.", DefBuckets, "stage")
+		t.errs = reg.CounterVec(name+"_stage_errors_total",
+			"Spans that ended in error, by pipeline stage.", "stage")
+	}
+	return t
+}
+
+// Span is one in-flight stage measurement. End (or EndErr) must be
+// called exactly once.
+type Span struct {
+	t     *Tracer
+	stage string
+	start time.Time
+	sim   time.Time
+}
+
+// Start opens a span for the named stage.
+func (t *Tracer) Start(stage string) Span {
+	sp := Span{t: t, stage: stage, start: t.wall()}
+	if t.simNow != nil {
+		sp.sim = t.simNow()
+	}
+	return sp
+}
+
+// End closes the span successfully.
+func (s Span) End() { s.t.observe(s.stage, s.t.wall().Sub(s.start), s.sim, false) }
+
+// EndErr closes the span, recording an error when err is non-nil.
+func (s Span) EndErr(err error) { s.t.observe(s.stage, s.t.wall().Sub(s.start), s.sim, err != nil) }
+
+func (t *Tracer) observe(stage string, d time.Duration, sim time.Time, failed bool) {
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	agg := t.stages[stage]
+	if agg == nil {
+		agg = &stageAgg{}
+		t.stages[stage] = agg
+	}
+	agg.count++
+	agg.wall += d
+	if d > agg.maxWall {
+		agg.maxWall = d
+	}
+	if failed {
+		agg.errors++
+	}
+	if !sim.IsZero() {
+		if agg.simFirst.IsZero() || sim.Before(agg.simFirst) {
+			agg.simFirst = sim
+		}
+		if sim.After(agg.simLast) {
+			agg.simLast = sim
+		}
+	}
+	t.mu.Unlock()
+	if t.hist != nil {
+		t.hist.With(stage).Observe(d.Seconds())
+	}
+	if failed && t.errs != nil {
+		t.errs.With(stage).Inc()
+	}
+}
+
+// StageStats summarizes one stage across the run so far.
+type StageStats struct {
+	Stage  string
+	Count  uint64
+	Errors uint64
+	// Wall-clock totals.
+	Wall    time.Duration
+	AvgWall time.Duration
+	MaxWall time.Duration
+	// Simulation-clock placement: the virtual-time window the stage's
+	// spans covered, and the resulting per-virtual-hour rate.
+	SimFirst   time.Time
+	SimLast    time.Time
+	SimSpan    time.Duration
+	PerSimHour float64
+}
+
+// Snapshot returns the per-stage aggregates, sorted by stage name.
+func (t *Tracer) Snapshot() []StageStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageStats, 0, len(t.stages))
+	for name, agg := range t.stages {
+		st := StageStats{
+			Stage: name, Count: agg.count, Errors: agg.errors,
+			Wall: agg.wall, MaxWall: agg.maxWall,
+			SimFirst: agg.simFirst, SimLast: agg.simLast,
+		}
+		if agg.count > 0 {
+			st.AvgWall = agg.wall / time.Duration(agg.count)
+		}
+		if !agg.simFirst.IsZero() {
+			st.SimSpan = agg.simLast.Sub(agg.simFirst)
+			if hours := st.SimSpan.Hours(); hours > 0 {
+				st.PerSimHour = float64(agg.count) / hours
+			}
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}

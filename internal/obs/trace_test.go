@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClocks builds deterministic wall and sim clocks: every wall read
+// advances 10ms, every sim read advances 1h.
+func fakeClocks() (wall, sim func() time.Time) {
+	var mu sync.Mutex
+	w := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	wall = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		w = w.Add(10 * time.Millisecond)
+		return w
+	}
+	sim = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		s = s.Add(time.Hour)
+		return s
+	}
+	return wall, sim
+}
+
+func TestTracerAggregation(t *testing.T) {
+	reg := NewRegistry()
+	wall, sim := fakeClocks()
+	tr := NewTracer(reg, "test", sim)
+	tr.wall = wall
+
+	for i := 0; i < 5; i++ {
+		sp := tr.Start("fetch")
+		sp.End()
+	}
+	sp := tr.Start("classify")
+	sp.EndErr(errors.New("boom"))
+
+	stats := tr.Snapshot()
+	if len(stats) != 2 {
+		t.Fatalf("got %d stages, want 2", len(stats))
+	}
+	if stats[0].Stage != "classify" || stats[1].Stage != "fetch" {
+		t.Fatalf("stage order: %v, %v", stats[0].Stage, stats[1].Stage)
+	}
+	fetch := stats[1]
+	if fetch.Count != 5 || fetch.Errors != 0 {
+		t.Errorf("fetch count/errors = %d/%d", fetch.Count, fetch.Errors)
+	}
+	// Each span is one 10ms wall tick.
+	if fetch.Wall != 50*time.Millisecond || fetch.AvgWall != 10*time.Millisecond {
+		t.Errorf("fetch wall = %v avg %v", fetch.Wall, fetch.AvgWall)
+	}
+	// Sim reads: spans started at sim hours 1..5, so the window spans 4h.
+	if fetch.SimSpan != 4*time.Hour {
+		t.Errorf("fetch sim span = %v, want 4h", fetch.SimSpan)
+	}
+	if fetch.PerSimHour != 5.0/4.0 {
+		t.Errorf("fetch per-sim-hour = %v", fetch.PerSimHour)
+	}
+	if stats[0].Errors != 1 {
+		t.Errorf("classify errors = %d, want 1", stats[0].Errors)
+	}
+
+	// Registry-side: the histogram and error counter exist and agree.
+	var b strings.Builder
+	_ = reg.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `test_stage_seconds_count{stage="fetch"} 5`) {
+		t.Errorf("missing stage histogram:\n%s", out)
+	}
+	if !strings.Contains(out, `test_stage_errors_total{stage="classify"} 1`) {
+		t.Errorf("missing stage error counter:\n%s", out)
+	}
+}
+
+// TestTracerConcurrent hammers one tracer from many goroutines (-race).
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(NewRegistry(), "conc", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stage := []string{"a", "b", "c"}[w%3]
+			for i := 0; i < 2000; i++ {
+				tr.Start(stage).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, st := range tr.Snapshot() {
+		total += st.Count
+	}
+	if total != 8*2000 {
+		t.Errorf("total spans = %d, want %d", total, 8*2000)
+	}
+}
+
+func TestTracerWithoutRegistryOrSim(t *testing.T) {
+	tr := NewTracer(nil, "bare", nil)
+	tr.Start("x").End()
+	st := tr.Snapshot()
+	if len(st) != 1 || st[0].Count != 1 {
+		t.Fatalf("snapshot = %+v", st)
+	}
+	if !st[0].SimFirst.IsZero() || st[0].PerSimHour != 0 {
+		t.Error("sim fields should be zero without a sim clock")
+	}
+}

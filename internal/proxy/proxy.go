@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"freephish/internal/features"
 	"freephish/internal/fwb"
@@ -130,6 +131,11 @@ type Proxy struct {
 	checker   Checker
 	transport http.RoundTripper
 
+	// Observe, when set, receives one event per proxied request: whether
+	// it was blocked and the wall-clock time spent deciding plus (for
+	// passed requests) forwarding. Must be safe for concurrent use.
+	Observe func(blocked bool, wall time.Duration)
+
 	mu      sync.Mutex
 	blocked int
 	passed  int
@@ -177,10 +183,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "freephish-proxy: expected absolute-form proxy request", http.StatusBadRequest)
 		return
 	}
+	start := time.Now()
 	if block, reason := p.checker.Check(target); block {
 		p.mu.Lock()
 		p.blocked++
 		p.mu.Unlock()
+		if p.Observe != nil {
+			p.Observe(true, time.Since(start))
+		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		w.WriteHeader(http.StatusForbidden)
 		fmt.Fprintf(w, warningPage, target, reason)
@@ -189,6 +199,9 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.mu.Lock()
 	p.passed++
 	p.mu.Unlock()
+	if p.Observe != nil {
+		defer func() { p.Observe(false, time.Since(start)) }()
+	}
 
 	out := r.Clone(r.Context())
 	out.RequestURI = ""
@@ -215,10 +228,14 @@ func (p *Proxy) handleConnect(w http.ResponseWriter, r *http.Request) {
 	if i := strings.LastIndexByte(host, ':'); i >= 0 {
 		host = host[:i]
 	}
+	start := time.Now()
 	if block, _ := p.checker.Check("https://" + host + "/"); block {
 		p.mu.Lock()
 		p.blocked++
 		p.mu.Unlock()
+		if p.Observe != nil {
+			p.Observe(true, time.Since(start))
+		}
 		http.Error(w, "freephish-proxy: destination blocked", http.StatusForbidden)
 		return
 	}

@@ -39,13 +39,53 @@ type Outcome struct {
 // Reporter sends disclosures and models recipient responses. Construct
 // with NewReporter.
 type Reporter struct {
-	rng  *simclock.RNG
-	sent []Report
+	rng   *simclock.RNG
+	sent  []Report
+	stats map[string]RecipientStats
+}
+
+// RecipientStats aggregates one recipient's disposition of our reports —
+// the per-entity reports-filed/acknowledged counts the observability
+// layer exports.
+type RecipientStats struct {
+	Sent         int
+	Acknowledged int
+	FollowedUp   int
+	Removed      int
 }
 
 // NewReporter returns a Reporter drawing from the run seed.
 func NewReporter(seed int64) *Reporter {
-	return &Reporter{rng: simclock.NewRNG(seed, "report")}
+	return &Reporter{rng: simclock.NewRNG(seed, "report"), stats: make(map[string]RecipientStats)}
+}
+
+// Stats returns a copy of the per-recipient aggregates. Self-hosted
+// takedowns are attributed to the pseudo-recipient "hosting-provider".
+func (r *Reporter) Stats() map[string]RecipientStats {
+	out := make(map[string]RecipientStats, len(r.stats))
+	for k, v := range r.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// record folds one outcome into the per-recipient aggregates.
+func (r *Reporter) record(recipient string, o Outcome) {
+	if r.stats == nil {
+		r.stats = make(map[string]RecipientStats)
+	}
+	s := r.stats[recipient]
+	s.Sent++
+	if o.Acknowledged {
+		s.Acknowledged++
+	}
+	if o.FollowedUp {
+		s.FollowedUp++
+	}
+	if o.Removed {
+		s.Removed++
+	}
+	r.stats[recipient] = s
 }
 
 // Sent returns a copy of every report sent so far.
@@ -93,6 +133,7 @@ func (r *Reporter) ReportToFWB(t *threat.Target, at time.Time) Outcome {
 		o.Removed = true
 		o.RemovedAt = at.Add(time.Duration(r.rng.LogNormal(float64(svc.MedianResponse), 1.2)))
 	}
+	r.record(svc.Name, o)
 	return o
 }
 
@@ -103,11 +144,13 @@ func (r *Reporter) ReportToFWB(t *threat.Target, at time.Time) Outcome {
 func (r *Reporter) SelfHostedTakedown(t *threat.Target) Outcome {
 	const coverage = 0.775
 	median := 3*time.Hour + 47*time.Minute
-	if !r.rng.Bool(coverage) {
-		return Outcome{}
+	var o Outcome
+	if r.rng.Bool(coverage) {
+		o = Outcome{
+			Removed:   true,
+			RemovedAt: t.SharedAt.Add(time.Duration(r.rng.LogNormal(float64(median), 1.3))),
+		}
 	}
-	return Outcome{
-		Removed:   true,
-		RemovedAt: t.SharedAt.Add(time.Duration(r.rng.LogNormal(float64(median), 1.3))),
-	}
+	r.record("hosting-provider", o)
+	return o
 }

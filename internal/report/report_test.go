@@ -202,3 +202,38 @@ func TestRenderLetterAttackDescriptions(t *testing.T) {
 		}
 	}
 }
+
+func TestReporterStats(t *testing.T) {
+	r := NewReporter(7)
+	acked, removed := 0, 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		o := r.ReportToFWB(targetOn("weebly"), epoch)
+		if o.Acknowledged {
+			acked++
+		}
+		if o.Removed {
+			removed++
+		}
+	}
+	selfRemoved := 0
+	for i := 0; i < 50; i++ {
+		if r.SelfHostedTakedown(targetOn("wix")).Removed {
+			selfRemoved++
+		}
+	}
+	stats := r.Stats()
+	w := stats["Weebly"]
+	if w.Sent != n || w.Acknowledged != acked || w.Removed != removed {
+		t.Errorf("Weebly stats = %+v, want sent=%d acked=%d removed=%d", w, n, acked, removed)
+	}
+	h := stats["hosting-provider"]
+	if h.Sent != 50 || h.Removed != selfRemoved {
+		t.Errorf("hosting-provider stats = %+v, want sent=50 removed=%d", h, selfRemoved)
+	}
+	// Stats returns a copy: mutating it must not leak back.
+	stats["Weebly"] = RecipientStats{}
+	if r.Stats()["Weebly"].Sent != n {
+		t.Error("Stats() exposed internal map")
+	}
+}
