@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-baseline fmt-check clean
+.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check clean
 
 all: build
 
@@ -32,11 +32,20 @@ ci: fmt-check vet race
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-baseline writes BENCH_obs.json — a machine-readable snapshot of
-# pipeline and metrics-layer cost for diffing across commits.
+# bench-baseline writes BENCH_obs.json and BENCH_parallel.json —
+# machine-readable snapshots of pipeline, metrics-layer, and worker-pool
+# cost for diffing across commits.
 bench-baseline:
 	BENCH_JSON=BENCH_obs.json $(GO) test -run TestWriteBenchBaseline -v .
+	BENCH_PARALLEL_JSON=BENCH_parallel.json $(GO) test -run TestWriteParallelBenchBaseline -v .
+
+# bench-compare diffs a saved baseline against a fresh run:
+#   make bench-compare OLD=BENCH_parallel.json NEW=BENCH_parallel.new.json
+OLD ?= BENCH_parallel.json
+NEW ?= BENCH_parallel.new.json
+bench-compare:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 clean:
-	rm -f BENCH_obs.json
+	rm -f BENCH_obs.json BENCH_parallel.json BENCH_parallel.new.json
 	$(GO) clean ./...

@@ -60,6 +60,11 @@ func NewDetector(seed int64) *Detector {
 	return &Detector{model: baselines.NewFreePhishModel(seed), seed: seed}
 }
 
+// SetParallelism bounds how many workers Train and TrainSynthetic may use
+// for the stacked model's k-fold × base-learner fits; 0 means one worker
+// per CPU. The trained model is bit-identical at every setting.
+func (d *Detector) SetParallelism(n int) { d.model.SetParallelism(n) }
+
 // Train fits the detector on labeled pages.
 func (d *Detector) Train(samples []Sample) error {
 	conv := make([]baselines.LabeledPage, len(samples))
@@ -135,6 +140,10 @@ type StudyConfig struct {
 	// TrainPerClass is the classifier's ground-truth size. Default scaled
 	// from the paper's 4,656.
 	TrainPerClass int
+	// Workers bounds the study pipeline's probe pool and the trainers'
+	// parallelism; 0 means one worker per CPU. Results are bit-identical
+	// at every setting — parallelism only trades wall-clock for cores.
+	Workers int
 	// Progress, when set, is invoked after every streaming poll cycle —
 	// the hook by which long study runs narrate themselves.
 	Progress func(Progress)
@@ -175,6 +184,7 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 	if cfg.TrainPerClass > 0 {
 		c.TrainPerClass = cfg.TrainPerClass
 	}
+	c.Workers = cfg.Workers
 	if cfg.Progress != nil {
 		hook := cfg.Progress
 		c.Progress = func(ev core.ProgressEvent) {

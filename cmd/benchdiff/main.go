@@ -1,0 +1,100 @@
+// Command benchdiff compares two machine-readable benchmark baselines
+// (the JSON written by TestWriteBenchBaseline / TestWriteParallelBenchBaseline):
+//
+//	benchdiff OLD.json NEW.json
+//
+// Rows are joined by benchmark name; for each common row it prints the
+// old and new ns/op with the relative delta, and it lists rows present in
+// only one file. With -threshold set, the exit status is 1 when any
+// common row regressed by more than the given fraction (e.g. 0.10 = 10%),
+// which is what lets CI gate on benchmark drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type row struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]row, []string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]row, len(rows))
+	names := make([]string, 0, len(rows))
+	for _, r := range rows {
+		if _, dup := m[r.Name]; !dup {
+			names = append(names, r.Name)
+		}
+		m[r.Name] = r
+	}
+	return m, names, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "fail (exit 1) if any ns/op regression exceeds this fraction; 0 disables")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRows, _, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newRows, newNames, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-32s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs Δ")
+	regressed := false
+	for _, name := range newNames {
+		n := newRows[name]
+		o, ok := oldRows[name]
+		if !ok {
+			fmt.Printf("%-32s %14s %14.1f %9s %9s\n", name, "-", n.NsPerOp, "new", "-")
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		}
+		fmt.Printf("%-32s %14.1f %14.1f %+8.1f%% %+9d\n",
+			name, o.NsPerOp, n.NsPerOp, delta*100, n.AllocsPerOp-o.AllocsPerOp)
+		if *threshold > 0 && delta > *threshold {
+			regressed = true
+		}
+	}
+	var removed []string
+	for name := range oldRows {
+		if _, ok := newRows[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Printf("%-32s %14.1f %14s %9s %9s\n", name, oldRows[name].NsPerOp, "-", "removed", "-")
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression above %.0f%% threshold\n", *threshold*100)
+		os.Exit(1)
+	}
+}

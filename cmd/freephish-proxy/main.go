@@ -39,6 +39,8 @@ func main() {
 		modelPath = flag.String("model", "", "load a trained model instead of training (see -save-model)")
 		savePath  = flag.String("save-model", "", "after training, write the model here for future -model runs")
 		opsAddr   = flag.String("ops", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this separate address")
+		workers   = flag.Int("workers", 0, "training worker pool size; 0 = one per CPU (the trained model is identical at every setting)")
+		cacheSize = flag.Int("snapshot-cache", 0, "parsed-snapshot LRU capacity; 0 = default, negative disables")
 	)
 	flag.Parse()
 
@@ -66,6 +68,7 @@ func main() {
 			train = append(train, baselines.LabeledPage{Page: features.Page{URL: b.URL, HTML: b.HTML}})
 		}
 		model = baselines.NewFreePhishModel(*seed)
+		model.SetParallelism(*workers)
 		if err := model.Train(train); err != nil {
 			log.Fatal(err)
 		}
@@ -85,6 +88,14 @@ func main() {
 	}
 
 	fetcher := crawler.NewFetcher(*upstream)
+	var snapCache *crawler.SnapshotCache
+	if *cacheSize >= 0 {
+		// Users revisit pages; the LRU makes the second check of an
+		// unchanged page skip the HTML re-parse (the fetch still happens,
+		// so takedowns are observed live).
+		snapCache = crawler.NewSnapshotCache(*cacheSize)
+		fetcher.Cache = snapCache
+	}
 	checker := proxy.NewLiveChecker(model, fetcher.Snapshot)
 	var transport http.RoundTripper
 	if *upstream != "" {
@@ -107,6 +118,16 @@ func main() {
 		}
 		decisions.With(d).Inc()
 		checkLat.Observe(wall.Seconds())
+	}
+	if snapCache != nil {
+		reg.GaugeFunc("freephish_snapshot_cache_hits_total",
+			"Live checks that reused a cached parse (unchanged body).", func() float64 {
+				return float64(snapCache.Hits())
+			})
+		reg.GaugeFunc("freephish_snapshot_cache_misses_total",
+			"Live checks that parsed a new or changed body.", func() float64 {
+				return float64(snapCache.Misses())
+			})
 	}
 	if *opsAddr != "" {
 		go func() {

@@ -48,6 +48,13 @@ func (s *StackDetector) Seed() int64 { return s.seed }
 // fn must be cheap and safe for the caller's concurrency; nil disables.
 func (s *StackDetector) SetObserver(fn func(stage string, d time.Duration)) { s.observe = fn }
 
+// SetParallelism bounds how many workers the stacked model's Fit may use
+// for its k-fold × base-learner grid; n <= 0 means runtime.GOMAXPROCS(0).
+// The fitted model is bit-identical at every setting, so this only trades
+// wall-clock for cores. Scoring is unaffected (and already safe to call
+// from concurrent pipeline workers on a trained detector).
+func (s *StackDetector) SetParallelism(n int) { s.model.Parallelism = n }
+
 // Name implements Detector.
 func (s *StackDetector) Name() string { return s.label }
 

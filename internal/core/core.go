@@ -23,6 +23,7 @@ import (
 	"freephish/internal/features"
 	"freephish/internal/fwb"
 	"freephish/internal/obs"
+	"freephish/internal/par"
 	"freephish/internal/report"
 	"freephish/internal/simclock"
 	"freephish/internal/social"
@@ -86,6 +87,16 @@ type Config struct {
 	// second of simulated time. Zero disables limiting (the default).
 	PollQuota     int
 	PollQuotaRate float64
+	// Workers bounds the pipeline's probe pool (snapshot + feature
+	// extraction + inference run concurrently across a cycle's fresh URLs)
+	// and the trainers' parallelism; 0 means runtime.GOMAXPROCS(0). Every
+	// study output is bit-identical at every setting: probes are pure, and
+	// all stateful effects — stats, RNG draws, reporting, record admission
+	// — are applied single-threaded in stream order (see pollOnce).
+	Workers int
+	// SnapshotCacheSize bounds the crawler's parsed-snapshot LRU; 0 means
+	// crawler.DefaultSnapshotCacheSize, negative disables the cache.
+	SnapshotCacheSize int
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -162,6 +173,7 @@ type FreePhish struct {
 
 	fetcher     *crawler.Fetcher
 	poller      *crawler.Poller
+	snapCache   *crawler.SnapshotCache
 	servers     []*webServer
 	feedClients map[string]*blocklist.Client
 	runStart    time.Time
@@ -253,10 +265,12 @@ func (f *FreePhish) Train() error {
 		}
 	}
 	f.Model = baselines.NewFreePhishModel(f.Config.Seed)
+	f.Model.SetParallelism(f.Config.Workers)
 	if err := f.Model.Train(fwbSamples); err != nil {
 		return fmt.Errorf("core: train FreePhish model: %w", err)
 	}
 	f.BaseModel = baselines.NewBaseStackModel(f.Config.Seed)
+	f.BaseModel.SetParallelism(f.Config.Workers)
 	if err := f.BaseModel.Train(selfSamples); err != nil {
 		return fmt.Errorf("core: train base model: %w", err)
 	}
@@ -372,6 +386,15 @@ func (f *FreePhish) createAndPost(platform threat.Platform, kind string, now tim
 // pollOnce is one streaming-module cycle: poll both platforms, snapshot and
 // classify every new URL, and register flagged URLs for longitudinal
 // observation.
+//
+// The cycle is a fan-out/fan-in: dedup runs first, single-threaded in
+// stream order (so intra-cycle reshares resolve deterministically), then
+// the fresh URLs are probed — fetched, feature-extracted, and scored — on
+// a bounded worker pool, and finally the probe results are applied
+// single-threaded in the original stream order. Probes touch only
+// read-only or thread-safe state; every stateful effect, including all
+// assessRNG draws, happens in the ordered apply phase, which is what makes
+// the study bit-identical at every Config.Workers setting.
 func (f *FreePhish) pollOnce(now time.Time) (err error) {
 	sp := f.Metrics.Tracer.Start("poll")
 	defer func() {
@@ -386,58 +409,106 @@ func (f *FreePhish) pollOnce(now time.Time) (err error) {
 	if err != nil {
 		return err
 	}
+	var fresh []crawler.StreamedURL
 	for _, su := range urls {
 		f.Stats.PostsSeen++
-		if err := f.processURL(su, now); err != nil {
+		// First appearance wins: reshared URLs are already in the study (or
+		// already rejected) and are not re-fetched.
+		if f.seenURLs[su.URL] {
+			f.Metrics.URLsDeduped.Inc()
+			continue
+		}
+		f.seenURLs[su.URL] = true
+		fresh = append(fresh, su)
+	}
+	probes, _ := par.MapOrdered(f.workers(), fresh, func(i int, su crawler.StreamedURL) (*probeResult, error) {
+		return f.probeURL(su), nil
+	})
+	for _, p := range probes {
+		if err := f.applyProbe(p, now); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (f *FreePhish) processURL(su crawler.StreamedURL, now time.Time) error {
-	// First appearance wins: reshared URLs are already in the study (or
-	// already rejected) and are not re-fetched.
-	if f.seenURLs[su.URL] {
-		f.Metrics.URLsDeduped.Inc()
-		return nil
-	}
-	f.seenURLs[su.URL] = true
+// workers resolves Config.Workers to a concrete pool size.
+func (f *FreePhish) workers() int { return par.N(f.Config.Workers) }
+
+// probeResult carries everything a probe learned about one streamed URL
+// into the ordered apply phase.
+type probeResult struct {
+	su     crawler.StreamedURL
+	page   features.Page
+	status int
+	site   *fwb.Site
+	isFWB  bool
+	cohort string
+	score  float64
+	err    error // terminal: snapshot or classification failure
+}
+
+// probeURL is the parallel half of URL processing: snapshot the page,
+// resolve the hosting site, and score it. It must not mutate framework
+// state — it runs concurrently with other probes — so it only touches the
+// fetcher (whose cache is internally synchronized), the read-locked host
+// registry, the trained (read-only) models, and atomic metrics.
+func (f *FreePhish) probeURL(su crawler.StreamedURL) *probeResult {
+	p := &probeResult{su: su}
 	fsp := f.Metrics.Tracer.Start("fetch")
 	page, status, err := f.fetcher.Snapshot(su.URL)
 	fsp.EndErr(err)
 	if err != nil {
-		return fmt.Errorf("core: snapshot %q: %w", su.URL, err)
+		p.err = fmt.Errorf("core: snapshot %q: %w", su.URL, err)
+		return p
 	}
+	p.page, p.status = page, status
 	if status != 200 {
-		return nil // already gone by the time we crawled it
+		return p // already gone by the time we crawled it
 	}
-	f.Stats.URLsScanned++
-
-	site := f.Host.Lookup(su.URL)
-	if site == nil {
-		return nil
+	p.site = f.Host.Lookup(su.URL)
+	if p.site == nil {
+		return p
 	}
-	isFWB := site.Service != nil
-	cohort := "self-hosted"
-	if isFWB {
-		cohort = "fwb"
+	p.isFWB = p.site.Service != nil
+	p.cohort = "self-hosted"
+	if p.isFWB {
+		p.cohort = "fwb"
 	}
-
 	csp := f.Metrics.Tracer.Start("classify")
 	c0 := time.Now()
-	var score float64
-	if isFWB {
-		score, err = f.Model.Score(page)
+	if p.isFWB {
+		p.score, err = f.Model.Score(page)
 	} else {
-		score, err = f.BaseModel.Score(page)
+		p.score, err = f.BaseModel.Score(page)
 	}
-	f.Metrics.ClassifySeconds.With(cohort).Observe(time.Since(c0).Seconds())
+	f.Metrics.ClassifySeconds.With(p.cohort).Observe(time.Since(c0).Seconds())
 	csp.EndErr(err)
 	if err != nil {
-		return err
+		p.err = err
+		return p
 	}
-	f.Metrics.Scores.With(cohort).Observe(score)
+	f.Metrics.Scores.With(p.cohort).Observe(p.score)
+	return p
+}
+
+// applyProbe is the sequential half: it consumes one probe in stream order
+// and performs every stateful effect — counters, blocklist/VT/moderation
+// assessments (all assessRNG draws live here), reporting, and record
+// admission. Keeping this single-threaded in input order is the
+// determinism contract of the parallel pipeline.
+func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.status != 200 {
+		return nil
+	}
+	f.Stats.URLsScanned++
+	if p.site == nil {
+		return nil
+	}
+	su, page, site, isFWB, cohort, score := p.su, p.page, p.site, p.isFWB, p.cohort, p.score
 	flagged := score >= 0.5
 	truth := site.Kind.IsMalicious()
 	switch {

@@ -151,6 +151,21 @@ func (f *FreePhish) wireMetrics() {
 	}
 	f.Model.SetObserver(stageObs)
 	f.BaseModel.SetObserver(stageObs)
+	if f.snapCache != nil {
+		c := f.snapCache
+		f.Metrics.Registry.GaugeFunc("freephish_snapshot_cache_hits_total",
+			"Snapshot probes that reused a cached parse (unchanged body).", func() float64 {
+				return float64(c.Hits())
+			})
+		f.Metrics.Registry.GaugeFunc("freephish_snapshot_cache_misses_total",
+			"Snapshot probes that parsed a new or changed body.", func() float64 {
+				return float64(c.Misses())
+			})
+		f.Metrics.Registry.GaugeFunc("freephish_snapshot_cache_entries",
+			"Parsed snapshots currently resident in the LRU.", func() float64 {
+				return float64(c.Len())
+			})
+	}
 	if f.poller.Limiter != nil {
 		lim := f.poller.Limiter
 		f.Metrics.Registry.GaugeFunc("freephish_ratelimit_throttled_total",

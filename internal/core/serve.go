@@ -64,6 +64,10 @@ func (f *FreePhish) startServers() error {
 		endpoints[plat] = s.base
 	}
 	f.fetcher = crawler.NewFetcher(hostSrv.base)
+	if f.Config.SnapshotCacheSize >= 0 {
+		f.snapCache = crawler.NewSnapshotCache(f.Config.SnapshotCacheSize)
+		f.fetcher.Cache = f.snapCache
+	}
 	f.poller = crawler.NewPoller(endpoints, http.DefaultClient, f.Config.Epoch)
 	if f.Config.PollQuota > 0 {
 		// Quota bucket against the simulation clock, so throttling scales

@@ -161,6 +161,11 @@ type Fetcher struct {
 	// total wall-clock latency including retries, and the terminal error
 	// if every attempt failed. Must be cheap; it runs per fetched URL.
 	Observe func(status, attempts int, wall time.Duration, err error)
+	// Cache, when set, resolves 200 responses through the snapshot LRU so
+	// byte-identical re-probes of a URL (monitor re-checks, proxy repeat
+	// visits) reuse one parsed DOM instead of re-parsing per probe. The
+	// fetch itself always happens — only the parse is deduplicated.
+	Cache *SnapshotCache
 }
 
 // NewFetcher returns a Fetcher pointed at the simulation endpoint.
@@ -229,6 +234,9 @@ func (f *Fetcher) Snapshot(rawURL string) (features.Page, int, error) {
 		}
 		if f.Observe != nil {
 			f.Observe(resp.StatusCode, attempt+1, time.Since(start), nil)
+		}
+		if f.Cache != nil && resp.StatusCode == http.StatusOK {
+			return f.Cache.Page(rawURL, string(body)), resp.StatusCode, nil
 		}
 		return features.Page{URL: rawURL, HTML: string(body)}, resp.StatusCode, nil
 	}

@@ -15,10 +15,15 @@ import (
 	"freephish/internal/urlx"
 )
 
-// Page is the crawler snapshot a feature vector is extracted from.
+// Page is the crawler snapshot a feature vector is extracted from. Doc,
+// when non-nil, is the pre-parsed DOM of HTML — the crawler's snapshot
+// cache populates it so repeated extractions of an unchanged body share
+// one parse. The tree must correspond to HTML and is treated as
+// read-only, so a shared Doc is safe under concurrent extraction.
 type Page struct {
 	URL  string
 	HTML string
+	Doc  *htmlx.Node
 }
 
 // Feature names, in canonical vector order.
@@ -127,7 +132,10 @@ func Extract(p Page) (map[string]float64, error) {
 	out[FMultipleTLDs] = b2f(multipleTLDs(u))
 
 	// HTML features.
-	doc := htmlx.Parse(p.HTML)
+	doc := p.Doc
+	if doc == nil {
+		doc = htmlx.Parse(p.HTML)
+	}
 	var internal, external, empty int
 	for _, a := range doc.FindAll("a") {
 		href := a.AttrOr("href", "")

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"freephish/internal/par"
 	"freephish/internal/simclock"
 )
 
@@ -29,6 +30,13 @@ type BoostConfig struct {
 	Patience       int
 	// Seed drives the validation split.
 	Seed int64
+	// Parallelism bounds the per-feature split-search fan-out inside each
+	// boosting round; 0 means runtime.GOMAXPROCS(0). Boosting rounds are
+	// inherently sequential, but split finding across features is not,
+	// and the parallel search reduces in feature order so the fitted
+	// ensemble is identical at every setting. Not persisted with the
+	// model: it describes the fitting machine, not the fit.
+	Parallelism int `json:"-"`
 }
 
 // GradientBooster is a binary log-loss gradient-boosted tree ensemble. The
@@ -114,6 +122,7 @@ func (gb *GradientBooster) fit(d *Dataset) error {
 	for i := range idx {
 		idx[i] = i
 	}
+	workers := par.N(gb.Config.Parallelism)
 	ctx := &buildCtx{
 		X: d.X, grad: grad, hess: hess,
 		p: treeParams{
@@ -125,6 +134,7 @@ func (gb *GradientBooster) fit(d *Dataset) error {
 			gamma:          gb.Config.Gamma,
 			useHessian:     gb.Config.UseHessian,
 			bins:           gb.Config.Bins,
+			workers:        workers,
 		},
 	}
 	for round := 0; round < gb.Config.Rounds; round++ {
@@ -138,8 +148,16 @@ func (gb *GradientBooster) fit(d *Dataset) error {
 		}
 		t := buildTree(ctx, idx)
 		gb.trees = append(gb.trees, t)
-		for i := 0; i < n; i++ {
-			raw[i] += gb.Config.LearningRate * t.predict(d.X[i])
+		// Per-sample routing through the new tree is independent work with
+		// disjoint writes, so the update fans out when n justifies it.
+		if workers > 1 && n >= parallelSplitMinRows {
+			par.Do(workers, n, func(i int) {
+				raw[i] += gb.Config.LearningRate * t.predict(d.X[i])
+			})
+		} else {
+			for i := 0; i < n; i++ {
+				raw[i] += gb.Config.LearningRate * t.predict(d.X[i])
+			}
 		}
 	}
 	return nil

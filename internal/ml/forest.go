@@ -4,7 +4,9 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"strconv"
 
+	"freephish/internal/par"
 	"freephish/internal/simclock"
 )
 
@@ -17,6 +19,11 @@ type ForestConfig struct {
 	// 0 means sqrt(nFeatures).
 	FeatureFrac float64
 	Seed        int64
+	// Parallelism bounds how many trees grow concurrently during Fit;
+	// 0 means runtime.GOMAXPROCS(0). The fitted forest is bit-identical
+	// at every setting: each tree draws from its own pre-derived RNG
+	// stream, so growth order cannot perturb the draws.
+	Parallelism int `json:"-"`
 }
 
 // RandomForest is a bagged ensemble of Gini-split classification trees —
@@ -42,6 +49,10 @@ type giniNode struct {
 	right     int
 	leaf      bool
 	prob      float64 // P(y=1) at the leaf
+	// gain is the node's impurity decrease weighted by the fraction of
+	// the tree's samples that reach it — the per-node term of the
+	// mean-decrease-in-impurity importance.
+	gain float64
 }
 
 type giniTree struct {
@@ -72,7 +83,6 @@ func (rf *RandomForest) Fit(d *Dataset) error {
 	if d.Len() == 0 {
 		return errors.New("ml: empty dataset")
 	}
-	rng := simclock.NewRNG(rf.Config.Seed, "ml.forest")
 	nFeat := len(d.Names)
 	mtry := int(rf.Config.FeatureFrac * float64(nFeat))
 	if mtry <= 0 {
@@ -81,18 +91,22 @@ func (rf *RandomForest) Fit(d *Dataset) error {
 			mtry = 1
 		}
 	}
-	rf.trees = rf.trees[:0]
-	for i := 0; i < rf.Config.Trees; i++ {
-		// Bootstrap sample.
+	trees := make([]*giniTree, rf.Config.Trees)
+	par.Do(rf.Config.Parallelism, rf.Config.Trees, func(i int) {
+		// Each tree owns a stream derived from (seed, tree ordinal): its
+		// bootstrap and per-split feature draws are independent of how the
+		// pool schedules the trees.
+		rng := simclock.NewRNG(rf.Config.Seed, "ml.forest.tree."+strconv.Itoa(i))
 		idx := make([]int, d.Len())
 		for j := range idx {
 			idx[j] = rng.Intn(d.Len())
 		}
-		b := &giniBuilder{d: d, rng: rng, mtry: mtry, cfg: rf.Config}
+		b := &giniBuilder{d: d, rng: rng, mtry: mtry, cfg: rf.Config, rootN: len(idx)}
 		t := &giniTree{}
 		b.grow(t, idx, 0)
-		rf.trees = append(rf.trees, t)
-	}
+		trees[i] = t
+	})
+	rf.trees = trees
 	return nil
 }
 
@@ -113,6 +127,9 @@ type giniBuilder struct {
 	rng  *simclock.RNG
 	mtry int
 	cfg  ForestConfig
+	// rootN is the bootstrap sample size, the denominator of the
+	// per-node sample fraction in the importance weighting.
+	rootN int
 }
 
 func (b *giniBuilder) grow(t *giniTree, idx []int, depth int) int {
@@ -129,7 +146,7 @@ func (b *giniBuilder) grow(t *giniTree, idx []int, depth int) int {
 	if depth >= b.cfg.MaxDepth || len(idx) < 2*b.cfg.MinSamplesLeaf || pos == 0 || pos == len(idx) {
 		return node
 	}
-	f, thr, ok := b.bestSplit(idx)
+	f, thr, gain, ok := b.bestSplit(idx)
 	if !ok {
 		return node
 	}
@@ -147,6 +164,7 @@ func (b *giniBuilder) grow(t *giniTree, idx []int, depth int) int {
 	t.nodes[node].leaf = false
 	t.nodes[node].feature = f
 	t.nodes[node].threshold = thr
+	t.nodes[node].gain = gain * float64(len(idx)) / float64(b.rootN)
 	l := b.grow(t, left, depth+1)
 	r := b.grow(t, right, depth+1)
 	t.nodes[node].left = l
@@ -162,7 +180,7 @@ func gini(pos, n int) float64 {
 	return 2 * p * (1 - p)
 }
 
-func (b *giniBuilder) bestSplit(idx []int) (feature int, threshold float64, ok bool) {
+func (b *giniBuilder) bestSplit(idx []int) (feature int, threshold, gain float64, ok bool) {
 	nFeat := len(b.d.Names)
 	feats := b.rng.Perm(nFeat)[:b.mtry]
 	totPos := 0
@@ -184,14 +202,14 @@ func (b *giniBuilder) bestSplit(idx []int) (feature int, threshold float64, ok b
 			}
 			nl, nr := k+1, len(ord)-k-1
 			wl := float64(nl) / float64(len(ord))
-			gain := parent - wl*gini(leftPos, nl) - (1-wl)*gini(totPos-leftPos, nr)
-			if gain > bestGain {
-				bestGain = gain
+			g := parent - wl*gini(leftPos, nl) - (1-wl)*gini(totPos-leftPos, nr)
+			if g > bestGain {
+				bestGain = g
 				feature = f
 				threshold = (v + next) / 2
 				ok = true
 			}
 		}
 	}
-	return feature, threshold, ok
+	return feature, threshold, bestGain, ok
 }

@@ -32,8 +32,10 @@ func (gb *GradientBooster) FeatureImportance(nFeatures int) []float64 {
 	return counts
 }
 
-// FeatureImportance for a random forest, by the same split-frequency
-// definition.
+// FeatureImportance for a random forest, by normalized mean decrease in
+// impurity: each split contributes its Gini gain weighted by the fraction
+// of the tree's samples it acts on. Unlike raw split frequency, this does
+// not reward features that are split on often but barely reduce impurity.
 func (rf *RandomForest) FeatureImportance(nFeatures int) []float64 {
 	if len(rf.trees) == 0 || nFeatures <= 0 {
 		return nil
@@ -43,8 +45,8 @@ func (rf *RandomForest) FeatureImportance(nFeatures int) []float64 {
 	for _, t := range rf.trees {
 		for _, n := range t.nodes {
 			if !n.leaf && n.feature < nFeatures {
-				counts[n.feature]++
-				total++
+				counts[n.feature] += n.gain
+				total += n.gain
 			}
 		}
 	}

@@ -1,0 +1,73 @@
+package ml
+
+import "testing"
+
+// The parallelism contract: every trainer produces a bit-identical model at
+// every Parallelism setting. These tests fit each family at 1 and 8 workers
+// on a dataset large enough to cross the parallel split-search threshold
+// and compare raw predicted probabilities exactly.
+
+func assertSamePredictions(t *testing.T, d *Dataset, a, b Classifier) {
+	t.Helper()
+	for i := 0; i < d.Len(); i++ {
+		pa, pb := a.PredictProba(d.X[i]), b.PredictProba(d.X[i])
+		if pa != pb {
+			t.Fatalf("row %d: parallel=%v sequential=%v diverge", i, pb, pa)
+		}
+	}
+}
+
+func TestForestParallelismInvariant(t *testing.T) {
+	d := synthDataset(400, 0.05, 17)
+	seq, parl := NewRandomForest(17), NewRandomForest(17)
+	seq.Config.Parallelism = 1
+	parl.Config.Parallelism = 8
+	if err := seq.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := parl.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, d, seq, parl)
+}
+
+func TestBoosterParallelismInvariant(t *testing.T) {
+	// 600 rows keeps root-node splits above parallelSplitMinRows so the
+	// concurrent search path actually executes.
+	d := synthDataset(600, 0.05, 23)
+	for name, mk := range map[string]func() *GradientBooster{
+		"gbdt": NewGBDT, "xgboost": NewXGBoost, "lightgbm": NewLightGBM,
+	} {
+		seq, parl := mk(), mk()
+		seq.Config.Parallelism = 1
+		parl.Config.Parallelism = 8
+		if err := seq.Fit(d); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := parl.Fit(d); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if seq.NumTrees() != parl.NumTrees() {
+			t.Fatalf("%s: tree counts diverge: %d vs %d", name, seq.NumTrees(), parl.NumTrees())
+		}
+		assertSamePredictions(t, d, seq, parl)
+	}
+}
+
+func TestStackParallelismInvariant(t *testing.T) {
+	d := synthDataset(300, 0.05, 31)
+	seq, parl := NewStackModel(31), NewStackModel(31)
+	seq.Parallelism = 1
+	parl.Parallelism = 8
+	if err := seq.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := parl.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		if pa, pb := seq.PredictProba(d.X[i]), parl.PredictProba(d.X[i]); pa != pb {
+			t.Fatalf("row %d: stack predictions diverge: %v vs %v", i, pa, pb)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package ml
 import (
 	"errors"
 
+	"freephish/internal/par"
 	"freephish/internal/simclock"
 )
 
@@ -19,6 +20,11 @@ import (
 type StackModel struct {
 	Folds int
 	Seed  int64
+	// Parallelism bounds concurrent (fold × base-learner) fits during Fit;
+	// 0 means runtime.GOMAXPROCS(0). The fold split is drawn before any
+	// fitting starts and each job writes disjoint out-of-fold slots, so
+	// the trained stack is identical at every setting.
+	Parallelism int
 
 	base  []*GradientBooster // refit on the full training set for inference
 	meta  *GradientBooster
@@ -34,6 +40,28 @@ func newBaseModels() []*GradientBooster {
 	return []*GradientBooster{NewGBDT(), NewXGBoost(), NewLightGBM()}
 }
 
+// newBaseModel constructs the m-th base learner of the lineup.
+func newBaseModel(m int) *GradientBooster {
+	switch m {
+	case 0:
+		return NewGBDT()
+	case 1:
+		return NewXGBoost()
+	default:
+		return NewLightGBM()
+	}
+}
+
+// innerParallelism decides the split-search fan-out each fitted booster
+// gets: when the stack-level jobs already saturate the workers, nesting
+// more goroutines under them only adds scheduling overhead.
+func innerParallelism(stackWorkers int) int {
+	if stackWorkers > 1 {
+		return 1
+	}
+	return stackWorkers
+}
+
 // Fit trains the two layers.
 func (s *StackModel) Fit(d *Dataset) error {
 	if err := d.Validate(); err != nil {
@@ -46,24 +74,42 @@ func (s *StackModel) Fit(d *Dataset) error {
 	s.nFeat = len(d.Names)
 	rng := simclock.NewRNG(s.Seed, "ml.stack")
 	nBase := len(newBaseModels())
+	workers := par.N(s.Parallelism)
+	inner := innerParallelism(workers)
 
-	// Out-of-fold base predictions.
+	// Out-of-fold base predictions. The folds are drawn before any model
+	// fitting starts, and each (fold, learner) job reads a shared train
+	// subset and writes only its own oof column over its own test rows —
+	// so the jobs can run in any order, on any number of workers, without
+	// changing a single prediction.
 	oof := make([][]float64, n) // [sample][base model]
 	for i := range oof {
 		oof[i] = make([]float64, nBase)
 	}
-	for _, fold := range KFold(n, s.Folds, rng) {
-		trainIdx, testIdx := fold[0], fold[1]
-		trainSet := d.Subset(trainIdx)
-		models := newBaseModels()
-		for m, gb := range models {
-			if err := gb.Fit(trainSet); err != nil {
-				return err
-			}
-			for _, i := range testIdx {
-				oof[i][m] = gb.PredictProba(d.X[i])
-			}
+	folds := KFold(n, s.Folds, rng)
+	trainSets := make([]*Dataset, len(folds))
+	for fi, fold := range folds {
+		trainSets[fi] = d.Subset(fold[0])
+	}
+	type job struct{ fold, model int }
+	jobs := make([]job, 0, len(folds)*nBase)
+	for fi := range folds {
+		for m := 0; m < nBase; m++ {
+			jobs = append(jobs, job{fi, m})
 		}
+	}
+	if _, err := par.MapOrdered(workers, jobs, func(_ int, j job) (struct{}, error) {
+		gb := newBaseModel(j.model)
+		gb.Config.Parallelism = inner
+		if err := gb.Fit(trainSets[j.fold]); err != nil {
+			return struct{}{}, err
+		}
+		for _, i := range folds[j.fold][1] {
+			oof[i][j.model] = gb.PredictProba(d.X[i])
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		return err
 	}
 
 	// Meta dataset: original features + base probabilities + majority vote.
@@ -76,16 +122,18 @@ func (s *StackModel) Fit(d *Dataset) error {
 		meta.X[i] = s.metaRow(d.X[i], oof[i])
 	}
 	s.meta = NewGBDT()
+	s.meta.Config.Parallelism = s.Parallelism
 	if err := s.meta.Fit(meta); err != nil {
 		return err
 	}
 
 	// Refit base models on the full training set for inference time.
 	s.base = newBaseModels()
-	for _, gb := range s.base {
-		if err := gb.Fit(d); err != nil {
-			return err
-		}
+	if _, err := par.MapOrdered(workers, s.base, func(_ int, gb *GradientBooster) (struct{}, error) {
+		gb.Config.Parallelism = inner
+		return struct{}{}, gb.Fit(d)
+	}); err != nil {
+		return err
 	}
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"math"
 	"sort"
+
+	"freephish/internal/par"
 )
 
 // treeParams controls regression-tree growth for the boosting variants.
@@ -16,7 +18,12 @@ type treeParams struct {
 	gamma          float64 // minimum gain to split
 	useHessian     bool    // second-order leaf values and gains
 	bins           int     // 0 = exact splits; >0 = histogram splits (LightGBM style)
+	workers        int     // worker cap for the per-feature split search; <=1 = serial
 }
+
+// parallelSplitMinRows gates the per-feature fan-out: below this node size
+// the goroutine handoff costs more than the scan it distributes.
+const parallelSplitMinRows = 256
 
 // regNode is one node of a regression tree, stored flat.
 type regNode struct {
@@ -102,17 +109,30 @@ func (c *buildCtx) findSplit(idx []int) split {
 		totH += c.hess[i]
 	}
 	base := c.score(totG, totH, len(idx))
-	best := split{gain: c.p.gamma}
 	nFeat := len(c.X[0])
-	for f := 0; f < nFeat; f++ {
-		var s split
+	// Features are searched independently (possibly concurrently) into a
+	// per-feature slot, then reduced in ascending feature order with the
+	// same strict-improvement rule the serial scan used — so ties between
+	// equal-gain features resolve identically at every worker count.
+	splits := make([]split, nFeat)
+	search := func(f int) {
 		if c.p.bins > 0 {
-			s = c.histSplit(idx, f, totG, totH, base)
+			splits[f] = c.histSplit(idx, f, totG, totH, base)
 		} else {
-			s = c.exactSplit(idx, f, totG, totH, base)
+			splits[f] = c.exactSplit(idx, f, totG, totH, base)
 		}
-		if s.ok && s.gain > best.gain {
-			best = s
+	}
+	if c.p.workers > 1 && len(idx) >= parallelSplitMinRows {
+		par.Do(c.p.workers, nFeat, search)
+	} else {
+		for f := 0; f < nFeat; f++ {
+			search(f)
+		}
+	}
+	best := split{gain: c.p.gamma}
+	for f := 0; f < nFeat; f++ {
+		if splits[f].ok && splits[f].gain > best.gain {
+			best = splits[f]
 			best.ok = true
 		}
 	}

@@ -1,0 +1,160 @@
+// Package par provides the small deterministic-concurrency primitives the
+// pipeline and the ML trainers share: a bounded worker pool with ordered
+// fan-in. The design contract, relied on throughout the repository, is that
+// parallel execution never changes results — workers receive their inputs
+// by index, write their outputs by index, and any error reported is the one
+// the equivalent sequential loop would have hit first. Panics inside
+// workers are recovered, the pool is drained (no goroutine leaks), and the
+// panic is re-raised on the caller's goroutine.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// N resolves a Parallelism knob: n itself when positive, otherwise
+// runtime.GOMAXPROCS(0). Every Parallelism/Workers option in the
+// repository routes through this, so "0 = use all cores" is uniform.
+func N(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError wraps a value recovered from a worker panic so it can be
+// re-raised on the caller's goroutine with the worker's stack attached.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("par: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// MapOrdered applies fn to every item using at most workers goroutines and
+// returns the results in input order. All items are attempted even when
+// some fail; the returned error is the one with the lowest input index —
+// exactly the error a sequential loop over items would return first — so
+// error selection is independent of goroutine scheduling. If a worker
+// panics, remaining in-flight work drains, queued work is skipped, and the
+// lowest-index panic is re-raised here wrapped in *PanicError.
+func MapOrdered[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	results := make([]R, n)
+	errs := make([]error, n)
+	w := N(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i, item := range items {
+			results[i], errs[i] = fn(i, item)
+		}
+		return results, firstErr(errs)
+	}
+
+	var next atomic.Int64
+	var panicked atomic.Bool
+	panics := make([]*PanicError, n)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							buf := make([]byte, 4096)
+							buf = buf[:runtime.Stack(buf, false)]
+							panics[i] = &PanicError{Value: r, Stack: buf}
+							panicked.Store(true)
+						}
+					}()
+					results[i], errs[i] = fn(i, items[i])
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		for _, p := range panics {
+			if p != nil {
+				panic(p)
+			}
+		}
+	}
+	return results, firstErr(errs)
+}
+
+// Do runs fn(i) for every i in [0, n) using at most workers goroutines and
+// returns once all calls complete. It is MapOrdered without results or
+// errors: the caller writes outputs into pre-sized slices by index, which
+// keeps the fan-in trivially ordered. Worker panics are re-raised on the
+// caller's goroutine after the pool drains.
+func Do(workers, n int, fn func(i int)) {
+	w := N(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var panicked atomic.Bool
+	panics := make([]*PanicError, n)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							buf := make([]byte, 4096)
+							buf = buf[:runtime.Stack(buf, false)]
+							panics[i] = &PanicError{Value: r, Stack: buf}
+							panicked.Store(true)
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		for _, p := range panics {
+			if p != nil {
+				panic(p)
+			}
+		}
+	}
+}
+
+// firstErr returns the non-nil error with the lowest index.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
