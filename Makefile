@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check clean
+.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends clean
 
 all: build
 
@@ -28,6 +28,11 @@ fmt-check:
 # ci is the gate: formatting, static analysis, and the full test suite
 # under the race detector.
 ci: fmt-check vet race
+
+# verify-backends proves the ports-and-adapters boundary: the same seed
+# through the inproc and http backends must yield a byte-identical study.
+verify-backends:
+	$(GO) test ./internal/core -run TestCrossBackendEquivalence -count=1 -v
 
 bench:
 	$(GO) test -bench=. -benchmem .

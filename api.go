@@ -144,6 +144,11 @@ type StudyConfig struct {
 	// parallelism; 0 means one worker per CPU. Results are bit-identical
 	// at every setting — parallelism only trades wall-clock for cores.
 	Workers int
+	// Backend selects how the pipeline reaches the simulated world:
+	// "inproc" (the default) binds it directly, "http" serves every
+	// component on real loopback listeners and goes through the wire. The
+	// resulting study is bit-identical either way.
+	Backend string
 	// Progress, when set, is invoked after every streaming poll cycle —
 	// the hook by which long study runs narrate themselves.
 	Progress func(Progress)
@@ -185,6 +190,7 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 		c.TrainPerClass = cfg.TrainPerClass
 	}
 	c.Workers = cfg.Workers
+	c.Backend = cfg.Backend
 	if cfg.Progress != nil {
 		hook := cfg.Progress
 		c.Progress = func(ev core.ProgressEvent) {

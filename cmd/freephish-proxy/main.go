@@ -1,7 +1,7 @@
 // Command freephish-proxy runs the FreePhish protective proxy — the Go
 // counterpart of the paper's Chromium web extension (Figure 13):
 //
-//	freephish-proxy [-addr 127.0.0.1:8899] [-train 400] [-seed 1] [-upstream URL]
+//	freephish-proxy [-addr 127.0.0.1:8899] [-train 400] [-seed 1] [-upstream URL] [-backend http|inproc]
 //
 // The proxy trains the FreePhish classifier on a generated ground-truth
 // corpus at startup and then blocks navigation to FWB pages it classifies
@@ -28,6 +28,7 @@ import (
 	"freephish/internal/obs"
 	"freephish/internal/proxy"
 	"freephish/internal/webgen"
+	"freephish/internal/world"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func main() {
 		opsAddr   = flag.String("ops", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this separate address")
 		workers   = flag.Int("workers", 0, "training worker pool size; 0 = one per CPU (the trained model is identical at every setting)")
 		cacheSize = flag.Int("snapshot-cache", 0, "parsed-snapshot LRU capacity; 0 = default, negative disables")
+		backend   = flag.String("backend", "http", "how fetches reach the web: http (via -upstream or the real network) or inproc (serve a seeded simulated FWB web in this process; no fwbhost needed)")
 	)
 	flag.Parse()
 
@@ -88,6 +90,35 @@ func main() {
 	}
 
 	fetcher := crawler.NewFetcher(*upstream)
+	var transport http.RoundTripper
+	switch *backend {
+	case "http":
+		if *upstream != "" {
+			transport = fetchTransport{crawler.NewFetcher(*upstream)}
+		}
+	case "inproc":
+		// The fwbhost demo, minus the process: a seeded simulated web is
+		// built here and every fetch dispatches to it in-process.
+		host, nSites, nPhish := simWeb(*seed)
+		rt := world.NewHandlerTransport()
+		rt.Handle("web.inproc", host)
+		client := &http.Client{Transport: rt, Timeout: 10 * time.Second}
+		fetcher.Base = "http://web.inproc"
+		fetcher.Client = client
+		pass := crawler.NewFetcher("http://web.inproc")
+		pass.Client = client
+		transport = fetchTransport{pass}
+		log.Printf("inproc backend: %d simulated FWB sites served in-process (%d phishing)", nSites, nPhish)
+		for i, site := range host.Sites() {
+			if i >= 5 {
+				log.Printf("  ... and %d more", len(host.Sites())-i)
+				break
+			}
+			log.Printf("  [%-12s] curl -x http://%s '%s'", site.Kind, *addr, site.URL)
+		}
+	default:
+		log.Fatalf("unknown -backend %q (want http or inproc)", *backend)
+	}
 	var snapCache *crawler.SnapshotCache
 	if *cacheSize >= 0 {
 		// Users revisit pages; the LRU makes the second check of an
@@ -97,10 +128,6 @@ func main() {
 		fetcher.Cache = snapCache
 	}
 	checker := proxy.NewLiveChecker(model, fetcher.Snapshot)
-	var transport http.RoundTripper
-	if *upstream != "" {
-		transport = rewriteTransport{base: *upstream}
-	}
 	px := proxy.New(checker, transport)
 
 	// Per-request decision and latency metrics; the ops listener is
@@ -172,16 +199,39 @@ func orDirect(s string) string {
 	return s
 }
 
-// rewriteTransport routes passed-through requests to the upstream fwbhost
-// while preserving the virtual Host header.
-type rewriteTransport struct{ base string }
+// fetchTransport routes passed-through requests via a Fetcher (pointed at
+// the upstream fwbhost or the in-process simulated web) while preserving
+// the virtual Host header.
+type fetchTransport struct{ f *crawler.Fetcher }
 
-func (t rewriteTransport) RoundTrip(r *http.Request) (*http.Response, error) {
-	f := crawler.NewFetcher(t.base)
-	page, status, err := f.Snapshot(r.URL.String())
+func (t fetchTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	page, status, err := t.f.Snapshot(r.URL.String())
 	if err != nil {
 		return nil, err
 	}
 	rec := newBodyResponse(status, page.HTML, r)
 	return rec, nil
+}
+
+// simWeb builds the seeded simulated FWB web the inproc backend serves —
+// the same population cmd/fwbhost publishes.
+func simWeb(seed int64) (*fwb.Host, int, int) {
+	const sites = 40
+	const phishFrac = 0.4
+	host := fwb.NewHost(time.Now)
+	g := webgen.NewGenerator(seed, nil, nil)
+	epoch := time.Now()
+	nPhish := int(sites * phishFrac)
+	for i := 0; i < sites; i++ {
+		var site *fwb.Site
+		if i < nPhish {
+			site = g.PhishingFWBSite(g.PickService(), epoch)
+		} else {
+			site = g.BenignFWBSite(g.PickServiceUniform(), epoch)
+		}
+		if err := host.Publish(site); err != nil {
+			continue
+		}
+	}
+	return host, sites, nPhish
 }

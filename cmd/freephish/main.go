@@ -1,7 +1,7 @@
 // Command freephish runs the full FreePhish reproduction study and prints
 // every table and figure from the paper's evaluation:
 //
-//	freephish [-scale 0.05] [-seed 1] [-workers N] [-table2 600] [-skip-table2]
+//	freephish [-scale 0.05] [-seed 1] [-workers N] [-backend inproc|http] [-table2 600] [-skip-table2]
 //
 // At -scale 1.0 it streams the paper's full populations (31,405 FWB +
 // 31,405 self-hosted URLs over six virtual months); the default scale keeps
@@ -33,6 +33,7 @@ func main() {
 		skipTable2 = flag.Bool("skip-table2", false, "skip the Table 2 model comparison (the slowest step)")
 		table1N    = flag.Int("table1", 15, "site pairs per FWB for Table 1")
 		workers    = flag.Int("workers", 0, "pipeline/training worker pool size; 0 = one per CPU (results identical at every setting)")
+		backend    = flag.String("backend", core.BackendInproc, "world backend: inproc (in-process dispatch) or http (real loopback servers); results identical either way")
 		outPath    = flag.String("out", "", "write the study's records as JSONL to this file")
 		opsAddr    = flag.String("ops", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address while the study runs")
 		linger     = flag.Bool("linger", false, "with -ops, keep serving the ops endpoints after the study completes")
@@ -84,6 +85,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Scale = *scale
 	cfg.Workers = *workers
+	cfg.Backend = *backend
 	cfg.Registry = reg
 	fp := core.New(cfg)
 	fmt.Println("training classifiers on the ground-truth corpus...")

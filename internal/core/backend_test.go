@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"net"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// equivalenceConfig is small enough to run the study twice in one test
+// while still streaming both cohorts and exercising the monitor.
+func equivalenceConfig(backend string) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = 13
+	cfg.Scale = 0.003
+	cfg.TrainPerClass = 80
+	cfg.Workers = 4
+	cfg.MonitorInterval = 24 * time.Hour
+	cfg.Backend = backend
+	return cfg
+}
+
+// TestCrossBackendEquivalence is the tentpole acceptance check: the same
+// seed pushed through the in-process port wiring and through real
+// loopback HTTP servers must produce byte-identical studies. Everything
+// stateful happens in the Sim in stream order, so the access path — direct
+// call or wire round-trip — must not be observable in the results.
+func TestCrossBackendEquivalence(t *testing.T) {
+	type run struct {
+		jsonl   []byte
+		stats   Stats
+		obs     map[string]*Observation
+		table3  string
+		figure5 string
+	}
+	runBackend := func(backend string) run {
+		t.Helper()
+		f := New(equivalenceConfig(backend))
+		study, err := f.Run()
+		if err != nil {
+			t.Fatalf("%s backend: %v", backend, err)
+		}
+		if err := f.Verify(); err != nil {
+			t.Fatalf("%s backend failed verification: %v", backend, err)
+		}
+		if len(study.Records) == 0 {
+			t.Fatalf("%s backend produced no records", backend)
+		}
+		var buf bytes.Buffer
+		if err := study.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return run{
+			jsonl:   buf.Bytes(),
+			stats:   f.Stats,
+			obs:     f.Observations,
+			table3:  RenderTable3(study),
+			figure5: RenderFigure5(study, 15),
+		}
+	}
+
+	inproc := runBackend(BackendInproc)
+	overHTTP := runBackend(BackendHTTP)
+
+	if !bytes.Equal(inproc.jsonl, overHTTP.jsonl) {
+		a := strings.Split(string(inproc.jsonl), "\n")
+		b := strings.Split(string(overHTTP.jsonl), "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("study diverges at record %d:\ninproc: %s\nhttp:   %s", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("study lengths diverge: inproc %d records, http %d", len(a), len(b))
+	}
+	if inproc.stats != overHTTP.stats {
+		t.Errorf("stats diverge:\ninproc: %+v\nhttp:   %+v", inproc.stats, overHTTP.stats)
+	}
+	if !reflect.DeepEqual(inproc.obs, overHTTP.obs) {
+		t.Errorf("monitor observations diverge: inproc %d URLs, http %d", len(inproc.obs), len(overHTTP.obs))
+	}
+	if inproc.table3 != overHTTP.table3 {
+		t.Errorf("Table 3 diverges:\n%s\nvs\n%s", inproc.table3, overHTTP.table3)
+	}
+	if inproc.figure5 != overHTTP.figure5 {
+		t.Errorf("Figure 5 diverges")
+	}
+}
+
+// TestPipelineFilesFreeOfSimulatorImports pins the ports-and-adapters
+// boundary: the pipeline sources may speak only to world ports, never to
+// the simulator packages behind them. New direct imports of the simulated
+// world are architecture regressions even when they compile.
+func TestPipelineFilesFreeOfSimulatorImports(t *testing.T) {
+	pipelineFiles := []string{"core.go", "serve.go", "monitor.go", "verify.go", "metrics.go", "eval.go"}
+	banned := []string{
+		"freephish/internal/fwb",
+		"freephish/internal/social",
+		"freephish/internal/vtsim",
+		"freephish/internal/webgen",
+		"freephish/internal/whois",
+		"freephish/internal/ctlog",
+	}
+	fset := token.NewFileSet()
+	for _, name := range pipelineFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, bad := range banned {
+				if path == bad {
+					t.Errorf("%s imports %s: the pipeline must reach the simulated world only through internal/world ports", name, path)
+				}
+			}
+		}
+	}
+}
+
+func TestUnknownBackendRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Backend = "carrier-pigeon"
+	f := New(cfg)
+	err := f.startServers()
+	if err == nil || !strings.Contains(err.Error(), "carrier-pigeon") {
+		t.Fatalf("startServers = %v, want unknown-backend error", err)
+	}
+}
+
+func TestWebServerStopIdempotent(t *testing.T) {
+	f := New(DefaultConfig())
+	ws, err := f.startServer("test", http.NotFoundHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.stop(); err != nil {
+		t.Fatalf("first stop: %v", err)
+	}
+	if err := ws.stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+}
+
+// countingListener wraps a net.Listener to track Close calls. Closes land
+// on the Serve goroutines, hence the atomic.
+type countingListener struct {
+	net.Listener
+	closes *atomic.Int64
+}
+
+func (l countingListener) Close() error {
+	l.closes.Add(1)
+	return l.Listener.Close()
+}
+
+// TestStopServersSafeAfterFeedStartupFailure reproduces the satellite-2
+// hazard: startFeedServers fails midway on the http backend, startHTTP
+// tears down what it already started, and Run's deferred stopServers fires
+// again. Nothing may double-close or panic.
+func TestStopServersSafeAfterFeedStartupFailure(t *testing.T) {
+	cfg := equivalenceConfig(BackendHTTP)
+	f := New(cfg)
+	// Allow the web, platform, SimAPI, and first feed listeners, then
+	// fail on the second feed server.
+	okListens := 1 + len(f.Sim.Platforms()) + 1 + 1
+	listens := 0
+	var closes atomic.Int64
+	f.listen = func(network, addr string) (net.Listener, error) {
+		if listens >= okListens {
+			return nil, fmt.Errorf("injected listen failure")
+		}
+		listens++
+		ln, err := net.Listen(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return countingListener{ln, &closes}, nil
+	}
+	err := f.startServers()
+	if err == nil || !strings.Contains(err.Error(), "injected listen failure") {
+		t.Fatalf("startServers = %v, want the injected failure", err)
+	}
+	if len(f.servers) != 0 {
+		t.Fatalf("startServers left %d servers registered after failing", len(f.servers))
+	}
+	// The deferred stop in Run fires on the error path too: it must be a
+	// no-op now, not a second shutdown of the already-stopped servers.
+	f.stopServers()
+	f.stopServers()
+	// Every created listener ends up closed exactly once; the closes land
+	// asynchronously when shutdown races a Serve goroutine still starting.
+	deadline := time.Now().Add(2 * time.Second)
+	for closes.Load() != int64(listens) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := closes.Load(); got != int64(listens) {
+		t.Fatalf("%d listeners created but %d closes recorded", listens, got)
+	}
+}

@@ -1,36 +1,31 @@
 // Package core wires the FreePhish framework together (Figure 4): the
-// streaming module polls the simulated Twitter/Facebook APIs every 10
-// minutes, the pre-processing module snapshots each shared website over
-// HTTP and extracts its features, the classification module runs the
-// augmented stacking model, the reporting module discloses confirmed
-// attacks to the hosting FWB, and the analysis module longitudinally
-// records how every anti-phishing entity responds. It also contains the
-// six-month measurement-study driver behind Tables 3–4 and Figures 5–9 and
-// the 2020–2022 historical study behind Figure 1.
+// streaming module polls the Twitter/Facebook APIs every 10 minutes, the
+// pre-processing module snapshots each shared website over HTTP and
+// extracts its features, the classification module runs the augmented
+// stacking model, the reporting module discloses confirmed attacks to the
+// hosting FWB, and the analysis module longitudinally records how every
+// anti-phishing entity responds. It also contains the six-month
+// measurement-study driver behind Tables 3–4 and Figures 5–9 and the
+// 2020–2022 historical study behind Figure 1.
+//
+// The pipeline touches the outside world only through internal/world's
+// ports; Config.Backend selects whether those ports are wired in-process
+// or over real HTTP servers. Both backends produce bit-identical studies.
 package core
 
 import (
 	"fmt"
 	"log/slog"
-	"math"
 	"time"
 
 	"freephish/internal/analysis"
 	"freephish/internal/baselines"
-	"freephish/internal/blocklist"
 	"freephish/internal/crawler"
-	"freephish/internal/ctlog"
 	"freephish/internal/features"
-	"freephish/internal/fwb"
 	"freephish/internal/obs"
 	"freephish/internal/par"
-	"freephish/internal/report"
 	"freephish/internal/simclock"
-	"freephish/internal/social"
-	"freephish/internal/threat"
-	"freephish/internal/vtsim"
-	"freephish/internal/webgen"
-	"freephish/internal/whois"
+	"freephish/internal/world"
 )
 
 // Config parameterizes a measurement study. The defaults reproduce the
@@ -78,7 +73,8 @@ type Config struct {
 	// long study runs narrate themselves through.
 	Progress func(ProgressEvent)
 	// Logger, when set, receives structured "poll cycle" events every
-	// LogEvery cycles (default: one simulated day's worth of polls).
+	// LogEvery cycles (default: one simulated day's worth of polls) and
+	// any server-shutdown errors at the end of a run.
 	Logger *slog.Logger
 	// LogEvery is the poll-cycle stride between Logger events.
 	LogEvery int
@@ -97,6 +93,11 @@ type Config struct {
 	// SnapshotCacheSize bounds the crawler's parsed-snapshot LRU; 0 means
 	// crawler.DefaultSnapshotCacheSize, negative disables the cache.
 	SnapshotCacheSize int
+	// Backend selects how the pipeline reaches the world: BackendInproc
+	// (the default; handler dispatch, zero sockets) or BackendHTTP (real
+	// loopback servers for the web, the platform APIs, the blocklist
+	// feeds, and the SimAPI). The study is bit-identical either way.
+	Backend string
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -115,6 +116,7 @@ func DefaultConfig() Config {
 		TrainPerClass:  4656,
 		GrowthExponent: 1.6,
 		ReshareRate:    0.4,
+		Backend:        BackendInproc,
 	}
 }
 
@@ -144,26 +146,18 @@ type Stats struct {
 type FreePhish struct {
 	Config Config
 	Clock  *simclock.Clock
-	Whois  *whois.DB
-	CT     *ctlog.Log
-	Host   *fwb.Host
-	Gen    *webgen.Generator
+	// Sim is the simulated world substrate. It always lives in-process —
+	// Config.Backend only selects whether the pipeline reaches it through
+	// direct calls or through its HTTP servers.
+	Sim *world.Sim
 
-	Networks   map[threat.Platform]*social.Network
-	Model      *baselines.StackDetector // augmented FreePhish classifier
-	BaseModel  *baselines.StackDetector // base StackModel (self-hosted cohort)
-	Entities   []*blocklist.Entity
-	Scanner    *vtsim.Scanner
-	Moderation map[threat.Platform]*social.Moderation
-	Reporter   *report.Reporter
-	Study      *analysis.Study
-	Stats      Stats
+	Model     *baselines.StackDetector // augmented FreePhish classifier
+	BaseModel *baselines.StackDetector // base StackModel (self-hosted cohort)
+	Study     *analysis.Study
+	Stats     Stats
 	// Metrics is the run's observability surface: every pipeline stage
 	// reports into its registry and tracer (see metrics.go).
 	Metrics *Metrics
-	// Feeds are the blocklists' queryable lookup APIs, populated as
-	// entities detect URLs during the run.
-	Feeds map[string]*blocklist.Feed
 	// Observations holds the active monitor's per-URL findings, keyed by
 	// URL (populated only when Config.MonitorInterval > 0).
 	Observations map[string]*Observation
@@ -171,15 +165,19 @@ type FreePhish struct {
 	// appearance only, no matter how many posts re-share it.
 	seenURLs map[string]bool
 
-	fetcher     *crawler.Fetcher
-	poller      *crawler.Poller
-	snapCache   *crawler.SnapshotCache
-	servers     []*webServer
-	feedClients map[string]*blocklist.Client
-	runStart    time.Time
+	// world is the backend-selected port set the pipeline consumes.
+	world world.World
+	// eval is the harness-side evaluation component — the only consumer
+	// of ground-truth labels (via the oracle port).
+	eval *evaluator
 
-	assessRNG *simclock.RNG
-	worldRNG  *simclock.RNG
+	fetcher   *crawler.Fetcher
+	poller    *crawler.Poller
+	snapCache *crawler.SnapshotCache
+	servers   []*webServer
+	runStart  time.Time
+	// listen is the server bind hook; tests inject failures through it.
+	listen listenFunc
 }
 
 // New assembles the framework and its world. Call Train before Run, or let
@@ -196,17 +194,11 @@ func New(cfg Config) *FreePhish {
 	}
 	clock := simclock.New(cfg.Epoch)
 	f := &FreePhish{
-		Config:     cfg,
-		Clock:      clock,
-		Whois:      &whois.DB{},
-		CT:         &ctlog.Log{},
-		Study:      &analysis.Study{},
-		Entities:   blocklist.Standard(),
-		Scanner:    vtsim.NewScanner(),
-		Moderation: social.StandardModeration(),
-		Reporter:   report.NewReporter(cfg.Seed),
-		assessRNG:  simclock.NewRNG(cfg.Seed, "core.assess"),
-		worldRNG:   simclock.NewRNG(cfg.Seed, "core.world"),
+		Config: cfg,
+		Clock:  clock,
+		Sim:    world.NewSim(cfg.Seed, cfg.Epoch, clock),
+		Study:  &analysis.Study{},
+		listen: defaultListen,
 	}
 	reg := cfg.Registry
 	if reg == nil {
@@ -215,21 +207,6 @@ func New(cfg Config) *FreePhish {
 	f.Metrics = newMetrics(reg, clock.Now, cfg.Epoch)
 	f.Observations = make(map[string]*Observation)
 	f.seenURLs = make(map[string]bool)
-	f.Feeds = make(map[string]*blocklist.Feed, len(f.Entities))
-	for _, e := range f.Entities {
-		f.Feeds[e.Name] = blocklist.NewFeed(e.Name, clock.Now)
-	}
-	f.Host = fwb.NewHost(clock.Now)
-	f.Gen = webgen.NewGenerator(cfg.Seed, f.Whois, f.CT)
-	f.Gen.RegisterInfrastructure(cfg.Epoch)
-	// Host the second-stage pages behind two-step/iframe attacks so the
-	// full Figure 11 chain is crawlable (name collisions are impossible —
-	// slugs carry a generation sequence number).
-	f.Gen.OnSecondary = func(site *fwb.Site) { _ = f.Host.Publish(site) }
-	f.Networks = map[threat.Platform]*social.Network{
-		threat.Twitter:  social.NewNetwork(threat.Twitter, clock.Now),
-		threat.Facebook: social.NewNetwork(threat.Facebook, clock.Now),
-	}
 	return f
 }
 
@@ -241,40 +218,29 @@ func (f *FreePhish) Train() error {
 	if n < 40 {
 		n = 40
 	}
-	var fwbSamples, selfSamples []baselines.LabeledPage
-	for i := 0; i < n; i++ {
-		p := f.Gen.PhishingFWBSite(f.Gen.PickService(), f.Config.Epoch)
-		fwbSamples = append(fwbSamples, baselines.LabeledPage{
-			Page: features.Page{URL: p.URL, HTML: p.HTML}, Label: 1,
-		})
-		b := f.Gen.BenignFWBSite(f.Gen.PickServiceUniform(), f.Config.Epoch)
-		benign := baselines.LabeledPage{Page: features.Page{URL: b.URL, HTML: b.HTML}}
-		fwbSamples = append(fwbSamples, benign)
-
-		s, _ := f.Gen.SelfHostedAttack(f.Config.Epoch)
-		selfSamples = append(selfSamples, baselines.LabeledPage{
-			Page: features.Page{URL: s.URL, HTML: s.HTML}, Label: 1,
-		}, benign)
-		// Every other benign self-hosted sample keeps the base model from
-		// equating own-domain hosting with phishing.
-		if i%2 == 0 {
-			bs := f.Gen.BenignSelfHosted(f.Config.Epoch)
-			selfSamples = append(selfSamples, baselines.LabeledPage{
-				Page: features.Page{URL: bs.URL, HTML: bs.HTML},
-			})
-		}
-	}
+	fwbCorpus, selfCorpus := f.Sim.GroundTruthCorpus(n)
 	f.Model = baselines.NewFreePhishModel(f.Config.Seed)
 	f.Model.SetParallelism(f.Config.Workers)
-	if err := f.Model.Train(fwbSamples); err != nil {
+	if err := f.Model.Train(labeledPages(fwbCorpus)); err != nil {
 		return fmt.Errorf("core: train FreePhish model: %w", err)
 	}
 	f.BaseModel = baselines.NewBaseStackModel(f.Config.Seed)
 	f.BaseModel.SetParallelism(f.Config.Workers)
-	if err := f.BaseModel.Train(selfSamples); err != nil {
+	if err := f.BaseModel.Train(labeledPages(selfCorpus)); err != nil {
 		return fmt.Errorf("core: train base model: %w", err)
 	}
 	return nil
+}
+
+// labeledPages converts the world's ground-truth samples for the trainers.
+func labeledPages(samples []world.Sample) []baselines.LabeledPage {
+	out := make([]baselines.LabeledPage, len(samples))
+	for i, s := range samples {
+		out[i] = baselines.LabeledPage{
+			Page: features.Page{URL: s.URL, HTML: s.HTML}, Label: s.Label,
+		}
+	}
+	return out
 }
 
 // Run executes the measurement study and returns the analysis record set.
@@ -293,7 +259,17 @@ func (f *FreePhish) Run() (*analysis.Study, error) {
 	}
 	defer f.stopServers()
 
-	f.schedulePosts()
+	f.Sim.SchedulePosts(world.PostingPlan{
+		FWBTwitter:     f.Config.scaled(f.Config.FWBTwitter),
+		FWBFacebook:    f.Config.scaled(f.Config.FWBFacebook),
+		SelfTwitter:    f.Config.scaled(f.Config.SelfTwitter),
+		SelfFacebook:   f.Config.scaled(f.Config.SelfFacebook),
+		BenignTwitter:  f.Config.scaled(int(float64(f.Config.FWBTwitter) * f.Config.BenignPerPhish)),
+		BenignFacebook: f.Config.scaled(int(float64(f.Config.FWBFacebook) * f.Config.BenignPerPhish)),
+		Duration:       f.Config.Duration,
+		GrowthExponent: f.Config.GrowthExponent,
+		ReshareRate:    f.Config.ReshareRate,
+	})
 	var pollErr error
 	stop := f.Clock.Every(f.Config.PollInterval, f.Config.Epoch.Add(f.Config.Duration), "freephish.poll", func(now time.Time) {
 		if pollErr != nil {
@@ -313,76 +289,6 @@ func (f *FreePhish) Run() (*analysis.Study, error) {
 	return f.Study, nil
 }
 
-// schedulePosts lays out every attacker and benign posting event across the
-// window, with the posting rate rising as t^GrowthExponent.
-func (f *FreePhish) schedulePosts() {
-	type spec struct {
-		platform threat.Platform
-		kind     string // "fwb", "self", "benign"
-		count    int
-	}
-	specs := []spec{
-		{threat.Twitter, "fwb", f.Config.scaled(f.Config.FWBTwitter)},
-		{threat.Facebook, "fwb", f.Config.scaled(f.Config.FWBFacebook)},
-		{threat.Twitter, "self", f.Config.scaled(f.Config.SelfTwitter)},
-		{threat.Facebook, "self", f.Config.scaled(f.Config.SelfFacebook)},
-		{threat.Twitter, "benign", f.Config.scaled(int(float64(f.Config.FWBTwitter) * f.Config.BenignPerPhish))},
-		{threat.Facebook, "benign", f.Config.scaled(int(float64(f.Config.FWBFacebook) * f.Config.BenignPerPhish))},
-	}
-	for _, sp := range specs {
-		sp := sp
-		for i := 0; i < sp.count; i++ {
-			// Inverse-CDF of a rising rate: density ∝ t^(g-1).
-			u := (float64(i) + f.worldRNG.Float64()) / float64(sp.count)
-			frac := math.Pow(u, 1/f.Config.GrowthExponent)
-			at := f.Config.Epoch.Add(time.Duration(frac * float64(f.Config.Duration)))
-			f.Clock.Schedule(at, "post."+sp.kind, func(now time.Time) {
-				f.createAndPost(sp.platform, sp.kind, now)
-			})
-		}
-	}
-}
-
-// createAndPost generates a site, publishes it, and shares it.
-func (f *FreePhish) createAndPost(platform threat.Platform, kind string, now time.Time) {
-	var site *fwb.Site
-	var text string
-	switch kind {
-	case "fwb":
-		site = f.Gen.PhishingFWBSite(f.Gen.PickService(), now)
-		text = f.Gen.LureText(site.URL)
-	case "self":
-		site, _ = f.Gen.SelfHostedAttack(now)
-		text = f.Gen.LureText(site.URL)
-	default:
-		// Benign background noise: mostly FWB sites, with a slice of
-		// ordinary self-hosted small-business sites so "own domain" is not
-		// a phishing oracle for the base model.
-		if f.worldRNG.Bool(0.3) {
-			site = f.Gen.BenignSelfHosted(now)
-		} else {
-			site = f.Gen.BenignFWBSite(f.Gen.PickServiceUniform(), now)
-		}
-		text = f.Gen.BenignPostText(site.URL)
-	}
-	if err := f.Host.Publish(site); err != nil {
-		// Name collision: drop the event (vanishingly rare).
-		return
-	}
-	f.Networks[platform].Publish(text, now)
-	// Reshares: additional posts spread the same URL over the following
-	// hours. Only malicious URLs get amplified (lure campaigns repost).
-	if kind != "benign" && f.Config.ReshareRate > 0 {
-		n := f.worldRNG.Poisson(f.Config.ReshareRate)
-		for i := 0; i < n; i++ {
-			delay := time.Duration(f.worldRNG.ExpFloat64() * float64(6*time.Hour))
-			f.Clock.Schedule(now.Add(delay), "post.reshare", func(at time.Time) {
-				f.Networks[platform].Publish(f.Gen.LureText(site.URL), at)
-			})
-		}
-	}
-}
-
 // pollOnce is one streaming-module cycle: poll both platforms, snapshot and
 // classify every new URL, and register flagged URLs for longitudinal
 // observation.
@@ -393,8 +299,10 @@ func (f *FreePhish) createAndPost(platform threat.Platform, kind string, now tim
 // a bounded worker pool, and finally the probe results are applied
 // single-threaded in the original stream order. Probes touch only
 // read-only or thread-safe state; every stateful effect, including all
-// assessRNG draws, happens in the ordered apply phase, which is what makes
-// the study bit-identical at every Config.Workers setting.
+// world-side RNG draws, happens in the ordered apply phase, which is what
+// makes the study bit-identical at every Config.Workers setting — and,
+// because the apply phase issues its port calls strictly in stream order,
+// at every Config.Backend setting too.
 func (f *FreePhish) pollOnce(now time.Time) (err error) {
 	sp := f.Metrics.Tracer.Start("poll")
 	defer func() {
@@ -405,7 +313,7 @@ func (f *FreePhish) pollOnce(now time.Time) (err error) {
 	}()
 	f.Stats.Polls++
 	f.Metrics.Polls.Inc()
-	urls, err := f.poller.Poll(now)
+	urls, err := f.world.Stream.Poll(now)
 	if err != nil {
 		return err
 	}
@@ -441,22 +349,21 @@ type probeResult struct {
 	su     crawler.StreamedURL
 	page   features.Page
 	status int
-	site   *fwb.Site
-	isFWB  bool
+	info   world.SiteInfo
 	cohort string
 	score  float64
-	err    error // terminal: snapshot or classification failure
+	err    error // terminal: snapshot, resolve, or classification failure
 }
 
 // probeURL is the parallel half of URL processing: snapshot the page,
-// resolve the hosting site, and score it. It must not mutate framework
-// state — it runs concurrently with other probes — so it only touches the
-// fetcher (whose cache is internally synchronized), the read-locked host
-// registry, the trained (read-only) models, and atomic metrics.
+// resolve the hosting attribution, and score it. It must not mutate
+// framework state — it runs concurrently with other probes — so it only
+// touches the snapshot and intel ports (read-only world state), the
+// trained (read-only) models, and atomic metrics.
 func (f *FreePhish) probeURL(su crawler.StreamedURL) *probeResult {
 	p := &probeResult{su: su}
 	fsp := f.Metrics.Tracer.Start("fetch")
-	page, status, err := f.fetcher.Snapshot(su.URL)
+	page, status, err := f.world.Snap.Snapshot(su.URL)
 	fsp.EndErr(err)
 	if err != nil {
 		p.err = fmt.Errorf("core: snapshot %q: %w", su.URL, err)
@@ -466,18 +373,21 @@ func (f *FreePhish) probeURL(su crawler.StreamedURL) *probeResult {
 	if status != 200 {
 		return p // already gone by the time we crawled it
 	}
-	p.site = f.Host.Lookup(su.URL)
-	if p.site == nil {
+	p.info, err = f.world.Intel.Resolve(su.URL)
+	if err != nil {
+		p.err = fmt.Errorf("core: resolve %q: %w", su.URL, err)
 		return p
 	}
-	p.isFWB = p.site.Service != nil
+	if !p.info.Hosted {
+		return p
+	}
 	p.cohort = "self-hosted"
-	if p.isFWB {
+	if p.info.IsFWB {
 		p.cohort = "fwb"
 	}
 	csp := f.Metrics.Tracer.Start("classify")
 	c0 := time.Now()
-	if p.isFWB {
+	if p.info.IsFWB {
 		p.score, err = f.Model.Score(page)
 	} else {
 		p.score, err = f.BaseModel.Score(page)
@@ -493,10 +403,10 @@ func (f *FreePhish) probeURL(su crawler.StreamedURL) *probeResult {
 }
 
 // applyProbe is the sequential half: it consumes one probe in stream order
-// and performs every stateful effect — counters, blocklist/VT/moderation
-// assessments (all assessRNG draws live here), reporting, and record
-// admission. Keeping this single-threaded in input order is the
-// determinism contract of the parallel pipeline.
+// and performs every stateful effect — counters, evaluation, blocklist/VT/
+// moderation assessments, reporting, and record admission — through the
+// world ports. Keeping this single-threaded in input order is the
+// determinism contract of the parallel pipeline and of the http backend.
 func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 	if p.err != nil {
 		return p.err
@@ -505,79 +415,76 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 		return nil
 	}
 	f.Stats.URLsScanned++
-	if p.site == nil {
+	if !p.info.Hosted {
 		return nil
 	}
-	su, page, site, isFWB, cohort, score := p.su, p.page, p.site, p.isFWB, p.cohort, p.score
+	su, page, cohort, score := p.su, p.page, p.cohort, p.score
 	flagged := score >= 0.5
-	truth := site.Kind.IsMalicious()
-	switch {
-	case flagged && truth:
-		f.Stats.TruePositives++
-		f.Metrics.Decisions.With(cohort, "tp").Inc()
-	case flagged && !truth:
-		f.Stats.FalsePositives++
-		f.Metrics.Decisions.With(cohort, "fp").Inc()
-	case !flagged && truth:
-		f.Stats.FalseNegatives++
-		f.Metrics.Decisions.With(cohort, "fn").Inc()
-	default:
-		f.Metrics.Decisions.With(cohort, "tn").Inc()
+	if err := f.eval.observe(su.URL, cohort, flagged); err != nil {
+		return err
 	}
-	// Free the page body: nothing re-fetches a processed site, and the
-	// full-scale study would otherwise hold ~100k page bodies in memory.
-	site.HTML = ""
 	if !flagged {
 		return nil
 	}
-	if isFWB {
+	if p.info.IsFWB {
 		f.Stats.FlaggedFWB++
 	} else {
 		f.Stats.FlaggedSelf++
 	}
 
 	asp := f.Metrics.Tracer.Start("assess")
-	target := threat.DeriveFromPage(site, page.HTML, su.At, su.Platform, su.PostID, f.Whois, f.CT, f.assessRNG)
+	target, err := f.world.Intel.Profile(world.ProfileRequest{
+		URL: su.URL, HTML: page.HTML, SharedAt: su.At,
+		Platform: su.Platform, PostID: su.PostID,
+	})
+	if err != nil {
+		asp.EndErr(err)
+		return fmt.Errorf("core: profile %q: %w", su.URL, err)
+	}
 	rec := &analysis.Record{
 		Target:          target,
 		ClassifierScore: score,
 		Classified:      true,
 		ClassifiedAt:    now,
-		Blocklist:       make(map[string]blocklist.Verdict, len(f.Entities)),
 		Signature:       analysis.PageSignature(page.HTML),
 	}
-	for _, e := range f.Entities {
-		v := e.Assess(target, f.assessRNG)
-		rec.Blocklist[e.Name] = v
-		if v.Detected {
-			f.Feeds[e.Name].List(target.URL, v.At)
-		}
+	verdicts, vt, err := f.world.Feeds.Assess(target)
+	if err != nil {
+		asp.EndErr(err)
+		return fmt.Errorf("core: assess %q: %w", su.URL, err)
 	}
-	rec.VTDetections = f.Scanner.Assess(target, f.assessRNG)
-	if removed, at := f.Moderation[su.Platform].Assess(target, f.assessRNG); removed {
+	rec.Blocklist = verdicts
+	rec.VTDetections = vt
+	removed, at, err := f.world.Platform.AssessModeration(target)
+	if err != nil {
+		asp.EndErr(err)
+		return fmt.Errorf("core: moderation %q: %w", su.URL, err)
+	}
+	if removed {
 		rec.PlatformRemoved = true
 		rec.PlatformRemovedAt = at
 		f.Metrics.Takedowns.With("platform").Inc()
-		if post := f.Networks[su.Platform].Lookup(su.PostID); post != nil {
-			post.Remove(at)
+		if err := f.world.Platform.RemovePost(su.Platform, su.PostID, at); err != nil {
+			asp.EndErr(err)
+			return fmt.Errorf("core: remove post %q: %w", su.PostID, err)
 		}
 	}
 	asp.End()
 	// Reporting module (§4.3): disclose FWB attacks to the service; the
 	// hosting provider handles self-hosted ones. Blocklists are never
-	// reported to — that would contaminate the measurement.
+	// reported to — that would contaminate the measurement. A failed
+	// delivery surfaces in Outcome.Error, not as a pipeline error.
 	rsp := f.Metrics.Tracer.Start("report")
-	var outcome report.Outcome
-	var recipient string
-	if isFWB {
-		outcome = f.Reporter.ReportToFWB(target, now)
+	outcome, err := f.world.Reports.Disclose(target, now)
+	rsp.EndErr(err)
+	if err != nil {
+		return fmt.Errorf("core: disclose %q: %w", su.URL, err)
+	}
+	recipient := "hosting-provider"
+	if target.IsFWB() {
 		f.Stats.ReportsSent++
 		recipient = target.Service.Name
-	} else {
-		outcome = f.Reporter.SelfHostedTakedown(target)
-		recipient = "hosting-provider"
 	}
-	rsp.End()
 	f.Metrics.Reports.With(recipient).Inc()
 	if outcome.Acknowledged {
 		f.Metrics.ReportAcks.With(recipient).Inc()
@@ -586,7 +493,6 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 	if outcome.Removed {
 		rec.HostRemoved = true
 		rec.HostRemovedAt = outcome.RemovedAt
-		site.TakeDown(outcome.RemovedAt, "host")
 		f.Metrics.Takedowns.With("host").Inc()
 	}
 	f.Study.Add(rec)

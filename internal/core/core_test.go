@@ -121,7 +121,7 @@ func TestEndToEndPostsRemovedOnPlatform(t *testing.T) {
 	for _, r := range study.Records {
 		if r.PlatformRemoved {
 			removed++
-			post := f.Networks[r.Target.Platform].Lookup(r.Target.PostID)
+			post := f.Sim.Networks[r.Target.Platform].Lookup(r.Target.PostID)
 			if post == nil {
 				t.Fatal("record references unknown post")
 			}
@@ -235,7 +235,7 @@ func TestBlocklistFeedsQueryableOverHTTP(t *testing.T) {
 	if url == "" {
 		t.Fatal("no GSB detection in the study")
 	}
-	srv := httptest.NewServer(f.Feeds["GSB"])
+	srv := httptest.NewServer(f.Sim.Feeds["GSB"])
 	defer srv.Close()
 	c := blocklist.NewClient(srv.URL)
 	listed, err := c.IsListed(url)

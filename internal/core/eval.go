@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"freephish/internal/world"
+)
+
+// evaluator is the harness-side evaluation component: it scores the
+// pipeline's classification decisions against ground truth and reclaims
+// evaluated page bodies. It is deliberately separate from the pipeline —
+// it is the ONLY consumer of the world's oracle port, so the probe/apply
+// paths never see a label. A deployment (where no oracle exists) simply
+// runs without it.
+type evaluator struct {
+	oracle  world.Oracle
+	stats   *Stats
+	metrics *Metrics
+}
+
+// observe scores one scanned, hosted URL's flag decision against the
+// oracle and releases the oracle's retained page body.
+func (e *evaluator) observe(url, cohort string, flagged bool) error {
+	truth, err := e.oracle.Truth(url)
+	if err != nil {
+		return fmt.Errorf("core: oracle truth %q: %w", url, err)
+	}
+	switch {
+	case flagged && truth.Malicious:
+		e.stats.TruePositives++
+		e.metrics.Decisions.With(cohort, "tp").Inc()
+	case flagged && !truth.Malicious:
+		e.stats.FalsePositives++
+		e.metrics.Decisions.With(cohort, "fp").Inc()
+	case !flagged && truth.Malicious:
+		e.stats.FalseNegatives++
+		e.metrics.Decisions.With(cohort, "fn").Inc()
+	default:
+		e.metrics.Decisions.With(cohort, "tn").Inc()
+	}
+	// Free the page body: nothing re-fetches a processed site, and the
+	// full-scale study would otherwise hold ~100k page bodies in memory.
+	if err := e.oracle.Release(url); err != nil {
+		return fmt.Errorf("core: oracle release %q: %w", url, err)
+	}
+	return nil
+}

@@ -23,6 +23,7 @@ type Metrics struct {
 	// Streaming module (§4.1).
 	Polls        *obs.Counter
 	PollSkipped  *obs.Counter
+	PollFailed   *obs.Counter
 	PostsSeen    *obs.CounterVec // platform
 	PostsDup     *obs.CounterVec // platform
 	URLsStreamed *obs.Counter
@@ -66,6 +67,8 @@ func newMetrics(reg *obs.Registry, simNow func() time.Time, epoch time.Time) *Me
 			"Streaming-module poll cycles executed."),
 		PollSkipped: reg.Counter("freephish_poll_skipped_total",
 			"Platform polls skipped by the API rate limiter."),
+		PollFailed: reg.Counter("freephish_poll_failed_total",
+			"Platform polls skipped because the API failed."),
 		PostsSeen: reg.CounterVec("freephish_posts_seen_total",
 			"Social posts returned by the platform APIs.", "platform"),
 		PostsDup: reg.CounterVec("freephish_posts_dup_total",
@@ -140,6 +143,9 @@ func (f *FreePhish) wireMetrics() {
 		m.PostsSeen.With(string(platform)).Add(float64(posts))
 		m.PostsDup.With(string(platform)).Add(float64(dupPosts))
 		m.URLsStreamed.Add(float64(urls))
+	}
+	f.poller.ObserveFailure = func(platform threat.Platform, err error) {
+		m.PollFailed.Inc()
 	}
 	stageObs := func(stage string, d time.Duration) {
 		switch stage {

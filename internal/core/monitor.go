@@ -5,18 +5,23 @@ import (
 	"time"
 
 	"freephish/internal/analysis"
-	"freephish/internal/blocklist"
 )
 
 // The active monitor reproduces §4.4's measurement mechanics: each flagged
 // URL is re-checked at a fixed interval — a live HTTP probe of the site
-// (404/410 ⇒ taken down) and lookups against every blocklist's HTTP API —
+// (404/410 ⇒ taken down) and lookups against every blocklist's API —
 // until the one-week observation horizon. The paper polls every 10
 // minutes; the monitor interval is configurable because a full-scale run
 // at 10 minutes means ~63M probes. Observed transition times land within
 // one interval of the scheduled event times, which the end-to-end tests
 // assert — closing the loop between the closed-form assessments and what
 // an external measurement would actually see.
+//
+// The monitor consumes only the Snapshotter and ThreatFeeds ports: on the
+// inproc backend the feed lookups resolve directly against the feeds, on
+// the http backend they go through each feed's lookup server. Either way
+// the observations are identical — a lookup is read-only and the feeds'
+// visibility rule (future-dated listings are hidden) lives in the feed.
 
 // MonitorHorizon is how long each URL stays under observation.
 const MonitorHorizon = 7 * 24 * time.Hour
@@ -31,11 +36,11 @@ type Observation struct {
 	Probes int
 }
 
-// scheduleMonitor registers rec for periodic re-checking. Feed clients
-// must be initialized (startServers with monitoring enabled).
+// scheduleMonitor registers rec for periodic re-checking.
 func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
 	obs := &Observation{Listings: make(map[string]time.Time)}
 	f.Observations[rec.Target.URL] = obs
+	feedNames := f.world.Feeds.FeedNames()
 
 	until := rec.Target.SharedAt.Add(MonitorHorizon)
 	var stop func()
@@ -46,7 +51,7 @@ func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
 		done := true
 		// Probe the site over HTTP.
 		if obs.HostDownAt.IsZero() {
-			_, status, err := f.fetcher.Snapshot(rec.Target.URL)
+			_, status, err := f.world.Snap.Snapshot(rec.Target.URL)
 			if err == nil && status != http.StatusOK {
 				obs.HostDownAt = now
 				f.Metrics.MonitorHostDown.Inc()
@@ -55,11 +60,11 @@ func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
 			}
 		}
 		// Query each blocklist feed's lookup API.
-		for name, client := range f.feedClients {
+		for _, name := range feedNames {
 			if _, seen := obs.Listings[name]; seen {
 				continue
 			}
-			listed, err := client.IsListed(rec.Target.URL)
+			listed, err := f.world.Feeds.Listed(name, rec.Target.URL)
 			if err == nil && listed {
 				obs.Listings[name] = now
 				f.Metrics.MonitorListings.With(name).Inc()
@@ -72,18 +77,4 @@ func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
 			stop() // everything observed: no further probes needed
 		}
 	})
-}
-
-// feedClients is populated by startServers when monitoring is enabled.
-func (f *FreePhish) startFeedServers() error {
-	f.feedClients = make(map[string]*blocklist.Client, len(f.Feeds))
-	for name, feed := range f.Feeds {
-		srv, err := startServer("feed."+name, feed)
-		if err != nil {
-			return err
-		}
-		f.servers = append(f.servers, srv)
-		f.feedClients[name] = blocklist.NewClient(srv.base)
-	}
-	return nil
 }

@@ -3,13 +3,36 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"freephish/internal/crawler"
 	"freephish/internal/threat"
+	"freephish/internal/world"
 )
+
+// Backends: how the pipeline's world ports are wired.
+const (
+	// BackendInproc dispatches the crawler through an in-process
+	// RoundTripper and binds the remaining ports straight to the Sim.
+	// Zero sockets; the default.
+	BackendInproc = "inproc"
+	// BackendHTTP serves the simulated web, the platform APIs, the
+	// blocklist feeds, and the SimAPI on real loopback listeners and
+	// makes the pipeline reach everything over HTTP — the deployment
+	// shape, producing a bit-identical study.
+	BackendHTTP = "http"
+)
+
+// listenFunc binds a listener; tests inject failures through it.
+type listenFunc func(network, addr string) (net.Listener, error)
+
+func defaultListen(network, addr string) (net.Listener, error) {
+	return net.Listen(network, addr)
+}
 
 // webServer is one loopback HTTP server fronting a simulated service.
 type webServer struct {
@@ -17,11 +40,18 @@ type webServer struct {
 	base string
 	srv  *http.Server
 	ln   net.Listener
+
+	once    sync.Once
+	stopErr error
 }
 
 // startServer binds a loopback listener and serves handler on it.
-func startServer(name string, handler http.Handler) (*webServer, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+func (f *FreePhish) startServer(name string, handler http.Handler) (*webServer, error) {
+	listen := f.listen
+	if listen == nil {
+		listen = defaultListen
+	}
+	ln, err := listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("core: listen for %s: %w", name, err)
 	}
@@ -38,24 +68,68 @@ func startServer(name string, handler http.Handler) (*webServer, error) {
 	return ws, nil
 }
 
-func (ws *webServer) stop() {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	_ = ws.srv.Shutdown(ctx)
+// stop shuts the server down. It is safe to call more than once — the
+// shutdown runs exactly once and later calls return the recorded error.
+func (ws *webServer) stop() error {
+	ws.once.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := ws.srv.Shutdown(ctx); err != nil {
+			ws.stopErr = fmt.Errorf("core: stop %s: %w", ws.name, err)
+		}
+	})
+	return ws.stopErr
 }
 
-// startServers brings up the simulated web (every FWB and self-hosted
-// domain behind one virtual-host server) and the two platform APIs, then
-// points the crawler at them.
+// startServers wires the pipeline's world ports according to
+// Config.Backend. Both wirings share the Sim substrate; they differ only
+// in how the pipeline reaches it.
 func (f *FreePhish) startServers() error {
-	hostSrv, err := startServer("web", f.Host)
+	switch f.Config.Backend {
+	case "", BackendInproc:
+		return f.startInproc()
+	case BackendHTTP:
+		return f.startHTTP()
+	}
+	return fmt.Errorf("core: unknown backend %q (want %q or %q)", f.Config.Backend, BackendInproc, BackendHTTP)
+}
+
+// startInproc dispatches the crawler's HTTP clients through an in-process
+// RoundTripper — same handlers, same bytes, no sockets — and binds every
+// other port directly to the Sim.
+func (f *FreePhish) startInproc() error {
+	rt := world.NewHandlerTransport()
+	rt.Handle("web.inproc", f.Sim.WebHandler())
+	endpoints := make(map[threat.Platform]string, len(f.Sim.Networks))
+	for _, plat := range f.Sim.Platforms() {
+		h, _ := f.Sim.PlatformHandler(plat)
+		host := string(plat) + ".inproc"
+		rt.Handle(host, h)
+		endpoints[plat] = "http://" + host
+	}
+	client := &http.Client{Transport: rt, Timeout: 10 * time.Second}
+	f.wirePipeline("http://web.inproc", endpoints, client)
+	f.world = world.Inproc(f.Sim)
+	f.world.Stream = f.poller
+	f.world.Snap = f.fetcher
+	f.eval = &evaluator{oracle: f.world.Oracle, stats: &f.Stats, metrics: f.Metrics}
+	f.wireMetrics()
+	return nil
+}
+
+// startHTTP brings up real loopback servers — the virtual-host web, the
+// platform APIs, the SimAPI, and (when the monitor runs) the blocklist
+// feeds — and points both the crawler and the world ports at them.
+func (f *FreePhish) startHTTP() error {
+	hostSrv, err := f.startServer("web", f.Sim.WebHandler())
 	if err != nil {
 		return err
 	}
 	f.servers = append(f.servers, hostSrv)
-	endpoints := make(map[threat.Platform]string, len(f.Networks))
-	for plat, nw := range f.Networks {
-		s, err := startServer(string(plat), nw)
+	endpoints := make(map[threat.Platform]string, len(f.Sim.Networks))
+	for _, plat := range f.Sim.Platforms() {
+		h, _ := f.Sim.PlatformHandler(plat)
+		s, err := f.startServer(string(plat), h)
 		if err != nil {
 			f.stopServers()
 			return err
@@ -63,30 +137,80 @@ func (f *FreePhish) startServers() error {
 		f.servers = append(f.servers, s)
 		endpoints[plat] = s.base
 	}
-	f.fetcher = crawler.NewFetcher(hostSrv.base)
+	apiSrv, err := f.startServer("simapi", world.NewSimAPI(f.Sim))
+	if err != nil {
+		f.stopServers()
+		return err
+	}
+	f.servers = append(f.servers, apiSrv)
+	feedBases := map[string]string{}
+	if f.Config.MonitorInterval > 0 {
+		if feedBases, err = f.startFeedServers(); err != nil {
+			f.stopServers()
+			return err
+		}
+	}
+	f.wirePipeline(hostSrv.base, endpoints, http.DefaultClient)
+	f.world = world.OverHTTP(world.Endpoints{
+		API:       apiSrv.base,
+		Platforms: endpoints,
+		Feeds:     feedBases,
+	})
+	f.world.Stream = f.poller
+	f.world.Snap = f.fetcher
+	f.eval = &evaluator{oracle: f.world.Oracle, stats: &f.Stats, metrics: f.Metrics}
+	f.wireMetrics()
+	return nil
+}
+
+// wirePipeline builds the fetcher and poller against the given web base
+// and platform endpoints — identical construction for both backends, so
+// retries, caching, and pagination behave the same way everywhere.
+func (f *FreePhish) wirePipeline(webBase string, endpoints map[threat.Platform]string, client *http.Client) {
+	f.fetcher = crawler.NewFetcher(webBase)
+	if client != http.DefaultClient {
+		f.fetcher.Client = client
+	}
 	if f.Config.SnapshotCacheSize >= 0 {
 		f.snapCache = crawler.NewSnapshotCache(f.Config.SnapshotCacheSize)
 		f.fetcher.Cache = f.snapCache
 	}
-	f.poller = crawler.NewPoller(endpoints, http.DefaultClient, f.Config.Epoch)
+	f.poller = crawler.NewPoller(endpoints, client, f.Config.Epoch)
 	if f.Config.PollQuota > 0 {
 		// Quota bucket against the simulation clock, so throttling scales
 		// with virtual (not wall) time.
 		f.poller.Limiter = crawler.NewRateLimiter(f.Config.PollQuota, f.Config.PollQuotaRate, f.Clock.Now)
 	}
-	f.wireMetrics()
-	if f.Config.MonitorInterval > 0 {
-		if err := f.startFeedServers(); err != nil {
-			f.stopServers()
-			return err
-		}
-	}
-	return nil
 }
 
+// startFeedServers exposes each blocklist feed's lookup API on its own
+// loopback server and returns the per-entity base URLs.
+func (f *FreePhish) startFeedServers() (map[string]string, error) {
+	bases := make(map[string]string, len(f.Sim.Feeds))
+	for _, name := range f.Sim.FeedNames() {
+		feed, _ := f.Sim.FeedHandler(name)
+		srv, err := f.startServer("feed."+name, feed)
+		if err != nil {
+			return nil, err
+		}
+		f.servers = append(f.servers, srv)
+		bases[name] = srv.base
+	}
+	return bases, nil
+}
+
+// stopServers shuts every server down. Safe under double invocation (the
+// per-server stop is once-guarded); shutdown errors are surfaced through
+// the run logger instead of being discarded.
 func (f *FreePhish) stopServers() {
+	logger := f.Config.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	for _, s := range f.servers {
-		s.stop()
+		if err := s.stop(); err != nil {
+			logger.Error("server shutdown failed", "server", s.name, "err", err)
+		}
 	}
 	f.servers = nil
 }

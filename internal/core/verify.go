@@ -5,13 +5,20 @@ import (
 	"time"
 
 	"freephish/internal/analysis"
+	"freephish/internal/world"
 )
 
 // Verify runs internal-consistency checks over a completed study — the
-// invariants every valid run must satisfy regardless of seed or scale. The
-// end-to-end tests call it, and cmd/freephish can surface violations
-// instead of silently printing corrupt tables.
+// invariants every valid run must satisfy regardless of seed, scale, or
+// backend. The end-to-end tests call it, and cmd/freephish can surface
+// violations instead of silently printing corrupt tables.
+//
+// Verification is a harness-side audit, so it always inspects the Sim
+// through a fresh in-process port view: by the time Verify runs the http
+// backend's servers are already down, and the audit must see the world's
+// final state directly.
 func (f *FreePhish) Verify() error {
+	w := world.Inproc(f.Sim)
 	seen := map[string]bool{}
 	horizonEnd := f.Config.Epoch.Add(f.Config.Duration + 7*24*time.Hour)
 	for i, r := range f.Study.Records {
@@ -27,15 +34,15 @@ func (f *FreePhish) Verify() error {
 			return fmt.Errorf("record %d: share time %v outside the window", i, t.SharedAt)
 		}
 		// Every record must reference a live post and a hosted site.
-		nw, ok := f.Networks[t.Platform]
-		if !ok {
+		post, err := w.Platform.LookupPost(t.Platform, t.PostID)
+		if err != nil {
 			return fmt.Errorf("record %d: unknown platform %q", i, t.Platform)
 		}
-		post := nw.Lookup(t.PostID)
-		if post == nil {
+		if !post.Exists {
 			return fmt.Errorf("record %d: post %q not on %s", i, t.PostID, t.Platform)
 		}
-		if f.Host.Lookup(t.URL) == nil {
+		info, err := w.Intel.Resolve(t.URL)
+		if err != nil || !info.Hosted {
 			return fmt.Errorf("record %d: site %q not hosted", i, t.URL)
 		}
 		// Event ordering: nothing happens before the share.
@@ -56,7 +63,7 @@ func (f *FreePhish) Verify() error {
 			if r.PlatformRemovedAt.Before(t.SharedAt) {
 				return fmt.Errorf("record %d: platform removal before share", i)
 			}
-			if rm, at := post.Removed(); !rm || !at.Equal(r.PlatformRemovedAt) {
+			if !post.Removed || !post.RemovedAt.Equal(r.PlatformRemovedAt) {
 				return fmt.Errorf("record %d: platform removal not reflected on the post", i)
 			}
 		}

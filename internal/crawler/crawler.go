@@ -43,15 +43,25 @@ type Poller struct {
 	Limiter *RateLimiter
 	// cursor tracks the last poll time per platform.
 	cursor map[threat.Platform]time.Time
-	seen   map[string]bool
+	// seen dedups post IDs across polls. It is a bounded two-generation
+	// set sized off recent poll volume — a six-month stream must not pin
+	// every post ID it ever saw in memory.
+	seen *seenSet
 	// Skipped counts rate-limited platform polls.
 	Skipped int
+	// Failed counts platform polls skipped because the API failed
+	// (transport error, non-200 status, or an undecodable body). Like a
+	// rate-limited poll, a failed poll leaves the platform's cursor
+	// untouched, so the next healthy poll catches up with no data loss.
+	Failed int
 	// Observe, when set, receives one event per platform per Poll cycle:
 	// how many posts the API returned, how many were duplicates of
 	// earlier polls, how many URLs were extracted, and whether the
 	// platform was skipped by the rate limiter. Must be cheap; it runs on
 	// the polling hot path.
 	Observe func(platform threat.Platform, posts, dupPosts, urls int, skipped bool)
+	// ObserveFailure, when set, receives each failed platform poll.
+	ObserveFailure func(platform threat.Platform, err error)
 }
 
 // NewPoller returns a Poller starting its cursors at start.
@@ -63,8 +73,11 @@ func NewPoller(endpoints map[threat.Platform]string, client *http.Client, start 
 	for p := range endpoints {
 		cur[p] = start
 	}
-	return &Poller{Endpoints: endpoints, Client: client, cursor: cur, seen: make(map[string]bool)}
+	return &Poller{Endpoints: endpoints, Client: client, cursor: cur, seen: newSeenSet()}
 }
+
+// SeenLen reports how many post IDs the dedup set currently retains.
+func (p *Poller) SeenLen() int { return p.seen.Len() }
 
 // apiPost mirrors the social API's JSON shape.
 type apiPost struct {
@@ -77,6 +90,12 @@ type apiPost struct {
 // Poll fetches posts newer than each platform cursor, extracts their URLs,
 // deduplicates across polls, and advances the cursors to now. Platforms are
 // polled in name order so downstream randomness stays reproducible.
+//
+// A platform whose API fails mid-cycle (transport error, 5xx, bad body) is
+// skipped for the cycle exactly like a rate-limited one: its cursor does
+// not advance, so the next healthy poll re-fetches the window and the
+// dedup set absorbs the re-delivery. Posts from pages that arrived before
+// the failure are still emitted — they were genuinely observed.
 func (p *Poller) Poll(now time.Time) ([]StreamedURL, error) {
 	plats := make([]threat.Platform, 0, len(p.Endpoints))
 	for plat := range p.Endpoints {
@@ -84,6 +103,7 @@ func (p *Poller) Poll(now time.Time) ([]StreamedURL, error) {
 	}
 	sort.Slice(plats, func(i, j int) bool { return plats[i] < plats[j] })
 	var out []StreamedURL
+	cyclePosts := 0
 	for _, plat := range plats {
 		base := p.Endpoints[plat]
 		if p.Limiter != nil && !p.Limiter.Allow() {
@@ -94,6 +114,7 @@ func (p *Poller) Poll(now time.Time) ([]StreamedURL, error) {
 			continue // cursor untouched: the next allowed poll catches up
 		}
 		var nPosts, nDup, nURLs int
+		var failure error
 		// Page through the window: the platform API caps one response, so a
 		// burst of posts spans multiple requests.
 		for offset := 0; ; {
@@ -101,22 +122,30 @@ func (p *Poller) Poll(now time.Time) ([]StreamedURL, error) {
 				url.QueryEscape(p.cursor[plat].Format(time.RFC3339)), offset)
 			resp, err := p.Client.Get(u)
 			if err != nil {
-				return nil, fmt.Errorf("crawler: poll %s: %w", plat, err)
+				failure = fmt.Errorf("crawler: poll %s: %w", plat, err)
+				break
+			}
+			if resp.StatusCode != http.StatusOK {
+				_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+				resp.Body.Close()
+				failure = fmt.Errorf("crawler: poll %s: status %d", plat, resp.StatusCode)
+				break
 			}
 			var posts []apiPost
 			err = json.NewDecoder(resp.Body).Decode(&posts)
 			more := resp.Header.Get("X-More") == "1"
 			resp.Body.Close()
 			if err != nil {
-				return nil, fmt.Errorf("crawler: decode %s feed: %w", plat, err)
+				failure = fmt.Errorf("crawler: decode %s feed: %w", plat, err)
+				break
 			}
 			for _, post := range posts {
 				nPosts++
-				if p.seen[post.ID] {
+				if p.seen.Has(post.ID) {
 					nDup++
 					continue
 				}
-				p.seen[post.ID] = true
+				p.seen.Add(post.ID)
 				for _, raw := range urlx.ExtractURLs(post.Text) {
 					nURLs++
 					out = append(out, StreamedURL{
@@ -129,11 +158,21 @@ func (p *Poller) Poll(now time.Time) ([]StreamedURL, error) {
 			}
 			offset += len(posts)
 		}
-		p.cursor[plat] = now
+		cyclePosts += nPosts
 		if p.Observe != nil {
 			p.Observe(plat, nPosts, nDup, nURLs, false)
 		}
+		if failure != nil {
+			// Cursor untouched: the next healthy poll catches up.
+			p.Failed++
+			if p.ObserveFailure != nil {
+				p.ObserveFailure(plat, failure)
+			}
+			continue
+		}
+		p.cursor[plat] = now
 	}
+	p.seen.EndCycle(cyclePosts)
 	return out, nil
 }
 

@@ -64,10 +64,175 @@ func TestPollerExtractsNewURLs(t *testing.T) {
 	}
 }
 
-func TestPollerErrorOnBadEndpoint(t *testing.T) {
+func TestPollerUnreachableEndpointSkipsCycle(t *testing.T) {
 	p := NewPoller(map[threat.Platform]string{threat.Twitter: "http://127.0.0.1:1"}, nil, epoch)
-	if _, err := p.Poll(epoch); err == nil {
-		t.Fatal("unreachable endpoint must error")
+	var failures []threat.Platform
+	p.ObserveFailure = func(plat threat.Platform, err error) {
+		if err == nil {
+			t.Fatal("failure hook called without an error")
+		}
+		failures = append(failures, plat)
+	}
+	got, err := p.Poll(epoch.Add(10 * time.Minute))
+	if err != nil {
+		t.Fatalf("a failed platform poll must not error the cycle: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("unreachable endpoint streamed %d URLs", len(got))
+	}
+	if p.Failed != 1 || len(failures) != 1 || failures[0] != threat.Twitter {
+		t.Fatalf("failed = %d, hook = %v", p.Failed, failures)
+	}
+}
+
+func TestPollerFailureFreezesCursorThenCatchesUp(t *testing.T) {
+	virtual := epoch
+	tw := social.NewNetwork(threat.Twitter, func() time.Time { return virtual })
+	failing := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing {
+			http.Error(w, "upstream overloaded", http.StatusBadGateway)
+			return
+		}
+		tw.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	tw.Publish("x https://a.weebly.com/", epoch.Add(time.Minute))
+
+	p := NewPoller(map[threat.Platform]string{threat.Twitter: srv.URL}, nil, epoch)
+	virtual = epoch.Add(10 * time.Minute)
+	if got, err := p.Poll(virtual); err != nil || len(got) != 1 {
+		t.Fatalf("first poll: %v %v", got, err)
+	}
+	// The API starts 502ing: the cycle is skipped, the cursor stays put.
+	tw.Publish("y https://b.weebly.com/", virtual.Add(time.Minute))
+	failing = true
+	virtual = virtual.Add(10 * time.Minute)
+	got, err := p.Poll(virtual)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("failed poll: %v %v", got, err)
+	}
+	if p.Failed != 1 {
+		t.Fatalf("failed = %d", p.Failed)
+	}
+	// Recovery: the frozen cursor re-fetches the window and catches the
+	// post published during the outage.
+	failing = false
+	got, err = p.Poll(virtual.Add(10 * time.Minute))
+	if err != nil || len(got) != 1 || got[0].URL != "https://b.weebly.com/" {
+		t.Fatalf("catch-up poll: %+v %v", got, err)
+	}
+}
+
+func TestPollerMidPaginationFailureKeepsFetchedPosts(t *testing.T) {
+	virtual := epoch
+	tw := social.NewNetwork(threat.Twitter, func() time.Time { return virtual })
+	// More than one page of posts, and the API dies after the first page.
+	n := social.MaxPageSize + 40
+	for i := 0; i < n; i++ {
+		tw.Publish(fmt.Sprintf("x https://s%d.weebly.com/", i), epoch.Add(time.Duration(i)*time.Second))
+	}
+	requests := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests++
+		if requests > 1 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		tw.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	p := NewPoller(map[threat.Platform]string{threat.Twitter: srv.URL}, nil, epoch)
+	virtual = epoch.Add(time.Hour)
+	got, err := p.Poll(virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page one was genuinely observed: its URLs stream out even though the
+	// cycle failed afterwards.
+	if len(got) != social.MaxPageSize {
+		t.Fatalf("streamed %d URLs, want the %d fetched before the failure", len(got), social.MaxPageSize)
+	}
+	if p.Failed != 1 {
+		t.Fatalf("failed = %d", p.Failed)
+	}
+	// Recovery re-fetches the frozen window; only the tail is new.
+	requests = -1000 // never fail again
+	got, err = p.Poll(virtual.Add(10 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n-social.MaxPageSize {
+		t.Fatalf("catch-up streamed %d URLs, want %d", len(got), n-social.MaxPageSize)
+	}
+}
+
+func TestPollerSeenSetStaysBounded(t *testing.T) {
+	virtual := epoch
+	tw := social.NewNetwork(threat.Twitter, func() time.Time { return virtual })
+	srv := httptest.NewServer(tw)
+	defer srv.Close()
+
+	p := NewPoller(map[threat.Platform]string{threat.Twitter: srv.URL}, nil, epoch)
+	const cycles = 40
+	const perCycle = 150
+	total := 0
+	for c := 0; c < cycles; c++ {
+		for i := 0; i < perCycle; i++ {
+			tw.Publish(fmt.Sprintf("x https://c%d-p%d.weebly.com/", c, i), virtual.Add(time.Duration(i)*time.Second))
+		}
+		virtual = virtual.Add(10 * time.Minute)
+		got, err := p.Poll(virtual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Boundary re-deliveries (the since query is inclusive) must all be
+		// absorbed by the dedup set: every streamed URL is new.
+		total += len(got)
+		if total != (c+1)*perCycle {
+			t.Fatalf("cycle %d: %d URLs total, want %d (dupes leaked)", c, total, (c+1)*perCycle)
+		}
+	}
+	// 6000 posts went through, but the two-generation set retains at most
+	// two generations of max(minSeenCap, 4×peak-cycle-volume) IDs.
+	if bound := 2 * minSeenCap; p.SeenLen() > bound {
+		t.Fatalf("seen set retains %d IDs after %d posts, want ≤ %d", p.SeenLen(), cycles*perCycle, bound)
+	}
+}
+
+func TestSeenSetGenerations(t *testing.T) {
+	s := newSeenSet()
+	// Adapts capacity to recent volume, never below the floor.
+	s.EndCycle(10)
+	if s.cap != minSeenCap {
+		t.Fatalf("cap = %d, want floor %d", s.cap, minSeenCap)
+	}
+	s.EndCycle(5000)
+	if s.cap != 4*5000 {
+		t.Fatalf("cap = %d, want %d", s.cap, 4*5000)
+	}
+	// Once the peak cycle leaves the window, the capacity shrinks back.
+	for i := 0; i < seenCycleWindow; i++ {
+		s.EndCycle(10)
+	}
+	if s.cap != minSeenCap {
+		t.Fatalf("cap after window = %d, want %d", s.cap, minSeenCap)
+	}
+	// An entry survives at least cap subsequent adds, and memory is
+	// bounded by two generations.
+	s.Add("first")
+	for i := 0; i < 5*minSeenCap; i++ {
+		s.Add(fmt.Sprintf("id-%d", i))
+	}
+	if s.Len() > 2*minSeenCap {
+		t.Fatalf("len = %d, want ≤ %d", s.Len(), 2*minSeenCap)
+	}
+	if s.Has("first") {
+		t.Fatal("entry older than two generations must be evicted")
+	}
+	if !s.Has(fmt.Sprintf("id-%d", 5*minSeenCap-1)) {
+		t.Fatal("fresh entry missing")
 	}
 }
 

@@ -1,0 +1,70 @@
+package crawler
+
+// seenSet is the poller's cross-poll post-ID dedup store. The naive map
+// grows for the whole measurement window — six months of streaming pins
+// every post ID ever seen. This version keeps two generations: adds go to
+// the current generation, membership checks consult both, and when the
+// current generation reaches capacity it becomes the previous one (whose
+// old contents are dropped). An entry therefore survives at least cap
+// further adds after its own — and because re-deliveries only reach back
+// a few poll cycles (the inclusive-cursor boundary and failure catch-up),
+// a capacity of a few cycles' volume dedups them all while memory stays
+// bounded at two generations.
+
+// minSeenCap is the floor on a generation's capacity.
+const minSeenCap = 1024
+
+// seenCycleWindow is how many recent poll cycles inform the sizing.
+const seenCycleWindow = 16
+
+// seenCapFactor multiplies the recent per-cycle maximum: an entry must
+// outlive the cycle that added it by at least the catch-up horizon.
+const seenCapFactor = 4
+
+type seenSet struct {
+	cap       int
+	cur, prev map[string]bool
+	recent    [seenCycleWindow]int
+	ri        int
+}
+
+func newSeenSet() *seenSet {
+	return &seenSet{
+		cap:  minSeenCap,
+		cur:  make(map[string]bool),
+		prev: make(map[string]bool),
+	}
+}
+
+// Has reports whether the ID is in either generation.
+func (s *seenSet) Has(id string) bool { return s.cur[id] || s.prev[id] }
+
+// Add records the ID, rotating generations when the current one is full.
+func (s *seenSet) Add(id string) {
+	if len(s.cur) >= s.cap {
+		s.prev = s.cur
+		s.cur = make(map[string]bool, s.cap)
+	}
+	s.cur[id] = true
+}
+
+// EndCycle notes one poll cycle's post volume and adapts the generation
+// capacity to seenCapFactor times the recent per-cycle maximum.
+func (s *seenSet) EndCycle(posts int) {
+	s.recent[s.ri] = posts
+	s.ri = (s.ri + 1) % seenCycleWindow
+	peak := 0
+	for _, v := range s.recent {
+		if v > peak {
+			peak = v
+		}
+	}
+	c := seenCapFactor * peak
+	if c < minSeenCap {
+		c = minSeenCap
+	}
+	s.cap = c
+}
+
+// Len reports the total retained IDs across both generations.
+func (s *seenSet) Len() int { return len(s.cur) + len(s.prev) }

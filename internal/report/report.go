@@ -34,6 +34,10 @@ type Outcome struct {
 	FollowedUp   bool // additional information + account removal (§5.3)
 	Removed      bool
 	RemovedAt    time.Time
+	// Error records a delivery failure (e.g. the report API was
+	// unreachable). A failed submission is an outcome, not a crash: the
+	// study records it and the attack simply goes unreported.
+	Error string
 }
 
 // Reporter sends disclosures and models recipient responses. Construct

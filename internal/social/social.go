@@ -132,12 +132,30 @@ func (n *Network) Len() int {
 // callers page through bursts with the offset parameter.
 const MaxPageSize = 200
 
-// ServeHTTP exposes the streaming API:
+// removeRequest is the moderation endpoint's body; a zero At means "now".
+type removeRequest struct {
+	At time.Time `json:"at"`
+}
+
+// StatusResponse is the /posts/{id}/status answer — post existence and
+// removal state, visible even for removed posts (unlike GET /posts/{id},
+// which models the public 404).
+type StatusResponse struct {
+	Exists    bool      `json:"exists"`
+	Removed   bool      `json:"removed"`
+	RemovedAt time.Time `json:"removed_at"`
+}
+
+// ServeHTTP exposes the platform API:
 //
-//	GET /posts?since=RFC3339[&offset=N] → JSON page of visible posts (at
-//	     most MaxPageSize; header X-More: 1 signals another page)
-//	GET /posts/{id}                     → single post, 404 when removed
-//	     (the check the analysis module performs every 10 minutes)
+//	GET  /posts?since=RFC3339[&offset=N] → JSON page of visible posts (at
+//	      most MaxPageSize; header X-More: 1 signals another page)
+//	GET  /posts/{id}                     → single post, 404 when removed
+//	      (the check the analysis module performs every 10 minutes)
+//	POST /posts/{id}/remove {"at": t}    → moderation removal (zero or
+//	      missing time means now); 404 for an unknown post, 204 on success
+//	GET  /posts/{id}/status              → StatusResponse, answering even
+//	      for removed posts (the study's back-channel status check)
 func (n *Network) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/posts":
@@ -170,6 +188,35 @@ func (n *Network) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(page); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/posts/") && strings.HasSuffix(r.URL.Path, "/remove"):
+		id := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/posts/"), "/remove")
+		p := n.Lookup(id)
+		if p == nil {
+			http.NotFound(w, r)
+			return
+		}
+		var req removeRequest
+		if r.Body != nil {
+			// An empty or absent body means "remove now".
+			_ = json.NewDecoder(r.Body).Decode(&req)
+		}
+		at := req.At
+		if at.IsZero() {
+			at = n.now()
+		}
+		p.Remove(at)
+		w.WriteHeader(http.StatusNoContent)
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/posts/") && strings.HasSuffix(r.URL.Path, "/status"):
+		id := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/posts/"), "/status")
+		var resp StatusResponse
+		if p := n.Lookup(id); p != nil {
+			resp.Exists = true
+			resp.Removed, resp.RemovedAt = p.Removed()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	case strings.HasPrefix(r.URL.Path, "/posts/"):

@@ -105,6 +105,73 @@ func TestHTTPAPI(t *testing.T) {
 	}
 }
 
+func TestHTTPRemoveAndStatus(t *testing.T) {
+	now := epoch
+	n := NewNetwork(threat.Twitter, func() time.Time { return now })
+	p := n.Publish("hello https://a.weebly.com/", epoch)
+	srv := httptest.NewServer(n)
+	defer srv.Close()
+
+	status := func(id string) StatusResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/posts/" + id + "/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status endpoint = %d, want 200 always", resp.StatusCode)
+		}
+		var sr StatusResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+
+	if sr := status(p.ID); !sr.Exists || sr.Removed {
+		t.Fatalf("live post status = %+v", sr)
+	}
+	// Status, unlike the public lookup, still sees a removed post — it is
+	// the moderation-side view, not the user-facing one.
+	at := epoch.Add(45 * time.Minute)
+	body := strings.NewReader(fmt.Sprintf(`{"at":%q}`, at.Format(time.RFC3339Nano)))
+	resp, err := http.Post(srv.URL+"/posts/"+p.ID+"/remove", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("remove = %d, want 204", resp.StatusCode)
+	}
+	if sr := status(p.ID); !sr.Exists || !sr.Removed || !sr.RemovedAt.Equal(at) {
+		t.Fatalf("removed post status = %+v, want removed at %v", sr, at)
+	}
+	if sr := status("twitter-999"); sr.Exists {
+		t.Fatalf("unknown post status = %+v", sr)
+	}
+	// Removing an unknown post is a 404.
+	resp, err = http.Post(srv.URL+"/posts/twitter-999/remove", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("remove unknown = %d, want 404", resp.StatusCode)
+	}
+	// An empty body defaults the removal time to the network clock.
+	p2 := n.Publish("bye https://b.weebly.com/", epoch)
+	now = epoch.Add(3 * time.Hour)
+	resp, err = http.Post(srv.URL+"/posts/"+p2.ID+"/remove", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sr := status(p2.ID); !sr.Removed || !sr.RemovedAt.Equal(now) {
+		t.Fatalf("default-time removal status = %+v, want removed at %v", sr, now)
+	}
+}
+
 func makeTarget(isFWB bool, evasive bool) *threat.Target {
 	tg := &threat.Target{SharedAt: epoch, HasCredentialFields: !evasive, TwoStepLink: evasive}
 	if isFWB {

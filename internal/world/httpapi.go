@@ -1,0 +1,257 @@
+package world
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+
+	"freephish/internal/blocklist"
+	"freephish/internal/report"
+	"freephish/internal/threat"
+)
+
+// Endpoints locates the http backend's servers.
+type Endpoints struct {
+	// API is the SimAPI base URL (intelligence, assessments, reports,
+	// oracle).
+	API string
+	// Platforms maps each platform to its API base URL (removal/status).
+	Platforms map[threat.Platform]string
+	// Feeds maps each blocklist entity to its lookup-API base URL. May be
+	// empty when the monitor is disabled.
+	Feeds map[string]string
+	// Client issues every request; nil means http.DefaultClient.
+	Client *http.Client
+}
+
+// OverHTTP returns the adapter set that reaches the world through real
+// HTTP endpoints. Stream and Snap are left nil — the caller wires its
+// poller and fetcher (already HTTP clients) into those slots.
+func OverHTTP(ep Endpoints) World {
+	c := &apiClient{base: ep.API, client: ep.Client}
+	feeds := &feedsClient{api: c, clients: make(map[string]*blocklist.Client, len(ep.Feeds))}
+	for name, base := range ep.Feeds {
+		fc := blocklist.NewClient(base)
+		if ep.Client != nil {
+			fc.Client = ep.Client
+		}
+		feeds.clients[name] = fc
+	}
+	return World{
+		Intel:    c,
+		Feeds:    feeds,
+		Platform: &platformClient{api: c, bases: ep.Platforms, client: ep.Client},
+		Reports:  &reportClient{api: c},
+		Oracle:   c,
+	}
+}
+
+// apiClient speaks to the SimAPI server.
+type apiClient struct {
+	base   string
+	client *http.Client
+}
+
+func (c *apiClient) httpClient() *http.Client {
+	if c.client != nil {
+		return c.client
+	}
+	return http.DefaultClient
+}
+
+// get issues a GET with a url query parameter and decodes the JSON reply.
+func (c *apiClient) get(path, target string, out any) error {
+	u := fmt.Sprintf("%s%s?url=%s", c.base, path, url.QueryEscape(target))
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return fmt.Errorf("world: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("world: GET %s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// post issues a JSON POST and decodes the JSON reply into out (nil out
+// accepts any 2xx with no body).
+func (c *apiClient) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("world: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("world: POST %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// --- SiteIntel over HTTP ---
+
+func (c *apiClient) Resolve(target string) (SiteInfo, error) {
+	var info SiteInfo
+	err := c.get("/v1/site/resolve", target, &info)
+	return info, err
+}
+
+func (c *apiClient) Profile(req ProfileRequest) (*threat.Target, error) {
+	var dto TargetDTO
+	err := c.post("/v1/site/profile", profileRequestDTO{
+		URL: req.URL, HTML: req.HTML, SharedAt: req.SharedAt,
+		Platform: req.Platform, PostID: req.PostID,
+	}, &dto)
+	if err != nil {
+		return nil, err
+	}
+	return dto.Target(), nil
+}
+
+// --- Oracle over HTTP ---
+
+func (c *apiClient) Truth(target string) (GroundTruth, error) {
+	var truth GroundTruth
+	err := c.get("/v1/oracle/truth", target, &truth)
+	return truth, err
+}
+
+func (c *apiClient) Release(target string) error {
+	return c.post("/v1/oracle/release", urlRequest{URL: target}, nil)
+}
+
+// --- ThreatFeeds over HTTP ---
+
+type feedsClient struct {
+	api     *apiClient
+	clients map[string]*blocklist.Client
+}
+
+func (f *feedsClient) Assess(t *threat.Target) (map[string]blocklist.Verdict, []time.Time, error) {
+	var resp assessResponse
+	if err := f.api.post("/v1/threat/assess", urlRequest{URL: t.URL}, &resp); err != nil {
+		return nil, nil, err
+	}
+	return resp.Blocklist, resp.VT, nil
+}
+
+func (f *feedsClient) Listed(entity, target string) (bool, error) {
+	c, ok := f.clients[entity]
+	if !ok {
+		return false, fmt.Errorf("world: no feed endpoint for %q", entity)
+	}
+	return c.IsListed(target)
+}
+
+func (f *feedsClient) FeedNames() []string {
+	names := make([]string, 0, len(f.clients))
+	for name := range f.clients {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- PlatformOps over HTTP ---
+
+type platformClient struct {
+	api    *apiClient
+	bases  map[threat.Platform]string
+	client *http.Client
+}
+
+func (p *platformClient) httpClient() *http.Client {
+	if p.client != nil {
+		return p.client
+	}
+	return http.DefaultClient
+}
+
+func (p *platformClient) AssessModeration(t *threat.Target) (bool, time.Time, error) {
+	var resp moderationResponse
+	if err := p.api.post("/v1/moderation/assess", urlRequest{URL: t.URL}, &resp); err != nil {
+		return false, time.Time{}, err
+	}
+	return resp.Removed, resp.At, nil
+}
+
+func (p *platformClient) RemovePost(platform threat.Platform, postID string, at time.Time) error {
+	base, ok := p.bases[platform]
+	if !ok {
+		return fmt.Errorf("world: unknown platform %q", platform)
+	}
+	body, err := json.Marshal(struct {
+		At time.Time `json:"at"`
+	}{At: at})
+	if err != nil {
+		return err
+	}
+	resp, err := p.httpClient().Post(
+		fmt.Sprintf("%s/posts/%s/remove", base, url.PathEscape(postID)),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("world: remove post %s: %w", postID, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		// The post is already gone; removal is idempotent.
+		return nil
+	case resp.StatusCode < 200 || resp.StatusCode > 299:
+		return fmt.Errorf("world: remove post %s: status %d", postID, resp.StatusCode)
+	}
+	return nil
+}
+
+func (p *platformClient) LookupPost(platform threat.Platform, postID string) (PostStatus, error) {
+	base, ok := p.bases[platform]
+	if !ok {
+		return PostStatus{}, fmt.Errorf("world: unknown platform %q", platform)
+	}
+	resp, err := p.httpClient().Get(fmt.Sprintf("%s/posts/%s/status", base, url.PathEscape(postID)))
+	if err != nil {
+		return PostStatus{}, fmt.Errorf("world: post status %s: %w", postID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return PostStatus{}, fmt.Errorf("world: post status %s: status %d", postID, resp.StatusCode)
+	}
+	var st struct {
+		Exists    bool      `json:"exists"`
+		Removed   bool      `json:"removed"`
+		RemovedAt time.Time `json:"removed_at"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return PostStatus{}, err
+	}
+	return PostStatus{Exists: st.Exists, Removed: st.Removed, RemovedAt: st.RemovedAt}, nil
+}
+
+// --- ReportChannel over HTTP ---
+
+type reportClient struct {
+	api *apiClient
+}
+
+// Disclose submits the report. A transport or server failure is folded
+// into the outcome — a report that never arrived is a study observation
+// (the attack goes unreported), not a pipeline crash.
+func (r *reportClient) Disclose(t *threat.Target, at time.Time) (report.Outcome, error) {
+	var outcome report.Outcome
+	if err := r.api.post("/v1/report", urlRequest{URL: t.URL, At: at}, &outcome); err != nil {
+		return report.Outcome{Error: err.Error()}, nil
+	}
+	return outcome, nil
+}

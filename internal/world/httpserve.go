@@ -1,0 +1,247 @@
+package world
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"freephish/internal/blocklist"
+	"freephish/internal/ctlog"
+	"freephish/internal/fwb"
+	"freephish/internal/threat"
+)
+
+// TargetDTO is the wire form of a threat.Target. Every field is carried
+// exactly — DomainAge as integer nanoseconds, times in RFC3339Nano — so a
+// Target round-tripped through the API is indistinguishable from the
+// server's original in every serialized study artifact. The live
+// *fwb.Site handle does not travel; the server keeps it.
+type TargetDTO struct {
+	URL        string          `json:"url"`
+	ServiceKey string          `json:"service,omitempty"`
+	Kind       fwb.SiteKind    `json:"kind"`
+	Brand      string          `json:"brand,omitempty"`
+	SharedAt   time.Time       `json:"shared_at"`
+	Platform   threat.Platform `json:"platform"`
+	PostID     string          `json:"post_id"`
+
+	HasCredentialFields bool                 `json:"credential_fields"`
+	Noindex             bool                 `json:"noindex"`
+	BannerObfuscated    bool                 `json:"banner_obfuscated"`
+	HiddenIFrame        bool                 `json:"hidden_iframe"`
+	DriveByDownload     bool                 `json:"drive_by"`
+	TwoStepLink         bool                 `json:"two_step"`
+	DomainAge           time.Duration        `json:"domain_age_ns"`
+	CertType            ctlog.ValidationType `json:"cert_type,omitempty"`
+	InCTLog             bool                 `json:"in_ct_log"`
+	SearchIndexed       bool                 `json:"search_indexed"`
+	TLS                 bool                 `json:"tls"`
+}
+
+// TargetToDTO flattens a Target for the wire.
+func TargetToDTO(t *threat.Target) TargetDTO {
+	d := TargetDTO{
+		URL: t.URL, Kind: t.Kind, Brand: t.Brand,
+		SharedAt: t.SharedAt, Platform: t.Platform, PostID: t.PostID,
+		HasCredentialFields: t.HasCredentialFields, Noindex: t.Noindex,
+		BannerObfuscated: t.BannerObfuscated, HiddenIFrame: t.HiddenIFrame,
+		DriveByDownload: t.DriveByDownload, TwoStepLink: t.TwoStepLink,
+		DomainAge: t.DomainAge, CertType: t.CertType,
+		InCTLog: t.InCTLog, SearchIndexed: t.SearchIndexed, TLS: t.TLS,
+	}
+	if t.Service != nil {
+		d.ServiceKey = t.Service.Key
+	}
+	return d
+}
+
+// Target reconstructs the Target. Site is nil on the client side — no
+// consumer of a study record dereferences it, and the server-side state
+// it guards stays behind the API.
+func (d TargetDTO) Target() *threat.Target {
+	t := &threat.Target{
+		URL: d.URL, Kind: d.Kind, Brand: d.Brand,
+		SharedAt: d.SharedAt, Platform: d.Platform, PostID: d.PostID,
+		HasCredentialFields: d.HasCredentialFields, Noindex: d.Noindex,
+		BannerObfuscated: d.BannerObfuscated, HiddenIFrame: d.HiddenIFrame,
+		DriveByDownload: d.DriveByDownload, TwoStepLink: d.TwoStepLink,
+		DomainAge: d.DomainAge, CertType: d.CertType,
+		InCTLog: d.InCTLog, SearchIndexed: d.SearchIndexed, TLS: d.TLS,
+	}
+	if d.ServiceKey != "" {
+		if svc, ok := fwb.ByKey(d.ServiceKey); ok {
+			t.Service = svc
+		}
+	}
+	return t
+}
+
+// profileRequestDTO is the /v1/site/profile body.
+type profileRequestDTO struct {
+	URL      string          `json:"url"`
+	HTML     string          `json:"html"`
+	SharedAt time.Time       `json:"shared_at"`
+	Platform threat.Platform `json:"platform"`
+	PostID   string          `json:"post_id"`
+}
+
+// urlRequest is the body of the URL-keyed assessment endpoints.
+type urlRequest struct {
+	URL string    `json:"url"`
+	At  time.Time `json:"at,omitempty"`
+}
+
+// assessResponse is the /v1/threat/assess answer.
+type assessResponse struct {
+	Blocklist map[string]blocklist.Verdict `json:"blocklist"`
+	VT        []time.Time                  `json:"vt,omitempty"`
+}
+
+// moderationResponse is the /v1/moderation/assess answer.
+type moderationResponse struct {
+	Removed bool      `json:"removed"`
+	At      time.Time `json:"at"`
+}
+
+// SimAPI exposes the Sim's intelligence, assessment, disclosure, and
+// oracle surfaces over HTTP — the server half of the http backend:
+//
+//	GET  /v1/site/resolve?url=U      → SiteInfo
+//	POST /v1/site/profile            → TargetDTO (profiles are cached by
+//	      URL so later URL-keyed assessments reuse the identical Target)
+//	POST /v1/threat/assess   {url}   → assessResponse
+//	POST /v1/moderation/assess {url} → moderationResponse
+//	POST /v1/report       {url, at}  → report.Outcome
+//	GET  /v1/oracle/truth?url=U      → GroundTruth
+//	POST /v1/oracle/release  {url}   → 204
+//
+// Assessments are keyed by URL rather than re-shipping the profile: the
+// server applies them to the exact Target it derived, so wire fidelity
+// can never skew an assessment input.
+type SimAPI struct {
+	sim *Sim
+
+	mu       sync.Mutex
+	profiles map[string]*threat.Target
+}
+
+// NewSimAPI returns the HTTP server surface over sim.
+func NewSimAPI(sim *Sim) *SimAPI {
+	return &SimAPI{sim: sim, profiles: make(map[string]*threat.Target)}
+}
+
+func (a *SimAPI) profile(url string) (*threat.Target, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t, ok := a.profiles[url]
+	return t, ok
+}
+
+// ServeHTTP routes the SimAPI endpoints.
+func (a *SimAPI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/v1/site/resolve":
+		info, err := a.sim.Resolve(r.URL.Query().Get("url"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, info)
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/site/profile":
+		var req profileRequestDTO
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body", http.StatusBadRequest)
+			return
+		}
+		t, err := a.sim.Profile(ProfileRequest{
+			URL: req.URL, HTML: req.HTML, SharedAt: req.SharedAt,
+			Platform: req.Platform, PostID: req.PostID,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		a.mu.Lock()
+		a.profiles[req.URL] = t
+		a.mu.Unlock()
+		writeJSON(w, TargetToDTO(t))
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/threat/assess":
+		t, _, ok := a.profiledTarget(w, r)
+		if !ok {
+			return
+		}
+		verdicts, vt, err := a.sim.Assess(t)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, assessResponse{Blocklist: verdicts, VT: vt})
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/moderation/assess":
+		t, _, ok := a.profiledTarget(w, r)
+		if !ok {
+			return
+		}
+		removed, at, err := a.sim.AssessModeration(t)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, moderationResponse{Removed: removed, At: at})
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/report":
+		t, req, ok := a.profiledTarget(w, r)
+		if !ok {
+			return
+		}
+		outcome, err := a.sim.Disclose(t, req.At)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, outcome)
+	case r.Method == http.MethodGet && r.URL.Path == "/v1/oracle/truth":
+		truth, err := a.sim.Truth(r.URL.Query().Get("url"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, truth)
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/oracle/release":
+		var req urlRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body", http.StatusBadRequest)
+			return
+		}
+		if err := a.sim.Release(req.URL); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// profiledTarget decodes a URL-keyed request and resolves the cached
+// profile, writing the HTTP error itself when either step fails.
+func (a *SimAPI) profiledTarget(w http.ResponseWriter, r *http.Request) (*threat.Target, urlRequest, bool) {
+	var req urlRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body", http.StatusBadRequest)
+		return nil, req, false
+	}
+	t, ok := a.profile(req.URL)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no profile for %q", req.URL), http.StatusNotFound)
+		return nil, req, false
+	}
+	return t, req, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

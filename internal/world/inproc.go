@@ -1,0 +1,59 @@
+package world
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+)
+
+// Inproc returns the in-process adapter set: every port is the Sim
+// itself. Stream and Snap are left nil — the caller wires its poller and
+// fetcher (typically over a HandlerTransport from Transport) into those
+// slots, so the HTTP-shaped components run unchanged with zero sockets.
+func Inproc(s *Sim) World {
+	return World{
+		Intel:    s,
+		Feeds:    s,
+		Platform: s,
+		Reports:  s,
+		Oracle:   s,
+	}
+}
+
+// HandlerTransport is an http.RoundTripper that dispatches requests to
+// in-process handlers keyed on the request's URL host — the same bytes a
+// loopback server would produce, without sockets. It lets the crawler's
+// fetcher and poller (real net/http clients) run against the simulation
+// with no listeners, which is what keeps the inproc backend byte-for-byte
+// identical to serving the handlers over TCP.
+type HandlerTransport struct {
+	hosts map[string]http.Handler
+	// Default, when set, handles any host without an explicit entry.
+	Default http.Handler
+}
+
+// NewHandlerTransport returns an empty transport.
+func NewHandlerTransport() *HandlerTransport {
+	return &HandlerTransport{hosts: make(map[string]http.Handler)}
+}
+
+// Handle routes requests for the given URL host to h.
+func (t *HandlerTransport) Handle(host string, h http.Handler) {
+	t.hosts[host] = h
+}
+
+// RoundTrip serves the request with the matching handler.
+func (t *HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	h, ok := t.hosts[req.URL.Host]
+	if !ok {
+		h = t.Default
+	}
+	if h == nil {
+		return nil, fmt.Errorf("world: no handler for host %q", req.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}

@@ -1,0 +1,139 @@
+package world
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"freephish/internal/fwb"
+	"freephish/internal/simclock"
+	"freephish/internal/social"
+	"freephish/internal/threat"
+)
+
+var epoch = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func TestTargetDTORoundTrip(t *testing.T) {
+	svc, ok := fwb.ByKey("weebly")
+	if !ok {
+		t.Fatal("weebly service missing")
+	}
+	orig := &threat.Target{
+		URL: "https://paypal-alert.weebly.com/", Service: svc,
+		Kind: fwb.KindPhishing, Brand: "PayPal",
+		SharedAt: epoch.Add(90 * time.Minute), Platform: threat.Twitter, PostID: "twitter-7",
+		HasCredentialFields: true, Noindex: true, BannerObfuscated: true,
+		HiddenIFrame: true, DriveByDownload: true, TwoStepLink: true,
+		DomainAge: 13*365*24*time.Hour + 12345*time.Nanosecond,
+		InCTLog:   false, SearchIndexed: true, TLS: true,
+	}
+	// Through the full wire path: struct → JSON → struct → Target.
+	raw, err := json.Marshal(TargetToDTO(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dto TargetDTO
+	if err := json.Unmarshal(raw, &dto); err != nil {
+		t.Fatal(err)
+	}
+	got := dto.Target()
+	if got.Service == nil || got.Service.Key != "weebly" {
+		t.Fatalf("service not reconstructed: %+v", got.Service)
+	}
+	// Every field except the live Site handle must survive exactly —
+	// DomainAge to the nanosecond, times without drift.
+	want := *orig
+	if *got != want {
+		t.Fatalf("round trip drifted:\ngot  %+v\nwant %+v", *got, want)
+	}
+}
+
+func TestHandlerTransportRoutesByHost(t *testing.T) {
+	rt := NewHandlerTransport()
+	rt.Handle("a.inproc", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("handler A"))
+	}))
+	rt.Handle("b.inproc", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("handler B"))
+	}))
+	client := &http.Client{Transport: rt}
+
+	for host, want := range map[string]string{"a.inproc": "handler A", "b.inproc": "handler B"} {
+		resp, err := client.Get("http://" + host + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 32)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if string(body[:n]) != want {
+			t.Fatalf("host %s routed to %q", host, body[:n])
+		}
+	}
+	if _, err := client.Get("http://unknown.inproc/"); err == nil {
+		t.Fatal("unknown host must error without a default handler")
+	}
+}
+
+func TestPlatformOpsOverHTTP(t *testing.T) {
+	now := epoch
+	tw := social.NewNetwork(threat.Twitter, func() time.Time { return now })
+	srv := httptest.NewServer(tw)
+	defer srv.Close()
+	id := tw.Publish("x https://a.weebly.com/", epoch.Add(time.Minute)).ID
+
+	w := OverHTTP(Endpoints{Platforms: map[threat.Platform]string{threat.Twitter: srv.URL}})
+
+	post, err := w.Platform.LookupPost(threat.Twitter, id)
+	if err != nil || !post.Exists || post.Removed {
+		t.Fatalf("lookup live post = %+v, %v", post, err)
+	}
+	at := epoch.Add(2 * time.Hour)
+	if err := w.Platform.RemovePost(threat.Twitter, id, at); err != nil {
+		t.Fatal(err)
+	}
+	post, err = w.Platform.LookupPost(threat.Twitter, id)
+	if err != nil || !post.Removed || !post.RemovedAt.Equal(at) {
+		t.Fatalf("lookup removed post = %+v, %v", post, err)
+	}
+	// Removing a post the platform no longer knows is idempotent: the 404
+	// means "already gone", not a failure.
+	if err := w.Platform.RemovePost(threat.Twitter, "twitter-999", at); err != nil {
+		t.Fatalf("remove of unknown post must be a no-op, got %v", err)
+	}
+	post, err = w.Platform.LookupPost(threat.Twitter, "twitter-999")
+	if err != nil || post.Exists {
+		t.Fatalf("unknown post lookup = %+v, %v", post, err)
+	}
+}
+
+func TestReportFailureSurfacesInOutcome(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "report intake offline", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	for name, base := range map[string]string{"5xx": srv.URL, "unreachable": "http://127.0.0.1:1"} {
+		w := OverHTTP(Endpoints{API: base})
+		outcome, err := w.Reports.Disclose(&threat.Target{URL: "https://x.weebly.com/"}, epoch)
+		if err != nil {
+			t.Fatalf("%s: a failed report submission is an outcome, not an error: %v", name, err)
+		}
+		if outcome.Error == "" || outcome.Acknowledged || outcome.Removed {
+			t.Fatalf("%s: outcome = %+v, want only Error set", name, outcome)
+		}
+	}
+}
+
+func TestSimAPIRejectsUnprofiledAssessment(t *testing.T) {
+	sim := NewSim(1, epoch, simclock.New(epoch))
+	srv := httptest.NewServer(NewSimAPI(sim))
+	defer srv.Close()
+	w := OverHTTP(Endpoints{API: srv.URL})
+	_, _, err := w.Feeds.Assess(&threat.Target{URL: "https://never-profiled.weebly.com/"})
+	if err == nil || !strings.Contains(err.Error(), "no profile") {
+		t.Fatalf("assess without profile = %v, want a no-profile error", err)
+	}
+}
