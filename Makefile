@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends clean
+.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos clean
 
 all: build
 
@@ -33,6 +33,12 @@ ci: fmt-check vet race
 # through the inproc and http backends must yield a byte-identical study.
 verify-backends:
 	$(GO) test ./internal/core -run TestCrossBackendEquivalence -count=1 -v
+
+# verify-chaos proves the resilience layer: a study soaked in the default
+# fault profile (latency, 5xx bursts, resets, corrupted bodies) on both
+# backends must be byte-identical to the fault-free run.
+verify-chaos:
+	$(GO) test ./internal/core -run 'TestStudyUnderFaultsDeterministic|TestBlackoutSurvivedAndObserved' -count=1 -v
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -19,6 +19,7 @@ import (
 	"freephish/internal/analysis"
 	"freephish/internal/baselines"
 	"freephish/internal/core"
+	"freephish/internal/faults"
 	"freephish/internal/features"
 	"freephish/internal/fwb"
 	"freephish/internal/proxy"
@@ -149,6 +150,13 @@ type StudyConfig struct {
 	// component on real loopback listeners and goes through the wire. The
 	// resulting study is bit-identical either way.
 	Backend string
+	// Faults selects a chaos profile injected into the world boundary:
+	// "" / "off" disable injection, "default" / "on" enable the standard
+	// soak profile, and a comma-separated k=v spec tunes individual fault
+	// rates (see the -faults flag documentation). The unified retry layer
+	// absorbs the default profile completely — the study output is
+	// byte-identical to a fault-free run.
+	Faults string
 	// Progress, when set, is invoked after every streaming poll cycle —
 	// the hook by which long study runs narrate themselves.
 	Progress func(Progress)
@@ -191,6 +199,11 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 	}
 	c.Workers = cfg.Workers
 	c.Backend = cfg.Backend
+	prof, err := faults.ParseProfile(cfg.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("freephish: bad fault profile: %w", err)
+	}
+	c.Faults = prof
 	if cfg.Progress != nil {
 		hook := cfg.Progress
 		c.Progress = func(ev core.ProgressEvent) {

@@ -23,6 +23,7 @@ import (
 
 	"freephish/internal/baselines"
 	"freephish/internal/crawler"
+	"freephish/internal/faults"
 	"freephish/internal/features"
 	"freephish/internal/fwb"
 	"freephish/internal/obs"
@@ -43,8 +44,14 @@ func main() {
 		workers   = flag.Int("workers", 0, "training worker pool size; 0 = one per CPU (the trained model is identical at every setting)")
 		cacheSize = flag.Int("snapshot-cache", 0, "parsed-snapshot LRU capacity; 0 = default, negative disables")
 		backend   = flag.String("backend", "http", "how fetches reach the web: http (via -upstream or the real network) or inproc (serve a seeded simulated FWB web in this process; no fwbhost needed)")
+		faultSpec = flag.String("faults", "", "with -backend inproc, inject chaos into the simulated web: off, default, or a k=v spec (see freephish -faults); exercises the proxy's retry path")
 	)
 	flag.Parse()
+
+	faultProf, err := faults.ParseProfile(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var model *baselines.StackDetector
 	if *modelPath != "" {
@@ -93,6 +100,9 @@ func main() {
 	var transport http.RoundTripper
 	switch *backend {
 	case "http":
+		if faultProf != nil {
+			log.Fatalf("-faults requires -backend inproc (chaos is injected into the simulated web)")
+		}
 		if *upstream != "" {
 			transport = fetchTransport{crawler.NewFetcher(*upstream)}
 		}
@@ -101,7 +111,13 @@ func main() {
 		// built here and every fetch dispatches to it in-process.
 		host, nSites, nPhish := simWeb(*seed)
 		rt := world.NewHandlerTransport()
-		rt.Handle("web.inproc", host)
+		var webHandler http.Handler = host
+		if faultProf != nil {
+			inj := faults.NewInjector(*seed, *faultProf)
+			webHandler = inj.Middleware("web", false, host)
+			log.Printf("fault injection enabled on the simulated web: %s", *faultSpec)
+		}
+		rt.Handle("web.inproc", webHandler)
 		client := &http.Client{Transport: rt, Timeout: 10 * time.Second}
 		fetcher.Base = "http://web.inproc"
 		fetcher.Client = client

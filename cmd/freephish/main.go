@@ -19,6 +19,7 @@ import (
 
 	"freephish/internal/baselines"
 	"freephish/internal/core"
+	"freephish/internal/faults"
 	"freephish/internal/features"
 	"freephish/internal/obs"
 	"freephish/internal/simclock"
@@ -34,6 +35,7 @@ func main() {
 		table1N    = flag.Int("table1", 15, "site pairs per FWB for Table 1")
 		workers    = flag.Int("workers", 0, "pipeline/training worker pool size; 0 = one per CPU (results identical at every setting)")
 		backend    = flag.String("backend", core.BackendInproc, "world backend: inproc (in-process dispatch) or http (real loopback servers); results identical either way")
+		faultSpec  = flag.String("faults", "", "chaos profile injected into the world boundary: off, default, or k=v spec (latency=0.1,5xx=0.2,reset=0.05,truncate=0.02,malform=0.02,burst=2,blackout=web:24h:6h); the retry layer absorbs the default profile with byte-identical results")
 		outPath    = flag.String("out", "", "write the study's records as JSONL to this file")
 		opsAddr    = flag.String("ops", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address while the study runs")
 		linger     = flag.Bool("linger", false, "with -ops, keep serving the ops endpoints after the study completes")
@@ -87,6 +89,14 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Backend = *backend
 	cfg.Registry = reg
+	prof, err := faults.ParseProfile(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if prof != nil {
+		cfg.Faults = prof
+		fmt.Printf("fault injection enabled: %s\n\n", *faultSpec)
+	}
 	fp := core.New(cfg)
 	fmt.Println("training classifiers on the ground-truth corpus...")
 	if err := fp.Train(); err != nil {

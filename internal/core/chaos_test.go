@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"freephish/internal/faults"
+	"freephish/internal/obs"
+)
+
+// chaosRun executes one study and captures everything byte-comparable.
+type chaosRun struct {
+	jsonl  []byte
+	stats  Stats
+	obs    map[string]*Observation
+	table3 string
+	fp     *FreePhish
+}
+
+func runChaosStudy(t *testing.T, backend string, prof *faults.Profile) chaosRun {
+	t.Helper()
+	cfg := equivalenceConfig(backend)
+	cfg.Faults = prof
+	f := New(cfg)
+	study, err := f.Run()
+	if err != nil {
+		t.Fatalf("%s backend (faults=%v): %v", backend, prof != nil, err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("%s backend (faults=%v) failed verification: %v", backend, prof != nil, err)
+	}
+	if len(study.Records) == 0 {
+		t.Fatalf("%s backend produced no records", backend)
+	}
+	var buf bytes.Buffer
+	if err := study.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return chaosRun{
+		jsonl:  buf.Bytes(),
+		stats:  f.Stats,
+		obs:    f.Observations,
+		table3: RenderTable3(study),
+		fp:     f,
+	}
+}
+
+// TestStudyUnderFaultsDeterministic is the chaos-soak acceptance check:
+// a study run under the default fault profile — injected latency, 5xx
+// bursts, connection resets, corrupted bodies, on both backends — must
+// be byte-identical to the fault-free run. The unified retry layer has
+// to absorb every injected failure without shifting a single record,
+// counter, or monitor observation.
+func TestStudyUnderFaultsDeterministic(t *testing.T) {
+	clean := runChaosStudy(t, BackendInproc, nil)
+	prof := faults.DefaultProfile()
+	faulted := runChaosStudy(t, BackendInproc, &prof)
+	prof2 := faults.DefaultProfile()
+	faultedHTTP := runChaosStudy(t, BackendHTTP, &prof2)
+
+	// The chaos actually fired — otherwise this test proves nothing.
+	for name, run := range map[string]chaosRun{"inproc": faulted, "http": faultedHTTP} {
+		counts := run.fp.injector.Counts()
+		total := uint64(0)
+		for kind, n := range counts {
+			if kind != faults.KindLatency {
+				total += n
+			}
+		}
+		if total == 0 {
+			t.Fatalf("%s: no failure faults injected (counts=%v)", name, counts)
+		}
+		t.Logf("%s faults injected: %v", name, counts)
+	}
+
+	for name, run := range map[string]chaosRun{"inproc": faulted, "http": faultedHTTP} {
+		if !bytes.Equal(clean.jsonl, run.jsonl) {
+			a := strings.Split(string(clean.jsonl), "\n")
+			b := strings.Split(string(run.jsonl), "\n")
+			for i := 0; i < len(a) && i < len(b); i++ {
+				if a[i] != b[i] {
+					t.Fatalf("%s: study diverges under faults at record %d:\nclean:   %s\nfaulted: %s", name, i, a[i], b[i])
+				}
+			}
+			t.Fatalf("%s: study lengths diverge: clean %d records, faulted %d", name, len(a), len(b))
+		}
+		if clean.stats != run.stats {
+			t.Errorf("%s: stats diverge under faults:\nclean:   %+v\nfaulted: %+v", name, clean.stats, run.stats)
+		}
+		if !reflect.DeepEqual(clean.obs, run.obs) {
+			t.Errorf("%s: monitor observations diverge under faults", name)
+		}
+		if clean.table3 != run.table3 {
+			t.Errorf("%s: Table 3 diverges under faults", name)
+		}
+	}
+
+	// The retry layer did the absorbing: retries were scheduled, nothing
+	// gave up, no breaker opened.
+	for name, run := range map[string]chaosRun{"inproc": faulted, "http": faultedHTTP} {
+		var retries, giveUps, breaker float64
+		for _, s := range run.fp.Metrics.Registry.Snapshot() {
+			switch s.Name {
+			case "freephish_retries_total":
+				retries += s.Value
+			case "freephish_retry_giveups_total":
+				giveUps += s.Value
+			case "freephish_breaker_transitions_total":
+				breaker += s.Value
+			}
+		}
+		if retries == 0 {
+			t.Errorf("%s: no retries recorded under the default profile", name)
+		}
+		if giveUps != 0 || breaker != 0 {
+			t.Errorf("%s: default profile must stay inside the budget; give-ups=%v breaker transitions=%v", name, giveUps, breaker)
+		}
+	}
+}
+
+// TestChaosRunsReproducible: two faulted runs with the same seed are
+// byte-identical to each other — the injector draws from a pure hash,
+// never shared RNG.
+func TestChaosRunsReproducible(t *testing.T) {
+	prof := faults.DefaultProfile()
+	a := runChaosStudy(t, BackendInproc, &prof)
+	prof2 := faults.DefaultProfile()
+	b := runChaosStudy(t, BackendInproc, &prof2)
+	if !bytes.Equal(a.jsonl, b.jsonl) || a.stats != b.stats {
+		t.Fatal("two same-seed chaos runs diverged")
+	}
+	if !reflect.DeepEqual(a.fp.injector.Counts(), b.fp.injector.Counts()) {
+		t.Fatalf("injection schedules diverged: %v vs %v", a.fp.injector.Counts(), b.fp.injector.Counts())
+	}
+}
+
+// TestBlackoutSurvivedAndObserved: a platform blackout longer than the
+// retry budget is the fault class chaos cannot hide. The study must
+// survive it — failed polls, cursor frozen, catch-up afterwards — and
+// the give-up/breaker machinery must leave a visible trace.
+func TestBlackoutSurvivedAndObserved(t *testing.T) {
+	cfg := equivalenceConfig(BackendInproc)
+	cfg.MonitorInterval = 0 // keep the run focused on the streaming path
+	cfg.Registry = obs.NewRegistry()
+	cfg.Faults = &faults.Profile{
+		MaxConsecutive: 2,
+		// Twitter's API is dark for two days mid-window.
+		Blackouts: []faults.Blackout{{Endpoint: "twitter", Start: 10 * 24 * time.Hour, Length: 48 * time.Hour}},
+	}
+	f := New(cfg)
+	study, err := f.Run()
+	if err != nil {
+		t.Fatalf("study did not survive the blackout: %v", err)
+	}
+	if len(study.Records) == 0 {
+		t.Fatal("no records despite a bounded blackout")
+	}
+	if f.poller.Failed == 0 {
+		t.Fatal("a two-day platform blackout should fail at least one poll")
+	}
+	var giveUps float64
+	for _, s := range cfg.Registry.Snapshot() {
+		if s.Name == "freephish_retry_giveups_total" {
+			giveUps += s.Value
+		}
+	}
+	if giveUps == 0 {
+		t.Fatal("blackout polls should exhaust the retry budget and be counted")
+	}
+	if f.injector.Counts()[faults.KindBlackout] == 0 {
+		t.Fatal("injector recorded no blackout faults")
+	}
+}

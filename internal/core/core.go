@@ -21,9 +21,11 @@ import (
 	"freephish/internal/analysis"
 	"freephish/internal/baselines"
 	"freephish/internal/crawler"
+	"freephish/internal/faults"
 	"freephish/internal/features"
 	"freephish/internal/obs"
 	"freephish/internal/par"
+	"freephish/internal/retry"
 	"freephish/internal/simclock"
 	"freephish/internal/world"
 )
@@ -98,6 +100,11 @@ type Config struct {
 	// loopback servers for the web, the platform APIs, the blocklist
 	// feeds, and the SimAPI). The study is bit-identical either way.
 	Backend string
+	// Faults, when non-nil, injects seeded chaos — latency, 5xx bursts,
+	// connection resets, corrupted bodies, endpoint blackouts — into every
+	// world boundary. The unified retry layer absorbs the default profile
+	// completely: the study stays byte-identical to a fault-free run.
+	Faults *faults.Profile
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -176,6 +183,13 @@ type FreePhish struct {
 	snapCache *crawler.SnapshotCache
 	servers   []*webServer
 	runStart  time.Time
+	// retryPol is the run's unified retry policy; every world-facing call
+	// (poller, fetcher, adapters) shares it, so backoff and breaker state
+	// are observed in one place.
+	retryPol *retry.Policy
+	// injector is the chaos source when Config.Faults is set (nil
+	// otherwise); tests read its counts to assert faults actually fired.
+	injector *faults.Injector
 	// listen is the server bind hook; tests inject failures through it.
 	listen listenFunc
 }

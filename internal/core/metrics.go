@@ -51,6 +51,13 @@ type Metrics struct {
 	MonitorHostDown *obs.Counter
 	MonitorListings *obs.CounterVec // entity
 
+	// Resilience: the unified retry policy and the chaos injector.
+	Retries        *obs.CounterVec // key
+	RetryGiveUps   *obs.CounterVec // key
+	RetryBackoff   *obs.Counter
+	BreakerEvents  *obs.CounterVec // key, transition
+	FaultsInjected *obs.CounterVec // kind
+
 	// Study-level progress.
 	Records *obs.Counter
 }
@@ -110,6 +117,17 @@ func newMetrics(reg *obs.Registry, simNow func() time.Time, epoch time.Time) *Me
 		MonitorListings: reg.CounterVec("freephish_monitor_listings_total",
 			"Blocklist-feed listings first observed by the monitor.", "entity"),
 
+		Retries: reg.CounterVec("freephish_retries_total",
+			"Attempts re-issued by the unified retry policy, by endpoint key.", "key"),
+		RetryGiveUps: reg.CounterVec("freephish_retry_giveups_total",
+			"Operations that exhausted the retry budget, by endpoint key.", "key"),
+		RetryBackoff: reg.Counter("freephish_retry_backoff_seconds_total",
+			"Cumulative backoff delay scheduled between retry attempts."),
+		BreakerEvents: reg.CounterVec("freephish_breaker_transitions_total",
+			"Circuit-breaker state transitions, by endpoint key.", "key", "transition"),
+		FaultsInjected: reg.CounterVec("freephish_faults_injected_total",
+			"Chaos faults injected into the world boundary, by kind.", "kind"),
+
 		Records: reg.Counter("freephish_study_records_total",
 			"URLs admitted to longitudinal observation."),
 	}
@@ -146,6 +164,27 @@ func (f *FreePhish) wireMetrics() {
 	}
 	f.poller.ObserveFailure = func(platform threat.Platform, err error) {
 		m.PollFailed.Inc()
+	}
+	if pol := f.retryPol; pol != nil {
+		pol.OnRetry = func(key string, attempt int, delay time.Duration, err error) {
+			m.Retries.With(key).Inc()
+			m.RetryBackoff.Add(delay.Seconds())
+		}
+		pol.OnGiveUp = func(key string, attempts int, err error) {
+			m.RetryGiveUps.With(key).Inc()
+		}
+		pol.OnBreaker = func(key string, open bool) {
+			transition := "close"
+			if open {
+				transition = "open"
+			}
+			m.BreakerEvents.With(key, transition).Inc()
+		}
+	}
+	if f.injector != nil {
+		f.injector.Observe = func(kind string) {
+			m.FaultsInjected.With(kind).Inc()
+		}
 	}
 	stageObs := func(stage string, d time.Duration) {
 		switch stage {

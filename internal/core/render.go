@@ -317,7 +317,12 @@ func RenderSection55(s *analysis.Study) string {
 	for k := range census {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return census[keys[i]].Total > census[keys[j]].Total })
+	sort.Slice(keys, func(i, j int) bool {
+		if census[keys[i]].Total != census[keys[j]].Total {
+			return census[keys[i]].Total > census[keys[j]].Total
+		}
+		return keys[i] < keys[j]
+	})
 	totalNoFields, total := 0, 0
 	for _, k := range keys {
 		c := census[k]

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"freephish/internal/crawler"
+	"freephish/internal/faults"
+	"freephish/internal/retry"
 	"freephish/internal/threat"
 	"freephish/internal/world"
 )
@@ -85,6 +87,14 @@ func (ws *webServer) stop() error {
 // Config.Backend. Both wirings share the Sim substrate; they differ only
 // in how the pipeline reaches it.
 func (f *FreePhish) startServers() error {
+	f.retryPol = f.buildRetry()
+	if f.Config.Faults != nil {
+		f.injector = faults.NewInjector(f.Config.Seed, *f.Config.Faults)
+		f.injector.SetClock(f.Clock.Now, f.Config.Epoch)
+		// Injected latency must not consume wall time — chaos is about
+		// failure paths, not slowing the study down.
+		f.injector.SetSleep(func(time.Duration) {})
+	}
 	switch f.Config.Backend {
 	case "", BackendInproc:
 		return f.startInproc()
@@ -94,22 +104,49 @@ func (f *FreePhish) startServers() error {
 	return fmt.Errorf("core: unknown backend %q (want %q or %q)", f.Config.Backend, BackendInproc, BackendHTTP)
 }
 
+// buildRetry is the run's single retry policy: enough attempts to ride
+// out the default fault profile's burst cap, backoff that never sleeps
+// wall-clock (the sim clock is authoritative), and a per-endpoint
+// breaker sized so only a genuine outage — not injected chaos — trips it.
+func (f *FreePhish) buildRetry() *retry.Policy {
+	return &retry.Policy{
+		MaxAttempts:      4,
+		BaseDelay:        100 * time.Millisecond,
+		MaxDelay:         2 * time.Second,
+		Multiplier:       2,
+		Jitter:           0.25,
+		Seed:             f.Config.Seed,
+		Sleep:            retry.NoSleep,
+		Now:              f.Clock.Now,
+		BreakerThreshold: 3,
+		BreakerCooldown:  30 * time.Minute,
+	}
+}
+
+// chaos wraps h with the fault-injection middleware when chaos is on.
+func (f *FreePhish) chaos(endpoint string, jsonBody bool, h http.Handler) http.Handler {
+	if f.injector == nil {
+		return h
+	}
+	return f.injector.Middleware(endpoint, jsonBody, h)
+}
+
 // startInproc dispatches the crawler's HTTP clients through an in-process
 // RoundTripper — same handlers, same bytes, no sockets — and binds every
 // other port directly to the Sim.
 func (f *FreePhish) startInproc() error {
 	rt := world.NewHandlerTransport()
-	rt.Handle("web.inproc", f.Sim.WebHandler())
+	rt.Handle("web.inproc", f.chaos("web", false, f.Sim.WebHandler()))
 	endpoints := make(map[threat.Platform]string, len(f.Sim.Networks))
 	for _, plat := range f.Sim.Platforms() {
 		h, _ := f.Sim.PlatformHandler(plat)
 		host := string(plat) + ".inproc"
-		rt.Handle(host, h)
+		rt.Handle(host, f.chaos(string(plat), true, h))
 		endpoints[plat] = "http://" + host
 	}
 	client := &http.Client{Transport: rt, Timeout: 10 * time.Second}
 	f.wirePipeline("http://web.inproc", endpoints, client)
-	f.world = world.Inproc(f.Sim)
+	f.world = world.WithRetry(faults.WrapWorld(world.Inproc(f.Sim), f.injector), f.retryPol)
 	f.world.Stream = f.poller
 	f.world.Snap = f.fetcher
 	f.eval = &evaluator{oracle: f.world.Oracle, stats: &f.Stats, metrics: f.Metrics}
@@ -121,7 +158,7 @@ func (f *FreePhish) startInproc() error {
 // platform APIs, the SimAPI, and (when the monitor runs) the blocklist
 // feeds — and points both the crawler and the world ports at them.
 func (f *FreePhish) startHTTP() error {
-	hostSrv, err := f.startServer("web", f.Sim.WebHandler())
+	hostSrv, err := f.startServer("web", f.chaos("web", false, f.Sim.WebHandler()))
 	if err != nil {
 		return err
 	}
@@ -129,7 +166,7 @@ func (f *FreePhish) startHTTP() error {
 	endpoints := make(map[threat.Platform]string, len(f.Sim.Networks))
 	for _, plat := range f.Sim.Platforms() {
 		h, _ := f.Sim.PlatformHandler(plat)
-		s, err := f.startServer(string(plat), h)
+		s, err := f.startServer(string(plat), f.chaos(string(plat), true, h))
 		if err != nil {
 			f.stopServers()
 			return err
@@ -137,7 +174,7 @@ func (f *FreePhish) startHTTP() error {
 		f.servers = append(f.servers, s)
 		endpoints[plat] = s.base
 	}
-	apiSrv, err := f.startServer("simapi", world.NewSimAPI(f.Sim))
+	apiSrv, err := f.startServer("simapi", f.chaos("simapi", true, world.NewSimAPI(f.Sim)))
 	if err != nil {
 		f.stopServers()
 		return err
@@ -150,11 +187,12 @@ func (f *FreePhish) startHTTP() error {
 			return err
 		}
 	}
-	f.wirePipeline(hostSrv.base, endpoints, http.DefaultClient)
+	f.wirePipeline(hostSrv.base, endpoints, nil)
 	f.world = world.OverHTTP(world.Endpoints{
 		API:       apiSrv.base,
 		Platforms: endpoints,
 		Feeds:     feedBases,
+		Retry:     f.retryPol,
 	})
 	f.world.Stream = f.poller
 	f.world.Snap = f.fetcher
@@ -165,17 +203,20 @@ func (f *FreePhish) startHTTP() error {
 
 // wirePipeline builds the fetcher and poller against the given web base
 // and platform endpoints — identical construction for both backends, so
-// retries, caching, and pagination behave the same way everywhere.
+// retries, caching, and pagination behave the same way everywhere. A nil
+// client leaves each component on its own timeout-bearing default.
 func (f *FreePhish) wirePipeline(webBase string, endpoints map[threat.Platform]string, client *http.Client) {
 	f.fetcher = crawler.NewFetcher(webBase)
-	if client != http.DefaultClient {
+	if client != nil {
 		f.fetcher.Client = client
 	}
+	f.fetcher.Retry = f.retryPol
 	if f.Config.SnapshotCacheSize >= 0 {
 		f.snapCache = crawler.NewSnapshotCache(f.Config.SnapshotCacheSize)
 		f.fetcher.Cache = f.snapCache
 	}
 	f.poller = crawler.NewPoller(endpoints, client, f.Config.Epoch)
+	f.poller.Retry = f.retryPol
 	if f.Config.PollQuota > 0 {
 		// Quota bucket against the simulation clock, so throttling scales
 		// with virtual (not wall) time.
@@ -189,7 +230,7 @@ func (f *FreePhish) startFeedServers() (map[string]string, error) {
 	bases := make(map[string]string, len(f.Sim.Feeds))
 	for _, name := range f.Sim.FeedNames() {
 		feed, _ := f.Sim.FeedHandler(name)
-		srv, err := f.startServer("feed."+name, feed)
+		srv, err := f.startServer("feed."+name, f.chaos("feed."+name, true, feed))
 		if err != nil {
 			return nil, err
 		}

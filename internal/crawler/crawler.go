@@ -10,7 +10,9 @@
 package crawler
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"freephish/internal/features"
+	"freephish/internal/retry"
 	"freephish/internal/threat"
 	"freephish/internal/urlx"
 )
@@ -62,12 +65,20 @@ type Poller struct {
 	Observe func(platform threat.Platform, posts, dupPosts, urls int, skipped bool)
 	// ObserveFailure, when set, receives each failed platform poll.
 	ObserveFailure func(platform threat.Platform, err error)
+	// Retry, when set, is the unified retry policy for page fetches: a
+	// transport error, 5xx answer, or undecodable body gets the policy's
+	// backoff before the platform's cycle is declared failed. nil means
+	// one attempt per page.
+	Retry *retry.Policy
 }
 
-// NewPoller returns a Poller starting its cursors at start.
+// NewPoller returns a Poller starting its cursors at start. A nil client
+// gets a private client with a timeout — never http.DefaultClient, whose
+// missing timeout would let one stuck platform API hang the poll loop
+// forever.
 func NewPoller(endpoints map[threat.Platform]string, client *http.Client, start time.Time) *Poller {
 	if client == nil {
-		client = http.DefaultClient
+		client = &http.Client{Timeout: 15 * time.Second}
 	}
 	cur := make(map[threat.Platform]time.Time, len(endpoints))
 	for p := range endpoints {
@@ -120,23 +131,17 @@ func (p *Poller) Poll(now time.Time) ([]StreamedURL, error) {
 		for offset := 0; ; {
 			u := fmt.Sprintf("%s/posts?since=%s&offset=%d", base,
 				url.QueryEscape(p.cursor[plat].Format(time.RFC3339)), offset)
-			resp, err := p.Client.Get(u)
+			posts, more, err := p.fetchPage(plat, u)
 			if err != nil {
-				failure = fmt.Errorf("crawler: poll %s: %w", plat, err)
+				failure = err
 				break
 			}
-			if resp.StatusCode != http.StatusOK {
-				_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-				resp.Body.Close()
-				failure = fmt.Errorf("crawler: poll %s: status %d", plat, resp.StatusCode)
-				break
-			}
-			var posts []apiPost
-			err = json.NewDecoder(resp.Body).Decode(&posts)
-			more := resp.Header.Get("X-More") == "1"
-			resp.Body.Close()
-			if err != nil {
-				failure = fmt.Errorf("crawler: decode %s feed: %w", plat, err)
+			if more && len(posts) == 0 {
+				// A no-progress page: the API claims more results but
+				// returned none, so offset would never advance. Spinning
+				// here livelocked the poller; treat it like any other
+				// failed poll — cursor untouched, re-fetched next cycle.
+				failure = fmt.Errorf("crawler: poll %s: no-progress page at offset %d (empty body with more pending)", plat, offset)
 				break
 			}
 			for _, post := range posts {
@@ -176,6 +181,42 @@ func (p *Poller) Poll(now time.Time) ([]StreamedURL, error) {
 	return out, nil
 }
 
+// fetchPage fetches and decodes one page of a platform's posts API,
+// retrying transient failures — transport errors, 5xx answers, and
+// undecodable bodies — under the unified policy before the cycle gives
+// up on the platform.
+func (p *Poller) fetchPage(plat threat.Platform, u string) (posts []apiPost, more bool, err error) {
+	op := func() error {
+		resp, err := p.Client.Get(u)
+		if err != nil {
+			return retry.Transient(fmt.Errorf("crawler: poll %s: %w", plat, err))
+		}
+		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			err := fmt.Errorf("crawler: poll %s: status %d", plat, resp.StatusCode)
+			if resp.StatusCode >= 500 {
+				return retry.Transient(err)
+			}
+			return err
+		}
+		posts = nil
+		derr := json.NewDecoder(resp.Body).Decode(&posts)
+		more = resp.Header.Get("X-More") == "1"
+		resp.Body.Close()
+		if derr != nil {
+			return retry.Transient(fmt.Errorf("crawler: decode %s feed: %w", plat, derr))
+		}
+		return nil
+	}
+	if p.Retry == nil {
+		err = op()
+		return posts, more, err
+	}
+	err = p.Retry.Do(context.Background(), "poll."+string(plat), op)
+	return posts, more, err
+}
+
 // ChromiumUA is the User-Agent the snapshotter presents. The paper's
 // pre-processing module drives a real Chromium via Selenium, which is what
 // lets it see through the server-side UA cloaking some phishing sites use
@@ -188,10 +229,15 @@ const ChromiumUA = "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, l
 type Fetcher struct {
 	Base   string // e.g. the httptest server URL fronting the simulated web
 	Client *http.Client
-	// Retries is the number of extra attempts on transport errors, with
-	// linear backoff (real crawls see transient resets constantly).
+	// Retry, when set, is the unified retry policy governing attempts,
+	// backoff, and circuit breaking (keyed per target host). When nil, a
+	// policy is derived from Retries/Backoff per call.
+	Retry *retry.Policy
+	// Retries is the number of extra attempts when Retry is nil (real
+	// crawls see transient resets constantly).
 	Retries int
-	// Backoff between attempts; the default is 250ms.
+	// Backoff is the base delay between attempts when Retry is nil; the
+	// default is 250ms.
 	Backoff time.Duration
 	// UserAgent presented to the site; defaults to ChromiumUA.
 	UserAgent string
@@ -207,6 +253,10 @@ type Fetcher struct {
 	Cache *SnapshotCache
 }
 
+// defaultFetchClient backs a Fetcher whose Client was left nil — with a
+// timeout, so a stalled site cannot hang a snapshot forever.
+var defaultFetchClient = &http.Client{Timeout: 15 * time.Second}
+
 // NewFetcher returns a Fetcher pointed at the simulation endpoint.
 func NewFetcher(base string) *Fetcher {
 	return &Fetcher{
@@ -221,6 +271,17 @@ func NewFetcher(base string) *Fetcher {
 // A non-200 status is not an error: the analysis module uses 404/410 as the
 // "site taken down" signal.
 func (f *Fetcher) Snapshot(rawURL string) (features.Page, int, error) {
+	return f.SnapshotContext(context.Background(), rawURL)
+}
+
+// SnapshotContext is Snapshot with cancellation: ctx aborts both
+// in-flight requests and backoff waits, so a shutdown is never blocked
+// behind a retry loop.
+//
+// Transport errors, short reads, and 5xx answers are all retried under
+// the policy; when every attempt 5xxes, the final response is still
+// returned with its status (an overloaded host is data, not a crash).
+func (f *Fetcher) SnapshotContext(ctx context.Context, rawURL string) (features.Page, int, error) {
 	target, err := url.Parse(rawURL)
 	if err != nil {
 		return features.Page{}, 0, fmt.Errorf("crawler: bad URL %q: %w", rawURL, err)
@@ -238,50 +299,74 @@ func (f *Fetcher) Snapshot(rawURL string) (features.Page, int, error) {
 	}
 	client := f.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultFetchClient
 	}
 	ua := f.UserAgent
 	if ua == "" {
 		ua = ChromiumUA
 	}
-	backoff := f.Backoff
-	if backoff <= 0 {
-		backoff = 250 * time.Millisecond
+	pol := f.Retry
+	if pol == nil {
+		backoff := f.Backoff
+		if backoff <= 0 {
+			backoff = 250 * time.Millisecond
+		}
+		pol = &retry.Policy{
+			MaxAttempts: f.Retries + 1,
+			BaseDelay:   backoff,
+			Multiplier:  2,
+		}
 	}
 	start := time.Now()
-	var lastErr error
-	for attempt := 0; attempt <= f.Retries; attempt++ {
-		if attempt > 0 {
-			time.Sleep(backoff * time.Duration(attempt))
-		}
-		req, err := http.NewRequest(http.MethodGet, reqURL, nil)
+	var (
+		page     features.Page
+		status   int
+		attempts int
+	)
+	doErr := pol.Do(ctx, "fetch."+target.Host, func() error {
+		attempts++
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, reqURL, nil)
 		if err != nil {
-			return features.Page{}, 0, err
+			return err
 		}
 		req.Host = target.Host // original virtual host
 		req.Header.Set("User-Agent", ua)
 		resp, err := client.Do(req)
 		if err != nil {
-			lastErr = err
-			continue // transient transport error: retry
+			return retry.Transient(err)
 		}
 		body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 		resp.Body.Close()
 		if err != nil {
-			lastErr = err
-			continue
+			return retry.Transient(fmt.Errorf("read %q: %w", rawURL, err))
 		}
+		page = features.Page{URL: rawURL, HTML: string(body)}
+		status = resp.StatusCode
+		if resp.StatusCode >= 500 {
+			return retry.Transient(&retry.StatusError{Code: resp.StatusCode})
+		}
+		return nil
+	})
+	if doErr != nil {
+		var se *retry.StatusError
+		if errors.As(doErr, &se) && status != 0 {
+			// Retries exhausted on 5xx: surface the final page like any
+			// other non-200, per the Snapshot contract.
+			doErr = nil
+		}
+	}
+	if doErr != nil {
+		err := fmt.Errorf("crawler: fetch %q failed after %d attempts: %w", rawURL, attempts, doErr)
 		if f.Observe != nil {
-			f.Observe(resp.StatusCode, attempt+1, time.Since(start), nil)
+			f.Observe(0, attempts, time.Since(start), err)
 		}
-		if f.Cache != nil && resp.StatusCode == http.StatusOK {
-			return f.Cache.Page(rawURL, string(body)), resp.StatusCode, nil
-		}
-		return features.Page{URL: rawURL, HTML: string(body)}, resp.StatusCode, nil
+		return features.Page{}, 0, err
 	}
-	err = fmt.Errorf("crawler: fetch %q failed after %d attempts: %w", rawURL, f.Retries+1, lastErr)
 	if f.Observe != nil {
-		f.Observe(0, f.Retries+1, time.Since(start), err)
+		f.Observe(status, attempts, time.Since(start), nil)
 	}
-	return features.Page{}, 0, err
+	if f.Cache != nil && status == http.StatusOK {
+		return f.Cache.Page(rawURL, page.HTML), status, nil
+	}
+	return page, status, nil
 }

@@ -1,0 +1,310 @@
+package faults
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"freephish/internal/retry"
+	"freephish/internal/threat"
+	"freephish/internal/world"
+)
+
+// okHandler answers every request with a fixed JSON body.
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true,"pad":"0123456789012345678901234567890123456789"}`)
+	})
+}
+
+// classify issues one request through mw and names what the client saw.
+func classify(t *testing.T, client *http.Client, method, url string) string {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the virtual host: fault keys include it, and the ephemeral
+	// httptest port must not perturb the schedule across servers.
+	req.Host = "api.test"
+	resp, err := client.Do(req)
+	if err != nil {
+		return "transport-error"
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch {
+	case rerr != nil:
+		return "short-body"
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return "503"
+	case resp.StatusCode != http.StatusOK:
+		return "other-status"
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		return "malformed-json"
+	}
+	return "ok"
+}
+
+// TestMiddlewareDeterministic: two injectors with the same seed make
+// identical fault decisions over the same request sequence; a different
+// seed diverges somewhere.
+func TestMiddlewareDeterministic(t *testing.T) {
+	prof := Profile{ServerErrP: 0.2, ResetP: 0.1, TruncateP: 0.1, MalformP: 0.1, MaxConsecutive: 100}
+	run := func(seed int64) []string {
+		inj := NewInjector(seed, prof)
+		srv := httptest.NewServer(inj.Middleware("api", true, okHandler()))
+		defer srv.Close()
+		var got []string
+		for i := 0; i < 40; i++ {
+			got = append(got, classify(t, srv.Client(), http.MethodGet, srv.URL+"/x"))
+		}
+		return got
+	}
+	a, b, c := run(1), run(1), run(2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: same seed diverged: %q vs %q", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 40-request schedules")
+	}
+	kinds := map[string]bool{}
+	for _, k := range a {
+		kinds[k] = true
+	}
+	for _, want := range []string{"503", "ok"} {
+		if !kinds[want] {
+			t.Fatalf("40 requests at these rates should include %q; saw %v", want, kinds)
+		}
+	}
+}
+
+// TestBurstCapForcesPassThrough: at ServerErrP=1 every request wants to
+// fail, but the cap guarantees a healthy response after MaxConsecutive
+// faults — the invariant that keeps chaos inside the retry budget.
+func TestBurstCapForcesPassThrough(t *testing.T) {
+	inj := NewInjector(1, Profile{ServerErrP: 1, MaxConsecutive: 2})
+	srv := httptest.NewServer(inj.Middleware("api", true, okHandler()))
+	defer srv.Close()
+	var got []string
+	for i := 0; i < 9; i++ {
+		got = append(got, classify(t, srv.Client(), http.MethodGet, srv.URL+"/x"))
+	}
+	want := []string{"503", "503", "ok", "503", "503", "ok", "503", "503", "ok"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("request %d = %q, want %q (full sequence %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestMiddlewareFaultKinds checks each kind's client-observable shape
+// over a real server: reset drops the connection, truncate yields a
+// short body, malform breaks JSON decoding.
+func TestMiddlewareFaultKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		prof Profile
+		want string
+	}{
+		{"reset", Profile{ResetP: 1, MaxConsecutive: 1}, "transport-error"},
+		{"truncate", Profile{TruncateP: 1, MaxConsecutive: 1}, "short-body"},
+		{"malform", Profile{MalformP: 1, MaxConsecutive: 1}, "malformed-json"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj := NewInjector(1, tc.prof)
+			srv := httptest.NewServer(inj.Middleware("api", true, okHandler()))
+			defer srv.Close()
+			if got := classify(t, srv.Client(), http.MethodGet, srv.URL+"/x"); got != tc.want {
+				t.Fatalf("first GET = %q, want %q", got, tc.want)
+			}
+			if got := classify(t, srv.Client(), http.MethodGet, srv.URL+"/x"); got != "ok" {
+				t.Fatalf("second GET = %q, want ok (burst cap 1)", got)
+			}
+			if counts := inj.Counts(); counts[tc.name] == 0 {
+				t.Fatalf("counts = %v, want %s > 0", counts, tc.name)
+			}
+		})
+	}
+}
+
+// TestCorruptionNeverHitsWrites: truncate/malform apply to GETs only, so
+// a retried POST can never observe a corrupted (or double-applied) write.
+func TestCorruptionNeverHitsWrites(t *testing.T) {
+	inj := NewInjector(1, Profile{TruncateP: 1, MalformP: 1, MaxConsecutive: 1000})
+	srv := httptest.NewServer(inj.Middleware("api", true, okHandler()))
+	defer srv.Close()
+	for i := 0; i < 20; i++ {
+		if got := classify(t, srv.Client(), http.MethodPost, srv.URL+"/x"); got != "ok" {
+			t.Fatalf("POST %d = %q, want ok (corruption must be GET-only)", i, got)
+		}
+	}
+}
+
+// TestBlackoutWindow: inside the window every request 503s regardless of
+// the burst cap; outside it traffic is clean.
+func TestBlackoutWindow(t *testing.T) {
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	now := epoch
+	inj := NewInjector(1, Profile{
+		MaxConsecutive: 1,
+		Blackouts:      []Blackout{{Endpoint: "api", Start: time.Hour, Length: time.Hour}},
+	})
+	inj.SetClock(func() time.Time { return now }, epoch)
+	srv := httptest.NewServer(inj.Middleware("api", true, okHandler()))
+	defer srv.Close()
+
+	if got := classify(t, srv.Client(), http.MethodGet, srv.URL+"/x"); got != "ok" {
+		t.Fatalf("before window = %q, want ok", got)
+	}
+	now = epoch.Add(90 * time.Minute)
+	for i := 0; i < 4; i++ {
+		if got := classify(t, srv.Client(), http.MethodGet, srv.URL+"/x"); got != "503" {
+			t.Fatalf("inside window request %d = %q, want 503 (no burst cap)", i, got)
+		}
+	}
+	now = epoch.Add(3 * time.Hour)
+	if got := classify(t, srv.Client(), http.MethodGet, srv.URL+"/x"); got != "ok" {
+		t.Fatalf("after window = %q, want ok", got)
+	}
+	if inj.Counts()[KindBlackout] != 4 {
+		t.Fatalf("blackout count = %d, want 4", inj.Counts()[KindBlackout])
+	}
+}
+
+// TestParseProfile covers the flag grammar.
+func TestParseProfile(t *testing.T) {
+	for _, off := range []string{"", "off", "none"} {
+		if p, err := ParseProfile(off); err != nil || p != nil {
+			t.Fatalf("ParseProfile(%q) = %v, %v; want nil, nil", off, p, err)
+		}
+	}
+	p, err := ParseProfile("default")
+	if err != nil || p == nil || p.ServerErrP != DefaultProfile().ServerErrP {
+		t.Fatalf("ParseProfile(default) = %+v, %v", p, err)
+	}
+	p, err = ParseProfile("5xx=0.5,reset=0.1,latency=0.2,latency-max=3ms,burst=4,blackout=web:24h:6h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ServerErrP != 0.5 || p.ResetP != 0.1 || p.LatencyP != 0.2 ||
+		p.LatencyMax != 3*time.Millisecond || p.MaxConsecutive != 4 {
+		t.Fatalf("parsed profile = %+v", p)
+	}
+	if len(p.Blackouts) != 1 || p.Blackouts[0] != (Blackout{Endpoint: "web", Start: 24 * time.Hour, Length: 6 * time.Hour}) {
+		t.Fatalf("blackouts = %+v", p.Blackouts)
+	}
+	for _, bad := range []string{"nope", "5xx", "5xx=x", "blackout=web:24h", "unknown=1"} {
+		if _, err := ParseProfile(bad); err == nil {
+			t.Fatalf("ParseProfile(%q) should fail", bad)
+		}
+	}
+}
+
+// stubIntel is a minimal SiteIntel port for composition tests.
+type stubIntel struct{ calls int }
+
+func (s *stubIntel) Resolve(url string) (world.SiteInfo, error) {
+	s.calls++
+	return world.SiteInfo{Hosted: true}, nil
+}
+
+func (s *stubIntel) Profile(req world.ProfileRequest) (*threat.Target, error) {
+	return &threat.Target{URL: req.URL}, nil
+}
+
+// TestWrapWorldWithRetryAlwaysSucceeds is the composed invariant the
+// chaos-soak study relies on: with fault bursts capped below the retry
+// budget, every port call eventually returns the real answer, and the
+// inner port's side effects (here: its call count) fire once per
+// successful operation plus the injected failures.
+func TestWrapWorldWithRetryAlwaysSucceeds(t *testing.T) {
+	intel := &stubIntel{}
+	inj := NewInjector(3, Profile{ServerErrP: 0.5, ResetP: 0.3, MaxConsecutive: 2})
+	pol := &retry.Policy{MaxAttempts: 4, Sleep: retry.NoSleep}
+	w := world.WithRetry(WrapWorld(world.World{Intel: intel}, inj), pol)
+
+	for i := 0; i < 50; i++ {
+		info, err := w.Intel.Resolve("http://example.test/" + string(rune('a'+i%26)))
+		if err != nil {
+			t.Fatalf("call %d: %v (retry budget must absorb capped bursts)", i, err)
+		}
+		if !info.Hosted {
+			t.Fatalf("call %d: lost the real answer", i)
+		}
+	}
+	if intel.calls != 50 {
+		t.Fatalf("inner port ran %d times, want exactly 50 (faults fire pre-call)", intel.calls)
+	}
+	counts := inj.Counts()
+	if counts[KindServerErr]+counts[KindReset] == 0 {
+		t.Fatalf("counts = %v: no faults injected, the test proved nothing", counts)
+	}
+}
+
+// TestPortFaultMarksTransient: injected port errors carry the transient
+// marker so any policy will retry them.
+func TestPortFaultMarksTransient(t *testing.T) {
+	inj := NewInjector(1, Profile{ServerErrP: 1, MaxConsecutive: 1000})
+	err := inj.PortFault("intel", "intel.resolve|u")
+	if err == nil {
+		t.Fatal("want injected error")
+	}
+	if !retry.IsTransient(err) {
+		t.Fatalf("injected error %v must be transient", err)
+	}
+}
+
+// TestHandlerTransportFaultParity: the same middleware behind the inproc
+// HandlerTransport produces the same client-side failures a real server
+// does — reset becomes a transport error, truncation an unexpected EOF.
+func TestHandlerTransportFaultParity(t *testing.T) {
+	inj := NewInjector(1, Profile{ResetP: 1, MaxConsecutive: 1})
+	rt := world.NewHandlerTransport()
+	rt.Handle("api.inproc", inj.Middleware("api", true, okHandler()))
+	client := &http.Client{Transport: rt}
+
+	if _, err := client.Get("http://api.inproc/x"); err == nil {
+		t.Fatal("reset through HandlerTransport should be a transport error")
+	}
+	resp, err := client.Get("http://api.inproc/x")
+	if err != nil {
+		t.Fatalf("post-burst request: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !strings.Contains(string(body), "ok") {
+		t.Fatalf("clean request: body=%q err=%v", body, err)
+	}
+
+	trunc := NewInjector(1, Profile{TruncateP: 1, MaxConsecutive: 1})
+	rt2 := world.NewHandlerTransport()
+	rt2.Handle("api.inproc", trunc.Middleware("api", true, okHandler()))
+	resp, err = (&http.Client{Transport: rt2}).Get("http://api.inproc/x")
+	if err != nil {
+		t.Fatalf("truncated response should deliver headers: %v", err)
+	}
+	_, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read of truncated inproc body = %v, want io.ErrUnexpectedEOF", err)
+	}
+}

@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"time"
+
+	"freephish/internal/blocklist"
+	"freephish/internal/report"
+	"freephish/internal/threat"
+	"freephish/internal/world"
+)
+
+// WrapWorld decorates every stateful port of w with pre-call injected
+// failures drawn from inj. The fault fires before the inner port runs,
+// so a retried call applies its real side effects exactly once. Stream
+// and Snap are left untouched — the poller and fetcher meet chaos at the
+// HTTP layer via Middleware. A nil injector returns w unchanged.
+func WrapWorld(w world.World, inj *Injector) world.World {
+	if inj == nil {
+		return w
+	}
+	out := w
+	if w.Intel != nil {
+		out.Intel = &faultIntel{w.Intel, inj}
+	}
+	if w.Feeds != nil {
+		out.Feeds = &faultFeeds{w.Feeds, inj}
+	}
+	if w.Platform != nil {
+		out.Platform = &faultPlatform{w.Platform, inj}
+	}
+	if w.Reports != nil {
+		out.Reports = &faultReports{w.Reports, inj}
+	}
+	if w.Oracle != nil {
+		out.Oracle = &faultOracle{w.Oracle, inj}
+	}
+	return out
+}
+
+type faultIntel struct {
+	w   world.SiteIntel
+	inj *Injector
+}
+
+func (f *faultIntel) Resolve(url string) (world.SiteInfo, error) {
+	if err := f.inj.PortFault("intel", "intel.resolve|"+url); err != nil {
+		return world.SiteInfo{}, err
+	}
+	return f.w.Resolve(url)
+}
+
+func (f *faultIntel) Profile(req world.ProfileRequest) (*threat.Target, error) {
+	if err := f.inj.PortFault("intel", "intel.profile|"+req.URL); err != nil {
+		return nil, err
+	}
+	return f.w.Profile(req)
+}
+
+type faultFeeds struct {
+	w   world.ThreatFeeds
+	inj *Injector
+}
+
+func (f *faultFeeds) Assess(t *threat.Target) (map[string]blocklist.Verdict, []time.Time, error) {
+	if err := f.inj.PortFault("feeds", "feeds.assess|"+t.URL); err != nil {
+		return nil, nil, err
+	}
+	return f.w.Assess(t)
+}
+
+func (f *faultFeeds) Listed(entity, url string) (bool, error) {
+	if err := f.inj.PortFault("feeds", "feeds.listed|"+entity+"|"+url); err != nil {
+		return false, err
+	}
+	return f.w.Listed(entity, url)
+}
+
+func (f *faultFeeds) FeedNames() []string { return f.w.FeedNames() }
+
+type faultPlatform struct {
+	w   world.PlatformOps
+	inj *Injector
+}
+
+func (f *faultPlatform) AssessModeration(t *threat.Target) (bool, time.Time, error) {
+	if err := f.inj.PortFault("platform", "platform.moderation|"+t.URL); err != nil {
+		return false, time.Time{}, err
+	}
+	return f.w.AssessModeration(t)
+}
+
+func (f *faultPlatform) RemovePost(platform threat.Platform, postID string, at time.Time) error {
+	if err := f.inj.PortFault("platform", "platform.remove|"+postID); err != nil {
+		return err
+	}
+	return f.w.RemovePost(platform, postID, at)
+}
+
+func (f *faultPlatform) LookupPost(platform threat.Platform, postID string) (world.PostStatus, error) {
+	if err := f.inj.PortFault("platform", "platform.lookup|"+postID); err != nil {
+		return world.PostStatus{}, err
+	}
+	return f.w.LookupPost(platform, postID)
+}
+
+type faultReports struct {
+	w   world.ReportChannel
+	inj *Injector
+}
+
+func (f *faultReports) Disclose(t *threat.Target, at time.Time) (report.Outcome, error) {
+	if err := f.inj.PortFault("reports", "reports.disclose|"+t.URL); err != nil {
+		return report.Outcome{}, err
+	}
+	return f.w.Disclose(t, at)
+}
+
+type faultOracle struct {
+	w   world.Oracle
+	inj *Injector
+}
+
+func (f *faultOracle) Truth(url string) (world.GroundTruth, error) {
+	if err := f.inj.PortFault("oracle", "oracle.truth|"+url); err != nil {
+		return world.GroundTruth{}, err
+	}
+	return f.w.Truth(url)
+}
+
+func (f *faultOracle) Release(url string) error {
+	if err := f.inj.PortFault("oracle", "oracle.release|"+url); err != nil {
+		return err
+	}
+	return f.w.Release(url)
+}

@@ -1,0 +1,330 @@
+// Package retry is the pipeline's one retry/backoff policy. Every
+// network client in FreePhish — the streaming poller, the snapshot
+// fetcher, the world HTTP adapters, the reporter, and the §4.4 monitor —
+// shares a single Policy, so backoff shape, jitter, circuit breaking,
+// and cancellation behave identically everywhere instead of each call
+// site growing its own ad-hoc sleep loop.
+//
+// Determinism: the backoff jitter is a pure hash of (seed, key, attempt)
+// rather than a draw from shared RNG state, so concurrent retries on
+// different keys cannot perturb each other and a retried run schedules
+// exactly the same delays as the previous one. Inside the simulation the
+// policy is wired with NoSleep — virtual time is frozen while a poll
+// cycle executes, so waiting wall-clock would add latency without
+// advancing anything — while daemons use WallSleep, which honors context
+// cancellation mid-backoff.
+package retry
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+)
+
+// Defaults used when the corresponding Policy field is zero.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 100 * time.Millisecond
+	DefaultMaxDelay    = 5 * time.Second
+	DefaultMultiplier  = 2.0
+)
+
+// ErrCircuitOpen is returned (wrapped, with the key) when a key's
+// breaker is open and the call is refused without running the operation.
+var ErrCircuitOpen = errors.New("retry: circuit open")
+
+// SleepFunc waits out one backoff delay. It returns early with ctx.Err()
+// when the context is canceled — the hook that makes shutdown interrupt
+// a retry loop instead of blocking behind it.
+type SleepFunc func(ctx context.Context, d time.Duration) error
+
+// WallSleep waits d of wall-clock time or until ctx is done.
+func WallSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// NoSleep skips the wait entirely but still honors cancellation. It is
+// the right Sleep for code driven by a virtual clock: during a simulated
+// poll cycle the clock is frozen, so there is nothing to wait for.
+func NoSleep(ctx context.Context, d time.Duration) error {
+	return ctx.Err()
+}
+
+// StatusError marks an HTTP status worth reasoning about at the retry
+// layer; 5xx statuses are transient (the endpoint may recover), anything
+// else is an application answer.
+type StatusError struct {
+	Code int
+}
+
+func (e *StatusError) Error() string { return fmt.Sprintf("status %d", e.Code) }
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient marks err as retryable: transport failures, short reads,
+// undecodable bodies — anything where trying again may get a different
+// answer. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	var t *transientError
+	if errors.As(err, &t) {
+		return err
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is worth retrying: it was marked with
+// Transient, or it carries a 5xx StatusError.
+func IsTransient(err error) bool {
+	var t *transientError
+	if errors.As(err, &t) {
+		return true
+	}
+	var s *StatusError
+	if errors.As(err, &s) {
+		return s.Code >= 500
+	}
+	return false
+}
+
+// Policy is one retry discipline: exponential backoff with deterministic
+// jitter, a per-key circuit breaker, and observer hooks for the metrics
+// layer. The zero value is usable; fields left zero take the Default*
+// constants. A Policy is safe for concurrent use and must not be copied
+// after first use.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure; each further wait is
+	// multiplied by Multiplier and capped at MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter spreads each delay by ±Jitter (a fraction, e.g. 0.25). The
+	// spread is a pure hash of (Seed, key, attempt) — deterministic, and
+	// free of shared RNG state.
+	Jitter float64
+	Seed   int64
+	// Sleep waits out one backoff delay; nil means WallSleep. Simulation
+	// wiring passes NoSleep.
+	Sleep SleepFunc
+	// Now is the breaker's clock; nil means time.Now. Simulation wiring
+	// passes the virtual clock so breaker cooldowns elapse in sim time.
+	Now func() time.Time
+
+	// BreakerThreshold opens a key's circuit after that many consecutive
+	// give-ups (whole Do calls that exhausted their attempts — individual
+	// failed attempts do not count, so interleaved concurrent bursts
+	// cannot trip it spuriously). Zero disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit refuses calls before
+	// letting a probe through (half-open). Zero means 30s.
+	BreakerCooldown time.Duration
+
+	// OnRetry fires before each backoff wait; OnGiveUp fires when a Do
+	// exhausts its attempts; OnBreaker fires on each open/close
+	// transition. All must be cheap and concurrency-safe.
+	OnRetry   func(key string, attempt int, delay time.Duration, err error)
+	OnGiveUp  func(key string, attempts int, err error)
+	OnBreaker func(key string, open bool)
+
+	mu       sync.Mutex
+	breakers map[string]*breakerState
+}
+
+type breakerState struct {
+	giveUps   int
+	openUntil time.Time
+}
+
+// Do runs op under the policy, keyed for backoff jitter and circuit
+// breaking (use one key per endpoint). Only errors marked transient (see
+// Transient and StatusError) are retried; an application error returns
+// immediately. Cancellation of ctx aborts both in-flight waits and
+// further attempts.
+func (p *Policy) Do(ctx context.Context, key string, op func() error) error {
+	if err := p.breakerAllow(key); err != nil {
+		return err
+	}
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultMaxAttempts
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = WallSleep
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = op()
+		if err == nil {
+			p.breakerSuccess(key)
+			return nil
+		}
+		if !IsTransient(err) {
+			// An application answer, not endpoint health: surface it
+			// untouched and leave the breaker alone.
+			return err
+		}
+		if attempt >= attempts {
+			break
+		}
+		d := p.delay(key, attempt)
+		if p.OnRetry != nil {
+			p.OnRetry(key, attempt, d, err)
+		}
+		if serr := sleep(ctx, d); serr != nil {
+			return serr
+		}
+	}
+	p.breakerGiveUp(key)
+	if p.OnGiveUp != nil {
+		p.OnGiveUp(key, attempts, err)
+	}
+	return fmt.Errorf("retry: %s: gave up after %d attempts: %w", key, attempts, err)
+}
+
+// delay computes the backoff before attempt+1.
+func (p *Policy) delay(key string, attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = DefaultMaxDelay
+	}
+	mult := p.Multiplier
+	if mult <= 0 {
+		mult = DefaultMultiplier
+	}
+	d := float64(base) * math.Pow(mult, float64(attempt-1))
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*unit(p.Seed, key, attempt)-1)
+	}
+	return time.Duration(d)
+}
+
+// unit derives a uniform [0,1) value from (seed, key, attempt) — the
+// deterministic jitter source.
+func unit(seed int64, key string, attempt int) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(b[8:], uint64(attempt))
+	h.Write(b[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+func (p *Policy) now() time.Time {
+	if p.Now != nil {
+		return p.Now()
+	}
+	return time.Now()
+}
+
+// breakerAllow refuses the call while the key's circuit is open. Once
+// the cooldown has elapsed the next call is let through as a half-open
+// probe: success closes the circuit, another give-up re-opens it.
+func (p *Policy) breakerAllow(key string) error {
+	if p.BreakerThreshold <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.breakers[key]
+	if st == nil || st.openUntil.IsZero() {
+		return nil
+	}
+	if p.now().Before(st.openUntil) {
+		return fmt.Errorf("retry: %s: %w", key, ErrCircuitOpen)
+	}
+	return nil
+}
+
+func (p *Policy) breakerSuccess(key string) {
+	if p.BreakerThreshold <= 0 {
+		return
+	}
+	p.mu.Lock()
+	st := p.breakers[key]
+	closed := st != nil && !st.openUntil.IsZero()
+	if st != nil {
+		st.giveUps = 0
+		st.openUntil = time.Time{}
+	}
+	hook := p.OnBreaker
+	p.mu.Unlock()
+	if closed && hook != nil {
+		hook(key, false)
+	}
+}
+
+func (p *Policy) breakerGiveUp(key string) {
+	if p.BreakerThreshold <= 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.breakers == nil {
+		p.breakers = make(map[string]*breakerState)
+	}
+	st := p.breakers[key]
+	if st == nil {
+		st = &breakerState{}
+		p.breakers[key] = st
+	}
+	st.giveUps++
+	opened := false
+	if st.giveUps >= p.BreakerThreshold {
+		now := p.now()
+		// Only a closed or expired circuit transitions to open; while
+		// already open we just keep it open (half-open probe failed).
+		opened = st.openUntil.IsZero() || !now.Before(st.openUntil)
+		cool := p.BreakerCooldown
+		if cool <= 0 {
+			cool = 30 * time.Second
+		}
+		st.openUntil = now.Add(cool)
+	}
+	hook := p.OnBreaker
+	p.mu.Unlock()
+	if opened && hook != nil {
+		hook(key, true)
+	}
+}
+
+// BreakerOpen reports whether the key's circuit is currently open.
+func (p *Policy) BreakerOpen(key string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.breakers[key]
+	return st != nil && !st.openUntil.IsZero() && p.now().Before(st.openUntil)
+}

@@ -1,0 +1,218 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestDoRetriesTransientUntilSuccess checks the basic shape: transient
+// failures are retried, the first success wins, and the backoff schedule
+// is the deterministic exponential the policy promises.
+func TestDoRetriesTransientUntilSuccess(t *testing.T) {
+	var delays []time.Duration
+	p := &Policy{
+		MaxAttempts: 5,
+		BaseDelay:   100 * time.Millisecond,
+		Multiplier:  2,
+		Sleep:       NoSleep,
+		OnRetry: func(key string, attempt int, d time.Duration, err error) {
+			delays = append(delays, d)
+		},
+	}
+	calls := 0
+	err := p.Do(context.Background(), "k", func() error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("boom"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", delays, want)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v (no jitter configured)", i, delays[i], want[i])
+		}
+	}
+}
+
+// TestDoGivesUpAfterMaxAttempts checks exhaustion: the wrapped error
+// survives, OnGiveUp fires once with the attempt count.
+func TestDoGivesUpAfterMaxAttempts(t *testing.T) {
+	var gaveUp int
+	p := &Policy{
+		MaxAttempts: 3,
+		Sleep:       NoSleep,
+		OnGiveUp:    func(key string, attempts int, err error) { gaveUp = attempts },
+	}
+	calls := 0
+	inner := errors.New("down")
+	err := p.Do(context.Background(), "k", func() error {
+		calls++
+		return Transient(inner)
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if err == nil || !errors.Is(err, inner) {
+		t.Fatalf("err = %v, want wrap of %v", err, inner)
+	}
+	if gaveUp != 3 {
+		t.Fatalf("OnGiveUp attempts = %d, want 3", gaveUp)
+	}
+}
+
+// TestDoStopsOnApplicationError checks that a non-transient error returns
+// on the first attempt, untouched.
+func TestDoStopsOnApplicationError(t *testing.T) {
+	p := &Policy{MaxAttempts: 5, Sleep: NoSleep}
+	calls := 0
+	inner := errors.New("bad request")
+	err := p.Do(context.Background(), "k", func() error {
+		calls++
+		return inner
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if err != inner {
+		t.Fatalf("err = %v, want %v untouched", err, inner)
+	}
+}
+
+// TestStatusErrorTransience: 5xx is retryable, 4xx is an answer.
+func TestStatusErrorTransience(t *testing.T) {
+	if !IsTransient(&StatusError{Code: 503}) {
+		t.Fatal("503 should be transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", &StatusError{Code: 500})) {
+		t.Fatal("wrapped 500 should be transient")
+	}
+	if IsTransient(&StatusError{Code: 404}) {
+		t.Fatal("404 should not be transient")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Fatal("plain error should not be transient")
+	}
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) should stay nil")
+	}
+}
+
+// TestJitterDeterministicAndBounded: same (seed, key, attempt) gives the
+// same delay; the spread stays within ±Jitter of the base schedule.
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	mk := func() *Policy {
+		return &Policy{BaseDelay: time.Second, Multiplier: 2, MaxDelay: time.Hour, Jitter: 0.25, Seed: 7}
+	}
+	a, b := mk(), mk()
+	for attempt := 1; attempt <= 6; attempt++ {
+		da := a.delay("feeds.assess", attempt)
+		db := b.delay("feeds.assess", attempt)
+		if da != db {
+			t.Fatalf("attempt %d: delay not deterministic: %v vs %v", attempt, da, db)
+		}
+		base := float64(time.Second) * float64(int(1)<<(attempt-1))
+		if base > float64(time.Hour) {
+			base = float64(time.Hour)
+		}
+		lo, hi := 0.75*base, 1.25*base
+		if float64(da) < lo || float64(da) > hi {
+			t.Fatalf("attempt %d: delay %v outside ±25%% of %v", attempt, da, time.Duration(base))
+		}
+	}
+	if a.delay("feeds.assess", 1) == a.delay("intel.resolve", 1) {
+		t.Fatal("different keys should jitter differently")
+	}
+}
+
+// TestWallSleepCancellation: a canceled context interrupts the backoff
+// wait promptly instead of sleeping it out.
+func TestWallSleepCancellation(t *testing.T) {
+	p := &Policy{MaxAttempts: 3, BaseDelay: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, "k", func() error { return Transient(errors.New("down")) })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+}
+
+// TestBreakerOpensAndRecovers drives the circuit through its whole
+// lifecycle on an injected clock: closed → open after threshold give-ups
+// → refusing calls → half-open probe after cooldown → closed on success.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	now := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	var transitions []bool
+	p := &Policy{
+		MaxAttempts:      2,
+		Sleep:            NoSleep,
+		Now:              func() time.Time { return now },
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		OnBreaker:        func(key string, open bool) { transitions = append(transitions, open) },
+	}
+	fail := func() error { return Transient(errors.New("down")) }
+
+	for i := 0; i < 2; i++ {
+		if err := p.Do(context.Background(), "k", fail); err == nil {
+			t.Fatal("want give-up error")
+		}
+	}
+	if !p.BreakerOpen("k") {
+		t.Fatal("breaker should be open after 2 give-ups")
+	}
+	calls := 0
+	err := p.Do(context.Background(), "k", func() error { calls++; return nil })
+	if !errors.Is(err, ErrCircuitOpen) || calls != 0 {
+		t.Fatalf("open circuit should refuse without running op; err=%v calls=%d", err, calls)
+	}
+
+	now = now.Add(2 * time.Minute) // cooldown elapses: half-open
+	if err := p.Do(context.Background(), "k", func() error { return nil }); err != nil {
+		t.Fatalf("half-open probe should run and succeed: %v", err)
+	}
+	if p.BreakerOpen("k") {
+		t.Fatal("breaker should close after a successful probe")
+	}
+	if len(transitions) != 2 || transitions[0] != true || transitions[1] != false {
+		t.Fatalf("transitions = %v, want [open close]", transitions)
+	}
+
+	// Other keys were never affected.
+	if p.BreakerOpen("other") {
+		t.Fatal("unrelated key should not share breaker state")
+	}
+}
+
+// TestBreakerIgnoresApplicationErrors: non-transient failures are
+// answers, not endpoint health, and never trip the circuit.
+func TestBreakerIgnoresApplicationErrors(t *testing.T) {
+	p := &Policy{MaxAttempts: 2, Sleep: NoSleep, BreakerThreshold: 1}
+	for i := 0; i < 5; i++ {
+		_ = p.Do(context.Background(), "k", func() error { return errors.New("no") })
+	}
+	if p.BreakerOpen("k") {
+		t.Fatal("application errors must not open the breaker")
+	}
+}

@@ -2,6 +2,7 @@ package world
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,8 +13,15 @@ import (
 
 	"freephish/internal/blocklist"
 	"freephish/internal/report"
+	"freephish/internal/retry"
 	"freephish/internal/threat"
 )
+
+// defaultClient is the fallback for Endpoints.Client. Unlike
+// http.DefaultClient it carries a timeout, so one stalled endpoint fails
+// the call (and the retry layer gets its turn) instead of hanging the
+// study forever.
+var defaultClient = &http.Client{Timeout: 15 * time.Second}
 
 // Endpoints locates the http backend's servers.
 type Endpoints struct {
@@ -25,15 +33,20 @@ type Endpoints struct {
 	// Feeds maps each blocklist entity to its lookup-API base URL. May be
 	// empty when the monitor is disabled.
 	Feeds map[string]string
-	// Client issues every request; nil means http.DefaultClient.
+	// Client issues every request; nil means a shared client with a
+	// 15-second timeout (never the timeout-less http.DefaultClient).
 	Client *http.Client
+	// Retry, when set, is the unified policy every adapter call runs
+	// under: transport errors, 5xx answers, and undecodable bodies are
+	// retried with per-endpoint backoff and circuit breaking.
+	Retry *retry.Policy
 }
 
 // OverHTTP returns the adapter set that reaches the world through real
 // HTTP endpoints. Stream and Snap are left nil — the caller wires its
 // poller and fetcher (already HTTP clients) into those slots.
 func OverHTTP(ep Endpoints) World {
-	c := &apiClient{base: ep.API, client: ep.Client}
+	c := &apiClient{base: ep.API, client: ep.Client, pol: ep.Retry}
 	feeds := &feedsClient{api: c, clients: make(map[string]*blocklist.Client, len(ep.Feeds))}
 	for name, base := range ep.Feeds {
 		fc := blocklist.NewClient(base)
@@ -55,49 +68,79 @@ func OverHTTP(ep Endpoints) World {
 type apiClient struct {
 	base   string
 	client *http.Client
+	pol    *retry.Policy
 }
 
 func (c *apiClient) httpClient() *http.Client {
 	if c.client != nil {
 		return c.client
 	}
-	return http.DefaultClient
+	return defaultClient
+}
+
+// do runs op under the unified retry policy when one is configured.
+func (c *apiClient) do(key string, op func() error) error {
+	if c.pol == nil {
+		return op()
+	}
+	return c.pol.Do(context.Background(), key, op)
 }
 
 // get issues a GET with a url query parameter and decodes the JSON reply.
+// Transport errors, 5xx answers, and undecodable bodies are transient —
+// retried when a policy is wired, surfaced as errors otherwise.
 func (c *apiClient) get(path, target string, out any) error {
 	u := fmt.Sprintf("%s%s?url=%s", c.base, path, url.QueryEscape(target))
-	resp, err := c.httpClient().Get(u)
-	if err != nil {
-		return fmt.Errorf("world: GET %s: %w", path, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("world: GET %s: status %d", path, resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return c.do("simapi"+path, func() error {
+		resp, err := c.httpClient().Get(u)
+		if err != nil {
+			return retry.Transient(fmt.Errorf("world: GET %s: %w", path, err))
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			err := fmt.Errorf("world: GET %s: status %d", path, resp.StatusCode)
+			if resp.StatusCode >= 500 {
+				return retry.Transient(err)
+			}
+			return err
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return retry.Transient(fmt.Errorf("world: GET %s: decode: %w", path, err))
+		}
+		return nil
+	})
 }
 
 // post issues a JSON POST and decodes the JSON reply into out (nil out
-// accepts any 2xx with no body).
+// accepts any 2xx with no body). The request body is marshaled once and
+// replayed per attempt.
 func (c *apiClient) post(path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	resp, err := c.httpClient().Post(c.base+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("world: POST %s: %w", path, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("world: POST %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
-	}
-	if out == nil {
+	return c.do("simapi"+path, func() error {
+		resp, err := c.httpClient().Post(c.base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return retry.Transient(fmt.Errorf("world: POST %s: %w", path, err))
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			err := fmt.Errorf("world: POST %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+			if resp.StatusCode >= 500 {
+				return retry.Transient(err)
+			}
+			return err
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return retry.Transient(fmt.Errorf("world: POST %s: decode: %w", path, err))
+		}
 		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	})
 }
 
 // --- SiteIntel over HTTP ---
@@ -152,7 +195,18 @@ func (f *feedsClient) Listed(entity, target string) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("world: no feed endpoint for %q", entity)
 	}
-	return c.IsListed(target)
+	var listed bool
+	err := f.api.do("feed."+entity, func() error {
+		l, err := c.IsListed(target)
+		if err != nil {
+			// The lookup API is an external service: any failure —
+			// transport, status, or decode — is worth another try.
+			return retry.Transient(err)
+		}
+		listed = l
+		return nil
+	})
+	return listed, err
 }
 
 func (f *feedsClient) FeedNames() []string {
@@ -176,7 +230,7 @@ func (p *platformClient) httpClient() *http.Client {
 	if p.client != nil {
 		return p.client
 	}
-	return http.DefaultClient
+	return defaultClient
 }
 
 func (p *platformClient) AssessModeration(t *threat.Target) (bool, time.Time, error) {
@@ -198,21 +252,25 @@ func (p *platformClient) RemovePost(platform threat.Platform, postID string, at 
 	if err != nil {
 		return err
 	}
-	resp, err := p.httpClient().Post(
-		fmt.Sprintf("%s/posts/%s/remove", base, url.PathEscape(postID)),
-		"application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("world: remove post %s: %w", postID, err)
-	}
-	defer resp.Body.Close()
-	switch {
-	case resp.StatusCode == http.StatusNotFound:
-		// The post is already gone; removal is idempotent.
+	return p.api.do("platform.remove."+string(platform), func() error {
+		resp, err := p.httpClient().Post(
+			fmt.Sprintf("%s/posts/%s/remove", base, url.PathEscape(postID)),
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			return retry.Transient(fmt.Errorf("world: remove post %s: %w", postID, err))
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			// The post is already gone; removal is idempotent.
+			return nil
+		case resp.StatusCode >= 500:
+			return retry.Transient(fmt.Errorf("world: remove post %s: status %d", postID, resp.StatusCode))
+		case resp.StatusCode < 200 || resp.StatusCode > 299:
+			return fmt.Errorf("world: remove post %s: status %d", postID, resp.StatusCode)
+		}
 		return nil
-	case resp.StatusCode < 200 || resp.StatusCode > 299:
-		return fmt.Errorf("world: remove post %s: status %d", postID, resp.StatusCode)
-	}
-	return nil
+	})
 }
 
 func (p *platformClient) LookupPost(platform threat.Platform, postID string) (PostStatus, error) {
@@ -220,23 +278,32 @@ func (p *platformClient) LookupPost(platform threat.Platform, postID string) (Po
 	if !ok {
 		return PostStatus{}, fmt.Errorf("world: unknown platform %q", platform)
 	}
-	resp, err := p.httpClient().Get(fmt.Sprintf("%s/posts/%s/status", base, url.PathEscape(postID)))
-	if err != nil {
-		return PostStatus{}, fmt.Errorf("world: post status %s: %w", postID, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return PostStatus{}, fmt.Errorf("world: post status %s: status %d", postID, resp.StatusCode)
-	}
-	var st struct {
-		Exists    bool      `json:"exists"`
-		Removed   bool      `json:"removed"`
-		RemovedAt time.Time `json:"removed_at"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return PostStatus{}, err
-	}
-	return PostStatus{Exists: st.Exists, Removed: st.Removed, RemovedAt: st.RemovedAt}, nil
+	var out PostStatus
+	err := p.api.do("platform.lookup."+string(platform), func() error {
+		resp, err := p.httpClient().Get(fmt.Sprintf("%s/posts/%s/status", base, url.PathEscape(postID)))
+		if err != nil {
+			return retry.Transient(fmt.Errorf("world: post status %s: %w", postID, err))
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			err := fmt.Errorf("world: post status %s: status %d", postID, resp.StatusCode)
+			if resp.StatusCode >= 500 {
+				return retry.Transient(err)
+			}
+			return err
+		}
+		var st struct {
+			Exists    bool      `json:"exists"`
+			Removed   bool      `json:"removed"`
+			RemovedAt time.Time `json:"removed_at"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return retry.Transient(fmt.Errorf("world: post status %s: decode: %w", postID, err))
+		}
+		out = PostStatus{Exists: st.Exists, Removed: st.Removed, RemovedAt: st.RemovedAt}
+		return nil
+	})
+	return out, err
 }
 
 // --- ReportChannel over HTTP ---

@@ -1,7 +1,9 @@
 package world
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 )
@@ -42,7 +44,12 @@ func (t *HandlerTransport) Handle(host string, h http.Handler) {
 	t.hosts[host] = h
 }
 
-// RoundTrip serves the request with the matching handler.
+// RoundTrip serves the request with the matching handler. It mirrors two
+// behaviors of a real transport so injected faults look the same on both
+// backends: a handler panicking with http.ErrAbortHandler becomes a
+// transport error (the "connection reset" a net/http client would see),
+// and a body shorter than its declared Content-Length fails the read
+// with io.ErrUnexpectedEOF instead of silently delivering fewer bytes.
 func (t *HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	h, ok := t.hosts[req.URL.Host]
 	if !ok {
@@ -52,8 +59,42 @@ func (t *HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) 
 		return nil, fmt.Errorf("world: no handler for host %q", req.URL.Host)
 	}
 	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
+	if err := serveAborting(h, rec, req); err != nil {
+		return nil, err
+	}
 	resp := rec.Result()
+	if resp.ContentLength > int64(rec.Body.Len()) {
+		resp.Body = io.NopCloser(&shortBody{r: bytes.NewReader(rec.Body.Bytes())})
+	}
 	resp.Request = req
 	return resp, nil
+}
+
+// serveAborting runs the handler, converting http.ErrAbortHandler panics
+// (the standard "drop this connection" signal) into a returned error;
+// any other panic propagates.
+func serveAborting(h http.Handler, rec *httptest.ResponseRecorder, req *http.Request) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == http.ErrAbortHandler {
+				err = fmt.Errorf("world: %s http://%s%s: connection reset", req.Method, req.URL.Host, req.URL.Path)
+				return
+			}
+			panic(r)
+		}
+	}()
+	h.ServeHTTP(rec, req)
+	return nil
+}
+
+// shortBody yields its bytes and then fails with io.ErrUnexpectedEOF —
+// what a fixed-length client body does when the peer closes early.
+type shortBody struct{ r *bytes.Reader }
+
+func (s *shortBody) Read(p []byte) (int, error) {
+	n, err := s.r.Read(p)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
 }

@@ -1,0 +1,162 @@
+package world
+
+import (
+	"context"
+	"time"
+
+	"freephish/internal/blocklist"
+	"freephish/internal/report"
+	"freephish/internal/retry"
+	"freephish/internal/threat"
+)
+
+// WithRetry decorates every stateful port of w with the unified retry
+// policy: failures marked retry.Transient (injected chaos faults,
+// adapter transport errors, 5xx answers) are retried under the policy's
+// backoff and per-port circuit breaker, while application errors pass
+// through on the first attempt. Stream and Snap are left untouched —
+// the poller and fetcher carry the policy themselves. A nil policy
+// returns w unchanged.
+func WithRetry(w World, p *retry.Policy) World {
+	if p == nil {
+		return w
+	}
+	out := w
+	if w.Intel != nil {
+		out.Intel = &retryIntel{w, p}
+	}
+	if w.Feeds != nil {
+		out.Feeds = &retryFeeds{w, p}
+	}
+	if w.Platform != nil {
+		out.Platform = &retryPlatform{w, p}
+	}
+	if w.Reports != nil {
+		out.Reports = &retryReports{w, p}
+	}
+	if w.Oracle != nil {
+		out.Oracle = &retryOracle{w, p}
+	}
+	return out
+}
+
+type retryIntel struct {
+	w World
+	p *retry.Policy
+}
+
+func (r *retryIntel) Resolve(url string) (SiteInfo, error) {
+	var info SiteInfo
+	err := r.p.Do(context.Background(), "intel.resolve", func() error {
+		var e error
+		info, e = r.w.Intel.Resolve(url)
+		return e
+	})
+	return info, err
+}
+
+func (r *retryIntel) Profile(req ProfileRequest) (*threat.Target, error) {
+	var t *threat.Target
+	err := r.p.Do(context.Background(), "intel.profile", func() error {
+		var e error
+		t, e = r.w.Intel.Profile(req)
+		return e
+	})
+	return t, err
+}
+
+type retryFeeds struct {
+	w World
+	p *retry.Policy
+}
+
+func (r *retryFeeds) Assess(t *threat.Target) (map[string]blocklist.Verdict, []time.Time, error) {
+	var verdicts map[string]blocklist.Verdict
+	var vt []time.Time
+	err := r.p.Do(context.Background(), "feeds.assess", func() error {
+		var e error
+		verdicts, vt, e = r.w.Feeds.Assess(t)
+		return e
+	})
+	return verdicts, vt, err
+}
+
+func (r *retryFeeds) Listed(entity, url string) (bool, error) {
+	var listed bool
+	err := r.p.Do(context.Background(), "feeds.listed."+entity, func() error {
+		var e error
+		listed, e = r.w.Feeds.Listed(entity, url)
+		return e
+	})
+	return listed, err
+}
+
+func (r *retryFeeds) FeedNames() []string { return r.w.Feeds.FeedNames() }
+
+type retryPlatform struct {
+	w World
+	p *retry.Policy
+}
+
+func (r *retryPlatform) AssessModeration(t *threat.Target) (bool, time.Time, error) {
+	var removed bool
+	var at time.Time
+	err := r.p.Do(context.Background(), "platform.moderation", func() error {
+		var e error
+		removed, at, e = r.w.Platform.AssessModeration(t)
+		return e
+	})
+	return removed, at, err
+}
+
+func (r *retryPlatform) RemovePost(platform threat.Platform, postID string, at time.Time) error {
+	return r.p.Do(context.Background(), "platform.remove."+string(platform), func() error {
+		return r.w.Platform.RemovePost(platform, postID, at)
+	})
+}
+
+func (r *retryPlatform) LookupPost(platform threat.Platform, postID string) (PostStatus, error) {
+	var st PostStatus
+	err := r.p.Do(context.Background(), "platform.lookup."+string(platform), func() error {
+		var e error
+		st, e = r.w.Platform.LookupPost(platform, postID)
+		return e
+	})
+	return st, err
+}
+
+type retryReports struct {
+	w World
+	p *retry.Policy
+}
+
+func (r *retryReports) Disclose(t *threat.Target, at time.Time) (report.Outcome, error) {
+	var out report.Outcome
+	err := r.p.Do(context.Background(), "reports.disclose", func() error {
+		var e error
+		out, e = r.w.Reports.Disclose(t, at)
+		return e
+	})
+	return out, err
+}
+
+type retryOracle struct {
+	w World
+	p *retry.Policy
+}
+
+func (r *retryOracle) Truth(url string) (GroundTruth, error) {
+	var truth GroundTruth
+	err := r.p.Do(context.Background(), "oracle.truth", func() error {
+		var e error
+		truth, e = r.w.Oracle.Truth(url)
+		return e
+	})
+	return truth, err
+}
+
+func (r *retryOracle) Release(url string) error {
+	return r.p.Do(context.Background(), "oracle.release", func() error {
+		return r.w.Oracle.Release(url)
+	})
+}
