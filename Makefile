@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos clean
+.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos verify-stream clean
 
 all: build
 
@@ -40,15 +40,23 @@ verify-backends:
 verify-chaos:
 	$(GO) test ./internal/core -run 'TestStudyUnderFaultsDeterministic|TestBlackoutSurvivedAndObserved' -count=1 -v
 
+# verify-stream proves the streaming engine's determinism contract: the
+# same seed at every (workers × queue-depth × backend) combination must
+# yield a byte-identical study, and a failed poll must end the run at once.
+verify-stream:
+	$(GO) test ./internal/core -run 'TestStudyDeterminismAcrossQueueDepths|TestRunEndsImmediatelyOnPollError' -count=1 -v
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-baseline writes BENCH_obs.json and BENCH_parallel.json —
-# machine-readable snapshots of pipeline, metrics-layer, and worker-pool
-# cost for diffing across commits.
+# bench-baseline writes BENCH_obs.json, BENCH_parallel.json, and
+# BENCH_pipeline.json — machine-readable snapshots of pipeline,
+# metrics-layer, worker-pool, and barrier-vs-stream cost for diffing
+# across commits.
 bench-baseline:
 	BENCH_JSON=BENCH_obs.json $(GO) test -run TestWriteBenchBaseline -v .
 	BENCH_PARALLEL_JSON=BENCH_parallel.json $(GO) test -run TestWriteParallelBenchBaseline -v .
+	BENCH_PIPELINE_JSON=BENCH_pipeline.json $(GO) test -run TestWriteStreamBenchBaseline -v .
 
 # bench-compare diffs a saved baseline against a fresh run:
 #   make bench-compare OLD=BENCH_parallel.json NEW=BENCH_parallel.new.json
@@ -58,5 +66,5 @@ bench-compare:
 	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 clean:
-	rm -f BENCH_obs.json BENCH_parallel.json BENCH_parallel.new.json
+	rm -f BENCH_obs.json BENCH_parallel.json BENCH_parallel.new.json BENCH_pipeline.json BENCH_pipeline.new.json
 	$(GO) clean ./...

@@ -145,6 +145,12 @@ type StudyConfig struct {
 	// parallelism; 0 means one worker per CPU. Results are bit-identical
 	// at every setting — parallelism only trades wall-clock for cores.
 	Workers int
+	// QueueDepth bounds the streaming pipeline's per-stage queues and its
+	// reorder window, so per-cycle memory is O(Workers + QueueDepth) and a
+	// stalled fetch backpressures the stream instead of buffering it; 0
+	// picks the engine default. Like Workers, results are bit-identical at
+	// every setting.
+	QueueDepth int
 	// Backend selects how the pipeline reaches the simulated world:
 	// "inproc" (the default) binds it directly, "http" serves every
 	// component on real loopback listeners and goes through the wire. The
@@ -198,6 +204,7 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 		c.TrainPerClass = cfg.TrainPerClass
 	}
 	c.Workers = cfg.Workers
+	c.QueueDepth = cfg.QueueDepth
 	c.Backend = cfg.Backend
 	prof, err := faults.ParseProfile(cfg.Faults)
 	if err != nil {

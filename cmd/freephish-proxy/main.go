@@ -34,17 +34,18 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8899", "proxy listen address")
-		trainN    = flag.Int("train", 400, "ground-truth pairs to train the classifier on")
-		seed      = flag.Int64("seed", 1, "seed")
-		upstream  = flag.String("upstream", "", "base URL all fetches are routed to (an fwbhost instance); empty = the real network")
-		modelPath = flag.String("model", "", "load a trained model instead of training (see -save-model)")
-		savePath  = flag.String("save-model", "", "after training, write the model here for future -model runs")
-		opsAddr   = flag.String("ops", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this separate address")
-		workers   = flag.Int("workers", 0, "training worker pool size; 0 = one per CPU (the trained model is identical at every setting)")
-		cacheSize = flag.Int("snapshot-cache", 0, "parsed-snapshot LRU capacity; 0 = default, negative disables")
-		backend   = flag.String("backend", "http", "how fetches reach the web: http (via -upstream or the real network) or inproc (serve a seeded simulated FWB web in this process; no fwbhost needed)")
-		faultSpec = flag.String("faults", "", "with -backend inproc, inject chaos into the simulated web: off, default, or a k=v spec (see freephish -faults); exercises the proxy's retry path")
+		addr       = flag.String("addr", "127.0.0.1:8899", "proxy listen address")
+		trainN     = flag.Int("train", 400, "ground-truth pairs to train the classifier on")
+		seed       = flag.Int64("seed", 1, "seed")
+		upstream   = flag.String("upstream", "", "base URL all fetches are routed to (an fwbhost instance); empty = the real network")
+		modelPath  = flag.String("model", "", "load a trained model instead of training (see -save-model)")
+		savePath   = flag.String("save-model", "", "after training, write the model here for future -model runs")
+		opsAddr    = flag.String("ops", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this separate address")
+		workers    = flag.Int("workers", 0, "training worker pool size; 0 = one per CPU (the trained model is identical at every setting)")
+		queueDepth = flag.Int("queue-depth", 0, "max concurrent live classifications (fetch + score); bursts beyond it queue; 0 = unbounded")
+		cacheSize  = flag.Int("snapshot-cache", 0, "parsed-snapshot LRU capacity; 0 = default, negative disables")
+		backend    = flag.String("backend", "http", "how fetches reach the web: http (via -upstream or the real network) or inproc (serve a seeded simulated FWB web in this process; no fwbhost needed)")
+		faultSpec  = flag.String("faults", "", "with -backend inproc, inject chaos into the simulated web: off, default, or a k=v spec (see freephish -faults); exercises the proxy's retry path")
 	)
 	flag.Parse()
 
@@ -144,6 +145,7 @@ func main() {
 		fetcher.Cache = snapCache
 	}
 	checker := proxy.NewLiveChecker(model, fetcher.Snapshot)
+	checker.SetMaxInFlight(*queueDepth)
 	px := proxy.New(checker, transport)
 
 	// Per-request decision and latency metrics; the ops listener is

@@ -34,6 +34,7 @@ func main() {
 		skipTable2 = flag.Bool("skip-table2", false, "skip the Table 2 model comparison (the slowest step)")
 		table1N    = flag.Int("table1", 15, "site pairs per FWB for Table 1")
 		workers    = flag.Int("workers", 0, "pipeline/training worker pool size; 0 = one per CPU (results identical at every setting)")
+		queueDepth = flag.Int("queue-depth", 0, "streaming pipeline per-stage queue and reorder-window bound; 0 = engine default (results identical at every setting)")
 		backend    = flag.String("backend", core.BackendInproc, "world backend: inproc (in-process dispatch) or http (real loopback servers); results identical either way")
 		faultSpec  = flag.String("faults", "", "chaos profile injected into the world boundary: off, default, or k=v spec (latency=0.1,5xx=0.2,reset=0.05,truncate=0.02,malform=0.02,burst=2,blackout=web:24h:6h); the retry layer absorbs the default profile with byte-identical results")
 		outPath    = flag.String("out", "", "write the study's records as JSONL to this file")
@@ -87,6 +88,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Scale = *scale
 	cfg.Workers = *workers
+	cfg.QueueDepth = *queueDepth
 	cfg.Backend = *backend
 	cfg.Registry = reg
 	prof, err := faults.ParseProfile(*faultSpec)

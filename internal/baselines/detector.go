@@ -9,12 +9,13 @@
 package baselines
 
 import (
+	"context"
 	"sort"
 	"time"
 
 	"freephish/internal/features"
 	"freephish/internal/ml"
-	"freephish/internal/par"
+	"freephish/internal/pipe"
 )
 
 // LabeledPage is one ground-truth sample.
@@ -47,11 +48,13 @@ type Result struct {
 // the way the paper times per-URL classification. Besides the threshold
 // metrics it reports AUC, which separates models the 0.5 threshold ties.
 //
-// Scoring fans out over a per-CPU worker pool — every detector's Score is
-// read-only on a trained model — with results merged in input order, so
-// the quality metrics are identical to a sequential evaluation. MedianTime
-// remains each sample's own compute time; TotalTime is the pool's
-// wall-clock, i.e. throughput as deployed.
+// Scoring streams through a single-stage pipe — every detector's Score is
+// read-only on a trained model — whose reorder buffer hands results to the
+// metric accumulator in input order the moment each head-of-line sample
+// completes, so the quality metrics are identical to a sequential
+// evaluation while memory stays bounded by the worker pool, not the test
+// set. MedianTime remains each sample's own compute time; TotalTime is the
+// pool's wall-clock, i.e. throughput as deployed.
 func Evaluate(d Detector, test []LabeledPage) (Result, error) {
 	type scored struct {
 		score float64
@@ -62,23 +65,27 @@ func Evaluate(d Detector, test []LabeledPage) (Result, error) {
 	scores := make([]float64, 0, len(test))
 	labels := make([]int, 0, len(test))
 	start := time.Now()
-	res, err := par.MapOrdered(par.N(0), test, func(i int, s LabeledPage) (scored, error) {
-		t0 := time.Now()
-		score, err := d.Score(s.Page)
-		return scored{score: score, dur: time.Since(t0)}, err
-	})
-	if err != nil {
-		return Result{}, err
-	}
-	for i, s := range test {
-		times = append(times, res[i].dur)
-		scores = append(scores, res[i].score)
+	p := pipe.New(context.Background(), pipe.Options{Name: "evaluate"})
+	st := pipe.Stage(pipe.Source(p, 0, test), "score", 0, 0,
+		func(i int, s LabeledPage) (scored, error) {
+			t0 := time.Now()
+			score, err := d.Score(s.Page)
+			return scored{score: score, dur: time.Since(t0)}, err
+		})
+	err := pipe.Drain(st, func(i int, r scored) error {
+		s := test[i]
+		times = append(times, r.dur)
+		scores = append(scores, r.score)
 		labels = append(labels, s.Label)
 		pred := 0
-		if res[i].score >= 0.5 {
+		if r.score >= 0.5 {
 			pred = 1
 		}
 		conf.Add(pred, s.Label)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	total := time.Since(start)
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })

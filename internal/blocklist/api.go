@@ -176,17 +176,23 @@ func NewClient(base string) *Client {
 	return &Client{Base: base, Client: &http.Client{Timeout: 10 * time.Second}}
 }
 
+// httpClient resolves the client, falling back to one with a timeout —
+// never the timeout-less http.DefaultClient, so a stalled feed endpoint
+// fails the lookup instead of hanging the monitor.
+func (c *Client) httpClient() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
 // Lookup checks a batch of URLs, returning the listed subset.
 func (c *Client) Lookup(urls []string) ([]Listing, error) {
 	body, err := json.Marshal(lookupRequest{URLs: urls})
 	if err != nil {
 		return nil, err
 	}
-	httpClient := c.Client
-	if httpClient == nil {
-		httpClient = http.DefaultClient
-	}
-	resp, err := httpClient.Post(c.Base+"/v1/lookup", "application/json", strings.NewReader(string(body)))
+	resp, err := c.httpClient().Post(c.Base+"/v1/lookup", "application/json", strings.NewReader(string(body)))
 	if err != nil {
 		return nil, fmt.Errorf("blocklist: lookup: %w", err)
 	}
@@ -212,11 +218,7 @@ func (c *Client) IsListed(url string) (bool, error) {
 
 // Updates pulls the incremental listing feed since the given time.
 func (c *Client) Updates(since time.Time) ([]Listing, error) {
-	httpClient := c.Client
-	if httpClient == nil {
-		httpClient = http.DefaultClient
-	}
-	resp, err := httpClient.Get(c.Base + "/v1/updates?since=" + since.Format(time.RFC3339))
+	resp, err := c.httpClient().Get(c.Base + "/v1/updates?since=" + since.Format(time.RFC3339))
 	if err != nil {
 		return nil, fmt.Errorf("blocklist: updates: %w", err)
 	}

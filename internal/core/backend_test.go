@@ -3,8 +3,10 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
+	"io/fs"
 	"net"
 	"net/http"
 	"path/filepath"
@@ -122,6 +124,68 @@ func TestPipelineFilesFreeOfSimulatorImports(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestProductionFilesFreeOfBannedHTTPAndSleep extends the architecture
+// lint repo-wide: no production file may reference http.DefaultClient (no
+// timeout — a stalled endpoint hangs the pipeline forever) or bare
+// time.Sleep (wall-clock waits belong to the unified retry policy or the
+// sim clock, never inline in retryable paths). Both bug classes were fixed
+// by hand once; this makes the regression impossible. The fault injector's
+// default sleep hook is the one legitimate production time.Sleep.
+func TestProductionFilesFreeOfBannedHTTPAndSleep(t *testing.T) {
+	root := filepath.Join("..", "..")
+	allowSleep := map[string]bool{
+		// The injector's latency hook defaults to time.Sleep and is replaced
+		// with a no-op wherever the sim clock is authoritative.
+		filepath.Join("internal", "faults", "faults.go"): true,
+	}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", rel, err)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg.Name == "http" && sel.Sel.Name == "DefaultClient":
+				t.Errorf("%s:%d references http.DefaultClient: use a client with a timeout",
+					rel, fset.Position(sel.Pos()).Line)
+			case pkg.Name == "time" && sel.Sel.Name == "Sleep" && !allowSleep[rel]:
+				t.Errorf("%s:%d references time.Sleep: route waits through the retry policy or the sim clock",
+					rel, fset.Position(sel.Pos()).Line)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"time"
@@ -24,7 +25,7 @@ import (
 	"freephish/internal/faults"
 	"freephish/internal/features"
 	"freephish/internal/obs"
-	"freephish/internal/par"
+	"freephish/internal/pipe"
 	"freephish/internal/retry"
 	"freephish/internal/simclock"
 	"freephish/internal/world"
@@ -92,6 +93,12 @@ type Config struct {
 	// all stateful effects — stats, RNG draws, reporting, record admission
 	// — are applied single-threaded in stream order (see pollOnce).
 	Workers int
+	// QueueDepth bounds the streaming pipeline's per-stage queues and the
+	// reorder window (see internal/pipe): memory per cycle is O(Workers +
+	// QueueDepth), never O(cycle size), and a stalled fetch backpressures
+	// the stream instead of buffering it. 0 means pipe.DefaultDepth. Like
+	// Workers, the study is bit-identical at every setting.
+	QueueDepth int
 	// SnapshotCacheSize bounds the crawler's parsed-snapshot LRU; 0 means
 	// crawler.DefaultSnapshotCacheSize, negative disables the cache.
 	SnapshotCacheSize int
@@ -192,6 +199,9 @@ type FreePhish struct {
 	injector *faults.Injector
 	// listen is the server bind hook; tests inject failures through it.
 	listen listenFunc
+	// streamWrap, when set, decorates the URL stream after backend wiring;
+	// tests inject poll failures through it.
+	streamWrap func(world.URLStream) world.URLStream
 }
 
 // New assembles the framework and its world. Call Train before Run, or let
@@ -285,18 +295,26 @@ func (f *FreePhish) Run() (*analysis.Study, error) {
 		ReshareRate:    f.Config.ReshareRate,
 	})
 	var pollErr error
-	stop := f.Clock.Every(f.Config.PollInterval, f.Config.Epoch.Add(f.Config.Duration), "freephish.poll", func(now time.Time) {
+	var stop func()
+	stop = f.Clock.Every(f.Config.PollInterval, f.Config.Epoch.Add(f.Config.Duration), "freephish.poll", func(now time.Time) {
 		if pollErr != nil {
 			return
 		}
 		if err := f.pollOnce(now); err != nil {
 			pollErr = err
+			// A failed study cannot recover: cancel the poll subscription so
+			// no further cycles fire while the driver below unwinds.
+			stop()
 		}
 	})
 	defer stop()
 
-	// Run the window plus one week of trailing observation.
-	f.Clock.RunUntil(f.Config.Epoch.Add(f.Config.Duration + 7*24*time.Hour))
+	// Run the window plus one week of trailing observation, one event at a
+	// time so a poll failure ends the study at the failing cycle instead of
+	// ticking out the rest of the window and the tail.
+	horizon := f.Config.Epoch.Add(f.Config.Duration + 7*24*time.Hour)
+	for pollErr == nil && f.Clock.StepUntil(horizon) {
+	}
 	if pollErr != nil {
 		return nil, pollErr
 	}
@@ -307,16 +325,20 @@ func (f *FreePhish) Run() (*analysis.Study, error) {
 // classify every new URL, and register flagged URLs for longitudinal
 // observation.
 //
-// The cycle is a fan-out/fan-in: dedup runs first, single-threaded in
+// The cycle is a streamed dataflow: dedup runs first, single-threaded in
 // stream order (so intra-cycle reshares resolve deterministically), then
-// the fresh URLs are probed — fetched, feature-extracted, and scored — on
-// a bounded worker pool, and finally the probe results are applied
-// single-threaded in the original stream order. Probes touch only
-// read-only or thread-safe state; every stateful effect, including all
-// world-side RNG draws, happens in the ordered apply phase, which is what
-// makes the study bit-identical at every Config.Workers setting — and,
-// because the apply phase issues its port calls strictly in stream order,
-// at every Config.Backend setting too.
+// the fresh URLs flow through a poll → fetch → classify → ordered-apply
+// pipeline (internal/pipe). Fetch and classify each run on their own
+// worker pool connected by bounded queues, so network wait overlaps CPU
+// scoring and one slow fetch backpressures instead of buffering the cycle;
+// the reorder buffer hands results to apply in stream order the moment the
+// head-of-line item completes, which bounds per-cycle memory by (Workers +
+// QueueDepth), never by cycle size. Stage functions touch only read-only
+// or thread-safe state; every stateful effect, including all world-side
+// RNG draws, happens in the ordered apply phase, which is what makes the
+// study bit-identical at every Config.Workers and Config.QueueDepth
+// setting — and, because the apply phase issues its port calls strictly in
+// stream order, at every Config.Backend setting too.
 func (f *FreePhish) pollOnce(now time.Time) (err error) {
 	sp := f.Metrics.Tracer.Start("poll")
 	defer func() {
@@ -343,19 +365,28 @@ func (f *FreePhish) pollOnce(now time.Time) (err error) {
 		f.seenURLs[su.URL] = true
 		fresh = append(fresh, su)
 	}
-	probes, _ := par.MapOrdered(f.workers(), fresh, func(i int, su crawler.StreamedURL) (*probeResult, error) {
-		return f.probeURL(su), nil
+	p := pipe.New(context.Background(), pipe.Options{
+		Name: "poll", Registry: f.Metrics.Registry,
 	})
-	for _, p := range probes {
-		if err := f.applyProbe(p, now); err != nil {
-			return err
-		}
-	}
-	return nil
+	depth := f.queueDepth()
+	fetched := pipe.Stage(pipe.Source(p, depth, fresh), "fetch", f.workers(), depth,
+		func(i int, su crawler.StreamedURL) (*probeResult, error) {
+			return f.fetchURL(su), nil
+		})
+	classified := pipe.Stage(fetched, "classify", f.workers(), depth,
+		func(i int, pr *probeResult) (*probeResult, error) {
+			return f.classifyURL(pr), nil
+		})
+	return pipe.Drain(classified, func(i int, pr *probeResult) error {
+		return f.applyProbe(pr, now)
+	})
 }
 
 // workers resolves Config.Workers to a concrete pool size.
-func (f *FreePhish) workers() int { return par.N(f.Config.Workers) }
+func (f *FreePhish) workers() int { return pipe.Workers(f.Config.Workers) }
+
+// queueDepth resolves Config.QueueDepth to a concrete per-stage bound.
+func (f *FreePhish) queueDepth() int { return pipe.DepthOrDefault(f.Config.QueueDepth) }
 
 // probeResult carries everything a probe learned about one streamed URL
 // into the ordered apply phase.
@@ -369,12 +400,12 @@ type probeResult struct {
 	err    error // terminal: snapshot, resolve, or classification failure
 }
 
-// probeURL is the parallel half of URL processing: snapshot the page,
-// resolve the hosting attribution, and score it. It must not mutate
-// framework state — it runs concurrently with other probes — so it only
-// touches the snapshot and intel ports (read-only world state), the
-// trained (read-only) models, and atomic metrics.
-func (f *FreePhish) probeURL(su crawler.StreamedURL) *probeResult {
+// fetchURL is the pipeline's fetch stage: snapshot the page over the
+// snapshot port. It must not mutate framework state — it runs concurrently
+// with other fetches — so it only touches the (thread-safe) snapshot port
+// and atomic metrics. A failed snapshot is carried in probeResult.err for
+// the ordered apply phase to surface; it never aborts sibling items early.
+func (f *FreePhish) fetchURL(su crawler.StreamedURL) *probeResult {
 	p := &probeResult{su: su}
 	fsp := f.Metrics.Tracer.Start("fetch")
 	page, status, err := f.world.Snap.Snapshot(su.URL)
@@ -384,12 +415,23 @@ func (f *FreePhish) probeURL(su crawler.StreamedURL) *probeResult {
 		return p
 	}
 	p.page, p.status = page, status
-	if status != 200 {
-		return p // already gone by the time we crawled it
+	return p
+}
+
+// classifyURL is the pipeline's classify stage: resolve the hosting
+// attribution and score the page with the cohort's model. Splitting it
+// from fetchURL lets CPU scoring of item i overlap the network wait of
+// item i+k. Like fetchURL it touches only thread-safe state: the intel
+// port, the trained (read-only) models, and atomic metrics. Items that
+// already failed or vanished (status != 200) pass through untouched.
+func (f *FreePhish) classifyURL(p *probeResult) *probeResult {
+	if p.err != nil || p.status != 200 {
+		return p // failed, or already gone by the time we crawled it
 	}
-	p.info, err = f.world.Intel.Resolve(su.URL)
+	var err error
+	p.info, err = f.world.Intel.Resolve(p.su.URL)
 	if err != nil {
-		p.err = fmt.Errorf("core: resolve %q: %w", su.URL, err)
+		p.err = fmt.Errorf("core: resolve %q: %w", p.su.URL, err)
 		return p
 	}
 	if !p.info.Hosted {
@@ -402,9 +444,9 @@ func (f *FreePhish) probeURL(su crawler.StreamedURL) *probeResult {
 	csp := f.Metrics.Tracer.Start("classify")
 	c0 := time.Now()
 	if p.info.IsFWB {
-		p.score, err = f.Model.Score(page)
+		p.score, err = f.Model.Score(p.page)
 	} else {
-		p.score, err = f.BaseModel.Score(page)
+		p.score, err = f.BaseModel.Score(p.page)
 	}
 	f.Metrics.ClassifySeconds.With(p.cohort).Observe(time.Since(c0).Seconds())
 	csp.EndErr(err)

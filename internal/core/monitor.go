@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"net/http"
 	"time"
 
 	"freephish/internal/analysis"
+	"freephish/internal/pipe"
 )
 
 // The active monitor reproduces §4.4's measurement mechanics: each flagged
@@ -48,30 +50,49 @@ func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
 		sp := f.Metrics.Tracer.Start("monitor")
 		obs.Probes++
 		f.Metrics.MonitorProbes.Inc()
-		done := true
-		// Probe the site over HTTP.
+		// Fan the tick's still-pending checks — the live HTTP probe (feed
+		// "") plus one lookup per unlisted blocklist — through the streaming
+		// engine: every check is a read-only port call, so they run
+		// concurrently, while the Observation mutations happen in the
+		// ordered drain, keeping the record byte-identical to the old
+		// sequential loop at every (workers, queue-depth) setting.
+		type check struct{ feed string }
+		checks := make([]check, 0, 1+len(feedNames))
 		if obs.HostDownAt.IsZero() {
-			_, status, err := f.world.Snap.Snapshot(rec.Target.URL)
-			if err == nil && status != http.StatusOK {
+			checks = append(checks, check{})
+		}
+		for _, name := range feedNames {
+			if _, seen := obs.Listings[name]; !seen {
+				checks = append(checks, check{feed: name})
+			}
+		}
+		done := true
+		p := pipe.New(context.Background(), pipe.Options{
+			Name: "monitor", Registry: f.Metrics.Registry,
+		})
+		depth := f.queueDepth()
+		st := pipe.Stage(pipe.Source(p, depth, checks), "check", f.workers(), depth,
+			func(i int, c check) (bool, error) {
+				if c.feed == "" {
+					_, status, err := f.world.Snap.Snapshot(rec.Target.URL)
+					return err == nil && status != http.StatusOK, nil
+				}
+				listed, err := f.world.Feeds.Listed(c.feed, rec.Target.URL)
+				return err == nil && listed, nil
+			})
+		_ = pipe.Drain(st, func(i int, hit bool) error {
+			switch c := checks[i]; {
+			case !hit:
+				done = false // still up / not yet listed: keep observing
+			case c.feed == "":
 				obs.HostDownAt = now
 				f.Metrics.MonitorHostDown.Inc()
-			} else {
-				done = false
+			default:
+				obs.Listings[c.feed] = now
+				f.Metrics.MonitorListings.With(c.feed).Inc()
 			}
-		}
-		// Query each blocklist feed's lookup API.
-		for _, name := range feedNames {
-			if _, seen := obs.Listings[name]; seen {
-				continue
-			}
-			listed, err := f.world.Feeds.Listed(name, rec.Target.URL)
-			if err == nil && listed {
-				obs.Listings[name] = now
-				f.Metrics.MonitorListings.With(name).Inc()
-			} else {
-				done = false
-			}
-		}
+			return nil
+		})
 		sp.End()
 		if done && stop != nil {
 			stop() // everything observed: no further probes needed

@@ -147,7 +147,7 @@ func (f *FreePhish) startInproc() error {
 	client := &http.Client{Transport: rt, Timeout: 10 * time.Second}
 	f.wirePipeline("http://web.inproc", endpoints, client)
 	f.world = world.WithRetry(faults.WrapWorld(world.Inproc(f.Sim), f.injector), f.retryPol)
-	f.world.Stream = f.poller
+	f.world.Stream = f.wrapStream(f.poller)
 	f.world.Snap = f.fetcher
 	f.eval = &evaluator{oracle: f.world.Oracle, stats: &f.Stats, metrics: f.Metrics}
 	f.wireMetrics()
@@ -194,11 +194,19 @@ func (f *FreePhish) startHTTP() error {
 		Feeds:     feedBases,
 		Retry:     f.retryPol,
 	})
-	f.world.Stream = f.poller
+	f.world.Stream = f.wrapStream(f.poller)
 	f.world.Snap = f.fetcher
 	f.eval = &evaluator{oracle: f.world.Oracle, stats: &f.Stats, metrics: f.Metrics}
 	f.wireMetrics()
 	return nil
+}
+
+// wrapStream applies the test seam to the backend-wired URL stream.
+func (f *FreePhish) wrapStream(s world.URLStream) world.URLStream {
+	if f.streamWrap != nil {
+		return f.streamWrap(s)
+	}
+	return s
 }
 
 // wirePipeline builds the fetcher and poller against the given web base

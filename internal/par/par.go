@@ -6,35 +6,33 @@
 // the equivalent sequential loop would have hit first. Panics inside
 // workers are recovered, the pool is drained (no goroutine leaks), and the
 // panic is re-raised on the caller's goroutine.
+//
+// Since the streaming refactor, par is the single-stage degenerate case of
+// internal/pipe: MapOrdered is a one-stage pipeline in ContinueOnError mode
+// whose ordered drain fills a result slice, and Do is the same over an
+// index range. There is one concurrency substrate in the repository, not
+// two — par keeps only the slice-shaped convenience API and the sequential
+// fast path for w <= 1.
 package par
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"context"
+
+	"freephish/internal/pipe"
 )
 
 // N resolves a Parallelism knob: n itself when positive, otherwise
 // runtime.GOMAXPROCS(0). Every Parallelism/Workers option in the
-// repository routes through this, so "0 = use all cores" is uniform.
+// repository routes through this (delegating to pipe.Workers), so
+// "0 = use all cores" is uniform.
 func N(n int) int {
-	if n > 0 {
-		return n
-	}
-	return runtime.GOMAXPROCS(0)
+	return pipe.Workers(n)
 }
 
 // PanicError wraps a value recovered from a worker panic so it can be
 // re-raised on the caller's goroutine with the worker's stack attached.
-type PanicError struct {
-	Value any
-	Stack []byte
-}
-
-func (p *PanicError) Error() string {
-	return fmt.Sprintf("par: worker panic: %v\n%s", p.Value, p.Stack)
-}
+// It is the same type the pipe engine raises.
+type PanicError = pipe.PanicError
 
 // MapOrdered applies fn to every item using at most workers goroutines and
 // returns the results in input order. All items are attempted even when
@@ -46,54 +44,28 @@ func (p *PanicError) Error() string {
 func MapOrdered[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
 	n := len(items)
 	results := make([]R, n)
-	errs := make([]error, n)
 	w := N(workers)
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
+		var firstErr error
 		for i, item := range items {
-			results[i], errs[i] = fn(i, item)
-		}
-		return results, firstErr(errs)
-	}
-
-	var next atomic.Int64
-	var panicked atomic.Bool
-	panics := make([]*PanicError, n)
-	var wg sync.WaitGroup
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || panicked.Load() {
-					return
-				}
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							buf := make([]byte, 4096)
-							buf = buf[:runtime.Stack(buf, false)]
-							panics[i] = &PanicError{Value: r, Stack: buf}
-							panicked.Store(true)
-						}
-					}()
-					results[i], errs[i] = fn(i, items[i])
-				}()
-			}
-		}()
-	}
-	wg.Wait()
-	if panicked.Load() {
-		for _, p := range panics {
-			if p != nil {
-				panic(p)
+			var err error
+			results[i], err = fn(i, item)
+			if err != nil && firstErr == nil {
+				firstErr = err
 			}
 		}
+		return results, firstErr
 	}
-	return results, firstErr(errs)
+	p := pipe.New(context.Background(), pipe.Options{Name: "par", ContinueOnError: true})
+	st := pipe.Stage(pipe.Source(p, w, items), "map", w, w, fn)
+	err := pipe.Drain(st, func(i int, v R) error {
+		results[i] = v
+		return nil
+	})
+	return results, err
 }
 
 // Do runs fn(i) for every i in [0, n) using at most workers goroutines and
@@ -112,49 +84,10 @@ func Do(workers, n int, fn func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var panicked atomic.Bool
-	panics := make([]*PanicError, n)
-	var wg sync.WaitGroup
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || panicked.Load() {
-					return
-				}
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							buf := make([]byte, 4096)
-							buf = buf[:runtime.Stack(buf, false)]
-							panics[i] = &PanicError{Value: r, Stack: buf}
-							panicked.Store(true)
-						}
-					}()
-					fn(i)
-				}()
-			}
-		}()
-	}
-	wg.Wait()
-	if panicked.Load() {
-		for _, p := range panics {
-			if p != nil {
-				panic(p)
-			}
-		}
-	}
-}
-
-// firstErr returns the non-nil error with the lowest index.
-func firstErr(errs []error) error {
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	p := pipe.New(context.Background(), pipe.Options{Name: "par"})
+	st := pipe.Stage(pipe.Range(p, w, n), "do", w, w, func(i, _ int) (struct{}, error) {
+		fn(i)
+		return struct{}{}, nil
+	})
+	_ = pipe.Drain(st, func(int, struct{}) error { return nil })
 }

@@ -1,0 +1,112 @@
+package pipe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"freephish/internal/faults"
+	"freephish/internal/retry"
+)
+
+// fetchUnderChaos models the pipeline's fetch stage: one world-port call
+// per item through the fault injector, with the transient failures
+// absorbed by a bounded retry loop the way the unified policy does.
+func fetchUnderChaos(inj *faults.Injector, i, v int) (int, error) {
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		if err = inj.PortFault("fetch", fmt.Sprintf("url-%d", i)); err == nil {
+			return v * 3, nil
+		}
+		if !retry.IsTransient(err) {
+			break
+		}
+	}
+	return 0, err
+}
+
+// TestChaosUnderStreamingDeterministic: the default fault profile injected
+// into a streamed fetch stage must not change the ordered output at any
+// (workers, queue-depth) setting — the streaming analogue of the study's
+// chaos soak.
+func TestChaosUnderStreamingDeterministic(t *testing.T) {
+	const n = 400
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * 3
+	}
+	for _, workers := range []int{1, 8} {
+		for _, depth := range []int{1, 64} {
+			prof := faults.DefaultProfile()
+			inj := faults.NewInjector(11, prof)
+			inj.SetSleep(func(time.Duration) {}) // chaos, not slowness
+			p := New(context.Background(), Options{})
+			src := Range(p, depth, n)
+			st := Stage(src, "fetch", workers, depth, func(i, v int) (int, error) {
+				return fetchUnderChaos(inj, i, v)
+			})
+			got, err := Collect(st)
+			if err != nil {
+				t.Fatalf("workers=%d depth=%d: %v", workers, depth, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d depth=%d: chaos changed the ordered output", workers, depth)
+			}
+			total := uint64(0)
+			for _, c := range inj.Counts() {
+				total += c
+			}
+			if total == 0 {
+				t.Fatalf("workers=%d depth=%d: no faults injected; the test proved nothing", workers, depth)
+			}
+		}
+	}
+}
+
+// TestStalledFetchBackpressuresAndDrainsOnCancel: injected latency stalls
+// every fetch worker on a gate (a blackout that outlives any retry
+// budget). The source must stop within the backpressure bound instead of
+// buffering the cycle, and once the run is cancelled and the in-flight
+// calls return, the whole pipeline must drain without deadlock.
+func TestStalledFetchBackpressuresAndDrainsOnCancel(t *testing.T) {
+	const n, workers, depth = 50000, 4, 8
+	gate := make(chan struct{})
+	inj := faults.NewInjector(7, faults.Profile{LatencyP: 1, LatencyMax: time.Millisecond})
+	inj.SetSleep(func(time.Duration) { <-gate })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var sourced atomic.Int64
+	p := New(ctx, Options{})
+	src := Range(p, depth, n)
+	counted := Stage(src, "count", 1, depth, func(i, v int) (int, error) {
+		sourced.Add(1)
+		return v, nil
+	})
+	stalled := Stage(counted, "fetch", workers, depth, func(i, v int) (int, error) {
+		_ = inj.PortFault("fetch", fmt.Sprintf("url-%d", i))
+		return v, nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		done <- Drain(stalled, func(i, v int) error { return nil })
+	}()
+	time.Sleep(50 * time.Millisecond)
+	bound := int64(4*workers + 4*depth + 8)
+	if got := sourced.Load(); got > bound {
+		t.Fatalf("stalled fetch let %d items through the source; bound is %d", got, bound)
+	}
+	cancel()
+	close(gate) // the blackout ends; in-flight calls return
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("drain returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline failed to drain after cancellation")
+	}
+}

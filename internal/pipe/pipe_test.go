@@ -1,0 +1,290 @@
+package pipe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"freephish/internal/obs"
+)
+
+// runSweepCase pushes n items through a two-stage pipeline with
+// completion-order jitter and returns the ordered drain output.
+func runSweepCase(t *testing.T, n, workers, depth int) []int {
+	t.Helper()
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	p := New(context.Background(), Options{Name: "sweep"})
+	src := Source(p, depth, items)
+	// Stagger completion so later items routinely finish before earlier
+	// ones and the reorder buffer has real work to do.
+	st1 := Stage(src, "square", workers, depth, func(i, v int) (int, error) {
+		if i%5 == 0 {
+			time.Sleep(time.Duration(i%4) * 100 * time.Microsecond)
+		}
+		return v * v, nil
+	})
+	st2 := Stage(st1, "negate", workers, depth, func(i, v int) (int, error) {
+		if i%7 == 0 {
+			time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+		}
+		return -v, nil
+	})
+	out, err := Collect(st2)
+	if err != nil {
+		t.Fatalf("workers=%d depth=%d: %v", workers, depth, err)
+	}
+	return out
+}
+
+// TestDeterminismSweep is the engine's core contract: the same input
+// through every (workers, queue-depth) combination produces the identical
+// ordered output.
+func TestDeterminismSweep(t *testing.T) {
+	const n = 300
+	want := make([]int, n)
+	for i := range want {
+		want[i] = -(i * i)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		for _, depth := range []int{1, 4, 64} {
+			got := runSweepCase(t, n, workers, depth)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d depth=%d: output diverges from sequential order", workers, depth)
+			}
+		}
+	}
+}
+
+func TestFailFastLowestIndexError(t *testing.T) {
+	items := make([]int, 128)
+	p := New(context.Background(), Options{})
+	src := Source(p, 4, items)
+	st := Stage(src, "work", 8, 4, func(i, v int) (int, error) {
+		if i == 17 || i == 90 {
+			return 0, fmt.Errorf("item %d failed", i)
+		}
+		return i, nil
+	})
+	applied := 0
+	err := Drain(st, func(i, v int) error {
+		applied++
+		return nil
+	})
+	if err == nil || err.Error() != "item 17 failed" {
+		t.Fatalf("err = %v, want the lowest-index error", err)
+	}
+	// Fail-fast: everything before the failed item was applied, nothing at
+	// or after it.
+	if applied != 17 {
+		t.Fatalf("applied %d items, want exactly the 17 preceding the failure", applied)
+	}
+}
+
+func TestContinueOnErrorAttemptsAll(t *testing.T) {
+	items := make([]int, 64)
+	var attempts atomic.Int64
+	p := New(context.Background(), Options{ContinueOnError: true})
+	src := Source(p, 4, items)
+	st := Stage(src, "work", 4, 4, func(i, v int) (int, error) {
+		attempts.Add(1)
+		if i == 9 || i == 41 {
+			return -1, fmt.Errorf("item %d failed", i)
+		}
+		return i, nil
+	})
+	out, err := Collect(st)
+	if err == nil || err.Error() != "item 9 failed" {
+		t.Fatalf("err = %v, want the lowest-index error", err)
+	}
+	if got := attempts.Load(); got != 64 {
+		t.Fatalf("attempted %d items, want all 64", got)
+	}
+	if len(out) != 64 || out[40] != 40 || out[63] != 63 || out[9] != -1 {
+		t.Fatalf("continue-on-error results corrupted: len=%d", len(out))
+	}
+}
+
+func TestSinkErrorCancelsUpstream(t *testing.T) {
+	var produced atomic.Int64
+	p := New(context.Background(), Options{})
+	src := Range(p, 2, 100000)
+	st := Stage(src, "work", 2, 2, func(i, v int) (int, error) {
+		produced.Add(1)
+		return v, nil
+	})
+	wantErr := errors.New("sink rejects item 5")
+	err := Drain(st, func(i, v int) error {
+		if i == 5 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	// The source must have stopped near the failure, not run to 100k.
+	if got := produced.Load(); got > 64 {
+		t.Fatalf("upstream produced %d items after a sink error at 5", got)
+	}
+}
+
+func TestWorkerPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", r)
+		}
+		if pe.Value != "boom" {
+			t.Fatalf("panic value = %v, want boom", pe.Value)
+		}
+	}()
+	p := New(context.Background(), Options{})
+	src := Range(p, 4, 64)
+	st := Stage(src, "work", 4, 4, func(i, v int) (int, error) {
+		if i == 5 {
+			panic("boom")
+		}
+		return v, nil
+	})
+	_, _ = Collect(st)
+}
+
+func TestExternalCancelDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	p := New(ctx, Options{})
+	src := Range(p, 2, 10000)
+	st := Stage(src, "stall", 2, 2, func(i, v int) (int, error) {
+		if i == 3 {
+			<-release // stalls until cancellation
+		}
+		return v, nil
+	})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		close(release)
+	}()
+	err := Drain(st, func(i, v int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStalledStageBackpressures proves the bounded-memory half of the
+// design: with the head-of-line item stalled in the middle stage, the
+// source may run at most (stage workers + queues + reorder window) ahead —
+// never the whole input.
+func TestStalledStageBackpressures(t *testing.T) {
+	const n, workers, depth = 100000, 4, 8
+	var pulled atomic.Int64
+	release := make(chan struct{})
+	p := New(context.Background(), Options{})
+	src := Range(p, depth, n)
+	counted := Stage(src, "count", 1, depth, func(i, v int) (int, error) {
+		pulled.Add(1)
+		return v, nil
+	})
+	stalled := Stage(counted, "stall", workers, depth, func(i, v int) (int, error) {
+		if i == 0 {
+			<-release
+		}
+		return v, nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		done <- Drain(stalled, func(i, v int) error { return nil })
+	}()
+	time.Sleep(50 * time.Millisecond)
+	// Upper bound on how far the flow can advance past a stalled head:
+	// every queue full plus every worker and reorder slot occupied.
+	bound := int64(4*workers + 4*depth + 8)
+	if got := pulled.Load(); got > bound {
+		t.Fatalf("stalled pipeline pulled %d items; backpressure bound is %d", got, bound)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("drain after release: %v", err)
+	}
+	if got := pulled.Load(); got != n {
+		t.Fatalf("only %d/%d items flowed after release", got, n)
+	}
+}
+
+func TestNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		p := New(context.Background(), Options{})
+		src := Range(p, 4, 50)
+		st := Stage(src, "work", 8, 4, func(i, v int) (int, error) {
+			if i%13 == 0 {
+				return 0, errors.New("planned failure")
+			}
+			return v, nil
+		})
+		if err := Drain(st, func(int, int) error { return nil }); err == nil {
+			t.Fatal("expected an error")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: started with %d, now %d", base, runtime.NumGoroutine())
+}
+
+func TestStageMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(context.Background(), Options{Name: "poll", Registry: reg})
+	src := Source(p, 4, []int{1, 2, 3, 4, 5})
+	st := Stage(src, "fetch", 2, 4, func(i, v int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("one failure")
+		}
+		return v, nil
+	})
+	p2 := Stage(st, "classify", 2, 4, func(i, v int) (int, error) { return v, nil })
+	// ContinueOnError keeps the failed item flowing so counts are exact.
+	p.continueOnError = true
+	if _, err := Collect(p2); err == nil {
+		t.Fatal("expected the injected failure")
+	}
+	snap := map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		snap[s.Name+"|"+s.Labels["pipe"]+"|"+s.Labels["stage"]] += s.Value
+	}
+	if got := snap["freephish_pipe_items_total|poll|fetch"]; got != 5 {
+		t.Fatalf("fetch items_total = %v, want 5 (snapshot: %v)", got, snap)
+	}
+	if got := snap["freephish_pipe_errors_total|poll|fetch"]; got != 1 {
+		t.Fatalf("fetch errors_total = %v, want 1", got)
+	}
+	// The failed item skips the downstream stage's fn.
+	if got := snap["freephish_pipe_items_total|poll|classify"]; got != 4 {
+		t.Fatalf("classify items_total = %v, want 4", got)
+	}
+}
+
+func TestDepthAndWorkerResolution(t *testing.T) {
+	if DepthOrDefault(0) != DefaultDepth || DepthOrDefault(-2) != DefaultDepth || DepthOrDefault(3) != 3 {
+		t.Fatal("DepthOrDefault broken")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(5) != 5 {
+		t.Fatal("Workers broken")
+	}
+}

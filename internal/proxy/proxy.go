@@ -82,6 +82,7 @@ type LiveChecker struct {
 	model     Scorer
 	fetch     func(url string) (features.Page, int, error)
 	threshold float64
+	sem       chan struct{}
 
 	mu    sync.Mutex
 	cache map[string]bool
@@ -90,6 +91,20 @@ type LiveChecker struct {
 // NewLiveChecker returns a LiveChecker with the standard 0.5 threshold.
 func NewLiveChecker(model Scorer, fetch func(url string) (features.Page, int, error)) *LiveChecker {
 	return &LiveChecker{model: model, fetch: fetch, threshold: 0.5, cache: make(map[string]bool)}
+}
+
+// SetMaxInFlight bounds how many uncached live classifications (fetch +
+// score) may run concurrently; n <= 0 removes the bound (the default). A
+// navigation burst beyond the bound queues here — backpressure, the
+// proxy-side counterpart of the study pipeline's queue-depth knob —
+// instead of stampeding the fetcher and the classifier. Cached verdicts
+// are never throttled. Call before the proxy starts serving.
+func (c *LiveChecker) SetMaxInFlight(n int) {
+	if n <= 0 {
+		c.sem = nil
+		return
+	}
+	c.sem = make(chan struct{}, n)
 }
 
 // Check implements Checker. Only FWB-hosted URLs are scored — the
@@ -107,15 +122,10 @@ func (c *LiveChecker) Check(rawURL string) (bool, string) {
 	verdict, ok := c.cache[key]
 	c.mu.Unlock()
 	if !ok {
-		page, status, err := c.fetch(rawURL)
-		if err != nil || status != http.StatusOK {
+		verdict, ok = c.classify(rawURL)
+		if !ok {
 			return false, ""
 		}
-		score, err := c.model.Score(page)
-		if err != nil {
-			return false, ""
-		}
-		verdict = score >= c.threshold
 		c.mu.Lock()
 		c.cache[key] = verdict
 		c.mu.Unlock()
@@ -124,6 +134,24 @@ func (c *LiveChecker) Check(rawURL string) (bool, string) {
 		return true, "FreePhish classified this FWB page as phishing"
 	}
 	return false, ""
+}
+
+// classify runs one uncached fetch + score under the in-flight bound. ok
+// is false when the page could not be fetched or scored.
+func (c *LiveChecker) classify(rawURL string) (verdict, ok bool) {
+	if sem := c.sem; sem != nil {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+	}
+	page, status, err := c.fetch(rawURL)
+	if err != nil || status != http.StatusOK {
+		return false, false
+	}
+	score, err := c.model.Score(page)
+	if err != nil {
+		return false, false
+	}
+	return score >= c.threshold, true
 }
 
 // Proxy is the blocking forward proxy. Construct with New.

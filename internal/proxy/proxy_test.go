@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -196,5 +198,68 @@ func TestServePAC(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("PAC missing %q:\n%s", want, body)
 		}
+	}
+}
+
+// stubScorer is a fixed-score Scorer for checker-mechanics tests.
+type stubScorer float64
+
+func (s stubScorer) Score(features.Page) (float64, error) { return float64(s), nil }
+
+// TestLiveCheckerMaxInFlight: with SetMaxInFlight(n), a burst of uncached
+// checks runs at most n concurrent fetch+score operations; the rest queue
+// and every check still completes and caches its verdict.
+func TestLiveCheckerMaxInFlight(t *testing.T) {
+	const bound, burst = 3, 12
+	var inflight, peak, calls atomic.Int64
+	gate := make(chan struct{})
+	fetch := func(url string) (features.Page, int, error) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		<-gate
+		inflight.Add(-1)
+		calls.Add(1)
+		return features.Page{URL: url, HTML: "<html></html>"}, http.StatusOK, nil
+	}
+	c := NewLiveChecker(stubScorer(0.9), fetch)
+	c.SetMaxInFlight(bound)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Check(fmt.Sprintf("https://site-%d.weebly.com/", i))
+		}()
+	}
+	// Give the burst time to pile up on the semaphore, then verify exactly
+	// `bound` classifications are in flight.
+	deadline := time.Now().Add(2 * time.Second)
+	for inflight.Load() != bound && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := inflight.Load(); got != bound {
+		t.Fatalf("in-flight classifications = %d, want %d", got, bound)
+	}
+	close(gate)
+	wg.Wait()
+	if got := peak.Load(); got > bound {
+		t.Fatalf("peak concurrency %d exceeded the bound %d", got, bound)
+	}
+	if got := calls.Load(); got != burst {
+		t.Fatalf("%d fetches for %d checks", got, burst)
+	}
+	// Verdicts were cached: a re-check is served without a fetch and never
+	// touches the semaphore.
+	if block, _ := c.Check("https://site-0.weebly.com/"); !block {
+		t.Fatal("cached verdict lost")
+	}
+	if got := calls.Load(); got != burst {
+		t.Fatal("cached check re-fetched")
 	}
 }

@@ -143,25 +143,37 @@ func (c *Clock) Step() bool {
 	return true
 }
 
+// StepUntil fires the next pending event if it is scheduled at or before t,
+// advancing the clock to its time, and reports true. When the queue is
+// empty or the next event is after t, it instead advances the clock to t
+// (never backwards) and reports false. It is the single-step form of
+// RunUntil, for drivers that need to re-check a condition between events —
+// e.g. aborting a study the moment a poll cycle fails instead of ticking
+// out the rest of the window.
+func (c *Clock) StepUntil(t time.Time) bool {
+	c.mu.Lock()
+	if len(c.queue) == 0 || c.queue[0].at.After(t) {
+		if t.After(c.now) {
+			c.now = t
+		}
+		c.mu.Unlock()
+		return false
+	}
+	e := heap.Pop(&c.queue).(*Event)
+	c.now = e.at
+	c.mu.Unlock()
+	e.fn(e.at)
+	return true
+}
+
 // RunUntil fires events in order until the queue is empty or the next event
 // is after t, then sets the clock to t. It returns the number of events run.
 func (c *Clock) RunUntil(t time.Time) int {
 	n := 0
-	for {
-		c.mu.Lock()
-		if len(c.queue) == 0 || c.queue[0].at.After(t) {
-			if t.After(c.now) {
-				c.now = t
-			}
-			c.mu.Unlock()
-			return n
-		}
-		e := heap.Pop(&c.queue).(*Event)
-		c.now = e.at
-		c.mu.Unlock()
-		e.fn(e.at)
+	for c.StepUntil(t) {
 		n++
 	}
+	return n
 }
 
 // Run drains the entire event queue, returning the number of events run.

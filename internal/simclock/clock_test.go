@@ -382,3 +382,44 @@ func TestRNGShuffleAndPerm(t *testing.T) {
 		seenP[v] = true
 	}
 }
+
+func TestStepUntil(t *testing.T) {
+	c := New(epoch)
+	var fired []string
+	c.Schedule(epoch.Add(1*time.Hour), "a", func(time.Time) { fired = append(fired, "a") })
+	c.Schedule(epoch.Add(3*time.Hour), "b", func(time.Time) { fired = append(fired, "b") })
+
+	// The first event is within the horizon: it fires and the clock lands
+	// on its time.
+	if !c.StepUntil(epoch.Add(2 * time.Hour)) {
+		t.Fatal("StepUntil skipped an in-horizon event")
+	}
+	if len(fired) != 1 || fired[0] != "a" || !c.Now().Equal(epoch.Add(1*time.Hour)) {
+		t.Fatalf("after first step: fired=%v now=%v", fired, c.Now())
+	}
+	// The next event is beyond the horizon: nothing fires, the clock
+	// advances to the horizon, and the event stays queued.
+	if c.StepUntil(epoch.Add(2 * time.Hour)) {
+		t.Fatal("StepUntil fired an event beyond the horizon")
+	}
+	if len(fired) != 1 || !c.Now().Equal(epoch.Add(2*time.Hour)) || c.Pending() != 1 {
+		t.Fatalf("after horizon step: fired=%v now=%v pending=%d", fired, c.Now(), c.Pending())
+	}
+	// A horizon in the past never rewinds the clock.
+	if c.StepUntil(epoch) {
+		t.Fatal("StepUntil fired with a past horizon")
+	}
+	if !c.Now().Equal(epoch.Add(2 * time.Hour)) {
+		t.Fatalf("clock rewound to %v", c.Now())
+	}
+	// Raising the horizon drains the rest.
+	if !c.StepUntil(epoch.Add(4*time.Hour)) || len(fired) != 2 || fired[1] != "b" {
+		t.Fatalf("final step: fired=%v", fired)
+	}
+	if c.StepUntil(epoch.Add(4 * time.Hour)) {
+		t.Fatal("StepUntil reported an event on an empty queue")
+	}
+	if !c.Now().Equal(epoch.Add(4 * time.Hour)) {
+		t.Fatalf("empty-queue step left clock at %v", c.Now())
+	}
+}
