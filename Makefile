@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos verify-stream clean
+.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos verify-stream verify-journal clean
 
 all: build
 
@@ -45,6 +45,13 @@ verify-chaos:
 # yield a byte-identical study, and a failed poll must end the run at once.
 verify-stream:
 	$(GO) test ./internal/core -run 'TestStudyDeterminismAcrossQueueDepths|TestRunEndsImmediatelyOnPollError' -count=1 -v
+
+# verify-journal proves the lifecycle journal's determinism contract: the
+# same seed must yield a byte-identical event journal at every (workers ×
+# queue-depth × backend) setting — including soaked in the default fault
+# profile — and the journal must agree with the study's own records.
+verify-journal:
+	$(GO) test ./internal/core -run 'TestJournalDeterminism|TestJournalMatchesResultAPI' -count=1 -v
 
 bench:
 	$(GO) test -bench=. -benchmem .

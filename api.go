@@ -163,6 +163,12 @@ type StudyConfig struct {
 	// absorbs the default profile completely — the study output is
 	// byte-identical to a fault-free run.
 	Faults string
+	// Journal enables per-URL lifecycle tracing: every observed URL's
+	// transitions (posted → observed-in-CT → polled → fetched → classified
+	// → reported → takedown/re-check) are recorded and retrievable with
+	// StudyResult.WriteJournal. The journal is deterministic: byte-
+	// identical across Workers, QueueDepth, Backend, and Faults settings.
+	Journal bool
 	// Progress, when set, is invoked after every streaming poll cycle —
 	// the hook by which long study runs narrate themselves.
 	Progress func(Progress)
@@ -211,6 +217,7 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 		return nil, fmt.Errorf("freephish: bad fault profile: %w", err)
 	}
 	c.Faults = prof
+	c.Journal = cfg.Journal
 	if cfg.Progress != nil {
 		hook := cfg.Progress
 		c.Progress = func(ev core.ProgressEvent) {
@@ -238,6 +245,17 @@ func (r *StudyResult) URLCount() int { return len(r.study.Records) }
 // exposition format.
 func (r *StudyResult) WriteMetrics(w io.Writer) error {
 	return r.fp.Metrics.Registry.WritePrometheus(w)
+}
+
+// WriteJournal writes the run's per-URL lifecycle journal as JSONL: one
+// event per line, in canonical order, byte-identical for a given seed at
+// every concurrency and backend setting. It errors unless the study ran
+// with StudyConfig.Journal enabled.
+func (r *StudyResult) WriteJournal(w io.Writer) error {
+	if r.fp.Metrics.Journal == nil {
+		return fmt.Errorf("freephish: study ran without StudyConfig.Journal")
+	}
+	return r.fp.Metrics.Journal.WriteJSONL(w)
 }
 
 // StageTiming summarizes one pipeline stage of the completed run in both

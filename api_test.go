@@ -254,3 +254,40 @@ func TestStudyObservabilitySurface(t *testing.T) {
 		}
 	}
 }
+
+// TestStudyJournalAPI covers the public journal surface: StudyConfig.Journal
+// turns tracing on, WriteJournal emits the canonical JSONL, and running
+// without the knob yields a clear error.
+func TestStudyJournalAPI(t *testing.T) {
+	res, err := freephish.RunStudy(freephish.StudyConfig{
+		Seed: 11, Scale: 0.003, TrainPerClass: 60, Journal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJournal(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if out == "" {
+		t.Fatal("WriteJournal produced no events")
+	}
+	for _, want := range []string{`"type":"posted"`, `"type":"classified"`, `"sim":`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("journal missing %s", want)
+		}
+	}
+	if strings.Contains(out, `"wall"`) {
+		t.Error("canonical journal must not contain wall-clock timestamps")
+	}
+
+	// Without the knob the method fails loudly instead of writing nothing.
+	res2, err := freephish.RunStudy(freephish.StudyConfig{Seed: 11, Scale: 0.003, TrainPerClass: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res2.WriteJournal(&buf); err == nil || !strings.Contains(err.Error(), "Journal") {
+		t.Fatalf("WriteJournal without StudyConfig.Journal = %v, want a descriptive error", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"freephish/internal/obs"
 	"freephish/internal/par"
 	"freephish/internal/pipe"
 	"freephish/internal/simclock"
@@ -145,6 +146,59 @@ func BenchmarkPipelineStream(b *testing.B) {
 	}
 }
 
+// streamTracedBench is streamBench at depth 4 with the journal's OnEmit
+// hook in the state tracing leaves it: nil when disabled (the default for
+// every study run without -journal/-dash), recording ops events into the
+// bounded ring when enabled.
+func streamTracedBench(traced bool) func(*testing.B) {
+	return func(b *testing.B) {
+		const depth = 4
+		delays := streamDelays(streamItems)
+		want := streamWant()
+		var journal *obs.Journal
+		var onEmit func(stage string, seq int, err error)
+		if traced {
+			journal = obs.NewJournal(nil, 0)
+			onEmit = func(stage string, seq int, err error) {
+				journal.RecordOps("", obs.EvStage, "pipe", "bench", "stage", stage)
+			}
+		}
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			p := pipe.New(context.Background(), pipe.Options{Name: "bench", OnEmit: onEmit})
+			fetched := pipe.Stage(pipe.Range(p, depth, streamItems), "fetch", streamWorkers, depth,
+				func(_ int, i int) (uint64, error) {
+					return streamFetch(delays[i], i), nil
+				})
+			classified := pipe.Stage(fetched, "classify", streamWorkers, depth,
+				func(_ int, v uint64) (uint64, error) {
+					return streamClassify(v), nil
+				})
+			var sum uint64
+			err := pipe.Drain(classified, func(_ int, v uint64) error {
+				sum += v
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum != want {
+				b.Fatalf("checksum %d, want %d", sum, want)
+			}
+		}
+	}
+}
+
+// BenchmarkPipelineStreamTraced quantifies the lifecycle-tracing tax on
+// the streaming engine: "off" is the disabled state every untraced run
+// pays (a nil hook — the acceptance bound is ≤2% over the untraced
+// BenchmarkPipelineStream baseline), "on" adds one ring-buffered ops
+// event per stage emission.
+func BenchmarkPipelineStreamTraced(b *testing.B) {
+	b.Run("off", streamTracedBench(false))
+	b.Run("on", streamTracedBench(true))
+}
+
 // TestWriteStreamBenchBaseline runs the streaming benchmarks
 // programmatically and writes machine-readable JSON, the same shape as
 // TestWriteBenchBaseline, so bench-compare can diff barrier-vs-stream
@@ -164,6 +218,8 @@ func TestWriteStreamBenchBaseline(t *testing.T) {
 		{"PipelineStream/stream/depth=1", streamBench(1)},
 		{"PipelineStream/stream/depth=4", streamBench(4)},
 		{"PipelineStream/stream/depth=64", streamBench(64)},
+		{"PipelineStreamTraced/off", streamTracedBench(false)},
+		{"PipelineStreamTraced/on", streamTracedBench(true)},
 	}
 	type row struct {
 		Name        string  `json:"name"`

@@ -390,6 +390,41 @@ func BenchmarkObsTracerSpan(b *testing.B) {
 	}
 }
 
+// BenchmarkObsJournalRecord measures one canonical lifecycle event — the
+// unit the ordered apply phase pays per traced URL milestone.
+func BenchmarkObsJournalRecord(b *testing.B) {
+	j := obs.NewJournal(nil, 0)
+	at := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Record("http://bench.weebly.com/", obs.EvFetched, at, "status", "200")
+	}
+}
+
+// BenchmarkObsJournalRecordOps measures one ring-buffered ops event — the
+// unit the concurrent hooks (stage emissions, retries, port calls) pay.
+func BenchmarkObsJournalRecordOps(b *testing.B) {
+	j := obs.NewJournal(nil, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.RecordOps("", obs.EvStage, "pipe", "poll", "stage", "fetch")
+	}
+}
+
+// BenchmarkObsJournalRecordDisabled measures the same call on a nil
+// journal — the disabled-tracing fast path every untraced run takes.
+func BenchmarkObsJournalRecordDisabled(b *testing.B) {
+	var j *obs.Journal
+	at := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Record("http://bench.weebly.com/", obs.EvFetched, at, "status", "200")
+	}
+}
+
 // BenchmarkObsWritePrometheus measures a full /metrics scrape of a
 // study-sized registry.
 func BenchmarkObsWritePrometheus(b *testing.B) {
@@ -426,6 +461,9 @@ func TestWriteBenchBaseline(t *testing.T) {
 		{"ObsCounterVecWith", BenchmarkObsCounterVecWith},
 		{"ObsHistogramObserve", BenchmarkObsHistogramObserve},
 		{"ObsTracerSpan", BenchmarkObsTracerSpan},
+		{"ObsJournalRecord", BenchmarkObsJournalRecord},
+		{"ObsJournalRecordOps", BenchmarkObsJournalRecordOps},
+		{"ObsJournalRecordDisabled", BenchmarkObsJournalRecordDisabled},
 		{"ObsWritePrometheus", BenchmarkObsWritePrometheus},
 	}
 	type row struct {

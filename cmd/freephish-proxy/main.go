@@ -40,7 +40,9 @@ func main() {
 		upstream   = flag.String("upstream", "", "base URL all fetches are routed to (an fwbhost instance); empty = the real network")
 		modelPath  = flag.String("model", "", "load a trained model instead of training (see -save-model)")
 		savePath   = flag.String("save-model", "", "after training, write the model here for future -model runs")
-		opsAddr    = flag.String("ops", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this separate address")
+		opsAddr    = flag.String("ops", "", "serve /metrics, /healthz, /version, /debug/vars and /debug/pprof on this separate address")
+		dashFlag   = flag.Bool("dash", false, "with -ops, serve the live dashboard on /dash (enables request tracing)")
+		journalOut = flag.String("journal", "", "stream per-request trace events as JSONL to this file (enables request tracing)")
 		workers    = flag.Int("workers", 0, "training worker pool size; 0 = one per CPU (the trained model is identical at every setting)")
 		queueDepth = flag.Int("queue-depth", 0, "max concurrent live classifications (fetch + score); bursts beyond it queue; 0 = unbounded")
 		cacheSize  = flag.Int("snapshot-cache", 0, "parsed-snapshot LRU capacity; 0 = default, negative disables")
@@ -152,17 +154,34 @@ func main() {
 	// separate from the proxy port so scrapes never route through the
 	// proxy's own check path.
 	reg := obs.NewRegistry()
+	info := obs.RegisterBuildInfo(reg, *seed)
 	decisions := reg.CounterVec("freephish_proxy_requests_total",
 		"Proxied requests by decision (block or pass).", "decision")
 	checkLat := reg.Histogram("freephish_proxy_request_seconds",
 		"Wall-clock time to check and serve one proxied request.", obs.DefBuckets)
-	px.Observe = func(blocked bool, wall time.Duration) {
+	// The journal gives each proxied request a trace event; a daemon has
+	// no sim clock, so events are stamped with wall time.
+	var journal *obs.Journal
+	if *dashFlag || *journalOut != "" {
+		journal = obs.NewJournal(nil, 0)
+		if *journalOut != "" {
+			fh, err := os.Create(*journalOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			journal.SetSink(fh)
+			log.Printf("streaming trace events to %s", *journalOut)
+		}
+	}
+	px.Observe = func(url string, blocked bool, wall time.Duration) {
 		d := "pass"
 		if blocked {
 			d = "block"
 		}
 		decisions.With(d).Inc()
 		checkLat.Observe(wall.Seconds())
+		journal.Record(url, "checked", time.Now(),
+			"decision", d, "wall_ms", fmt.Sprintf("%.2f", float64(wall)/float64(time.Millisecond)))
 	}
 	if snapCache != nil {
 		reg.GaugeFunc("freephish_snapshot_cache_hits_total",
@@ -175,15 +194,19 @@ func main() {
 			})
 	}
 	if *opsAddr != "" {
+		opts := obs.OpsOptions{Info: info}
+		if *dashFlag {
+			opts.Dash = &obs.Dash{Reg: reg, Journal: journal, Title: "freephish-proxy", Info: info}
+		}
 		go func() {
 			srv := &http.Server{
 				Addr:              *opsAddr,
-				Handler:           obs.NewOpsMux(reg, nil),
+				Handler:           obs.NewOps(reg, opts),
 				ReadHeaderTimeout: 5 * time.Second,
 			}
 			log.Fatalf("ops listener: %v", srv.ListenAndServe())
 		}()
-		log.Printf("ops endpoints on http://%s (/metrics, /healthz, /debug/pprof)", *opsAddr)
+		log.Printf("ops endpoints on http://%s (/metrics, /healthz, /version, /debug/pprof)", *opsAddr)
 	}
 
 	// /proxy.pac routes only the 17 FWB hosting domains through the proxy;

@@ -5,27 +5,56 @@
 //
 //	freephish -scale 0.05 -out study.jsonl
 //	freephish-report study.jsonl
+//
+// With -timeline it instead reads a lifecycle journal (the JSONL written
+// by `freephish -journal trace.jsonl`) and prints one URL's full
+// lifecycle — posted, polled, fetched, classified, reported, takedown,
+// monitor observations — in order:
+//
+//	freephish -scale 0.05 -journal trace.jsonl
+//	freephish-report -timeline 'http://…' trace.jsonl
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 
 	"freephish/internal/analysis"
 	"freephish/internal/core"
+	"freephish/internal/obs"
 )
 
 func main() {
-	if len(os.Args) != 2 {
+	timeline := flag.String("timeline", "", "print this URL's lifecycle from a journal file instead of rendering a study")
+	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: freephish-report <study.jsonl>")
+		fmt.Fprintln(os.Stderr, "       freephish-report -timeline <url> <journal.jsonl>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	fh, err := os.Open(os.Args[1])
+	fh, err := os.Open(flag.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer fh.Close()
+
+	if *timeline != "" {
+		events, err := obs.ReadJournal(fh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printTimeline(*timeline, events)
+		return
+	}
+
 	study, err := analysis.ReadJSONL(fh)
 	if err != nil {
 		log.Fatal(err)
@@ -46,4 +75,39 @@ func main() {
 	fmt.Println(core.RenderSection55(study))
 	fmt.Println(core.RenderUptime(study))
 	fmt.Println(core.RenderKitFamilies(study))
+}
+
+// printTimeline renders one URL's lifecycle, ordered by the virtual time
+// each event describes (seq breaks ties), with attrs inline.
+func printTimeline(url string, events []obs.Event) {
+	var mine []obs.Event
+	for _, ev := range events {
+		if ev.URL == url {
+			mine = append(mine, ev)
+		}
+	}
+	if len(mine) == 0 {
+		fmt.Fprintf(os.Stderr, "freephish-report: no events for %s in the journal\n", url)
+		os.Exit(1)
+	}
+	sort.SliceStable(mine, func(i, j int) bool {
+		if !mine[i].Sim.Equal(mine[j].Sim) {
+			return mine[i].Sim.Before(mine[j].Sim)
+		}
+		return mine[i].Seq < mine[j].Seq
+	})
+	fmt.Printf("lifecycle of %s (%d events)\n\n", url, len(mine))
+	for _, ev := range mine {
+		var attrs []string
+		keys := make([]string, 0, len(ev.Attrs))
+		for k := range ev.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			attrs = append(attrs, k+"="+ev.Attrs[k])
+		}
+		fmt.Printf("  %s  %-12s %s\n",
+			ev.Sim.Format("2006-01-02 15:04:05"), ev.Type, strings.Join(attrs, " "))
+	}
 }

@@ -38,27 +38,62 @@ func main() {
 		backend    = flag.String("backend", core.BackendInproc, "world backend: inproc (in-process dispatch) or http (real loopback servers); results identical either way")
 		faultSpec  = flag.String("faults", "", "chaos profile injected into the world boundary: off, default, or k=v spec (latency=0.1,5xx=0.2,reset=0.05,truncate=0.02,malform=0.02,burst=2,blackout=web:24h:6h); the retry layer absorbs the default profile with byte-identical results")
 		outPath    = flag.String("out", "", "write the study's records as JSONL to this file")
-		opsAddr    = flag.String("ops", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address while the study runs")
+		journal    = flag.String("journal", "", "write the per-URL lifecycle journal as JSONL to this file (enables tracing)")
+		opsAddr    = flag.String("ops", "", "serve /metrics, /healthz, /version, /debug/vars and /debug/pprof on this address while the study runs")
+		dash       = flag.Bool("dash", false, "with -ops, serve the live dashboard on /dash (enables lifecycle tracing)")
 		linger     = flag.Bool("linger", false, "with -ops, keep serving the ops endpoints after the study completes")
 	)
 	flag.Parse()
 
+	// The study's framework is assembled up front — before the ops listener
+	// — so the dashboard can watch the same journal the run writes to.
+	// Training and execution still happen later, in their printed order.
+	reg := obs.NewRegistry()
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Scale = *scale
+	cfg.Workers = *workers
+	cfg.QueueDepth = *queueDepth
+	cfg.Backend = *backend
+	cfg.Registry = reg
+	cfg.Journal = *journal != "" || *dash
+	prof, err := faults.ParseProfile(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Faults = prof
+	fp := core.New(cfg)
+
 	// The ops listener scrapes the same registry the study writes to, so
 	// `curl <ops>/metrics` mid-run shows the pipeline advancing live.
-	reg := obs.NewRegistry()
+	info := obs.RegisterBuildInfo(reg, *seed)
 	var studyDone atomic.Bool
 	if *opsAddr != "" {
-		mux := obs.NewOpsMux(reg, func() error {
-			if !*linger && studyDone.Load() {
-				return fmt.Errorf("study complete")
+		opts := obs.OpsOptions{
+			Healthz: func() error {
+				if !*linger && studyDone.Load() {
+					return fmt.Errorf("study complete")
+				}
+				return nil
+			},
+			Info: info,
+		}
+		if *dash {
+			opts.Dash = &obs.Dash{
+				Reg: reg, Journal: fp.Metrics.Journal,
+				Title: "freephish study", Info: info,
 			}
-			return nil
-		})
+		}
+		mux := obs.NewOps(reg, opts)
 		go func() {
 			srv := &http.Server{Addr: *opsAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 			log.Fatalf("ops listener: %v", srv.ListenAndServe())
 		}()
-		fmt.Printf("ops endpoints on http://%s (/metrics, /healthz, /debug/vars, /debug/pprof)\n\n", *opsAddr)
+		fmt.Printf("ops endpoints on http://%s (/metrics, /healthz, /version, /debug/vars, /debug/pprof", *opsAddr)
+		if *dash {
+			fmt.Print(", /dash")
+		}
+		fmt.Print(")\n\n")
 	}
 
 	fmt.Println("FreePhish reproduction study")
@@ -84,22 +119,9 @@ func main() {
 	}
 
 	// Sections 5.1-5.5: the six-month measurement study.
-	cfg := core.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Scale = *scale
-	cfg.Workers = *workers
-	cfg.QueueDepth = *queueDepth
-	cfg.Backend = *backend
-	cfg.Registry = reg
-	prof, err := faults.ParseProfile(*faultSpec)
-	if err != nil {
-		log.Fatal(err)
-	}
 	if prof != nil {
-		cfg.Faults = prof
 		fmt.Printf("fault injection enabled: %s\n\n", *faultSpec)
 	}
-	fp := core.New(cfg)
 	fmt.Println("training classifiers on the ground-truth corpus...")
 	if err := fp.Train(); err != nil {
 		log.Fatal(err)
@@ -129,6 +151,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %d records to %s\n\n", len(study.Records), *outPath)
+	}
+
+	if *journal != "" {
+		fh, err := os.Create(*journal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fp.Metrics.Journal.WriteJSONL(fh); err != nil {
+			log.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d lifecycle events to %s\n\n", fp.Metrics.Journal.Len(), *journal)
 	}
 
 	fmt.Println("classifier feature importance (top 8):")

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strconv"
 	"time"
 
@@ -33,7 +34,9 @@ func main() {
 		phishFrc = flag.Float64("phish", 0.4, "fraction of sites that are phishing attacks")
 		seed     = flag.Int64("seed", 1, "generation seed")
 		social   = flag.Bool("social", false, "also publish every site in a post and serve the platform APIs under /twitter and /facebook")
-		ops      = flag.Bool("ops", true, "serve /metrics, /healthz and /debug/pprof on the same listener")
+		ops      = flag.Bool("ops", true, "serve /metrics, /healthz, /version and /debug/pprof on the same listener")
+		dash     = flag.Bool("dash", false, "with -ops, serve the live dashboard on /dash (enables request tracing)")
+		journal  = flag.String("journal", "", "stream publish/request trace events as JSONL to this file (enables request tracing)")
 	)
 	flag.Parse()
 
@@ -41,6 +44,21 @@ func main() {
 	host := fwb.NewHost(now)
 	g := webgen.NewGenerator(*seed, nil, nil)
 	epoch := time.Now()
+
+	// The journal traces the simulated ecosystem: one lifecycle event per
+	// published site, ring-only ops events per served request.
+	var jr *obs.Journal
+	if *dash || *journal != "" {
+		jr = obs.NewJournal(nil, 0)
+		if *journal != "" {
+			fh, err := os.Create(*journal)
+			if err != nil {
+				log.Fatal(err)
+			}
+			jr.SetSink(fh)
+			fmt.Printf("streaming trace events to %s\n", *journal)
+		}
+	}
 
 	nPhish := int(float64(*sites) * *phishFrc)
 	fmt.Printf("simulated FWB web on http://%s (%d sites, %d phishing)\n\n", *addr, *sites, nPhish)
@@ -54,6 +72,8 @@ func main() {
 		if err := host.Publish(site); err != nil {
 			continue
 		}
+		jr.Record(site.URL, "published", time.Now(),
+			"kind", string(site.Kind), "service", site.Service.Key)
 		p, err := urlx.Parse(site.URL)
 		if err != nil {
 			continue
@@ -87,13 +107,18 @@ func main() {
 	}
 	if *ops {
 		reg := obs.NewRegistry()
-		reg.Gauge("fwbhost_sites", "Sites currently published on the simulated web.").
+		info := obs.RegisterBuildInfo(reg, *seed)
+		reg.Gauge("freephish_fwbhost_sites", "Sites currently published on the simulated web.").
 			Set(float64(len(host.Sites())))
-		reqs := reg.CounterVec("fwbhost_requests_total",
+		reqs := reg.CounterVec("freephish_fwbhost_requests_total",
 			"HTTP requests served, by response status code.", "code")
-		lat := reg.Histogram("fwbhost_request_seconds",
+		lat := reg.Histogram("freephish_fwbhost_request_seconds",
 			"Wall-clock time to serve one request.", obs.DefBuckets)
-		opsMux := obs.NewOpsMux(reg, nil)
+		opts := obs.OpsOptions{Info: info}
+		if *dash {
+			opts.Dash = &obs.Dash{Reg: reg, Journal: jr, Title: "fwbhost", Info: info}
+		}
+		opsMux := obs.NewOps(reg, opts)
 		app := handler
 		// Ops routes ride the application listener; requests carrying a
 		// simulated Host header never collide with them because the split
@@ -108,8 +133,10 @@ func main() {
 			app.ServeHTTP(sw, r)
 			reqs.With(strconv.Itoa(sw.code)).Inc()
 			lat.Observe(time.Since(start).Seconds())
+			jr.RecordOps("http://"+r.Host+r.URL.Path, "request",
+				"code", strconv.Itoa(sw.code))
 		})
-		fmt.Printf("\nops endpoints: http://%s/metrics /healthz /debug/pprof/\n", *addr)
+		fmt.Printf("\nops endpoints: http://%s/metrics /healthz /version /debug/pprof/\n", *addr)
 	}
 	fmt.Println("\nserving... (ctrl-c to stop)")
 	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"sort"
+	"sync"
 	"time"
 
 	"freephish/internal/features"
@@ -28,6 +31,10 @@ type StackDetector struct {
 	// observe, when set via SetObserver, receives per-stage timings from
 	// Score ("extract" and "infer").
 	observe func(stage string, d time.Duration)
+	// impOnce caches the trained model's feature importances: walking the
+	// forest is far too slow for the per-URL ScoreExplained path.
+	impOnce sync.Once
+	imp     []float64
 }
 
 // NewBaseStackModel returns the original StackModel baseline.
@@ -100,6 +107,65 @@ func (s *StackDetector) Score(p features.Page) (float64, error) {
 // descending — which features the §4.2 model actually consults.
 func (s *StackDetector) Importance() []ml.RankedFeature {
 	return ml.RankFeatures(s.names, s.model.FeatureImportance())
+}
+
+// Contribution is one feature's part of a ScoreExplained verdict: the
+// extracted value and its weight (importance × value), the per-URL
+// explanation the journal's classified event carries.
+type Contribution struct {
+	Name   string
+	Value  float64
+	Weight float64
+}
+
+// importances returns the cached per-feature importances of the trained
+// model, computing them on first use.
+func (s *StackDetector) importances() []float64 {
+	s.impOnce.Do(func() { s.imp = s.model.FeatureImportance() })
+	return s.imp
+}
+
+// ScoreExplained is Score plus an explanation: the top-k features by
+// |importance × value|, descending, name-tiebroken for determinism.
+// Zero-weight features are omitted, so fewer than k entries may return.
+func (s *StackDetector) ScoreExplained(p features.Page, k int) (float64, []Contribution, error) {
+	t0 := time.Now()
+	m, err := features.Extract(p)
+	if s.observe != nil {
+		s.observe("extract", time.Since(t0))
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	vec := features.Vector(s.names, m)
+	t1 := time.Now()
+	score := s.model.PredictProba(vec)
+	if s.observe != nil {
+		s.observe("infer", time.Since(t1))
+	}
+	imp := s.importances()
+	contrib := make([]Contribution, 0, len(vec))
+	for i, v := range vec {
+		if i >= len(imp) {
+			break
+		}
+		w := imp[i] * v
+		if w == 0 {
+			continue
+		}
+		contrib = append(contrib, Contribution{Name: s.names[i], Value: v, Weight: w})
+	}
+	sort.Slice(contrib, func(i, j int) bool {
+		wi, wj := math.Abs(contrib[i].Weight), math.Abs(contrib[j].Weight)
+		if wi != wj {
+			return wi > wj
+		}
+		return contrib[i].Name < contrib[j].Name
+	})
+	if k > 0 && len(contrib) > k {
+		contrib = contrib[:k]
+	}
+	return score, contrib, nil
 }
 
 // Save writes the trained detector (feature view + stacked model) to w.

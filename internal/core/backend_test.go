@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"reflect"
+	"regexp"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -186,6 +187,79 @@ func TestProductionFilesFreeOfBannedHTTPAndSleep(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// instrumentConstructors are the obs.Registry methods whose first
+// argument is a metric name.
+var instrumentConstructors = map[string]bool{
+	"Counter": true, "CounterVec": true, "Gauge": true, "GaugeVec": true,
+	"GaugeFunc": true, "Histogram": true, "HistogramVec": true,
+}
+
+// TestMetricNamesPrefixedAndWellFormed lints every production
+// registration call repo-wide: literal metric names must carry the
+// `freephish_` namespace and stay within the conservative Prometheus
+// charset (lowercase, digits, underscores). One daemon shipped
+// `fwbhost_*` names once; a shared prefix is what lets dashboards and
+// the /dash sample filter select "everything ours" with one rule.
+func TestMetricNamesPrefixedAndWellFormed(t *testing.T) {
+	root := filepath.Join("..", "..")
+	nameRE := regexp.MustCompile(`^freephish_[a-z0-9_]+$`)
+	fset := token.NewFileSet()
+	registrations := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", rel, err)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !instrumentConstructors[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				// Computed names (e.g. the tracer's <name>_stage_seconds)
+				// are namespaced by their callers; only literals are
+				// checkable here.
+				return true
+			}
+			name := strings.Trim(lit.Value, "`\"")
+			registrations++
+			if !nameRE.MatchString(name) {
+				t.Errorf("%s:%d registers metric %q: names must match %s",
+					rel, fset.Position(lit.Pos()).Line, name, nameRE)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if registrations < 20 {
+		t.Fatalf("lint saw only %d literal registrations; the AST walk has gone blind", registrations)
 	}
 }
 

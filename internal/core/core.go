@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"strconv"
 	"time"
 
 	"freephish/internal/analysis"
@@ -112,6 +113,16 @@ type Config struct {
 	// world boundary. The unified retry layer absorbs the default profile
 	// completely: the study stays byte-identical to a fault-free run.
 	Faults *faults.Profile
+	// Journal enables per-URL lifecycle tracing: every URL's transitions
+	// (posted → observed-in-CT → polled → fetched → classified → reported
+	// → takedown/re-check) are recorded in Metrics.Journal, with the
+	// canonical sequence byte-identical across Workers × QueueDepth ×
+	// Backend × chaos — the same invariant as the study itself. Off (the
+	// default), the hot path pays only nil checks.
+	Journal bool
+	// JournalRing bounds the journal's in-memory ops/tail ring (0 =
+	// obs.DefaultJournalRing). Lifecycle events are retained in full.
+	JournalRing int
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -229,6 +240,9 @@ func New(cfg Config) *FreePhish {
 		reg = obs.NewRegistry()
 	}
 	f.Metrics = newMetrics(reg, clock.Now, cfg.Epoch)
+	if cfg.Journal {
+		f.Metrics.Journal = obs.NewJournal(clock.Now, cfg.JournalRing)
+	}
 	f.Observations = make(map[string]*Observation)
 	f.seenURLs = make(map[string]bool)
 	return f
@@ -367,6 +381,7 @@ func (f *FreePhish) pollOnce(now time.Time) (err error) {
 	}
 	p := pipe.New(context.Background(), pipe.Options{
 		Name: "poll", Registry: f.Metrics.Registry,
+		OnEmit: journalEmit(f.Metrics.Journal, "poll"),
 	})
 	depth := f.queueDepth()
 	fetched := pipe.Stage(pipe.Source(p, depth, fresh), "fetch", f.workers(), depth,
@@ -391,13 +406,14 @@ func (f *FreePhish) queueDepth() int { return pipe.DepthOrDefault(f.Config.Queue
 // probeResult carries everything a probe learned about one streamed URL
 // into the ordered apply phase.
 type probeResult struct {
-	su     crawler.StreamedURL
-	page   features.Page
-	status int
-	info   world.SiteInfo
-	cohort string
-	score  float64
-	err    error // terminal: snapshot, resolve, or classification failure
+	su      crawler.StreamedURL
+	page    features.Page
+	status  int
+	info    world.SiteInfo
+	cohort  string
+	score   float64
+	contrib []baselines.Contribution // top features; only with the journal on
+	err     error                    // terminal: snapshot, resolve, or classification failure
 }
 
 // fetchURL is the pipeline's fetch stage: snapshot the page over the
@@ -441,12 +457,18 @@ func (f *FreePhish) classifyURL(p *probeResult) *probeResult {
 	if p.info.IsFWB {
 		p.cohort = "fwb"
 	}
+	model := f.BaseModel
+	if p.info.IsFWB {
+		model = f.Model
+	}
 	csp := f.Metrics.Tracer.Start("classify")
 	c0 := time.Now()
-	if p.info.IsFWB {
-		p.score, err = f.Model.Score(p.page)
+	if f.Metrics.Journal != nil {
+		// The journal's classified event carries a verdict explanation, so
+		// pay for the top-contribution ranking only when tracing is on.
+		p.score, p.contrib, err = model.ScoreExplained(p.page, journalTopFeatures)
 	} else {
-		p.score, err = f.BaseModel.Score(p.page)
+		p.score, err = model.Score(p.page)
 	}
 	f.Metrics.ClassifySeconds.With(p.cohort).Observe(time.Since(c0).Seconds())
 	csp.EndErr(err)
@@ -467,6 +489,16 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 	if p.err != nil {
 		return p.err
 	}
+	// Lifecycle tracing records here — the single-threaded, stream-ordered
+	// apply point — never from the concurrent stages, which is what keeps
+	// the canonical journal byte-identical at every concurrency setting.
+	j := f.Metrics.Journal
+	if j != nil {
+		j.Record(p.su.URL, obs.EvPosted, p.su.At,
+			"platform", string(p.su.Platform), "post", p.su.PostID)
+		j.Record(p.su.URL, obs.EvPolled, now)
+		j.Record(p.su.URL, obs.EvFetched, now, "status", statusLabel(p.status))
+	}
 	if p.status != 200 {
 		return nil
 	}
@@ -476,6 +508,17 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 	}
 	su, page, cohort, score := p.su, p.page, p.cohort, p.score
 	flagged := score >= 0.5
+	if j != nil {
+		verdict := "benign"
+		if flagged {
+			verdict = "phishing"
+		}
+		j.Record(su.URL, obs.EvClassified, now,
+			"cohort", cohort,
+			"score", strconv.FormatFloat(score, 'g', -1, 64),
+			"verdict", verdict,
+			"top", topAttr(p.contrib))
+	}
 	if err := f.eval.observe(su.URL, cohort, flagged); err != nil {
 		return err
 	}
@@ -496,6 +539,9 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 	if err != nil {
 		asp.EndErr(err)
 		return fmt.Errorf("core: profile %q: %w", su.URL, err)
+	}
+	if j != nil && target.InCTLog {
+		j.Record(su.URL, obs.EvObservedCT, now, "cert", string(target.CertType))
 	}
 	rec := &analysis.Record{
 		Target:          target,
@@ -524,6 +570,9 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 			asp.EndErr(err)
 			return fmt.Errorf("core: remove post %q: %w", su.PostID, err)
 		}
+		if j != nil {
+			j.Record(su.URL, obs.EvTakedown, at, "via", "platform")
+		}
 	}
 	asp.End()
 	// Reporting module (§4.3): disclose FWB attacks to the service; the
@@ -545,11 +594,26 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 	if outcome.Acknowledged {
 		f.Metrics.ReportAcks.With(recipient).Inc()
 	}
+	if j != nil {
+		ack := "false"
+		if outcome.Acknowledged {
+			ack = "true"
+		}
+		if outcome.Error != "" {
+			j.Record(su.URL, obs.EvReported, now,
+				"recipient", recipient, "ack", ack, "err", outcome.Error)
+		} else {
+			j.Record(su.URL, obs.EvReported, now, "recipient", recipient, "ack", ack)
+		}
+	}
 	rec.Report = outcome
 	if outcome.Removed {
 		rec.HostRemoved = true
 		rec.HostRemovedAt = outcome.RemovedAt
 		f.Metrics.Takedowns.With("host").Inc()
+		if j != nil {
+			j.Record(su.URL, obs.EvTakedown, outcome.RemovedAt, "via", "host")
+		}
 	}
 	f.Study.Add(rec)
 	f.Metrics.Records.Inc()

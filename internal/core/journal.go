@@ -1,0 +1,52 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"freephish/internal/baselines"
+	"freephish/internal/obs"
+)
+
+// journalTopFeatures is how many feature contributions the classified
+// event's explanation carries.
+const journalTopFeatures = 3
+
+// journalEmit adapts the journal to pipe's OnEmit hook: each in-order
+// stage emission becomes a ring-only ops event. Returns nil when tracing
+// is off so the pipeline skips the hook entirely.
+func journalEmit(j *obs.Journal, pipeName string) func(stage string, seq int, err error) {
+	if j == nil {
+		return nil
+	}
+	return func(stage string, seq int, err error) {
+		if err != nil {
+			j.RecordOps("", obs.EvStage, "pipe", pipeName, "stage", stage, "seq", itoa(seq), "err", err.Error())
+			return
+		}
+		j.RecordOps("", obs.EvStage, "pipe", pipeName, "stage", stage, "seq", itoa(seq))
+	}
+}
+
+// topAttr renders feature contributions as the classified event's "top"
+// attribute: "name:+0.0312,name:-0.0040,…". A single ordered string —
+// not one attr per feature — because JSON objects sort keys, which would
+// destroy the ranking.
+func topAttr(contrib []baselines.Contribution) string {
+	if len(contrib) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, c := range contrib {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(':')
+		if c.Weight >= 0 {
+			b.WriteByte('+')
+		}
+		b.WriteString(strconv.FormatFloat(c.Weight, 'f', 4, 64))
+	}
+	return b.String()
+}

@@ -19,6 +19,11 @@ type Metrics struct {
 	// Tracer aggregates per-stage spans (poll, fetch, classify, assess,
 	// report, monitor) in wall-clock and simulation time.
 	Tracer *obs.Tracer
+	// Journal is the per-URL lifecycle trace, non-nil only when
+	// Config.Journal is set. Lifecycle events are recorded from the
+	// ordered apply/monitor points; retry, breaker, fault, and pipe-stage
+	// hooks below feed its ops ring for the dashboard.
+	Journal *obs.Journal
 
 	// Streaming module (§4.1).
 	Polls        *obs.Counter
@@ -165,13 +170,22 @@ func (f *FreePhish) wireMetrics() {
 	f.poller.ObserveFailure = func(platform threat.Platform, err error) {
 		m.PollFailed.Inc()
 	}
+	j := m.Journal
 	if pol := f.retryPol; pol != nil {
 		pol.OnRetry = func(key string, attempt int, delay time.Duration, err error) {
 			m.Retries.With(key).Inc()
 			m.RetryBackoff.Add(delay.Seconds())
+			if j != nil {
+				j.RecordOps("", obs.EvRetry,
+					"key", key, "attempt", itoa(attempt), "err", err.Error())
+			}
 		}
 		pol.OnGiveUp = func(key string, attempts int, err error) {
 			m.RetryGiveUps.With(key).Inc()
+			if j != nil {
+				j.RecordOps("", obs.EvGiveUp,
+					"key", key, "attempts", itoa(attempts), "err", err.Error())
+			}
 		}
 		pol.OnBreaker = func(key string, open bool) {
 			transition := "close"
@@ -179,11 +193,18 @@ func (f *FreePhish) wireMetrics() {
 				transition = "open"
 			}
 			m.BreakerEvents.With(key, transition).Inc()
+			if j != nil {
+				j.RecordOps("", obs.EvBreaker, "key", key, "transition", transition)
+			}
 		}
 	}
 	if f.injector != nil {
-		f.injector.Observe = func(kind string) {
+		f.injector.Observe = func(kind, endpoint, key string) {
 			m.FaultsInjected.With(kind).Inc()
+			if j != nil {
+				j.RecordOps("", obs.EvFault,
+					"kind", kind, "endpoint", endpoint, "key", key)
+			}
 		}
 	}
 	stageObs := func(stage string, d time.Duration) {

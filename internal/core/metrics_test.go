@@ -1,6 +1,8 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -119,6 +121,76 @@ func TestRunPopulatesMetrics(t *testing.T) {
 			t.Errorf("decisions %v > scanned %d", decided, fp.Stats.URLsScanned)
 		}
 	}
+}
+
+// normalizeExposition reduces a Prometheus text exposition to its schema:
+// HELP/TYPE headers and series identities (name plus label set), with the
+// sampled values stripped. Counts are seed-deterministic but wall-clock
+// histograms are not, so the schema — which series exist, how they are
+// labeled, how they are documented — is the right thing to golden.
+func normalizeExposition(exposition string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(exposition, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			b.WriteString(line)
+			b.WriteByte('\n')
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i >= 0 {
+			line = line[:i]
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestMetricsExpositionSchemaGolden locks the full /metrics surface of a
+// seeded mini-study against testdata/metrics_schema.golden. A renamed
+// metric, a dropped label, or a lost HELP string is an observability
+// regression that dashboards and alerts feel immediately — this test makes
+// it a diff instead. Regenerate deliberately with:
+//
+//	METRICS_SCHEMA_GOLDEN=rewrite go test ./internal/core -run TestMetricsExpositionSchemaGolden
+func TestMetricsExpositionSchemaGolden(t *testing.T) {
+	cfg := streamSweepConfig(1, 1, BackendInproc)
+	cfg.Journal = true // include the traced variant of the pipeline
+	f := New(cfg)
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := f.Metrics.Registry.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeExposition(b.String())
+
+	golden := filepath.Join("testdata", "metrics_schema.golden")
+	if os.Getenv("METRICS_SCHEMA_GOLDEN") == "rewrite" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d lines)", golden, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with METRICS_SCHEMA_GOLDEN=rewrite)", err)
+	}
+	if got == string(want) {
+		return
+	}
+	a := strings.Split(string(want), "\n")
+	c := strings.Split(got, "\n")
+	for i := 0; i < len(a) && i < len(c); i++ {
+		if a[i] != c[i] {
+			t.Fatalf("exposition schema diverges from golden at line %d:\ngolden: %s\ngot:    %s\n(regenerate deliberately with METRICS_SCHEMA_GOLDEN=rewrite)", i+1, a[i], c[i])
+		}
+	}
+	t.Fatalf("exposition schema length diverges: golden %d lines, got %d (regenerate with METRICS_SCHEMA_GOLDEN=rewrite)", len(a), len(c))
 }
 
 // TestPollQuotaMetrics enables the poller rate limiter and checks the

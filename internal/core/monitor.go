@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"net/http"
+	"sort"
 	"time"
 
 	"freephish/internal/analysis"
+	"freephish/internal/obs"
 	"freephish/internal/pipe"
 )
 
@@ -40,35 +42,47 @@ type Observation struct {
 
 // scheduleMonitor registers rec for periodic re-checking.
 func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
-	obs := &Observation{Listings: make(map[string]time.Time)}
-	f.Observations[rec.Target.URL] = obs
-	feedNames := f.world.Feeds.FeedNames()
+	ob := &Observation{Listings: make(map[string]time.Time)}
+	f.Observations[rec.Target.URL] = ob
+	// The backends agree on the feed set but not its order (the http
+	// client sorts, the sim keeps assessment order). The observations are
+	// order-agnostic maps, but the journal's listed events are not — sort
+	// so a tick's checks fan out identically on every backend.
+	feedNames := append([]string(nil), f.world.Feeds.FeedNames()...)
+	sort.Strings(feedNames)
+	j := f.Metrics.Journal
 
 	until := rec.Target.SharedAt.Add(MonitorHorizon)
 	var stop func()
 	stop = f.Clock.Every(f.Config.MonitorInterval, until, "freephish.monitor", func(now time.Time) {
 		sp := f.Metrics.Tracer.Start("monitor")
-		obs.Probes++
+		ob.Probes++
 		f.Metrics.MonitorProbes.Inc()
 		// Fan the tick's still-pending checks — the live HTTP probe (feed
 		// "") plus one lookup per unlisted blocklist — through the streaming
 		// engine: every check is a read-only port call, so they run
 		// concurrently, while the Observation mutations happen in the
 		// ordered drain, keeping the record byte-identical to the old
-		// sequential loop at every (workers, queue-depth) setting.
+		// sequential loop at every (workers, queue-depth) setting. Monitor
+		// ticks fire from the single-threaded clock and the drain is
+		// ordered, so lifecycle events here keep the determinism contract.
 		type check struct{ feed string }
 		checks := make([]check, 0, 1+len(feedNames))
-		if obs.HostDownAt.IsZero() {
+		if ob.HostDownAt.IsZero() {
 			checks = append(checks, check{})
 		}
 		for _, name := range feedNames {
-			if _, seen := obs.Listings[name]; !seen {
+			if _, seen := ob.Listings[name]; !seen {
 				checks = append(checks, check{feed: name})
 			}
+		}
+		if j != nil {
+			j.Record(rec.Target.URL, obs.EvRecheck, now, "checks", itoa(len(checks)))
 		}
 		done := true
 		p := pipe.New(context.Background(), pipe.Options{
 			Name: "monitor", Registry: f.Metrics.Registry,
+			OnEmit: journalEmit(j, "monitor"),
 		})
 		depth := f.queueDepth()
 		st := pipe.Stage(pipe.Source(p, depth, checks), "check", f.workers(), depth,
@@ -85,11 +99,17 @@ func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
 			case !hit:
 				done = false // still up / not yet listed: keep observing
 			case c.feed == "":
-				obs.HostDownAt = now
+				ob.HostDownAt = now
 				f.Metrics.MonitorHostDown.Inc()
+				if j != nil {
+					j.Record(rec.Target.URL, obs.EvHostDown, now)
+				}
 			default:
-				obs.Listings[c.feed] = now
+				ob.Listings[c.feed] = now
 				f.Metrics.MonitorListings.With(c.feed).Inc()
+				if j != nil {
+					j.Record(rec.Target.URL, obs.EvListed, now, "entity", c.feed)
+				}
 			}
 			return nil
 		})

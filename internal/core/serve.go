@@ -146,7 +146,9 @@ func (f *FreePhish) startInproc() error {
 	}
 	client := &http.Client{Transport: rt, Timeout: 10 * time.Second}
 	f.wirePipeline("http://web.inproc", endpoints, client)
-	f.world = world.WithRetry(faults.WrapWorld(world.Inproc(f.Sim), f.injector), f.retryPol)
+	f.world = world.WithJournal(
+		world.WithRetry(faults.WrapWorld(world.Inproc(f.Sim), f.injector), f.retryPol),
+		f.Metrics.Journal)
 	f.world.Stream = f.wrapStream(f.poller)
 	f.world.Snap = f.fetcher
 	f.eval = &evaluator{oracle: f.world.Oracle, stats: &f.Stats, metrics: f.Metrics}
@@ -188,12 +190,12 @@ func (f *FreePhish) startHTTP() error {
 		}
 	}
 	f.wirePipeline(hostSrv.base, endpoints, nil)
-	f.world = world.OverHTTP(world.Endpoints{
+	f.world = world.WithJournal(world.OverHTTP(world.Endpoints{
 		API:       apiSrv.base,
 		Platforms: endpoints,
 		Feeds:     feedBases,
 		Retry:     f.retryPol,
-	})
+	}), f.Metrics.Journal)
 	f.world.Stream = f.wrapStream(f.poller)
 	f.world.Snap = f.fetcher
 	f.eval = &evaluator{oracle: f.world.Oracle, stats: &f.Stats, metrics: f.Metrics}

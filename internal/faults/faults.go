@@ -178,10 +178,12 @@ type Injector struct {
 	// sleep serves injected latency; defaults to time.Sleep.
 	sleep func(time.Duration)
 
-	// Observe, when set, receives each injected fault's kind — the hook
-	// the metrics layer counts through. Must be cheap and
-	// concurrency-safe. Set it before serving traffic.
-	Observe func(kind string)
+	// Observe, when set, receives each injected fault's kind plus the
+	// endpoint and request key it hit — the hook the metrics layer counts
+	// through and the journal records fault events from, so chaos runs
+	// are explainable per call site. Must be cheap and concurrency-safe.
+	// Set it before serving traffic.
+	Observe func(kind, endpoint, key string)
 
 	mu     sync.Mutex
 	streak map[string]*keyState
@@ -248,7 +250,7 @@ func (i *Injector) decide(endpoint, key string, corruptible, jsonBody bool) (kin
 				obs := i.Observe
 				i.mu.Unlock()
 				if obs != nil {
-					obs(KindBlackout)
+					obs(KindBlackout, endpoint, key)
 				}
 				return KindBlackout, 0
 			}
@@ -296,10 +298,10 @@ func (i *Injector) decide(endpoint, key string, corruptible, jsonBody bool) (kin
 	i.mu.Unlock()
 	if obs != nil {
 		if latency > 0 {
-			obs(KindLatency)
+			obs(KindLatency, endpoint, key)
 		}
 		if kind != "" {
-			obs(kind)
+			obs(kind, endpoint, key)
 		}
 	}
 	return kind, latency

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+)
+
+// BuildInfo collects the identifying facts every daemon exports: the
+// module version (or VCS revision when built from a checkout), the Go
+// toolchain version, and the study seed. It is both the label set of the
+// freephish_build_info gauge and the /version endpoint's JSON body.
+func BuildInfo(seed int64) map[string]string {
+	version := "dev"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		} else {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+					version = s.Value[:12]
+				}
+			}
+		}
+	}
+	return map[string]string{
+		"version":   version,
+		"goversion": runtime.Version(),
+		"seed":      strconv.FormatInt(seed, 10),
+	}
+}
+
+// RegisterBuildInfo exports the standard freephish_build_info gauge — the
+// Prometheus idiom of a constant-1 series whose labels carry the build
+// identity — and returns the info map for the /version endpoint.
+func RegisterBuildInfo(reg *Registry, seed int64) map[string]string {
+	info := BuildInfo(seed)
+	reg.GaugeVec("freephish_build_info",
+		"Build identity: constant 1 labeled with version, Go version, and study seed.",
+		"version", "goversion", "seed").
+		With(info["version"], info["goversion"], info["seed"]).Set(1)
+	return info
+}

@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"encoding/json"
+	"html/template"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Dash is the zero-dependency live ops dashboard served from the ops mux:
+//
+//	/dash        HTML shell — stat tiles, per-stage sparklines fed by the
+//	             freephish_pipe_* gauges, a takedown-timeline view, and a
+//	             recent-event feed, refreshed by a small inline script
+//	/dash/data   the JSON snapshot the shell polls (~2 s cadence)
+//	/dash/trace  per-URL lifecycle drill-down with verdict explanation
+//
+// Reg is required; Journal may be nil (the dashboard then shows metrics
+// only). Everything is rendered from html/template and vanilla JS — no
+// non-stdlib dependency, per the repo's standing constraint.
+type Dash struct {
+	Reg     *Registry
+	Journal *Journal
+	Title   string
+	Info    map[string]string
+}
+
+// Register mounts the dashboard routes on mux.
+func (d *Dash) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/dash", d.serveIndex)
+	mux.HandleFunc("/dash/data", d.serveData)
+	mux.HandleFunc("/dash/trace", d.serveTrace)
+}
+
+// dashSample is one exported series in the /dash/data payload.
+type dashSample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	Count  uint64            `json:"count,omitempty"`
+}
+
+// dashEvent is one journal event in the /dash/data payload.
+type dashEvent struct {
+	Seq   uint64            `json:"seq"`
+	Class string            `json:"class"`
+	Type  string            `json:"type"`
+	URL   string            `json:"url,omitempty"`
+	Sim   time.Time         `json:"sim"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// dashTimeline is one URL's lifecycle milestones for the timeline view.
+type dashTimeline struct {
+	URL       string     `json:"url"`
+	Posted    *time.Time `json:"posted,omitempty"`
+	Fetched   *time.Time `json:"fetched,omitempty"`
+	Reported  *time.Time `json:"reported,omitempty"`
+	Takedowns []struct {
+		Via string    `json:"via"`
+		At  time.Time `json:"at"`
+	} `json:"takedowns,omitempty"`
+}
+
+type dashData struct {
+	Title     string            `json:"title"`
+	Info      map[string]string `json:"info,omitempty"`
+	Counts    map[string]uint64 `json:"counts,omitempty"`
+	Samples   []dashSample      `json:"samples"`
+	Tail      []dashEvent       `json:"tail,omitempty"`
+	Timelines []dashTimeline    `json:"timelines,omitempty"`
+	Journal   bool              `json:"journal"`
+}
+
+const dashTimelineLimit = 40
+
+func (d *Dash) serveData(w http.ResponseWriter, _ *http.Request) {
+	data := dashData{
+		Title:   d.title(),
+		Info:    d.Info,
+		Counts:  d.Journal.Counts(),
+		Journal: d.Journal != nil,
+	}
+	for _, s := range d.Reg.Snapshot() {
+		if !strings.HasPrefix(s.Name, "freephish_") {
+			continue
+		}
+		data.Samples = append(data.Samples, dashSample{
+			Name: s.Name, Labels: s.Labels, Value: s.Value, Count: s.Count,
+		})
+	}
+	for _, ev := range d.Journal.Tail(100) {
+		data.Tail = append(data.Tail, dashEvent{
+			Seq: ev.Seq, Class: ev.Class, Type: ev.Type, URL: ev.URL,
+			Sim: ev.Sim, Attrs: ev.Attrs,
+		})
+	}
+	data.Timelines = d.timelines()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(data)
+}
+
+// timelines extracts the most recent URLs that progressed far enough to
+// draw: reported or taken down. Milestones are first occurrences.
+func (d *Dash) timelines() []dashTimeline {
+	urls := d.Journal.URLs()
+	var out []dashTimeline
+	for i := len(urls) - 1; i >= 0 && len(out) < dashTimelineLimit; i-- {
+		events := d.Journal.Trace(urls[i])
+		tl := dashTimeline{URL: urls[i]}
+		interesting := false
+		for _, ev := range events {
+			sim := ev.Sim
+			switch ev.Type {
+			case EvPosted:
+				if tl.Posted == nil {
+					tl.Posted = &sim
+				}
+			case EvFetched:
+				if tl.Fetched == nil {
+					tl.Fetched = &sim
+				}
+			case EvReported:
+				if tl.Reported == nil {
+					tl.Reported = &sim
+				}
+				interesting = true
+			case EvTakedown:
+				tl.Takedowns = append(tl.Takedowns, struct {
+					Via string    `json:"via"`
+					At  time.Time `json:"at"`
+				}{Via: ev.Attrs["via"], At: sim})
+				interesting = true
+			}
+		}
+		if interesting {
+			out = append(out, tl)
+		}
+	}
+	// Reverse to oldest-first for a stable top-to-bottom reading order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func (d *Dash) title() string {
+	if d.Title != "" {
+		return d.Title
+	}
+	return "freephish"
+}
+
+func (d *Dash) serveIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	dashIndexTmpl.Execute(w, map[string]any{"Title": d.title()})
+}
+
+// traceView is the data handed to the trace template.
+type traceView struct {
+	Title   string
+	URL     string
+	Events  []Event
+	Verdict string
+	Score   string
+	Contrib []traceContrib
+	Missing bool
+}
+
+type traceContrib struct {
+	Name   string
+	Weight string
+}
+
+func (d *Dash) serveTrace(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	view := traceView{Title: d.title(), URL: url}
+	view.Events = d.Journal.Trace(url)
+	view.Missing = len(view.Events) == 0
+	for _, ev := range view.Events {
+		if ev.Type != EvClassified {
+			continue
+		}
+		view.Score = ev.Attrs["score"]
+		view.Verdict = ev.Attrs["verdict"]
+		// top is "name:+weight,name:-weight,..." — split for display.
+		for _, part := range strings.Split(ev.Attrs["top"], ",") {
+			if name, weight, ok := strings.Cut(part, ":"); ok {
+				view.Contrib = append(view.Contrib, traceContrib{Name: name, Weight: weight})
+			}
+		}
+		break
+	}
+	sort.SliceStable(view.Events, func(i, j int) bool {
+		if !view.Events[i].Sim.Equal(view.Events[j].Sim) {
+			return view.Events[i].Sim.Before(view.Events[j].Sim)
+		}
+		return view.Events[i].Seq < view.Events[j].Seq
+	})
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	dashTraceTmpl.Execute(w, view)
+}
+
+var dashIndexTmpl = template.Must(template.New("dash").Parse(`<!doctype html>
+<html><head><meta charset="utf-8"><title>{{.Title}} · ops</title>
+<style>
+body{font:13px/1.45 system-ui,sans-serif;margin:0;background:#0b1020;color:#dce3f0}
+header{padding:10px 16px;background:#141b33;display:flex;gap:16px;align-items:baseline}
+header h1{font-size:15px;margin:0}
+header .info{color:#8a93ad;font-size:11px}
+main{padding:12px 16px;display:grid;gap:14px}
+section h2{font-size:12px;text-transform:uppercase;letter-spacing:.08em;color:#8a93ad;margin:0 0 6px}
+.tiles{display:flex;flex-wrap:wrap;gap:8px}
+.tile{background:#141b33;border-radius:6px;padding:8px 12px;min-width:96px}
+.tile .v{font-size:19px;font-weight:600}
+.tile .k{font-size:10px;color:#8a93ad;text-transform:uppercase;letter-spacing:.06em}
+.stages{display:flex;flex-wrap:wrap;gap:8px}
+.stage{background:#141b33;border-radius:6px;padding:8px 12px}
+.stage .k{font-size:11px;color:#8a93ad}
+.stage svg{display:block;margin-top:4px}
+table{border-collapse:collapse;width:100%;background:#141b33;border-radius:6px;overflow:hidden}
+th,td{text-align:left;padding:4px 10px;font-size:12px;border-bottom:1px solid #1d2747}
+th{color:#8a93ad;font-weight:500}
+.bar{position:relative;height:10px;background:#1d2747;border-radius:5px}
+.bar span{position:absolute;top:0;bottom:0;border-radius:5px}
+.posted{background:#3d6fd8}.fetched{background:#46a46c}.reported{background:#d8a23d}.takedown{background:#d85050}
+a{color:#7aa2ff;text-decoration:none}
+form input{background:#141b33;border:1px solid #2a365c;color:#dce3f0;border-radius:4px;padding:4px 8px;width:360px}
+form button{background:#2a365c;border:0;color:#dce3f0;border-radius:4px;padding:4px 10px;cursor:pointer}
+.muted{color:#8a93ad}
+</style></head><body>
+<header><h1>{{.Title}} · live ops</h1><span class="info" id="info"></span></header>
+<main>
+<section><h2>Study progress</h2><div class="tiles" id="tiles"><span class="muted">waiting for data…</span></div></section>
+<section><h2>Pipeline stages</h2><div class="stages" id="stages"><span class="muted">no pipe activity yet</span></div></section>
+<section><h2>Takedown timeline</h2><div id="timeline"><span class="muted">no takedowns yet</span></div></section>
+<section><h2>Trace a URL</h2>
+<form action="/dash/trace" method="get"><input name="url" placeholder="http://…"> <button>trace</button></form></section>
+<section><h2>Recent events</h2><div id="events"><span class="muted">journal disabled or empty</span></div></section>
+</main>
+<script>
+const hist = {};          // series key -> recent values for sparklines
+const HIST_N = 60;
+function esc(s){return String(s).replace(/[&<>"]/g,c=>({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));}
+function spark(vals,w,h){
+  if(!vals.length) return "";
+  const max=Math.max(...vals,1e-9), step=w/Math.max(vals.length-1,1);
+  const pts=vals.map((v,i)=>(i*step).toFixed(1)+","+(h-(v/max)*(h-2)).toFixed(1)).join(" ");
+  return '<svg width="'+w+'" height="'+h+'"><polyline fill="none" stroke="#7aa2ff" stroke-width="1.5" points="'+pts+'"/></svg>';
+}
+function tile(k,v){return '<div class="tile"><div class="v">'+esc(v)+'</div><div class="k">'+esc(k)+'</div></div>';}
+function render(d){
+  document.getElementById("info").textContent = d.info ? Object.entries(d.info).map(([k,v])=>k+"="+v).join("  ") : "";
+  // ---- stat tiles: journal counts first, core study counters as fallback
+  let tiles="";
+  const order=["posted","polled","fetched","classified","reported","takedown","recheck","listed","host_down","retry","fault"];
+  if(d.counts){for(const k of order){if(d.counts[k]!==undefined) tiles+=tile(k,d.counts[k]);}}
+  for(const s of d.samples){
+    if(s.name==="freephish_urls_observed_total"||s.name==="freephish_urls_flagged_total")
+      tiles+=tile(s.name.replace("freephish_","").replace("_total",""),s.value);
+  }
+  if(tiles) document.getElementById("tiles").innerHTML=tiles;
+  // ---- per-stage occupancy + latency sparklines from freephish_pipe_*
+  const stages={};
+  for(const s of d.samples){
+    if(!s.name.startsWith("freephish_pipe_")) continue;
+    const key=(s.labels&&s.labels.pipe?s.labels.pipe+"/":"")+(s.labels&&s.labels.stage?s.labels.stage:"");
+    if(!key) continue;
+    stages[key]=stages[key]||{};
+    if(s.name==="freephish_pipe_occupancy") stages[key].occ=s.value;
+    if(s.name==="freephish_pipe_queue_depth") stages[key].depth=s.value;
+    if(s.name==="freephish_pipe_stage_seconds"&&s.count>0) stages[key].lat=s.value/s.count;
+    if(s.name==="freephish_pipe_items_total") stages[key].items=s.value;
+  }
+  let sh="";
+  for(const key of Object.keys(stages).sort()){
+    const st=stages[key], hk="occ:"+key;
+    hist[hk]=(hist[hk]||[]).concat([st.occ||0]).slice(-HIST_N);
+    sh+='<div class="stage"><div class="k">'+esc(key)+' · occ '+(st.occ||0)
+      +(st.lat!==undefined?' · avg '+(st.lat*1000).toFixed(2)+'ms':'')
+      +(st.items!==undefined?' · '+st.items+' items':'')+'</div>'+spark(hist[hk],140,28)+'</div>';
+  }
+  if(sh) document.getElementById("stages").innerHTML=sh;
+  // ---- takedown timeline
+  if(d.timelines&&d.timelines.length){
+    const all=[];
+    for(const t of d.timelines){
+      if(t.posted) all.push(+new Date(t.posted));
+      for(const td of (t.takedowns||[])) all.push(+new Date(td.at));
+      if(t.reported) all.push(+new Date(t.reported));
+    }
+    const lo=Math.min(...all), hi=Math.max(...all), span=Math.max(hi-lo,1);
+    const pos=t=>((+new Date(t)-lo)/span*100).toFixed(1);
+    let rows="";
+    for(const t of d.timelines){
+      let bar="";
+      if(t.posted&&t.fetched) bar+='<span class="posted" style="left:'+pos(t.posted)+'%;width:2px"></span>';
+      if(t.fetched) bar+='<span class="fetched" style="left:'+pos(t.fetched)+'%;width:2px"></span>';
+      if(t.reported) bar+='<span class="reported" style="left:'+pos(t.reported)+'%;width:2px"></span>';
+      for(const td of (t.takedowns||[])) bar+='<span class="takedown" style="left:'+pos(td.at)+'%;width:3px" title="'+esc(td.via)+'"></span>';
+      rows+='<tr><td><a href="/dash/trace?url='+encodeURIComponent(t.url)+'">'+esc(t.url)+'</a></td><td style="width:45%"><div class="bar">'+bar+'</div></td></tr>';
+    }
+    document.getElementById("timeline").innerHTML=
+      '<table><tr><th>url</th><th>posted → <span class="muted">fetched · reported · takedown</span></th></tr>'+rows+'</table>';
+  }
+  // ---- recent events
+  if(d.tail&&d.tail.length){
+    let rows="";
+    for(const ev of d.tail.slice().reverse()){
+      rows+='<tr><td>'+esc(ev.type)+'</td><td>'+(ev.url?'<a href="/dash/trace?url='+encodeURIComponent(ev.url)+'">'+esc(ev.url)+'</a>':'')+'</td><td class="muted">'+esc(ev.sim)+'</td><td class="muted">'+esc(ev.attrs?Object.entries(ev.attrs).map(([k,v])=>k+"="+v).join(" "):"")+'</td></tr>';
+    }
+    document.getElementById("events").innerHTML='<table><tr><th>type</th><th>url</th><th>sim</th><th>attrs</th></tr>'+rows+'</table>';
+  }
+}
+async function tick(){
+  try{const r=await fetch("/dash/data");render(await r.json());}catch(e){}
+  setTimeout(tick,2000);
+}
+tick();
+</script>
+</body></html>`))
+
+var dashTraceTmpl = template.Must(template.New("trace").Parse(`<!doctype html>
+<html><head><meta charset="utf-8"><title>{{.Title}} · trace</title>
+<style>
+body{font:13px/1.5 system-ui,sans-serif;margin:0;background:#0b1020;color:#dce3f0}
+header{padding:10px 16px;background:#141b33}
+header h1{font-size:14px;margin:0;word-break:break-all}
+main{padding:12px 16px;display:grid;gap:14px}
+h2{font-size:12px;text-transform:uppercase;letter-spacing:.08em;color:#8a93ad;margin:0 0 6px}
+table{border-collapse:collapse;background:#141b33;border-radius:6px;overflow:hidden}
+th,td{text-align:left;padding:4px 10px;font-size:12px;border-bottom:1px solid #1d2747}
+th{color:#8a93ad;font-weight:500}
+.verdict{font-size:16px;font-weight:600}
+.phishing{color:#ff7a7a}.benign{color:#6fd89a}
+a{color:#7aa2ff;text-decoration:none}
+.muted{color:#8a93ad}
+</style></head><body>
+<header><h1>trace · {{.URL}}</h1><a href="/dash">← dashboard</a></header>
+<main>
+{{if .Missing}}<p class="muted">No lifecycle events recorded for this URL. The journal traces
+URLs the study actually observed; check /dash for recent activity.</p>{{else}}
+{{if .Verdict}}<section><h2>Verdict</h2>
+<div class="verdict {{.Verdict}}">{{.Verdict}} · score {{.Score}}</div>
+{{if .Contrib}}<table><tr><th>feature</th><th>contribution</th></tr>
+{{range .Contrib}}<tr><td>{{.Name}}</td><td>{{.Weight}}</td></tr>{{end}}</table>{{end}}
+</section>{{end}}
+<section><h2>Lifecycle</h2>
+<table><tr><th>seq</th><th>sim time</th><th>event</th><th>attrs</th></tr>
+{{range .Events}}<tr><td>{{.Seq}}</td><td>{{.Sim.Format "2006-01-02 15:04:05"}}</td><td>{{.Type}}</td><td class="muted">{{range $k, $v := .Attrs}}{{$k}}={{$v}} {{end}}</td></tr>{{end}}
+</table></section>
+{{end}}
+</main></body></html>`))

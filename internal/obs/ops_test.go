@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func opsGet(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestOpsHealthzFailure: a failing readiness check must flip /healthz to
+// 503 while /metrics keeps serving.
+func TestOpsHealthzFailure(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("freephish_ops_test_total", "t").Inc()
+	healthErr := error(nil)
+	mux := NewOps(reg, OpsOptions{Healthz: func() error { return healthErr }})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if code, _ := opsGet(t, srv, "/healthz"); code != 200 {
+		t.Errorf("healthy /healthz = %d", code)
+	}
+	healthErr = io.ErrUnexpectedEOF
+	code, body := opsGet(t, srv, "/healthz")
+	if code != 503 || !strings.Contains(body, "unexpected EOF") {
+		t.Errorf("failing /healthz = %d %q, want 503 with the error", code, body)
+	}
+	if code, _ := opsGet(t, srv, "/metrics"); code != 200 {
+		t.Errorf("/metrics = %d while unhealthy, want 200", code)
+	}
+}
+
+// TestOpsVersion: /version serves the build-info JSON, and the
+// freephish_build_info gauge is exported with matching labels.
+func TestOpsVersion(t *testing.T) {
+	reg := NewRegistry()
+	info := RegisterBuildInfo(reg, 42)
+	mux := NewOps(reg, OpsOptions{Info: info})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	code, body := opsGet(t, srv, "/version")
+	if code != 200 {
+		t.Fatalf("/version = %d", code)
+	}
+	var got map[string]string
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/version body is not JSON: %v\n%s", err, body)
+	}
+	if got["seed"] != "42" {
+		t.Errorf("/version seed = %q, want 42", got["seed"])
+	}
+	if got["version"] == "" || got["goversion"] == "" {
+		t.Errorf("/version missing identity fields: %v", got)
+	}
+
+	_, metrics := opsGet(t, srv, "/metrics")
+	if !strings.Contains(metrics, "freephish_build_info{") ||
+		!strings.Contains(metrics, `seed="42"`) {
+		t.Errorf("freephish_build_info gauge missing or unlabeled:\n%s", metrics)
+	}
+}
+
+// TestDash smoke-tests the three dashboard routes over a seeded journal.
+func TestDash(t *testing.T) {
+	sim := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	reg := NewRegistry()
+	reg.GaugeVec("freephish_pipe_occupancy", "t", "pipe", "stage").With("poll", "fetch").Set(3)
+	reg.Counter("unprefixed_total", "t").Inc() // must be filtered out of /dash/data
+
+	j := NewJournal(func() time.Time { return sim }, 0)
+	const url = "http://paypal-login-3.weebly.com/"
+	j.Record(url, EvPosted, sim, "platform", "twitter")
+	j.Record(url, EvFetched, sim.Add(2*time.Hour), "status", "200")
+	j.Record(url, EvClassified, sim.Add(2*time.Hour),
+		"score", "0.93", "verdict", "phishing", "top", "form_count:+0.0312,has_login:+0.0041")
+	j.Record(url, EvReported, sim.Add(3*time.Hour), "recipient", "weebly", "ack", "true")
+	j.Record(url, EvTakedown, sim.Add(26*time.Hour), "via", "host")
+	j.RecordOps("", EvStage, "pipe", "poll", "stage", "fetch", "seq", "0")
+
+	d := &Dash{Reg: reg, Journal: j, Title: "test", Info: map[string]string{"seed": "1"}}
+	mux := NewOps(reg, OpsOptions{Dash: d})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// /dash: the HTML shell renders.
+	code, body := opsGet(t, srv, "/dash")
+	if code != 200 || !strings.Contains(body, "test · live ops") {
+		t.Errorf("/dash = %d (title missing)", code)
+	}
+
+	// /dash/data: JSON with filtered samples, counts, tail, and timelines.
+	code, body = opsGet(t, srv, "/dash/data")
+	if code != 200 {
+		t.Fatalf("/dash/data = %d", code)
+	}
+	var data struct {
+		Title     string            `json:"title"`
+		Counts    map[string]uint64 `json:"counts"`
+		Samples   []dashSample      `json:"samples"`
+		Tail      []dashEvent       `json:"tail"`
+		Timelines []struct {
+			URL       string `json:"url"`
+			Takedowns []struct {
+				Via string `json:"via"`
+			} `json:"takedowns"`
+		} `json:"timelines"`
+		Journal bool `json:"journal"`
+	}
+	if err := json.Unmarshal([]byte(body), &data); err != nil {
+		t.Fatalf("/dash/data is not JSON: %v", err)
+	}
+	if !data.Journal || data.Title != "test" {
+		t.Errorf("journal=%v title=%q", data.Journal, data.Title)
+	}
+	for _, s := range data.Samples {
+		if !strings.HasPrefix(s.Name, "freephish_") {
+			t.Errorf("unprefixed sample %q leaked into /dash/data", s.Name)
+		}
+	}
+	if data.Counts[EvTakedown] != 1 || data.Counts[EvStage] != 1 {
+		t.Errorf("counts = %v", data.Counts)
+	}
+	if len(data.Tail) != 6 {
+		t.Errorf("tail = %d events, want 6", len(data.Tail))
+	}
+	if len(data.Timelines) != 1 || data.Timelines[0].URL != url ||
+		len(data.Timelines[0].Takedowns) != 1 || data.Timelines[0].Takedowns[0].Via != "host" {
+		t.Errorf("timelines = %+v", data.Timelines)
+	}
+
+	// /dash/trace: verdict, contributions, and lifecycle render.
+	code, body = opsGet(t, srv, "/dash/trace?url="+url)
+	if code != 200 {
+		t.Fatalf("/dash/trace = %d", code)
+	}
+	// html/template renders "+" as &#43;, so match on the digits.
+	for _, want := range []string{"phishing", "0.93", "form_count", "0.0312", "takedown"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/dash/trace missing %q", want)
+		}
+	}
+	// Unknown URL: friendly empty state, not a 500.
+	code, body = opsGet(t, srv, "/dash/trace?url=http://nope/")
+	if code != 200 || !strings.Contains(body, "No lifecycle events") {
+		t.Errorf("/dash/trace for unknown URL = %d %q", code, body)
+	}
+
+	// The split helper must claim the new routes.
+	for _, p := range []string{"/version", "/dash", "/dash/data", "/dash/trace"} {
+		if !OpsPaths(p) {
+			t.Errorf("OpsPaths(%q) = false", p)
+		}
+	}
+	if OpsPaths("/dashboard") {
+		t.Error(`OpsPaths("/dashboard") = true; must not shadow application paths`)
+	}
+}
+
+// TestDashNilJournal: the dashboard must serve with tracing disabled.
+func TestDashNilJournal(t *testing.T) {
+	reg := NewRegistry()
+	d := &Dash{Reg: reg}
+	mux := NewOps(reg, OpsOptions{Dash: d})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	code, body := opsGet(t, srv, "/dash/data")
+	if code != 200 {
+		t.Fatalf("/dash/data = %d", code)
+	}
+	var data map[string]any
+	if err := json.Unmarshal([]byte(body), &data); err != nil {
+		t.Fatal(err)
+	}
+	if data["journal"] != false {
+		t.Errorf("journal flag = %v, want false", data["journal"])
+	}
+	if code, _ := opsGet(t, srv, "/dash"); code != 200 {
+		t.Errorf("/dash = %d with nil journal", code)
+	}
+	if code, _ := opsGet(t, srv, "/dash/trace?url=x"); code != 200 {
+		t.Errorf("/dash/trace = %d with nil journal", code)
+	}
+}

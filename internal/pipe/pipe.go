@@ -92,6 +92,14 @@ type Options struct {
 	// fail-fast: the pipeline cancels when the ordered drain point reaches
 	// the first failed item — exactly where a sequential loop would stop.
 	ContinueOnError bool
+	// OnEmit, when non-nil, observes every in-order emission: it fires on
+	// each stage's reorder-buffer output (so per-stage calls arrive in
+	// input order) and at the drain point with stage "drain". Stages emit
+	// concurrently with each other, so calls for different stages
+	// interleave nondeterministically — OnEmit feeds operational tracing
+	// (the obs journal's ring), never canonical output. It must be safe
+	// for concurrent use and cheap: it runs on the emitter goroutines.
+	OnEmit func(stage string, seq int, err error)
 }
 
 // Pipeline is one dataflow instance: the shared control plane every stage
@@ -104,6 +112,7 @@ type Pipeline struct {
 	cancel          context.CancelFunc
 	reg             *obs.Registry
 	continueOnError bool
+	onEmit          func(stage string, seq int, err error)
 	wg              sync.WaitGroup
 
 	mu     sync.Mutex
@@ -133,6 +142,7 @@ func New(ctx context.Context, opts Options) *Pipeline {
 		cancel:          cancel,
 		reg:             opts.Registry,
 		continueOnError: opts.ContinueOnError,
+		onEmit:          opts.OnEmit,
 	}
 }
 
@@ -365,6 +375,9 @@ func Stage[In, Out any](in *Flow[In], stage string, workers, depth int, fn func(
 				if !out.send(head) {
 					return
 				}
+				if p.onEmit != nil {
+					p.onEmit(stage, head.seq, head.err)
+				}
 				credits <- struct{}{}
 				next++
 			}
@@ -380,6 +393,9 @@ func Stage[In, Out any](in *Flow[In], stage string, workers, depth int, fn func(
 		for _, seq := range rest {
 			if !out.send(buf[seq]) {
 				return
+			}
+			if p.onEmit != nil {
+				p.onEmit(stage, seq, buf[seq].err)
 			}
 		}
 	})
@@ -440,6 +456,9 @@ loop:
 			break
 		}
 		next++
+		if p.onEmit != nil {
+			p.onEmit("drain", it.seq, it.err)
+		}
 		switch {
 		case it.err != nil && !p.continueOnError:
 			firstErr = it.err

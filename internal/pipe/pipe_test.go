@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -286,5 +287,60 @@ func TestDepthAndWorkerResolution(t *testing.T) {
 	}
 	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(5) != 5 {
 		t.Fatal("Workers broken")
+	}
+}
+
+// TestOnEmitOrderedPerStage is the hook contract behind lifecycle tracing:
+// OnEmit fires once per item per stage in input order within each stage
+// (stages interleave freely), carries the item's error, and the drain
+// point reports under stage "drain". With the hook unset nothing extra
+// runs at all.
+func TestOnEmitOrderedPerStage(t *testing.T) {
+	const n = 200
+	type emit struct {
+		stage string
+		seq   int
+		err   error
+	}
+	var mu sync.Mutex
+	perStage := map[string][]emit{}
+	p := New(context.Background(), Options{
+		Name:            "traced",
+		ContinueOnError: true,
+		OnEmit: func(stage string, seq int, err error) {
+			mu.Lock()
+			perStage[stage] = append(perStage[stage], emit{stage, seq, err})
+			mu.Unlock()
+		},
+	})
+	wantErr := errors.New("boom")
+	src := Range(p, 4, n)
+	st1 := Stage(src, "a", 8, 4, func(i, v int) (int, error) {
+		if i%5 == 0 {
+			time.Sleep(time.Duration(i%4) * 50 * time.Microsecond)
+		}
+		if i == 17 {
+			return 0, wantErr
+		}
+		return v, nil
+	})
+	st2 := Stage(st1, "b", 8, 4, func(i, v int) (int, error) { return v, nil })
+	if err := Drain(st2, func(i, v int) error { return nil }); !errors.Is(err, wantErr) {
+		t.Fatalf("Drain = %v, want the injected error", err)
+	}
+
+	for _, stage := range []string{"a", "b", "drain"} {
+		emits := perStage[stage]
+		if len(emits) != n {
+			t.Fatalf("stage %q emitted %d times, want %d", stage, len(emits), n)
+		}
+		for i, e := range emits {
+			if e.seq != i {
+				t.Fatalf("stage %q emission %d has seq %d: OnEmit must follow input order", stage, i, e.seq)
+			}
+			if (e.seq == 17) != (e.err != nil) {
+				t.Fatalf("stage %q seq %d err = %v", stage, e.seq, e.err)
+			}
+		}
 	}
 }

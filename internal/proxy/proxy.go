@@ -159,10 +159,11 @@ type Proxy struct {
 	checker   Checker
 	transport http.RoundTripper
 
-	// Observe, when set, receives one event per proxied request: whether
-	// it was blocked and the wall-clock time spent deciding plus (for
-	// passed requests) forwarding. Must be safe for concurrent use.
-	Observe func(blocked bool, wall time.Duration)
+	// Observe, when set, receives one event per proxied request: the
+	// checked URL, whether it was blocked, and the wall-clock time spent
+	// deciding plus (for passed requests) forwarding. Must be safe for
+	// concurrent use.
+	Observe func(url string, blocked bool, wall time.Duration)
 
 	mu      sync.Mutex
 	blocked int
@@ -217,7 +218,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.blocked++
 		p.mu.Unlock()
 		if p.Observe != nil {
-			p.Observe(true, time.Since(start))
+			p.Observe(target, true, time.Since(start))
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		w.WriteHeader(http.StatusForbidden)
@@ -228,7 +229,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.passed++
 	p.mu.Unlock()
 	if p.Observe != nil {
-		defer func() { p.Observe(false, time.Since(start)) }()
+		defer func() { p.Observe(target, false, time.Since(start)) }()
 	}
 
 	out := r.Clone(r.Context())
@@ -257,12 +258,13 @@ func (p *Proxy) handleConnect(w http.ResponseWriter, r *http.Request) {
 		host = host[:i]
 	}
 	start := time.Now()
-	if block, _ := p.checker.Check("https://" + host + "/"); block {
+	target := "https://" + host + "/"
+	if block, _ := p.checker.Check(target); block {
 		p.mu.Lock()
 		p.blocked++
 		p.mu.Unlock()
 		if p.Observe != nil {
-			p.Observe(true, time.Since(start))
+			p.Observe(target, true, time.Since(start))
 		}
 		http.Error(w, "freephish-proxy: destination blocked", http.StatusForbidden)
 		return

@@ -1,0 +1,137 @@
+package world
+
+import (
+	"time"
+
+	"freephish/internal/blocklist"
+	"freephish/internal/obs"
+	"freephish/internal/report"
+	"freephish/internal/threat"
+)
+
+// WithJournal decorates every stateful port of w so each call records an
+// ops-class "port" event in the journal: the port key (matching the retry
+// policy's key space), the URL where one is in scope, and an error marker
+// on failure. The events land only in the journal's dashboard ring —
+// port-call interleaving is scheduler-dependent under concurrent pipeline
+// workers, so they are deliberately outside the canonical lifecycle file.
+// Stream and Snap stay untouched (the poller and fetcher carry their own
+// instrumented hooks); a nil journal returns w unchanged.
+func WithJournal(w World, j *obs.Journal) World {
+	if j == nil {
+		return w
+	}
+	out := w
+	if w.Intel != nil {
+		out.Intel = &journalIntel{w, j}
+	}
+	if w.Feeds != nil {
+		out.Feeds = &journalFeeds{w, j}
+	}
+	if w.Platform != nil {
+		out.Platform = &journalPlatform{w, j}
+	}
+	if w.Reports != nil {
+		out.Reports = &journalReports{w, j}
+	}
+	if w.Oracle != nil {
+		out.Oracle = &journalOracle{w, j}
+	}
+	return out
+}
+
+// recordPort emits one port-call ops event.
+func recordPort(j *obs.Journal, url, port string, err error) {
+	if err != nil {
+		j.RecordOps(url, obs.EvPort, "port", port, "err", err.Error())
+		return
+	}
+	j.RecordOps(url, obs.EvPort, "port", port)
+}
+
+type journalIntel struct {
+	w World
+	j *obs.Journal
+}
+
+func (r *journalIntel) Resolve(url string) (SiteInfo, error) {
+	info, err := r.w.Intel.Resolve(url)
+	recordPort(r.j, url, "intel.resolve", err)
+	return info, err
+}
+
+func (r *journalIntel) Profile(req ProfileRequest) (*threat.Target, error) {
+	t, err := r.w.Intel.Profile(req)
+	recordPort(r.j, req.URL, "intel.profile", err)
+	return t, err
+}
+
+type journalFeeds struct {
+	w World
+	j *obs.Journal
+}
+
+func (r *journalFeeds) Assess(t *threat.Target) (map[string]blocklist.Verdict, []time.Time, error) {
+	verdicts, vt, err := r.w.Feeds.Assess(t)
+	recordPort(r.j, t.URL, "feeds.assess", err)
+	return verdicts, vt, err
+}
+
+func (r *journalFeeds) Listed(entity, url string) (bool, error) {
+	listed, err := r.w.Feeds.Listed(entity, url)
+	recordPort(r.j, url, "feeds.listed."+entity, err)
+	return listed, err
+}
+
+func (r *journalFeeds) FeedNames() []string { return r.w.Feeds.FeedNames() }
+
+type journalPlatform struct {
+	w World
+	j *obs.Journal
+}
+
+func (r *journalPlatform) AssessModeration(t *threat.Target) (bool, time.Time, error) {
+	removed, at, err := r.w.Platform.AssessModeration(t)
+	recordPort(r.j, t.URL, "platform.moderation", err)
+	return removed, at, err
+}
+
+func (r *journalPlatform) RemovePost(platform threat.Platform, postID string, at time.Time) error {
+	err := r.w.Platform.RemovePost(platform, postID, at)
+	recordPort(r.j, "", "platform.remove."+string(platform), err)
+	return err
+}
+
+func (r *journalPlatform) LookupPost(platform threat.Platform, postID string) (PostStatus, error) {
+	st, err := r.w.Platform.LookupPost(platform, postID)
+	recordPort(r.j, "", "platform.lookup."+string(platform), err)
+	return st, err
+}
+
+type journalReports struct {
+	w World
+	j *obs.Journal
+}
+
+func (r *journalReports) Disclose(t *threat.Target, at time.Time) (report.Outcome, error) {
+	out, err := r.w.Reports.Disclose(t, at)
+	recordPort(r.j, t.URL, "reports.disclose", err)
+	return out, err
+}
+
+type journalOracle struct {
+	w World
+	j *obs.Journal
+}
+
+func (r *journalOracle) Truth(url string) (GroundTruth, error) {
+	truth, err := r.w.Oracle.Truth(url)
+	recordPort(r.j, url, "oracle.truth", err)
+	return truth, err
+}
+
+func (r *journalOracle) Release(url string) error {
+	err := r.w.Oracle.Release(url)
+	recordPort(r.j, url, "oracle.release", err)
+	return err
+}
