@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos verify-stream verify-journal clean
+.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos verify-stream verify-journal verify-cascade clean
 
 all: build
 
@@ -53,17 +53,26 @@ verify-stream:
 verify-journal:
 	$(GO) test ./internal/core -run 'TestJournalDeterminism|TestJournalMatchesResultAPI' -count=1 -v
 
+# verify-cascade proves the tiered cascade's determinism contract: with
+# the cascade on, the same seed must yield byte-identical records,
+# journal, and stats at every (workers × queue-depth × backend) setting
+# including under chaos, and the degenerate (0,1) cascade must reproduce
+# the cascade-off study exactly.
+verify-cascade:
+	$(GO) test ./internal/core -run 'TestCascadeDeterminism|TestCascadeDegenerateEquivalence' -count=1 -v
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-baseline writes BENCH_obs.json, BENCH_parallel.json, and
-# BENCH_pipeline.json — machine-readable snapshots of pipeline,
-# metrics-layer, worker-pool, and barrier-vs-stream cost for diffing
-# across commits.
+# bench-baseline writes BENCH_obs.json, BENCH_parallel.json,
+# BENCH_pipeline.json, and BENCH_cascade.json — machine-readable
+# snapshots of pipeline, metrics-layer, worker-pool, barrier-vs-stream,
+# and cascade cost/quality for diffing across commits.
 bench-baseline:
 	BENCH_JSON=BENCH_obs.json $(GO) test -run TestWriteBenchBaseline -v .
 	BENCH_PARALLEL_JSON=BENCH_parallel.json $(GO) test -run TestWriteParallelBenchBaseline -v .
 	BENCH_PIPELINE_JSON=BENCH_pipeline.json $(GO) test -run TestWriteStreamBenchBaseline -v .
+	BENCH_CASCADE_JSON=BENCH_cascade.json $(GO) test -run TestWriteCascadeBenchBaseline -v .
 
 # bench-compare diffs a saved baseline against a fresh run:
 #   make bench-compare OLD=BENCH_parallel.json NEW=BENCH_parallel.new.json
@@ -73,5 +82,5 @@ bench-compare:
 	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 clean:
-	rm -f BENCH_obs.json BENCH_parallel.json BENCH_parallel.new.json BENCH_pipeline.json BENCH_pipeline.new.json
+	rm -f BENCH_obs.json BENCH_parallel.json BENCH_parallel.new.json BENCH_pipeline.json BENCH_pipeline.new.json BENCH_cascade.json BENCH_cascade.new.json
 	$(GO) clean ./...

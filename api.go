@@ -169,6 +169,15 @@ type StudyConfig struct {
 	// StudyResult.WriteJournal. The journal is deterministic: byte-
 	// identical across Workers, QueueDepth, Backend, and Faults settings.
 	Journal bool
+	// Cascade selects the tiered classification cascade: "" / "off"
+	// disable it, "on" / "default" enable the calibrated thresholds, and
+	// an explicit "benignBelow,phishAbove" pair tunes the confident band.
+	// With the cascade on, a fetch-free URL-lexical triage stage runs
+	// ahead of fetch and confidently scored URLs short-circuit with a
+	// verdict — they are never snapshotted. For any fixed threshold pair
+	// the study keeps the same determinism contract as every other knob;
+	// the degenerate pair "0,1" reproduces the cascade-off study exactly.
+	Cascade string
 	// Progress, when set, is invoked after every streaming poll cycle —
 	// the hook by which long study runs narrate themselves.
 	Progress func(Progress)
@@ -218,6 +227,11 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 	}
 	c.Faults = prof
 	c.Journal = cfg.Journal
+	cascade, err := core.ParseCascade(cfg.Cascade)
+	if err != nil {
+		return nil, fmt.Errorf("freephish: bad cascade spec: %w", err)
+	}
+	c.Cascade = cascade
 	if cfg.Progress != nil {
 		hook := cfg.Progress
 		c.Progress = func(ev core.ProgressEvent) {

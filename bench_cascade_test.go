@@ -1,0 +1,264 @@
+package freephish_test
+
+// Cascade benchmarks: the fetch → classify workload run once with every
+// URL taking the full path and once behind the URL-only lexical triage
+// stage, under the same injected fetch latency as the streaming
+// benchmarks. Confidently triaged URLs skip both the fetch sleep and the
+// classify mixing loop, so the cascade's win shows up as wall-clock.
+// TestWriteCascadeBenchBaseline snapshots the timings plus the quality
+// trade-off (fetches avoided, cascade F1 vs full-model F1 on a held-out
+// mixed FWB + self-hosted corpus) as BENCH_cascade.json for
+// bench-compare, and logs the threshold sweep behind EXPERIMENTS.md.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"freephish/internal/baselines"
+	"freephish/internal/features"
+	"freephish/internal/pipe"
+	"freephish/internal/simclock"
+	"freephish/internal/world"
+)
+
+// cascadeCorpus builds the same mixed corpus core.Train sees — n
+// FWB pairs plus the matched self-hosted cohort from the seeded world —
+// shuffled and split 70/30 into train and held-out test.
+func cascadeCorpus(seed int64, n int) (train, test []baselines.LabeledPage) {
+	epoch := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	sim := world.NewSim(seed, epoch, simclock.New(epoch))
+	fwb, self := sim.GroundTruthCorpus(n)
+	var all []baselines.LabeledPage
+	for _, s := range append(fwb, self...) {
+		all = append(all, baselines.LabeledPage{
+			Page:  features.Page{URL: s.URL, HTML: s.HTML},
+			Label: s.Label,
+		})
+	}
+	rng := simclock.NewRNG(seed, "bench.cascade")
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	cut := int(float64(len(all)) * 0.7)
+	return all[:cut], all[cut:]
+}
+
+// cascadeItem flows through the benchmark pipeline: short-circuited
+// items carry their tier past the fetch and classify stages untouched.
+type cascadeItem struct {
+	idx     int
+	tier    baselines.Tier
+	payload uint64
+}
+
+var cascadeBenchState struct {
+	once sync.Once
+	urls []string
+	casc *baselines.Cascade
+}
+
+// cascadeBenchData trains the lexical scorer once and pins the benchmark
+// URL set: streamItems held-out URLs from the mixed corpus.
+func cascadeBenchData() ([]string, *baselines.Cascade) {
+	cascadeBenchState.once.Do(func() {
+		train, test := cascadeCorpus(7, 120)
+		lex := baselines.NewLexicalScorer(7)
+		if err := lex.Train(train); err != nil {
+			panic(err)
+		}
+		urls := make([]string, 0, streamItems)
+		for i := 0; len(urls) < streamItems; i++ {
+			urls = append(urls, test[i%len(test)].Page.URL)
+		}
+		cascadeBenchState.urls = urls
+		cascadeBenchState.casc = &baselines.Cascade{
+			Scorer:      lex,
+			BenignBelow: baselines.DefaultBenignBelow,
+			PhishAbove:  baselines.DefaultPhishAbove,
+		}
+	})
+	return cascadeBenchState.urls, cascadeBenchState.casc
+}
+
+// cascadeBench runs the fetch → classify pipeline over the benchmark URL
+// set. With the cascade on, the graph grows the triage stage core.pollOnce
+// prepends, and confidently triaged items skip the fetch sleep and the
+// classify loop — exactly the short-circuit the study pipeline takes.
+func cascadeBench(on bool) func(*testing.B) {
+	return func(b *testing.B) {
+		urls, casc := cascadeBenchData()
+		delays := streamDelays(len(urls))
+		const depth = 4
+		fetchStage := func(_ int, it cascadeItem) (cascadeItem, error) {
+			if it.tier == baselines.TierFull {
+				it.payload = streamFetch(delays[it.idx], it.idx)
+			}
+			return it, nil
+		}
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			p := pipe.New(context.Background(), pipe.Options{Name: "bench"})
+			var fetched *pipe.Flow[cascadeItem]
+			if on {
+				triaged := pipe.Stage(pipe.Range(p, depth, len(urls)), "triage", streamWorkers, depth,
+					func(_ int, i int) (cascadeItem, error) {
+						_, tier := casc.Triage(urls[i])
+						return cascadeItem{idx: i, tier: tier}, nil
+					})
+				fetched = pipe.Stage(triaged, "fetch", streamWorkers, depth, fetchStage)
+			} else {
+				fetched = pipe.Stage(pipe.Range(p, depth, len(urls)), "fetch", streamWorkers, depth,
+					func(_ int, i int) (cascadeItem, error) {
+						return fetchStage(0, cascadeItem{idx: i})
+					})
+			}
+			classified := pipe.Stage(fetched, "classify", streamWorkers, depth,
+				func(_ int, it cascadeItem) (cascadeItem, error) {
+					if it.tier == baselines.TierFull {
+						it.payload = streamClassify(it.payload)
+					}
+					return it, nil
+				})
+			count, short := 0, 0
+			err := pipe.Drain(classified, func(_ int, it cascadeItem) error {
+				count++
+				if it.tier != baselines.TierFull {
+					short++
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if count != len(urls) {
+				b.Fatalf("drained %d items, want %d", count, len(urls))
+			}
+			if on && short == 0 {
+				b.Fatal("cascade-on run short-circuited nothing; thresholds miscalibrated for the benchmark corpus")
+			}
+		}
+	}
+}
+
+// BenchmarkPipelineCascade compares the always-fetch pipeline against the
+// triage-first cascade at the calibrated default thresholds. The cascade
+// variant should win wall-clock roughly in proportion to the fraction of
+// URLs the confident tiers absorb.
+func BenchmarkPipelineCascade(b *testing.B) {
+	b.Run("off", cascadeBench(false))
+	b.Run("on", cascadeBench(true))
+}
+
+// TestWriteCascadeBenchBaseline snapshots the cascade's cost AND quality
+// as machine-readable JSON for bench-compare:
+//
+//	BENCH_CASCADE_JSON=BENCH_cascade.json go test -run TestWriteCascadeBenchBaseline .
+//
+// Latency rows are the off/on pipeline timings; quality rows carry the
+// fetches-avoided percentage and the cascade-vs-full F1 on a held-out
+// mixed corpus as higher-is-better values, so a threshold change that
+// trades too much accuracy for speed fails the same CI gate as a latency
+// regression. The test also enforces the calibration contract directly:
+// ≥40% fetches avoided at ≤1 point of F1 loss.
+func TestWriteCascadeBenchBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_CASCADE_JSON")
+	if path == "" {
+		t.Skip("set BENCH_CASCADE_JSON=<path> to write the cascade baseline")
+	}
+	type row struct {
+		Name           string  `json:"name"`
+		N              int     `json:"n,omitempty"`
+		NsPerOp        float64 `json:"ns_per_op,omitempty"`
+		BytesPerOp     int64   `json:"bytes_per_op,omitempty"`
+		AllocsPerOp    int64   `json:"allocs_per_op,omitempty"`
+		Value          float64 `json:"value,omitempty"`
+		Unit           string  `json:"unit,omitempty"`
+		HigherIsBetter bool    `json:"higher_is_better,omitempty"`
+	}
+	var rows []row
+
+	for _, bench := range []struct {
+		Name string
+		Fn   func(*testing.B)
+	}{
+		{"PipelineCascade/off", cascadeBench(false)},
+		{"PipelineCascade/on", cascadeBench(true)},
+	} {
+		r := testing.Benchmark(bench.Fn)
+		if r.N == 0 {
+			t.Fatalf("benchmark %s did not run", bench.Name)
+		}
+		rows = append(rows, row{
+			Name:        bench.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		t.Logf("%-32s %12.1f ns/op %8d B/op %6d allocs/op",
+			bench.Name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	// Quality: train on the mixed corpus and evaluate the cascade against
+	// the full model on the held-out 30%, sweeping the threshold band to
+	// show the trade-off curve (the EXPERIMENTS.md table).
+	const seed = 7
+	train, test := cascadeCorpus(seed, 400)
+	full := baselines.NewFreePhishModel(seed)
+	if err := full.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	lex := baselines.NewLexicalScorer(seed)
+	if err := lex.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("threshold sweep on %d held-out samples (train %d):", len(test), len(train))
+	t.Logf("%-14s %14s %8s %8s %8s", "thresholds", "fetches avoided", "f1 full", "f1 casc", "f1 loss")
+	var def baselines.CascadeResult
+	for _, th := range [][2]float64{
+		{0, 1}, {0.01, 0.99}, {0.02, 0.98}, {0.05, 0.95},
+		{0.1, 0.9}, {0.2, 0.8}, {0.3, 0.7}, {0.4, 0.6},
+	} {
+		c := &baselines.Cascade{Scorer: lex, BenignBelow: th[0], PhishAbove: th[1]}
+		r, err := baselines.EvaluateCascade(c, full, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%5.2f,%5.2f %14.1f%% %8.4f %8.4f %+8.4f",
+			th[0], th[1], 100*r.FetchesAvoided, r.FullMetrics.F1, r.Metrics.F1,
+			r.FullMetrics.F1-r.Metrics.F1)
+		if th[0] == baselines.DefaultBenignBelow && th[1] == baselines.DefaultPhishAbove {
+			def = r
+		}
+	}
+	if def.SampleCount == 0 {
+		t.Fatalf("default thresholds (%g, %g) missing from the sweep",
+			baselines.DefaultBenignBelow, baselines.DefaultPhishAbove)
+	}
+	// The calibration contract the defaults were chosen to satisfy.
+	if def.FetchesAvoided < 0.40 {
+		t.Errorf("default thresholds avoid %.1f%% of fetches, want >= 40%%", 100*def.FetchesAvoided)
+	}
+	if loss := def.FullMetrics.F1 - def.Metrics.F1; loss > 0.01 {
+		t.Errorf("default thresholds lose %.4f F1, want <= 0.01", loss)
+	}
+	rows = append(rows,
+		row{Name: "CascadeQuality/fetches_avoided_pct", Value: 100 * def.FetchesAvoided,
+			Unit: "pct", HigherIsBetter: true},
+		row{Name: "CascadeQuality/f1_full", Value: def.FullMetrics.F1,
+			Unit: "f1", HigherIsBetter: true},
+		row{Name: "CascadeQuality/f1_cascade", Value: def.Metrics.F1,
+			Unit: "f1", HigherIsBetter: true},
+	)
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d rows to %s", len(rows), path)
+}

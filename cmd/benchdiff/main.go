@@ -4,10 +4,13 @@
 //	benchdiff OLD.json NEW.json
 //
 // Rows are joined by benchmark name; for each common row it prints the
-// old and new ns/op with the relative delta, and it lists rows present in
-// only one file. With -threshold set, the exit status is 1 when any
-// common row regressed by more than the given fraction (e.g. 0.10 = 10%),
-// which is what lets CI gate on benchmark drift.
+// old and new metric with the relative delta, and it lists rows present in
+// only one file. The metric is ns/op for latency rows and the "value"
+// field for quality rows (BENCH_cascade.json carries fetches-avoided and
+// F1 rows with higher_is_better set). With -threshold set, the exit
+// status is 1 when any common row regressed by more than the given
+// fraction (e.g. 0.10 = 10%), which is what lets CI gate on drift in
+// either direction.
 package main
 
 import (
@@ -24,6 +27,21 @@ type row struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Quality rows (e.g. BENCH_cascade.json's fetches_avoided_pct or F1
+	// scores) carry an arbitrary value instead of a latency; for those,
+	// HigherIsBetter flips the regression direction.
+	Value          float64 `json:"value,omitempty"`
+	Unit           string  `json:"unit,omitempty"`
+	HigherIsBetter bool    `json:"higher_is_better,omitempty"`
+}
+
+// metric is the number a row is compared on: the quality value when one is
+// set, ns/op otherwise.
+func (r row) metric() float64 {
+	if r.Value != 0 {
+		return r.Value
+	}
+	return r.NsPerOp
 }
 
 func load(path string) (map[string]row, []string, error) {
@@ -47,7 +65,7 @@ func load(path string) (map[string]row, []string, error) {
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 0, "fail (exit 1) if any ns/op regression exceeds this fraction; 0 disables")
+	threshold := flag.Float64("threshold", 0, "fail (exit 1) if any row regresses by more than this fraction; 0 disables")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] OLD.json NEW.json")
@@ -64,23 +82,31 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("%-32s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs Δ")
+	fmt.Printf("%-32s %14s %14s %9s %9s\n", "benchmark", "old", "new", "delta", "allocs Δ")
 	regressed := false
 	for _, name := range newNames {
 		n := newRows[name]
 		o, ok := oldRows[name]
 		if !ok {
-			fmt.Printf("%-32s %14s %14.1f %9s %9s\n", name, "-", n.NsPerOp, "new", "-")
+			fmt.Printf("%-32s %14s %14.1f %9s %9s\n", name, "-", n.metric(), "new", "-")
 			continue
 		}
 		delta := 0.0
-		if o.NsPerOp > 0 {
-			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		if o.metric() != 0 {
+			delta = (n.metric() - o.metric()) / o.metric()
 		}
 		fmt.Printf("%-32s %14.1f %14.1f %+8.1f%% %+9d\n",
-			name, o.NsPerOp, n.NsPerOp, delta*100, n.AllocsPerOp-o.AllocsPerOp)
-		if *threshold > 0 && delta > *threshold {
-			regressed = true
+			name, o.metric(), n.metric(), delta*100, n.AllocsPerOp-o.AllocsPerOp)
+		if *threshold > 0 {
+			// For latency rows a positive delta is a regression; for
+			// higher-is-better quality rows it's a negative one.
+			if n.HigherIsBetter {
+				if delta < -*threshold {
+					regressed = true
+				}
+			} else if delta > *threshold {
+				regressed = true
+			}
 		}
 	}
 	var removed []string
@@ -91,7 +117,7 @@ func main() {
 	}
 	sort.Strings(removed)
 	for _, name := range removed {
-		fmt.Printf("%-32s %14.1f %14s %9s %9s\n", name, oldRows[name].NsPerOp, "-", "removed", "-")
+		fmt.Printf("%-32s %14.1f %14s %9s %9s\n", name, oldRows[name].metric(), "-", "removed", "-")
 	}
 	if regressed {
 		fmt.Fprintf(os.Stderr, "benchdiff: regression above %.0f%% threshold\n", *threshold*100)

@@ -46,6 +46,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "training worker pool size; 0 = one per CPU (the trained model is identical at every setting)")
 		queueDepth = flag.Int("queue-depth", 0, "max concurrent live classifications (fetch + score); bursts beyond it queue; 0 = unbounded")
 		cacheSize  = flag.Int("snapshot-cache", 0, "parsed-snapshot LRU capacity; 0 = default, negative disables")
+		cascadeStr = flag.String("cascade", "", "tiered cascade: off, on (calibrated thresholds), or benignBelow,phishAbove — confidently triaged URLs are answered from the URL string alone, before any fetch")
 		backend    = flag.String("backend", "http", "how fetches reach the web: http (via -upstream or the real network) or inproc (serve a seeded simulated FWB web in this process; no fwbhost needed)")
 		faultSpec  = flag.String("faults", "", "with -backend inproc, inject chaos into the simulated web: off, default, or a k=v spec (see freephish -faults); exercises the proxy's retry path")
 	)
@@ -54,6 +55,25 @@ func main() {
 	faultProf, err := faults.ParseProfile(*faultSpec)
 	if err != nil {
 		log.Fatal(err)
+	}
+	benignBelow, phishAbove, cascadeOn, err := baselines.ParseCascadeThresholds(*cascadeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The cascade's lexical scorer trains on the same ground-truth pairs as
+	// the full model, so the pairs are generated even when -model skips the
+	// full training run.
+	var train []baselines.LabeledPage
+	if *modelPath == "" || cascadeOn {
+		g := webgen.NewGenerator(*seed, nil, nil)
+		epoch := time.Now()
+		for i := 0; i < *trainN; i++ {
+			p := g.PhishingFWBSite(g.PickService(), epoch)
+			train = append(train, baselines.LabeledPage{Page: features.Page{URL: p.URL, HTML: p.HTML}, Label: 1})
+			b := g.BenignFWBSite(g.PickServiceUniform(), epoch)
+			train = append(train, baselines.LabeledPage{Page: features.Page{URL: b.URL, HTML: b.HTML}})
+		}
 	}
 
 	var model *baselines.StackDetector
@@ -70,15 +90,6 @@ func main() {
 		log.Printf("loaded trained model from %s", *modelPath)
 	} else {
 		log.Printf("training the FreePhish classifier on %d pairs...", *trainN)
-		g := webgen.NewGenerator(*seed, nil, nil)
-		epoch := time.Now()
-		var train []baselines.LabeledPage
-		for i := 0; i < *trainN; i++ {
-			p := g.PhishingFWBSite(g.PickService(), epoch)
-			train = append(train, baselines.LabeledPage{Page: features.Page{URL: p.URL, HTML: p.HTML}, Label: 1})
-			b := g.BenignFWBSite(g.PickServiceUniform(), epoch)
-			train = append(train, baselines.LabeledPage{Page: features.Page{URL: b.URL, HTML: b.HTML}})
-		}
 		model = baselines.NewFreePhishModel(*seed)
 		model.SetParallelism(*workers)
 		if err := model.Train(train); err != nil {
@@ -148,6 +159,15 @@ func main() {
 	}
 	checker := proxy.NewLiveChecker(model, fetcher.Snapshot)
 	checker.SetMaxInFlight(*queueDepth)
+	if cascadeOn {
+		log.Printf("training the lexical cascade scorer on %d pairs...", len(train))
+		lex := baselines.NewLexicalScorer(*seed)
+		if err := lex.Train(train); err != nil {
+			log.Fatal(err)
+		}
+		checker.SetCascade(&baselines.Cascade{Scorer: lex, BenignBelow: benignBelow, PhishAbove: phishAbove})
+		log.Printf("cascade enabled (benign<%g, phish>%g): confidently triaged URLs are answered without a fetch", benignBelow, phishAbove)
+	}
 	px := proxy.New(checker, transport)
 
 	// Per-request decision and latency metrics; the ops listener is
@@ -193,6 +213,23 @@ func main() {
 				return float64(snapCache.Misses())
 			})
 	}
+	// The verdict cache is bounded (LRU); these counters make its churn
+	// visible so an undersized cache shows up as an eviction rate.
+	reg.GaugeFunc("freephish_proxy_cache_hits_total",
+		"Checks answered from the bounded verdict cache.", func() float64 {
+			hits, _, _, _ := checker.CacheStats()
+			return float64(hits)
+		})
+	reg.GaugeFunc("freephish_proxy_cache_misses_total",
+		"Checks that had to classify (lexically or live).", func() float64 {
+			_, misses, _, _ := checker.CacheStats()
+			return float64(misses)
+		})
+	reg.GaugeFunc("freephish_proxy_cache_evictions_total",
+		"Verdicts dropped by the LRU bound.", func() float64 {
+			_, _, evictions, _ := checker.CacheStats()
+			return float64(evictions)
+		})
 	if *opsAddr != "" {
 		opts := obs.OpsOptions{Info: info}
 		if *dashFlag {

@@ -37,6 +37,7 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 0, "streaming pipeline per-stage queue and reorder-window bound; 0 = engine default (results identical at every setting)")
 		backend    = flag.String("backend", core.BackendInproc, "world backend: inproc (in-process dispatch) or http (real loopback servers); results identical either way")
 		faultSpec  = flag.String("faults", "", "chaos profile injected into the world boundary: off, default, or k=v spec (latency=0.1,5xx=0.2,reset=0.05,truncate=0.02,malform=0.02,burst=2,blackout=web:24h:6h); the retry layer absorbs the default profile with byte-identical results")
+		cascade    = flag.String("cascade", "", "tiered classification cascade: off, on (calibrated thresholds), or benignBelow,phishAbove — a fetch-free URL-lexical triage stage short-circuits confident URLs ahead of fetch; 0,1 reproduces the cascade-off study exactly")
 		outPath    = flag.String("out", "", "write the study's records as JSONL to this file")
 		journal    = flag.String("journal", "", "write the per-URL lifecycle journal as JSONL to this file (enables tracing)")
 		opsAddr    = flag.String("ops", "", "serve /metrics, /healthz, /version, /debug/vars and /debug/pprof on this address while the study runs")
@@ -62,6 +63,11 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.Faults = prof
+	casc, err := core.ParseCascade(*cascade)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Cascade = casc
 	fp := core.New(cfg)
 
 	// The ops listener scrapes the same registry the study writes to, so

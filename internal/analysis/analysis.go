@@ -35,6 +35,10 @@ type Record struct {
 	HostRemovedAt time.Time
 	// FWB report response (§5.3).
 	Report report.Outcome
+	// Tier names the cascade tier that admitted the record: "" for the
+	// full fetch+classify path, "lexical" for a URL-only short-circuit
+	// (such records were never fetched, so their Signature is empty).
+	Tier string
 	// Signature is the page's markup fingerprint (classes + resource
 	// includes), captured at crawl time for kit-family clustering.
 	Signature map[string]bool

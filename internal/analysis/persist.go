@@ -44,6 +44,10 @@ type recordDTO struct {
 
 	Signature []string `json:"signature,omitempty"`
 
+	// Tier is empty for full-path records, so cascade-off studies
+	// serialize byte-identically to every prior version.
+	Tier string `json:"tier,omitempty"`
+
 	ClassifierScore float64              `json:"score"`
 	ClassifiedAt    time.Time            `json:"classified_at"`
 	Blocklist       map[string]time.Time `json:"blocklist,omitempty"` // entity -> listing time
@@ -62,6 +66,7 @@ func toDTO(r *Record) recordDTO {
 		DriveByDownload: t.DriveByDownload, TwoStepLink: t.TwoStepLink,
 		DomainAgeDays: t.DomainAge.Hours() / 24, CertType: t.CertType,
 		InCTLog: t.InCTLog, SearchIndexed: t.SearchIndexed, TLS: t.TLS,
+		Tier:            r.Tier,
 		ClassifierScore: r.ClassifierScore, ClassifiedAt: r.ClassifiedAt,
 		VTDetections: r.VTDetections,
 	}
@@ -117,6 +122,7 @@ func fromDTO(d recordDTO) (*Record, error) {
 		ClassifierScore: d.ClassifierScore,
 		Classified:      true,
 		ClassifiedAt:    d.ClassifiedAt,
+		Tier:            d.Tier,
 		Blocklist:       make(map[string]blocklist.Verdict, len(d.Blocklist)),
 		VTDetections:    d.VTDetections,
 	}

@@ -1,14 +1,5 @@
 package baselines
 
-import (
-	"hash/fnv"
-	"math"
-	"strings"
-
-	"freephish/internal/features"
-	"freephish/internal/simclock"
-)
-
 // URLNet reimplements the information diet of Le et al.'s URLNet: a model
 // that sees ONLY the URL string, embedding it at character and word
 // granularity. The original is a CNN; this version is logistic regression
@@ -16,89 +7,18 @@ import (
 // signal, a fraction of the machinery. Like the original it is the fastest
 // model in Table 2 and the weakest on FWB attacks, whose URLs look benign
 // (premium FWB domain, often no brand token).
+//
+// The scoring machinery lives in LexicalScorer (lexical.go), which the
+// classification cascade reuses; URLNet is that scorer pinned to its
+// historical RNG stream so Table 2 results are unchanged.
 type URLNet struct {
-	Dims   int // hashed feature space size
-	Epochs int
-	LR     float64
-	Seed   int64
-
-	w    []float64
-	bias float64
+	LexicalScorer
 }
 
 // NewURLNet returns a URLNet with the defaults used in Table 2.
 func NewURLNet(seed int64) *URLNet {
-	return &URLNet{Dims: 1 << 14, Epochs: 6, LR: 0.15, Seed: seed}
+	return &URLNet{LexicalScorer{Dims: 1 << 14, Epochs: 6, LR: 0.15, Seed: seed, RNGKey: "baselines.urlnet"}}
 }
 
 // Name implements Detector.
 func (u *URLNet) Name() string { return "URLNet" }
-
-// hashURL extracts hashed character 3-grams and 4-grams plus word tokens.
-func (u *URLNet) hashURL(raw string) []uint32 {
-	s := strings.ToLower(raw)
-	var idx []uint32
-	add := func(tok string) {
-		h := fnv.New32a()
-		h.Write([]byte(tok))
-		idx = append(idx, h.Sum32()%uint32(u.Dims))
-	}
-	for n := 3; n <= 4; n++ {
-		for i := 0; i+n <= len(s); i++ {
-			add("c:" + s[i:i+n])
-		}
-	}
-	for _, w := range strings.FieldsFunc(s, func(r rune) bool {
-		return r == '/' || r == '.' || r == '-' || r == '_' || r == '?' || r == '=' || r == ':' || r == '&'
-	}) {
-		if w != "" {
-			add("w:" + w)
-		}
-	}
-	return idx
-}
-
-// Train implements Detector.
-func (u *URLNet) Train(samples []LabeledPage) error {
-	u.w = make([]float64, u.Dims)
-	u.bias = 0
-	rng := simclock.NewRNG(u.Seed, "baselines.urlnet")
-	// Pre-hash once.
-	hashed := make([][]uint32, len(samples))
-	for i, s := range samples {
-		hashed[i] = u.hashURL(s.Page.URL)
-	}
-	order := make([]int, len(samples))
-	for i := range order {
-		order[i] = i
-	}
-	for e := 0; e < u.Epochs; e++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for _, i := range order {
-			p := u.proba(hashed[i])
-			g := p - float64(samples[i].Label)
-			u.bias -= u.LR * g
-			for _, j := range hashed[i] {
-				u.w[j] -= u.LR * g
-			}
-		}
-	}
-	return nil
-}
-
-func (u *URLNet) proba(idx []uint32) float64 {
-	z := u.bias
-	for _, j := range idx {
-		z += u.w[j]
-	}
-	if z >= 0 {
-		return 1 / (1 + math.Exp(-z))
-	}
-	e := math.Exp(z)
-	return e / (1 + e)
-}
-
-// Score implements Detector. Only the URL string is consulted.
-func (u *URLNet) Score(p features.Page) (float64, error) {
-	return u.proba(u.hashURL(p.URL)), nil
-}

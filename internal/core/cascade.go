@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+
+	"freephish/internal/baselines"
+)
+
+// CascadeConfig enables the tiered classification cascade: a URL-only
+// lexical scorer (trained on the same ground-truth corpus as the full
+// models, on its own RNG stream) triages every fresh URL ahead of the
+// fetch stage. Scores strictly below BenignBelow short-circuit as benign
+// and scores strictly above PhishAbove short-circuit as phishing — those
+// URLs are never fetched; the uncertain band falls through to the full
+// fetch → classify path. The degenerate pair (0, 1) never fires, making
+// that cascade byte-identical to running with no cascade at all.
+type CascadeConfig struct {
+	BenignBelow float64
+	PhishAbove  float64
+}
+
+// DefaultCascade returns the calibrated default thresholds (see
+// EXPERIMENTS.md "Tiered cascade" for the trade-off sweep behind them).
+func DefaultCascade() *CascadeConfig {
+	return &CascadeConfig{
+		BenignBelow: baselines.DefaultBenignBelow,
+		PhishAbove:  baselines.DefaultPhishAbove,
+	}
+}
+
+// ParseCascade parses a -cascade flag spec ("off", "on", or an explicit
+// "benignBelow,phishAbove" pair) into a CascadeConfig; nil means the
+// cascade is disabled.
+func ParseCascade(spec string) (*CascadeConfig, error) {
+	lo, hi, on, err := baselines.ParseCascadeThresholds(spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if !on {
+		return nil, nil
+	}
+	return &CascadeConfig{BenignBelow: lo, PhishAbove: hi}, nil
+}

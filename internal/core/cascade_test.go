@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"freephish/internal/faults"
+	"freephish/internal/obs"
+)
+
+// cascadeRun executes one cascade-enabled traced study and returns the
+// study records JSONL, the canonical journal JSONL, and the run's stats.
+func cascadeRun(t *testing.T, workers, depth int, backend string, prof *faults.Profile, cascade *CascadeConfig) (records, journal []byte, stats Stats) {
+	t.Helper()
+	cfg := streamSweepConfig(workers, depth, backend)
+	cfg.Journal = true
+	cfg.Faults = prof
+	cfg.Cascade = cascade
+	f := New(cfg)
+	study, err := f.Run()
+	if err != nil {
+		t.Fatalf("workers=%d depth=%d backend=%s: %v", workers, depth, backend, err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("workers=%d depth=%d backend=%s failed verification: %v", workers, depth, backend, err)
+	}
+	var rbuf, jbuf bytes.Buffer
+	if err := study.WriteJSONL(&rbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Metrics.Journal.WriteJSONL(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	return rbuf.Bytes(), jbuf.Bytes(), f.Stats
+}
+
+func diffCascadeRun(t *testing.T, label string, wantRec, gotRec, wantJournal, gotJournal []byte, wantStats, gotStats Stats) {
+	t.Helper()
+	if gotStats != wantStats {
+		t.Fatalf("%s: stats diverge:\nbaseline: %+v\ngot:      %+v", label, wantStats, gotStats)
+	}
+	diffLines := func(kind string, want, got []byte) {
+		if bytes.Equal(want, got) {
+			return
+		}
+		a := strings.Split(string(want), "\n")
+		b := strings.Split(string(got), "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("%s: %s diverges at line %d:\nbaseline: %s\ngot:      %s", label, kind, i, a[i], b[i])
+			}
+		}
+		t.Fatalf("%s: %s lengths diverge: %d vs %d lines", label, kind, len(a), len(b))
+	}
+	diffLines("study", wantRec, gotRec)
+	diffLines("journal", wantJournal, gotJournal)
+}
+
+// TestCascadeDeterminism is the cascade half of the `make verify-cascade`
+// gate: with the cascade on at a fixed threshold pair, the study records
+// AND the lifecycle journal must stay byte-identical across workers ×
+// queue-depth × backend — and under the default chaos profile — exactly
+// like the non-cascade study. Short-circuit verdicts are computed in a
+// concurrent triage stage, but they are pure functions of the URL string,
+// and every stateful effect still lands in the ordered apply phase.
+func TestCascadeDeterminism(t *testing.T) {
+	cascade := DefaultCascade()
+	baseRec, baseJournal, baseStats := cascadeRun(t, 1, 1, BackendInproc, nil, cascade)
+
+	// Non-vacuous: the triage tier actually short-circuited traffic, the
+	// fall-through band still produced full classifications, and the
+	// journal carries the new lifecycle event.
+	if baseStats.LexicalBenign+baseStats.LexicalPhish == 0 {
+		t.Fatal("cascade never short-circuited; the sweep is vacuous")
+	}
+	if baseStats.URLsScanned == 0 {
+		t.Fatal("no URL fell through to the fetch path; the sweep is vacuous")
+	}
+	if !strings.Contains(string(baseJournal), fmt.Sprintf("%q", obs.EvClassifiedLexical)) {
+		t.Fatalf("journal has no %s events", obs.EvClassifiedLexical)
+	}
+	if len(baseRec) == 0 {
+		t.Fatal("cascade study produced no records")
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, depth := range []int{1, 4, 64} {
+			if workers == 1 && depth == 1 {
+				continue
+			}
+			rec, journal, stats := cascadeRun(t, workers, depth, BackendInproc, nil, cascade)
+			diffCascadeRun(t, fmt.Sprintf("inproc workers=%d depth=%d", workers, depth),
+				baseRec, rec, baseJournal, journal, baseStats, stats)
+		}
+	}
+	// The http backend re-runs the matrix corners.
+	for _, c := range [][2]int{{1, 1}, {8, 64}} {
+		rec, journal, stats := cascadeRun(t, c[0], c[1], BackendHTTP, nil, cascade)
+		diffCascadeRun(t, fmt.Sprintf("http workers=%d depth=%d", c[0], c[1]),
+			baseRec, rec, baseJournal, journal, baseStats, stats)
+	}
+	// And the default chaos profile must be absorbed by the retry layer
+	// before it can perturb a lexical verdict or a record.
+	prof := faults.DefaultProfile()
+	rec, journal, stats := cascadeRun(t, 8, 64, BackendInproc, &prof, cascade)
+	diffCascadeRun(t, "inproc workers=8 depth=64 chaos=default",
+		baseRec, rec, baseJournal, journal, baseStats, stats)
+}
+
+// TestCascadeDegenerateEquivalence is the other half of the gate: the
+// degenerate threshold pair (0, 1) can never short-circuit — Triage
+// compares strictly, and the logistic score is clamped to [0, 1] — so a
+// study run through the degenerate cascade must reproduce the
+// cascade-off study byte-for-byte: same records, same journal, same
+// stats. This pins the invariant that enabling the cascade machinery
+// (including training the extra lexical model) perturbs nothing outside
+// the short-circuits themselves.
+func TestCascadeDegenerateEquivalence(t *testing.T) {
+	offRec, offJournal, offStats := cascadeRun(t, 2, 4, BackendInproc, nil, nil)
+	degRec, degJournal, degStats := cascadeRun(t, 2, 4, BackendInproc, nil,
+		&CascadeConfig{BenignBelow: 0, PhishAbove: 1})
+	if degStats.LexicalBenign+degStats.LexicalPhish != 0 {
+		t.Fatalf("degenerate cascade short-circuited %d URLs, want 0",
+			degStats.LexicalBenign+degStats.LexicalPhish)
+	}
+	diffCascadeRun(t, "off vs degenerate(0,1)", offRec, degRec, offJournal, degJournal, offStats, degStats)
+	if strings.Contains(string(degJournal), fmt.Sprintf("%q", obs.EvClassifiedLexical)) {
+		t.Fatalf("degenerate cascade journal contains %s events", obs.EvClassifiedLexical)
+	}
+}

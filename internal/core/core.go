@@ -123,6 +123,13 @@ type Config struct {
 	// JournalRing bounds the journal's in-memory ops/tail ring (0 =
 	// obs.DefaultJournalRing). Lifecycle events are retained in full.
 	JournalRing int
+	// Cascade, when non-nil, enables the tiered classification cascade: a
+	// fetch-free URL-lexical triage stage runs ahead of fetch, and URLs
+	// with confident lexical verdicts short-circuit without ever being
+	// snapshotted (see cascade.go). Like every other scaling knob the
+	// study stays byte-identical across Workers × QueueDepth × Backend ×
+	// chaos for any fixed threshold pair.
+	Cascade *CascadeConfig
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -165,6 +172,10 @@ type Stats struct {
 	FalsePositives int
 	FalseNegatives int
 	ReportsSent    int
+	// LexicalBenign / LexicalPhish count cascade short-circuits: URLs the
+	// triage tier resolved without a fetch (always 0 with the cascade off).
+	LexicalBenign int
+	LexicalPhish  int
 }
 
 // FreePhish is the assembled framework plus its simulated world.
@@ -178,8 +189,11 @@ type FreePhish struct {
 
 	Model     *baselines.StackDetector // augmented FreePhish classifier
 	BaseModel *baselines.StackDetector // base StackModel (self-hosted cohort)
-	Study     *analysis.Study
-	Stats     Stats
+	// Lexical is the cascade's URL-only triage scorer, trained alongside
+	// the full models when Config.Cascade is set (nil otherwise).
+	Lexical *baselines.LexicalScorer
+	Study   *analysis.Study
+	Stats   Stats
 	// Metrics is the run's observability surface: every pipeline stage
 	// reports into its registry and tracer (see metrics.go).
 	Metrics *Metrics
@@ -213,6 +227,9 @@ type FreePhish struct {
 	// streamWrap, when set, decorates the URL stream after backend wiring;
 	// tests inject poll failures through it.
 	streamWrap func(world.URLStream) world.URLStream
+	// cascade pairs Lexical with Config.Cascade's thresholds (nil when the
+	// cascade is off). Read-only once trained — stage workers share it.
+	cascade *baselines.Cascade
 }
 
 // New assembles the framework and its world. Call Train before Run, or let
@@ -266,6 +283,23 @@ func (f *FreePhish) Train() error {
 	f.BaseModel.SetParallelism(f.Config.Workers)
 	if err := f.BaseModel.Train(labeledPages(selfCorpus)); err != nil {
 		return fmt.Errorf("core: train base model: %w", err)
+	}
+	if f.Config.Cascade != nil {
+		// The triage scorer sees both cohorts' URLs (it must rank FWB and
+		// self-hosted traffic alike) and trains on its own keyed RNG
+		// stream, so enabling the cascade perturbs no other draw — which
+		// is what makes the degenerate (0, 1) cascade byte-identical to
+		// running without one.
+		f.Lexical = baselines.NewLexicalScorer(f.Config.Seed)
+		corpus := append(labeledPages(fwbCorpus), labeledPages(selfCorpus)...)
+		if err := f.Lexical.Train(corpus); err != nil {
+			return fmt.Errorf("core: train lexical scorer: %w", err)
+		}
+		f.cascade = &baselines.Cascade{
+			Scorer:      f.Lexical,
+			BenignBelow: f.Config.Cascade.BenignBelow,
+			PhishAbove:  f.Config.Cascade.PhishAbove,
+		}
 	}
 	return nil
 }
@@ -384,10 +418,27 @@ func (f *FreePhish) pollOnce(now time.Time) (err error) {
 		OnEmit: journalEmit(f.Metrics.Journal, "poll"),
 	})
 	depth := f.queueDepth()
-	fetched := pipe.Stage(pipe.Source(p, depth, fresh), "fetch", f.workers(), depth,
-		func(i int, su crawler.StreamedURL) (*probeResult, error) {
-			return f.fetchURL(su), nil
-		})
+	// With the cascade on, a triage stage scores every fresh URL from its
+	// string alone ahead of fetch; confident verdicts short-circuit the
+	// fetch stage entirely (fetchProbe passes them through untouched).
+	// With it off, the graph is exactly the historical fetch → classify
+	// pair — triage is not in the pipeline at all.
+	var fetched *pipe.Flow[*probeResult]
+	if f.cascade != nil {
+		triaged := pipe.Stage(pipe.Source(p, depth, fresh), "triage", f.workers(), depth,
+			func(i int, su crawler.StreamedURL) (*probeResult, error) {
+				return f.triageURL(su), nil
+			})
+		fetched = pipe.Stage(triaged, "fetch", f.workers(), depth,
+			func(i int, pr *probeResult) (*probeResult, error) {
+				return f.fetchProbe(pr), nil
+			})
+	} else {
+		fetched = pipe.Stage(pipe.Source(p, depth, fresh), "fetch", f.workers(), depth,
+			func(i int, su crawler.StreamedURL) (*probeResult, error) {
+				return f.fetchURL(su), nil
+			})
+	}
 	classified := pipe.Stage(fetched, "classify", f.workers(), depth,
 		func(i int, pr *probeResult) (*probeResult, error) {
 			return f.classifyURL(pr), nil
@@ -406,28 +457,58 @@ func (f *FreePhish) queueDepth() int { return pipe.DepthOrDefault(f.Config.Queue
 // probeResult carries everything a probe learned about one streamed URL
 // into the ordered apply phase.
 type probeResult struct {
-	su      crawler.StreamedURL
-	page    features.Page
-	status  int
-	info    world.SiteInfo
-	cohort  string
-	score   float64
-	contrib []baselines.Contribution // top features; only with the journal on
-	err     error                    // terminal: snapshot, resolve, or classification failure
+	su     crawler.StreamedURL
+	page   features.Page
+	status int
+	info   world.SiteInfo
+	cohort string
+	score  float64
+	// tier is the cascade's triage verdict; its zero value is
+	// baselines.TierFull, so with the cascade off every probe takes the
+	// full fetch + classify path. lexScore is the triage tier's URL-only
+	// score (meaningful only when tier != TierFull).
+	tier     baselines.Tier
+	lexScore float64
+	contrib  []baselines.Contribution // top features; only with the journal on
+	err      error                    // terminal: snapshot, resolve, or classification failure
 }
 
-// fetchURL is the pipeline's fetch stage: snapshot the page over the
-// snapshot port. It must not mutate framework state — it runs concurrently
+// triageURL is the cascade's triage stage: score the URL string with the
+// lexical tier and assign a short-circuit verdict or fall-through. Pure
+// like the other stage functions — the trained scorer is read-only and
+// the metrics are atomic — so it runs at full worker parallelism.
+func (f *FreePhish) triageURL(su crawler.StreamedURL) *probeResult {
+	p := &probeResult{su: su}
+	tsp := f.Metrics.Tracer.Start("triage")
+	p.lexScore, p.tier = f.cascade.Triage(su.URL)
+	tsp.End()
+	f.Metrics.CascadeTriaged.With(p.tier.String()).Inc()
+	return p
+}
+
+// fetchURL adapts the fetch stage to raw streamed URLs (the cascade-off
+// pipeline, the historical graph).
+func (f *FreePhish) fetchURL(su crawler.StreamedURL) *probeResult {
+	return f.fetchProbe(&probeResult{su: su})
+}
+
+// fetchProbe is the pipeline's fetch stage: snapshot the page over the
+// snapshot port — unless the triage tier already resolved the URL, in
+// which case the probe passes through untouched and the fetch is counted
+// as avoided. It must not mutate framework state — it runs concurrently
 // with other fetches — so it only touches the (thread-safe) snapshot port
 // and atomic metrics. A failed snapshot is carried in probeResult.err for
 // the ordered apply phase to surface; it never aborts sibling items early.
-func (f *FreePhish) fetchURL(su crawler.StreamedURL) *probeResult {
-	p := &probeResult{su: su}
+func (f *FreePhish) fetchProbe(p *probeResult) *probeResult {
+	if p.tier != baselines.TierFull {
+		f.Metrics.CascadeFetchesAvoided.Inc()
+		return p
+	}
 	fsp := f.Metrics.Tracer.Start("fetch")
-	page, status, err := f.world.Snap.Snapshot(su.URL)
+	page, status, err := f.world.Snap.Snapshot(p.su.URL)
 	fsp.EndErr(err)
 	if err != nil {
-		p.err = fmt.Errorf("core: snapshot %q: %w", su.URL, err)
+		p.err = fmt.Errorf("core: snapshot %q: %w", p.su.URL, err)
 		return p
 	}
 	p.page, p.status = page, status
@@ -441,8 +522,30 @@ func (f *FreePhish) fetchURL(su crawler.StreamedURL) *probeResult {
 // port, the trained (read-only) models, and atomic metrics. Items that
 // already failed or vanished (status != 200) pass through untouched.
 func (f *FreePhish) classifyURL(p *probeResult) *probeResult {
-	if p.err != nil || p.status != 200 {
-		return p // failed, or already gone by the time we crawled it
+	if p.err != nil {
+		return p
+	}
+	if p.tier != baselines.TierFull {
+		// Short-circuited by the triage tier: the page was never fetched,
+		// so there is nothing to score — but the hosting attribution is
+		// still resolved (the intel port's lookup is read-only, like the
+		// full path's) so the apply phase can attribute the cohort.
+		var err error
+		p.info, err = f.world.Intel.Resolve(p.su.URL)
+		if err != nil {
+			p.err = fmt.Errorf("core: resolve %q: %w", p.su.URL, err)
+			return p
+		}
+		if p.info.Hosted {
+			p.cohort = "self-hosted"
+			if p.info.IsFWB {
+				p.cohort = "fwb"
+			}
+		}
+		return p
+	}
+	if p.status != 200 {
+		return p // already gone by the time we crawled it
 	}
 	var err error
 	p.info, err = f.world.Intel.Resolve(p.su.URL)
@@ -497,6 +600,11 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 		j.Record(p.su.URL, obs.EvPosted, p.su.At,
 			"platform", string(p.su.Platform), "post", p.su.PostID)
 		j.Record(p.su.URL, obs.EvPolled, now)
+	}
+	if p.tier != baselines.TierFull {
+		return f.applyLexical(p, now)
+	}
+	if j != nil {
 		j.Record(p.su.URL, obs.EvFetched, now, "status", statusLabel(p.status))
 	}
 	if p.status != 200 {
@@ -506,7 +614,7 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 	if !p.info.Hosted {
 		return nil
 	}
-	su, page, cohort, score := p.su, p.page, p.cohort, p.score
+	su, cohort, score := p.su, p.cohort, p.score
 	flagged := score >= 0.5
 	if j != nil {
 		verdict := "benign"
@@ -530,7 +638,63 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 	} else {
 		f.Stats.FlaggedSelf++
 	}
+	return f.admitRecord(p, score, "", now)
+}
 
+// applyLexical is the apply phase for a cascade short-circuit: the URL
+// was resolved by the triage tier alone and never fetched, so there is no
+// fetched event, no page signature, and no scanned-URL count — but the
+// lexical verdict is evaluated, reported, and admitted to the study
+// through exactly the same ordered machinery as a full classification.
+func (f *FreePhish) applyLexical(p *probeResult, now time.Time) error {
+	if p.tier == baselines.TierPhish {
+		f.Stats.LexicalPhish++
+	} else {
+		f.Stats.LexicalBenign++
+	}
+	if !p.info.Hosted {
+		return nil
+	}
+	su, cohort := p.su, p.cohort
+	flagged := p.tier == baselines.TierPhish
+	if j := f.Metrics.Journal; j != nil {
+		verdict := "benign"
+		if flagged {
+			verdict = "phishing"
+		}
+		// The lexical verdict gets its own lifecycle event type: a trace
+		// must show either fetched+classified or classified_lexical,
+		// never a classification without a fetch.
+		j.Record(su.URL, obs.EvClassifiedLexical, now,
+			"cohort", cohort,
+			"score", strconv.FormatFloat(p.lexScore, 'g', -1, 64),
+			"tier", p.tier.String(),
+			"verdict", verdict)
+	}
+	if err := f.eval.observe(su.URL, cohort, flagged); err != nil {
+		return err
+	}
+	if !flagged {
+		return nil
+	}
+	if p.info.IsFWB {
+		f.Stats.FlaggedFWB++
+	} else {
+		f.Stats.FlaggedSelf++
+	}
+	return f.admitRecord(p, p.lexScore, "lexical", now)
+}
+
+// admitRecord is the shared admission tail for a flagged URL: profile the
+// target, collect blocklist/VT/moderation assessments, disclose through
+// the reporting module, add the analysis record, and register it with the
+// §4.4 monitor. For cascade short-circuits (tier "lexical") the page HTML
+// is empty — the profile and signature work from the URL alone — and the
+// record carries the tier so the analysis can separate lexical admissions
+// from full-model ones.
+func (f *FreePhish) admitRecord(p *probeResult, score float64, tier string, now time.Time) error {
+	su, page := p.su, p.page
+	j := f.Metrics.Journal
 	asp := f.Metrics.Tracer.Start("assess")
 	target, err := f.world.Intel.Profile(world.ProfileRequest{
 		URL: su.URL, HTML: page.HTML, SharedAt: su.At,
@@ -548,6 +712,7 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 		ClassifierScore: score,
 		Classified:      true,
 		ClassifiedAt:    now,
+		Tier:            tier,
 		Signature:       analysis.PageSignature(page.HTML),
 	}
 	verdicts, vt, err := f.world.Feeds.Assess(target)

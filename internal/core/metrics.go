@@ -63,6 +63,10 @@ type Metrics struct {
 	BreakerEvents  *obs.CounterVec // key, transition
 	FaultsInjected *obs.CounterVec // kind
 
+	// Tiered classification cascade (triage stage).
+	CascadeTriaged        *obs.CounterVec // tier
+	CascadeFetchesAvoided *obs.Counter
+
 	// Study-level progress.
 	Records *obs.Counter
 }
@@ -133,9 +137,25 @@ func newMetrics(reg *obs.Registry, simNow func() time.Time, epoch time.Time) *Me
 		FaultsInjected: reg.CounterVec("freephish_faults_injected_total",
 			"Chaos faults injected into the world boundary, by kind.", "kind"),
 
+		CascadeTriaged: reg.CounterVec("freephish_cascade_triaged_total",
+			"Fresh URLs triaged by the cascade's lexical tier, by verdict tier "+
+				"(benign/phish short-circuit the fetch stage; full falls through).", "tier"),
+		CascadeFetchesAvoided: reg.Counter("freephish_cascade_fetches_avoided_total",
+			"Page fetches skipped because the lexical tier short-circuited the URL."),
+
 		Records: reg.Counter("freephish_study_records_total",
 			"URLs admitted to longitudinal observation."),
 	}
+	reg.GaugeFunc("freephish_cascade_short_circuit_ratio",
+		"Fraction of triaged URLs the lexical tier resolved without a fetch.",
+		func() float64 {
+			short := m.CascadeTriaged.With("benign").Value() + m.CascadeTriaged.With("phish").Value()
+			total := short + m.CascadeTriaged.With("full").Value()
+			if total == 0 {
+				return 0
+			}
+			return short / total
+		})
 	reg.GaugeFunc("freephish_sim_time_seconds",
 		"Virtual seconds elapsed since the study epoch.", func() float64 {
 			if simNow == nil {

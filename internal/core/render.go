@@ -342,6 +342,12 @@ func RenderStats(st Stats) string {
 	b.WriteString("FreePhish framework counters\n")
 	fmt.Fprintf(&b, "  polls=%d posts=%d scanned=%d flaggedFWB=%d flaggedSelf=%d reports=%d\n",
 		st.Polls, st.PostsSeen, st.URLsScanned, st.FlaggedFWB, st.FlaggedSelf, st.ReportsSent)
+	if st.LexicalBenign+st.LexicalPhish > 0 {
+		short := st.LexicalBenign + st.LexicalPhish
+		total := short + st.URLsScanned
+		fmt.Fprintf(&b, "  cascade: lexicalBenign=%d lexicalPhish=%d shortCircuit=%.1f%%\n",
+			st.LexicalBenign, st.LexicalPhish, 100*float64(short)/float64(total))
+	}
 	tp, fp, fn := st.TruePositives, st.FalsePositives, st.FalseNegatives
 	if tp+fp > 0 && tp+fn > 0 {
 		prec := float64(tp) / float64(tp+fp)

@@ -180,7 +180,10 @@ func (d *Dash) serveTrace(w http.ResponseWriter, r *http.Request) {
 	view.Events = d.Journal.Trace(url)
 	view.Missing = len(view.Events) == 0
 	for _, ev := range view.Events {
-		if ev.Type != EvClassified {
+		// A URL is scored exactly once: by the full model on its fetched
+		// page, or lexically from the URL string when the cascade
+		// short-circuited it (no feature contributions in that case).
+		if ev.Type != EvClassified && ev.Type != EvClassifiedLexical {
 			continue
 		}
 		view.Score = ev.Attrs["score"]
@@ -235,6 +238,7 @@ form button{background:#2a365c;border:0;color:#dce3f0;border-radius:4px;padding:
 <main>
 <section><h2>Study progress</h2><div class="tiles" id="tiles"><span class="muted">waiting for data…</span></div></section>
 <section><h2>Pipeline stages</h2><div class="stages" id="stages"><span class="muted">no pipe activity yet</span></div></section>
+<section id="cascadeSec" style="display:none"><h2>Cascade tiers</h2><div class="tiles" id="cascade"></div></section>
 <section><h2>Takedown timeline</h2><div id="timeline"><span class="muted">no takedowns yet</span></div></section>
 <section><h2>Trace a URL</h2>
 <form action="/dash/trace" method="get"><input name="url" placeholder="http://…"> <button>trace</button></form></section>
@@ -255,7 +259,7 @@ function render(d){
   document.getElementById("info").textContent = d.info ? Object.entries(d.info).map(([k,v])=>k+"="+v).join("  ") : "";
   // ---- stat tiles: journal counts first, core study counters as fallback
   let tiles="";
-  const order=["posted","polled","fetched","classified","reported","takedown","recheck","listed","host_down","retry","fault"];
+  const order=["posted","polled","fetched","classified","classified_lexical","reported","takedown","recheck","listed","host_down","retry","fault"];
   if(d.counts){for(const k of order){if(d.counts[k]!==undefined) tiles+=tile(k,d.counts[k]);}}
   for(const s of d.samples){
     if(s.name==="freephish_urls_observed_total"||s.name==="freephish_urls_flagged_total")
@@ -283,6 +287,18 @@ function render(d){
       +(st.items!==undefined?' · '+st.items+' items':'')+'</div>'+spark(hist[hk],140,28)+'</div>';
   }
   if(sh) document.getElementById("stages").innerHTML=sh;
+  // ---- cascade tier panel from freephish_cascade_* (hidden when cascade is off)
+  let ct="",ratio=null;
+  for(const s of d.samples){
+    if(s.name==="freephish_cascade_triaged_total"&&s.labels&&s.labels.tier) ct+=tile("tier "+s.labels.tier,s.value);
+    if(s.name==="freephish_cascade_fetches_avoided_total"&&s.value>0) ct+=tile("fetches avoided",s.value);
+    if(s.name==="freephish_cascade_short_circuit_ratio") ratio=s.value;
+  }
+  if(ct){
+    if(ratio!==null) ct+=tile("short-circuit",(ratio*100).toFixed(1)+"%");
+    document.getElementById("cascadeSec").style.display="";
+    document.getElementById("cascade").innerHTML=ct;
+  }
   // ---- takedown timeline
   if(d.timelines&&d.timelines.length){
     const all=[];

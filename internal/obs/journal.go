@@ -36,12 +36,17 @@ const (
 	EvObservedCT = "observed_ct" // its certificate is visible in the CT log
 	EvPolled     = "polled"      // the streaming module picked it up
 	EvFetched    = "fetched"     // the snapshotter crawled it
-	EvClassified = "classified"  // the model scored it
-	EvReported   = "reported"    // the reporting module disclosed it
-	EvTakedown   = "takedown"    // the platform or host removed it
-	EvRecheck    = "recheck"     // the §4.4 monitor re-probed it
-	EvHostDown   = "host_down"   // a monitor probe first saw the site gone
-	EvListed     = "listed"      // a blocklist feed first listed it
+	EvClassified = "classified"  // the full model scored its fetched page
+	// EvClassifiedLexical marks a cascade short-circuit: the URL-only
+	// tier resolved the URL with a confident verdict and it never
+	// entered the fetch stage (so a trace has either fetched+classified
+	// or classified_lexical, never both).
+	EvClassifiedLexical = "classified_lexical"
+	EvReported          = "reported"  // the reporting module disclosed it
+	EvTakedown          = "takedown"  // the platform or host removed it
+	EvRecheck           = "recheck"   // the §4.4 monitor re-probed it
+	EvHostDown          = "host_down" // a monitor probe first saw the site gone
+	EvListed            = "listed"    // a blocklist feed first listed it
 )
 
 // Ops event types (ring-only; see the class discussion above).

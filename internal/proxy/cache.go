@@ -1,0 +1,85 @@
+package proxy
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultVerdictCacheSize bounds the live checker's verdict cache. A
+// verdict is one bool per normalized URL, so the bound exists to keep a
+// proxy fed with millions of distinct URLs from growing without limit,
+// not to save much memory per entry.
+const DefaultVerdictCacheSize = 4096
+
+// verdictCache is a bounded LRU of classification verdicts keyed by
+// normalized URL — the same recency discipline as crawler.SnapshotCache.
+// Safe for concurrent use; hit/miss/eviction counters are atomic so the
+// ops endpoint can read them without taking the lock.
+type verdictCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // front = most recent; values are *verdictEntry
+	byKey map[string]*list.Element
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type verdictEntry struct {
+	key     string
+	verdict bool
+}
+
+// newVerdictCache returns a cache bounded to capacity entries;
+// capacity <= 0 means DefaultVerdictCacheSize.
+func newVerdictCache(capacity int) *verdictCache {
+	if capacity <= 0 {
+		capacity = DefaultVerdictCacheSize
+	}
+	return &verdictCache{
+		cap:   capacity,
+		lru:   list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached verdict and whether it was present, refreshing
+// the entry's recency on a hit.
+func (c *verdictCache) get(key string) (verdict, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses.Add(1)
+		return false, false
+	}
+	c.hits.Add(1)
+	c.lru.MoveToFront(el)
+	return el.Value.(*verdictEntry).verdict, true
+}
+
+// put stores a verdict, evicting the least-recently-used entries beyond
+// the bound.
+func (c *verdictCache) put(key string, verdict bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*verdictEntry).verdict = verdict
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&verdictEntry{key: key, verdict: verdict})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*verdictEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// len reports the resident entry count.
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,149 @@
+package proxy
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"freephish/internal/baselines"
+	"freephish/internal/features"
+)
+
+func TestVerdictCacheLRUEviction(t *testing.T) {
+	c := newVerdictCache(3)
+	c.put("a", true)
+	c.put("b", false)
+	c.put("c", true)
+	// Touch "a" so "b" becomes the eviction victim.
+	if v, ok := c.get("a"); !ok || !v {
+		t.Fatalf("get(a) = %v, %v", v, ok)
+	}
+	c.put("d", false)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b survived past the bound")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("entry %s evicted out of LRU order", k)
+		}
+	}
+	if got := c.len(); got != 3 {
+		t.Fatalf("len = %d, want 3", got)
+	}
+	if ev := c.evictions.Load(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	// put on an existing key updates in place, no eviction.
+	c.put("a", false)
+	if v, _ := c.get("a"); v {
+		t.Fatal("put did not update existing entry")
+	}
+	if got := c.len(); got != 3 {
+		t.Fatalf("len after update = %d, want 3", got)
+	}
+}
+
+func TestVerdictCacheDefaultCapacity(t *testing.T) {
+	c := newVerdictCache(0)
+	if c.cap != DefaultVerdictCacheSize {
+		t.Fatalf("cap = %d, want %d", c.cap, DefaultVerdictCacheSize)
+	}
+}
+
+// TestLiveCheckerCacheBounded: the live checker's verdict cache evicts
+// rather than growing without bound, and CacheStats exposes the counters
+// the freephish_proxy_cache_* metrics read.
+func TestLiveCheckerCacheBounded(t *testing.T) {
+	var fetches atomic.Int64
+	fetch := func(url string) (features.Page, int, error) {
+		fetches.Add(1)
+		return features.Page{URL: url}, 200, nil
+	}
+	checker := NewLiveChecker(stubScorer(0.9), fetch)
+	checker.SetCacheSize(8)
+	const n = 40
+	for i := 0; i < n; i++ {
+		u := fmt.Sprintf("https://site%02d.weebly.com/login", i)
+		if block, _ := checker.Check(u); !block {
+			t.Fatalf("%s not blocked", u)
+		}
+	}
+	hits, misses, evictions, entries := checker.CacheStats()
+	if entries != 8 {
+		t.Fatalf("entries = %d, want the bound 8", entries)
+	}
+	if evictions != n-8 {
+		t.Fatalf("evictions = %d, want %d", evictions, n-8)
+	}
+	if misses != n {
+		t.Fatalf("misses = %d, want %d", misses, n)
+	}
+	if hits != 0 {
+		t.Fatalf("hits = %d, want 0", hits)
+	}
+	// A re-check of a resident URL is a hit and never re-fetches.
+	before := fetches.Load()
+	if block, _ := checker.Check(fmt.Sprintf("https://site%02d.weebly.com/login", n-1)); !block {
+		t.Fatal("resident verdict lost")
+	}
+	if fetches.Load() != before {
+		t.Fatal("cache hit re-fetched")
+	}
+	if hits, _, _, _ = checker.CacheStats(); hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	// An evicted URL is re-classified (a second fetch), not answered stale.
+	if block, _ := checker.Check("https://site00.weebly.com/login"); !block {
+		t.Fatal("evicted URL not re-classified")
+	}
+	if fetches.Load() != before+1 {
+		t.Fatalf("evicted URL served without a re-fetch (fetches = %d)", fetches.Load())
+	}
+}
+
+// stubURLScorer pins the lexical score so each tier can be exercised.
+type stubURLScorer struct{ score float64 }
+
+func (s *stubURLScorer) ScoreURL(string) float64 { return s.score }
+
+// TestLiveCheckerCascadeFastPath: with a cascade installed, confidently
+// triaged URLs are answered from the URL string alone — no fetch, no
+// full-model inference — and only the uncertain band classifies live.
+func TestLiveCheckerCascadeFastPath(t *testing.T) {
+	var fetches atomic.Int64
+	fetch := func(url string) (features.Page, int, error) {
+		fetches.Add(1)
+		return features.Page{URL: url}, 200, nil
+	}
+	lex := &stubURLScorer{}
+	cascade := &baselines.Cascade{Scorer: lex, BenignBelow: 0.4, PhishAbove: 0.6}
+
+	checker := NewLiveChecker(stubScorer(0.9), fetch)
+	checker.SetCascade(cascade)
+
+	lex.score = 0.99 // confident phish
+	if block, reason := checker.Check("https://lex-phish.weebly.com/a"); !block || reason == "" {
+		t.Fatalf("confident-phish URL not blocked (%q)", reason)
+	}
+	lex.score = 0.01 // confident benign
+	if block, _ := checker.Check("https://lex-benign.weebly.com/a"); block {
+		t.Fatal("confident-benign URL blocked")
+	}
+	if fetches.Load() != 0 {
+		t.Fatalf("cascade short-circuits fetched %d times", fetches.Load())
+	}
+	lex.score = 0.5 // uncertain: falls through to the live model
+	if block, _ := checker.Check("https://uncertain.weebly.com/a"); !block {
+		t.Fatal("fall-through URL not classified by the full model")
+	}
+	if fetches.Load() != 1 {
+		t.Fatalf("fall-through fetched %d times, want 1", fetches.Load())
+	}
+	// Lexical verdicts are cached like live ones.
+	if block, _ := checker.Check("https://lex-phish.weebly.com/a"); !block {
+		t.Fatal("cached lexical verdict lost")
+	}
+	if _, misses, _, _ := checker.CacheStats(); misses != 3 {
+		t.Fatalf("misses = %d, want 3", misses)
+	}
+}

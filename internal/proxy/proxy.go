@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"freephish/internal/baselines"
 	"freephish/internal/features"
 	"freephish/internal/fwb"
 	"freephish/internal/urlx"
@@ -77,20 +78,43 @@ type Scorer interface {
 
 // LiveChecker classifies pages on the fly: FWB-hosted URLs are fetched and
 // scored by the FreePhish model, mirroring the extension's online mode.
-// Verdicts are cached. Construct with NewLiveChecker.
+// Verdicts are cached in a bounded LRU. Construct with NewLiveChecker.
 type LiveChecker struct {
 	model     Scorer
 	fetch     func(url string) (features.Page, int, error)
 	threshold float64
 	sem       chan struct{}
+	cascade   *baselines.Cascade
 
-	mu    sync.Mutex
-	cache map[string]bool
+	cache *verdictCache
 }
 
-// NewLiveChecker returns a LiveChecker with the standard 0.5 threshold.
+// NewLiveChecker returns a LiveChecker with the standard 0.5 threshold
+// and a DefaultVerdictCacheSize verdict cache.
 func NewLiveChecker(model Scorer, fetch func(url string) (features.Page, int, error)) *LiveChecker {
-	return &LiveChecker{model: model, fetch: fetch, threshold: 0.5, cache: make(map[string]bool)}
+	return &LiveChecker{model: model, fetch: fetch, threshold: 0.5, cache: newVerdictCache(0)}
+}
+
+// SetCacheSize rebounds the verdict cache (n <= 0 restores the default),
+// dropping any cached verdicts. Call before the proxy starts serving.
+func (c *LiveChecker) SetCacheSize(n int) {
+	c.cache = newVerdictCache(n)
+}
+
+// SetCascade installs a tiered-cascade fast path: URLs the trained
+// lexical scorer resolves confidently are answered from the URL string
+// alone — before the in-flight gate, with no fetch and no full-model
+// inference — and only the uncertain band pays for a live
+// classification. nil removes the fast path. Call before the proxy
+// starts serving.
+func (c *LiveChecker) SetCascade(cascade *baselines.Cascade) {
+	c.cascade = cascade
+}
+
+// CacheStats reports verdict-cache hits, misses, evictions, and resident
+// entries — the freephish_proxy_cache_* metric sources.
+func (c *LiveChecker) CacheStats() (hits, misses, evictions uint64, entries int) {
+	return c.cache.hits.Load(), c.cache.misses.Load(), c.cache.evictions.Load(), c.cache.len()
 }
 
 // SetMaxInFlight bounds how many uncached live classifications (fetch +
@@ -118,17 +142,26 @@ func (c *LiveChecker) Check(rawURL string) (bool, string) {
 		return false, ""
 	}
 	key := normalize(rawURL)
-	c.mu.Lock()
-	verdict, ok := c.cache[key]
-	c.mu.Unlock()
+	verdict, ok := c.cache.get(key)
 	if !ok {
+		// The cascade's lexical tier answers confident URLs from the
+		// string alone — ahead of the in-flight gate, so a navigation
+		// burst of recognizable URLs never queues behind live fetches.
+		if c.cascade != nil {
+			if _, tier := c.cascade.Triage(rawURL); tier != baselines.TierFull {
+				verdict = tier == baselines.TierPhish
+				c.cache.put(key, verdict)
+				if verdict {
+					return true, "FreePhish classified this FWB URL as phishing"
+				}
+				return false, ""
+			}
+		}
 		verdict, ok = c.classify(rawURL)
 		if !ok {
 			return false, ""
 		}
-		c.mu.Lock()
-		c.cache[key] = verdict
-		c.mu.Unlock()
+		c.cache.put(key, verdict)
 	}
 	if verdict {
 		return true, "FreePhish classified this FWB page as phishing"
