@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos verify-stream verify-journal verify-cascade clean
+.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos verify-stream verify-journal verify-cascade verify-shards clean
 
 all: build
 
@@ -61,18 +61,28 @@ verify-journal:
 verify-cascade:
 	$(GO) test ./internal/core -run 'TestCascadeDeterminism|TestCascadeDegenerateEquivalence' -count=1 -v
 
+# verify-shards proves the sharded study's merge contract: the same seed
+# split across 1, 2, 4, and 8 sub-stream shards must merge into
+# byte-identical records, journal, and stats — across backends, with
+# pipeline parallelism inside each shard, under the default chaos
+# profile, and through the coordinator's shard-retry path.
+verify-shards:
+	$(GO) test ./internal/core -run 'TestShardDeterminism|TestShardRetryReplaysExactly|TestShardRetryExhaustionFails' -count=1 -v
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
 # bench-baseline writes BENCH_obs.json, BENCH_parallel.json,
-# BENCH_pipeline.json, and BENCH_cascade.json — machine-readable
-# snapshots of pipeline, metrics-layer, worker-pool, barrier-vs-stream,
-# and cascade cost/quality for diffing across commits.
+# BENCH_pipeline.json, BENCH_cascade.json, and BENCH_shard.json —
+# machine-readable snapshots of pipeline, metrics-layer, worker-pool,
+# barrier-vs-stream, cascade cost/quality, and shard scaling for diffing
+# across commits.
 bench-baseline:
 	BENCH_JSON=BENCH_obs.json $(GO) test -run TestWriteBenchBaseline -v .
 	BENCH_PARALLEL_JSON=BENCH_parallel.json $(GO) test -run TestWriteParallelBenchBaseline -v .
 	BENCH_PIPELINE_JSON=BENCH_pipeline.json $(GO) test -run TestWriteStreamBenchBaseline -v .
 	BENCH_CASCADE_JSON=BENCH_cascade.json $(GO) test -run TestWriteCascadeBenchBaseline -v .
+	BENCH_SHARD_JSON=BENCH_shard.json $(GO) test -run TestWriteShardBenchBaseline -v .
 
 # bench-compare diffs a saved baseline against a fresh run:
 #   make bench-compare OLD=BENCH_parallel.json NEW=BENCH_parallel.new.json
@@ -82,5 +92,5 @@ bench-compare:
 	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 clean:
-	rm -f BENCH_obs.json BENCH_parallel.json BENCH_parallel.new.json BENCH_pipeline.json BENCH_pipeline.new.json BENCH_cascade.json BENCH_cascade.new.json
+	rm -f BENCH_obs.json BENCH_parallel.json BENCH_parallel.new.json BENCH_pipeline.json BENCH_pipeline.new.json BENCH_cascade.json BENCH_cascade.new.json BENCH_shard.json BENCH_shard.new.json
 	$(GO) clean ./...

@@ -178,6 +178,12 @@ type StudyConfig struct {
 	// the study keeps the same determinism contract as every other knob;
 	// the degenerate pair "0,1" reproduces the cascade-off study exactly.
 	Cascade string
+	// Shards, when > 1, splits the study across N deterministic
+	// sub-stream shards, each running its own pipeline against its own
+	// simulated world; the shard results merge into records, journal,
+	// and stats byte-identical to a 1-shard run. 0 and 1 run the study
+	// in a single pipeline.
+	Shards int
 	// Progress, when set, is invoked after every streaming poll cycle —
 	// the hook by which long study runs narrate themselves.
 	Progress func(Progress)
@@ -221,6 +227,7 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 	c.Workers = cfg.Workers
 	c.QueueDepth = cfg.QueueDepth
 	c.Backend = cfg.Backend
+	c.Shards = cfg.Shards
 	prof, err := faults.ParseProfile(cfg.Faults)
 	if err != nil {
 		return nil, fmt.Errorf("freephish: bad fault profile: %w", err)
@@ -325,7 +332,7 @@ func (r *StudyResult) Coverage() []CoverageRow {
 
 // RenderAll returns the full evaluation (every table and figure) as text.
 func (r *StudyResult) RenderAll() string {
-	return core.RenderStats(r.fp.Stats) + "\n" +
+	return core.RenderStats(r.fp.Stats()) + "\n" +
 		core.RenderSection3(r.study) + "\n" +
 		core.RenderTable3(r.study) + "\n" +
 		core.RenderFigure6(r.study) + "\n" +

@@ -1,0 +1,206 @@
+package freephish_test
+
+// Shard benchmarks: the fetch → classify workload run as one pipeline
+// and as N concurrent sub-stream shards, each shard a private pipeline
+// over its residue class of the item ordinals (the same `ord % N`
+// partition core's sharded study uses), with the per-shard results
+// merged at the end. Fetch latency is injected so the win is structural:
+// every shard owns a full pipeline graph — its own worker pool and queue
+// discipline — so shards multiply phase overlap instead of sharing one
+// pool. TestWriteShardBenchBaseline snapshots the scaling curve as
+// BENCH_shard.json for bench-compare and enforces the ≥2× floor at 4
+// shards that the sharded study is sold on.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"freephish/internal/pipe"
+	"freephish/internal/simclock"
+)
+
+// shardOut carries one classified item back to the merge step.
+type shardOut struct {
+	idx     int
+	payload uint64
+}
+
+// shardDelays is the shard benchmark's fetch latency schedule: 2–6ms per
+// item, the fetch-bound regime sharding exists for. Unlike the streaming
+// benchmark — which balances fetch and classify to show phase overlap —
+// the shard benchmark keeps classify light (shardClassify), because the
+// structural win of sharding is concurrent fetch capacity: each shard
+// brings its own fetch worker pool, and sleeps overlap regardless of
+// core count.
+func shardDelays(n int) []time.Duration {
+	rng := simclock.NewRNG(7, "bench.shard")
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(2000+rng.Intn(4000)) * time.Microsecond
+	}
+	return out
+}
+
+// shardClassify is the shard benchmark's CPU phase: a short mixing loop
+// (~1/16 of streamClassify) so the workload stays fetch-bound.
+func shardClassify(v uint64) uint64 {
+	for k := 0; k < 1<<16; k++ {
+		v ^= v << 13
+		v ^= v >> 7
+		v ^= v << 17
+	}
+	return v
+}
+
+// shardWant is the checksum every shard count must produce.
+func shardWant() uint64 {
+	var sum uint64
+	for i := 0; i < streamItems; i++ {
+		sum += shardClassify(uint64(i)*2654435761 + 1)
+	}
+	return sum
+}
+
+// shardBench runs the streaming fetch → classify workload split across
+// the given shard count and merges the shard outputs in canonical
+// (ordinal) order — the benchmark-scale image of core's runSharded.
+func shardBench(shards int) func(*testing.B) {
+	return func(b *testing.B) {
+		delays := shardDelays(streamItems)
+		want := shardWant()
+		const depth = 4
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			perShard := make([][]shardOut, shards)
+			var wg sync.WaitGroup
+			errs := make([]error, shards)
+			for s := 0; s < shards; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					// This shard's residue class of the global ordinals.
+					var items []int
+					for i := s; i < streamItems; i += shards {
+						items = append(items, i)
+					}
+					p := pipe.New(context.Background(), pipe.Options{Name: fmt.Sprintf("shard%d", s)})
+					fetched := pipe.Stage(pipe.Range(p, depth, len(items)), "fetch", streamWorkers, depth,
+						func(_ int, k int) (shardOut, error) {
+							i := items[k]
+							return shardOut{idx: i, payload: streamFetch(delays[i], i)}, nil
+						})
+					classified := pipe.Stage(fetched, "classify", streamWorkers, depth,
+						func(_ int, it shardOut) (shardOut, error) {
+							it.payload = shardClassify(it.payload)
+							return it, nil
+						})
+					errs[s] = pipe.Drain(classified, func(_ int, it shardOut) error {
+						perShard[s] = append(perShard[s], it)
+						return nil
+					})
+				}(s)
+			}
+			wg.Wait()
+			for s, err := range errs {
+				if err != nil {
+					b.Fatalf("shard %d: %v", s, err)
+				}
+			}
+			// Merge: concatenate and restore canonical ordinal order, then
+			// checksum — every shard count must have done identical work.
+			var merged []shardOut
+			for _, part := range perShard {
+				merged = append(merged, part...)
+			}
+			sort.Slice(merged, func(i, j int) bool { return merged[i].idx < merged[j].idx })
+			var sum uint64
+			for _, it := range merged {
+				sum += it.payload
+			}
+			if len(merged) != streamItems || sum != want {
+				b.Fatalf("shards=%d merged %d items checksum %d, want %d items checksum %d",
+					shards, len(merged), sum, streamItems, want)
+			}
+		}
+	}
+}
+
+// BenchmarkPipelineSharded sweeps the shard count over the same workload.
+// Each shard brings its own worker pool, so wall-clock should fall
+// roughly linearly until the per-item work is exhausted.
+func BenchmarkPipelineSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), shardBench(shards))
+	}
+}
+
+// TestWriteShardBenchBaseline snapshots the shard scaling curve as
+// machine-readable JSON for bench-compare:
+//
+//	BENCH_SHARD_JSON=BENCH_shard.json go test -run TestWriteShardBenchBaseline .
+//
+// Latency rows are the per-shard-count pipeline timings; the quality row
+// carries the 4-shard speedup as a higher-is-better value, so a change
+// that serializes the shards (a shared lock, a lost worker pool) fails
+// the same CI gate as a latency regression. The ≥2× floor at 4 shards is
+// enforced directly.
+func TestWriteShardBenchBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_SHARD_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SHARD_JSON=<path> to write the shard baseline")
+	}
+	type row struct {
+		Name           string  `json:"name"`
+		N              int     `json:"n,omitempty"`
+		NsPerOp        float64 `json:"ns_per_op,omitempty"`
+		BytesPerOp     int64   `json:"bytes_per_op,omitempty"`
+		AllocsPerOp    int64   `json:"allocs_per_op,omitempty"`
+		Value          float64 `json:"value,omitempty"`
+		Unit           string  `json:"unit,omitempty"`
+		HigherIsBetter bool    `json:"higher_is_better,omitempty"`
+	}
+	var rows []row
+	nsPerOp := map[int]float64{}
+	for _, shards := range []int{1, 2, 4, 8} {
+		r := testing.Benchmark(shardBench(shards))
+		if r.N == 0 {
+			t.Fatalf("shards=%d benchmark did not run", shards)
+		}
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		nsPerOp[shards] = ns
+		rows = append(rows, row{
+			Name:        fmt.Sprintf("PipelineSharded/shards=%d", shards),
+			N:           r.N,
+			NsPerOp:     ns,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		t.Logf("%-28s %12.1f ns/op %8d B/op %6d allocs/op",
+			fmt.Sprintf("PipelineSharded/shards=%d", shards), ns, r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	speedup := nsPerOp[1] / nsPerOp[4]
+	t.Logf("4-shard speedup: %.2fx (1 shard %.2fms, 4 shards %.2fms)",
+		speedup, nsPerOp[1]/1e6, nsPerOp[4]/1e6)
+	if speedup < 2.0 {
+		t.Errorf("4-shard speedup = %.2fx, want >= 2x", speedup)
+	}
+	rows = append(rows, row{
+		Name: "ShardScaling/speedup_4_shards", Value: speedup,
+		Unit: "x", HigherIsBetter: true,
+	})
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d rows to %s", len(rows), path)
+}

@@ -44,6 +44,32 @@ func (r row) metric() float64 {
 	return r.NsPerOp
 }
 
+// delta is the relative change from o to n on the compared metric
+// (0 when the old metric is zero — no baseline to compare against).
+func delta(o, n row) float64 {
+	if o.metric() == 0 {
+		return 0
+	}
+	return (n.metric() - o.metric()) / o.metric()
+}
+
+// regressed reports whether n regressed past the threshold relative to
+// o. Direction depends on the row kind: latency rows regress upward (a
+// positive delta is slower), higher-is-better quality rows (F1, fetches
+// avoided, shard speedup) regress downward. The NEW row's flag decides —
+// a row whose kind flips between baselines is judged by what it now
+// measures. threshold <= 0 disables gating.
+func regressed(o, n row, threshold float64) bool {
+	if threshold <= 0 {
+		return false
+	}
+	d := delta(o, n)
+	if n.HigherIsBetter {
+		return d < -threshold
+	}
+	return d > threshold
+}
+
 func load(path string) (map[string]row, []string, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -83,7 +109,7 @@ func main() {
 	}
 
 	fmt.Printf("%-32s %14s %14s %9s %9s\n", "benchmark", "old", "new", "delta", "allocs Δ")
-	regressed := false
+	anyRegressed := false
 	for _, name := range newNames {
 		n := newRows[name]
 		o, ok := oldRows[name]
@@ -91,22 +117,10 @@ func main() {
 			fmt.Printf("%-32s %14s %14.1f %9s %9s\n", name, "-", n.metric(), "new", "-")
 			continue
 		}
-		delta := 0.0
-		if o.metric() != 0 {
-			delta = (n.metric() - o.metric()) / o.metric()
-		}
 		fmt.Printf("%-32s %14.1f %14.1f %+8.1f%% %+9d\n",
-			name, o.metric(), n.metric(), delta*100, n.AllocsPerOp-o.AllocsPerOp)
-		if *threshold > 0 {
-			// For latency rows a positive delta is a regression; for
-			// higher-is-better quality rows it's a negative one.
-			if n.HigherIsBetter {
-				if delta < -*threshold {
-					regressed = true
-				}
-			} else if delta > *threshold {
-				regressed = true
-			}
+			name, o.metric(), n.metric(), delta(o, n)*100, n.AllocsPerOp-o.AllocsPerOp)
+		if regressed(o, n, *threshold) {
+			anyRegressed = true
 		}
 	}
 	var removed []string
@@ -119,7 +133,7 @@ func main() {
 	for _, name := range removed {
 		fmt.Printf("%-32s %14.1f %14s %9s %9s\n", name, oldRows[name].metric(), "-", "removed", "-")
 	}
-	if regressed {
+	if anyRegressed {
 		fmt.Fprintf(os.Stderr, "benchdiff: regression above %.0f%% threshold\n", *threshold*100)
 		os.Exit(1)
 	}

@@ -1,0 +1,73 @@
+package main
+
+import "testing"
+
+// TestRegressionDirection pins benchdiff's gating logic: latency rows
+// regress when the metric rises, higher-is-better quality rows (F1,
+// fetches avoided, shard speedup) regress when it falls, and movement in
+// the good direction never trips the gate no matter how large.
+func TestRegressionDirection(t *testing.T) {
+	lat := func(ns float64) row { return row{Name: "Pipeline", NsPerOp: ns} }
+	qual := func(v float64) row {
+		return row{Name: "Quality/f1", Value: v, HigherIsBetter: true}
+	}
+	cases := []struct {
+		name      string
+		old, new  row
+		threshold float64
+		want      bool
+	}{
+		{"latency regression", lat(100), lat(120), 0.10, true},
+		{"latency within threshold", lat(100), lat(105), 0.10, false},
+		{"latency improvement never gates", lat(100), lat(10), 0.10, false},
+		{"quality regression", qual(0.90), qual(0.70), 0.10, true},
+		{"quality within threshold", qual(0.90), qual(0.86), 0.10, false},
+		{"quality improvement never gates", qual(0.50), qual(0.99), 0.10, false},
+		{"threshold zero disables gating", lat(100), lat(500), 0, false},
+		{"zero old metric cannot regress", lat(0), lat(500), 0.10, false},
+	}
+	for _, c := range cases {
+		if got := regressed(c.old, c.new, c.threshold); got != c.want {
+			t.Errorf("%s: regressed(old=%.2f, new=%.2f, thr=%.2f) = %v, want %v",
+				c.name, c.old.metric(), c.new.metric(), c.threshold, got, c.want)
+		}
+	}
+}
+
+// TestRegressionDirectionFlip covers a row whose kind changes between
+// baselines — a latency row renamed into a quality row or vice versa.
+// The NEW row's HigherIsBetter flag decides the direction, so the gate
+// judges the row by what it now measures.
+func TestRegressionDirectionFlip(t *testing.T) {
+	// Old row was latency (lower better); new row is quality (higher
+	// better). The metric fell 50%: under the old kind that would be an
+	// improvement, under the new kind it is a regression — and the new
+	// kind must win.
+	oldLat := row{Name: "X", NsPerOp: 100}
+	newQual := row{Name: "X", Value: 50, HigherIsBetter: true}
+	if !regressed(oldLat, newQual, 0.10) {
+		t.Error("metric fell on a now-higher-is-better row: want regression")
+	}
+	// The reverse flip: metric rose on a now-lower-is-better row.
+	oldQual := row{Name: "Y", Value: 100, HigherIsBetter: true}
+	newLat := row{Name: "Y", NsPerOp: 150}
+	if !regressed(oldQual, newLat, 0.10) {
+		t.Error("metric rose on a now-lower-is-better row: want regression")
+	}
+	// And a flip where the movement is good under the new kind.
+	if regressed(row{Name: "Z", NsPerOp: 100}, row{Name: "Z", Value: 200, HigherIsBetter: true}, 0.10) {
+		t.Error("metric rose on a now-higher-is-better row: want no regression")
+	}
+}
+
+// TestMetricPrefersQualityValue pins the join metric: a row carrying a
+// quality value compares on it even when latency fields are also set.
+func TestMetricPrefersQualityValue(t *testing.T) {
+	r := row{NsPerOp: 1000, Value: 0.95}
+	if got := r.metric(); got != 0.95 {
+		t.Errorf("metric() = %v, want the quality value 0.95", got)
+	}
+	if got := (row{NsPerOp: 1000}).metric(); got != 1000 {
+		t.Errorf("metric() = %v, want ns/op 1000", got)
+	}
+}

@@ -46,6 +46,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "training worker pool size; 0 = one per CPU (the trained model is identical at every setting)")
 		queueDepth = flag.Int("queue-depth", 0, "max concurrent live classifications (fetch + score); bursts beyond it queue; 0 = unbounded")
 		cacheSize  = flag.Int("snapshot-cache", 0, "parsed-snapshot LRU capacity; 0 = default, negative disables")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "expire cached verdicts older than this at lookup time (cleaned-up or newly compromised pages get re-scored); 0 = never expire")
 		cascadeStr = flag.String("cascade", "", "tiered cascade: off, on (calibrated thresholds), or benignBelow,phishAbove — confidently triaged URLs are answered from the URL string alone, before any fetch")
 		backend    = flag.String("backend", "http", "how fetches reach the web: http (via -upstream or the real network) or inproc (serve a seeded simulated FWB web in this process; no fwbhost needed)")
 		faultSpec  = flag.String("faults", "", "with -backend inproc, inject chaos into the simulated web: off, default, or a k=v spec (see freephish -faults); exercises the proxy's retry path")
@@ -159,6 +160,10 @@ func main() {
 	}
 	checker := proxy.NewLiveChecker(model, fetcher.Snapshot)
 	checker.SetMaxInFlight(*queueDepth)
+	if *cacheTTL > 0 {
+		checker.SetCacheTTL(*cacheTTL, nil)
+		log.Printf("verdict cache TTL %v: stale verdicts are re-scored on next check", *cacheTTL)
+	}
 	if cascadeOn {
 		log.Printf("training the lexical cascade scorer on %d pairs...", len(train))
 		lex := baselines.NewLexicalScorer(*seed)
@@ -229,6 +234,10 @@ func main() {
 		"Verdicts dropped by the LRU bound.", func() float64 {
 			_, _, evictions, _ := checker.CacheStats()
 			return float64(evictions)
+		})
+	reg.GaugeFunc("freephish_proxy_cache_expired_total",
+		"Cached verdicts dropped by TTL expiry.", func() float64 {
+			return float64(checker.CacheExpired())
 		})
 	if *opsAddr != "" {
 		opts := obs.OpsOptions{Info: info}

@@ -36,6 +36,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "pipeline/training worker pool size; 0 = one per CPU (results identical at every setting)")
 		queueDepth = flag.Int("queue-depth", 0, "streaming pipeline per-stage queue and reorder-window bound; 0 = engine default (results identical at every setting)")
 		backend    = flag.String("backend", core.BackendInproc, "world backend: inproc (in-process dispatch) or http (real loopback servers); results identical either way")
+		shards     = flag.Int("shards", 1, "split the study across N deterministic sub-stream shards, each with its own pipeline and world; records, journal, and stats are byte-identical at every N")
 		faultSpec  = flag.String("faults", "", "chaos profile injected into the world boundary: off, default, or k=v spec (latency=0.1,5xx=0.2,reset=0.05,truncate=0.02,malform=0.02,burst=2,blackout=web:24h:6h); the retry layer absorbs the default profile with byte-identical results")
 		cascade    = flag.String("cascade", "", "tiered classification cascade: off, on (calibrated thresholds), or benignBelow,phishAbove — a fetch-free URL-lexical triage stage short-circuits confident URLs ahead of fetch; 0,1 reproduces the cascade-off study exactly")
 		outPath    = flag.String("out", "", "write the study's records as JSONL to this file")
@@ -56,6 +57,7 @@ func main() {
 	cfg.Workers = *workers
 	cfg.QueueDepth = *queueDepth
 	cfg.Backend = *backend
+	cfg.Shards = *shards
 	cfg.Registry = reg
 	cfg.Journal = *journal != "" || *dash
 	prof, err := faults.ParseProfile(*faultSpec)
@@ -182,7 +184,7 @@ func main() {
 	}
 	fmt.Println()
 
-	fmt.Println(core.RenderStats(fp.Stats))
+	fmt.Println(core.RenderStats(fp.Stats()))
 	fmt.Println(core.RenderSummary(study))
 	fmt.Println(core.RenderTimeline(study))
 	fmt.Println(core.RenderSection3(study))

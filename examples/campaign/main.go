@@ -35,7 +35,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("done in %v wall-clock\n\n", time.Since(start).Round(time.Millisecond))
-	fmt.Println(core.RenderStats(fp.Stats))
+	fmt.Println(core.RenderStats(fp.Stats()))
 
 	// A campaign debrief: the first handful of attacks and their fates.
 	recs := study.Select(analysis.FWBCohort)

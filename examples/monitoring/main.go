@@ -91,7 +91,7 @@ func main() {
 	probes, observedDown, observedListings := 0, 0, 0
 	var worstLag time.Duration
 	for _, r := range study.Records {
-		o := fp.Observations[r.Target.URL]
+		o := fp.Observations()[r.Target.URL]
 		if o == nil {
 			continue
 		}

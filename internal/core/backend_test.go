@@ -63,8 +63,8 @@ func TestCrossBackendEquivalence(t *testing.T) {
 		}
 		return run{
 			jsonl:   buf.Bytes(),
-			stats:   f.Stats,
-			obs:     f.Observations,
+			stats:   f.Stats(),
+			obs:     f.Observations(),
 			table3:  RenderTable3(study),
 			figure5: RenderFigure5(study, 15),
 		}
@@ -102,7 +102,7 @@ func TestCrossBackendEquivalence(t *testing.T) {
 // the simulator packages behind them. New direct imports of the simulated
 // world are architecture regressions even when they compile.
 func TestPipelineFilesFreeOfSimulatorImports(t *testing.T) {
-	pipelineFiles := []string{"core.go", "serve.go", "monitor.go", "verify.go", "metrics.go", "eval.go"}
+	pipelineFiles := []string{"core.go", "serve.go", "monitor.go", "verify.go", "metrics.go", "eval.go", "shard.go"}
 	banned := []string{
 		"freephish/internal/fwb",
 		"freephish/internal/social",
@@ -180,6 +180,78 @@ func TestProductionFilesFreeOfBannedHTTPAndSleep(t *testing.T) {
 			case pkg.Name == "time" && sel.Sel.Name == "Sleep" && !allowSleep[rel]:
 				t.Errorf("%s:%d references time.Sleep: route waits through the retry policy or the sim clock",
 					rel, fset.Position(sel.Pos()).Line)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// studyStateFields are the field names internal/state owns exclusively:
+// Stats counters and Observation findings. The apply points in that
+// package are the only legal writers — a direct mutation anywhere else
+// bypasses the single-writer discipline that makes shard snapshots
+// mergeable.
+var studyStateFields = map[string]bool{
+	"Polls": true, "PostsSeen": true, "URLsScanned": true,
+	"FlaggedFWB": true, "FlaggedSelf": true,
+	"TruePositives": true, "FalsePositives": true, "FalseNegatives": true,
+	"ReportsSent": true, "LexicalBenign": true, "LexicalPhish": true,
+	"HostDownAt": true, "Listings": true, "Probes": true,
+}
+
+// TestStudyStateMutationsConfinedToStateLayer lints every production file
+// repo-wide: no assignment, compound assignment, or ++/-- may target a
+// StudyState-owned field outside internal/state. The field names are
+// distinctive enough that a name match is a real violation, and the lint
+// is what turns the package-doc ownership rule from a convention into a
+// regression test.
+func TestStudyStateMutationsConfinedToStateLayer(t *testing.T) {
+	root := filepath.Join("..", "..")
+	fset := token.NewFileSet()
+	flag := func(rel string, pos token.Pos, field string) {
+		t.Errorf("%s:%d mutates %s directly: only internal/state's apply points may write StudyState fields",
+			rel, fset.Position(pos).Line, field)
+	}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(rel, filepath.Join("internal", "state")+string(filepath.Separator)) {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", rel, err)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && studyStateFields[sel.Sel.Name] {
+						flag(rel, sel.Pos(), sel.Sel.Name)
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, ok := stmt.X.(*ast.SelectorExpr); ok && studyStateFields[sel.Sel.Name] {
+					flag(rel, sel.Pos(), sel.Sel.Name)
+				}
 			}
 			return true
 		})

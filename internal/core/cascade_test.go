@@ -33,7 +33,7 @@ func cascadeRun(t *testing.T, workers, depth int, backend string, prof *faults.P
 	if err := f.Metrics.Journal.WriteJSONL(&jbuf); err != nil {
 		t.Fatal(err)
 	}
-	return rbuf.Bytes(), jbuf.Bytes(), f.Stats
+	return rbuf.Bytes(), jbuf.Bytes(), f.Stats()
 }
 
 func diffCascadeRun(t *testing.T, label string, wantRec, gotRec, wantJournal, gotJournal []byte, wantStats, gotStats Stats) {
@@ -56,6 +56,50 @@ func diffCascadeRun(t *testing.T, label string, wantRec, gotRec, wantJournal, go
 	}
 	diffLines("study", wantRec, gotRec)
 	diffLines("journal", wantJournal, gotJournal)
+}
+
+// TestParseCascade pins the core-level wrapper: off specs map to a nil
+// config (cascade disabled), valid specs map to the parsed thresholds,
+// and every baselines-level parse failure — malformed pair, inverted
+// band, out-of-range threshold — propagates as an error with the core
+// prefix rather than a half-built config.
+func TestParseCascade(t *testing.T) {
+	for _, spec := range []string{"", "off", "none", "false"} {
+		c, err := ParseCascade(spec)
+		if err != nil || c != nil {
+			t.Errorf("ParseCascade(%q) = (%v, %v), want (nil, nil)", spec, c, err)
+		}
+	}
+	c, err := ParseCascade("on")
+	if err != nil || c == nil {
+		t.Fatalf("ParseCascade(on) = (%v, %v)", c, err)
+	}
+	if def := DefaultCascade(); *c != *def {
+		t.Errorf("ParseCascade(on) = %+v, want defaults %+v", c, def)
+	}
+	c, err = ParseCascade("0.25,0.75")
+	if err != nil || c == nil || c.BenignBelow != 0.25 || c.PhishAbove != 0.75 {
+		t.Fatalf("ParseCascade(0.25,0.75) = (%+v, %v)", c, err)
+	}
+	for _, spec := range []string{
+		"0.5",      // missing comma
+		"0.9,0.1",  // inverted band
+		"-0.1,0.9", // below zero
+		"0.1,1.1",  // above one
+		"x,0.9",    // unparsable threshold
+	} {
+		c, err := ParseCascade(spec)
+		if err == nil {
+			t.Errorf("ParseCascade(%q) = %+v, want error", spec, c)
+			continue
+		}
+		if c != nil {
+			t.Errorf("ParseCascade(%q) returned a config alongside the error: %+v", spec, c)
+		}
+		if !strings.HasPrefix(err.Error(), "core: ") {
+			t.Errorf("ParseCascade(%q) error %q lacks the core prefix", spec, err)
+		}
+	}
 }
 
 // TestCascadeDeterminism is the cascade half of the `make verify-cascade`

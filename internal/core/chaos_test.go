@@ -41,8 +41,8 @@ func runChaosStudy(t *testing.T, backend string, prof *faults.Profile) chaosRun 
 	}
 	return chaosRun{
 		jsonl:  buf.Bytes(),
-		stats:  f.Stats,
-		obs:    f.Observations,
+		stats:  f.Stats(),
+		obs:    f.Observations(),
 		table3: RenderTable3(study),
 		fp:     f,
 	}
@@ -172,5 +172,74 @@ func TestBlackoutSurvivedAndObserved(t *testing.T) {
 	}
 	if f.injector.Counts()[faults.KindBlackout] == 0 {
 		t.Fatal("injector recorded no blackout faults")
+	}
+}
+
+// TestClockSkewPerturbsObservationsDeterministically exercises the
+// clock-skew fault end to end: skew is deliberately NOT absorbed by the
+// retry layer (it corrupts the timestamps the monitor records, not the
+// transport), so a skewed study must diverge from the clean one in its
+// observation times — yet stay deterministic per seed, and stay
+// shard-invariant, because skew draws are keyed per URL.
+func TestClockSkewPerturbsObservationsDeterministically(t *testing.T) {
+	runSkewed := func(shards int) chaosRun {
+		cfg := equivalenceConfig(BackendInproc)
+		cfg.Faults = &faults.Profile{SkewP: 0.5, SkewMax: 45 * time.Minute}
+		cfg.Shards = shards
+		f := New(cfg)
+		study, err := f.Run()
+		if err != nil {
+			t.Fatalf("skewed run (shards=%d): %v", shards, err)
+		}
+		var buf bytes.Buffer
+		if err := study.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return chaosRun{jsonl: buf.Bytes(), stats: f.Stats(), obs: f.Observations(), fp: f}
+	}
+
+	clean := runChaosStudy(t, BackendInproc, nil)
+	skewed := runSkewed(1)
+
+	if n := skewed.fp.injector.Counts()[faults.KindClockSkew]; n == 0 {
+		t.Fatal("no clock skew injected; the test is vacuous")
+	}
+	// Records are untouched — skew lands only on monitor timestamps.
+	if !bytes.Equal(clean.jsonl, skewed.jsonl) {
+		t.Fatal("clock skew changed the study records; it must only move observation timestamps")
+	}
+	if reflect.DeepEqual(clean.obs, skewed.obs) {
+		t.Fatal("clock skew left every observation timestamp untouched; the fault never landed")
+	}
+	// Skewed observations stay in the neighborhood of the clean ones.
+	for url, ob := range skewed.obs {
+		want := clean.obs[url]
+		if want == nil {
+			t.Fatalf("skewed run observed %s, clean run did not", url)
+		}
+		if !ob.HostDownAt.IsZero() && !want.HostDownAt.IsZero() {
+			if d := ob.HostDownAt.Sub(want.HostDownAt); d < -45*time.Minute || d > 45*time.Minute {
+				t.Fatalf("%s: HostDownAt skewed by %v, beyond ±45m", url, d)
+			}
+		}
+	}
+
+	// Deterministic per seed: an identical skewed run reproduces the same
+	// skewed observations bit for bit.
+	again := runSkewed(1)
+	if !reflect.DeepEqual(skewed.obs, again.obs) {
+		t.Fatal("skewed observations diverge across identical runs")
+	}
+	// And shard-invariant: per-URL keying means a 4-shard skewed run
+	// lands every skew on the same URL at the same magnitude.
+	sharded := runSkewed(4)
+	if !bytes.Equal(skewed.jsonl, sharded.jsonl) {
+		t.Fatal("skewed records diverge between 1 and 4 shards")
+	}
+	if !reflect.DeepEqual(skewed.obs, sharded.obs) {
+		t.Fatal("skewed observations diverge between 1 and 4 shards")
+	}
+	if skewed.stats != sharded.stats {
+		t.Fatalf("skewed stats diverge between 1 and 4 shards:\n1: %+v\n4: %+v", skewed.stats, sharded.stats)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"freephish/internal/pipe"
 	"freephish/internal/retry"
 	"freephish/internal/simclock"
+	"freephish/internal/state"
 	"freephish/internal/world"
 )
 
@@ -130,6 +131,14 @@ type Config struct {
 	// study stays byte-identical across Workers × QueueDepth × Backend ×
 	// chaos for any fixed threshold pair.
 	Cascade *CascadeConfig
+	// Shards, when > 1, splits the study across N independent sub-streams:
+	// the posting schedule is partitioned by global event ordinal, each
+	// shard runs its own full pipeline (clock, world, servers, pipe
+	// graphs) over its residue class, and the coordinator merges the
+	// shard snapshots (see internal/state) into records, observations,
+	// stats, and a canonical journal byte-identical to the 1-shard run.
+	// 0 and 1 mean an ordinary single-process study.
+	Shards int
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -161,22 +170,14 @@ func (c Config) scaled(n int) int {
 	return v
 }
 
-// Stats are the framework's operational counters.
-type Stats struct {
-	Polls          int
-	PostsSeen      int
-	URLsScanned    int
-	FlaggedFWB     int
-	FlaggedSelf    int
-	TruePositives  int
-	FalsePositives int
-	FalseNegatives int
-	ReportsSent    int
-	// LexicalBenign / LexicalPhish count cascade short-circuits: URLs the
-	// triage tier resolved without a fetch (always 0 with the cascade off).
-	LexicalBenign int
-	LexicalPhish  int
-}
+// Stats are the framework's operational counters. They live in
+// internal/state (the mergeable study-state layer); the alias keeps the
+// historical core.Stats name working for renderers and callers.
+type Stats = state.Stats
+
+// Observation is what the active monitor saw for one URL (aliased from
+// internal/state, which owns all study-state mutation).
+type Observation = state.Observation
 
 // FreePhish is the assembled framework plus its simulated world.
 type FreePhish struct {
@@ -192,17 +193,14 @@ type FreePhish struct {
 	// Lexical is the cascade's URL-only triage scorer, trained alongside
 	// the full models when Config.Cascade is set (nil otherwise).
 	Lexical *baselines.LexicalScorer
-	Study   *analysis.Study
-	Stats   Stats
+	// State is the run's mutable outcome — counters, record set, monitor
+	// observations, and the stream dedup set. Every stateful effect goes
+	// through its apply points (internal/state owns the mutation surface);
+	// read results through the Stats/Study/Observations methods.
+	State *state.StudyState
 	// Metrics is the run's observability surface: every pipeline stage
 	// reports into its registry and tracer (see metrics.go).
 	Metrics *Metrics
-	// Observations holds the active monitor's per-URL findings, keyed by
-	// URL (populated only when Config.MonitorInterval > 0).
-	Observations map[string]*Observation
-	// seenURLs dedups the stream: a URL enters the study at its first
-	// appearance only, no matter how many posts re-share it.
-	seenURLs map[string]bool
 
 	// world is the backend-selected port set the pipeline consumes.
 	world world.World
@@ -230,7 +228,30 @@ type FreePhish struct {
 	// cascade pairs Lexical with Config.Cascade's thresholds (nil when the
 	// cascade is off). Read-only once trained — stage workers share it.
 	cascade *baselines.Cascade
+
+	// Sharding (see shard.go). shardIndex/shardCount partition the posting
+	// schedule when this FreePhish is one shard of a larger study;
+	// sharedModels marks the trained models as borrowed from the
+	// coordinator (so wiring skips their observers — they are shared
+	// read-only across shards); shards retains the completed shard
+	// frameworks so Verify can audit their worlds; shardHook is a test
+	// seam invoked before each shard attempt.
+	shardIndex   int
+	shardCount   int
+	sharedModels bool
+	shards       []*FreePhish
+	shardHook    func(shard, attempt int) error
 }
+
+// Stats returns the run's operational counters.
+func (f *FreePhish) Stats() Stats { return f.State.Stats() }
+
+// Study returns the accumulated analysis record set.
+func (f *FreePhish) Study() *analysis.Study { return f.State.Study() }
+
+// Observations returns the active monitor's per-URL findings, keyed by
+// URL (populated only when Config.MonitorInterval > 0).
+func (f *FreePhish) Observations() map[string]*Observation { return f.State.Observations() }
 
 // New assembles the framework and its world. Call Train before Run, or let
 // Run train lazily.
@@ -249,7 +270,7 @@ func New(cfg Config) *FreePhish {
 		Config: cfg,
 		Clock:  clock,
 		Sim:    world.NewSim(cfg.Seed, cfg.Epoch, clock),
-		Study:  &analysis.Study{},
+		State:  state.New(),
 		listen: defaultListen,
 	}
 	reg := cfg.Registry
@@ -260,8 +281,6 @@ func New(cfg Config) *FreePhish {
 	if cfg.Journal {
 		f.Metrics.Journal = obs.NewJournal(clock.Now, cfg.JournalRing)
 	}
-	f.Observations = make(map[string]*Observation)
-	f.seenURLs = make(map[string]bool)
 	return f
 }
 
@@ -315,8 +334,20 @@ func labeledPages(samples []world.Sample) []baselines.LabeledPage {
 	return out
 }
 
-// Run executes the measurement study and returns the analysis record set.
+// Run executes the measurement study and returns the analysis record
+// set. With Config.Shards > 1 the study fans out across N sub-stream
+// shards and merges their snapshots (see shard.go); either way the
+// returned record set and the journal are in canonical order.
 func (f *FreePhish) Run() (*analysis.Study, error) {
+	if f.Config.Shards > 1 {
+		return f.runSharded()
+	}
+	return f.runLocal()
+}
+
+// runLocal executes the study in this process over this framework's own
+// posting partition (the full schedule unless this FreePhish is a shard).
+func (f *FreePhish) runLocal() (*analysis.Study, error) {
 	f.runStart = time.Now()
 	if f.Model == nil || f.BaseModel == nil {
 		sp := f.Metrics.Tracer.Start("train")
@@ -341,6 +372,8 @@ func (f *FreePhish) Run() (*analysis.Study, error) {
 		Duration:       f.Config.Duration,
 		GrowthExponent: f.Config.GrowthExponent,
 		ReshareRate:    f.Config.ReshareRate,
+		Shard:          f.shardIndex,
+		Shards:         f.shardCount,
 	})
 	var pollErr error
 	var stop func()
@@ -366,7 +399,21 @@ func (f *FreePhish) Run() (*analysis.Study, error) {
 	if pollErr != nil {
 		return nil, pollErr
 	}
-	return f.Study, nil
+	f.finishRun()
+	return f.State.Study(), nil
+}
+
+// finishRun puts the completed study into canonical order: records sort
+// by (classification time, URL) and the journal rebuilds into the
+// canonical (Ord, URL, Seq) sequence. Every successful run — sharded or
+// not — passes through here, which is what makes an N-shard merge
+// byte-identical to the 1-shard output.
+func (f *FreePhish) finishRun() {
+	f.State.SortRecords()
+	if j := f.Metrics.Journal; j != nil {
+		f.Metrics.Journal = obs.RebuildJournal(
+			f.Clock.Now, f.Config.JournalRing, obs.SortCanonical(j.Events()))
+	}
 }
 
 // pollOnce is one streaming-module cycle: poll both platforms, snapshot and
@@ -395,7 +442,7 @@ func (f *FreePhish) pollOnce(now time.Time) (err error) {
 			f.observeProgress(now)
 		}
 	}()
-	f.Stats.Polls++
+	f.State.AddPoll()
 	f.Metrics.Polls.Inc()
 	urls, err := f.world.Stream.Poll(now)
 	if err != nil {
@@ -403,14 +450,13 @@ func (f *FreePhish) pollOnce(now time.Time) (err error) {
 	}
 	var fresh []crawler.StreamedURL
 	for _, su := range urls {
-		f.Stats.PostsSeen++
+		f.State.AddPostSeen()
 		// First appearance wins: reshared URLs are already in the study (or
 		// already rejected) and are not re-fetched.
-		if f.seenURLs[su.URL] {
+		if !f.State.MarkSeen(su.URL) {
 			f.Metrics.URLsDeduped.Inc()
 			continue
 		}
-		f.seenURLs[su.URL] = true
 		fresh = append(fresh, su)
 	}
 	p := pipe.New(context.Background(), pipe.Options{
@@ -610,7 +656,7 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 	if p.status != 200 {
 		return nil
 	}
-	f.Stats.URLsScanned++
+	f.State.AddScanned()
 	if !p.info.Hosted {
 		return nil
 	}
@@ -633,11 +679,7 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 	if !flagged {
 		return nil
 	}
-	if p.info.IsFWB {
-		f.Stats.FlaggedFWB++
-	} else {
-		f.Stats.FlaggedSelf++
-	}
+	f.State.AddFlagged(p.info.IsFWB)
 	return f.admitRecord(p, score, "", now)
 }
 
@@ -647,11 +689,7 @@ func (f *FreePhish) applyProbe(p *probeResult, now time.Time) error {
 // lexical verdict is evaluated, reported, and admitted to the study
 // through exactly the same ordered machinery as a full classification.
 func (f *FreePhish) applyLexical(p *probeResult, now time.Time) error {
-	if p.tier == baselines.TierPhish {
-		f.Stats.LexicalPhish++
-	} else {
-		f.Stats.LexicalBenign++
-	}
+	f.State.AddLexical(p.tier == baselines.TierPhish)
 	if !p.info.Hosted {
 		return nil
 	}
@@ -677,11 +715,7 @@ func (f *FreePhish) applyLexical(p *probeResult, now time.Time) error {
 	if !flagged {
 		return nil
 	}
-	if p.info.IsFWB {
-		f.Stats.FlaggedFWB++
-	} else {
-		f.Stats.FlaggedSelf++
-	}
+	f.State.AddFlagged(p.info.IsFWB)
 	return f.admitRecord(p, p.lexScore, "lexical", now)
 }
 
@@ -752,7 +786,7 @@ func (f *FreePhish) admitRecord(p *probeResult, score float64, tier string, now 
 	}
 	recipient := "hosting-provider"
 	if target.IsFWB() {
-		f.Stats.ReportsSent++
+		f.State.AddReportSent()
 		recipient = target.Service.Name
 	}
 	f.Metrics.Reports.With(recipient).Inc()
@@ -780,7 +814,7 @@ func (f *FreePhish) admitRecord(p *probeResult, score float64, tier string, now 
 			j.Record(su.URL, obs.EvTakedown, outcome.RemovedAt, "via", "host")
 		}
 	}
-	f.Study.Add(rec)
+	f.State.AddRecord(rec)
 	f.Metrics.Records.Inc()
 	if f.Config.MonitorInterval > 0 {
 		f.scheduleMonitor(rec)

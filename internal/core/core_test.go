@@ -43,18 +43,18 @@ func TestEndToEndStudyProducesRecords(t *testing.T) {
 	f, study := runSmall(t)
 	nFWB := len(study.Select(analysis.FWBCohort))
 	nSelf := len(study.Select(analysis.SelfHostedCohort))
-	t.Logf("records: FWB=%d self=%d stats=%+v", nFWB, nSelf, f.Stats)
+	t.Logf("records: FWB=%d self=%d stats=%+v", nFWB, nSelf, f.Stats())
 	if nFWB < 400 {
 		t.Fatalf("FWB records = %d, want most of ~628 flagged", nFWB)
 	}
 	if nSelf < 400 {
 		t.Fatalf("self-hosted records = %d, want most of ~628 flagged", nSelf)
 	}
-	if f.Stats.Polls < 1000 {
-		t.Fatalf("polls = %d, want ~26k 10-minute cycles", f.Stats.Polls)
+	if f.Stats().Polls < 1000 {
+		t.Fatalf("polls = %d, want ~26k 10-minute cycles", f.Stats().Polls)
 	}
 	// Zero-day classifier quality (paper: 97% accuracy).
-	tp, fp, fn := f.Stats.TruePositives, f.Stats.FalsePositives, f.Stats.FalseNegatives
+	tp, fp, fn := f.Stats().TruePositives, f.Stats().FalsePositives, f.Stats().FalseNegatives
 	prec := float64(tp) / float64(tp+fp)
 	rec := float64(tp) / float64(tp+fn)
 	if prec < 0.9 || rec < 0.9 {
@@ -164,7 +164,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 		"figure9":   RenderFigure9(study),
 		"section3":  RenderSection3(study),
 		"section55": RenderSection55(study),
-		"stats":     RenderStats(f.Stats),
+		"stats":     RenderStats(f.Stats()),
 	} {
 		if len(out) < 80 || !strings.Contains(out, "\n") {
 			t.Errorf("%s renderer output too small:\n%s", name, out)
@@ -265,12 +265,12 @@ func TestActiveMonitorObservationsMatchSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(f.Observations) != len(study.Records) {
-		t.Fatalf("observations = %d, records = %d", len(f.Observations), len(study.Records))
+	if len(f.Observations()) != len(study.Records) {
+		t.Fatalf("observations = %d, records = %d", len(f.Observations()), len(study.Records))
 	}
 	var checkedDown, checkedListed int
 	for _, r := range study.Records {
-		obs := f.Observations[r.Target.URL]
+		obs := f.Observations()[r.Target.URL]
 		if obs == nil || obs.Probes == 0 {
 			t.Fatal("record without monitor probes")
 		}
@@ -321,9 +321,9 @@ func TestResharesDoNotDuplicateRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.Stats.PostsSeen <= f.Stats.URLsScanned {
+	if f.Stats().PostsSeen <= f.Stats().URLsScanned {
 		t.Fatalf("posts=%d scanned=%d: reshares should outnumber unique scans",
-			f.Stats.PostsSeen, f.Stats.URLsScanned)
+			f.Stats().PostsSeen, f.Stats().URLsScanned)
 	}
 	seen := map[string]bool{}
 	for _, r := range study.Records {
@@ -496,7 +496,7 @@ func TestStudyVerifyInvariants(t *testing.T) {
 		t.Fatalf("study violates invariants: %v", err)
 	}
 	// Corrupt a record and confirm Verify catches it.
-	r := f.Study.Records[0]
+	r := f.Study().Records[0]
 	saved := r.Target.SharedAt
 	r.Target.SharedAt = f.Config.Epoch.Add(-time.Hour)
 	if err := f.Verify(); err == nil {

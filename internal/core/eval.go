@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"freephish/internal/state"
 	"freephish/internal/world"
 )
 
@@ -14,7 +15,7 @@ import (
 // runs without it.
 type evaluator struct {
 	oracle  world.Oracle
-	stats   *Stats
+	state   *state.StudyState
 	metrics *Metrics
 }
 
@@ -25,19 +26,19 @@ func (e *evaluator) observe(url, cohort string, flagged bool) error {
 	if err != nil {
 		return fmt.Errorf("core: oracle truth %q: %w", url, err)
 	}
+	var kind string
 	switch {
 	case flagged && truth.Malicious:
-		e.stats.TruePositives++
-		e.metrics.Decisions.With(cohort, "tp").Inc()
+		kind = "tp"
 	case flagged && !truth.Malicious:
-		e.stats.FalsePositives++
-		e.metrics.Decisions.With(cohort, "fp").Inc()
+		kind = "fp"
 	case !flagged && truth.Malicious:
-		e.stats.FalseNegatives++
-		e.metrics.Decisions.With(cohort, "fn").Inc()
+		kind = "fn"
 	default:
-		e.metrics.Decisions.With(cohort, "tn").Inc()
+		kind = "tn"
 	}
+	e.state.AddDecision(kind)
+	e.metrics.Decisions.With(cohort, kind).Inc()
 	// Free the page body: nothing re-fetches a processed site, and the
 	// full-scale study would otherwise hold ~100k page bodies in memory.
 	if err := e.oracle.Release(url); err != nil {

@@ -227,16 +227,22 @@ func (f *FreePhish) wireMetrics() {
 			}
 		}
 	}
-	stageObs := func(stage string, d time.Duration) {
-		switch stage {
-		case "extract":
-			m.ExtractSeconds.Observe(d.Seconds())
-		case "infer":
-			m.InferSeconds.Observe(d.Seconds())
+	// Shards borrow the coordinator's trained models read-only; installing
+	// this shard's observer on them would race with its siblings (and
+	// misattribute timings), so only a framework that owns its models
+	// instruments them.
+	if !f.sharedModels {
+		stageObs := func(stage string, d time.Duration) {
+			switch stage {
+			case "extract":
+				m.ExtractSeconds.Observe(d.Seconds())
+			case "infer":
+				m.InferSeconds.Observe(d.Seconds())
+			}
 		}
+		f.Model.SetObserver(stageObs)
+		f.BaseModel.SetObserver(stageObs)
 	}
-	f.Model.SetObserver(stageObs)
-	f.BaseModel.SetObserver(stageObs)
 	if f.snapCache != nil {
 		c := f.snapCache
 		f.Metrics.Registry.GaugeFunc("freephish_snapshot_cache_hits_total",
@@ -323,15 +329,16 @@ func (f *FreePhish) observeProgress(now time.Time) {
 	if f.Config.Progress == nil && f.Config.Logger == nil {
 		return
 	}
+	st := f.State.Stats()
 	ev := ProgressEvent{
 		SimTime:     now,
 		Wall:        time.Since(f.runStart),
-		Polls:       f.Stats.Polls,
-		PostsSeen:   f.Stats.PostsSeen,
-		URLsScanned: f.Stats.URLsScanned,
-		Flagged:     f.Stats.FlaggedFWB + f.Stats.FlaggedSelf,
-		Reports:     f.Stats.ReportsSent,
-		Records:     len(f.Study.Records),
+		Polls:       st.Polls,
+		PostsSeen:   st.PostsSeen,
+		URLsScanned: st.URLsScanned,
+		Flagged:     st.FlaggedFWB + st.FlaggedSelf,
+		Reports:     st.ReportsSent,
+		Records:     len(f.State.Records()),
 	}
 	if f.Config.Duration > 0 {
 		ev.Frac = float64(now.Sub(f.Config.Epoch)) / float64(f.Config.Duration)
@@ -351,7 +358,7 @@ func (f *FreePhish) observeProgress(now time.Time) {
 				every = 1
 			}
 		}
-		if f.Stats.Polls%every == 0 {
+		if st.Polls%every == 0 {
 			f.Config.Logger.LogAttrs(context.Background(), slog.LevelInfo, "poll cycle",
 				slog.Time("sim_time", now),
 				slog.Float64("frac_done", ev.Frac),

@@ -52,11 +52,11 @@ func TestRunPopulatesMetrics(t *testing.T) {
 	if got, want := reg.Value("freephish_study_records_total"), float64(len(study.Records)); got != want {
 		t.Errorf("records counter = %v, want %v", got, want)
 	}
-	if got, want := reg.Value("freephish_polls_total"), float64(fp.Stats.Polls); got != want {
+	if got, want := reg.Value("freephish_polls_total"), float64(fp.Stats().Polls); got != want {
 		t.Errorf("polls counter = %v, want Stats.Polls = %v", got, want)
 	}
-	if progressCalls != fp.Stats.Polls {
-		t.Errorf("progress fired %d times, want one per poll (%d)", progressCalls, fp.Stats.Polls)
+	if progressCalls != fp.Stats().Polls {
+		t.Errorf("progress fired %d times, want one per poll (%d)", progressCalls, fp.Stats().Polls)
 	}
 
 	// The Prometheus exposition must cover every pipeline stage family.
@@ -114,11 +114,11 @@ func TestRunPopulatesMetrics(t *testing.T) {
 			decided += s.Value
 		}
 	}
-	if int(decided) != fp.Stats.URLsScanned {
+	if int(decided) != fp.Stats().URLsScanned {
 		// Every scanned URL that resolved to a hosted site is classified;
 		// allow for lookups that missed (site == nil).
-		if int(decided) > fp.Stats.URLsScanned {
-			t.Errorf("decisions %v > scanned %d", decided, fp.Stats.URLsScanned)
+		if int(decided) > fp.Stats().URLsScanned {
+			t.Errorf("decisions %v > scanned %d", decided, fp.Stats().URLsScanned)
 		}
 	}
 }

@@ -30,20 +30,21 @@ import (
 // MonitorHorizon is how long each URL stays under observation.
 const MonitorHorizon = 7 * 24 * time.Hour
 
-// Observation is what the active monitor saw for one URL.
-type Observation struct {
-	// HostDownAt is when a probe first returned a non-200 status.
-	HostDownAt time.Time
-	// Listings maps entity name to when a feed lookup first matched.
-	Listings map[string]time.Time
-	// Probes counts monitor cycles executed.
-	Probes int
+// skewed applies the chaos injector's clock-skew fault to a timestamp
+// the monitor is about to consume: a skewed endpoint reports event times
+// shifted by a seeded, bounded offset (see faults.Injector.ClockSkew).
+// With chaos off — or with the default profile, whose skew rate is
+// zero — the timestamp passes through untouched.
+func (f *FreePhish) skewed(endpoint, url string, at time.Time) time.Time {
+	if f.injector == nil {
+		return at
+	}
+	return at.Add(f.injector.ClockSkew(endpoint, url))
 }
 
 // scheduleMonitor registers rec for periodic re-checking.
 func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
-	ob := &Observation{Listings: make(map[string]time.Time)}
-	f.Observations[rec.Target.URL] = ob
+	ob := f.State.StartObservation(rec.Target.URL)
 	// The backends agree on the feed set but not its order (the http
 	// client sorts, the sim keeps assessment order). The observations are
 	// order-agnostic maps, but the journal's listed events are not — sort
@@ -56,7 +57,7 @@ func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
 	var stop func()
 	stop = f.Clock.Every(f.Config.MonitorInterval, until, "freephish.monitor", func(now time.Time) {
 		sp := f.Metrics.Tracer.Start("monitor")
-		ob.Probes++
+		ob.MarkProbe()
 		f.Metrics.MonitorProbes.Inc()
 		// Fan the tick's still-pending checks — the live HTTP probe (feed
 		// "") plus one lookup per unlisted blocklist — through the streaming
@@ -99,16 +100,18 @@ func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
 			case !hit:
 				done = false // still up / not yet listed: keep observing
 			case c.feed == "":
-				ob.HostDownAt = now
+				at := f.skewed("monitor.probe", rec.Target.URL, now)
+				ob.MarkHostDown(at)
 				f.Metrics.MonitorHostDown.Inc()
 				if j != nil {
-					j.Record(rec.Target.URL, obs.EvHostDown, now)
+					j.Record(rec.Target.URL, obs.EvHostDown, at)
 				}
 			default:
-				ob.Listings[c.feed] = now
+				at := f.skewed("feed."+c.feed, rec.Target.URL, now)
+				ob.MarkListed(c.feed, at)
 				f.Metrics.MonitorListings.With(c.feed).Inc()
 				if j != nil {
-					j.Record(rec.Target.URL, obs.EvListed, now, "entity", c.feed)
+					j.Record(rec.Target.URL, obs.EvListed, at, "entity", c.feed)
 				}
 			}
 			return nil

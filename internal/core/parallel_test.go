@@ -27,15 +27,15 @@ func TestStudyDeterminismParallel(t *testing.T) {
 	seqF, seqOut := run(1)
 	parF, parOut := run(8)
 
-	if len(seqF.Study.Records) == 0 {
+	if len(seqF.Study().Records) == 0 {
 		t.Fatal("sequential study produced no records; determinism check is vacuous")
 	}
-	if len(seqF.Study.Records) != len(parF.Study.Records) {
+	if len(seqF.Study().Records) != len(parF.Study().Records) {
 		t.Fatalf("record counts diverge: workers=1 → %d, workers=8 → %d",
-			len(seqF.Study.Records), len(parF.Study.Records))
+			len(seqF.Study().Records), len(parF.Study().Records))
 	}
-	if !reflect.DeepEqual(seqF.Stats, parF.Stats) {
-		t.Fatalf("stats diverge:\nworkers=1: %+v\nworkers=8: %+v", seqF.Stats, parF.Stats)
+	if !reflect.DeepEqual(seqF.Stats(), parF.Stats()) {
+		t.Fatalf("stats diverge:\nworkers=1: %+v\nworkers=8: %+v", seqF.Stats(), parF.Stats())
 	}
 	if seqOut != parOut {
 		t.Fatalf("rendered study diverges between worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
@@ -43,8 +43,8 @@ func TestStudyDeterminismParallel(t *testing.T) {
 	}
 	// Per-record spot check beyond the aggregate renders: URL order and
 	// classifier scores must match exactly.
-	for i := range seqF.Study.Records {
-		a, b := seqF.Study.Records[i], parF.Study.Records[i]
+	for i := range seqF.Study().Records {
+		a, b := seqF.Study().Records[i], parF.Study().Records[i]
 		if a.Target.URL != b.Target.URL || a.ClassifierScore != b.ClassifierScore {
 			t.Fatalf("record %d diverges: %q score=%v vs %q score=%v",
 				i, a.Target.URL, a.ClassifierScore, b.Target.URL, b.ClassifierScore)

@@ -151,7 +151,7 @@ func (f *FreePhish) startInproc() error {
 		f.Metrics.Journal)
 	f.world.Stream = f.wrapStream(f.poller)
 	f.world.Snap = f.fetcher
-	f.eval = &evaluator{oracle: f.world.Oracle, stats: &f.Stats, metrics: f.Metrics}
+	f.eval = &evaluator{oracle: f.world.Oracle, state: f.State, metrics: f.Metrics}
 	f.wireMetrics()
 	return nil
 }
@@ -198,7 +198,7 @@ func (f *FreePhish) startHTTP() error {
 	}), f.Metrics.Journal)
 	f.world.Stream = f.wrapStream(f.poller)
 	f.world.Snap = f.fetcher
-	f.eval = &evaluator{oracle: f.world.Oracle, stats: &f.Stats, metrics: f.Metrics}
+	f.eval = &evaluator{oracle: f.world.Oracle, state: f.State, metrics: f.Metrics}
 	f.wireMetrics()
 	return nil
 }

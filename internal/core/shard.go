@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"freephish/internal/analysis"
+	"freephish/internal/obs"
+	"freephish/internal/par"
+	"freephish/internal/state"
+)
+
+// Sharded execution. With Config.Shards = N > 1, the coordinator trains
+// the models once, then fans the study out over N child frameworks. Each
+// child is a complete FreePhish — its own clock, simulated world,
+// loopback servers (on the http backend), pipe graphs, retry policy, and
+// chaos injector — that runs the full poll schedule over one residue
+// class of the posting schedule's global event ordinals. Partitioning is
+// sound because every stateful draw in the world is keyed: posting
+// events draw from per-ordinal RNG streams, assessments and reporting
+// from per-URL streams, so an event produces identical outcomes no
+// matter which shard executes it. The coordinator merges the shards'
+// state snapshots (internal/state) and rebuilds the canonical journal —
+// records, journal, and stats are byte-identical to the 1-shard run.
+
+// shardAttempts is how many times the coordinator re-runs a failed
+// shard before giving up. A shard re-run is exact: the sub-stream is a
+// pure function of (seed, shard index), so a fresh child replays the
+// identical schedule.
+const shardAttempts = 3
+
+// runSharded is Run's coordinator path (Config.Shards > 1).
+func (f *FreePhish) runSharded() (*analysis.Study, error) {
+	f.runStart = time.Now()
+	if f.Model == nil || f.BaseModel == nil {
+		sp := f.Metrics.Tracer.Start("train")
+		err := f.Train()
+		sp.EndErr(err)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := f.Config.Shards
+	shards := make([]*FreePhish, n)
+	snaps, err := par.MapOrdered(n, make([]struct{}, n),
+		func(i int, _ struct{}) (*state.Snapshot, error) {
+			snap, child, err := f.runShard(i)
+			shards[i] = child
+			return snap, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	f.shards = shards
+	merged := state.Merge(snaps...)
+	f.State.Restore(merged)
+	if f.Metrics.Journal != nil {
+		f.Metrics.Journal = obs.RebuildJournal(
+			f.Clock.Now, f.Config.JournalRing, merged.Events)
+	}
+	return f.State.Study(), nil
+}
+
+// runShard drives shard i to completion, retrying a failed attempt with
+// a fresh child (coordinator-level retry: a shard's sub-stream replays
+// exactly from its seed, so a transient failure — a lost listener, an
+// injected fault that escaped the retry layer — costs one shard re-run,
+// not the whole study).
+func (f *FreePhish) runShard(i int) (*state.Snapshot, *FreePhish, error) {
+	var lastErr error
+	for attempt := 0; attempt < shardAttempts; attempt++ {
+		child := f.newShard(i)
+		if f.shardHook != nil {
+			if err := f.shardHook(i, attempt); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if _, err := child.Run(); err != nil {
+			lastErr = err
+			continue
+		}
+		var events []obs.Event
+		if j := child.Metrics.Journal; j != nil {
+			events = j.Events()
+		}
+		return child.State.Snapshot(events), child, nil
+	}
+	return nil, nil, fmt.Errorf("core: shard %d/%d failed after %d attempts: %w",
+		i, f.Config.Shards, shardAttempts, lastErr)
+}
+
+// newShard builds the child framework for shard i. The child shares the
+// coordinator's trained models read-only (sharedModels suppresses
+// observer installation — see wireMetrics) and keeps everything else
+// private: its own registry (so concurrent shards never collide on
+// metric families), no progress or log hooks (the coordinator owns
+// narration), and Shards reset to 1 so the child takes the local path.
+func (f *FreePhish) newShard(i int) *FreePhish {
+	cfg := f.Config
+	cfg.Shards = 1
+	cfg.Registry = nil
+	cfg.Progress = nil
+	cfg.Logger = nil
+	child := New(cfg)
+	child.shardIndex = i
+	child.shardCount = f.Config.Shards
+	child.sharedModels = true
+	child.Model = f.Model
+	child.BaseModel = f.BaseModel
+	child.Lexical = f.Lexical
+	child.cascade = f.cascade
+	return child
+}

@@ -53,8 +53,8 @@ func TestRunEndsImmediatelyOnPollError(t *testing.T) {
 	if fs.polls != failAt {
 		t.Fatalf("stream polled %d times after the failure at poll %d; the subscription must be cancelled", fs.polls, failAt)
 	}
-	if f.Stats.Polls != failAt {
-		t.Fatalf("Stats.Polls = %d, want %d", f.Stats.Polls, failAt)
+	if f.Stats().Polls != failAt {
+		t.Fatalf("Stats.Polls = %d, want %d", f.Stats().Polls, failAt)
 	}
 	// The clock halted at the failing cycle, not at the end of the window
 	// (let alone the 7-day observation tail).
@@ -103,7 +103,7 @@ func TestStudyDeterminismAcrossQueueDepths(t *testing.T) {
 		if err := study.WriteJSONL(&buf); err != nil {
 			t.Fatal(err)
 		}
-		return buf.Bytes(), f.Stats
+		return buf.Bytes(), f.Stats()
 	}
 	compare := func(label string, wantJSONL, gotJSONL []byte, wantStats, gotStats Stats) {
 		t.Helper()

@@ -9,19 +9,25 @@ import (
 )
 
 // Verify runs internal-consistency checks over a completed study — the
-// invariants every valid run must satisfy regardless of seed, scale, or
-// backend. The end-to-end tests call it, and cmd/freephish can surface
-// violations instead of silently printing corrupt tables.
+// invariants every valid run must satisfy regardless of seed, scale,
+// backend, or shard count. The end-to-end tests call it, and
+// cmd/freephish can surface violations instead of silently printing
+// corrupt tables.
 //
 // Verification is a harness-side audit, so it always inspects the Sim
 // through a fresh in-process port view: by the time Verify runs the http
 // backend's servers are already down, and the audit must see the world's
-// final state directly.
+// final state directly. A sharded study has one world per shard — each
+// record's post and site live in exactly one of them — so the audit
+// probes every shard's view until it finds the record's home.
 func (f *FreePhish) Verify() error {
-	w := world.Inproc(f.Sim)
+	views := []world.World{world.Inproc(f.Sim)}
+	for _, sh := range f.shards {
+		views = append(views, world.Inproc(sh.Sim))
+	}
 	seen := map[string]bool{}
 	horizonEnd := f.Config.Epoch.Add(f.Config.Duration + 7*24*time.Hour)
-	for i, r := range f.Study.Records {
+	for i, r := range f.State.Records() {
 		t := r.Target
 		if t == nil {
 			return fmt.Errorf("record %d: nil target", i)
@@ -33,16 +39,32 @@ func (f *FreePhish) Verify() error {
 		if t.SharedAt.Before(f.Config.Epoch) || t.SharedAt.After(horizonEnd) {
 			return fmt.Errorf("record %d: share time %v outside the window", i, t.SharedAt)
 		}
-		// Every record must reference a live post and a hosted site.
-		post, err := w.Platform.LookupPost(t.Platform, t.PostID)
-		if err != nil {
-			return fmt.Errorf("record %d: unknown platform %q", i, t.Platform)
+		// Every record must reference a live post and a hosted site, in
+		// whichever shard's world published it. The platform must exist in
+		// every view; a post missing from one view just means another
+		// shard owns the URL, so the audit probes each in turn.
+		var post world.PostStatus
+		for _, w := range views {
+			p, err := w.Platform.LookupPost(t.Platform, t.PostID)
+			if err != nil {
+				return fmt.Errorf("record %d: unknown platform %q", i, t.Platform)
+			}
+			if p.Exists {
+				post = p
+				break
+			}
 		}
 		if !post.Exists {
 			return fmt.Errorf("record %d: post %q not on %s", i, t.PostID, t.Platform)
 		}
-		info, err := w.Intel.Resolve(t.URL)
-		if err != nil || !info.Hosted {
+		hosted := false
+		for _, w := range views {
+			if info, err := w.Intel.Resolve(t.URL); err == nil && info.Hosted {
+				hosted = true
+				break
+			}
+		}
+		if !hosted {
 			return fmt.Errorf("record %d: site %q not hosted", i, t.URL)
 		}
 		// Event ordering: nothing happens before the share.
@@ -81,8 +103,9 @@ func (f *FreePhish) Verify() error {
 	}
 	// Cohort sanity: both cohorts must exist for the comparisons to mean
 	// anything.
-	if len(f.Study.Select(analysis.FWBCohort)) == 0 || len(f.Study.Select(analysis.SelfHostedCohort)) == 0 {
-		return fmt.Errorf("study missing a cohort: %d records", len(f.Study.Records))
+	study := f.State.Study()
+	if len(study.Select(analysis.FWBCohort)) == 0 || len(study.Select(analysis.SelfHostedCohort)) == 0 {
+		return fmt.Errorf("study missing a cohort: %d records", len(study.Records))
 	}
 	return nil
 }

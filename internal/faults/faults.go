@@ -46,6 +46,7 @@ const (
 	KindTruncate  = "truncate"
 	KindMalform   = "malform"
 	KindBlackout  = "blackout"
+	KindClockSkew = "clock_skew"
 )
 
 // Profile configures fault intensities. Probabilities are per request in
@@ -65,6 +66,15 @@ type Profile struct {
 	// MalformP prefixes the body with JSON-breaking garbage (GETs on
 	// JSON endpoints only).
 	MalformP float64
+	// SkewP makes an endpoint report timestamps shifted by a seeded
+	// offset uniform in [-SkewMax, +SkewMax] — the clock-skew fault the
+	// active monitor consumes (a feed whose wall clock drifts reports
+	// listing times that disagree with the simulation clock). Zero in
+	// the default profile: skew perturbs observed timestamps, so it is
+	// deliberately NOT byte-transparent the way the transient faults
+	// are.
+	SkewP   float64
+	SkewMax time.Duration
 	// MaxConsecutive caps a key's fault burst; <= 0 means 2. Keep it
 	// below the retry budget or chaos stops being transparent.
 	MaxConsecutive int
@@ -102,7 +112,7 @@ func DefaultProfile() Profile {
 // other value is a comma-separated k=v spec starting from a zero profile
 // (burst cap still defaults to 2):
 //
-//	latency=0.1,latency-max=5ms,5xx=0.2,reset=0.05,truncate=0.02,malform=0.02,burst=2,blackout=web:24h:6h
+//	latency=0.1,latency-max=5ms,5xx=0.2,reset=0.05,truncate=0.02,malform=0.02,skew=0.1,skew-max=30m,burst=2,blackout=web:24h:6h
 func ParseProfile(spec string) (*Profile, error) {
 	switch strings.TrimSpace(spec) {
 	case "", "off", "none":
@@ -131,6 +141,10 @@ func ParseProfile(spec string) (*Profile, error) {
 			p.TruncateP, err = strconv.ParseFloat(v, 64)
 		case "malform":
 			p.MalformP, err = strconv.ParseFloat(v, 64)
+		case "skew":
+			p.SkewP, err = strconv.ParseFloat(v, 64)
+		case "skew-max":
+			p.SkewMax, err = time.ParseDuration(v)
 		case "burst":
 			p.MaxConsecutive, err = strconv.Atoi(v)
 		case "blackout":
@@ -146,6 +160,9 @@ func ParseProfile(spec string) (*Profile, error) {
 	}
 	if p.LatencyP > 0 && p.LatencyMax <= 0 {
 		p.LatencyMax = 2 * time.Millisecond
+	}
+	if p.SkewP > 0 && p.SkewMax <= 0 {
+		p.SkewMax = 30 * time.Minute
 	}
 	return &p, nil
 }
@@ -317,6 +334,40 @@ func unitAt(seed int64, key string, n, fold uint64) float64 {
 	binary.LittleEndian.PutUint64(b[16:], fold)
 	h.Write(b[:])
 	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// ClockSkew returns the seeded clock-skew offset for one timestamp the
+// caller is about to consume from endpoint, or zero when the skew fault
+// does not fire. Decisions hash (seed, key, per-key ordinal) exactly
+// like decide — per-key ordinals make the schedule independent of other
+// keys' traffic, so a sharded study observes the same skews as a
+// single-process run — and each fired skew is counted and reported
+// through Observe as KindClockSkew.
+func (i *Injector) ClockSkew(endpoint, key string) time.Duration {
+	if i.prof.SkewP <= 0 || i.prof.SkewMax <= 0 {
+		return 0
+	}
+	sk := "skew|" + key
+	i.mu.Lock()
+	st := i.streak[sk]
+	if st == nil {
+		st = &keyState{}
+		i.streak[sk] = st
+	}
+	n := st.n
+	st.n++
+	if unitAt(i.seed, sk, n, 3) >= i.prof.SkewP {
+		i.mu.Unlock()
+		return 0
+	}
+	d := time.Duration((unitAt(i.seed, sk, n, 4)*2 - 1) * float64(i.prof.SkewMax))
+	i.counts[KindClockSkew]++
+	obs := i.Observe
+	i.mu.Unlock()
+	if obs != nil {
+		obs(KindClockSkew, endpoint, key)
+	}
+	return d
 }
 
 // PortFault decides whether one world-port call fails, using the

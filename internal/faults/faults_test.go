@@ -308,3 +308,122 @@ func TestHandlerTransportFaultParity(t *testing.T) {
 		t.Fatalf("read of truncated inproc body = %v, want io.ErrUnexpectedEOF", err)
 	}
 }
+
+// TestClockSkewDeterministicAndBounded pins the clock-skew fault: for a
+// fixed (seed, key) the skew sequence replays exactly, every draw stays
+// within ±SkewMax, the firing rate tracks SkewP, and each firing bumps
+// the counter and the Observe hook with KindClockSkew.
+func TestClockSkewDeterministic(t *testing.T) {
+	prof := Profile{SkewP: 0.3, SkewMax: 30 * time.Minute}
+	draw := func() []time.Duration {
+		inj := NewInjector(42, prof)
+		out := make([]time.Duration, 200)
+		for i := range out {
+			out[i] = inj.ClockSkew("monitor.probe", "http://x.weebly.com")
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverges across replays: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < -prof.SkewMax || a[i] > prof.SkewMax {
+			t.Fatalf("draw %d = %v exceeds ±%v", i, a[i], prof.SkewMax)
+		}
+		if a[i] != 0 {
+			fired++
+		}
+	}
+	if fired < 30 || fired > 90 {
+		t.Fatalf("skew fired %d/200 times at p=0.3; schedule is miscalibrated", fired)
+	}
+
+	inj := NewInjector(42, prof)
+	var observed uint64
+	inj.Observe = func(kind, endpoint, key string) {
+		if kind != KindClockSkew {
+			t.Fatalf("observed kind %q, want %q", kind, KindClockSkew)
+		}
+		if endpoint != "feed.gsb" || key != "http://y.weebly.com" {
+			t.Fatalf("observed (%q, %q)", endpoint, key)
+		}
+		observed++
+	}
+	for i := 0; i < 200; i++ {
+		inj.ClockSkew("feed.gsb", "http://y.weebly.com")
+	}
+	if got := inj.Counts()[KindClockSkew]; got == 0 || got != observed {
+		t.Fatalf("counter = %d, observe hook fired %d times; want equal and > 0", got, observed)
+	}
+}
+
+// TestClockSkewKeyedPerURL pins the shard-invariance property: the skew
+// an endpoint sees for a URL depends only on (seed, URL, per-URL draw
+// ordinal) — never on which other URLs were probed in between — so a
+// shard probing a subset of URLs replays the same skew schedule the
+// 1-shard run produced for them.
+func TestClockSkewKeyedPerURL(t *testing.T) {
+	prof := Profile{SkewP: 0.5, SkewMax: time.Hour}
+	solo := NewInjector(7, prof)
+	var want []time.Duration
+	for i := 0; i < 50; i++ {
+		want = append(want, solo.ClockSkew("monitor.probe", "http://a.weebly.com"))
+	}
+	interleaved := NewInjector(7, prof)
+	var got []time.Duration
+	for i := 0; i < 50; i++ {
+		got = append(got, interleaved.ClockSkew("monitor.probe", "http://a.weebly.com"))
+		interleaved.ClockSkew("monitor.probe", "http://other.wixsite.com")
+		interleaved.ClockSkew("feed.gsb", "http://third.weebly.com")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d for a.weebly.com changed when other URLs interleaved: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestClockSkewOffByDefault pins the compatibility contract: the default
+// chaos profile injects no skew (skew perturbs observation timestamps,
+// which would break the chaos byte-identity gate), and a zero-probability
+// profile never draws.
+func TestClockSkewOffByDefault(t *testing.T) {
+	if p := DefaultProfile(); p.SkewP != 0 {
+		t.Fatalf("DefaultProfile().SkewP = %v, want 0 (skew is opt-in)", p.SkewP)
+	}
+	inj := NewInjector(1, DefaultProfile())
+	for i := 0; i < 100; i++ {
+		if d := inj.ClockSkew("monitor.probe", "http://x.weebly.com"); d != 0 {
+			t.Fatalf("default profile skewed by %v", d)
+		}
+	}
+	if inj.Counts()[KindClockSkew] != 0 {
+		t.Fatalf("default profile counted %d skews", inj.Counts()[KindClockSkew])
+	}
+}
+
+// TestParseProfileSkew covers the skew flag grammar: explicit keys, the
+// 30-minute default magnitude, and rejection of malformed values.
+func TestParseProfileSkew(t *testing.T) {
+	p, err := ParseProfile("skew=0.2,skew-max=10m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SkewP != 0.2 || p.SkewMax != 10*time.Minute {
+		t.Fatalf("parsed profile = %+v", p)
+	}
+	p, err = ParseProfile("skew=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SkewMax != 30*time.Minute {
+		t.Fatalf("skew without skew-max defaulted to %v, want 30m", p.SkewMax)
+	}
+	for _, bad := range []string{"skew=x", "skew-max=x"} {
+		if _, err := ParseProfile(bad); err == nil {
+			t.Fatalf("ParseProfile(%q) should fail", bad)
+		}
+	}
+}

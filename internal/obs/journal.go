@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -67,16 +68,21 @@ const (
 
 // Event is one journal entry. Seq orders events within their class; Sim
 // is the virtual-clock timestamp the event describes (for EvPosted that
-// is the share time, which may precede the observation instant); Wall is
-// the wall-clock instant the event was recorded. Wall is an operational
-// annotation only — it is excluded from the canonical JSONL, because two
-// runs of the same seed never share wall timestamps.
+// is the share time, which may precede the observation instant); Ord is
+// the virtual-clock instant the event was RECORDED (the poll cycle or
+// monitor tick it belongs to) — the primary key of the canonical order
+// (see SortCanonical); Wall is the wall-clock instant the event was
+// recorded. Ord and Wall are both excluded from the canonical JSONL:
+// Ord is recoverable only in-process (events read back through
+// ReadJournal carry a zero Ord and are already in canonical order),
+// and two runs of the same seed never share wall timestamps.
 type Event struct {
 	Seq   uint64
 	Class string
 	Type  string
 	URL   string
 	Sim   time.Time
+	Ord   time.Time
 	Wall  time.Time
 	Attrs map[string]string
 }
@@ -139,6 +145,9 @@ func NewJournal(simNow func() time.Time, ringCap int) *Journal {
 // SetSink streams each canonical lifecycle event to w as it is recorded,
 // in addition to retaining it in memory. Callers own buffering and
 // closing; the first write error is retained and reported by SinkErr.
+// The sink sees events in live recording order; a run that rebuilds its
+// journal into canonical order at the end (see RebuildJournal) may emit
+// an end-of-run file whose line order differs from the live stream.
 func (j *Journal) SetSink(w io.Writer) {
 	if j == nil {
 		return
@@ -167,7 +176,7 @@ func (j *Journal) Record(url, typ string, sim time.Time, attrs ...string) {
 	if j == nil {
 		return
 	}
-	ev := Event{Class: ClassLifecycle, Type: typ, URL: url, Sim: sim, Attrs: attrMap(attrs)}
+	ev := Event{Class: ClassLifecycle, Type: typ, URL: url, Sim: sim, Ord: j.simNow(), Attrs: attrMap(attrs)}
 	j.mu.Lock()
 	ev.Seq = j.seq
 	j.seq++
@@ -388,4 +397,50 @@ func ReadJournal(r io.Reader) ([]Event, error) {
 		return nil, fmt.Errorf("obs: read journal: %w", err)
 	}
 	return out, nil
+}
+
+// SortCanonical puts lifecycle events into the canonical study order —
+// (Ord, URL, Seq) — and renumbers Seq 0..n-1. Ord groups events by the
+// poll cycle or monitor tick that recorded them; URL orders the cycle's
+// work; Seq (stable sort) preserves each URL's intra-frame order. The
+// result is partition-invariant: a URL's events are recorded by exactly
+// one shard (the posting schedule partitions URLs), so merging shard
+// journals and sorting yields the same sequence a 1-shard run sorts
+// into. The input is not modified.
+func SortCanonical(events []Event) []Event {
+	out := append([]Event(nil), events...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Ord.Equal(out[j].Ord) {
+			return out[i].Ord.Before(out[j].Ord)
+		}
+		if out[i].URL != out[j].URL {
+			return out[i].URL < out[j].URL
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	for i := range out {
+		out[i].Seq = uint64(i)
+	}
+	return out
+}
+
+// RebuildJournal constructs a journal whose lifecycle sequence is
+// exactly events (typically a SortCanonical result, or a merge of
+// several shards' journals). The per-type counts, per-URL indices, and
+// the dashboard ring are rebuilt from the events; ops events are not
+// carried over (they are scheduler-dependent noise, bounded to the ring
+// of the live run that produced them).
+func RebuildJournal(simNow func() time.Time, ringCap int, events []Event) *Journal {
+	j := NewJournal(simNow, ringCap)
+	for _, ev := range events {
+		j.mu.Lock()
+		ev.Seq = j.seq
+		j.seq++
+		j.counts[ev.Type]++
+		j.byURL[ev.URL] = append(j.byURL[ev.URL], len(j.lifecycle))
+		j.lifecycle = append(j.lifecycle, ev)
+		j.push(ev)
+		j.mu.Unlock()
+	}
+	return j
 }

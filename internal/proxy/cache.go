@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultVerdictCacheSize bounds the live checker's verdict cache. A
@@ -22,12 +23,19 @@ type verdictCache struct {
 	lru   *list.List // front = most recent; values are *verdictEntry
 	byKey map[string]*list.Element
 
-	hits, misses, evictions atomic.Uint64
+	// ttl, when > 0, expires entries older than ttl at lookup time; now
+	// supplies the clock (nil means time.Now). A deterministic deployment
+	// drives now from a simulation clock, so expiry is reproducible.
+	ttl time.Duration
+	now func() time.Time
+
+	hits, misses, evictions, expired atomic.Uint64
 }
 
 type verdictEntry struct {
 	key     string
 	verdict bool
+	at      time.Time // when the verdict was stored (zero with ttl off)
 }
 
 // newVerdictCache returns a cache bounded to capacity entries;
@@ -43,8 +51,27 @@ func newVerdictCache(capacity int) *verdictCache {
 	}
 }
 
+// setTTL configures lookup-time expiry; ttl <= 0 disables it. now may be
+// nil (wall clock).
+func (c *verdictCache) setTTL(ttl time.Duration, now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ttl = ttl
+	c.now = now
+}
+
+// clock resolves the configured time source. Caller holds c.mu.
+func (c *verdictCache) clock() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
+}
+
 // get returns the cached verdict and whether it was present, refreshing
-// the entry's recency on a hit.
+// the entry's recency on a hit. A stale entry (older than the TTL) is
+// removed and counted as both expired and a miss — the caller re-derives
+// the verdict exactly as for a URL never seen.
 func (c *verdictCache) get(key string) (verdict, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -53,9 +80,17 @@ func (c *verdictCache) get(key string) (verdict, ok bool) {
 		c.misses.Add(1)
 		return false, false
 	}
+	ent := el.Value.(*verdictEntry)
+	if c.ttl > 0 && c.clock().Sub(ent.at) >= c.ttl {
+		c.lru.Remove(el)
+		delete(c.byKey, key)
+		c.expired.Add(1)
+		c.misses.Add(1)
+		return false, false
+	}
 	c.hits.Add(1)
 	c.lru.MoveToFront(el)
-	return el.Value.(*verdictEntry).verdict, true
+	return ent.verdict, true
 }
 
 // put stores a verdict, evicting the least-recently-used entries beyond
@@ -63,12 +98,18 @@ func (c *verdictCache) get(key string) (verdict, ok bool) {
 func (c *verdictCache) put(key string, verdict bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var at time.Time
+	if c.ttl > 0 {
+		at = c.clock()
+	}
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*verdictEntry).verdict = verdict
+		ent := el.Value.(*verdictEntry)
+		ent.verdict = verdict
+		ent.at = at
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.lru.PushFront(&verdictEntry{key: key, verdict: verdict})
+	c.byKey[key] = c.lru.PushFront(&verdictEntry{key: key, verdict: verdict, at: at})
 	for c.lru.Len() > c.cap {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"freephish/internal/baselines"
 	"freephish/internal/features"
@@ -145,5 +146,113 @@ func TestLiveCheckerCascadeFastPath(t *testing.T) {
 	}
 	if _, misses, _, _ := checker.CacheStats(); misses != 3 {
 		t.Fatalf("misses = %d, want 3", misses)
+	}
+}
+
+// TestVerdictCacheTTLExpiry: with a TTL configured, a verdict older than
+// the TTL is dropped at lookup time — counted as expired AND as a miss —
+// and the caller re-derives it exactly as for an unseen URL. The clock is
+// injected, so expiry is deterministic.
+func TestVerdictCacheTTLExpiry(t *testing.T) {
+	now := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	c := newVerdictCache(8)
+	c.setTTL(time.Hour, func() time.Time { return now })
+
+	c.put("a", true)
+	now = now.Add(30 * time.Minute)
+	if v, ok := c.get("a"); !ok || !v {
+		t.Fatalf("fresh entry: get = %v, %v", v, ok)
+	}
+	now = now.Add(30 * time.Minute) // exactly the TTL: stale
+	if _, ok := c.get("a"); ok {
+		t.Fatal("entry at exactly the TTL served stale")
+	}
+	if exp := c.expired.Load(); exp != 1 {
+		t.Fatalf("expired = %d, want 1", exp)
+	}
+	if miss := c.misses.Load(); miss != 1 {
+		t.Fatalf("misses = %d, want 1 (an expiry is a miss)", miss)
+	}
+	if c.len() != 0 {
+		t.Fatalf("len = %d, want 0 after expiry removal", c.len())
+	}
+	// Re-put restamps the entry: the TTL clock restarts.
+	c.put("a", false)
+	now = now.Add(59 * time.Minute)
+	if v, ok := c.get("a"); !ok || v {
+		t.Fatalf("restamped entry: get = %v, %v", v, ok)
+	}
+	// Overwriting a resident key also restamps it.
+	c.put("a", true)
+	now = now.Add(59 * time.Minute)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("overwrite did not restamp the entry's TTL clock")
+	}
+}
+
+// TestLiveCheckerCacheTTL: the checker-level wiring — SetCacheTTL drives
+// expiry from an injected clock, an expired verdict triggers a live
+// re-classification, CacheExpired exposes the counter the
+// freephish_proxy_cache_expired_total metric reads, and SetCacheSize
+// preserves a configured TTL across the cache swap.
+func TestLiveCheckerCacheTTL(t *testing.T) {
+	var fetches atomic.Int64
+	fetch := func(url string) (features.Page, int, error) {
+		fetches.Add(1)
+		return features.Page{URL: url}, 200, nil
+	}
+	now := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	checker := NewLiveChecker(stubScorer(0.9), fetch)
+	checker.SetCacheTTL(time.Hour, func() time.Time { return now })
+
+	const u = "https://ttl.weebly.com/login"
+	if block, _ := checker.Check(u); !block {
+		t.Fatal("URL not blocked")
+	}
+	if block, _ := checker.Check(u); !block || fetches.Load() != 1 {
+		t.Fatalf("fresh verdict not served from cache (fetches = %d)", fetches.Load())
+	}
+	now = now.Add(2 * time.Hour)
+	if block, _ := checker.Check(u); !block {
+		t.Fatal("URL not re-blocked after expiry")
+	}
+	if fetches.Load() != 2 {
+		t.Fatalf("expired verdict not re-classified (fetches = %d)", fetches.Load())
+	}
+	if got := checker.CacheExpired(); got != 1 {
+		t.Fatalf("CacheExpired = %d, want 1", got)
+	}
+
+	// SetCacheSize replaces the cache object but must keep the TTL: the
+	// daemon configures size and TTL independently at startup.
+	checker.SetCacheSize(4)
+	if block, _ := checker.Check(u); !block {
+		t.Fatal("URL not blocked after cache resize")
+	}
+	now = now.Add(2 * time.Hour)
+	if block, _ := checker.Check(u); !block {
+		t.Fatal("URL not re-blocked after post-resize expiry")
+	}
+	if fetches.Load() != 4 {
+		t.Fatalf("TTL lost across SetCacheSize (fetches = %d, want 4)", fetches.Load())
+	}
+	if got := checker.CacheExpired(); got != 1 {
+		t.Fatalf("CacheExpired = %d after resize, want 1 (fresh cache, fresh counter)", got)
+	}
+}
+
+// TestVerdictCacheNoTTLNeverExpires pins the default: with no TTL set,
+// entries never age out and no timestamps are stamped.
+func TestVerdictCacheNoTTLNeverExpires(t *testing.T) {
+	c := newVerdictCache(4)
+	c.put("a", true)
+	if !c.lru.Front().Value.(*verdictEntry).at.IsZero() {
+		t.Fatal("TTL-less put stamped a timestamp")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("entry lost without a TTL")
+	}
+	if c.expired.Load() != 0 {
+		t.Fatalf("expired = %d, want 0", c.expired.Load())
 	}
 }

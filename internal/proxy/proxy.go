@@ -96,9 +96,29 @@ func NewLiveChecker(model Scorer, fetch func(url string) (features.Page, int, er
 }
 
 // SetCacheSize rebounds the verdict cache (n <= 0 restores the default),
-// dropping any cached verdicts. Call before the proxy starts serving.
+// dropping any cached verdicts but keeping a configured TTL. Call before
+// the proxy starts serving.
 func (c *LiveChecker) SetCacheSize(n int) {
+	ttl, now := c.cache.ttl, c.cache.now
 	c.cache = newVerdictCache(n)
+	c.cache.setTTL(ttl, now)
+}
+
+// SetCacheTTL expires cached verdicts older than ttl at lookup time
+// (ttl <= 0 disables expiry, the default): a site cleaned up — or newly
+// compromised — after its last classification gets re-scored once the
+// verdict ages out. now supplies the clock; nil means wall time, and a
+// deterministic deployment passes its simulation clock so expiry is
+// reproducible. Expired lookups count as misses and are also reported
+// by CacheExpired. Call before the proxy starts serving.
+func (c *LiveChecker) SetCacheTTL(ttl time.Duration, now func() time.Time) {
+	c.cache.setTTL(ttl, now)
+}
+
+// CacheExpired reports how many cached verdicts have been dropped by
+// TTL expiry — the freephish_proxy_cache_expired_total metric source.
+func (c *LiveChecker) CacheExpired() uint64 {
+	return c.cache.expired.Load()
 }
 
 // SetCascade installs a tiered-cascade fast path: URLs the trained

@@ -41,11 +41,20 @@ type Outcome struct {
 }
 
 // Reporter sends disclosures and models recipient responses. Construct
-// with NewReporter.
+// with NewReporter. Each disclosure draws from an RNG stream keyed by the
+// reported URL, so a recipient's response to a given attack is the same no
+// matter how many — or in what order — other attacks were reported first
+// (the property that lets a sharded study report each shard's attacks
+// independently and still match the single-process run).
 type Reporter struct {
-	rng   *simclock.RNG
+	seed  int64
 	sent  []Report
 	stats map[string]RecipientStats
+}
+
+// urlRNG derives the per-disclosure RNG stream.
+func (r *Reporter) urlRNG(url string) *simclock.RNG {
+	return simclock.NewRNG(r.seed, "report|"+url)
 }
 
 // RecipientStats aggregates one recipient's disposition of our reports —
@@ -60,7 +69,7 @@ type RecipientStats struct {
 
 // NewReporter returns a Reporter drawing from the run seed.
 func NewReporter(seed int64) *Reporter {
-	return &Reporter{rng: simclock.NewRNG(seed, "report"), stats: make(map[string]RecipientStats)}
+	return &Reporter{seed: seed, stats: make(map[string]RecipientStats)}
 }
 
 // Stats returns a copy of the per-recipient aggregates. Self-hosted
@@ -127,15 +136,16 @@ func (r *Reporter) ReportToFWB(t *threat.Target, at time.Time) Outcome {
 		Screenshot: fmt.Sprintf("snapshots/%s.png", t.PostID),
 		SentAt:     at, Recipient: svc.Name,
 	})
+	rng := r.urlRNG(t.URL)
 	var o Outcome
-	if r.rng.Bool(ackRates[svc.ResponseClass]) {
+	if rng.Bool(ackRates[svc.ResponseClass]) {
 		o.Acknowledged = true
-		o.AckAt = at.Add(time.Duration(r.rng.LogNormal(float64(2*time.Hour), 1.0)))
-		o.FollowedUp = r.rng.Bool(followRates[svc.ResponseClass])
+		o.AckAt = at.Add(time.Duration(rng.LogNormal(float64(2*time.Hour), 1.0)))
+		o.FollowedUp = rng.Bool(followRates[svc.ResponseClass])
 	}
-	if r.rng.Bool(svc.RemovalRate) {
+	if rng.Bool(svc.RemovalRate) {
 		o.Removed = true
-		o.RemovedAt = at.Add(time.Duration(r.rng.LogNormal(float64(svc.MedianResponse), 1.2)))
+		o.RemovedAt = at.Add(time.Duration(rng.LogNormal(float64(svc.MedianResponse), 1.2)))
 	}
 	r.record(svc.Name, o)
 	return o
@@ -148,11 +158,12 @@ func (r *Reporter) ReportToFWB(t *threat.Target, at time.Time) Outcome {
 func (r *Reporter) SelfHostedTakedown(t *threat.Target) Outcome {
 	const coverage = 0.775
 	median := 3*time.Hour + 47*time.Minute
+	rng := r.urlRNG(t.URL)
 	var o Outcome
-	if r.rng.Bool(coverage) {
+	if rng.Bool(coverage) {
 		o = Outcome{
 			Removed:   true,
-			RemovedAt: t.SharedAt.Add(time.Duration(r.rng.LogNormal(float64(median), 1.3))),
+			RemovedAt: t.SharedAt.Add(time.Duration(rng.LogNormal(float64(median), 1.3))),
 		}
 	}
 	r.record("hosting-provider", o)

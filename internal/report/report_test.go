@@ -1,6 +1,7 @@
 package report
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"testing"
@@ -23,6 +24,16 @@ func targetOn(key string) *threat.Target {
 	}
 }
 
+// targetN is targetOn with a distinct URL per i. The Reporter keys its
+// RNG stream by URL — the same attack always gets the same response —
+// so sampling a response *distribution* means reporting distinct
+// attacks, exactly as the study does.
+func targetN(key string, i int) *threat.Target {
+	tg := targetOn(key)
+	tg.URL = tg.Service.SiteURL(fmt.Sprintf("t%04d", i))
+	return tg
+}
+
 func TestResponsiveServiceRemovesAtCalibratedRate(t *testing.T) {
 	r := NewReporter(3)
 	svc, _ := fwb.ByKey("weebly")
@@ -30,7 +41,7 @@ func TestResponsiveServiceRemovesAtCalibratedRate(t *testing.T) {
 	removed, acked, followed := 0, 0, 0
 	var delays []time.Duration
 	for i := 0; i < n; i++ {
-		o := r.ReportToFWB(targetOn("weebly"), epoch)
+		o := r.ReportToFWB(targetN("weebly", i), epoch)
 		if o.Removed {
 			removed++
 			delays = append(delays, o.RemovedAt.Sub(epoch))
@@ -66,7 +77,7 @@ func TestResponsiveServiceRemovesAtCalibratedRate(t *testing.T) {
 func TestUnresponsiveServiceNeverAcks(t *testing.T) {
 	r := NewReporter(5)
 	for i := 0; i < 500; i++ {
-		o := r.ReportToFWB(targetOn("wordpress"), epoch)
+		o := r.ReportToFWB(targetN("wordpress", i), epoch)
 		if o.Acknowledged || o.FollowedUp {
 			t.Fatal("unresponsive service acknowledged a report (§5.3 violation)")
 		}
@@ -77,7 +88,7 @@ func TestTicketOnlyAcksWithoutFollowUp(t *testing.T) {
 	r := NewReporter(7)
 	acked := 0
 	for i := 0; i < 2000; i++ {
-		o := r.ReportToFWB(targetOn("googlesites"), epoch)
+		o := r.ReportToFWB(targetN("googlesites", i), epoch)
 		if o.FollowedUp {
 			t.Fatal("ticket-only service followed up")
 		}
@@ -96,7 +107,7 @@ func TestRemovalRateOrderingAcrossServices(t *testing.T) {
 	count := func(key string) int {
 		n := 0
 		for i := 0; i < 1500; i++ {
-			if o := r.ReportToFWB(targetOn(key), epoch); o.Removed {
+			if o := r.ReportToFWB(targetN(key, i), epoch); o.Removed {
 				n++
 			}
 		}
@@ -110,11 +121,11 @@ func TestRemovalRateOrderingAcrossServices(t *testing.T) {
 
 func TestSelfHostedTakedown(t *testing.T) {
 	r := NewReporter(11)
-	tg := &threat.Target{URL: "https://evil.xyz/login", SharedAt: epoch}
 	const n = 3000
 	removed := 0
 	var delays []time.Duration
 	for i := 0; i < n; i++ {
+		tg := &threat.Target{URL: fmt.Sprintf("https://evil%04d.xyz/login", i), SharedAt: epoch}
 		o := r.SelfHostedTakedown(tg)
 		if o.Removed {
 			removed++

@@ -75,13 +75,27 @@ func NewNetwork(platform threat.Platform, now func() time.Time) *Network {
 // Platform reports which network this is.
 func (n *Network) Platform() threat.Platform { return n.platform }
 
-// Publish appends a post to the timeline.
+// Publish appends a post to the timeline under the next sequential ID.
 func (n *Network) Publish(text string, at time.Time) *Post {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.seq++
+	return n.publishLocked(fmt.Sprintf("%s-%d", n.platform, n.seq), text, at)
+}
+
+// PublishID appends a post under a caller-chosen ID. The sharded posting
+// schedule derives IDs from the event ordinal so the same post carries the
+// same ID no matter which shard publishes it; callers own ID uniqueness.
+func (n *Network) PublishID(id, text string, at time.Time) *Post {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.publishLocked(id, text, at)
+}
+
+// publishLocked appends a post; caller holds n.mu.
+func (n *Network) publishLocked(id, text string, at time.Time) *Post {
 	p := &Post{
-		ID:       fmt.Sprintf("%s-%d", n.platform, n.seq),
+		ID:       id,
 		Platform: n.platform,
 		Text:     text,
 		At:       at,

@@ -1,0 +1,217 @@
+package state
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"freephish/internal/analysis"
+	"freephish/internal/obs"
+	"freephish/internal/threat"
+)
+
+func rec(url string, at time.Time) *analysis.Record {
+	return &analysis.Record{
+		Target:       &threat.Target{URL: url, SharedAt: at.Add(-time.Hour)},
+		Classified:   true,
+		ClassifiedAt: at,
+	}
+}
+
+var t0 = time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+
+// buildShard fabricates one shard's worth of state.
+func buildShard(urls []string, polls int) *StudyState {
+	s := New()
+	for i := 0; i < polls; i++ {
+		s.AddPoll()
+	}
+	for i, u := range urls {
+		s.AddPostSeen()
+		if !s.MarkSeen(u) {
+			continue
+		}
+		s.AddScanned()
+		s.AddFlagged(i%2 == 0)
+		s.AddDecision("tp")
+		s.AddReportSent()
+		s.AddRecord(rec(u, t0.Add(time.Duration(i)*time.Hour)))
+		ob := s.StartObservation(u)
+		ob.MarkProbe()
+		ob.MarkHostDown(t0.Add(48 * time.Hour))
+		ob.MarkListed("gsb", t0.Add(24*time.Hour))
+	}
+	return s
+}
+
+func TestApplyPoints(t *testing.T) {
+	s := New()
+	s.AddPoll()
+	s.AddPoll()
+	s.AddPostSeen()
+	if !s.MarkSeen("http://a.weebly.com") {
+		t.Fatal("first MarkSeen should report fresh")
+	}
+	if s.MarkSeen("http://a.weebly.com") {
+		t.Fatal("second MarkSeen should report duplicate")
+	}
+	s.AddScanned()
+	s.AddFlagged(true)
+	s.AddFlagged(false)
+	s.AddLexical(true)
+	s.AddLexical(false)
+	s.AddDecision("tp")
+	s.AddDecision("fp")
+	s.AddDecision("fn")
+	s.AddDecision("tn") // ignored by design
+	s.AddReportSent()
+	got := s.Stats()
+	want := Stats{
+		Polls: 2, PostsSeen: 1, URLsScanned: 1,
+		FlaggedFWB: 1, FlaggedSelf: 1,
+		TruePositives: 1, FalsePositives: 1, FalseNegatives: 1,
+		ReportsSent: 1, LexicalBenign: 1, LexicalPhish: 1,
+	}
+	if got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+}
+
+func TestObservationFirstWins(t *testing.T) {
+	s := New()
+	ob := s.StartObservation("http://x.weebly.com")
+	if again := s.StartObservation("http://x.weebly.com"); again != ob {
+		t.Fatal("StartObservation should be idempotent per URL")
+	}
+	ob.MarkHostDown(t0)
+	ob.MarkHostDown(t0.Add(time.Hour)) // later sighting must not overwrite
+	if !ob.HostDownAt.Equal(t0) {
+		t.Fatalf("HostDownAt = %v, want first sighting %v", ob.HostDownAt, t0)
+	}
+	ob.MarkListed("gsb", t0)
+	ob.MarkListed("gsb", t0.Add(time.Hour))
+	if !ob.Listings["gsb"].Equal(t0) {
+		t.Fatalf("Listings[gsb] = %v, want first sighting %v", ob.Listings["gsb"], t0)
+	}
+}
+
+func TestSortRecordsCanonical(t *testing.T) {
+	s := New()
+	s.AddRecord(rec("http://b.weebly.com", t0.Add(time.Hour)))
+	s.AddRecord(rec("http://z.weebly.com", t0))
+	s.AddRecord(rec("http://a.weebly.com", t0)) // same instant: URL breaks the tie
+	s.SortRecords()
+	got := []string{}
+	for _, r := range s.Records() {
+		got = append(got, r.Target.URL)
+	}
+	want := []string{"http://a.weebly.com", "http://z.weebly.com", "http://b.weebly.com"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("canonical order = %v, want %v", got, want)
+	}
+}
+
+func TestMergeOrderIndependent(t *testing.T) {
+	a := buildShard([]string{"http://a.weebly.com", "http://c.wixsite.com"}, 5).
+		Snapshot([]obs.Event{{Type: "posted", URL: "http://a.weebly.com", Ord: t0}})
+	b := buildShard([]string{"http://b.weebly.com"}, 5).
+		Snapshot([]obs.Event{{Type: "posted", URL: "http://b.weebly.com", Ord: t0.Add(-time.Hour)}})
+
+	ab, ba := Merge(a, b), Merge(b, a)
+	abJSON, err := json.Marshal(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baJSON, err := json.Marshal(ba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(abJSON) != string(baJSON) {
+		t.Fatalf("Merge is order-dependent:\n a,b: %s\n b,a: %s", abJSON, baJSON)
+	}
+	if n := len(ab.Records); n != 3 {
+		t.Fatalf("merged records = %d, want 3", n)
+	}
+	// Events re-sort canonically: b's earlier Ord must come first.
+	if ab.Events[0].URL != "http://b.weebly.com" {
+		t.Fatalf("merged events not in canonical Ord order: %+v", ab.Events)
+	}
+}
+
+func TestMergeStatsSemantics(t *testing.T) {
+	// Both shards run the full poll schedule, so Polls merges as max,
+	// while per-URL work sums.
+	a := buildShard([]string{"http://a.weebly.com"}, 7).Snapshot(nil)
+	b := buildShard([]string{"http://b.weebly.com", "http://c.weebly.com"}, 7).Snapshot(nil)
+	m := Merge(a, b)
+	if m.Stats.Polls != 7 {
+		t.Fatalf("Polls = %d, want max(7,7) = 7", m.Stats.Polls)
+	}
+	if m.Stats.URLsScanned != 3 {
+		t.Fatalf("URLsScanned = %d, want 1+2 = 3", m.Stats.URLsScanned)
+	}
+	if m.Stats.ReportsSent != 3 {
+		t.Fatalf("ReportsSent = %d, want 3", m.Stats.ReportsSent)
+	}
+	if len(m.Seen) != 3 {
+		t.Fatalf("Seen = %v, want union of 3 URLs", m.Seen)
+	}
+	if m.Events != nil {
+		t.Fatalf("no shard journaled, merged Events should stay nil, got %v", m.Events)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := buildShard([]string{"http://a.weebly.com", "http://b.weebly.com"}, 3)
+	snap := s.Snapshot([]obs.Event{
+		{Type: "posted", URL: "http://a.weebly.com", Ord: t0, Wall: time.Now()},
+	})
+	if !snap.Events[0].Wall.IsZero() {
+		t.Fatal("Snapshot must clear Wall timestamps (operational noise)")
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("Snapshot does not round-trip through encoding/json")
+	}
+}
+
+func TestRestore(t *testing.T) {
+	src := buildShard([]string{"http://b.weebly.com", "http://a.weebly.com"}, 4)
+	snap := src.Snapshot(nil)
+
+	dst := New()
+	dst.Restore(snap)
+	if dst.Stats() != src.Stats() {
+		t.Fatalf("restored stats = %+v, want %+v", dst.Stats(), src.Stats())
+	}
+	if len(dst.Records()) != 2 {
+		t.Fatalf("restored records = %d, want 2", len(dst.Records()))
+	}
+	// Restore re-establishes the dedup set from Seen.
+	if dst.MarkSeen("http://a.weebly.com") {
+		t.Fatal("restored state must remember seen URLs")
+	}
+	if !dst.MarkSeen("http://new.weebly.com") {
+		t.Fatal("restored state must admit fresh URLs")
+	}
+	if dst.Observations()["http://a.weebly.com"] == nil {
+		t.Fatal("restored state lost observations")
+	}
+	// Restore sorts canonically: b was admitted first (earlier
+	// ClassifiedAt), so it leads regardless of snapshot slice order.
+	if dst.Records()[0].Target.URL != "http://b.weebly.com" {
+		t.Fatalf("restore did not canonicalize record order: %v", dst.Records()[0].Target.URL)
+	}
+}

@@ -43,9 +43,14 @@ const (
 // concurrent use; the simulation drives it from clock callbacks.
 type Generator struct {
 	rng   *simclock.RNG
+	seed  int64
 	whois *whois.DB
 	ct    *ctlog.Log
 	seq   int
+	// tag is a per-derivation name infix (see Derive). The root generator's
+	// tag is empty, so untagged names keep their historical pure-decimal
+	// sequence suffixes.
+	tag string
 
 	// OnSecondary, when set, receives the linked second-stage sites that
 	// two-step and iframe attacks point to (Figure 11: the landing page on
@@ -61,9 +66,40 @@ type Generator struct {
 func NewGenerator(seed int64, whoisDB *whois.DB, ctLog *ctlog.Log) *Generator {
 	return &Generator{
 		rng:   simclock.NewRNG(seed, "webgen"),
+		seed:  seed,
 		whois: whoisDB,
 		ct:    ctLog,
 	}
+}
+
+// Derive returns a child generator drawing from its own keyed RNG stream
+// ("webgen."+stream of the same run seed) against the same WHOIS and CT
+// side-effect stores. tag is stamped into every generated name the child
+// produces (see seqTag), which keeps names from different derivations —
+// and from the root generator — structurally collision-free no matter how
+// the derivations are interleaved. This is what lets a sharded posting
+// schedule generate each event's site from a stream keyed by the event
+// alone, independent of which shard runs it.
+func (g *Generator) Derive(stream, tag string) *Generator {
+	return &Generator{
+		rng:         simclock.NewRNG(g.seed, "webgen."+stream),
+		seed:        g.seed,
+		whois:       g.whois,
+		ct:          g.ct,
+		tag:         tag,
+		OnSecondary: g.OnSecondary,
+	}
+}
+
+// seqTag returns the next per-generator name suffix: the derivation tag (a
+// decimal terminated by a non-digit, e.g. "e17x") followed by the local
+// sequence number. The root generator's empty tag reproduces the plain
+// decimal suffixes names have always had; tagged suffixes contain a letter
+// and so can never collide with them, and two derivations' suffixes differ
+// in their tag before the first local digit.
+func (g *Generator) seqTag() string {
+	g.seq++
+	return g.tag + fmt.Sprintf("%d", g.seq)
 }
 
 // RegisterInfrastructure records the 17 FWB hosting domains in WHOIS with
@@ -97,8 +133,7 @@ func (g *Generator) slug(words int) string {
 	for i := 0; i < words; i++ {
 		parts = append(parts, slugWords[g.rng.Intn(len(slugWords))])
 	}
-	g.seq++
-	return fmt.Sprintf("%s-%d", strings.Join(parts, "-"), g.seq)
+	return fmt.Sprintf("%s-%s", strings.Join(parts, "-"), g.seqTag())
 }
 
 func (g *Generator) randToken(n int) string {

@@ -36,8 +36,7 @@ func (g *Generator) BenignFWBSite(svc *fwb.Service, at time.Time) *fwb.Site {
 	topic := benignTopics[g.rng.Intn(len(benignTopics))]
 	name := g.slug(2)
 	if g.rng.Bool(benignRandomNameRate) {
-		g.seq++
-		name = fmt.Sprintf("%s%d", g.randToken(7), g.seq)
+		name = g.randToken(7) + g.seqTag()
 	}
 	url := svc.SiteURL(name)
 
@@ -271,12 +270,11 @@ func (g *Generator) extraFields() []string {
 // phishSlug builds the site name, embedding the brand in a majority of
 // cases (the pattern the URL features detect).
 func (g *Generator) phishSlug(br brands.Brand) string {
-	g.seq++
 	if g.rng.Bool(BrandInSlugRate) {
 		w := slugWords[g.rng.Intn(16)] // the "sensitive" half of the word list
-		return fmt.Sprintf("%s-%s-%d", br.Key, w, g.seq)
+		return fmt.Sprintf("%s-%s-%s", br.Key, w, g.seqTag())
 	}
-	return fmt.Sprintf("%s%d", g.randToken(8), g.seq)
+	return g.randToken(8) + g.seqTag()
 }
 
 // externalPhishURL fabricates the attacker-controlled page a two-step or
@@ -372,7 +370,6 @@ func (g *Generator) SelfHostedPhishing(at time.Time) *fwb.Site {
 }
 
 func (g *Generator) selfHostedHost(br brands.Brand) string {
-	g.seq++
 	sub := ""
 	if g.rng.Bool(0.45) {
 		sub = []string{"secure.", "login.", "account.", "verify.", "www."}[g.rng.Intn(5)]
@@ -382,9 +379,9 @@ func (g *Generator) selfHostedHost(br brands.Brand) string {
 	if g.rng.Bool(0.25) {
 		tld = "com"
 	}
-	base := fmt.Sprintf("%s-%s%d", br.Key, slugWords[g.rng.Intn(16)], g.seq)
+	base := fmt.Sprintf("%s-%s%s", br.Key, slugWords[g.rng.Intn(16)], g.seqTag())
 	if g.rng.Bool(0.3) {
-		base = g.randToken(9)
+		base = g.randToken(9) + g.tag
 	}
 	return fmt.Sprintf("%s%s.%s", sub, base, tld)
 }
@@ -441,10 +438,9 @@ func (g *Generator) PickServiceUniform() *fwb.Service {
 // StackModel would learn "own domain ⇒ phishing".
 func (g *Generator) BenignSelfHosted(at time.Time) *fwb.Site {
 	topic := benignTopics[g.rng.Intn(len(benignTopics))]
-	g.seq++
 	base := strings.ToLower(strings.ReplaceAll(strings.Fields(topic.Title)[0], "'", ""))
 	tlds := []string{"com", "com", "org", "net", "co.uk", "de"}
-	host := fmt.Sprintf("%s%d.%s", base, g.seq, tlds[g.rng.Intn(len(tlds))])
+	host := fmt.Sprintf("%s%s.%s", base, g.seqTag(), tlds[g.rng.Intn(len(tlds))])
 	url := "https://www." + host + "/"
 
 	if g.whois != nil {

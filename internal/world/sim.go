@@ -5,6 +5,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -46,20 +47,29 @@ type Sim struct {
 	// entities detect URLs during the run.
 	Feeds map[string]*blocklist.Feed
 
-	assessRNG *simclock.RNG
-	worldRNG  *simclock.RNG
-
-	// mu serializes every RNG-drawing assessment path so the same Sim can
-	// sit behind concurrent HTTP handlers. The pipeline's apply phase is
-	// single-threaded in stream order, so under both backends the draws
-	// happen in the same sequence; the mutex only guards against stray
-	// concurrent API clients.
+	// mu serializes the assessment paths' side effects (feed listings,
+	// takedowns) so the same Sim can sit behind concurrent HTTP handlers.
+	// Every assessment draw comes from an RNG stream keyed by the assessed
+	// URL (see urlRNG), so the outcome for a URL is independent of how many
+	// other URLs were assessed first — the property sharding relies on.
 	mu sync.Mutex
 }
 
-// NewSim assembles the simulated world. The construction order (and the
-// RNG stream names "core.assess"/"core.world") is load-bearing: it fixes
-// the generator and draw sequences every seed's study is defined by.
+// urlRNG derives the RNG stream for one assessment of one URL. Each URL is
+// assessed at most once per path (the pipeline dedups before classifying),
+// so keying by (stream, URL) pins every verdict, profile jitter, and
+// moderation outcome to the URL itself rather than to the global order of
+// assessments — which is what makes an N-shard study's draws identical to
+// the 1-shard run's.
+func (s *Sim) urlRNG(stream, url string) *simclock.RNG {
+	return simclock.NewRNG(s.Seed, stream+"|"+url)
+}
+
+// NewSim assembles the simulated world. The construction order is
+// load-bearing: it fixes the generator sequences every seed's study is
+// defined by. Assessment and posting draws come from keyed streams
+// (urlRNG, the per-event streams in SchedulePosts), not from construction
+// order, so they survive partitioning.
 func NewSim(seed int64, epoch time.Time, clock *simclock.Clock) *Sim {
 	s := &Sim{
 		Seed:       seed,
@@ -71,8 +81,6 @@ func NewSim(seed int64, epoch time.Time, clock *simclock.Clock) *Sim {
 		Scanner:    vtsim.NewScanner(),
 		Moderation: social.StandardModeration(),
 		Reporter:   report.NewReporter(seed),
-		assessRNG:  simclock.NewRNG(seed, "core.assess"),
-		worldRNG:   simclock.NewRNG(seed, "core.world"),
 	}
 	s.Feeds = make(map[string]*blocklist.Feed, len(s.Entities))
 	for _, e := range s.Entities {
@@ -117,7 +125,7 @@ func (s *Sim) Profile(req ProfileRequest) (*threat.Target, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return threat.DeriveFromPage(site, req.HTML, req.SharedAt, req.Platform, req.PostID,
-		s.Whois, s.CT, s.assessRNG), nil
+		s.Whois, s.CT, s.urlRNG("assess.profile", req.URL)), nil
 }
 
 // --- ThreatFeeds ---
@@ -127,15 +135,16 @@ func (s *Sim) Profile(req ProfileRequest) (*threat.Target, error) {
 func (s *Sim) Assess(t *threat.Target) (map[string]blocklist.Verdict, []time.Time, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	rng := s.urlRNG("assess.feeds", t.URL)
 	verdicts := make(map[string]blocklist.Verdict, len(s.Entities))
 	for _, e := range s.Entities {
-		v := e.Assess(t, s.assessRNG)
+		v := e.Assess(t, rng)
 		verdicts[e.Name] = v
 		if v.Detected {
 			s.Feeds[e.Name].List(t.URL, v.At)
 		}
 	}
-	return verdicts, s.Scanner.Assess(t, s.assessRNG), nil
+	return verdicts, s.Scanner.Assess(t, rng), nil
 }
 
 // Listed reports whether the entity's feed currently lists the URL.
@@ -167,7 +176,7 @@ func (s *Sim) AssessModeration(t *threat.Target) (bool, time.Time, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	removed, at := m.Assess(t, s.assessRNG)
+	removed, at := m.Assess(t, s.urlRNG("assess.mod", t.URL))
 	return removed, at, nil
 }
 
@@ -257,10 +266,31 @@ type PostingPlan struct {
 	// ReshareRate is the expected number of additional posts re-sharing
 	// each phishing URL.
 	ReshareRate float64
+	// Shard/Shards partition the schedule: only events whose global
+	// ordinal falls in this shard's residue class are scheduled. Shards of
+	// 0 or 1 schedules everything. Because every event's draws — its
+	// schedule time, its generated site, its post text, its reshares —
+	// come from streams keyed by the event's global ordinal, the union of
+	// the N shards' worlds is exactly the 1-shard world.
+	Shard, Shards int
+}
+
+// postEvent is one scheduled posting event: the event's global ordinal
+// across the six populations, and its private RNG/generator streams.
+type postEvent struct {
+	ordinal  int
+	platform threat.Platform
+	kind     string // "fwb", "self", "benign"
+	rng      *simclock.RNG
+	gen      *webgen.Generator
 }
 
 // SchedulePosts lays out every attacker and benign posting event across
-// the window, with the posting rate rising as t^GrowthExponent.
+// the window, with the posting rate rising as t^GrowthExponent. Events are
+// numbered globally across the six populations in fixed order; every draw
+// an event makes comes from streams keyed by that ordinal alone, so any
+// subset of the events can be scheduled (PostingPlan.Shard/Shards) without
+// perturbing the rest.
 func (s *Sim) SchedulePosts(plan PostingPlan) {
 	type spec struct {
 		platform threat.Platform
@@ -275,55 +305,82 @@ func (s *Sim) SchedulePosts(plan PostingPlan) {
 		{threat.Twitter, "benign", plan.BenignTwitter},
 		{threat.Facebook, "benign", plan.BenignFacebook},
 	}
+	ordinal := 0
 	for _, sp := range specs {
-		sp := sp
 		for i := 0; i < sp.count; i++ {
+			ord := ordinal
+			ordinal++
+			if plan.Shards > 1 && ord%plan.Shards != plan.Shard {
+				continue
+			}
+			key := "post.event." + strconv.Itoa(ord)
+			ev := postEvent{
+				ordinal:  ord,
+				platform: sp.platform,
+				kind:     sp.kind,
+				rng:      simclock.NewRNG(s.Seed, key),
+				// The tag is a decimal ordinal closed by a non-digit, so a
+				// tagged name suffix can never collide with another event's
+				// or with the untagged corpus names (pure digits).
+				gen: s.Gen.Derive(key, "e"+strconv.Itoa(ord)+"x"),
+			}
 			// Inverse-CDF of a rising rate: density ∝ t^(g-1).
-			u := (float64(i) + s.worldRNG.Float64()) / float64(sp.count)
+			u := (float64(i) + ev.rng.Float64()) / float64(sp.count)
 			frac := math.Pow(u, 1/plan.GrowthExponent)
 			at := s.Epoch.Add(time.Duration(frac * float64(plan.Duration)))
 			s.Clock.Schedule(at, "post."+sp.kind, func(now time.Time) {
-				s.createAndPost(sp.platform, sp.kind, plan.ReshareRate, now)
+				s.createAndPost(ev, plan.ReshareRate, now)
 			})
 		}
 	}
 }
 
-// createAndPost generates a site, publishes it, and shares it.
-func (s *Sim) createAndPost(platform threat.Platform, kind string, reshareRate float64, now time.Time) {
+// createAndPost generates a site, publishes it, and shares it. All draws
+// come from the event's private streams, and every draw — including the
+// reshare texts — happens in this frame, so the event's effects depend
+// only on its ordinal and fire time, never on what other events ran.
+func (s *Sim) createAndPost(ev postEvent, reshareRate float64, now time.Time) {
 	var site *fwb.Site
 	var text string
-	switch kind {
+	switch ev.kind {
 	case "fwb":
-		site = s.Gen.PhishingFWBSite(s.Gen.PickService(), now)
-		text = s.Gen.LureText(site.URL)
+		site = ev.gen.PhishingFWBSite(ev.gen.PickService(), now)
+		text = ev.gen.LureText(site.URL)
 	case "self":
-		site, _ = s.Gen.SelfHostedAttack(now)
-		text = s.Gen.LureText(site.URL)
+		site, _ = ev.gen.SelfHostedAttack(now)
+		text = ev.gen.LureText(site.URL)
 	default:
 		// Benign background noise: mostly FWB sites, with a slice of
 		// ordinary self-hosted small-business sites so "own domain" is not
 		// a phishing oracle for the base model.
-		if s.worldRNG.Bool(0.3) {
-			site = s.Gen.BenignSelfHosted(now)
+		if ev.rng.Bool(0.3) {
+			site = ev.gen.BenignSelfHosted(now)
 		} else {
-			site = s.Gen.BenignFWBSite(s.Gen.PickServiceUniform(), now)
+			site = ev.gen.BenignFWBSite(ev.gen.PickServiceUniform(), now)
 		}
-		text = s.Gen.BenignPostText(site.URL)
+		text = ev.gen.BenignPostText(site.URL)
 	}
 	if err := s.Host.Publish(site); err != nil {
 		// Name collision: drop the event (vanishingly rare).
 		return
 	}
-	s.Networks[platform].Publish(text, now)
+	// Post IDs derive from the event ordinal ("-e<ordinal>"), disjoint from
+	// the plain sequential IDs Publish hands out, so the same post carries
+	// the same ID on every shard layout.
+	s.Networks[ev.platform].PublishID(fmt.Sprintf("%s-e%d", ev.platform, ev.ordinal), text, now)
 	// Reshares: additional posts spread the same URL over the following
 	// hours. Only malicious URLs get amplified (lure campaigns repost).
-	if kind != "benign" && reshareRate > 0 {
-		n := s.worldRNG.Poisson(reshareRate)
-		for i := 0; i < n; i++ {
-			delay := time.Duration(s.worldRNG.ExpFloat64() * float64(6*time.Hour))
+	// Their delays and texts are drawn here, eagerly, so the scheduled
+	// closures perform no draws of their own.
+	if ev.kind != "benign" && reshareRate > 0 {
+		n := ev.rng.Poisson(reshareRate)
+		for k := 0; k < n; k++ {
+			delay := time.Duration(ev.rng.ExpFloat64() * float64(6*time.Hour))
+			id := fmt.Sprintf("%s-e%d-r%d", ev.platform, ev.ordinal, k)
+			txt := ev.gen.LureText(site.URL)
+			nw := s.Networks[ev.platform]
 			s.Clock.Schedule(now.Add(delay), "post.reshare", func(at time.Time) {
-				s.Networks[platform].Publish(s.Gen.LureText(site.URL), at)
+				nw.PublishID(id, txt, at)
 			})
 		}
 	}
