@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos verify-stream verify-journal verify-cascade verify-shards clean
+.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos verify-stream verify-journal verify-cascade verify-shards verify-resume clean
 
 all: build
 
@@ -68,6 +68,15 @@ verify-cascade:
 # profile, and through the coordinator's shard-retry path.
 verify-shards:
 	$(GO) test ./internal/core -run 'TestShardDeterminism|TestShardRetryReplaysExactly|TestShardRetryExhaustionFails' -count=1 -v
+
+# verify-resume proves the checkpoint/resume contract: a run killed at
+# any ordered-apply cut point and resumed from its checkpoint must yield
+# byte-identical records, journal, and stats — at every worker count, on
+# both backends, under the default chaos profile — and a failed shard
+# attempt must be fully closed and surfaced (counter + ops event), never
+# leaked.
+verify-resume:
+	$(GO) test ./internal/core -run 'TestResumeByteIdentical|TestResumeFromCheckpointFile|TestResumeRejectsFingerprintMismatch|TestCheckpointRejectedWithShards|TestShardRetryDoesNotLeak|TestShardCoordinatorFailureClosesSiblings' -count=1 -v
 
 bench:
 	$(GO) test -bench=. -benchmem .

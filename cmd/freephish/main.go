@@ -2,6 +2,7 @@
 // every table and figure from the paper's evaluation:
 //
 //	freephish [-scale 0.05] [-seed 1] [-workers N] [-backend inproc|http] [-table2 600] [-skip-table2]
+//	          [-checkpoint study.ckpt [-checkpoint-every N]] [-resume study.ckpt]
 //
 // At -scale 1.0 it streams the paper's full populations (31,405 FWB +
 // 31,405 self-hosted URLs over six virtual months); the default scale keeps
@@ -23,6 +24,7 @@ import (
 	"freephish/internal/features"
 	"freephish/internal/obs"
 	"freephish/internal/simclock"
+	"freephish/internal/state"
 	"freephish/internal/webgen"
 )
 
@@ -39,6 +41,9 @@ func main() {
 		shards     = flag.Int("shards", 1, "split the study across N deterministic sub-stream shards, each with its own pipeline and world; records, journal, and stats are byte-identical at every N")
 		faultSpec  = flag.String("faults", "", "chaos profile injected into the world boundary: off, default, or k=v spec (latency=0.1,5xx=0.2,reset=0.05,truncate=0.02,malform=0.02,burst=2,blackout=web:24h:6h); the retry layer absorbs the default profile with byte-identical results")
 		cascade    = flag.String("cascade", "", "tiered classification cascade: off, on (calibrated thresholds), or benignBelow,phishAbove — a fetch-free URL-lexical triage stage short-circuits confident URLs ahead of fetch; 0,1 reproduces the cascade-off study exactly")
+		ckptPath   = flag.String("checkpoint", "", "write a resumable checkpoint to this file (atomically, temp+rename) at ordered-apply boundaries during the study")
+		ckptEvery  = flag.Int("checkpoint-every", 144, "with -checkpoint, minimum poll intervals of virtual time between checkpoints (the default is one virtual day at the default 10-minute poll interval)")
+		resumePath = flag.String("resume", "", "resume the study from this checkpoint file (must match the run's seed/scale/window/faults configuration; resumes byte-identically)")
 		outPath    = flag.String("out", "", "write the study's records as JSONL to this file")
 		journal    = flag.String("journal", "", "write the per-URL lifecycle journal as JSONL to this file (enables tracing)")
 		opsAddr    = flag.String("ops", "", "serve /metrics, /healthz, /version, /debug/vars and /debug/pprof on this address while the study runs")
@@ -70,6 +75,15 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.Cascade = casc
+	cfg.CheckpointPath = *ckptPath
+	cfg.CheckpointEvery = *ckptEvery
+	if *resumePath != "" {
+		chk, err := state.ReadCheckpoint(*resumePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Resume = chk
+	}
 	fp := core.New(cfg)
 
 	// The ops listener scrapes the same registry the study writes to, so
@@ -107,23 +121,31 @@ func main() {
 	fmt.Println("FreePhish reproduction study")
 	fmt.Printf("seed=%d scale=%.3f\n\n", *seed, *scale)
 
-	// Section 2 / Figure 1: the 2020-2022 historical pervasiveness study.
-	fmt.Println(core.RenderFigure1(core.HistoricalStudy(*seed)))
+	if *resumePath != "" {
+		// The preamble studies (Figures 1/D1, the coder study, Tables 1-2)
+		// are pure functions of the seed: the interrupted run already
+		// printed them, so a resume goes straight to the measurement study.
+		fmt.Printf("resuming from %s (checkpoint at %s, %d poll cycles done); skipping the seed-deterministic preamble studies\n\n",
+			*resumePath, cfg.Resume.SimNow.Format(time.RFC3339), cfg.Resume.Cycles)
+	} else {
+		// Section 2 / Figure 1: the 2020-2022 historical pervasiveness study.
+		fmt.Println(core.RenderFigure1(core.HistoricalStudy(*seed)))
 
-	// Section 2: the D1 construction pipeline (VirusTotal labeling).
-	fmt.Println(core.RenderD1(core.BuildD1(*seed, *scale)))
+		// Section 2: the D1 construction pipeline (VirusTotal labeling).
+		fmt.Println(core.RenderD1(core.BuildD1(*seed, *scale)))
 
-	// Section 3: the two-coder qualitative evaluation.
-	fmt.Println(core.RenderCoderStudy(core.RunCoderStudy(*seed, 5000)))
+		// Section 3: the two-coder qualitative evaluation.
+		fmt.Println(core.RenderCoderStudy(core.RunCoderStudy(*seed, 5000)))
 
-	// Section 3 / Table 1: code similarity.
-	start := time.Now()
-	fmt.Println(core.RenderTable1(*seed, *table1N))
-	fmt.Printf("(table 1 computed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		// Section 3 / Table 1: code similarity.
+		start := time.Now()
+		fmt.Println(core.RenderTable1(*seed, *table1N))
+		fmt.Printf("(table 1 computed in %v)\n\n", time.Since(start).Round(time.Millisecond))
 
-	// Section 4.2 / Table 2: model comparison.
-	if !*skipTable2 {
-		fmt.Println(renderTable2(*seed, *table2N))
+		// Section 4.2 / Table 2: model comparison.
+		if !*skipTable2 {
+			fmt.Println(renderTable2(*seed, *table2N))
+		}
 	}
 
 	// Sections 5.1-5.5: the six-month measurement study.
@@ -135,7 +157,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("running the six-month measurement study...")
-	start = time.Now()
+	start := time.Now()
 	study, err := fp.Run()
 	if err != nil {
 		log.Fatal(err)

@@ -139,6 +139,26 @@ type Config struct {
 	// stats, and a canonical journal byte-identical to the 1-shard run.
 	// 0 and 1 mean an ordinary single-process study.
 	Shards int
+	// CheckpointPath, when non-empty, enables periodic checkpointing: a
+	// state.Checkpoint is written atomically (temp file + rename) to this
+	// path at ordered-apply boundaries — after a poll cycle or monitor
+	// tick, with no other event pending at the same instant — so a killed
+	// run resumes from the last cut instead of restarting the window.
+	// Not supported with Shards > 1 (shard failover-by-adoption is the
+	// next step; see shard.go).
+	CheckpointPath string
+	// CheckpointEvery is the poll-cycle stride between checkpoints; 0 or 1
+	// checkpoints at every eligible boundary.
+	CheckpointEvery int
+	// Resume, when non-nil, resumes the study from a checkpoint instead of
+	// starting at the epoch: the posting schedule replays deterministically
+	// to the checkpoint instant, recorded outcomes are re-applied to the
+	// world, and the state, journal, cursors, and in-flight monitor
+	// schedules are restored (see checkpoint.go). The checkpoint's config
+	// fingerprint must match this Config or Run fails loudly. The resumed
+	// run's records, journal, and stats are byte-identical to the
+	// uninterrupted run's.
+	Resume *state.Checkpoint
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -241,6 +261,16 @@ type FreePhish struct {
 	sharedModels bool
 	shards       []*FreePhish
 	shardHook    func(shard, attempt int) error
+	// shardPrep is a test seam invoked on each freshly built shard child
+	// before it runs, so tests can arrange mid-run failures inside the
+	// child (e.g. a failing stream wrapper).
+	shardPrep func(child *FreePhish, shard, attempt int)
+
+	// checkpointSink is a test seam: when set, every checkpoint's encoded
+	// bytes are also delivered here (checkpointing is active whenever the
+	// sink or Config.CheckpointPath is set). Tests use it to capture every
+	// cut point of a run without funneling them through one file.
+	checkpointSink func(data []byte) error
 }
 
 // Stats returns the run's operational counters.
@@ -340,6 +370,9 @@ func labeledPages(samples []world.Sample) []baselines.LabeledPage {
 // returned record set and the journal are in canonical order.
 func (f *FreePhish) Run() (*analysis.Study, error) {
 	if f.Config.Shards > 1 {
+		if f.Config.CheckpointPath != "" || f.Config.Resume != nil || f.checkpointSink != nil {
+			return nil, fmt.Errorf("core: checkpoint/resume is not supported with Shards > 1 (a dead shard already replays from scratch; failover-by-adoption of a shard checkpoint is future work)")
+		}
 		return f.runSharded()
 	}
 	return f.runLocal()
@@ -376,8 +409,8 @@ func (f *FreePhish) runLocal() (*analysis.Study, error) {
 		Shards:         f.shardCount,
 	})
 	var pollErr error
-	var stop func()
-	stop = f.Clock.Every(f.Config.PollInterval, f.Config.Epoch.Add(f.Config.Duration), "freephish.poll", func(now time.Time) {
+	stop := func() {}
+	pollTick := func(now time.Time) {
 		if pollErr != nil {
 			return
 		}
@@ -387,14 +420,41 @@ func (f *FreePhish) runLocal() (*analysis.Study, error) {
 			// no further cycles fire while the driver below unwinds.
 			stop()
 		}
-	})
-	defer stop()
+	}
+	pollUntil := f.Config.Epoch.Add(f.Config.Duration)
+	if f.Config.Resume != nil {
+		// Resume: replay the world to the checkpoint instant and restore
+		// the state, journal, cursors, and monitor schedules, then rejoin
+		// the original poll schedule at its next tick.
+		if err := f.restoreRun(f.Config.Resume); err != nil {
+			return nil, err
+		}
+		if next, ok := f.nextPollAfter(f.Config.Resume.SimNow, pollUntil); ok {
+			stop = f.Clock.EveryAt(next, f.Config.PollInterval, pollUntil, "freephish.poll", pollTick)
+		}
+	} else {
+		stop = f.Clock.Every(f.Config.PollInterval, pollUntil, "freephish.poll", pollTick)
+	}
+	defer func() { stop() }()
+
+	cp, err := f.newCheckpointer()
+	if err != nil {
+		return nil, err
+	}
 
 	// Run the window plus one week of trailing observation, one event at a
 	// time so a poll failure ends the study at the failing cycle instead of
 	// ticking out the rest of the window and the tail.
 	horizon := f.Config.Epoch.Add(f.Config.Duration + 7*24*time.Hour)
 	for pollErr == nil && f.Clock.StepUntil(horizon) {
+		if cp != nil {
+			if err := cp.maybe(f); err != nil {
+				// A checkpoint that cannot be written is a loud failure: the
+				// operator asked for resumability and silently losing it
+				// defeats the point.
+				return nil, err
+			}
+		}
 	}
 	if pollErr != nil {
 		return nil, pollErr

@@ -67,6 +67,9 @@ type Metrics struct {
 	CascadeTriaged        *obs.CounterVec // tier
 	CascadeFetchesAvoided *obs.Counter
 
+	// Sharded execution: coordinator-level failover.
+	ShardRetries *obs.CounterVec // shard
+
 	// Study-level progress.
 	Records *obs.Counter
 }
@@ -143,6 +146,9 @@ func newMetrics(reg *obs.Registry, simNow func() time.Time, epoch time.Time) *Me
 		CascadeFetchesAvoided: reg.Counter("freephish_cascade_fetches_avoided_total",
 			"Page fetches skipped because the lexical tier short-circuited the URL."),
 
+		ShardRetries: reg.CounterVec("freephish_shard_retries_total",
+			"Shard attempts the coordinator re-ran with a fresh child after a failure.", "shard"),
+
 		Records: reg.Counter("freephish_study_records_total",
 			"URLs admitted to longitudinal observation."),
 	}
@@ -190,19 +196,22 @@ func (f *FreePhish) wireMetrics() {
 	f.poller.ObserveFailure = func(platform threat.Platform, err error) {
 		m.PollFailed.Inc()
 	}
-	j := m.Journal
+	// The ops hooks read f.Metrics.Journal at call time rather than
+	// capturing it: a checkpoint resume rebuilds the journal after the
+	// hooks are wired, and the retry/fault events must land in the live
+	// one, not in the construction-time object.
 	if pol := f.retryPol; pol != nil {
 		pol.OnRetry = func(key string, attempt int, delay time.Duration, err error) {
 			m.Retries.With(key).Inc()
 			m.RetryBackoff.Add(delay.Seconds())
-			if j != nil {
+			if j := f.Metrics.Journal; j != nil {
 				j.RecordOps("", obs.EvRetry,
 					"key", key, "attempt", itoa(attempt), "err", err.Error())
 			}
 		}
 		pol.OnGiveUp = func(key string, attempts int, err error) {
 			m.RetryGiveUps.With(key).Inc()
-			if j != nil {
+			if j := f.Metrics.Journal; j != nil {
 				j.RecordOps("", obs.EvGiveUp,
 					"key", key, "attempts", itoa(attempts), "err", err.Error())
 			}
@@ -213,7 +222,7 @@ func (f *FreePhish) wireMetrics() {
 				transition = "open"
 			}
 			m.BreakerEvents.With(key, transition).Inc()
-			if j != nil {
+			if j := f.Metrics.Journal; j != nil {
 				j.RecordOps("", obs.EvBreaker, "key", key, "transition", transition)
 			}
 		}
@@ -221,7 +230,7 @@ func (f *FreePhish) wireMetrics() {
 	if f.injector != nil {
 		f.injector.Observe = func(kind, endpoint, key string) {
 			m.FaultsInjected.With(kind).Inc()
-			if j != nil {
+			if j := f.Metrics.Journal; j != nil {
 				j.RecordOps("", obs.EvFault,
 					"kind", kind, "endpoint", endpoint, "key", key)
 			}

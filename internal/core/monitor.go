@@ -42,8 +42,18 @@ func (f *FreePhish) skewed(endpoint, url string, at time.Time) time.Time {
 	return at.Add(f.injector.ClockSkew(endpoint, url))
 }
 
-// scheduleMonitor registers rec for periodic re-checking.
+// scheduleMonitor registers rec for periodic re-checking, starting one
+// interval after the classification instant.
 func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
+	f.monitorFrom(rec, f.Clock.Now().Add(f.Config.MonitorInterval))
+}
+
+// monitorFrom registers rec's periodic re-check schedule with its first
+// tick at the absolute instant first. scheduleMonitor passes now+interval
+// (the historical behavior); checkpoint resume passes the next tick of the
+// original schedule (classification instant + k·interval), which is what
+// reproduces the uninterrupted run's tick sequence exactly.
+func (f *FreePhish) monitorFrom(rec *analysis.Record, first time.Time) {
 	ob := f.State.StartObservation(rec.Target.URL)
 	// The backends agree on the feed set but not its order (the http
 	// client sorts, the sim keeps assessment order). The observations are
@@ -55,7 +65,7 @@ func (f *FreePhish) scheduleMonitor(rec *analysis.Record) {
 
 	until := rec.Target.SharedAt.Add(MonitorHorizon)
 	var stop func()
-	stop = f.Clock.Every(f.Config.MonitorInterval, until, "freephish.monitor", func(now time.Time) {
+	stop = f.Clock.EveryAt(first, f.Config.MonitorInterval, until, "freephish.monitor", func(now time.Time) {
 		sp := f.Metrics.Tracer.Start("monitor")
 		ob.MarkProbe()
 		f.Metrics.MonitorProbes.Inc()

@@ -250,6 +250,23 @@ func (f *FreePhish) startFeedServers() (map[string]string, error) {
 	return bases, nil
 }
 
+// Close releases every live resource this framework holds: the loopback
+// servers and the crawler clients' idle connections. Idempotent, and safe
+// on a partially started framework (every field it touches is nil-guarded).
+// The shard coordinator calls it on each failed attempt so a retry with a
+// fresh child never stacks a leaked listener or keep-alive socket on top
+// of the dead one, and on the coordinator's own failure path so sibling
+// shards are torn down rather than abandoned.
+func (f *FreePhish) Close() {
+	f.stopServers()
+	if f.fetcher != nil && f.fetcher.Client != nil {
+		f.fetcher.Client.CloseIdleConnections()
+	}
+	if f.poller != nil && f.poller.Client != nil {
+		f.poller.Client.CloseIdleConnections()
+	}
+}
+
 // stopServers shuts every server down. Safe under double invocation (the
 // per-server stop is once-guarded); shutdown errors are surfaced through
 // the run logger instead of being discarded.

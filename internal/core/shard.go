@@ -49,6 +49,15 @@ func (f *FreePhish) runSharded() (*analysis.Study, error) {
 			return snap, err
 		})
 	if err != nil {
+		// par.MapOrdered continues on error, so by the time it returns every
+		// shard attempt has finished — but the siblings that succeeded are
+		// still holding their frameworks. Tear them all down instead of
+		// returning with their sockets abandoned.
+		for _, child := range shards {
+			if child != nil {
+				child.Close()
+			}
+		}
 		return nil, err
 	}
 	f.shards = shards
@@ -70,13 +79,23 @@ func (f *FreePhish) runShard(i int) (*state.Snapshot, *FreePhish, error) {
 	var lastErr error
 	for attempt := 0; attempt < shardAttempts; attempt++ {
 		child := f.newShard(i)
+		if f.shardPrep != nil {
+			f.shardPrep(child, i, attempt)
+		}
 		if f.shardHook != nil {
 			if err := f.shardHook(i, attempt); err != nil {
+				// The failed child is done for: close it before building its
+				// replacement, or every retry leaks the previous attempt's
+				// listeners and keep-alive sockets for the rest of the study.
+				child.Close()
+				f.observeShardRetry(i, attempt, err)
 				lastErr = err
 				continue
 			}
 		}
 		if _, err := child.Run(); err != nil {
+			child.Close()
+			f.observeShardRetry(i, attempt, err)
 			lastErr = err
 			continue
 		}
@@ -88,6 +107,20 @@ func (f *FreePhish) runShard(i int) (*state.Snapshot, *FreePhish, error) {
 	}
 	return nil, nil, fmt.Errorf("core: shard %d/%d failed after %d attempts: %w",
 		i, f.Config.Shards, shardAttempts, lastErr)
+}
+
+// observeShardRetry surfaces a failed shard attempt: a counter on the
+// coordinator's registry and an ops-class journal event, so re-runs show
+// up on /dash and in the ops stream instead of silently re-paying a
+// shard's worth of work. Ops events never enter the canonical record
+// (see obs.SortCanonical), so observing a retry cannot perturb the
+// byte-identity contract.
+func (f *FreePhish) observeShardRetry(shard, attempt int, err error) {
+	f.Metrics.ShardRetries.With(itoa(shard)).Inc()
+	if j := f.Metrics.Journal; j != nil {
+		j.RecordOps("", obs.EvShardRetry,
+			"shard", itoa(shard), "attempt", itoa(attempt), "err", err.Error())
+	}
 }
 
 // newShard builds the child framework for shard i. The child shares the
@@ -102,7 +135,13 @@ func (f *FreePhish) newShard(i int) *FreePhish {
 	cfg.Registry = nil
 	cfg.Progress = nil
 	cfg.Logger = nil
+	// Checkpointing is coordinator-level (Run rejects it with Shards > 1);
+	// never let a child inherit the flags and clobber the operator's file.
+	cfg.CheckpointPath = ""
+	cfg.CheckpointEvery = 0
+	cfg.Resume = nil
 	child := New(cfg)
+	child.listen = f.listen
 	child.shardIndex = i
 	child.shardCount = f.Config.Shards
 	child.sharedModels = true

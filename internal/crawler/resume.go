@@ -1,0 +1,135 @@
+package crawler
+
+import (
+	"sort"
+	"time"
+
+	"freephish/internal/threat"
+)
+
+// This file is the crawler's contribution to checkpoint/resume: the poller's
+// cursor state is exactly what a state.Snapshot cannot rebuild — the
+// per-platform poll cursors, the bounded post-ID dedup set, the failure
+// counters, and the rate limiter's bucket. Capturing and restoring them
+// makes a resumed run issue byte-for-byte the same platform API requests
+// (same since= windows, same dedup decisions, same throttle outcomes) as
+// the uninterrupted run.
+
+// PollerState is the serializable cursor state of a Poller.
+type PollerState struct {
+	// Cursors is the last advanced poll time per platform.
+	Cursors map[threat.Platform]time.Time `json:"cursors"`
+	// Seen is the cross-poll post-ID dedup set.
+	Seen SeenState `json:"seen"`
+	// Skipped and Failed carry the poller's cumulative counters.
+	Skipped int `json:"skipped"`
+	Failed  int `json:"failed"`
+}
+
+// SeenState is the serializable form of the two-generation dedup set. The
+// generations are emitted sorted so the encoding is deterministic.
+type SeenState struct {
+	Cap    int      `json:"cap"`
+	Cur    []string `json:"cur"`
+	Prev   []string `json:"prev"`
+	Recent []int    `json:"recent"`
+	RI     int      `json:"ri"`
+}
+
+// State captures the poller's resumable cursor state.
+func (p *Poller) State() *PollerState {
+	cur := make(map[threat.Platform]time.Time, len(p.cursor))
+	for plat, t := range p.cursor {
+		cur[plat] = t
+	}
+	return &PollerState{
+		Cursors: cur,
+		Seen:    p.seen.state(),
+		Skipped: p.Skipped,
+		Failed:  p.Failed,
+	}
+}
+
+// RestoreState rewinds the poller to a captured cursor state.
+func (p *Poller) RestoreState(st *PollerState) {
+	p.cursor = make(map[threat.Platform]time.Time, len(st.Cursors))
+	for plat, t := range st.Cursors {
+		p.cursor[plat] = t
+	}
+	p.seen.restore(st.Seen)
+	p.Skipped = st.Skipped
+	p.Failed = st.Failed
+}
+
+// state captures the dedup set with sorted generations.
+func (s *seenSet) state() SeenState {
+	st := SeenState{
+		Cap:    s.cap,
+		Cur:    sortedKeys(s.cur),
+		Prev:   sortedKeys(s.prev),
+		Recent: append([]int(nil), s.recent[:]...),
+		RI:     s.ri,
+	}
+	return st
+}
+
+// restore rebuilds the dedup set from a captured state.
+func (s *seenSet) restore(st SeenState) {
+	s.cap = st.Cap
+	if s.cap < minSeenCap {
+		s.cap = minSeenCap
+	}
+	s.cur = make(map[string]bool, len(st.Cur))
+	for _, id := range st.Cur {
+		s.cur[id] = true
+	}
+	s.prev = make(map[string]bool, len(st.Prev))
+	for _, id := range st.Prev {
+		s.prev[id] = true
+	}
+	s.recent = [seenCycleWindow]int{}
+	copy(s.recent[:], st.Recent)
+	s.ri = st.RI % seenCycleWindow
+	if s.ri < 0 {
+		s.ri = 0
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LimiterState is the serializable state of a RateLimiter bucket.
+type LimiterState struct {
+	Tokens    float64       `json:"tokens"`
+	Last      time.Time     `json:"last"`
+	Throttled uint64        `json:"throttled"`
+	WaitTotal time.Duration `json:"wait_total"`
+}
+
+// State captures the limiter's bucket state.
+func (r *RateLimiter) State() *LimiterState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &LimiterState{
+		Tokens:    r.tokens,
+		Last:      r.last,
+		Throttled: r.throttled,
+		WaitTotal: r.waitTotal,
+	}
+}
+
+// RestoreState rewinds the limiter's bucket to a captured state.
+func (r *RateLimiter) RestoreState(st *LimiterState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tokens = st.Tokens
+	r.last = st.Last
+	r.throttled = st.Throttled
+	r.waitTotal = st.WaitTotal
+}

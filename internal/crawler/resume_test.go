@@ -1,0 +1,118 @@
+package crawler
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"freephish/internal/threat"
+)
+
+// The resume contract: a poller (or limiter) restored from its captured
+// state must behave byte-for-byte like the original from that point on —
+// same cursors, same dedup verdicts, same generation rotations, same
+// throttle outcomes.
+
+func TestPollerStateRoundTrip(t *testing.T) {
+	start := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	p := NewPoller(map[threat.Platform]string{
+		threat.Twitter:  "http://t",
+		threat.Facebook: "http://f",
+	}, nil, start)
+
+	// Drive the poller into a non-trivial state: advanced cursors, both
+	// dedup generations populated (force a rotation), cycle history, and
+	// failure counters.
+	p.cursor[threat.Twitter] = start.Add(3 * time.Hour)
+	p.cursor[threat.Facebook] = start.Add(2 * time.Hour)
+	p.Skipped, p.Failed = 4, 2
+	p.seen.cap = minSeenCap
+	for i := 0; i < minSeenCap+100; i++ {
+		p.seen.Add(id(i))
+	}
+	p.seen.EndCycle(700)
+	p.seen.EndCycle(300)
+
+	q := NewPoller(map[threat.Platform]string{
+		threat.Twitter:  "http://t",
+		threat.Facebook: "http://f",
+	}, nil, start)
+	q.RestoreState(p.State())
+
+	if got, want := q.cursor[threat.Twitter], p.cursor[threat.Twitter]; !got.Equal(want) {
+		t.Fatalf("twitter cursor = %v, want %v", got, want)
+	}
+	if got, want := q.cursor[threat.Facebook], p.cursor[threat.Facebook]; !got.Equal(want) {
+		t.Fatalf("facebook cursor = %v, want %v", got, want)
+	}
+	if q.Skipped != p.Skipped || q.Failed != p.Failed {
+		t.Fatalf("counters = %d/%d, want %d/%d", q.Skipped, q.Failed, p.Skipped, p.Failed)
+	}
+	if q.seen.cap != p.seen.cap || q.seen.ri != p.seen.ri || q.seen.recent != p.seen.recent {
+		t.Fatalf("seen sizing state diverged: cap=%d/%d ri=%d/%d", q.seen.cap, p.seen.cap, q.seen.ri, p.seen.ri)
+	}
+	if q.SeenLen() != p.SeenLen() {
+		t.Fatalf("SeenLen = %d, want %d", q.SeenLen(), p.SeenLen())
+	}
+	// Membership must agree across both generations.
+	for i := 0; i < minSeenCap+100; i++ {
+		if q.seen.Has(id(i)) != p.seen.Has(id(i)) {
+			t.Fatalf("dedup verdict for %s diverged after restore", id(i))
+		}
+	}
+	// Continuation equivalence: the same subsequent adds must rotate the
+	// generations identically and keep verdicts in lockstep.
+	for i := minSeenCap + 100; i < 2*minSeenCap; i++ {
+		p.seen.Add(id(i))
+		q.seen.Add(id(i))
+	}
+	for i := 0; i < 2*minSeenCap; i++ {
+		if q.seen.Has(id(i)) != p.seen.Has(id(i)) {
+			t.Fatalf("post-restore dedup verdict for %s diverged", id(i))
+		}
+	}
+}
+
+func TestSeenRestoreGuardsDegenerateState(t *testing.T) {
+	s := newSeenSet()
+	s.restore(SeenState{Cap: 3, RI: -5, Recent: []int{1, 2}})
+	if s.cap != minSeenCap {
+		t.Fatalf("cap = %d, want clamped to %d", s.cap, minSeenCap)
+	}
+	if s.ri != 0 {
+		t.Fatalf("ri = %d, want clamped to 0", s.ri)
+	}
+	s.restore(SeenState{Cap: minSeenCap, RI: seenCycleWindow + 3})
+	if s.ri != 3 {
+		t.Fatalf("ri = %d, want wrapped to 3", s.ri)
+	}
+}
+
+func TestLimiterStateRoundTrip(t *testing.T) {
+	clock := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	now := func() time.Time { return clock }
+	r := NewRateLimiter(3, 1.0/60, now)
+	for i := 0; i < 5; i++ {
+		r.Allow() // drain the bucket, then rack up two throttles
+	}
+	clock = clock.Add(30 * time.Second) // half a token refilled
+
+	s := NewRateLimiter(3, 1.0/60, now)
+	s.RestoreState(r.State())
+	if s.Tokens() != r.Tokens() {
+		t.Fatalf("tokens = %v, want %v", s.Tokens(), r.Tokens())
+	}
+	if s.Throttled() != r.Throttled() || s.WaitTotal() != r.WaitTotal() {
+		t.Fatalf("counters = %d/%v, want %d/%v", s.Throttled(), s.WaitTotal(), r.Throttled(), r.WaitTotal())
+	}
+	// Continuation equivalence: both buckets must grant and deny in
+	// lockstep as virtual time advances.
+	for i := 0; i < 10; i++ {
+		clock = clock.Add(45 * time.Second)
+		if got, want := s.Allow(), r.Allow(); got != want {
+			t.Fatalf("Allow diverged at step %d: restored=%v original=%v", i, got, want)
+		}
+	}
+}
+
+func id(i int) string { return fmt.Sprintf("post-%06d", i) }

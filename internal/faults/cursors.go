@@ -1,0 +1,58 @@
+package faults
+
+import "sort"
+
+// This file is the chaos layer's contribution to checkpoint/resume. Every
+// fault decision is a pure hash of (seed, key, request ordinal), so the
+// injector's only mutable state is the per-key ordinal and streak plus the
+// per-kind counters. Capturing them in a checkpoint and restoring them on
+// resume makes the post-resume fault schedule pick up exactly where the
+// interrupted run left off — in particular the clock-skew stream, whose
+// per-URL draws are the one fault kind that lands in study output.
+
+// KeyCursor is one request key's decision cursor: how many requests the
+// key has seen and how deep its current fault streak is.
+type KeyCursor struct {
+	Key    string `json:"key"`
+	N      uint64 `json:"n"`
+	Consec int    `json:"consec"`
+}
+
+// Cursors is the injector's serializable decision state. Keys are sorted
+// so the encoding is deterministic.
+type Cursors struct {
+	Keys   []KeyCursor       `json:"keys"`
+	Counts map[string]uint64 `json:"counts"`
+}
+
+// Cursors captures the injector's decision state.
+func (i *Injector) Cursors() *Cursors {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	c := &Cursors{
+		Keys:   make([]KeyCursor, 0, len(i.streak)),
+		Counts: make(map[string]uint64, len(i.counts)),
+	}
+	for k, st := range i.streak {
+		c.Keys = append(c.Keys, KeyCursor{Key: k, N: st.n, Consec: st.consec})
+	}
+	sort.Slice(c.Keys, func(a, b int) bool { return c.Keys[a].Key < c.Keys[b].Key })
+	for k, v := range i.counts {
+		c.Counts[k] = v
+	}
+	return c
+}
+
+// RestoreCursors rewinds the injector to a captured decision state.
+func (i *Injector) RestoreCursors(c *Cursors) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.streak = make(map[string]*keyState, len(c.Keys))
+	for _, kc := range c.Keys {
+		i.streak[kc.Key] = &keyState{n: kc.N, consec: kc.Consec}
+	}
+	i.counts = make(map[string]uint64, len(c.Counts))
+	for k, v := range c.Counts {
+		i.counts[k] = v
+	}
+}

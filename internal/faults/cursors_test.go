@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The resume contract: an injector restored from captured cursors must
+// emit exactly the fault sequence the uninterrupted injector would have
+// emitted from that point — same verdicts, same streak caps, same skew
+// offsets, same cumulative counts.
+
+func cursorProfile() Profile {
+	return Profile{
+		ServerErrP:     0.30,
+		ResetP:         0.20,
+		SkewP:          0.50,
+		SkewMax:        time.Hour,
+		MaxConsecutive: 3,
+	}
+}
+
+// drive issues requests [lo, hi) against a fixed small key population and
+// records each outcome as a string, so two runs can be diffed directly.
+func drive(i *Injector, lo, hi int) []string {
+	var out []string
+	for n := lo; n < hi; n++ {
+		url := fmt.Sprintf("http://site-%d.example", n%3)
+		verdict := "ok"
+		if err := i.PortFault("api", url); err != nil {
+			verdict = err.Error()
+		}
+		skew := i.ClockSkew("feed.a", url)
+		out = append(out, fmt.Sprintf("%s %s %s", url, verdict, skew))
+	}
+	return out
+}
+
+func TestCursorsContinuationMatchesUninterrupted(t *testing.T) {
+	const n, m = 48, 48
+	full := NewInjector(7, cursorProfile())
+	want := drive(full, 0, n+m)
+
+	first := NewInjector(7, cursorProfile())
+	if got := drive(first, 0, n); !reflect.DeepEqual(got, want[:n]) {
+		t.Fatal("same-seed injectors diverged before the cut — determinism broken")
+	}
+	resumed := NewInjector(7, cursorProfile())
+	resumed.RestoreCursors(first.Cursors())
+	got := drive(resumed, n, n+m)
+	for i := range got {
+		if got[i] != want[n+i] {
+			t.Fatalf("post-resume request %d: got %q, want %q", n+i, got[i], want[n+i])
+		}
+	}
+	if !reflect.DeepEqual(resumed.Counts(), full.Counts()) {
+		t.Fatalf("cumulative counts diverged: resumed %v, uninterrupted %v", resumed.Counts(), full.Counts())
+	}
+}
+
+func TestCursorsCaptureIsDeterministic(t *testing.T) {
+	i := NewInjector(3, cursorProfile())
+	drive(i, 0, 30)
+	a, b := i.Cursors(), i.Cursors()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two captures of the same state differ")
+	}
+	for k := 1; k < len(a.Keys); k++ {
+		if a.Keys[k-1].Key >= a.Keys[k].Key {
+			t.Fatalf("cursor keys not sorted: %q before %q", a.Keys[k-1].Key, a.Keys[k].Key)
+		}
+	}
+}
+
+func TestCursorsEmptyRoundTrip(t *testing.T) {
+	fresh := NewInjector(5, cursorProfile())
+	restored := NewInjector(5, cursorProfile())
+	restored.RestoreCursors(fresh.Cursors())
+	a, b := drive(fresh, 0, 20), drive(restored, 0, 20)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("empty-cursor restore changed the fault stream")
+	}
+}

@@ -58,6 +58,9 @@ const (
 	EvBreaker = "breaker" // a circuit breaker opened or closed
 	EvFault   = "fault"   // the chaos injector fired
 	EvPort    = "port"    // a world port call completed
+	// EvShardRetry marks a coordinator-level failover: a shard attempt
+	// failed and the coordinator re-ran the sub-stream with a fresh child.
+	EvShardRetry = "shard_retry"
 )
 
 // Event classes.

@@ -80,6 +80,19 @@ func (c *Clock) Every(period time.Duration, until time.Time, name string, fn fun
 	if period <= 0 {
 		panic(fmt.Sprintf("simclock: non-positive period %v for %q", period, name))
 	}
+	return c.EveryAt(c.Now().Add(period), period, until, name, fn)
+}
+
+// EveryAt is Every with an explicit first fire time: fn runs at the absolute
+// instant first, then every period after that. Like Every's initial tick,
+// the first tick fires unconditionally; only subsequent ticks are gated by
+// until. Checkpoint resume uses this to re-enter a periodic schedule
+// mid-flight — re-registering a monitor at its next original tick instant
+// reproduces the uninterrupted run's tick sequence exactly.
+func (c *Clock) EveryAt(first time.Time, period time.Duration, until time.Time, name string, fn func(now time.Time)) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("simclock: non-positive period %v for %q", period, name))
+	}
 	var (
 		mu      sync.Mutex
 		stopped bool
@@ -105,7 +118,7 @@ func (c *Clock) Every(period time.Duration, until time.Time, name string, fn fun
 		mu.Unlock()
 	}
 	mu.Lock()
-	pending = c.After(period, name, tick)
+	pending = c.Schedule(first, name, tick)
 	mu.Unlock()
 	return func() {
 		mu.Lock()
@@ -184,6 +197,19 @@ func (c *Clock) Run() int {
 		n++
 	}
 	return n
+}
+
+// NextAt reports the fire time of the earliest pending event, or false when
+// the queue is empty. Checkpoint writers use it to confirm an instant is
+// fully applied — no event still pending at the current time — before
+// cutting, which makes every cut point an ordered-apply boundary.
+func (c *Clock) NextAt() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return time.Time{}, false
+	}
+	return c.queue[0].at, true
 }
 
 // Pending reports the number of events currently queued.

@@ -177,6 +177,106 @@ func TestEveryNonPositivePeriodPanics(t *testing.T) {
 	New(epoch).Every(0, time.Time{}, "bad", func(time.Time) {})
 }
 
+func TestEveryAtSeedsFirstTick(t *testing.T) {
+	c := New(epoch)
+	var ticks []time.Time
+	// A schedule resumed mid-stream: first tick at an absolute instant,
+	// later ticks at the period, bounded by until.
+	first := epoch.Add(45 * time.Minute)
+	c.EveryAt(first, 10*time.Minute, epoch.Add(time.Hour+5*time.Minute), "tick", func(now time.Time) {
+		ticks = append(ticks, now)
+	})
+	c.RunUntil(epoch.Add(2 * time.Hour))
+	want := []time.Time{first, first.Add(10 * time.Minute), first.Add(20 * time.Minute)}
+	if len(ticks) != len(want) {
+		t.Fatalf("got %d ticks %v, want %d", len(ticks), ticks, len(want))
+	}
+	for i := range want {
+		if !ticks[i].Equal(want[i]) {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestEveryAtFirstTickUnconditional(t *testing.T) {
+	// Every's contract: the first tick fires even past until. EveryAt must
+	// honor the same rule so a resumed schedule matches the original.
+	c := New(epoch)
+	var ticks int
+	c.EveryAt(epoch.Add(2*time.Hour), time.Hour, epoch.Add(time.Hour), "tick", func(time.Time) {
+		ticks++
+	})
+	c.RunUntil(epoch.Add(10 * time.Hour))
+	if ticks != 1 {
+		t.Fatalf("first tick past until fired %d times, want exactly 1", ticks)
+	}
+}
+
+func TestEveryAtStopAndPanics(t *testing.T) {
+	c := New(epoch)
+	count := 0
+	var stop func()
+	stop = c.EveryAt(epoch.Add(time.Minute), time.Minute, time.Time{}, "tick", func(time.Time) {
+		count++
+		if count == 2 {
+			stop()
+		}
+	})
+	c.RunUntil(epoch.Add(time.Hour))
+	if count != 2 {
+		t.Fatalf("ticked %d times after stop, want 2", count)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive period")
+		}
+	}()
+	c.EveryAt(epoch, 0, time.Time{}, "bad", func(time.Time) {})
+}
+
+func TestEveryMatchesEveryAtFromNow(t *testing.T) {
+	// Every(period, ...) must be exactly EveryAt(now+period, ...): the
+	// checkpoint/resume math relies on the two constructions producing the
+	// same tick sequence.
+	a, b := New(epoch), New(epoch)
+	var ta, tb []time.Time
+	until := epoch.Add(3 * time.Hour)
+	a.Every(20*time.Minute, until, "tick", func(now time.Time) { ta = append(ta, now) })
+	b.EveryAt(epoch.Add(20*time.Minute), 20*time.Minute, until, "tick", func(now time.Time) { tb = append(tb, now) })
+	a.RunUntil(epoch.Add(4 * time.Hour))
+	b.RunUntil(epoch.Add(4 * time.Hour))
+	if len(ta) != len(tb) {
+		t.Fatalf("Every fired %d, EveryAt fired %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if !ta[i].Equal(tb[i]) {
+			t.Fatalf("tick %d: Every at %v, EveryAt at %v", i, ta[i], tb[i])
+		}
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	c := New(epoch)
+	if _, ok := c.NextAt(); ok {
+		t.Fatal("NextAt reported an event on an empty queue")
+	}
+	c.Schedule(epoch.Add(2*time.Hour), "b", func(time.Time) {})
+	c.Schedule(epoch.Add(1*time.Hour), "a", func(time.Time) {})
+	at, ok := c.NextAt()
+	if !ok || !at.Equal(epoch.Add(1*time.Hour)) {
+		t.Fatalf("NextAt = %v, %v; want head of queue at +1h", at, ok)
+	}
+	c.Step()
+	at, ok = c.NextAt()
+	if !ok || !at.Equal(epoch.Add(2*time.Hour)) {
+		t.Fatalf("NextAt after step = %v, %v; want +2h", at, ok)
+	}
+	c.Step()
+	if _, ok := c.NextAt(); ok {
+		t.Fatal("NextAt reported an event after draining")
+	}
+}
+
 func TestRNGDeterministicPerName(t *testing.T) {
 	a1 := NewRNG(7, "blocklist.gsb")
 	a2 := NewRNG(7, "blocklist.gsb")

@@ -1,0 +1,164 @@
+package state
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"freephish/internal/analysis"
+	"freephish/internal/crawler"
+	"freephish/internal/faults"
+	"freephish/internal/threat"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	at := time.Date(2022, 11, 15, 6, 0, 0, 0, time.UTC)
+	return &Checkpoint{
+		Fingerprint: "v1 seed=7 ...",
+		SimNow:      at,
+		Cycles:      14,
+		Snapshot: &Snapshot{
+			Stats: Stats{Polls: 14, PostsSeen: 30, URLsScanned: 3},
+			Records: []*analysis.Record{{
+				Target:       &threat.Target{URL: "http://a.example", Platform: threat.Twitter, PostID: "p1"},
+				ClassifiedAt: at.Add(-2 * time.Hour),
+			}},
+			Observations: map[string]*Observation{
+				"http://a.example": {Listings: map[string]time.Time{"gsb": at.Add(-time.Hour)}},
+			},
+			Seen: []string{"http://a.example", "http://b.example"},
+		},
+		Poller: &crawler.PollerState{
+			Cursors: map[threat.Platform]time.Time{threat.Twitter: at},
+			Seen:    crawler.SeenState{Cap: 1024, Cur: []string{"p1"}},
+			Skipped: 2,
+		},
+		Limiter: &crawler.LimiterState{Tokens: 1.5, Last: at, Throttled: 3},
+		Faults: &faults.Cursors{
+			Keys:   []faults.KeyCursor{{Key: "web|http://a.example", N: 9, Consec: 1}},
+			Counts: map[string]uint64{"5xx": 4},
+		},
+	}
+}
+
+func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleCheckpoint()
+	data, err := EncodeCheckpoint(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	data, err := EncodeCheckpoint(sampleCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: the recorded hash must catch it. Find a safe
+	// byte to flip inside the payload (a letter in a URL).
+	i := bytes.Index(data, []byte("a.example"))
+	if i < 0 {
+		t.Fatal("payload marker not found")
+	}
+	bad := append([]byte(nil), data...)
+	bad[i] = 'z'
+	if _, err := DecodeCheckpoint(bad); err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("corrupted checkpoint accepted (err=%v)", err)
+	}
+}
+
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	data, err := EncodeCheckpoint(sampleCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(data[:len(data)/2]); err == nil || !strings.Contains(err.Error(), "not a valid checkpoint") {
+		t.Fatalf("truncated checkpoint accepted (err=%v)", err)
+	}
+	if _, err := DecodeCheckpoint(nil); err == nil {
+		t.Fatal("empty checkpoint accepted")
+	}
+}
+
+func TestCheckpointRejectsVersionMismatch(t *testing.T) {
+	data, err := EncodeCheckpoint(sampleCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	f.Version = 99
+	bad, _ := json.Marshal(f)
+	if _, err := DecodeCheckpoint(bad); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("future-version checkpoint accepted (err=%v)", err)
+	}
+}
+
+func TestCheckpointRejectsMissingSnapshot(t *testing.T) {
+	data, err := EncodeCheckpoint(&Checkpoint{Fingerprint: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(data); err == nil || !strings.Contains(err.Error(), "no snapshot") {
+		t.Fatalf("snapshot-less checkpoint accepted (err=%v)", err)
+	}
+}
+
+func TestWriteCheckpointAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "study.ckpt")
+	first := sampleCheckpoint()
+	if err := WriteCheckpoint(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleCheckpoint()
+	second.Cycles = 99
+	if err := WriteCheckpoint(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != 99 {
+		t.Fatalf("Cycles = %d, want the replacing write's 99", got.Cycles)
+	}
+	// No temp files may linger after successful writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "study.ckpt" {
+		t.Fatalf("stray files in checkpoint dir: %v", entries)
+	}
+}
+
+func TestReadCheckpointErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadCheckpoint(filepath.Join(dir, "absent.ckpt")); err == nil {
+		t.Fatal("missing checkpoint file accepted")
+	}
+	path := filepath.Join(dir, "garbage.ckpt")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadCheckpoint(path)
+	if err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("garbage checkpoint error should name the file, got %v", err)
+	}
+}

@@ -249,6 +249,55 @@ func (s *Sim) Release(url string) error {
 	return nil
 }
 
+// --- checkpoint resume ---
+
+// Replay is one study record's externally-visible outcome, re-applied to a
+// freshly reconstructed world on checkpoint resume. Replaying the posting
+// schedule (SchedulePosts + Clock.RunUntil) rebuilds the posts and sites
+// deterministically, but the ecosystem's *reactions* — feed listings from
+// Assess, post removals from moderation, host takedowns from disclosure —
+// happened through assessment calls the resumed run never makes again.
+// They are all recorded on the record, and all idempotent first-wins
+// mutations, so re-applying them restores the world to the cut instant.
+type Replay struct {
+	URL      string
+	Platform threat.Platform
+	PostID   string
+	// Listings maps entity name to the recorded listing time (possibly
+	// after the cut instant — feeds hide future-dated listings until then,
+	// exactly as the uninterrupted run would).
+	Listings map[string]time.Time
+	// PostRemovedAt / HostRemovedAt, when non-zero, re-apply the platform
+	// moderation and hosting takedown outcomes.
+	PostRemovedAt time.Time
+	HostRemovedAt time.Time
+}
+
+// ReplayOutcome re-applies one record's recorded outcome. Every mutation
+// is first-wins and keyed by URL or post ID, so replay order is free and
+// re-applying an already-present outcome is a no-op.
+func (s *Sim) ReplayOutcome(r Replay) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, at := range r.Listings {
+		if feed := s.Feeds[name]; feed != nil {
+			feed.List(r.URL, at)
+		}
+	}
+	if !r.PostRemovedAt.IsZero() {
+		if nw := s.Networks[r.Platform]; nw != nil {
+			if post := nw.Lookup(r.PostID); post != nil {
+				post.Remove(r.PostRemovedAt)
+			}
+		}
+	}
+	if !r.HostRemovedAt.IsZero() {
+		if site := s.Host.Lookup(r.URL); site != nil {
+			site.TakeDown(r.HostRemovedAt, "host")
+		}
+	}
+}
+
 // --- posting schedule ---
 
 // PostingPlan lays out the six posting populations (already scaled) over
