@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos verify-stream verify-journal verify-cascade verify-shards verify-resume clean
+.PHONY: all build test race vet ci bench bench-baseline bench-compare fmt-check verify-backends verify-chaos verify-stream verify-journal verify-cascade verify-shards verify-resume verify-remote-shards verify-adoption clean
 
 all: build
 
@@ -77,6 +77,23 @@ verify-shards:
 # leaked.
 verify-resume:
 	$(GO) test ./internal/core -run 'TestResumeByteIdentical|TestResumeFromCheckpointFile|TestResumeRejectsFingerprintMismatch|TestCheckpointRejectedWithShards|TestShardRetryDoesNotLeak|TestShardCoordinatorFailureClosesSiblings' -count=1 -v
+
+# verify-remote-shards proves the shard-dispatch boundary is
+# transport-agnostic: shards dispatched to a remote worker daemon over
+# the shardrpc wire protocol must yield records, journal, and stats
+# byte-identical to in-process dispatch — at shards 2 and 4, on both
+# backends, under the default chaos profile — and a dead endpoint must
+# fail over to local dispatch through the per-worker circuit breaker.
+verify-remote-shards:
+	$(GO) test ./internal/core -run 'TestRemoteShardDeterminism|TestWorkerBreakerFailover' -count=1 -v
+
+# verify-adoption proves failover by checkpoint adoption: a shard
+# runner killed mid-run (local panic or remote connection death) must
+# be replaced by a runner that resumes from the dead runner's last
+# streamed checkpoint — never from scratch — and the adopted study must
+# be byte-identical to the undisturbed one.
+verify-adoption:
+	$(GO) test ./internal/core -run 'TestShardAdoptionByteIdentical|TestRemoteShardAdoptionByteIdentical' -count=1 -v
 
 bench:
 	$(GO) test -bench=. -benchmem .

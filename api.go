@@ -184,6 +184,12 @@ type StudyConfig struct {
 	// and stats byte-identical to a 1-shard run. 0 and 1 run the study
 	// in a single pipeline.
 	Shards int
+	// ShardWorkers lists remote shard-worker endpoints ("host:port",
+	// serving the freephish-worker protocol). When set alongside Shards,
+	// shards dispatch to the workers round-robin behind a per-endpoint
+	// circuit breaker, falling back to in-process execution when no
+	// worker is reachable. Placement never changes the study's bytes.
+	ShardWorkers []string
 	// Progress, when set, is invoked after every streaming poll cycle —
 	// the hook by which long study runs narrate themselves.
 	Progress func(Progress)
@@ -228,6 +234,7 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 	c.QueueDepth = cfg.QueueDepth
 	c.Backend = cfg.Backend
 	c.Shards = cfg.Shards
+	c.ShardWorkers = cfg.ShardWorkers
 	prof, err := faults.ParseProfile(cfg.Faults)
 	if err != nil {
 		return nil, fmt.Errorf("freephish: bad fault profile: %w", err)

@@ -3,6 +3,7 @@
 //
 //	freephish [-scale 0.05] [-seed 1] [-workers N] [-backend inproc|http] [-table2 600] [-skip-table2]
 //	          [-checkpoint study.ckpt [-checkpoint-every N]] [-resume study.ckpt]
+//	          [-shards N [-shard-workers host:port,...]]
 //
 // At -scale 1.0 it streams the paper's full populations (31,405 FWB +
 // 31,405 self-hosted URLs over six virtual months); the default scale keeps
@@ -15,6 +16,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +41,7 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 0, "streaming pipeline per-stage queue and reorder-window bound; 0 = engine default (results identical at every setting)")
 		backend    = flag.String("backend", core.BackendInproc, "world backend: inproc (in-process dispatch) or http (real loopback servers); results identical either way")
 		shards     = flag.Int("shards", 1, "split the study across N deterministic sub-stream shards, each with its own pipeline and world; records, journal, and stats are byte-identical at every N")
+		shardWk    = flag.String("shard-workers", "", "with -shards, comma-separated freephish-worker endpoints (host:port,...) to dispatch shards to; a dead worker fails over — to a peer or a local child — by adopting the shard's last streamed checkpoint, byte-identically")
 		faultSpec  = flag.String("faults", "", "chaos profile injected into the world boundary: off, default, or k=v spec (latency=0.1,5xx=0.2,reset=0.05,truncate=0.02,malform=0.02,burst=2,blackout=web:24h:6h); the retry layer absorbs the default profile with byte-identical results")
 		cascade    = flag.String("cascade", "", "tiered classification cascade: off, on (calibrated thresholds), or benignBelow,phishAbove — a fetch-free URL-lexical triage stage short-circuits confident URLs ahead of fetch; 0,1 reproduces the cascade-off study exactly")
 		ckptPath   = flag.String("checkpoint", "", "write a resumable checkpoint to this file (atomically, temp+rename) at ordered-apply boundaries during the study")
@@ -63,6 +66,13 @@ func main() {
 	cfg.QueueDepth = *queueDepth
 	cfg.Backend = *backend
 	cfg.Shards = *shards
+	if *shardWk != "" {
+		for _, ep := range strings.Split(*shardWk, ",") {
+			if ep = strings.TrimSpace(ep); ep != "" {
+				cfg.ShardWorkers = append(cfg.ShardWorkers, ep)
+			}
+		}
+	}
 	cfg.Registry = reg
 	cfg.Journal = *journal != "" || *dash
 	prof, err := faults.ParseProfile(*faultSpec)

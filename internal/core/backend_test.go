@@ -102,7 +102,7 @@ func TestCrossBackendEquivalence(t *testing.T) {
 // the simulator packages behind them. New direct imports of the simulated
 // world are architecture regressions even when they compile.
 func TestPipelineFilesFreeOfSimulatorImports(t *testing.T) {
-	pipelineFiles := []string{"core.go", "serve.go", "monitor.go", "verify.go", "metrics.go", "eval.go", "shard.go"}
+	pipelineFiles := []string{"core.go", "serve.go", "monitor.go", "verify.go", "metrics.go", "eval.go", "shard.go", "dispatch.go"}
 	banned := []string{
 		"freephish/internal/fwb",
 		"freephish/internal/social",

@@ -121,6 +121,42 @@ func TestStudyUnderFaultsDeterministic(t *testing.T) {
 	}
 }
 
+// TestDNSFailChaosByteIdentical extends the chaos gate to the dnsfail
+// class: resolution failures abort requests at the transport, share the
+// per-key burst cap with the other failure faults, and draw from their
+// own stream — so a dnsfail-bearing profile must be absorbed by the retry
+// budget without shifting a byte, and without perturbing the other
+// faults' schedules.
+func TestDNSFailChaosByteIdentical(t *testing.T) {
+	clean := runChaosStudy(t, BackendInproc, nil)
+	prof := faults.DefaultProfile()
+	prof.DNSFailP = 0.05
+	faulted := runChaosStudy(t, BackendInproc, &prof)
+
+	if n := faulted.fp.injector.Counts()[faults.KindDNSFail]; n == 0 {
+		t.Fatal("no dnsfail faults injected; the test is vacuous")
+	}
+	if !bytes.Equal(clean.jsonl, faulted.jsonl) {
+		t.Fatal("study records diverge under dnsfail chaos")
+	}
+	if clean.stats != faulted.stats {
+		t.Fatalf("stats diverge under dnsfail chaos:\nclean:   %+v\nfaulted: %+v", clean.stats, faulted.stats)
+	}
+	if !reflect.DeepEqual(clean.obs, faulted.obs) {
+		t.Fatal("monitor observations diverge under dnsfail chaos")
+	}
+	// The joint burst cap kept dnsfail inside the retry budget.
+	var giveUps float64
+	for _, s := range faulted.fp.Metrics.Registry.Snapshot() {
+		if s.Name == "freephish_retry_giveups_total" {
+			giveUps += s.Value
+		}
+	}
+	if giveUps != 0 {
+		t.Fatalf("dnsfail chaos caused %v retry give-ups; the shared cap must keep it absorbable", giveUps)
+	}
+}
+
 // TestChaosRunsReproducible: two faulted runs with the same seed are
 // byte-identical to each other — the injector draws from a pure hash,
 // never shared RNG.

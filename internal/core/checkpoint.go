@@ -131,13 +131,22 @@ func (f *FreePhish) fingerprint() string {
 	if cfg.Faults != nil {
 		chaos = fmt.Sprintf("%+v", *cfg.Faults)
 	}
-	return fmt.Sprintf(
+	fp := fmt.Sprintf(
 		"v1 seed=%d epoch=%s dur=%s pop=%d/%d/%d/%d benign=%g scale=%g poll=%s train=%d growth=%g monitor=%s reshare=%g quota=%d@%g cascade=%s journal=%t chaos=%s",
 		cfg.Seed, cfg.Epoch.UTC().Format(time.RFC3339), cfg.Duration,
 		cfg.FWBTwitter, cfg.FWBFacebook, cfg.SelfTwitter, cfg.SelfFacebook,
 		cfg.BenignPerPhish, cfg.Scale, cfg.PollInterval, cfg.TrainPerClass,
 		cfg.GrowthExponent, cfg.MonitorInterval, cfg.ReshareRate,
 		cfg.PollQuota, cfg.PollQuotaRate, cascade, cfg.Journal, chaos)
+	if f.shardCount > 1 {
+		// A shard's checkpoint captures one residue class of the posting
+		// schedule; adopting it into a different shard position (or into an
+		// unsharded run) would silently drop or duplicate sub-streams, so
+		// the shard coordinates join the fingerprint. Single-run fingerprints
+		// are unchanged — a PR 9 checkpoint still resumes.
+		fp += fmt.Sprintf(" shard=%d/%d", f.shardIndex, f.shardCount)
+	}
+	return fp
 }
 
 // restoreRun rebuilds the run at the checkpoint instant. Called from

@@ -139,16 +139,28 @@ type Config struct {
 	// stats, and a canonical journal byte-identical to the 1-shard run.
 	// 0 and 1 mean an ordinary single-process study.
 	Shards int
+	// ShardWorkers lists remote shard-worker endpoints ("host:port" or
+	// http:// URLs) the coordinator may dispatch shards to (see
+	// dispatch.go). Dispatch goes through the unified retry policy with a
+	// per-endpoint circuit breaker; a worker that dies or blacks out fails
+	// the shard over — to another worker or to a local child — resuming
+	// from the shard's last streamed checkpoint. The study is byte-identical
+	// whether shards run locally, remotely, or in any failover mix. Empty
+	// (the default) runs every shard in-process.
+	ShardWorkers []string
 	// CheckpointPath, when non-empty, enables periodic checkpointing: a
 	// state.Checkpoint is written atomically (temp file + rename) to this
 	// path at ordered-apply boundaries — after a poll cycle or monitor
 	// tick, with no other event pending at the same instant — so a killed
 	// run resumes from the last cut instead of restarting the window.
-	// Not supported with Shards > 1 (shard failover-by-adoption is the
-	// next step; see shard.go).
+	// Not supported with Shards > 1: the shard coordinator streams and
+	// adopts per-shard checkpoints itself (see dispatch.go), and an
+	// operator file would capture only one shard's slice of the study.
 	CheckpointPath string
 	// CheckpointEvery is the poll-cycle stride between checkpoints; 0 or 1
-	// checkpoints at every eligible boundary.
+	// checkpoints at every eligible boundary. With Shards > 1 it instead
+	// sets the stride of the checkpoints each shard streams back to the
+	// coordinator for failover adoption (default: one simulated day).
 	CheckpointEvery int
 	// Resume, when non-nil, resumes the study from a checkpoint instead of
 	// starting at the epoch: the posting schedule replays deterministically
@@ -260,6 +272,10 @@ type FreePhish struct {
 	shardCount   int
 	sharedModels bool
 	shards       []*FreePhish
+	// remoteShards marks that at least one shard ran on a remote worker, so
+	// no local child framework holds its world — Verify skips the
+	// world-existence probes for records it cannot see (see verify.go).
+	remoteShards bool
 	shardHook    func(shard, attempt int) error
 	// shardPrep is a test seam invoked on each freshly built shard child
 	// before it runs, so tests can arrange mid-run failures inside the
@@ -371,7 +387,7 @@ func labeledPages(samples []world.Sample) []baselines.LabeledPage {
 func (f *FreePhish) Run() (*analysis.Study, error) {
 	if f.Config.Shards > 1 {
 		if f.Config.CheckpointPath != "" || f.Config.Resume != nil || f.checkpointSink != nil {
-			return nil, fmt.Errorf("core: checkpoint/resume is not supported with Shards > 1 (a dead shard already replays from scratch; failover-by-adoption of a shard checkpoint is future work)")
+			return nil, fmt.Errorf("core: checkpoint/resume is not supported with Shards > 1 (the coordinator streams and adopts per-shard checkpoints itself — a dead shard resumes from its last cut, and an operator file would hold only one shard's slice)")
 		}
 		return f.runSharded()
 	}

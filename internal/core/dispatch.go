@@ -1,0 +1,476 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"freephish/internal/baselines"
+	"freephish/internal/obs"
+	"freephish/internal/retry"
+	"freephish/internal/shard"
+	"freephish/internal/shardrpc"
+	"freephish/internal/state"
+)
+
+// Shard dispatch (the internal/shard boundary, coordinator side). The
+// coordinator no longer runs shards directly: it builds a serializable
+// shard.Spec per shard and hands it to a Runner — a local child framework
+// (localRunner) or a remote freephish-worker reached through
+// shardrpc.Client. Every runner streams periodic checkpoints back; when an
+// attempt dies (mid-run failure, local panic, remote blackout, open
+// breaker) the next attempt ADOPTS the last streamed checkpoint instead of
+// replaying the sub-stream from ordinal zero — the PR 9 replay path proves
+// the resumed run byte-identical, so failover costs only the work since
+// the last cut. Runner placement (which worker, or local) is the one thing
+// that may vary run to run; the shard's output never does.
+
+// dispatcher owns runner selection and the adoption loop for one sharded
+// run. Safe for the coordinator's concurrent per-shard goroutines: the
+// policy and clients are concurrency-safe, and all per-attempt state lives
+// in runShard's frame.
+type dispatcher struct {
+	f *FreePhish
+	// stride is the poll-cycle cadence of the checkpoints every runner
+	// streams back (Config.CheckpointEvery, defaulting to one simulated
+	// day) — the granularity of failover adoption.
+	stride  int
+	clients []*shardrpc.Client
+	// pol guards remote dispatch: single-attempt Do calls (the adoption
+	// loop owns retries) so every transport failure is a give-up the
+	// per-endpoint breaker counts; an endpoint that keeps failing opens and
+	// pick routes around it.
+	pol *retry.Policy
+}
+
+// newDispatcher wires the run's dispatcher from Config.ShardWorkers.
+func (f *FreePhish) newDispatcher() *dispatcher {
+	d := &dispatcher{f: f, stride: f.Config.CheckpointEvery}
+	if d.stride <= 0 {
+		d.stride = int(24 * time.Hour / f.Config.PollInterval)
+		if d.stride < 1 {
+			d.stride = 1
+		}
+	}
+	for _, ep := range f.Config.ShardWorkers {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			d.clients = append(d.clients, shardrpc.NewClient(ep))
+		}
+	}
+	if len(d.clients) > 0 {
+		d.pol = &retry.Policy{
+			MaxAttempts:      1,
+			Seed:             f.Config.Seed,
+			BreakerThreshold: 2,
+			BreakerCooldown:  30 * time.Second,
+			OnBreaker: func(key string, open bool) {
+				transition := "close"
+				if open {
+					transition = "open"
+				}
+				f.Metrics.BreakerEvents.With("worker|"+key, transition).Inc()
+				if j := f.Metrics.Journal; j != nil {
+					j.RecordOps("", obs.EvBreaker,
+						"key", "worker|"+key, "transition", transition)
+				}
+			},
+		}
+	}
+	return d
+}
+
+// pick selects the runner for one shard attempt: workers first, rotated by
+// (shard, attempt) so retries move to a different endpoint and shards
+// spread across the fleet, skipping endpoints whose breaker is open; once
+// a shard has burned one attempt per worker (or no workers are usable) it
+// falls back to a local child, which always exists.
+func (d *dispatcher) pick(i, attempt int) *shardrpc.Client {
+	n := len(d.clients)
+	if n == 0 || attempt >= n {
+		return nil
+	}
+	for k := 0; k < n; k++ {
+		c := d.clients[(i+attempt+k)%n]
+		if d.pol.BreakerOpen(c.Name()) {
+			continue
+		}
+		return c
+	}
+	return nil
+}
+
+// runShard drives shard i to completion through the dispatch boundary,
+// adopting the last streamed checkpoint across attempts. The returned
+// child is the completed local framework when the final attempt ran
+// in-process (nil for a remote run — its world lived on the worker).
+func (d *dispatcher) runShard(i int) (*state.Snapshot, *FreePhish, error) {
+	f := d.f
+	var lastErr error
+	var lastChk []byte
+	for attempt := 0; attempt < shardAttempts; attempt++ {
+		spec := shard.Spec{ShardSpec: f.shardSpec(i, d.stride), Resume: lastChk}
+		adopted := len(lastChk) > 0
+		// Both runners deliver checkpoints synchronously from this shard's
+		// goroutine (the local child's driver loop, or the RPC client's
+		// frame decoder), so lastChk needs no lock.
+		onChk := func(data []byte) error {
+			lastChk = append(lastChk[:0], data...)
+			f.observeShardCheckpoint(i, attempt, data)
+			return nil
+		}
+		client := d.pick(i, attempt)
+		runner := "local"
+		if client != nil {
+			runner = client.Name()
+		}
+		f.observeShardDispatch(i, attempt, runner, adopted)
+		if adopted {
+			f.observeShardAdopt(i, attempt, runner, spec.Resume)
+		}
+		var snap *state.Snapshot
+		var child *FreePhish
+		var err error
+		if client != nil {
+			err = d.pol.Do(context.Background(), client.Name(), func() error {
+				s, rerr := client.Run(context.Background(), spec, onChk)
+				snap = s
+				return rerr
+			})
+			if err != nil {
+				f.Metrics.WorkerFailures.With(client.Name()).Inc()
+			}
+		} else {
+			lr := &localRunner{f: f, shard: i, attempt: attempt}
+			snap, err = lr.Run(context.Background(), spec, onChk)
+			child = lr.child
+		}
+		if err != nil {
+			f.observeShardRetry(i, attempt, err)
+			lastErr = err
+			continue
+		}
+		f.observeShardDone(i, attempt, runner)
+		return snap, child, nil
+	}
+	return nil, nil, fmt.Errorf("core: shard %d/%d failed after %d attempts: %w",
+		i, f.Config.Shards, shardAttempts, lastErr)
+}
+
+// shardSpec serializes shard i's dispatch unit from this coordinator's
+// configuration. The fingerprint is the coordinator's own plus the shard
+// suffix — exactly what the runner's child framework will compute — so a
+// drifted worker refuses the spec instead of running a different study.
+func (f *FreePhish) shardSpec(i, stride int) state.ShardSpec {
+	cfg := f.Config
+	sp := state.ShardSpec{
+		Seed:              cfg.Seed,
+		Epoch:             cfg.Epoch,
+		Duration:          cfg.Duration,
+		FWBTwitter:        cfg.FWBTwitter,
+		FWBFacebook:       cfg.FWBFacebook,
+		SelfTwitter:       cfg.SelfTwitter,
+		SelfFacebook:      cfg.SelfFacebook,
+		BenignPerPhish:    cfg.BenignPerPhish,
+		Scale:             cfg.Scale,
+		PollInterval:      cfg.PollInterval,
+		TrainPerClass:     cfg.TrainPerClass,
+		GrowthExponent:    cfg.GrowthExponent,
+		MonitorInterval:   cfg.MonitorInterval,
+		ReshareRate:       cfg.ReshareRate,
+		PollQuota:         cfg.PollQuota,
+		PollQuotaRate:     cfg.PollQuotaRate,
+		Workers:           cfg.Workers,
+		QueueDepth:        cfg.QueueDepth,
+		SnapshotCacheSize: cfg.SnapshotCacheSize,
+		Backend:           cfg.Backend,
+		Faults:            cfg.Faults,
+		Journal:           cfg.Journal,
+		JournalRing:       cfg.JournalRing,
+		Shard:             i,
+		Shards:            cfg.Shards,
+		CheckpointEvery:   stride,
+		Fingerprint:       f.fingerprint() + fmt.Sprintf(" shard=%d/%d", i, cfg.Shards),
+	}
+	if cfg.Cascade != nil {
+		sp.CascadeOn = true
+		sp.CascadeBenignBelow = cfg.Cascade.BenignBelow
+		sp.CascadePhishAbove = cfg.Cascade.PhishAbove
+	}
+	return sp
+}
+
+// localRunner is the in-process shard.Runner: today's fresh-child path,
+// byte-identical to the pre-boundary coordinator, plus checkpoint
+// streaming through the child's sink and resume-from-adopted-checkpoint.
+type localRunner struct {
+	f       *FreePhish
+	shard   int
+	attempt int
+	// child is the completed framework after a successful Run — retained so
+	// the coordinator's Verify can audit its world.
+	child *FreePhish
+}
+
+// Name implements shard.Runner.
+func (r *localRunner) Name() string { return "local" }
+
+// Run implements shard.Runner with a child framework. A panic inside the
+// child (the local analogue of a worker crash) is converted to an error so
+// the adoption loop can hand the streamed checkpoint to a replacement
+// instead of unwinding the whole study.
+func (r *localRunner) Run(ctx context.Context, spec shard.Spec, onCheckpoint func(data []byte) error) (snap *state.Snapshot, err error) {
+	f := r.f
+	child := f.newShard(r.shard)
+	child.Config.CheckpointEvery = spec.CheckpointEvery
+	child.checkpointSink = onCheckpoint
+	if len(spec.Resume) > 0 {
+		chk, derr := state.DecodeCheckpoint(spec.Resume)
+		if derr != nil {
+			child.Close()
+			return nil, fmt.Errorf("core: shard %d adopt checkpoint: %w", r.shard, derr)
+		}
+		child.Config.Resume = chk
+	}
+	if f.shardPrep != nil {
+		f.shardPrep(child, r.shard, r.attempt)
+	}
+	if f.shardHook != nil {
+		if herr := f.shardHook(r.shard, r.attempt); herr != nil {
+			// The failed child is done for: close it before its replacement
+			// is built, or every retry leaks the previous attempt's
+			// listeners and keep-alive sockets for the rest of the study.
+			child.Close()
+			return nil, herr
+		}
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			child.Close()
+			snap, err = nil, fmt.Errorf("core: shard %d panicked: %v", r.shard, rec)
+		}
+	}()
+	if _, rerr := child.Run(); rerr != nil {
+		child.Close()
+		return nil, rerr
+	}
+	var events []obs.Event
+	if j := child.Metrics.Journal; j != nil {
+		events = j.Events()
+	}
+	r.child = child
+	return child.State.Snapshot(events), nil
+}
+
+// SpecRunner is the worker-daemon shard.Runner: it rebuilds a complete
+// framework from each spec and runs it to completion. Trained models are
+// cached per study fingerprint — training is bit-identical per seed, so a
+// worker retraining from the spec yields byte-for-byte the models the
+// coordinator holds, and the second shard of the same study skips the
+// cost. cmd/freephish-worker serves one of these behind shardrpc.Server.
+type SpecRunner struct {
+	// Workers, when > 0, overrides the spec's probe-pool size with the
+	// worker machine's own parallelism — byte-identity across Workers is
+	// the repo's standing invariant, so the override is free.
+	Workers int
+	// Logger, when set, narrates training and run lifecycle.
+	Logger interface {
+		Info(msg string, args ...any)
+	}
+
+	mu     sync.Mutex
+	models map[string]*workerModels
+}
+
+// workerModels is one cached training result.
+type workerModels struct {
+	model   *baselines.StackDetector
+	base    *baselines.StackDetector
+	lexical *baselines.LexicalScorer
+}
+
+// NewSpecRunner returns a SpecRunner with an empty model cache.
+func NewSpecRunner() *SpecRunner {
+	return &SpecRunner{models: make(map[string]*workerModels)}
+}
+
+// Name implements shard.Runner.
+func (r *SpecRunner) Name() string { return "worker" }
+
+// Run implements shard.Runner: rebuild, verify the fingerprint, train (or
+// reuse cached models), run, snapshot.
+func (r *SpecRunner) Run(ctx context.Context, spec shard.Spec, onCheckpoint func(data []byte) error) (*state.Snapshot, error) {
+	cfg := configFromSpec(spec.ShardSpec)
+	if r.Workers > 0 {
+		cfg.Workers = r.Workers
+	}
+	child := New(cfg)
+	child.shardIndex = spec.Shard
+	child.shardCount = spec.Shards
+	if spec.Fingerprint != "" {
+		if got := child.fingerprint(); got != spec.Fingerprint {
+			// Not transient: every retry against this worker build would
+			// compute the same different study.
+			return nil, fmt.Errorf("core: spec fingerprint mismatch (worker build or spec drift):\n  spec:   %s\n  worker: %s", spec.Fingerprint, got)
+		}
+	}
+	m, err := r.trainedFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	child.Model = m.model
+	child.BaseModel = m.base
+	child.sharedModels = true
+	if cfg.Cascade != nil {
+		child.Lexical = m.lexical
+		// The cascade pairs the cached scorer with THIS spec's thresholds —
+		// never cached, so two studies differing only in thresholds cannot
+		// poison each other through the model cache.
+		child.cascade = &baselines.Cascade{
+			Scorer:      m.lexical,
+			BenignBelow: cfg.Cascade.BenignBelow,
+			PhishAbove:  cfg.Cascade.PhishAbove,
+		}
+	}
+	child.checkpointSink = onCheckpoint
+	if len(spec.Resume) > 0 {
+		chk, derr := state.DecodeCheckpoint(spec.Resume)
+		if derr != nil {
+			return nil, fmt.Errorf("core: shard %d adopt checkpoint: %w", spec.Shard, derr)
+		}
+		child.Config.Resume = chk
+	}
+	if r.Logger != nil {
+		r.Logger.Info("running shard spec",
+			"shard", spec.Shard, "shards", spec.Shards,
+			"seed", spec.Seed, "resume", len(spec.Resume) > 0)
+	}
+	defer child.Close()
+	if _, err := child.Run(); err != nil {
+		return nil, err
+	}
+	var events []obs.Event
+	if j := child.Metrics.Journal; j != nil {
+		events = j.Events()
+	}
+	return child.State.Snapshot(events), nil
+}
+
+// trainedFor returns (training if needed) the models for cfg's study. The
+// cache key is the base study fingerprint — every determinism-relevant
+// knob — computed on a donor framework that never runs, so the cached
+// models carry no per-run observers (the shard children mark them shared,
+// exactly like the coordinator's children do).
+func (r *SpecRunner) trainedFor(cfg Config) (*workerModels, error) {
+	donor := New(cfg)
+	key := donor.fingerprint()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.models[key]; ok {
+		return m, nil
+	}
+	if r.Logger != nil {
+		r.Logger.Info("training models", "fingerprint", key)
+	}
+	if err := donor.Train(); err != nil {
+		return nil, err
+	}
+	m := &workerModels{model: donor.Model, base: donor.BaseModel, lexical: donor.Lexical}
+	if r.models == nil {
+		r.models = make(map[string]*workerModels)
+	}
+	r.models[key] = m
+	return m, nil
+}
+
+// configFromSpec inverts shardSpec: rebuild the runnable Config on the
+// worker side. Shards is pinned to 1 (the spec IS one shard; the partition
+// rides in shardIndex/shardCount) and the observability hooks stay nil —
+// the worker daemon owns its own registry and logging.
+func configFromSpec(sp state.ShardSpec) Config {
+	cfg := Config{
+		Seed:              sp.Seed,
+		Epoch:             sp.Epoch,
+		Duration:          sp.Duration,
+		FWBTwitter:        sp.FWBTwitter,
+		FWBFacebook:       sp.FWBFacebook,
+		SelfTwitter:       sp.SelfTwitter,
+		SelfFacebook:      sp.SelfFacebook,
+		BenignPerPhish:    sp.BenignPerPhish,
+		Scale:             sp.Scale,
+		PollInterval:      sp.PollInterval,
+		TrainPerClass:     sp.TrainPerClass,
+		GrowthExponent:    sp.GrowthExponent,
+		MonitorInterval:   sp.MonitorInterval,
+		ReshareRate:       sp.ReshareRate,
+		PollQuota:         sp.PollQuota,
+		PollQuotaRate:     sp.PollQuotaRate,
+		Workers:           sp.Workers,
+		QueueDepth:        sp.QueueDepth,
+		SnapshotCacheSize: sp.SnapshotCacheSize,
+		Backend:           sp.Backend,
+		Faults:            sp.Faults,
+		Journal:           sp.Journal,
+		JournalRing:       sp.JournalRing,
+		Shards:            1,
+		CheckpointEvery:   sp.CheckpointEvery,
+	}
+	if cfg.Backend == "" {
+		cfg.Backend = BackendInproc
+	}
+	if sp.CascadeOn {
+		cfg.Cascade = &CascadeConfig{
+			BenignBelow: sp.CascadeBenignBelow,
+			PhishAbove:  sp.CascadePhishAbove,
+		}
+	}
+	return cfg
+}
+
+// Shard lifecycle ops events (ring-only — see obs.Journal's class
+// contract; none of these can perturb the canonical record).
+
+func (f *FreePhish) observeShardDispatch(shard, attempt int, runner string, adopted bool) {
+	f.Metrics.ShardDispatched.With(runner).Inc()
+	if j := f.Metrics.Journal; j != nil {
+		adoptedStr := "false"
+		if adopted {
+			adoptedStr = "true"
+		}
+		j.RecordOps("", obs.EvShardDispatch,
+			"shard", itoa(shard), "attempt", itoa(attempt),
+			"runner", runner, "adopted", adoptedStr)
+	}
+}
+
+func (f *FreePhish) observeShardCheckpoint(shard, attempt int, data []byte) {
+	if j := f.Metrics.Journal; j != nil {
+		at := ""
+		if t, err := state.PeekCheckpointInstant(data); err == nil {
+			at = t.UTC().Format(time.RFC3339)
+		}
+		j.RecordOps("", obs.EvShardCheckpoint,
+			"shard", itoa(shard), "attempt", itoa(attempt), "at", at)
+	}
+}
+
+func (f *FreePhish) observeShardAdopt(shard, attempt int, runner string, chk []byte) {
+	f.Metrics.ShardAdopted.With(itoa(shard)).Inc()
+	if j := f.Metrics.Journal; j != nil {
+		from := ""
+		if t, err := state.PeekCheckpointInstant(chk); err == nil {
+			from = t.UTC().Format(time.RFC3339)
+		}
+		j.RecordOps("", obs.EvShardAdopt,
+			"shard", itoa(shard), "attempt", itoa(attempt),
+			"runner", runner, "from", from)
+	}
+}
+
+func (f *FreePhish) observeShardDone(shard, attempt int, runner string) {
+	if j := f.Metrics.Journal; j != nil {
+		j.RecordOps("", obs.EvShardDone,
+			"shard", itoa(shard), "attempt", itoa(attempt), "runner", runner)
+	}
+}

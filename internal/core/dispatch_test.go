@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"freephish/internal/faults"
+	"freephish/internal/obs"
+	"freephish/internal/shardrpc"
+	"freephish/internal/state"
+	"freephish/internal/world"
+)
+
+// remoteRun executes one traced study with every shard dispatched to the
+// given worker endpoint(s) and returns the same byte-comparable artifacts
+// shardRun does.
+func remoteRun(t *testing.T, shards, workers int, backend string, prof *faults.Profile, endpoints ...string) (records, journal []byte, stats Stats, f *FreePhish) {
+	t.Helper()
+	cfg := streamSweepConfig(workers, 0, backend)
+	cfg.Journal = true
+	cfg.Faults = prof
+	cfg.Shards = shards
+	cfg.ShardWorkers = endpoints
+	f = New(cfg)
+	study, err := f.Run()
+	if err != nil {
+		t.Fatalf("remote shards=%d backend=%s: %v", shards, backend, err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("remote shards=%d backend=%s failed verification: %v", shards, backend, err)
+	}
+	var rbuf, jbuf bytes.Buffer
+	if err := study.WriteJSONL(&rbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Metrics.Journal.WriteJSONL(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	return rbuf.Bytes(), jbuf.Bytes(), f.Stats(), f
+}
+
+// TestRemoteShardDeterminism is the `make verify-remote-shards` gate: the
+// same seeded study with every shard shipped over shardrpc to a worker
+// (core.SpecRunner behind shardrpc.Server — the exact stack
+// cmd/freephish-worker serves) must merge into byte-identical records,
+// journal, and stats at shards {2, 4}, on both backends, and under the
+// default chaos profile. The worker retrains its models from the spec's
+// seed, so byte-identity here proves the whole dispatch boundary: spec
+// serialization, bit-identical remote training, checkpoint streaming, and
+// snapshot wire transport.
+func TestRemoteShardDeterminism(t *testing.T) {
+	baseRec, baseJournal, baseStats, _ := shardRun(t, 1, 1, BackendInproc, nil)
+
+	srv := httptest.NewServer(&shardrpc.Server{Runner: NewSpecRunner()})
+	defer srv.Close()
+
+	defaultProf := faults.DefaultProfile()
+	cases := []struct {
+		shards  int
+		backend string
+		prof    *faults.Profile
+	}{
+		{2, BackendInproc, nil},
+		{4, BackendInproc, nil},
+		{2, BackendHTTP, nil},
+		{4, BackendInproc, &defaultProf},
+	}
+	for _, tc := range cases {
+		label := fmt.Sprintf("remote shards=%d backend=%s chaos=%v", tc.shards, tc.backend, tc.prof != nil)
+		rec, journal, stats, f := remoteRun(t, tc.shards, 1, tc.backend, tc.prof, srv.URL)
+		diffCascadeRun(t, label, baseRec, rec, baseJournal, journal, baseStats, stats)
+		// Every shard really went over the wire: no local children remain,
+		// the dispatch counter names the endpoint, and nothing failed over.
+		if !f.remoteShards || len(f.shards) != 0 {
+			t.Fatalf("%s: %d local children, remoteShards=%v; shards did not dispatch remotely",
+				label, len(f.shards), f.remoteShards)
+		}
+		if got := f.Metrics.ShardDispatched.With(srv.URL).Value(); got != float64(tc.shards) {
+			t.Fatalf("%s: freephish_shard_dispatched_total{runner=%s} = %v, want %d",
+				label, srv.URL, got, tc.shards)
+		}
+		if got := f.Metrics.WorkerFailures.With(srv.URL).Value(); got != 0 {
+			t.Fatalf("%s: %v worker failures on a healthy worker", label, got)
+		}
+	}
+}
+
+// TestShardAdoptionByteIdentical is half of the `make verify-adoption`
+// gate: a local shard that dies mid-run past its first streamed
+// checkpoint must NOT be retried from ordinal zero — the replacement
+// child adopts the last checkpoint and resumes through the replay path,
+// and the merged study is byte-identical to the undisturbed run.
+func TestShardAdoptionByteIdentical(t *testing.T) {
+	baseRec, baseJournal, baseStats, _ := shardRun(t, 2, 1, BackendInproc, nil)
+
+	cfg := streamSweepConfig(1, 0, BackendInproc)
+	cfg.Journal = true
+	cfg.Shards = 2
+	// A tight adoption stride so the failing attempt has streamed several
+	// checkpoints by the time it dies.
+	cfg.CheckpointEvery = 500
+	f := New(cfg)
+	var resumed *state.Checkpoint
+	f.shardPrep = func(child *FreePhish, shard, attempt int) {
+		if shard != 1 {
+			return
+		}
+		switch attempt {
+		case 0:
+			// Dies at poll 1200 — after the checkpoints at cycles 500 and 1000.
+			child.streamWrap = func(s world.URLStream) world.URLStream {
+				return &failingStream{inner: s, failAt: 1200, err: errors.New("injected mid-run shard failure")}
+			}
+		case 1:
+			resumed = child.Config.Resume
+		}
+	}
+	liveJournal := f.Metrics.Journal
+	study, err := f.Run()
+	if err != nil {
+		t.Fatalf("run with adopted shard failed: %v", err)
+	}
+
+	// The "never from-scratch" assertion: the replacement attempt started
+	// from the dead attempt's checkpoint, not a fresh child.
+	if resumed == nil {
+		t.Fatal("replacement attempt ran from scratch despite streamed checkpoints")
+	}
+	if resumed.Cycles < cfg.CheckpointEvery {
+		t.Fatalf("adopted checkpoint at cycle %d, want >= one full stride (%d)", resumed.Cycles, cfg.CheckpointEvery)
+	}
+	if got := f.Metrics.ShardAdopted.With("1").Value(); got != 1 {
+		t.Fatalf("freephish_shard_adopted_total{shard=1} = %v, want 1", got)
+	}
+	if got := liveJournal.Counts()[obs.EvShardAdopt]; got != 1 {
+		t.Fatalf("journal recorded %d %s ops events, want 1", got, obs.EvShardAdopt)
+	}
+	if got := liveJournal.Counts()[obs.EvShardCheckpoint]; got == 0 {
+		t.Fatalf("no %s ops events; checkpoint streaming never surfaced", obs.EvShardCheckpoint)
+	}
+
+	var rec, journal bytes.Buffer
+	if err := study.WriteJSONL(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Metrics.Journal.WriteJSONL(&journal); err != nil {
+		t.Fatal(err)
+	}
+	diffCascadeRun(t, "shard 1 adopted mid-run", baseRec, rec.Bytes(),
+		baseJournal, journal.Bytes(), baseStats, f.Stats())
+}
+
+// TestRemoteShardAdoptionByteIdentical is the other half of the
+// `make verify-adoption` gate: a remote worker that crashes mid-shard
+// (connection aborted without a terminal frame) fails over to the local
+// fallback runner, which adopts the last checkpoint frame the worker
+// streamed before dying — byte-identically.
+func TestRemoteShardAdoptionByteIdentical(t *testing.T) {
+	baseRec, baseJournal, baseStats, _ := shardRun(t, 2, 1, BackendInproc, nil)
+
+	server := &shardrpc.Server{Runner: NewSpecRunner()}
+	var killed int32
+	server.OnCheckpointFrame = func(shardIndex, frameCount int) error {
+		// Shard 1's first dispatch dies after its second checkpoint frame.
+		if shardIndex == 1 && frameCount >= 2 && atomic.CompareAndSwapInt32(&killed, 0, 1) {
+			return errors.New("injected worker crash")
+		}
+		return nil
+	}
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	cfg := streamSweepConfig(1, 0, BackendInproc)
+	cfg.Journal = true
+	cfg.Shards = 2
+	cfg.CheckpointEvery = 500
+	cfg.ShardWorkers = []string{srv.URL}
+	f := New(cfg)
+	var resumed *state.Checkpoint
+	f.shardPrep = func(child *FreePhish, shard, attempt int) {
+		if shard == 1 && attempt == 1 {
+			resumed = child.Config.Resume
+		}
+	}
+	study, err := f.Run()
+	if err != nil {
+		t.Fatalf("run with crashed worker failed: %v", err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("run with crashed worker failed verification: %v", err)
+	}
+
+	if atomic.LoadInt32(&killed) != 1 {
+		t.Fatal("the kill seam never fired; the test is vacuous")
+	}
+	if resumed == nil {
+		t.Fatal("failover ran from scratch despite checkpoint frames from the dead worker")
+	}
+	if got := f.Metrics.WorkerFailures.With(srv.URL).Value(); got != 1 {
+		t.Fatalf("freephish_shard_worker_failures_total{endpoint=%s} = %v, want 1", srv.URL, got)
+	}
+	if got := f.Metrics.ShardAdopted.With("1").Value(); got != 1 {
+		t.Fatalf("freephish_shard_adopted_total{shard=1} = %v, want 1", got)
+	}
+	// Shard 0 finished on the worker; shard 1's replacement ran locally.
+	if !f.remoteShards || len(f.shards) != 1 {
+		t.Fatalf("kept %d local children, remoteShards=%v; want exactly the failed-over shard",
+			len(f.shards), f.remoteShards)
+	}
+
+	var rec, journal bytes.Buffer
+	if err := study.WriteJSONL(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Metrics.Journal.WriteJSONL(&journal); err != nil {
+		t.Fatal(err)
+	}
+	diffCascadeRun(t, "worker crashed mid-shard", baseRec, rec.Bytes(),
+		baseJournal, journal.Bytes(), baseStats, f.Stats())
+}
+
+// TestWorkerBreakerFailover pins the unreachable-fleet path: with every
+// configured worker dead, each shard burns one transient dispatch failure
+// (counted per endpoint, opening the breaker at the threshold) and falls
+// back to a local child — the study still completes byte-identically,
+// with no checkpoint to adopt because the workers never streamed one.
+func TestWorkerBreakerFailover(t *testing.T) {
+	baseRec, baseJournal, baseStats, _ := shardRun(t, 2, 1, BackendInproc, nil)
+
+	// Reserve a real port, then close it: connections are refused instantly.
+	dead := httptest.NewServer(nil)
+	endpoint := dead.Listener.Addr().String()
+	dead.Close()
+
+	rec, journal, stats, f := remoteRun(t, 2, 1, BackendInproc, nil, endpoint)
+	diffCascadeRun(t, "all workers dead", baseRec, rec, baseJournal, journal, baseStats, stats)
+
+	if got := f.Metrics.WorkerFailures.With(endpoint).Value(); got != 2 {
+		t.Fatalf("freephish_shard_worker_failures_total{endpoint=%s} = %v, want 2 (one per shard)", endpoint, got)
+	}
+	// Both failures hit the same endpoint; at threshold 2 its breaker opened.
+	if got := f.Metrics.BreakerEvents.With("worker|"+endpoint, "open").Value(); got != 1 {
+		t.Fatalf("breaker open transitions for %s = %v, want 1", endpoint, got)
+	}
+	// Nothing was adopted (a refused dispatch streams no checkpoint), and
+	// every shard finished on the local fallback.
+	if got := f.Metrics.ShardAdopted.With("0").Value() + f.Metrics.ShardAdopted.With("1").Value(); got != 0 {
+		t.Fatalf("%v shards adopted checkpoints; refused dispatches have none to adopt", got)
+	}
+	if f.remoteShards || len(f.shards) != 2 {
+		t.Fatalf("kept %d local children, remoteShards=%v; every shard should have fallen back locally",
+			len(f.shards), f.remoteShards)
+	}
+	if got := f.Metrics.ShardDispatched.With("local").Value(); got != 2 {
+		t.Fatalf("freephish_shard_dispatched_total{runner=local} = %v, want 2", got)
+	}
+}

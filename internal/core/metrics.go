@@ -67,8 +67,11 @@ type Metrics struct {
 	CascadeTriaged        *obs.CounterVec // tier
 	CascadeFetchesAvoided *obs.Counter
 
-	// Sharded execution: coordinator-level failover.
-	ShardRetries *obs.CounterVec // shard
+	// Sharded execution: coordinator-level failover and dispatch.
+	ShardRetries    *obs.CounterVec // shard
+	ShardDispatched *obs.CounterVec // runner
+	ShardAdopted    *obs.CounterVec // shard
+	WorkerFailures  *obs.CounterVec // endpoint
 
 	// Study-level progress.
 	Records *obs.Counter
@@ -148,6 +151,12 @@ func newMetrics(reg *obs.Registry, simNow func() time.Time, epoch time.Time) *Me
 
 		ShardRetries: reg.CounterVec("freephish_shard_retries_total",
 			"Shard attempts the coordinator re-ran with a fresh child after a failure.", "shard"),
+		ShardDispatched: reg.CounterVec("freephish_shard_dispatched_total",
+			"Shard attempts handed to a runner, by runner name (local or worker endpoint).", "runner"),
+		ShardAdopted: reg.CounterVec("freephish_shard_adopted_total",
+			"Failover attempts that resumed from a dead runner's last streamed checkpoint.", "shard"),
+		WorkerFailures: reg.CounterVec("freephish_shard_worker_failures_total",
+			"Remote shard dispatches that failed at the transport, by worker endpoint.", "endpoint"),
 
 		Records: reg.Counter("freephish_study_records_total",
 			"URLs admitted to longitudinal observation."),

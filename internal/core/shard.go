@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"freephish/internal/analysis"
@@ -23,13 +22,18 @@ import (
 // state snapshots (internal/state) and rebuilds the canonical journal —
 // records, journal, and stats are byte-identical to the 1-shard run.
 
-// shardAttempts is how many times the coordinator re-runs a failed
-// shard before giving up. A shard re-run is exact: the sub-stream is a
-// pure function of (seed, shard index), so a fresh child replays the
-// identical schedule.
+// shardAttempts is how many times the coordinator dispatches a failed
+// shard before giving up. A re-dispatch is exact: the sub-stream is a
+// pure function of (seed, shard index), and when the failed attempt
+// streamed a checkpoint the replacement runner adopts it, resuming via
+// the replay path instead of re-running from ordinal zero (dispatch.go).
 const shardAttempts = 3
 
-// runSharded is Run's coordinator path (Config.Shards > 1).
+// runSharded is Run's coordinator path (Config.Shards > 1). Execution
+// goes through the shard-dispatch boundary: the dispatcher picks a runner
+// (local child, or a Config.ShardWorkers endpoint) per attempt and owns
+// failover by checkpoint adoption; this function owns training, fan-out,
+// teardown, and the merge.
 func (f *FreePhish) runSharded() (*analysis.Study, error) {
 	f.runStart = time.Now()
 	if f.Model == nil || f.BaseModel == nil {
@@ -41,10 +45,11 @@ func (f *FreePhish) runSharded() (*analysis.Study, error) {
 		}
 	}
 	n := f.Config.Shards
+	d := f.newDispatcher()
 	shards := make([]*FreePhish, n)
 	snaps, err := par.MapOrdered(n, make([]struct{}, n),
 		func(i int, _ struct{}) (*state.Snapshot, error) {
-			snap, child, err := f.runShard(i)
+			snap, child, err := d.runShard(i)
 			shards[i] = child
 			return snap, err
 		})
@@ -60,7 +65,16 @@ func (f *FreePhish) runSharded() (*analysis.Study, error) {
 		}
 		return nil, err
 	}
-	f.shards = shards
+	// Remote shards return a snapshot but no local framework; keep the
+	// frameworks that do exist for Verify's world audit and flag the rest.
+	f.shards = f.shards[:0]
+	for _, child := range shards {
+		if child != nil {
+			f.shards = append(f.shards, child)
+		} else {
+			f.remoteShards = true
+		}
+	}
 	merged := state.Merge(snaps...)
 	f.State.Restore(merged)
 	if f.Metrics.Journal != nil {
@@ -68,45 +82,6 @@ func (f *FreePhish) runSharded() (*analysis.Study, error) {
 			f.Clock.Now, f.Config.JournalRing, merged.Events)
 	}
 	return f.State.Study(), nil
-}
-
-// runShard drives shard i to completion, retrying a failed attempt with
-// a fresh child (coordinator-level retry: a shard's sub-stream replays
-// exactly from its seed, so a transient failure — a lost listener, an
-// injected fault that escaped the retry layer — costs one shard re-run,
-// not the whole study).
-func (f *FreePhish) runShard(i int) (*state.Snapshot, *FreePhish, error) {
-	var lastErr error
-	for attempt := 0; attempt < shardAttempts; attempt++ {
-		child := f.newShard(i)
-		if f.shardPrep != nil {
-			f.shardPrep(child, i, attempt)
-		}
-		if f.shardHook != nil {
-			if err := f.shardHook(i, attempt); err != nil {
-				// The failed child is done for: close it before building its
-				// replacement, or every retry leaks the previous attempt's
-				// listeners and keep-alive sockets for the rest of the study.
-				child.Close()
-				f.observeShardRetry(i, attempt, err)
-				lastErr = err
-				continue
-			}
-		}
-		if _, err := child.Run(); err != nil {
-			child.Close()
-			f.observeShardRetry(i, attempt, err)
-			lastErr = err
-			continue
-		}
-		var events []obs.Event
-		if j := child.Metrics.Journal; j != nil {
-			events = j.Events()
-		}
-		return child.State.Snapshot(events), child, nil
-	}
-	return nil, nil, fmt.Errorf("core: shard %d/%d failed after %d attempts: %w",
-		i, f.Config.Shards, shardAttempts, lastErr)
 }
 
 // observeShardRetry surfaces a failed shard attempt: a counter on the

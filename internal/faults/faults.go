@@ -1,8 +1,9 @@
 // Package faults is the deterministic fault-injection substrate: it
 // decorates the simulation's HTTP handlers and world ports with seeded,
 // configurable failures — injected latency, 5xx bursts, connection
-// resets, truncated and malformed bodies, and per-endpoint blackouts —
-// so every failure path in the pipeline is exercised on purpose.
+// resets, truncated and malformed bodies, DNS resolution failures, and
+// per-endpoint blackouts — so every failure path in the pipeline is
+// exercised on purpose.
 //
 // Every decision is a pure hash of (seed, key, per-key request ordinal),
 // never a draw from shared RNG state, so a chaos run is exactly
@@ -12,10 +13,10 @@
 // The injector upholds two invariants that make a chaos-soak study
 // byte-identical to the fault-free run:
 //
-//   - Failure faults (5xx, reset, blackout) fire BEFORE the inner
-//     handler runs, so a retried POST executes its real side effects
-//     exactly once. Body corruption (truncate/malform) applies only to
-//     GETs, which the simulation serves read-only.
+//   - Failure faults (5xx, reset, dnsfail, blackout) fire BEFORE the
+//     inner handler runs, so a retried POST executes its real side
+//     effects exactly once. Body corruption (truncate/malform) applies
+//     only to GETs, which the simulation serves read-only.
 //   - MaxConsecutive caps each key's fault burst; after the cap the real
 //     response must pass through. With a retry budget larger than the
 //     cap, every logical operation eventually receives the same healthy
@@ -47,6 +48,7 @@ const (
 	KindMalform   = "malform"
 	KindBlackout  = "blackout"
 	KindClockSkew = "clock_skew"
+	KindDNSFail   = "dnsfail"
 )
 
 // Profile configures fault intensities. Probabilities are per request in
@@ -75,6 +77,15 @@ type Profile struct {
 	// are.
 	SkewP   float64
 	SkewMax time.Duration
+	// DNSFailP makes the virtual host's name resolution fail: the request
+	// aborts at the transport before any bytes of response, exactly like
+	// NXDOMAIN/SERVFAIL on a flaky resolver. Decisions draw from a
+	// dedicated "dns|"-prefixed per-key ordinal stream (like clock skew),
+	// so enabling it never re-deals any other fault's schedule — but a
+	// fired resolution failure shares the key's MaxConsecutive burst cap
+	// with the other failure faults, so the retry budget still absorbs it
+	// and the study stays byte-identical.
+	DNSFailP float64
 	// MaxConsecutive caps a key's fault burst; <= 0 means 2. Keep it
 	// below the retry budget or chaos stops being transparent.
 	MaxConsecutive int
@@ -112,7 +123,7 @@ func DefaultProfile() Profile {
 // other value is a comma-separated k=v spec starting from a zero profile
 // (burst cap still defaults to 2):
 //
-//	latency=0.1,latency-max=5ms,5xx=0.2,reset=0.05,truncate=0.02,malform=0.02,skew=0.1,skew-max=30m,burst=2,blackout=web:24h:6h
+//	latency=0.1,latency-max=5ms,5xx=0.2,reset=0.05,truncate=0.02,malform=0.02,dnsfail=0.05,skew=0.1,skew-max=30m,burst=2,blackout=web:24h:6h
 func ParseProfile(spec string) (*Profile, error) {
 	switch strings.TrimSpace(spec) {
 	case "", "off", "none":
@@ -141,6 +152,8 @@ func ParseProfile(spec string) (*Profile, error) {
 			p.TruncateP, err = strconv.ParseFloat(v, 64)
 		case "malform":
 			p.MalformP, err = strconv.ParseFloat(v, 64)
+		case "dnsfail":
+			p.DNSFailP, err = strconv.ParseFloat(v, 64)
 		case "skew":
 			p.SkewP, err = strconv.ParseFloat(v, 64)
 		case "skew-max":
@@ -276,26 +289,46 @@ func (i *Injector) decide(endpoint, key string, corruptible, jsonBody bool) (kin
 	if i.prof.LatencyP > 0 && unitAt(i.seed, key, n, 1) < i.prof.LatencyP {
 		latency = time.Duration(unitAt(i.seed, key, n, 2) * float64(i.prof.LatencyMax))
 	}
-	u := unitAt(i.seed, key, n, 0)
-	t1 := i.prof.ServerErrP
-	t2 := t1 + i.prof.ResetP
-	t3, t4 := t2, t2
-	if corruptible {
-		t3 = t2 + i.prof.TruncateP
-		t4 = t3
-		if jsonBody {
-			t4 = t3 + i.prof.MalformP
+	// DNS resolution failure draws from its own "dns|"-prefixed stream
+	// (like clock skew) so toggling DNSFailP never re-deals the other
+	// faults' schedules. A fired dnsfail pre-empts the shared pick below
+	// and flows into the same streak accounting, keeping the joint burst
+	// within MaxConsecutive.
+	if i.prof.DNSFailP > 0 {
+		dk := "dns|" + key
+		dst := i.streak[dk]
+		if dst == nil {
+			dst = &keyState{}
+			i.streak[dk] = dst
+		}
+		dn := dst.n
+		dst.n++
+		if unitAt(i.seed, dk, dn, 5) < i.prof.DNSFailP {
+			kind = KindDNSFail
 		}
 	}
-	switch {
-	case u < t1:
-		kind = KindServerErr
-	case u < t2:
-		kind = KindReset
-	case u < t3:
-		kind = KindTruncate
-	case u < t4:
-		kind = KindMalform
+	if kind == "" {
+		u := unitAt(i.seed, key, n, 0)
+		t1 := i.prof.ServerErrP
+		t2 := t1 + i.prof.ResetP
+		t3, t4 := t2, t2
+		if corruptible {
+			t3 = t2 + i.prof.TruncateP
+			t4 = t3
+			if jsonBody {
+				t4 = t3 + i.prof.MalformP
+			}
+		}
+		switch {
+		case u < t1:
+			kind = KindServerErr
+		case u < t2:
+			kind = KindReset
+		case u < t3:
+			kind = KindTruncate
+		case u < t4:
+			kind = KindMalform
+		}
 	}
 	if kind != "" && st.consec >= i.prof.MaxConsecutive {
 		// Burst cap: force a healthy pass-through so the retry budget is
@@ -394,9 +427,9 @@ func (i *Injector) PortFault(endpoint, key string) error {
 // jsonBody marks servers whose GET responses are JSON, enabling
 // malformed-body corruption.
 //
-// Failure faults (5xx, reset, blackout) fire before the inner handler,
-// so retried POSTs never double-apply side effects; body corruption
-// wraps GETs only.
+// Failure faults (5xx, reset, dnsfail, blackout) fire before the inner
+// handler, so retried POSTs never double-apply side effects; body
+// corruption wraps GETs only.
 func (i *Injector) Middleware(endpoint string, jsonBody bool, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		key := endpoint + "|" + r.Method + "|" + r.Host + "|" + r.URL.RequestURI()
@@ -409,7 +442,10 @@ func (i *Injector) Middleware(endpoint string, jsonBody bool, h http.Handler) ht
 			h.ServeHTTP(w, r)
 		case KindServerErr, KindBlackout:
 			http.Error(w, "injected fault: service unavailable", http.StatusServiceUnavailable)
-		case KindReset:
+		case KindReset, KindDNSFail:
+			// A failed resolution and a reset connection look identical from
+			// the client's side of the socket: the request dies at the
+			// transport with no response bytes.
 			panic(http.ErrAbortHandler)
 		case KindTruncate:
 			rec := httptest.NewRecorder()

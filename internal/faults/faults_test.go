@@ -404,6 +404,132 @@ func TestClockSkewOffByDefault(t *testing.T) {
 	}
 }
 
+// TestDNSFailTransportAbort pins the client-observable shape of a DNS
+// resolution failure: the request dies at the transport with no response
+// bytes (indistinguishable from a reset), the burst cap forces the next
+// request through, and the firing is counted and reported to Observe.
+func TestDNSFailTransportAbort(t *testing.T) {
+	inj := NewInjector(1, Profile{DNSFailP: 1, MaxConsecutive: 1})
+	var observed uint64
+	inj.Observe = func(kind, endpoint, key string) {
+		if kind != KindDNSFail {
+			t.Fatalf("observed kind %q, want %q", kind, KindDNSFail)
+		}
+		if endpoint != "api" {
+			t.Fatalf("observed endpoint %q, want api", endpoint)
+		}
+		observed++
+	}
+	srv := httptest.NewServer(inj.Middleware("api", true, okHandler()))
+	defer srv.Close()
+	if got := classify(t, srv.Client(), http.MethodGet, srv.URL+"/x"); got != "transport-error" {
+		t.Fatalf("first GET = %q, want transport-error (dnsfail aborts pre-response)", got)
+	}
+	if got := classify(t, srv.Client(), http.MethodGet, srv.URL+"/x"); got != "ok" {
+		t.Fatalf("second GET = %q, want ok (burst cap 1)", got)
+	}
+	if got := inj.Counts()[KindDNSFail]; got == 0 || got != observed {
+		t.Fatalf("counter = %d, observe hook fired %d times; want equal and > 0", got, observed)
+	}
+}
+
+// TestDNSFailStreamIndependent pins the schedule-isolation property:
+// turning DNSFailP on must not re-deal any other fault's decisions,
+// because dnsfail draws from its own "dns|"-prefixed stream. At every
+// ordinal where dnsfail did not fire, the injected kind matches the
+// dnsfail-free profile's kind exactly.
+func TestDNSFailStreamIndependent(t *testing.T) {
+	base := Profile{ServerErrP: 0.2, ResetP: 0.1, TruncateP: 0.1, MaxConsecutive: 1 << 30}
+	withDNS := base
+	withDNS.DNSFailP = 0.3
+	a := NewInjector(9, base)
+	b := NewInjector(9, withDNS)
+	dnsFired := 0
+	for n := 0; n < 200; n++ {
+		ka, _ := a.decide("api", "api|GET|h|/u", true, false)
+		kb, _ := b.decide("api", "api|GET|h|/u", true, false)
+		if kb == KindDNSFail {
+			dnsFired++
+			continue
+		}
+		if ka != kb {
+			t.Fatalf("ordinal %d: kind %q with dnsfail enabled vs %q without — schedules re-dealt", n, kb, ka)
+		}
+	}
+	if dnsFired < 30 || dnsFired > 90 {
+		t.Fatalf("dnsfail fired %d/200 times at p=0.3; schedule is miscalibrated", dnsFired)
+	}
+}
+
+// TestDNSFailSharesBurstCap: dnsfail joins the key's shared fault streak,
+// so even with every fault class at probability 1 the joint burst never
+// exceeds MaxConsecutive — the invariant that keeps the retry budget
+// sufficient and dnsfail-bearing chaos byte-transparent.
+func TestDNSFailSharesBurstCap(t *testing.T) {
+	inj := NewInjector(1, Profile{DNSFailP: 1, ServerErrP: 1, MaxConsecutive: 2})
+	srv := httptest.NewServer(inj.Middleware("api", true, okHandler()))
+	defer srv.Close()
+	// Fresh connection per request: on a reused keep-alive connection the
+	// Go transport silently retries an aborted GET, which would consume an
+	// extra decide ordinal and blur the streak being pinned here.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	defer client.CloseIdleConnections()
+	var got []string
+	for i := 0; i < 9; i++ {
+		got = append(got, classify(t, client, http.MethodGet, srv.URL+"/x"))
+	}
+	want := []string{"transport-error", "transport-error", "ok",
+		"transport-error", "transport-error", "ok",
+		"transport-error", "transport-error", "ok"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("request %d = %q, want %q (full sequence %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestDNSFailKeyedPerKey pins shard invariance: a key's dnsfail schedule
+// depends only on (seed, key, per-key ordinal), never on interleaved
+// traffic for other keys — so a shard probing a subset of URLs replays
+// exactly the resolution failures the 1-shard run dealt them.
+func TestDNSFailKeyedPerKey(t *testing.T) {
+	prof := Profile{DNSFailP: 0.5, MaxConsecutive: 1 << 30}
+	solo := NewInjector(7, prof)
+	var want []string
+	for i := 0; i < 50; i++ {
+		k, _ := solo.decide("intel", "port|http://a.weebly.com", false, false)
+		want = append(want, k)
+	}
+	interleaved := NewInjector(7, prof)
+	for i := 0; i < 50; i++ {
+		k, _ := interleaved.decide("intel", "port|http://a.weebly.com", false, false)
+		interleaved.decide("intel", "port|http://other.wixsite.com", false, false)
+		interleaved.decide("web", "port|http://third.weebly.com", false, false)
+		if k != want[i] {
+			t.Fatalf("draw %d for a.weebly.com changed when other keys interleaved: %q vs %q", i, k, want[i])
+		}
+	}
+}
+
+// TestDNSFailOffByDefault: the default chaos profile injects no
+// resolution failures (dnsfail is opt-in like skew and blackouts), and
+// the flag grammar round-trips the key.
+func TestDNSFailOffByDefault(t *testing.T) {
+	if p := DefaultProfile(); p.DNSFailP != 0 {
+		t.Fatalf("DefaultProfile().DNSFailP = %v, want 0 (dnsfail is opt-in)", p.DNSFailP)
+	}
+	p, err := ParseProfile("dnsfail=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DNSFailP != 0.05 {
+		t.Fatalf("parsed DNSFailP = %v, want 0.05", p.DNSFailP)
+	}
+	if _, err := ParseProfile("dnsfail=x"); err == nil {
+		t.Fatal(`ParseProfile("dnsfail=x") should fail`)
+	}
+}
+
 // TestParseProfileSkew covers the skew flag grammar: explicit keys, the
 // 30-minute default magnitude, and rejection of malformed values.
 func TestParseProfileSkew(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"html/template"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -64,12 +65,24 @@ type dashTimeline struct {
 	} `json:"takedowns,omitempty"`
 }
 
+// dashShard is one shard's dispatch status for the shard panel, folded
+// from the shard lifecycle ops events (EvShardDispatch and friends) in
+// the journal's ring.
+type dashShard struct {
+	Shard          string `json:"shard"`
+	Status         string `json:"status"` // running | retrying | adopted | done
+	Attempts       int    `json:"attempts"`
+	Runner         string `json:"runner,omitempty"`
+	LastCheckpoint string `json:"last_checkpoint,omitempty"` // sim instant of the newest streamed checkpoint
+}
+
 type dashData struct {
 	Title     string            `json:"title"`
 	Info      map[string]string `json:"info,omitempty"`
 	Counts    map[string]uint64 `json:"counts,omitempty"`
 	Samples   []dashSample      `json:"samples"`
 	Tail      []dashEvent       `json:"tail,omitempty"`
+	Shards    []dashShard       `json:"shards,omitempty"`
 	Timelines []dashTimeline    `json:"timelines,omitempty"`
 	Journal   bool              `json:"journal"`
 }
@@ -97,9 +110,65 @@ func (d *Dash) serveData(w http.ResponseWriter, _ *http.Request) {
 			Sim: ev.Sim, Attrs: ev.Attrs,
 		})
 	}
+	data.Shards = d.shardPanel()
 	data.Timelines = d.timelines()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(data)
+}
+
+// shardPanel folds the shard dispatch ops events still in the ring into
+// one row per shard: current status, attempt count, the runner that owns
+// (or finished) it, and the sim instant of its newest streamed checkpoint
+// — the live view of failover-by-adoption. Empty on unsharded runs, which
+// hides the panel.
+func (d *Dash) shardPanel() []dashShard {
+	byShard := map[string]*dashShard{}
+	for _, ev := range d.Journal.Tail(DefaultJournalRing) {
+		key := ev.Attrs["shard"]
+		if key == "" {
+			continue
+		}
+		var row *dashShard
+		track := func() *dashShard {
+			if row = byShard[key]; row == nil {
+				row = &dashShard{Shard: key}
+				byShard[key] = row
+			}
+			if a, err := strconv.Atoi(ev.Attrs["attempt"]); err == nil && a+1 > row.Attempts {
+				row.Attempts = a + 1
+			}
+			return row
+		}
+		// Events arrive in recording order, so the last status stands.
+		switch ev.Type {
+		case EvShardDispatch:
+			track().Status = "running"
+			row.Runner = ev.Attrs["runner"]
+		case EvShardAdopt:
+			track().Status = "adopted"
+			row.Runner = ev.Attrs["runner"]
+		case EvShardRetry:
+			track().Status = "retrying"
+		case EvShardCheckpoint:
+			track().LastCheckpoint = ev.Attrs["at"]
+		case EvShardDone:
+			track().Status = "done"
+			row.Runner = ev.Attrs["runner"]
+		}
+	}
+	out := make([]dashShard, 0, len(byShard))
+	for _, row := range byShard {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, _ := strconv.Atoi(out[i].Shard)
+		b, _ := strconv.Atoi(out[j].Shard)
+		if a != b {
+			return a < b
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out
 }
 
 // timelines extracts the most recent URLs that progressed far enough to
@@ -239,6 +308,7 @@ form button{background:#2a365c;border:0;color:#dce3f0;border-radius:4px;padding:
 <section><h2>Study progress</h2><div class="tiles" id="tiles"><span class="muted">waiting for data…</span></div></section>
 <section><h2>Pipeline stages</h2><div class="stages" id="stages"><span class="muted">no pipe activity yet</span></div></section>
 <section id="cascadeSec" style="display:none"><h2>Cascade tiers</h2><div class="tiles" id="cascade"></div></section>
+<section id="shardSec" style="display:none"><h2>Shards</h2><div id="shards"></div></section>
 <section><h2>Takedown timeline</h2><div id="timeline"><span class="muted">no takedowns yet</span></div></section>
 <section><h2>Trace a URL</h2>
 <form action="/dash/trace" method="get"><input name="url" placeholder="http://…"> <button>trace</button></form></section>
@@ -298,6 +368,17 @@ function render(d){
     if(ratio!==null) ct+=tile("short-circuit",(ratio*100).toFixed(1)+"%");
     document.getElementById("cascadeSec").style.display="";
     document.getElementById("cascade").innerHTML=ct;
+  }
+  // ---- shard dispatch panel (hidden on unsharded runs)
+  if(d.shards&&d.shards.length){
+    let rows="";
+    for(const s of d.shards){
+      rows+='<tr><td>'+esc(s.shard)+'</td><td>'+esc(s.status)+'</td><td>'+s.attempts
+        +'</td><td>'+esc(s.runner||"")+'</td><td class="muted">'+esc(s.last_checkpoint||"—")+'</td></tr>';
+    }
+    document.getElementById("shardSec").style.display="";
+    document.getElementById("shards").innerHTML=
+      '<table><tr><th>shard</th><th>status</th><th>attempts</th><th>runner</th><th>last checkpoint (sim)</th></tr>'+rows+'</table>';
   }
   // ---- takedown timeline
   if(d.timelines&&d.timelines.length){

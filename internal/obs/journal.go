@@ -61,6 +61,17 @@ const (
 	// EvShardRetry marks a coordinator-level failover: a shard attempt
 	// failed and the coordinator re-ran the sub-stream with a fresh child.
 	EvShardRetry = "shard_retry"
+	// EvShardDispatch marks the coordinator handing a shard spec to a
+	// runner (local child or remote worker) for one attempt.
+	EvShardDispatch = "shard_dispatch"
+	// EvShardCheckpoint marks the coordinator receiving a streamed shard
+	// checkpoint — the current adoption point for that shard.
+	EvShardCheckpoint = "shard_checkpoint"
+	// EvShardAdopt marks a failover attempt that resumed from the dead
+	// runner's last streamed checkpoint instead of replaying from scratch.
+	EvShardAdopt = "shard_adopt"
+	// EvShardDone marks a shard returning its final snapshot.
+	EvShardDone = "shard_done"
 )
 
 // Event classes.

@@ -173,6 +173,57 @@ func TestDash(t *testing.T) {
 	}
 }
 
+// TestDashShardPanel: the /dash shard panel folds the shard dispatch ops
+// events into one row per shard — status, attempt count, owning runner,
+// and the newest streamed checkpoint's sim instant — sorted numerically.
+func TestDashShardPanel(t *testing.T) {
+	sim := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	reg := NewRegistry()
+	j := NewJournal(func() time.Time { return sim }, 0)
+
+	// Shard 0: clean remote run.
+	j.RecordOps("", EvShardDispatch, "shard", "0", "attempt", "0", "runner", "10.0.0.7:7001", "adopted", "false")
+	j.RecordOps("", EvShardCheckpoint, "shard", "0", "attempt", "0", "at", "2022-11-02T00:00:00Z")
+	j.RecordOps("", EvShardDone, "shard", "0", "attempt", "0", "runner", "10.0.0.7:7001")
+	// Shard 1: first attempt dies after a checkpoint, replacement adopts.
+	j.RecordOps("", EvShardDispatch, "shard", "1", "attempt", "0", "runner", "10.0.0.8:7001", "adopted", "false")
+	j.RecordOps("", EvShardCheckpoint, "shard", "1", "attempt", "0", "at", "2022-11-03T00:00:00Z")
+	j.RecordOps("", EvShardRetry, "shard", "1", "attempt", "0", "err", "worker crashed")
+	j.RecordOps("", EvShardDispatch, "shard", "1", "attempt", "1", "runner", "local", "adopted", "true")
+	j.RecordOps("", EvShardAdopt, "shard", "1", "attempt", "1", "runner", "local", "from", "2022-11-03T00:00:00Z")
+	// Shard 10: still running (also exercises numeric, not lexical, sort).
+	j.RecordOps("", EvShardDispatch, "shard", "10", "attempt", "0", "runner", "local", "adopted", "false")
+
+	d := &Dash{Reg: reg, Journal: j}
+	mux := NewOps(reg, OpsOptions{Dash: d})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	code, body := opsGet(t, srv, "/dash/data")
+	if code != 200 {
+		t.Fatalf("/dash/data = %d", code)
+	}
+	var data struct {
+		Shards []dashShard `json:"shards"`
+	}
+	if err := json.Unmarshal([]byte(body), &data); err != nil {
+		t.Fatalf("/dash/data is not JSON: %v", err)
+	}
+	want := []dashShard{
+		{Shard: "0", Status: "done", Attempts: 1, Runner: "10.0.0.7:7001", LastCheckpoint: "2022-11-02T00:00:00Z"},
+		{Shard: "1", Status: "adopted", Attempts: 2, Runner: "local", LastCheckpoint: "2022-11-03T00:00:00Z"},
+		{Shard: "10", Status: "running", Attempts: 1, Runner: "local"},
+	}
+	if len(data.Shards) != len(want) {
+		t.Fatalf("shard panel rows = %+v, want %+v", data.Shards, want)
+	}
+	for i := range want {
+		if data.Shards[i] != want[i] {
+			t.Errorf("shard row %d = %+v, want %+v", i, data.Shards[i], want[i])
+		}
+	}
+}
+
 // TestDashNilJournal: the dashboard must serve with tracing disabled.
 func TestDashNilJournal(t *testing.T) {
 	reg := NewRegistry()

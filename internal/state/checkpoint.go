@@ -54,9 +54,13 @@ const checkpointVersion = 1
 
 // checkpointFile is the on-disk wrapper: the payload plus an integrity
 // hash, so a torn or corrupted file is rejected with a clear error instead
-// of resuming a half-written study.
+// of resuming a half-written study. The same envelope carries snapshots
+// over the worker RPC; Kind distinguishes the two so neither decoder can be
+// fed the other's payload (empty Kind means "checkpoint", for files written
+// before the tag existed).
 type checkpointFile struct {
 	Version int             `json:"version"`
+	Kind    string          `json:"kind,omitempty"`
 	SHA256  string          `json:"sha256"`
 	Payload json.RawMessage `json:"payload"`
 }
@@ -71,6 +75,7 @@ func EncodeCheckpoint(c *Checkpoint) ([]byte, error) {
 	sum := sha256.Sum256(payload)
 	return json.Marshal(checkpointFile{
 		Version: checkpointVersion,
+		Kind:    kindCheckpoint,
 		SHA256:  hex.EncodeToString(sum[:]),
 		Payload: payload,
 	})
@@ -83,6 +88,9 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	var f checkpointFile
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("state: checkpoint is not a valid checkpoint file (truncated or not JSON): %w", err)
+	}
+	if f.Kind != "" && f.Kind != kindCheckpoint {
+		return nil, fmt.Errorf("state: envelope has kind %q, want %q", f.Kind, kindCheckpoint)
 	}
 	if f.Version != checkpointVersion {
 		return nil, fmt.Errorf("state: checkpoint format version %d, want %d", f.Version, checkpointVersion)

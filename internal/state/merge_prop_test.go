@@ -1,0 +1,176 @@
+package state
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"freephish/internal/analysis"
+	"freephish/internal/obs"
+	"freephish/internal/threat"
+)
+
+// Property tests for Merge over randomized shard partitions of a seeded
+// synthetic study: however the study's URLs are split across shards, and
+// however the shard snapshots are listed or grouped, the merged snapshot
+// is byte-for-byte the one the unsplit study produces. These are the
+// algebraic laws the shard coordinator leans on — commutativity (shards
+// finish in nondeterministic order), associativity (failover may merge a
+// replacement's snapshot in stages), and identity (an empty shard is a
+// no-op).
+
+// urlCase is one URL's scripted outcome, replayed identically no matter
+// which shard owns the URL.
+type urlCase struct {
+	url      string
+	at       time.Time
+	fwb      bool
+	decision string
+	lexical  bool
+	reshared bool
+	hostDown time.Time
+	listings []string
+}
+
+// randomCases fabricates n scripted URLs from the seeded generator.
+func randomCases(r *rand.Rand, n int) []urlCase {
+	decisions := []string{"tp", "fp", "fn"}
+	entities := []string{"gsb", "vt", "apwg"}
+	cases := make([]urlCase, n)
+	for i := range cases {
+		c := urlCase{
+			url:      fmt.Sprintf("http://u%03d.weebly.com", i),
+			at:       t0.Add(time.Duration(r.Intn(10*24*60)) * time.Minute),
+			fwb:      r.Intn(2) == 0,
+			decision: decisions[r.Intn(len(decisions))],
+			lexical:  r.Intn(3) == 0,
+			reshared: r.Intn(4) == 0,
+		}
+		if r.Intn(2) == 0 {
+			c.hostDown = c.at.Add(time.Duration(1+r.Intn(96)) * time.Hour)
+		}
+		for _, e := range entities {
+			if r.Intn(2) == 0 {
+				c.listings = append(c.listings, e)
+			}
+		}
+		cases[i] = c
+	}
+	return cases
+}
+
+// applyCase replays one URL's script through the apply points and returns
+// its canonical journal event.
+func applyCase(s *StudyState, c urlCase) obs.Event {
+	s.AddPostSeen()
+	if !s.MarkSeen(c.url) {
+		panic("urlCase URLs must be unique")
+	}
+	if c.reshared {
+		s.AddPostSeen()
+		s.MarkSeen(c.url) // duplicate: must report false and change nothing
+	}
+	if c.lexical {
+		s.AddLexical(c.decision == "tp")
+	} else {
+		s.AddScanned()
+	}
+	s.AddFlagged(c.fwb)
+	s.AddDecision(c.decision)
+	if c.fwb {
+		s.AddReportSent()
+	}
+	s.AddRecord(&analysis.Record{
+		Target:       &threat.Target{URL: c.url, SharedAt: c.at.Add(-time.Hour)},
+		Classified:   true,
+		ClassifiedAt: c.at,
+	})
+	ob := s.StartObservation(c.url)
+	ob.MarkProbe()
+	if !c.hostDown.IsZero() {
+		ob.MarkHostDown(c.hostDown)
+	}
+	for _, e := range c.listings {
+		ob.MarkListed(e, c.at.Add(12*time.Hour))
+	}
+	return obs.Event{Class: obs.ClassLifecycle, Type: obs.EvClassified, URL: c.url, Ord: c.at}
+}
+
+// buildStudy replays a subset of the scripted URLs (those whose index
+// passes keep) plus the full poll schedule — exactly what one shard does.
+func buildStudy(cases []urlCase, polls int, keep func(i int) bool) *Snapshot {
+	s := New()
+	for i := 0; i < polls; i++ {
+		s.AddPoll()
+	}
+	var events []obs.Event
+	for i, c := range cases {
+		if keep(i) {
+			events = append(events, applyCase(s, c))
+		}
+	}
+	return s.Snapshot(events)
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestMergePropertiesOverRandomPartitions(t *testing.T) {
+	const polls = 37
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		cases := randomCases(r, 40+r.Intn(40))
+		full := mustJSON(t, Merge(buildStudy(cases, polls, func(int) bool { return true })))
+
+		for _, shards := range []int{2, 3, 5} {
+			label := fmt.Sprintf("seed=%d shards=%d", seed, shards)
+			// Randomized partition: each URL lands on exactly one shard.
+			owner := make([]int, len(cases))
+			for i := range owner {
+				owner[i] = r.Intn(shards)
+			}
+			snaps := make([]*Snapshot, shards)
+			for sh := 0; sh < shards; sh++ {
+				sh := sh
+				snaps[sh] = buildStudy(cases, polls, func(i int) bool { return owner[i] == sh })
+			}
+
+			// The partition reassembles the unsplit study.
+			if got := mustJSON(t, Merge(snaps...)); got != full {
+				t.Fatalf("%s: merged partition != unsplit study\nmerged: %s\nfull:   %s", label, got, full)
+			}
+
+			// Commutativity: any listing order merges to the same bytes.
+			shuffled := append([]*Snapshot(nil), snaps...)
+			r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			if got := mustJSON(t, Merge(shuffled...)); got != full {
+				t.Fatalf("%s: Merge is order-dependent", label)
+			}
+
+			// Associativity: merging in stages (how failover folds a
+			// replacement shard in) equals merging flat.
+			staged := Merge(append([]*Snapshot{Merge(snaps[0], snaps[1])}, snaps[2:]...)...)
+			if got := mustJSON(t, staged); got != full {
+				t.Fatalf("%s: staged Merge(Merge(a,b),rest...) diverges", label)
+			}
+			nested := Merge(snaps[0], Merge(snaps[1:]...))
+			if got := mustJSON(t, nested); got != full {
+				t.Fatalf("%s: nested Merge(a, Merge(rest...)) diverges", label)
+			}
+
+			// Identity: an empty shard contributes nothing.
+			withEmpty := append(append([]*Snapshot(nil), snaps...), New().Snapshot(nil), nil)
+			if got := mustJSON(t, Merge(withEmpty...)); got != full {
+				t.Fatalf("%s: empty/nil snapshots perturb the merge", label)
+			}
+		}
+	}
+}
